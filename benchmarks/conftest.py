@@ -1,0 +1,64 @@
+"""Shared session fixtures for the benchmark harness.
+
+The expensive simulated sweeps run once per session and are shared by
+every per-figure benchmark; each benchmark then (a) regenerates its
+table/figure rows, (b) asserts the paper's shape checks, (c) writes the
+rendered artifact to ``benchmarks/results/<exp>.txt``, and (d) times the
+analysis step with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
+from repro.harness.sweeps import (
+    default_convolution_sweep,
+    paper_lulesh_sweep,
+)
+from repro.workloads.lulesh import PAPER_TOTAL_ELEMENTS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Figure 7 per-rank sides holding the paper's element count constant.
+PAPER_SIDES = {1: 48, 8: 24, 27: 16, 64: 12}
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered experiment table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def conv_profile():
+    """The Figure 5/6 convolution sweep (scaled-down paper sweep)."""
+    sweep = default_convolution_sweep()
+    # Benchmark-grade: fewer repetitions than the paper's 20, enough to
+    # average per point while finishing in a couple of minutes.
+    object.__setattr__(sweep, "reps", 2)
+    return run_convolution_sweep(sweep)
+
+
+@pytest.fixture(scope="session")
+def knl_grid():
+    """The Figures 9/10 Lulesh grid on the KNL model at paper size."""
+    sweep = paper_lulesh_sweep("knl", steps=10)
+    object.__setattr__(sweep, "reps", 1)
+    analysis, drifts = run_lulesh_grid(sweep, sides=PAPER_SIDES)
+    assert max(drifts.values()) < 1e-10, "energy conservation violated"
+    return analysis
+
+
+@pytest.fixture(scope="session")
+def bdw_grid():
+    """The Figure 8 Lulesh grid on the dual-Broadwell model."""
+    sweep = paper_lulesh_sweep("broadwell", steps=10)
+    object.__setattr__(sweep, "reps", 1)
+    analysis, drifts = run_lulesh_grid(sweep, sides=PAPER_SIDES)
+    assert max(drifts.values()) < 1e-10, "energy conservation violated"
+    return analysis

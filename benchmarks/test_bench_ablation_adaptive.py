@@ -1,0 +1,48 @@
+"""Ablation — the Section 8 adaptive parallelism restriction.
+
+Using the measured KNL thread-scaling curves, quantify the walltime a
+runtime would recover by restraining each section to its pre-inflexion
+team size instead of running a uniform oversized team — the paper's
+"dynamically restraining parallelism for non-scalable sections".
+"""
+
+from repro.core.report import format_dict_rows
+from repro.tools import AdaptiveAdvisor
+
+from benchmarks.conftest import save_artifact
+
+SECTIONS = ("LagrangeNodal", "LagrangeElements")
+
+
+def test_ablation_adaptive_restriction(benchmark, knl_grid):
+    curves = {lab: knl_grid.section_series(lab, 1) for lab in SECTIONS}
+    adv = AdaptiveAdvisor(curves)
+
+    uniform = max(knl_grid.thread_counts(1))  # a naive "use everything" team
+    plans = benchmark(adv.plan, uniform)
+
+    rows = [
+        {
+            "section": p.label,
+            "uniform_threads": uniform,
+            "best_threads": p.best_threads,
+            "uniform_time": p.uniform_time,
+            "best_time": p.best_time,
+            "gain_s": p.gain,
+            "over_parallelised": p.over_parallelised,
+        }
+        for p in plans
+    ]
+    gain = adv.predicted_gain(uniform)
+    rows.append({"section": "TOTAL", "uniform_threads": uniform,
+                 "best_threads": "-", "uniform_time": adv.uniform_walltime(plans),
+                 "best_time": adv.predicted_walltime(plans),
+                 "gain_s": adv.uniform_walltime(plans) - adv.predicted_walltime(plans),
+                 "over_parallelised": ""})
+    save_artifact(
+        "ablation_adaptive",
+        format_dict_rows(rows, title="[ablation] adaptive per-section thread caps (KNL, p=1)"),
+    )
+    # Past the inflexion the restriction recovers a large fraction.
+    assert gain > 0.5
+    assert all(p.best_threads < uniform for p in plans)

@@ -1,0 +1,69 @@
+"""Ablation — acting on the section diagnosis: halo overlap.
+
+The section analysis names HALO as the binding section at scale
+(Figures 5/6); the textbook response is to overlap the exchange with
+the interior computation.  This ablation quantifies the payoff of that
+optimization on the modeled cluster across scales — closing the loop
+from *diagnosis* (the paper's contribution) to *fix*.
+"""
+
+from dataclasses import replace
+
+from repro.core.profile import SectionProfile
+from repro.core.report import format_dict_rows
+from repro.machine.catalog import nehalem_cluster
+from repro.workloads.convolution import ConvolutionBenchmark, ConvolutionConfig
+
+from benchmarks.conftest import save_artifact
+
+BASE = ConvolutionConfig(height=288, width=576, steps=50)
+
+
+def _walltime_and_halo(cfg, p, seed=0):
+    res = ConvolutionBenchmark(cfg).run(
+        p,
+        machine=nehalem_cluster(nodes=8, jitter=0.05),
+        seed=seed,
+        compute_jitter=0.02,
+        noise_floor=60e-6,
+    )
+    prof = SectionProfile.from_run(res)
+    halo = prof.total("HALO")
+    if "HALO_WAIT" in prof.labels():
+        halo += prof.total("HALO_WAIT")
+    return res.walltime, halo
+
+
+def test_ablation_halo_overlap(benchmark):
+    rows = []
+    for p in (8, 16, 32, 64):
+        t_block, halo_block = _walltime_and_halo(BASE, p)
+        t_over, halo_over = _walltime_and_halo(
+            replace(BASE, overlap_halo=True), p
+        )
+        rows.append(
+            {
+                "p": p,
+                "blocking_wall": t_block,
+                "overlap_wall": t_over,
+                "gain_pct": 100.0 * (t_block - t_over) / t_block,
+                "blocking_halo_total": halo_block,
+                "overlap_halo_total": halo_over,
+            }
+        )
+    save_artifact(
+        "ablation_overlap",
+        format_dict_rows(rows, title="[ablation] blocking vs overlapped halo exchange"),
+    )
+    # The realistic finding: overlap pays big while the interior work can
+    # cover the exchange (>15 % at p=8), the benefit shrinks as per-rank
+    # compute vanishes, and at the over-scaled end it is a wash (within a
+    # few percent either way) — overlap cannot create compute to hide
+    # behind once a section is past its parallelism budget.
+    assert rows[0]["gain_pct"] > 15.0
+    assert rows[0]["gain_pct"] > rows[-1]["gain_pct"]
+    assert all(r["overlap_wall"] <= r["blocking_wall"] * 1.10 for r in rows)
+    # Overlap always shrinks the time actually spent in halo sections.
+    assert all(r["overlap_halo_total"] < r["blocking_halo_total"] for r in rows)
+
+    benchmark(lambda: _walltime_and_halo(BASE, 8))

@@ -1,0 +1,63 @@
+"""Simulator microbenchmarks: the substrate's own throughput.
+
+Not a paper artifact — these measure the reproduction's usability
+envelope (simulated messages/second, rank-count scaling, section event
+rate), which bounds how large a sweep the harness can run.
+"""
+
+import numpy as np
+
+from repro.machine.catalog import laptop, nehalem_cluster
+from repro.simmpi.engine import run_mpi
+from repro.simmpi.sections_rt import section
+
+
+def test_engine_p2p_message_throughput(benchmark):
+    """Ping-pong churn: 2 ranks, 200 eager messages each way."""
+
+    def main(ctx):
+        peer = 1 - ctx.rank
+        for i in range(200):
+            if ctx.rank == 0:
+                ctx.comm.send(i, dest=peer)
+                ctx.comm.recv(source=peer)
+            else:
+                ctx.comm.recv(source=peer)
+                ctx.comm.send(i, dest=peer)
+
+    benchmark(lambda: run_mpi(2, main, machine=laptop(2)))
+
+
+def test_engine_rank_scaling_barrier(benchmark):
+    """64 ranks × 10 dissemination barriers: scheduler switch cost."""
+
+    def main(ctx):
+        for _ in range(10):
+            ctx.comm.barrier()
+
+    benchmark(lambda: run_mpi(64, main, machine=nehalem_cluster(nodes=8)))
+
+
+def test_engine_rendezvous_bulk_transfer(benchmark):
+    """Large-payload rendezvous path including the payload copies."""
+    data = np.zeros(250_000)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(data, dest=1)
+        else:
+            buf = np.empty_like(data)
+            ctx.comm.Recv(buf, source=0)
+
+    benchmark(lambda: run_mpi(2, main, machine=laptop(2)))
+
+
+def test_section_event_rate(benchmark):
+    """Cost of the section runtime itself: 2 000 enter/exit pairs."""
+
+    def main(ctx):
+        for _ in range(2000):
+            with section(ctx, "hot"):
+                pass
+
+    benchmark(lambda: run_mpi(1, main, machine=laptop(2)))

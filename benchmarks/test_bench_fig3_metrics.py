@@ -1,0 +1,67 @@
+"""Figure 3 — the section metric definitions, as a live artifact.
+
+Figure 3 is an illustration, not a measurement; its reproduction is the
+metric implementation itself.  This benchmark (a) regenerates the
+figure's derived quantities from a staggered section instance and saves
+them, and (b) measures the tool-side cost of computing Figure 3 metrics
+over a large instance population (the overhead a profiler would pay).
+"""
+
+import numpy as np
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.core.report import format_dict_rows
+from repro.tools import analyze_load_balance
+
+from benchmarks.conftest import save_artifact
+
+
+def _staggered_instance(n_ranks=8, seed=3):
+    rng = np.random.default_rng(seed)
+    inst = SectionInstanceTiming("region-of-interest", ("w",), 0)
+    for r in range(n_ranks):
+        t_in = 10.0 + float(rng.uniform(0, 0.5))
+        inst.t_in[r] = t_in
+        inst.t_out[r] = t_in + 2.0 + float(rng.uniform(0, 0.3))
+    return inst
+
+
+def test_fig3_derived_metrics(benchmark):
+    inst = _staggered_instance()
+
+    rows = benchmark(
+        lambda: [
+            {
+                "rank": r,
+                "Tin": inst.t_in[r],
+                "Tout": inst.t_out[r],
+                "Tsection(=Tout-Tmin)": inst.tsection(r),
+                "imb_in(=Tin-Tmin)": inst.entry_imbalance(r),
+            }
+            for r in inst.ranks
+        ]
+    )
+    summary = inst.as_dict()
+    text = format_dict_rows(rows, title="[fig3] per-rank section metrics")
+    text += "\n" + format_dict_rows([summary], title="[fig3] instance summary")
+    save_artifact("fig3_metrics", text)
+    assert summary["imbalance"] >= 0
+    assert summary["tmin"] == min(inst.t_in.values())
+
+
+def test_fig3_metric_throughput_at_scale(benchmark):
+    """Cost of the Figure 3 load-balance analysis over 2 000 instances of
+    a 64-rank section — the pane a tool would refresh interactively."""
+    rng = np.random.default_rng(0)
+    instances = []
+    for occ in range(2000):
+        inst = SectionInstanceTiming("hot", ("w",), occ)
+        base = occ * 1.0
+        ins = base + rng.random(64) * 0.01
+        outs = ins + 0.5 + rng.random(64) * 0.05
+        inst.t_in = dict(enumerate(ins))
+        inst.t_out = dict(enumerate(outs))
+        instances.append(inst)
+
+    reports = benchmark(analyze_load_balance, instances)
+    assert reports[0].instances == 2000

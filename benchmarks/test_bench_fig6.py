@@ -1,0 +1,31 @@
+"""Figure 6 — partial speedup bounds inferred from the HALO section.
+
+Regenerates the paper's table (#Processes, Tot. HALO Time, Speedup
+Bound B) at the same process counts {64, 80, 112, 128, 144} and verifies
+Eq. 6 (every bound caps the measured speedup) plus the strong
+noise-driven variation of B the paper reports.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.sweeps import fig6_process_counts
+
+from benchmarks.conftest import save_artifact
+
+
+def test_fig6(benchmark, conv_profile):
+    result = benchmark(E.fig6, conv_profile, fig6_process_counts())
+    save_artifact("fig6", result.render())
+    assert result.passed, result.checks
+
+
+def test_fig6_paper_formula_reproduced(benchmark, conv_profile):
+    """Check the exact arithmetic of the paper's example on our data:
+    B = T_seq / (T_halo_total / p)."""
+    from repro.core.bounding import partial_bound_from_total
+
+    seq = benchmark(conv_profile.sequential_time)
+    p = 64
+    total = conv_profile.mean_total("HALO", p)
+    expected = partial_bound_from_total(seq, total, p)
+    row = [r for r in E.fig6(conv_profile, (64,)).rows if r["p"] == 64][0]
+    assert abs(row["bound_B"] - expected) < 1e-9

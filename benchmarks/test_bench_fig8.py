@@ -1,0 +1,29 @@
+"""Figure 8 — Lulesh MPI Sections on the dual Broadwell grid.
+
+Regenerates the per-section time-vs-threads series at p ∈ {1, 8, 27} and
+asserts the paper's qualitative claims: in this strong-scaling setup MPI
+provides more acceleration than OpenMP, while OpenMP still helps when
+the per-process problem is large.
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_artifact
+
+
+def test_fig8(benchmark, bdw_grid):
+    result = benchmark(E.fig8, bdw_grid)
+    save_artifact("fig8", result.render())
+    assert result.passed, result.checks
+
+
+def test_fig8_lagrange_phases_dominate(benchmark, bdw_grid):
+    """The two Lagrange sections 'contribute to most of the main
+    section (denoted walltime)' at every configuration."""
+    benchmark(bdw_grid.process_counts)
+    for p in bdw_grid.process_counts():
+        for t in bdw_grid.thread_counts(p):
+            lag = bdw_grid.mean_avg_section(
+                "LagrangeNodal", p, t
+            ) + bdw_grid.mean_avg_section("LagrangeElements", p, t)
+            assert lag > 0.75 * bdw_grid.mean_walltime(p, t)

@@ -1,0 +1,38 @@
+"""Figure 9 — Lulesh MPI Sections on the Intel KNL grid.
+
+Same views as Figure 8, with the KNL-specific claims: OpenMP overhead
+rises faster than on Broadwell, and at 27/64 MPI processes extra
+OpenMP threads provide no acceleration (and tend to slow the code).
+"""
+
+from repro.harness import experiments as E
+
+from benchmarks.conftest import save_artifact
+
+
+def test_fig9(benchmark, knl_grid):
+    result = benchmark(E.fig9, knl_grid)
+    save_artifact("fig9", result.render())
+    assert result.passed, result.checks
+
+
+def test_fig9_machine_dependence_vs_broadwell(benchmark, knl_grid, bdw_grid):
+    """'A given execution configuration can be strongly impacted by the
+    executing hardware': the KNL exhausts its parallelism budget at a
+    far smaller fraction of its thread capacity than the Broadwell —
+    its pure-OpenMP optimum sits at ~16–24 of 272 hardware threads,
+    while Broadwell's sits around 24 of 72."""
+    from repro.machine.catalog import broadwell_duo, knl_node
+
+    def opt_fraction(grid, hw_threads):
+        ts, walls = grid.walltime_series(1)
+        t_best = ts[walls.index(min(walls))]
+        return t_best / hw_threads
+
+    knl_frac = benchmark(opt_fraction, knl_grid, knl_node().node.max_threads)
+    bdw_frac = opt_fraction(bdw_grid, broadwell_duo().node.max_threads)
+    assert knl_frac < 0.5 * bdw_frac
+    # and past its optimum the KNL degrades catastrophically (the
+    # oversubscription cliff of Figure 9/10's right edge).
+    ts, walls = knl_grid.walltime_series(1)
+    assert walls[ts.index(max(ts))] > 5 * min(walls)

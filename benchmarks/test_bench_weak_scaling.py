@@ -1,0 +1,86 @@
+"""Extension — the weak-scaling (Gustafson) side of Section 2.
+
+The paper's Section 2 situates applications "between these two
+configurations" (Amdahl's strong scaling and Gustafson–Barsis weak
+scaling).  The evaluation only runs strong scaling; this extension
+benchmark runs the same convolution workload in the weak configuration
+and contrasts the two regimes the theory predicts:
+
+* strong scaling: efficiency decays toward the partial bounds;
+* weak scaling: near-constant walltime / near-linear scaled speedup,
+  eroded only by the (growing) communication and the serial LOAD/STORE.
+"""
+
+from repro.core.report import format_dict_rows
+from repro.core.speedup import gustafson_speedup
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine.catalog import nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+
+from benchmarks.conftest import save_artifact
+
+PROCESS_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _sweep(weak: bool) -> ConvolutionSweep:
+    return ConvolutionSweep(
+        config=ConvolutionConfig(height=96, width=432, steps=40),
+        machine=nehalem_cluster(nodes=4),
+        process_counts=PROCESS_COUNTS,
+        reps=2,
+        weak=weak,
+        noise_floor=60e-6,
+    )
+
+
+def test_weak_vs_strong_scaling(benchmark):
+    strong = run_convolution_sweep(_sweep(weak=False))
+    weak = run_convolution_sweep(_sweep(weak=True))
+
+    rows = []
+    for p in PROCESS_COUNTS:
+        t1 = weak.mean_walltime(1)
+        loop = weak.mean_avg_per_process(
+            "CONVOLVE", p
+        ) + weak.mean_avg_per_process("HALO", p)
+        io = sum(
+            weak.mean_avg_per_process(lab, p)
+            for lab in ("LOAD", "STORE", "SCATTER", "GATHER")
+        )
+        rows.append(
+            {
+                "p": p,
+                "strong_speedup": strong.speedup(p),
+                "strong_efficiency": strong.speedup(p) / p,
+                "weak_walltime": weak.mean_walltime(p),
+                "weak_scaled_speedup": p * t1 / weak.mean_walltime(p),
+                "weak_timeloop_per_proc": loop,
+                "weak_io_per_proc": io,
+                "gustafson_ideal": gustafson_speedup(p, 0.0),
+            }
+        )
+    save_artifact(
+        "weak_scaling",
+        format_dict_rows(rows, title="[extension] strong vs weak scaling (convolution)"),
+    )
+
+    first, last = rows[0], rows[-1]
+    # Strong scaling decays toward its bounds.
+    assert last["strong_efficiency"] < 0.7
+    # Gustafson holds where it is supposed to: the per-process time-loop
+    # cost grows far slower than the 32x problem.  The residual growth
+    # (~60 %) is not compute — it is accumulated halo-wait jitter, the
+    # exact effect the paper blames for its Figure 5(b) noise (the
+    # per-process CONVOLVE time alone stays flat; see next assert).
+    assert last["weak_timeloop_per_proc"] < 2.0 * first["weak_timeloop_per_proc"]
+    conv1 = weak.mean_avg_per_process("CONVOLVE", 1)
+    conv32 = weak.mean_avg_per_process("CONVOLVE", PROCESS_COUNTS[-1])
+    assert conv32 < 1.2 * conv1
+    # ... and what erodes the *overall* weak scaling is the serial
+    # rank-0 I/O pipeline, whose cost grows with the global problem —
+    # the sections name the culprit immediately.
+    assert last["weak_io_per_proc"] > 4 * first["weak_io_per_proc"]
+    assert last["weak_scaled_speedup"] > 2 * last["strong_speedup"]
+
+    benchmark(lambda: run_convolution_sweep(_sweep(weak=False)))

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The paper's Section 5.1 study, end to end, at example scale.
+
+Runs the instrumented convolution benchmark over a strong-scaling sweep
+on the modeled Nehalem cluster, then prints the four Figure 5 views and
+the Figure 6 bound table.  A smaller image / fewer steps than the
+benchmark harness keeps this under a minute.
+
+Run:  python examples/convolution_scaling.py
+"""
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine import nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+
+
+def build_sweep() -> ConvolutionSweep:
+    return ConvolutionSweep(
+        config=ConvolutionConfig(height=288, width=432, steps=60),
+        machine=nehalem_cluster(nodes=12),
+        process_counts=(1, 2, 4, 8, 16, 32, 64, 96),
+        reps=2,
+        noise_floor=120e-6,
+    )
+
+
+if __name__ == "__main__":
+    sweep = build_sweep()
+    print(f"machine: {sweep.machine.name} "
+          f"({sweep.machine.total_cores} cores, {sweep.ranks_per_node}/node)")
+    print(f"image: {sweep.config.height}x{sweep.config.width}"
+          f"x{sweep.config.channels}, {sweep.config.steps} steps, "
+          f"{sweep.reps} repetitions per point\n")
+
+    profile = run_convolution_sweep(sweep, progress=print)
+    print()
+    for exp in (E.fig5a, E.fig5b, E.fig5c, E.fig5d):
+        result = exp(profile)
+        print(result.render())
+        print()
+
+    fig6 = E.fig6(profile, (32, 64, 96))
+    print(fig6.render())
+    print()
+    print("Reading the tables the way the paper does:")
+    print(" * fig5a: CONVOLVE's share collapses while HALO's share grows —")
+    print("   communication replaces computation as the dominant cost;")
+    print(" * fig5b: the HALO total rises with p and is noisy (jitter")
+    print("   accumulated over the time steps), despite the per-process")
+    print("   message volume being constant in a 1-D split;")
+    print(" * fig6: every HALO bound B(p) = T_seq / (T_halo/p) caps the")
+    print("   measured speedup — any section bounds the whole program.")

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Writing a PMPI tool against the MPI_Section callback interface.
+
+The paper's point is that *any* tool can consume section semantics
+through two standardised callbacks (Figure 2) without linking against a
+specific profiler.  This example builds a small custom tool — a
+"section latecomer detector" that flags the rank entering each section
+last, using the runtime-preserved 32-byte data blob to carry its own
+state — and runs it together with the built-in trace tool to produce a
+Figure 3-style load-balance report.
+
+Run:  python examples/custom_tool.py
+"""
+
+import struct
+
+import numpy as np
+
+from repro.core.report import format_dict_rows
+from repro.machine import nehalem_cluster
+from repro.simmpi import Tool, run_mpi, section
+from repro.tools import TraceTool, analyze_load_balance, render_timeline
+
+
+class LatecomerDetector(Tool):
+    """Counts, per section label, how often each rank entered last.
+
+    Demonstrates the Figure 2 contract: state stashed into the data blob
+    at enter is intact at leave, and events arrive with virtual
+    timestamps a tool can correlate across ranks.
+    """
+
+    def __init__(self):
+        self._open = {}  # (comm_id, label) -> (last_rank, last_t, count_in)
+        self.last_counts = {}  # (label, rank) -> times this rank was last in
+
+    def section_enter_cb(self, comm_id, label, data, rank, t):
+        struct.pack_into("<d", data, 0, t)  # stash my entry time
+        key = (comm_id, label)
+        last_rank, last_t, n = self._open.get(key, (rank, t, 0))
+        if t >= last_t:
+            last_rank, last_t = rank, t
+        self._open[key] = (last_rank, last_t, n + 1)
+
+    def section_leave_cb(self, comm_id, label, data, rank, t):
+        (t_in,) = struct.unpack_from("<d", data, 0)
+        assert t >= t_in, "blob was not preserved!"
+        key = (comm_id, label)
+        if key in self._open:
+            last_rank, _, n = self._open[key]
+            if n > 0:  # close the instance on its first leave
+                self.last_counts[(label, last_rank)] = (
+                    self.last_counts.get((label, last_rank), 0) + 1
+                )
+                self._open.pop(key)
+
+
+def application(ctx):
+    """Imbalanced domain: rank 'size-1' carries extra work every step."""
+    comm = ctx.comm
+    data = np.full(50_000, float(comm.rank))
+    for _ in range(10):
+        with section(ctx, "assemble"):
+            extra = 3.0 if comm.rank == comm.size - 1 else 1.0
+            ctx.compute(flops=1e7 * extra)
+        with section(ctx, "exchange"):
+            peer = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            comm.sendrecv(data[:64], dest=peer, source=src)
+    comm.barrier()
+
+
+if __name__ == "__main__":
+    detector = LatecomerDetector()
+    tracer = TraceTool()
+    result = run_mpi(8, application, machine=nehalem_cluster(nodes=1),
+                     tools=[detector, tracer], compute_jitter=0.02, seed=3)
+
+    print(render_timeline(result.section_events, width=64))
+    print()
+
+    rows = [
+        {"section": label, "rank": rank, "times_last_in": n}
+        for (label, rank), n in sorted(detector.last_counts.items())
+    ]
+    print(format_dict_rows(rows, title="latecomer detector (custom tool)"))
+    print()
+
+    reports = analyze_load_balance(tracer.coarse_view())
+    print(format_dict_rows(
+        [{"section": r.label, "instances": r.instances,
+          "mean_imbalance": r.mean_imbalance, "wasted_time": r.wasted_time,
+          "balance_ratio": r.balance_ratio} for r in reports],
+        title="Figure 3 load-balance report (built-in trace tool)",
+    ))
+    print("\nThe 'assemble' section's overloaded rank shows up in both "
+          "views without any application-specific tooling — exactly the "
+          "paper's argument for standardising section callbacks at MPI level.")

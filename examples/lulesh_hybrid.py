@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The paper's Section 5.2 study: MPI+OpenMP LULESH on KNL vs Broadwell.
+
+Runs the LULESH-like hydro proxy over an MPI×OpenMP grid on both machine
+models, characterising OpenMP scaling *purely from MPI-level section
+instrumentation* — the paper's headline demonstration — and locates the
+inflexion point with its partial speedup bounds (Figure 10).
+
+Run:  python examples/lulesh_hybrid.py
+"""
+
+from repro.core.report import format_dict_rows
+from repro.harness import experiments as E
+from repro.harness.runner import run_lulesh_grid
+from repro.harness.sweeps import LuleshGridSweep
+from repro.machine import broadwell_duo, knl_node
+from repro.tools import AdaptiveAdvisor
+from repro.workloads.lulesh import LuleshConfig
+
+
+def run_machine(name, machine, grid):
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=24, steps=8),  # 13 824 elements at p=1
+        machine=machine,
+        grid=grid,
+        reps=1,
+    )
+    print(f"== {name}: {machine.node.physical_cores} cores x "
+          f"{machine.node.core.hw_threads} HT ==")
+    analysis, drifts = run_lulesh_grid(sweep)
+    print(f"energy drift across all configurations: "
+          f"max {max(drifts.values()):.2e} (conservation check)\n")
+    return analysis
+
+
+if __name__ == "__main__":
+    knl = run_machine(
+        "Intel KNL", knl_node(),
+        {1: (1, 2, 4, 8, 16, 24, 32, 64, 128), 8: (1, 2, 4, 8, 16),
+         27: (1, 2, 4, 8)},
+    )
+    bdw = run_machine(
+        "dual Broadwell", broadwell_duo(),
+        {1: (1, 2, 4, 8, 16, 32, 64), 8: (1, 2, 4, 8), 27: (1, 2)},
+    )
+
+    print(E.fig8(bdw).render())
+    print()
+    print(E.fig9(knl).render())
+    print()
+    fig10 = E.fig10(knl)
+    print(fig10.render())
+    print()
+
+    # Section 8 future work: restrain parallelism per section.
+    curves = {lab: knl.section_series(lab, 1)
+              for lab in ("LagrangeNodal", "LagrangeElements")}
+    adv = AdaptiveAdvisor(curves)
+    uniform = max(knl.thread_counts(1))
+    plans = adv.plan(uniform)
+    print(format_dict_rows(
+        [{"section": p.label, "best_threads": p.best_threads,
+          "uniform_time": p.uniform_time, "best_time": p.best_time,
+          "over_parallelised": p.over_parallelised} for p in plans],
+        title=f"adaptive advisor vs a uniform {uniform}-thread team (KNL, p=1)",
+    ))
+    print(f"\npredicted walltime recovered by per-section thread caps: "
+          f"{100 * adv.predicted_gain(uniform):.1f} %")

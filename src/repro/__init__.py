@@ -1,0 +1,25 @@
+"""repro — reproduction of *Towards a Better Expressiveness of the Speedup
+Metric in MPI Context* (Besnard et al., ICPP Workshops 2017).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.machine` — parameterised machine models (the paper's Nehalem
+  cluster, Intel KNL and dual-Broadwell nodes);
+* :mod:`repro.simmpi` — a deterministic virtual-time MPI runtime carrying
+  real NumPy payloads, with the paper's ``MPI_Section`` interface and a
+  PMPI-style tool layer;
+* :mod:`repro.omp` — a simulated OpenMP runtime (fork/join cost model over
+  real chunked work) for the MPI+X experiments;
+* :mod:`repro.core` — the paper's contribution: speedup laws, partial
+  speedup bounding, inflexion-point detection, section metrics and the
+  scalability analyses of Section 5;
+* :mod:`repro.tools` — profiling tools built on the section callbacks;
+* :mod:`repro.workloads` — the convolution benchmark and the LULESH-like
+  MPI+OpenMP proxy;
+* :mod:`repro.harness` — sweep runner and one entry point per paper
+  table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

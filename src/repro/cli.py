@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage (module form, no console-script assumptions)::
+
+    python -m repro.cli list
+    python -m repro.cli table7
+    python -m repro.cli fig5a --reps 2 --steps 60
+    python -m repro.cli fig9 --steps 8
+    python -m repro.cli fig10 --steps 10
+
+Convolution experiments (fig5*, fig6) run the strong-scaling sweep once
+and reuse it across the artifacts requested in a single invocation;
+Lulesh experiments (fig8/9/10) run the corresponding machine grid.
+Outputs are printed and optionally written with ``--out DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List
+
+from repro.harness import experiments as E
+from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
+from repro.harness.sweeps import (
+    default_convolution_sweep,
+    fig6_process_counts,
+    paper_lulesh_sweep,
+)
+
+_CONV_EXPERIMENTS = ("fig5a", "fig5b", "fig5c", "fig5d", "fig6")
+_KNL_EXPERIMENTS = ("fig9", "fig10")
+_BDW_EXPERIMENTS = ("fig8",)
+_STANDALONE = ("table7",)
+
+#: Figure 7 sides holding the paper's element count fixed.
+_PAPER_SIDES = {1: 48, 8: 24, 27: 16, 64: 12}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (fig5a..fig10, table7, fig6), 'all', or 'list'",
+    )
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per sweep point (paper: 20)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override workload time steps")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the sweep base seed")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to write <exp>.txt artifacts into")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only PASS/FAIL per experiment")
+    parser.add_argument("--save-baseline", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="write <exp>.baseline.json snapshots into DIR")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="compare results against snapshots in DIR; "
+                             "regressions fail the run")
+    return parser
+
+
+def _emit(result, args) -> bool:
+    from repro.harness.baseline import compare_to_baseline, save_baseline
+
+    text = result.render()
+    if args.quiet:
+        print(f"{result.exp_id}: {'PASS' if result.passed else 'FAIL'}")
+    else:
+        print(text)
+        print()
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{result.exp_id}.txt").write_text(text + "\n")
+    ok = result.passed
+    if args.save_baseline is not None:
+        args.save_baseline.mkdir(parents=True, exist_ok=True)
+        path = args.save_baseline / f"{result.exp_id}.baseline.json"
+        path.write_text(save_baseline(result))
+        print(f"baseline saved: {path}")
+    if args.baseline is not None:
+        path = args.baseline / f"{result.exp_id}.baseline.json"
+        if not path.exists():
+            print(f"{result.exp_id}: no baseline at {path}", file=sys.stderr)
+            ok = False
+        else:
+            diff = compare_to_baseline(result, path.read_text())
+            print(diff.render())
+            ok = ok and diff.ok
+    return ok
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    wanted = list(dict.fromkeys(args.experiments))  # dedupe, keep order
+
+    if wanted == ["list"]:
+        for exp_id in E.ALL_EXPERIMENTS:
+            print(exp_id)
+        return 0
+    if "all" in wanted:
+        wanted = list(E.ALL_EXPERIMENTS)
+
+    unknown = [w for w in wanted if w not in E.ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    ok = True
+    progress = None if args.quiet else print
+
+    conv_wanted = [w for w in wanted if w in _CONV_EXPERIMENTS]
+    if conv_wanted:
+        sweep = default_convolution_sweep()
+        object.__setattr__(sweep, "reps", args.reps)
+        if args.steps is not None:
+            object.__setattr__(
+                sweep, "config", sweep.config.__class__(
+                    height=sweep.config.height, width=sweep.config.width,
+                    steps=args.steps,
+                )
+            )
+        if args.seed is not None:
+            object.__setattr__(sweep, "base_seed", args.seed)
+        profile = run_convolution_sweep(sweep, progress=progress)
+        for exp_id in conv_wanted:
+            if exp_id == "fig6":
+                result = E.fig6(profile, fig6_process_counts())
+            else:
+                result = E.ALL_EXPERIMENTS[exp_id](profile)
+            ok &= _emit(result, args)
+
+    for machine, exp_ids in (("knl", _KNL_EXPERIMENTS), ("broadwell", _BDW_EXPERIMENTS)):
+        hits = [w for w in wanted if w in exp_ids]
+        if not hits:
+            continue
+        sweep = paper_lulesh_sweep(machine, steps=args.steps or 10)
+        object.__setattr__(sweep, "reps", max(1, args.reps // 2))
+        if args.seed is not None:
+            object.__setattr__(sweep, "base_seed", args.seed)
+        analysis, drifts = run_lulesh_grid(sweep, progress=progress,
+                                           sides=_PAPER_SIDES)
+        if max(drifts.values()) > 1e-10:
+            print("warning: energy conservation drifted", file=sys.stderr)
+        for exp_id in hits:
+            ok &= _emit(E.ALL_EXPERIMENTS[exp_id](analysis), args)
+
+    for exp_id in (w for w in wanted if w in _STANDALONE):
+        ok &= _emit(E.table7(), args)
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

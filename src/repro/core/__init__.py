@@ -1,0 +1,106 @@
+"""The paper's contribution: speedup laws, partial speedup bounding,
+inflexion-point detection, and section-based scalability analysis.
+
+Layer map (bottom → top):
+
+* :mod:`~repro.core.speedup` — the classical laws Section 2 builds on
+  (Speedup, efficiency, Amdahl, Gustafson–Barsis, Karp–Flatt) plus fits;
+* :mod:`~repro.core.bounding` — Equations 3–6: the per-section partial
+  speedup bound ``B_i(p) = T_seq * p / T_i_total(p)``;
+* :mod:`~repro.core.inflexion` — detection of the point where a section's
+  time stops decreasing (the paper's "parallelism budget exhausted");
+* :mod:`~repro.core.metrics` — Figure 3's derived per-instance metrics
+  (Tmin, Tin, Tout, Tsection, Tmax, entry/aggregate imbalance);
+* :mod:`~repro.core.sections` — reconstruction of section instances and
+  per-rank inclusive/exclusive times from the runtime event stream;
+* :mod:`~repro.core.profile` — per-run and cross-run profile containers;
+* :mod:`~repro.core.analysis` — the Section 5 analyses (breakdowns,
+  bound tables, hybrid MPI×OpenMP grids);
+* :mod:`~repro.core.report` — plain-text tables/series for the benches.
+"""
+
+from repro.core.speedup import (
+    speedup,
+    efficiency,
+    amdahl_speedup,
+    amdahl_limit,
+    gustafson_speedup,
+    karp_flatt,
+    serial_fraction_from_speedup,
+    fit_amdahl,
+)
+from repro.core.bounding import (
+    partial_bound,
+    partial_bound_from_total,
+    modeled_speedup,
+    BoundEntry,
+    SpeedupBounder,
+)
+from repro.core.inflexion import InflexionPoint, find_inflexion
+from repro.core.metrics import SectionInstanceTiming
+from repro.core.sections import (
+    SectionInstance,
+    build_instances,
+    rank_section_times,
+)
+from repro.core.profile import SectionProfile, ScalingProfile
+from repro.core.analysis import ScalingAnalysis, HybridAnalysis
+from repro.core.models import (
+    PowerLawFit,
+    fit_power_law,
+    SectionScalingModel,
+    USLFit,
+    fit_usl,
+    fit_usl_profile,
+)
+from repro.core.jitter import JitterReport, analyze_jitter
+from repro.core.export import (
+    profile_to_json,
+    profile_from_json,
+    scaling_to_json,
+    scaling_from_json,
+    profile_to_csv,
+    scaling_to_csv,
+    events_to_csv,
+)
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "amdahl_speedup",
+    "amdahl_limit",
+    "gustafson_speedup",
+    "karp_flatt",
+    "serial_fraction_from_speedup",
+    "fit_amdahl",
+    "partial_bound",
+    "partial_bound_from_total",
+    "modeled_speedup",
+    "BoundEntry",
+    "SpeedupBounder",
+    "InflexionPoint",
+    "find_inflexion",
+    "SectionInstanceTiming",
+    "SectionInstance",
+    "build_instances",
+    "rank_section_times",
+    "SectionProfile",
+    "ScalingProfile",
+    "ScalingAnalysis",
+    "HybridAnalysis",
+    "PowerLawFit",
+    "fit_power_law",
+    "SectionScalingModel",
+    "USLFit",
+    "fit_usl",
+    "fit_usl_profile",
+    "profile_to_json",
+    "profile_from_json",
+    "scaling_to_json",
+    "scaling_from_json",
+    "profile_to_csv",
+    "scaling_to_csv",
+    "events_to_csv",
+    "JitterReport",
+    "analyze_jitter",
+]

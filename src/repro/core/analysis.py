@@ -1,0 +1,335 @@
+"""Section-based scalability analyses (the paper's Section 5).
+
+Two analysis drivers:
+
+* :class:`ScalingAnalysis` — one scale axis (MPI processes), producing the
+  Figure 5 breakdowns, the Figure 6 bound table and speedup/bound overlays;
+* :class:`HybridAnalysis` — a (processes × threads) grid, producing the
+  Figures 8–10 views: per-section time vs thread count at fixed process
+  count, pure-OpenMP speedup curves, inflexion points and the bounds they
+  imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.core.bounding import BoundEntry, SpeedupBounder
+from repro.core.inflexion import InflexionPoint, find_inflexion
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.core.speedup import fit_amdahl, karp_flatt
+
+
+class ScalingAnalysis:
+    """Cross-scale analysis of one :class:`ScalingProfile`.
+
+    The sequential reference is the profile's scale-1 walltime, exactly
+    as the paper uses the 5589.84 s sequential convolution run.
+    """
+
+    def __init__(self, profile: ScalingProfile):
+        self.profile = profile
+        self.bounder = SpeedupBounder(profile.sequential_time())
+
+    # -- Figure 5(a): percentage of execution per section -------------------------
+
+    def breakdown_rows(self, labels: Optional[Sequence[str]] = None) -> List[dict]:
+        """One row per scale: ``{scale, <label>: percent, ...}``."""
+        labels = list(labels) if labels else self.profile.labels()
+        rows = []
+        for scale in self.profile.scales():
+            row: dict = {self.profile.scale_name: scale}
+            for label in labels:
+                try:
+                    row[label] = self.profile.mean_percent(label, scale)
+                except AnalysisError:
+                    row[label] = 0.0
+            rows.append(row)
+        return rows
+
+    # -- Figure 5(b)/(c): totals and per-process averages ---------------------------
+
+    def totals_rows(self, labels: Optional[Sequence[str]] = None) -> List[dict]:
+        """One row per scale with cross-process total time per label."""
+        return self._time_rows(labels, per_process=False)
+
+    def averages_rows(self, labels: Optional[Sequence[str]] = None) -> List[dict]:
+        """One row per scale with per-process average time per label."""
+        return self._time_rows(labels, per_process=True)
+
+    def _time_rows(self, labels: Optional[Sequence[str]], per_process: bool) -> List[dict]:
+        labels = list(labels) if labels else self.profile.labels()
+        rows = []
+        for scale in self.profile.scales():
+            row: dict = {self.profile.scale_name: scale}
+            for label in labels:
+                try:
+                    row[label] = (
+                        self.profile.mean_avg_per_process(label, scale)
+                        if per_process
+                        else self.profile.mean_total(label, scale)
+                    )
+                except AnalysisError:
+                    row[label] = 0.0
+            rows.append(row)
+        return rows
+
+    # -- Figure 5(d): measured speedup + partial bounds ------------------------------
+
+    def speedup_rows(self, bound_label: Optional[str] = None) -> List[dict]:
+        """Measured speedup per scale, optionally with the partial bound
+        derived from ``bound_label``'s section time at that scale."""
+        rows = []
+        for scale in self.profile.scales():
+            row: dict = {
+                self.profile.scale_name: scale,
+                "speedup": self.profile.speedup(scale),
+                "efficiency": self.profile.speedup(scale) / scale,
+            }
+            if bound_label is not None:
+                row["bound"] = ""
+                if scale > 1:
+                    total = self.profile.mean_total(bound_label, scale)
+                    if total > 0:
+                        row["bound"] = self.bounder.bound(
+                            bound_label, scale, total
+                        ).bound
+            rows.append(row)
+        return rows
+
+    # -- Figure 6: the bound table ----------------------------------------------------
+
+    def bound_table(
+        self, label: str, scales: Optional[Sequence[int]] = None
+    ) -> List[BoundEntry]:
+        """Partial speedup bounds from ``label``'s cross-process totals."""
+        scales = list(scales) if scales else [s for s in self.profile.scales() if s > 1]
+        totals = {}
+        for s in scales:
+            total = self.profile.mean_total(label, s)
+            if total <= 0:
+                raise AnalysisError(
+                    f"section {label!r} has no time at {self.profile.scale_name}={s}"
+                )
+            totals[s] = total
+        return self.bounder.table(label, totals)
+
+    def binding_sections(self) -> Dict[int, BoundEntry]:
+        """Per scale, the section imposing the tightest bound (excluding
+        the whole-run MPI_MAIN wrapper)."""
+        out = {}
+        for scale in self.profile.scales():
+            if scale == 1:
+                continue
+            totals = {}
+            for label in self.profile.labels():
+                if label == "MPI_MAIN":
+                    continue
+                t = self.profile.mean_total(label, scale)
+                if t > 0:
+                    totals[label] = t
+            if totals:
+                out[scale] = self.bounder.binding_section(scale, totals)
+        return out
+
+    # -- classical-law cross-checks ---------------------------------------------------
+
+    def karp_flatt_rows(self) -> List[dict]:
+        """Experimentally determined serial fraction per scale."""
+        rows = []
+        for scale in self.profile.scales():
+            if scale < 2:
+                continue
+            rows.append(
+                {
+                    self.profile.scale_name: scale,
+                    "karp_flatt": karp_flatt(self.profile.speedup(scale), scale),
+                }
+            )
+        return rows
+
+    def amdahl_fit(self) -> Tuple[float, float]:
+        """Fit Amdahl's law over the measured speedups; returns (fs, rmse)."""
+        xs, ss = self.profile.speedup_series()
+        pts = [(x, s) for x, s in zip(xs, ss) if x > 1]
+        if len(pts) < 2:
+            raise InsufficientDataError("need >= 2 parallel scales for a fit")
+        return fit_amdahl([x for x, _ in pts], [s for _, s in pts])
+
+    # -- inflexion ----------------------------------------------------------------------
+
+    def inflexion(self, label: str, rel_tol: float = 0.05) -> Optional[InflexionPoint]:
+        """Inflexion point of ``label``'s per-process-average curve."""
+        xs, ts = self.profile.avg_series(label)
+        pairs = [(x, t) for x, t in zip(xs, ts) if t > 0]
+        if len(pairs) < 2:
+            raise InsufficientDataError(f"not enough data for {label!r}")
+        return find_inflexion([x for x, _ in pairs], [t for _, t in pairs], rel_tol)
+
+
+@dataclass(frozen=True)
+class HybridPoint:
+    """One (process count, thread count) configuration."""
+
+    p: int
+    threads: int
+
+
+class HybridAnalysis:
+    """Analysis over an MPI×OpenMP configuration grid (Figures 8–10).
+
+    Populate with :meth:`add` for every (p, threads) run, then query
+    per-section thread-scaling series at fixed p.  The "sequential"
+    reference for hybrid speedups is the (p=1, threads=1) walltime,
+    matching Figure 10's "Speedup (from sequential)" axis.
+    """
+
+    def __init__(self):
+        self._runs: Dict[HybridPoint, List[SectionProfile]] = {}
+
+    def add(self, p: int, threads: int, profile: SectionProfile) -> None:
+        """Record a run at (p, threads)."""
+        if p < 1 or threads < 1:
+            raise AnalysisError(f"invalid configuration p={p}, threads={threads}")
+        self._runs.setdefault(HybridPoint(p, threads), []).append(profile)
+
+    # -- structure ------------------------------------------------------------------
+
+    def process_counts(self) -> List[int]:
+        """Distinct MPI process counts in the grid."""
+        return sorted({pt.p for pt in self._runs})
+
+    def thread_counts(self, p: int) -> List[int]:
+        """Thread counts sampled at process count ``p``."""
+        return sorted({pt.threads for pt in self._runs if pt.p == p})
+
+    def runs(self, p: int, threads: int) -> List[SectionProfile]:
+        """All repetitions at (p, threads)."""
+        try:
+            return self._runs[HybridPoint(p, threads)]
+        except KeyError:
+            raise InsufficientDataError(
+                f"no runs at p={p}, threads={threads}"
+            ) from None
+
+    # -- aggregates -----------------------------------------------------------------
+
+    def mean_walltime(self, p: int, threads: int) -> float:
+        """Mean walltime at (p, threads)."""
+        return float(np.mean([r.walltime for r in self.runs(p, threads)]))
+
+    def mean_avg_section(self, label: str, p: int, threads: int) -> float:
+        """Mean per-process-average time of ``label`` at (p, threads)."""
+        return float(
+            np.mean([r.avg_per_process(label) for r in self.runs(p, threads)])
+        )
+
+    def sequential_time(self) -> float:
+        """Walltime of the (1, 1) configuration — the Speedup numerator."""
+        return self.mean_walltime(1, 1)
+
+    def speedup(self, p: int, threads: int) -> float:
+        """Hybrid speedup relative to (1, 1)."""
+        return self.sequential_time() / self.mean_walltime(p, threads)
+
+    # -- Figures 8/9: section time vs threads at fixed p ---------------------------------
+
+    def section_series(self, label: str, p: int) -> Tuple[List[int], List[float]]:
+        """(threads, mean per-process section time) at fixed ``p``."""
+        ts = self.thread_counts(p)
+        if not ts:
+            raise InsufficientDataError(f"no runs at p={p}")
+        return ts, [self.mean_avg_section(label, p, t) for t in ts]
+
+    def walltime_series(self, p: int) -> Tuple[List[int], List[float]]:
+        """(threads, mean walltime) at fixed ``p``."""
+        ts = self.thread_counts(p)
+        if not ts:
+            raise InsufficientDataError(f"no runs at p={p}")
+        return ts, [self.mean_walltime(p, t) for t in ts]
+
+    def speedup_series(self, p: int) -> Tuple[List[int], List[float]]:
+        """(threads, speedup from sequential) at fixed ``p`` (Figure 10)."""
+        ts = self.thread_counts(p)
+        return ts, [self.speedup(p, t) for t in ts]
+
+    def efficiency(self, p: int, threads: int) -> float:
+        """Hybrid parallel efficiency: speedup over total cores used."""
+        return self.speedup(p, threads) / (p * threads)
+
+    def best_configuration(self) -> Tuple[int, int, float]:
+        """(p, threads, walltime) of the fastest sampled configuration —
+        "the most efficient point of execution" the paper's conclusion
+        says sections pinpoint."""
+        best = min(
+            (
+                (self.mean_walltime(p, t), p, t)
+                for p in self.process_counts()
+                for t in self.thread_counts(p)
+            ),
+        )
+        return best[1], best[2], best[0]
+
+    def efficiency_surface(self) -> List[dict]:
+        """One row per configuration: walltime, speedup, efficiency.
+
+        The tabular form of Figures 8/9 with the derived metrics a user
+        needs to pick an allocation.
+        """
+        rows = []
+        for p in self.process_counts():
+            for t in self.thread_counts(p):
+                rows.append(
+                    {
+                        "p": p,
+                        "threads": t,
+                        "cores": p * t,
+                        "walltime": self.mean_walltime(p, t),
+                        "speedup": self.speedup(p, t),
+                        "efficiency": self.efficiency(p, t),
+                    }
+                )
+        return rows
+
+    # -- Figure 10: inflexion + the bounds it implies ---------------------------------------
+
+    def inflexion(
+        self, label: str, p: int, rel_tol: float = 0.05
+    ) -> Optional[InflexionPoint]:
+        """Inflexion point of ``label``'s thread-scaling curve at ``p``."""
+        ts, times = self.section_series(label, p)
+        pairs = [(t, x) for t, x in zip(ts, times) if x > 0]
+        if len(pairs) < 2:
+            raise InsufficientDataError(f"not enough thread points for {label!r}")
+        return find_inflexion([t for t, _ in pairs], [x for _, x in pairs], rel_tol)
+
+    def bound_from_sections(
+        self, labels: Sequence[str], p: int, threads: int
+    ) -> float:
+        """Partial bound from a set of sections at one configuration.
+
+        The paper's KNL computation: ``S <= Ts / sum_i T_i(p)`` with Ts the
+        sequential walltime and T_i the per-process section times — e.g.
+        ``882.48 / (43.84 + 64.29) = 8.16``.
+        """
+        denom = sum(self.mean_avg_section(lab, p, threads) for lab in labels)
+        if denom <= 0:
+            raise AnalysisError("selected sections have no time at this configuration")
+        return self.sequential_time() / denom
+
+    def bound_at_inflexion(
+        self, label: str, p: int, rel_tol: float = 0.05
+    ) -> Optional[Tuple[InflexionPoint, float]]:
+        """The section's inflexion point and the bound implied there.
+
+        Returns None when the section never stops accelerating over the
+        sampled thread range.
+        """
+        pt = self.inflexion(label, p, rel_tol)
+        if pt is None:
+            return None
+        return pt, self.sequential_time() / pt.time

@@ -1,0 +1,155 @@
+"""Partial speedup bounding — Equations 3–6, the paper's core idea.
+
+Model the application as a sum of per-section contributed times
+``f_i(n, p)`` (Eq. 3).  Under strong scaling (fixed ``n0``) the speedup is
+
+    S(n0, p) <= sum_i f_i(n0, 1) / sum_i f_i(n0, p)          (Eq. 5)
+
+and, because the denominator is a sum of positive terms, **every single
+section bounds it on its own** (Eq. 6)::
+
+    for all i:   S(n0, p) <= sum_j f_j(n0, 1) / f_i(n0, p)
+
+The paper evaluates the bound with the *average per-process* section time
+(Figure 6: ``B(64) = 5589.84 / (3025.44 / 64) = 118.25``): the ``f_i`` are
+totals contributed across processes, so the total section time divided by
+``p``... equivalently ``B = T_seq * p / T_i_total(p)``.  Both entry points
+are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ModelDomainError
+
+
+def partial_bound(seq_total_time: float, section_avg_time: float) -> float:
+    """Eq. 6 with the average per-process section time (the paper's form).
+
+    ``B(p) = T_seq / avg_section_time(p)``.
+    """
+    if seq_total_time < 0:
+        raise ModelDomainError(f"sequential time must be >= 0, got {seq_total_time}")
+    if section_avg_time <= 0:
+        raise ModelDomainError(
+            f"section time must be > 0, got {section_avg_time}"
+        )
+    return seq_total_time / section_avg_time
+
+
+def partial_bound_from_total(
+    seq_total_time: float, section_total_time: float, p: int
+) -> float:
+    """Eq. 6 with the cross-process total section time:
+    ``B(p) = T_seq * p / T_i_total(p)``."""
+    if p < 1:
+        raise ModelDomainError(f"p must be >= 1, got {p}")
+    return partial_bound(seq_total_time, section_total_time / p)
+
+
+def modeled_speedup(
+    seq_times: Mapping[str, float], par_avg_times: Mapping[str, float]
+) -> float:
+    """Eq. 5: speedup predicted from per-section time decompositions.
+
+    ``seq_times`` maps section label → sequential time; ``par_avg_times``
+    maps label → average per-process time at the target scale.  Labels
+    present on only one side contribute only to that side, mirroring
+    sections that vanish (e.g. HALO at p=1, where its time is zero).
+    """
+    num = sum(seq_times.values())
+    den = sum(par_avg_times.values())
+    if den <= 0:
+        raise ModelDomainError("parallel decomposition sums to a non-positive time")
+    return num / den
+
+
+@dataclass(frozen=True)
+class BoundEntry:
+    """One row of a Figure 6–style bound table."""
+
+    p: int
+    label: str
+    total_time: float
+    avg_time: float
+    bound: float
+
+    def caps(self, measured_speedup: float, slack: float = 1.0) -> bool:
+        """Whether this bound is respected by a measured speedup
+        (``measured <= bound * slack``)."""
+        return measured_speedup <= self.bound * slack
+
+
+class SpeedupBounder:
+    """Derives per-section partial bounds from profile data.
+
+    Parameters
+    ----------
+    seq_total_time:
+        Total sequential execution time ``sum_i f_i(n0, 1)`` — in the
+        paper, the walltime of the p=1 run (5589.84 s for the
+        convolution benchmark).
+    """
+
+    def __init__(self, seq_total_time: float):
+        if seq_total_time <= 0:
+            raise ModelDomainError(
+                f"sequential total time must be > 0, got {seq_total_time}"
+            )
+        self.seq_total_time = seq_total_time
+
+    def bound(self, label: str, p: int, section_total_time: float) -> BoundEntry:
+        """Bound implied by one section's cross-process total at scale p."""
+        avg = section_total_time / p
+        return BoundEntry(
+            p=p,
+            label=label,
+            total_time=section_total_time,
+            avg_time=avg,
+            bound=partial_bound(self.seq_total_time, avg),
+        )
+
+    def table(
+        self, label: str, totals_by_p: Mapping[int, float]
+    ) -> List[BoundEntry]:
+        """Figure 6: one :class:`BoundEntry` per process count."""
+        return [
+            self.bound(label, p, totals_by_p[p]) for p in sorted(totals_by_p)
+        ]
+
+    def binding_section(
+        self, p: int, section_totals: Mapping[str, float]
+    ) -> BoundEntry:
+        """The section imposing the *tightest* bound at scale ``p``.
+
+        This is the diagnosis the paper aims at: the region to blame for
+        a saturating speedup.
+        """
+        if not section_totals:
+            raise ModelDomainError("no section data supplied")
+        entries = [
+            self.bound(label, p, total) for label, total in section_totals.items()
+        ]
+        return min(entries, key=lambda e: e.bound)
+
+    def verify(
+        self,
+        measured: Mapping[int, float],
+        section_totals: Mapping[int, Mapping[str, float]],
+        slack: float = 1.05,
+    ) -> Dict[int, List[str]]:
+        """Check Eq. 6 on measured data: every section bound must be >=
+        the measured speedup (up to ``slack`` for timing noise).
+
+        Returns a dict of violations (p → offending labels); empty if the
+        theorem holds on the data.
+        """
+        violations: Dict[int, List[str]] = {}
+        for p, s_meas in measured.items():
+            for label, total in section_totals.get(p, {}).items():
+                entry = self.bound(label, p, total)
+                if not entry.caps(s_meas, slack):
+                    violations.setdefault(p, []).append(label)
+        return violations

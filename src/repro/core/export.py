@@ -1,0 +1,172 @@
+"""Profile and trace (de)serialisation: CSV and JSON interchange.
+
+Profiling data should outlive the Python session that produced it —
+sweeps take minutes, analyses are cheap and iterated.  This module
+round-trips the two primary containers:
+
+* :class:`~repro.core.profile.SectionProfile` ↔ JSON (full fidelity,
+  including per-rank inclusive/exclusive maps and metadata);
+* :class:`~repro.core.profile.ScalingProfile` ↔ JSON (a list of
+  per-scale profiles);
+* flat CSV exports of per-section totals and of raw section events, for
+  spreadsheet/pandas consumption (one-way; CSV drops structure).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List
+
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.core.sections import PathTimes
+from repro.errors import AnalysisError
+from repro.simmpi.sections_rt import SectionEvent
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip
+# ---------------------------------------------------------------------------
+
+def profile_to_dict(profile: SectionProfile) -> dict:
+    """Lossless dict form of a profile (JSON-serialisable)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "n_ranks": profile.n_ranks,
+        "walltime": profile.walltime,
+        "seed": profile.seed,
+        "meta": profile.meta,
+        "paths": [
+            {
+                "path": list(path),
+                "inclusive": {str(r): t for r, t in pt.inclusive.items()},
+                "exclusive": {str(r): t for r, t in pt.exclusive.items()},
+                "count": {str(r): c for r, c in pt.count.items()},
+            }
+            for path, pt in sorted(profile.per_path.items())
+        ],
+    }
+
+
+def profile_from_dict(data: dict) -> SectionProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported profile format version {data.get('version')!r}"
+        )
+    per_path = {}
+    for entry in data["paths"]:
+        path = tuple(entry["path"])
+        per_path[path] = PathTimes(
+            path,
+            {int(r): t for r, t in entry["inclusive"].items()},
+            {int(r): t for r, t in entry["exclusive"].items()},
+            {int(r): c for r, c in entry["count"].items()},
+        )
+    return SectionProfile(
+        n_ranks=data["n_ranks"],
+        walltime=data["walltime"],
+        per_path=per_path,
+        seed=data.get("seed", 0),
+        meta=data.get("meta", {}),
+    )
+
+
+def profile_to_json(profile: SectionProfile, indent: int | None = None) -> str:
+    """JSON text of one profile."""
+    return json.dumps(profile_to_dict(profile), indent=indent)
+
+
+def profile_from_json(text: str) -> SectionProfile:
+    """Parse :func:`profile_to_json` output."""
+    return profile_from_dict(json.loads(text))
+
+
+def scaling_to_json(profile: ScalingProfile, indent: int | None = None) -> str:
+    """JSON text of a whole sweep."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "scale_name": profile.scale_name,
+        "runs": [
+            {"scale": scale, "profile": profile_to_dict(run)}
+            for scale in profile.scales()
+            for run in profile.runs(scale)
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def scaling_from_json(text: str) -> ScalingProfile:
+    """Parse :func:`scaling_to_json` output."""
+    data = json.loads(text)
+    if data.get("version") != _FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported sweep format version {data.get('version')!r}"
+        )
+    out = ScalingProfile(data.get("scale_name", "p"))
+    for entry in data["runs"]:
+        out.add(entry["scale"], profile_from_dict(entry["profile"]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CSV (one-way, flat)
+# ---------------------------------------------------------------------------
+
+def profile_to_csv(profile: SectionProfile) -> str:
+    """Per-(path, rank) rows: inclusive/exclusive seconds and counts."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["path", "label", "rank", "inclusive_s", "exclusive_s", "count"])
+    for path in profile.paths():
+        pt = profile.per_path[path]
+        for rank in sorted(pt.inclusive):
+            writer.writerow([
+                "/".join(path), path[-1], rank,
+                repr(pt.inclusive[rank]), repr(pt.exclusive[rank]),
+                pt.count[rank],
+            ])
+    return buf.getvalue()
+
+
+def scaling_to_csv(profile: ScalingProfile) -> str:
+    """Per-(scale, label) aggregate rows of a sweep."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([
+        profile.scale_name, "label", "reps", "mean_total_s",
+        "mean_avg_per_process_s", "mean_percent",
+    ])
+    for scale in profile.scales():
+        for label in profile.labels():
+            try:
+                total = profile.mean_total(label, scale)
+            except AnalysisError:
+                continue
+            writer.writerow([
+                scale, label, profile.reps(scale), repr(total),
+                repr(profile.mean_avg_per_process(label, scale)),
+                repr(profile.mean_percent(label, scale)),
+            ])
+    return buf.getvalue()
+
+
+def events_to_csv(events: Iterable[SectionEvent]) -> str:
+    """Raw event stream as CSV (rank, comm, label, kind, time, path)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["rank", "comm_id", "label", "kind", "time_s", "path"])
+    for ev in events:
+        writer.writerow([
+            ev.rank, repr(ev.comm_id), ev.label, ev.kind, repr(ev.time),
+            "/".join(ev.path),
+        ])
+    return buf.getvalue()
+
+
+def read_csv_rows(text: str) -> List[dict]:
+    """Parse any of the CSV exports back into a list of dicts (strings)."""
+    return list(csv.DictReader(io.StringIO(text)))

@@ -1,0 +1,115 @@
+"""Inflexion-point detection.
+
+Section 5.2 of the paper: *"Lagrangian code sections first decrease in
+time up to a point (at 24 threads) where their duration starts to
+increase.  At this very point, that we denote as the inflexion point, the
+parallel overhead associated with the addition of a new thread starts to
+dominate."*  Any section past its inflexion point immediately defines an
+upper bound on the achievable speedup (via Eq. 6) — well before the
+Amdahl asymptote.
+
+The detector works on a sampled scaling curve ``(p_k, t_k)``: it finds
+the first scale at which the time stops improving by more than a noise
+tolerance and never meaningfully improves afterwards (so a single noisy
+bump does not trigger a false inflexion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import InsufficientDataError, ModelDomainError
+
+
+@dataclass(frozen=True)
+class InflexionPoint:
+    """A detected inflexion on a section scaling curve.
+
+    Attributes
+    ----------
+    p:
+        Scale (process or thread count) at the inflexion.
+    time:
+        Section time at the inflexion.
+    index:
+        Index into the input series.
+    exhausted:
+        True if the curve actually *increases* afterwards (parallelism
+        budget exhausted), False if it merely plateaus.
+    """
+
+    p: int
+    time: float
+    index: int
+    exhausted: bool
+
+
+def find_inflexion(
+    ps: Sequence[int],
+    times: Sequence[float],
+    rel_tol: float = 0.02,
+) -> Optional[InflexionPoint]:
+    """Locate the inflexion point of a scaling curve, if any.
+
+    Parameters
+    ----------
+    ps, times:
+        Scale points (strictly increasing) and section times.
+    rel_tol:
+        Relative improvement below which a step counts as "no longer
+        accelerating" (absorbs measurement noise).
+
+    Returns
+    -------
+    The inflexion point, or None if the section keeps accelerating over
+    the whole sampled range.
+    """
+    if len(ps) != len(times):
+        raise InsufficientDataError("ps and times must have equal length")
+    if len(ps) < 2:
+        raise InsufficientDataError("need at least two scaling points")
+    for a, b in zip(ps, ps[1:]):
+        if b <= a:
+            raise ModelDomainError(f"scales must be strictly increasing, got {list(ps)}")
+    for t in times:
+        if t <= 0:
+            raise ModelDomainError(f"section times must be > 0, got {list(times)}")
+
+    # The candidate inflexion is the global minimum (with tolerance: the
+    # earliest point within rel_tol of the minimum, so a flat valley
+    # reports its first scale — the cheapest configuration that achieves
+    # the best time, which is what a user should run).
+    tmin = min(times)
+    idx = next(i for i, t in enumerate(times) if t <= tmin * (1.0 + rel_tol))
+    if idx == len(times) - 1:
+        # Still improving (or improving into the last point): the sampled
+        # range shows no inflexion unless the last step was itself flat.
+        prev = times[idx - 1]
+        if times[idx] >= prev * (1.0 - rel_tol):
+            return InflexionPoint(ps[idx], times[idx], idx, exhausted=False)
+        return None
+    # Exhausted if the curve later rises clearly above the valley.
+    later_max = max(times[idx + 1 :])
+    exhausted = later_max > times[idx] * (1.0 + rel_tol)
+    return InflexionPoint(ps[idx], times[idx], idx, exhausted=exhausted)
+
+
+def bound_at_inflexion(
+    seq_total_time: float,
+    ps: Sequence[int],
+    times: Sequence[float],
+    rel_tol: float = 0.02,
+) -> Optional[float]:
+    """Partial speedup bound evaluated at the section's inflexion point.
+
+    Returns ``T_seq / t(inflexion)`` (the per-process time form used in
+    the paper's KNL analysis: ``882.48 / 64.29 = 13.72x``), or None when
+    no inflexion is found.
+    """
+    pt = find_inflexion(ps, times, rel_tol)
+    if pt is None:
+        return None
+    if seq_total_time <= 0:
+        raise ModelDomainError("sequential total time must be > 0")
+    return seq_total_time / pt.time

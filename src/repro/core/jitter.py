@@ -1,0 +1,103 @@
+"""Jitter-accumulation analysis over section instances.
+
+Section 5.1 of the paper attributes the growing, noisy communication
+totals to *"the decreasing computation time which does not recover
+communication jitter, leading to an accumulation of this variability
+when doing the 1000 time-steps"*.  This module turns that hypothesis
+into a measurable diagnosis: given the ordered instances of a repeated
+section (e.g. HALO over the time-step loop), it quantifies
+
+* the per-instance entry imbalance distribution (how staggered each
+  step's entry is);
+* the *drift* of cumulative lateness — a desynchronisation that behaves
+  like a random walk grows ~ sqrt(step) when uncorrected, while
+  a well-synchronised loop (implicit barriers) stays flat;
+* the fraction of the section's total time explainable by jitter
+  (imbalance) rather than by payload transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.errors import InsufficientDataError
+
+
+@dataclass(frozen=True)
+class JitterReport:
+    """Accumulation diagnosis for one repeated section."""
+
+    label: str
+    instances: int
+    #: Mean / max per-instance entry imbalance (Tin spread).
+    mean_entry_imbalance: float
+    max_entry_imbalance: float
+    #: Mean per-instance aggregate imbalance (Figure 3's imb).
+    mean_imbalance: float
+    #: Total time attributable to imbalance across instances.
+    imbalance_time: float
+    #: Total span time of the section across instances.
+    span_time: float
+    #: Ratio of entry-spread in the last quarter of instances to the
+    #: first quarter: > 1 means desynchronisation accumulates over the
+    #: loop (the paper's hypothesis), ~1 means the loop re-synchronises.
+    drift_ratio: float
+
+    @property
+    def jitter_fraction(self) -> float:
+        """Share of the section's span lost to imbalance (0..1)."""
+        if self.span_time <= 0:
+            return 0.0
+        return min(1.0, self.imbalance_time / self.span_time)
+
+    @property
+    def accumulating(self) -> bool:
+        """Whether desynchronisation grows over the loop (ratio > 1.5)."""
+        return self.drift_ratio > 1.5
+
+
+def analyze_jitter(instances: Sequence[SectionInstanceTiming]) -> JitterReport:
+    """Quantify jitter accumulation over a repeated section's instances.
+
+    ``instances`` must be the ordered occurrences of a single label
+    (e.g. from :meth:`repro.tools.trace.TraceTool.coarse_view` filtered
+    by label); at least four are needed for the drift estimate.
+    """
+    insts: List[SectionInstanceTiming] = sorted(
+        instances, key=lambda i: i.occurrence
+    )
+    if len(insts) < 4:
+        raise InsufficientDataError(
+            f"need >= 4 instances for a jitter analysis, got {len(insts)}"
+        )
+    labels = {i.label for i in insts}
+    if len(labels) != 1:
+        raise InsufficientDataError(
+            f"jitter analysis works on one section at a time, got {labels}"
+        )
+
+    entry_spreads = np.array(
+        [max(i.entry_imbalance(r) for r in i.ranks) for i in insts]
+    )
+    imbalances = np.array([i.imbalance for i in insts])
+    spans = np.array([i.span for i in insts])
+
+    q = max(1, len(insts) // 4)
+    head = float(np.mean(entry_spreads[:q]))
+    tail = float(np.mean(entry_spreads[-q:]))
+    drift = tail / head if head > 0 else (np.inf if tail > 0 else 1.0)
+
+    return JitterReport(
+        label=insts[0].label,
+        instances=len(insts),
+        mean_entry_imbalance=float(entry_spreads.mean()),
+        max_entry_imbalance=float(entry_spreads.max()),
+        mean_imbalance=float(imbalances.mean()),
+        imbalance_time=float(imbalances.sum()),
+        span_time=float(spans.sum()),
+        drift_ratio=float(drift),
+    )

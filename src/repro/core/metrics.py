@@ -1,0 +1,139 @@
+"""Figure 3's derived section metrics.
+
+For one *instance* of a section (one collective traversal of an
+enter/exit pair by all ranks of the communicator), the paper defines:
+
+* ``Tmin`` — time at which the **first** process enters;
+* ``Tin``  — per-rank entry timestamp;
+* ``Tout`` — per-rank exit timestamp;
+* ``Tsection`` — per-rank time in the section, **defined as
+  ``Tout − Tmin``** (i.e. measured from the first entry, so it includes
+  any lateness of the rank's own entry — a deliberate choice that makes
+  a section account for "how a region was distributively entered");
+* ``Tmax`` — time at which the **last** process leaves;
+* entry imbalance ``imb_in(r) = Tin(r) − Tmin`` (per rank, with its mean
+  and variance as compact indicators);
+* aggregate imbalance ``imb = (Tmax − Tmin) − mean(Tsection)``.
+
+These are exactly the quantities a tool can derive from the two
+callbacks of Figure 2 — no further instrumentation needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class SectionInstanceTiming:
+    """Timing of one section instance across the ranks that entered it.
+
+    ``t_in`` / ``t_out`` map world rank → timestamp.  All derived metrics
+    follow the Figure 3 definitions above.
+    """
+
+    label: str
+    comm_id: tuple
+    occurrence: int
+    t_in: Dict[int, float] = field(default_factory=dict)
+    t_out: Dict[int, float] = field(default_factory=dict)
+
+    def _check(self) -> None:
+        if not self.t_in:
+            raise AnalysisError(f"section {self.label!r} instance has no entries")
+        if set(self.t_in) != set(self.t_out):
+            missing = set(self.t_in) ^ set(self.t_out)
+            raise AnalysisError(
+                f"section {self.label!r} instance: ranks {sorted(missing)} have "
+                "an entry or exit but not both"
+            )
+
+    # -- Figure 3 quantities -----------------------------------------------------
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        """Ranks participating in this instance, sorted."""
+        return tuple(sorted(self.t_in))
+
+    @property
+    def tmin(self) -> float:
+        """Timestamp of the first entry."""
+        self._check()
+        return min(self.t_in.values())
+
+    @property
+    def tmax(self) -> float:
+        """Timestamp of the last exit."""
+        self._check()
+        return max(self.t_out.values())
+
+    def tsection(self, rank: int) -> float:
+        """Paper definition: ``Tout(rank) − Tmin``."""
+        self._check()
+        return self.t_out[rank] - self.tmin
+
+    def dwell(self, rank: int) -> float:
+        """Conventional per-rank residence time ``Tout(rank) − Tin(rank)``
+        (provided alongside the paper's Tsection for comparison)."""
+        self._check()
+        return self.t_out[rank] - self.t_in[rank]
+
+    @property
+    def mean_tsection(self) -> float:
+        """Mean of Tsection over participating ranks."""
+        tmin = self.tmin
+        return float(np.mean([t - tmin for t in self.t_out.values()]))
+
+    @property
+    def span(self) -> float:
+        """Total extent of the instance: ``Tmax − Tmin``."""
+        return self.tmax - self.tmin
+
+    # -- imbalance ---------------------------------------------------------------
+
+    def entry_imbalance(self, rank: int) -> float:
+        """``imb_in(rank) = Tin(rank) − Tmin`` (>= 0)."""
+        self._check()
+        return self.t_in[rank] - self.tmin
+
+    @property
+    def entry_imbalance_mean(self) -> float:
+        """Mean entry imbalance over ranks — how staggered the entry was."""
+        tmin = self.tmin
+        return float(np.mean([t - tmin for t in self.t_in.values()]))
+
+    @property
+    def entry_imbalance_var(self) -> float:
+        """Variance of the entry imbalance (population variance)."""
+        tmin = self.tmin
+        return float(np.var([t - tmin for t in self.t_in.values()]))
+
+    @property
+    def imbalance(self) -> float:
+        """Aggregate imbalance ``(Tmax − Tmin) − mean(Tsection)``.
+
+        Zero when every rank leaves simultaneously; grows with exit
+        stagger.  A compact, single-number view of how unevenly the
+        region executed.
+        """
+        return self.span - self.mean_tsection
+
+    def as_dict(self) -> dict:
+        """Flat summary (useful for tabular reports and tests)."""
+        return {
+            "label": self.label,
+            "occurrence": self.occurrence,
+            "ranks": len(self.t_in),
+            "tmin": self.tmin,
+            "tmax": self.tmax,
+            "span": self.span,
+            "mean_tsection": self.mean_tsection,
+            "entry_imb_mean": self.entry_imbalance_mean,
+            "entry_imb_var": self.entry_imbalance_var,
+            "imbalance": self.imbalance,
+        }

@@ -1,0 +1,285 @@
+"""Predictive scaling models fitted to section measurements.
+
+The paper's partial bounding is *descriptive*: it converts measured
+section times at scale p into a speedup ceiling at that same p.  This
+module adds the natural predictive extension the paper's discussion
+points towards: fit each section's scaling curve at small scales,
+extrapolate the per-section times, and predict — before buying the
+core-hours — the walltime, the speedup curve, the binding section and
+the saturation scale at larger p.
+
+Two model families are provided:
+
+* **per-section power laws** ``T_i(p) = a_i / p^b_i + c_i`` — ``a`` the
+  parallelisable share, ``b`` its scaling quality (1 = ideal), ``c`` the
+  non-scaling floor (serial work, latency-bound communication, noise
+  floors).  Summed, they instantiate Eq. 5's model speedup at any p;
+* the **Universal Scalability Law** ``S(p) = p / (1 + σ(p−1) + κ·p(p−1))``
+  (Gunther) — a two-parameter whole-application model whose κ term
+  captures the *retrograde* scaling (speedup decreasing past a peak)
+  that Amdahl cannot express but the paper's over-scaled configurations
+  clearly show.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.errors import InsufficientDataError, ModelDomainError
+from repro.core.profile import ScalingProfile
+
+
+# ---------------------------------------------------------------------------
+# per-section power laws
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """One section's fitted ``T(p) = a / p^b + c``."""
+
+    label: str
+    a: float
+    b: float
+    c: float
+    rmse: float
+
+    def time(self, p: float) -> float:
+        """Predicted per-process time at scale ``p``."""
+        if p < 1:
+            raise ModelDomainError(f"p must be >= 1, got {p}")
+        return self.a / p**self.b + self.c
+
+    @property
+    def floor(self) -> float:
+        """Asymptotic per-process time as p → ∞."""
+        return self.c
+
+    @property
+    def scales_ideally(self) -> bool:
+        """Whether the section behaves like perfectly parallel work."""
+        return self.b > 0.9 and self.c < 0.05 * (self.a + self.c)
+
+
+def _power_law(p, a, b, c):
+    return a / np.power(p, b) + c
+
+
+def fit_power_law(
+    ps: Sequence[int], times: Sequence[float], label: str = ""
+) -> PowerLawFit:
+    """Least-squares fit of ``a / p^b + c`` to a section scaling curve.
+
+    Requires at least three scaling points.  Parameters are constrained
+    to physical ranges (a, c >= 0; 0 <= b <= 2).
+    """
+    ps_arr = np.asarray(ps, dtype=float)
+    ts_arr = np.asarray(times, dtype=float)
+    if ps_arr.shape != ts_arr.shape or ps_arr.size < 3:
+        raise InsufficientDataError("need >= 3 (p, time) pairs of equal length")
+    if np.any(ps_arr < 1) or np.any(ts_arr < 0):
+        raise ModelDomainError("p must be >= 1 and times >= 0")
+    t0 = float(ts_arr[0])
+    if t0 <= 0:
+        raise ModelDomainError("first scaling point must have positive time")
+    p0 = (t0, 1.0, 1e-9 * t0)
+    try:
+        popt, _ = curve_fit(
+            _power_law,
+            ps_arr,
+            ts_arr,
+            p0=p0,
+            bounds=([0.0, 0.0, 0.0], [np.inf, 2.0, np.inf]),
+            maxfev=20_000,
+        )
+    except RuntimeError as exc:  # pragma: no cover - pathological inputs
+        raise InsufficientDataError(f"power-law fit failed: {exc}") from exc
+    resid = _power_law(ps_arr, *popt) - ts_arr
+    rmse = float(np.sqrt(np.mean(resid**2)))
+    return PowerLawFit(label, float(popt[0]), float(popt[1]), float(popt[2]), rmse)
+
+
+class SectionScalingModel:
+    """Eq. 5 instantiated with fitted per-section power laws.
+
+    Fit on the scales a profile actually sampled; then predict walltime,
+    speedup, per-section partial bounds and the binding section at *any*
+    scale.
+    """
+
+    def __init__(self, fits: Mapping[str, PowerLawFit], seq_total: float):
+        if not fits:
+            raise InsufficientDataError("model needs at least one section fit")
+        if seq_total <= 0:
+            raise ModelDomainError("sequential total time must be > 0")
+        self.fits: Dict[str, PowerLawFit] = dict(fits)
+        self.seq_total = seq_total
+
+    @classmethod
+    def fit_profile(
+        cls,
+        profile: ScalingProfile,
+        labels: Optional[Sequence[str]] = None,
+        max_scale: Optional[int] = None,
+    ) -> "SectionScalingModel":
+        """Fit from a :class:`ScalingProfile`'s per-section averages.
+
+        ``max_scale`` restricts the fit to small scales, so predictions
+        at larger ones are genuine extrapolation (useful for validating
+        the model against held-out measurements).
+        """
+        labels = list(labels) if labels else [
+            lab for lab in profile.labels() if lab != "MPI_MAIN"
+        ]
+        scales = [
+            s for s in profile.scales() if max_scale is None or s <= max_scale
+        ]
+        if len(scales) < 3:
+            raise InsufficientDataError(
+                f"need >= 3 fitted scales, have {scales}"
+            )
+        fits = {}
+        for lab in labels:
+            times = [profile.mean_avg_per_process(lab, s) for s in scales]
+            if all(t <= 0 for t in times):
+                continue
+            # Sections absent at p=1 (e.g. HALO) are fitted on their
+            # supported scales only, with a zero-floor guard.
+            pairs = [(s, t) for s, t in zip(scales, times) if t > 0]
+            if len(pairs) < 3:
+                continue
+            fits[lab] = fit_power_law(
+                [p for p, _ in pairs], [t for _, t in pairs], lab
+            )
+        return cls(fits, profile.sequential_time())
+
+    # -- predictions -------------------------------------------------------------
+
+    def walltime(self, p: int) -> float:
+        """Predicted walltime at ``p`` (sum of section times, Eq. 3)."""
+        return sum(f.time(p) for f in self.fits.values())
+
+    def speedup(self, p: int) -> float:
+        """Predicted Eq. 5 speedup at ``p``."""
+        return self.seq_total / self.walltime(p)
+
+    def bound(self, label: str, p: int) -> float:
+        """Predicted Eq. 6 partial bound of one section at ``p``."""
+        try:
+            fit = self.fits[label]
+        except KeyError:
+            raise ModelDomainError(
+                f"no fit for section {label!r}; have {sorted(self.fits)}"
+            ) from None
+        return self.seq_total / fit.time(p)
+
+    def binding_section(self, p: int) -> Tuple[str, float]:
+        """(label, bound) of the tightest predicted bound at ``p``."""
+        best = min(
+            ((lab, self.bound(lab, p)) for lab in self.fits),
+            key=lambda kv: kv[1],
+        )
+        return best
+
+    def saturation_scale(
+        self, gain_threshold: float = 0.01, max_p: int = 1 << 20
+    ) -> int:
+        """Smallest p beyond which doubling p improves speedup < threshold.
+
+        The practical answer to "how many cores are worth requesting":
+        past this scale the application wastes allocations, exactly the
+        situation the paper's Section 5.3 warns about.
+        """
+        p = 1
+        while p < max_p:
+            gain = self.speedup(2 * p) / self.speedup(p) - 1.0
+            if gain < gain_threshold:
+                return p
+            p *= 2
+        return max_p
+
+    def asymptotic_speedup(self) -> float:
+        """Predicted speedup ceiling (Eq. 6 with the fitted floors)."""
+        floor = sum(f.floor for f in self.fits.values())
+        if floor <= 0:
+            return math.inf
+        return self.seq_total / floor
+
+
+# ---------------------------------------------------------------------------
+# Universal Scalability Law
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class USLFit:
+    """Fitted Universal Scalability Law parameters.
+
+    ``sigma`` is the contention (serialisation) coefficient — Amdahl's
+    fraction; ``kappa`` the coherency (crosstalk) coefficient that
+    produces retrograde scaling.
+    """
+
+    sigma: float
+    kappa: float
+    rmse: float
+
+    def speedup(self, p: float) -> float:
+        """Modeled speedup at ``p``."""
+        if p < 1:
+            raise ModelDomainError(f"p must be >= 1, got {p}")
+        return p / (1.0 + self.sigma * (p - 1) + self.kappa * p * (p - 1))
+
+    @property
+    def peak_scale(self) -> float:
+        """Scale of maximum speedup (inf when kappa == 0)."""
+        if self.kappa <= 0:
+            return math.inf
+        return math.sqrt((1.0 - self.sigma) / self.kappa)
+
+    @property
+    def peak_speedup(self) -> float:
+        """Speedup at the peak scale."""
+        p = self.peak_scale
+        if math.isinf(p):
+            return math.inf
+        return self.speedup(p)
+
+    @property
+    def retrograde(self) -> bool:
+        """Whether the model predicts speedup *decline* past the peak."""
+        return self.kappa > 0
+
+
+def _usl(p, sigma, kappa):
+    return p / (1.0 + sigma * (p - 1) + kappa * p * (p - 1))
+
+
+def fit_usl(ps: Sequence[int], speedups: Sequence[float]) -> USLFit:
+    """Least-squares USL fit to measured (p, speedup) points."""
+    ps_arr = np.asarray(ps, dtype=float)
+    s_arr = np.asarray(speedups, dtype=float)
+    if ps_arr.shape != s_arr.shape or ps_arr.size < 3:
+        raise InsufficientDataError("need >= 3 (p, speedup) pairs")
+    if np.any(ps_arr < 1) or np.any(s_arr <= 0):
+        raise ModelDomainError("p must be >= 1 and speedups > 0")
+    popt, _ = curve_fit(
+        _usl,
+        ps_arr,
+        s_arr,
+        p0=(0.05, 1e-4),
+        bounds=([0.0, 0.0], [1.0, 1.0]),
+        maxfev=20_000,
+    )
+    resid = _usl(ps_arr, *popt) - s_arr
+    rmse = float(np.sqrt(np.mean(resid**2)))
+    return USLFit(float(popt[0]), float(popt[1]), rmse)
+
+
+def fit_usl_profile(profile: ScalingProfile) -> USLFit:
+    """USL fit straight from a :class:`ScalingProfile`'s speedup series."""
+    xs, ss = profile.speedup_series()
+    return fit_usl(xs, ss)

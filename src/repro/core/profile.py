@@ -1,0 +1,231 @@
+"""Profile containers: one run, and a family of runs across scales.
+
+A :class:`SectionProfile` condenses one simulated run's section event
+stream into per-path, per-rank time totals plus run metadata.  A
+:class:`ScalingProfile` holds profiles for a sweep over a *scale*
+(process count for the convolution study, thread count for the LULESH
+OpenMP study), possibly with several seeded repetitions per scale — the
+paper averaged twenty runs per point; the reproduction defaults to fewer
+but keeps the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.core.sections import Path, PathTimes, rank_section_times
+from repro.simmpi.sections_rt import MAIN_LABEL, SectionEvent
+
+
+@dataclass
+class SectionProfile:
+    """Aggregated section times of one run."""
+
+    n_ranks: int
+    walltime: float
+    per_path: Dict[Path, PathTimes]
+    seed: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[SectionEvent],
+        n_ranks: int,
+        walltime: float,
+        seed: int = 0,
+        **meta,
+    ) -> "SectionProfile":
+        """Build a profile from a raw event stream."""
+        return cls(n_ranks, walltime, rank_section_times(events), seed, dict(meta))
+
+    @classmethod
+    def from_run(cls, result, **meta) -> "SectionProfile":
+        """Build a profile from a :class:`~repro.simmpi.engine.RunResult`."""
+        return cls.from_events(
+            result.section_events,
+            result.n_ranks,
+            result.walltime,
+            seed=result.seed,
+            **meta,
+        )
+
+    # -- lookups ---------------------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        """All recorded section paths."""
+        return sorted(self.per_path)
+
+    def labels(self) -> List[str]:
+        """Innermost labels present (deduplicated, sorted)."""
+        return sorted({p[-1] for p in self.per_path})
+
+    def _paths_of(self, label: str) -> List[Path]:
+        hits = [p for p in self.per_path if p[-1] == label]
+        if not hits:
+            raise AnalysisError(
+                f"no section labelled {label!r}; known labels: {self.labels()}"
+            )
+        return hits
+
+    def total(self, label: str, exclusive: bool = False) -> float:
+        """Time in ``label`` summed over ranks and instances.
+
+        This is the paper's "Tot. <section> Time" (Figure 6) — the
+        cross-process total of the section's inclusive time.
+        """
+        total = 0.0
+        for p in self._paths_of(label):
+            pt = self.per_path[p]
+            total += pt.total_exclusive() if exclusive else pt.total_inclusive()
+        return total
+
+    def avg_per_process(self, label: str, exclusive: bool = False) -> float:
+        """Average per-process time in ``label`` (Figure 5(c) series)."""
+        return self.total(label, exclusive) / self.n_ranks
+
+    def rank_times(self, label: str, exclusive: bool = False) -> Dict[int, float]:
+        """Per-rank time totals for ``label``."""
+        out: Dict[int, float] = {}
+        for p in self._paths_of(label):
+            pt = self.per_path[p]
+            src = pt.exclusive if exclusive else pt.inclusive
+            for rank, t in src.items():
+                out[rank] = out.get(rank, 0.0) + t
+        return out
+
+    def count(self, label: str) -> int:
+        """Total instance traversals of ``label`` across ranks."""
+        return sum(
+            sum(self.per_path[p].count.values()) for p in self._paths_of(label)
+        )
+
+    def percent_of_execution(self, label: str) -> float:
+        """Share of total execution spent in ``label`` (Figure 5(a)).
+
+        Uses *exclusive* time over the aggregate CPU time
+        ``n_ranks * walltime`` so that disjoint sections sum to <= 100 %.
+        """
+        if self.walltime <= 0:
+            raise AnalysisError("profile has non-positive walltime")
+        return 100.0 * self.total(label, exclusive=True) / (
+            self.n_ranks * self.walltime
+        )
+
+    def breakdown(self, include_main: bool = False) -> Dict[str, float]:
+        """Percentage of execution per label (Figure 5(a) in one call)."""
+        out = {}
+        for label in self.labels():
+            if label == MAIN_LABEL and not include_main:
+                continue
+            out[label] = self.percent_of_execution(label)
+        return out
+
+
+class ScalingProfile:
+    """Profiles of one workload across a scale sweep (with repetitions).
+
+    The *scale* is any strictly positive integer axis — MPI process count
+    in Section 5.1 of the paper, OpenMP thread count in Section 5.2.
+    """
+
+    def __init__(self, scale_name: str = "p"):
+        self.scale_name = scale_name
+        self._runs: Dict[int, List[SectionProfile]] = {}
+
+    def add(self, scale: int, profile: SectionProfile) -> None:
+        """Record one run's profile at ``scale``."""
+        if scale < 1:
+            raise AnalysisError(f"scale must be >= 1, got {scale}")
+        self._runs.setdefault(scale, []).append(profile)
+
+    # -- structure -----------------------------------------------------------------
+
+    def scales(self) -> List[int]:
+        """Sampled scales, ascending."""
+        return sorted(self._runs)
+
+    def runs(self, scale: int) -> List[SectionProfile]:
+        """All repetition profiles at ``scale``."""
+        try:
+            return self._runs[scale]
+        except KeyError:
+            raise InsufficientDataError(
+                f"no runs at {self.scale_name}={scale}; have {self.scales()}"
+            ) from None
+
+    def reps(self, scale: int) -> int:
+        """Repetition count at ``scale``."""
+        return len(self.runs(scale))
+
+    def labels(self) -> List[str]:
+        """Union of section labels over every run."""
+        out = set()
+        for profiles in self._runs.values():
+            for prof in profiles:
+                out.update(prof.labels())
+        return sorted(out)
+
+    # -- aggregated series ------------------------------------------------------------
+
+    def mean_walltime(self, scale: int) -> float:
+        """Mean walltime over repetitions at ``scale``."""
+        return float(np.mean([r.walltime for r in self.runs(scale)]))
+
+    def std_walltime(self, scale: int) -> float:
+        """Walltime standard deviation over repetitions."""
+        return float(np.std([r.walltime for r in self.runs(scale)]))
+
+    def mean_total(self, label: str, scale: int, exclusive: bool = False) -> float:
+        """Mean cross-process total time of ``label`` at ``scale``."""
+        return float(np.mean([r.total(label, exclusive) for r in self.runs(scale)]))
+
+    def mean_avg_per_process(
+        self, label: str, scale: int, exclusive: bool = False
+    ) -> float:
+        """Mean per-process-average time of ``label`` at ``scale``."""
+        return float(
+            np.mean([r.avg_per_process(label, exclusive) for r in self.runs(scale)])
+        )
+
+    def mean_percent(self, label: str, scale: int) -> float:
+        """Mean percent-of-execution of ``label`` at ``scale``."""
+        return float(
+            np.mean([r.percent_of_execution(label) for r in self.runs(scale)])
+        )
+
+    def sequential_time(self) -> float:
+        """Mean walltime at scale 1 — the Speedup numerator."""
+        if 1 not in self._runs:
+            raise InsufficientDataError(
+                f"no sequential ({self.scale_name}=1) runs recorded"
+            )
+        return self.mean_walltime(1)
+
+    def speedup(self, scale: int) -> float:
+        """Measured speedup at ``scale`` relative to scale 1."""
+        return self.sequential_time() / self.mean_walltime(scale)
+
+    def speedup_series(self) -> Tuple[List[int], List[float]]:
+        """(scales, speedups) over the whole sweep."""
+        xs = self.scales()
+        return xs, [self.speedup(x) for x in xs]
+
+    def total_series(self, label: str, exclusive: bool = False) -> Tuple[List[int], List[float]]:
+        """(scales, mean cross-process totals) for ``label``."""
+        xs = self.scales()
+        return xs, [self.mean_total(label, x, exclusive) for x in xs]
+
+    def avg_series(self, label: str, exclusive: bool = False) -> Tuple[List[int], List[float]]:
+        """(scales, mean per-process averages) for ``label``."""
+        xs = self.scales()
+        return xs, [self.mean_avg_per_process(label, x, exclusive) for x in xs]
+
+    def percent_series(self, label: str) -> Tuple[List[int], List[float]]:
+        """(scales, mean percent of execution) for ``label``."""
+        xs = self.scales()
+        return xs, [self.mean_percent(label, x) for x in xs]

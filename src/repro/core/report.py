@@ -1,0 +1,85 @@
+"""Plain-text rendering of analysis results.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep that output aligned, deterministic and terse.
+No plotting dependency is used — the reproduction's artefacts are the
+numeric series themselves (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+
+def fmt(value: Any, prec: int = 3) -> str:
+    """Format one cell: floats to ``prec`` significant decimals, rest via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{prec}e}"
+        return f"{value:.{prec}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    prec: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    srows = [[fmt(c, prec) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_dict_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    prec: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of homogeneous dicts as a table.
+
+    Column order defaults to the first row's key order.
+    """
+    if not rows:
+        return title or "(no data)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    body = [[row.get(c, "") for c in cols] for row in rows]
+    return format_table(cols, body, prec=prec, title=title)
+
+
+def format_series(
+    x_name: str,
+    xs: Sequence[Any],
+    series: Mapping[str, Sequence[float]],
+    prec: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render several aligned y-series over a shared x axis."""
+    headers = [x_name, *series.keys()]
+    rows: List[List[Any]] = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(ys[i] for ys in series.values())])
+    return format_table(headers, rows, prec=prec, title=title)
+
+
+def banner(text: str, width: int = 72) -> str:
+    """A visual separator used between experiment outputs."""
+    bar = "=" * width
+    return f"{bar}\n{text}\n{bar}"

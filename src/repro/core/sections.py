@@ -1,0 +1,167 @@
+"""Reconstruction of section instances from the runtime event stream.
+
+The runtime (:mod:`repro.simmpi.sections_rt`) emits a flat chronological
+stream of per-rank enter/exit :class:`~repro.simmpi.sections_rt.SectionEvent`
+records — exactly the information a PMPI tool receives through the two
+Figure 2 callbacks.  This module rebuilds from it:
+
+* **instances** — the k-th collective traversal of a given section path by
+  every rank of its communicator, with full Figure 3 timing
+  (:func:`build_instances`);
+* **per-rank totals** — inclusive and exclusive time per section path per
+  rank (:func:`rank_section_times`), the quantities behind the paper's
+  Figure 5 and Figures 8–10 series.
+
+Matching across ranks needs no synchronisation: the runtime validates
+that all ranks of a communicator traverse identical section sequences, so
+"(path, occurrence index)" identifies the same instance on every rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.metrics import SectionInstanceTiming
+from repro.simmpi.sections_rt import SectionEvent
+
+Path = Tuple[str, ...]
+
+
+@dataclass
+class SectionInstance:
+    """One collective traversal of a section path."""
+
+    comm_id: tuple
+    path: Path
+    occurrence: int
+    timing: SectionInstanceTiming
+
+    @property
+    def label(self) -> str:
+        """Innermost label of the path."""
+        return self.path[-1]
+
+
+def build_instances(events: Iterable[SectionEvent]) -> List[SectionInstance]:
+    """Group enter/exit events into cross-rank section instances.
+
+    Returns instances sorted by (comm, path, occurrence).  Raises
+    :class:`~repro.errors.AnalysisError` on unbalanced streams (which the
+    runtime should have prevented).
+    """
+    # (rank, comm, path) -> number of enters seen, to index occurrences.
+    occ_counter: Dict[Tuple[int, tuple, Path], int] = {}
+    # (rank, comm) -> stack of (path, occurrence) currently open.
+    open_stack: Dict[Tuple[int, tuple], List[Tuple[Path, int]]] = {}
+    # (comm, path, occurrence) -> timing under construction.
+    timings: Dict[Tuple[tuple, Path, int], SectionInstanceTiming] = {}
+
+    for ev in events:
+        key_rc = (ev.rank, ev.comm_id)
+        if ev.kind == "enter":
+            key_occ = (ev.rank, ev.comm_id, ev.path)
+            occ = occ_counter.get(key_occ, 0)
+            occ_counter[key_occ] = occ + 1
+            open_stack.setdefault(key_rc, []).append((ev.path, occ))
+            tkey = (ev.comm_id, ev.path, occ)
+            timing = timings.get(tkey)
+            if timing is None:
+                timing = SectionInstanceTiming(ev.label, ev.comm_id, occ)
+                timings[tkey] = timing
+            timing.t_in[ev.rank] = ev.time
+        elif ev.kind == "exit":
+            stack = open_stack.get(key_rc)
+            if not stack or stack[-1][0] != ev.path:
+                raise AnalysisError(
+                    f"unbalanced section stream: rank {ev.rank} exits {ev.path} "
+                    f"but open stack is {stack}"
+                )
+            path, occ = stack.pop()
+            timings[(ev.comm_id, path, occ)].t_out[ev.rank] = ev.time
+        else:  # pragma: no cover - runtime only emits these two kinds
+            raise AnalysisError(f"unknown event kind {ev.kind!r}")
+
+    for key_rc, stack in open_stack.items():
+        if stack:
+            raise AnalysisError(
+                f"rank {key_rc[0]} left sections open: {[p for p, _ in stack]}"
+            )
+
+    out = [
+        SectionInstance(comm_id, path, occ, timing)
+        for (comm_id, path, occ), timing in timings.items()
+    ]
+    out.sort(key=lambda s: (str(s.comm_id), s.path, s.occurrence))
+    return out
+
+
+@dataclass
+class PathTimes:
+    """Per-rank time totals for one section path."""
+
+    path: Path
+    #: rank -> summed inclusive time (children included).
+    inclusive: Dict[int, float]
+    #: rank -> summed exclusive time (children subtracted).
+    exclusive: Dict[int, float]
+    #: rank -> number of instances traversed.
+    count: Dict[int, int]
+
+    @property
+    def label(self) -> str:
+        return self.path[-1]
+
+    def total_inclusive(self) -> float:
+        """Inclusive time summed over all ranks."""
+        return sum(self.inclusive.values())
+
+    def total_exclusive(self) -> float:
+        """Exclusive time summed over all ranks."""
+        return sum(self.exclusive.values())
+
+
+def rank_section_times(events: Iterable[SectionEvent]) -> Dict[Path, PathTimes]:
+    """Per-rank inclusive/exclusive totals per section path.
+
+    Replays each rank's stack: a section's *inclusive* time is its full
+    enter→exit duration; its *exclusive* time subtracts enclosed child
+    sections — the "exclusive and inclusive times" the paper says tools
+    can compute once the runtime guarantees section pairing.
+    """
+    out: Dict[Path, PathTimes] = {}
+    # (rank, comm) -> stack of [path, t_enter, child_time_accum]
+    stacks: Dict[Tuple[int, tuple], List[list]] = {}
+
+    for ev in events:
+        key = (ev.rank, ev.comm_id)
+        if ev.kind == "enter":
+            stacks.setdefault(key, []).append([ev.path, ev.time, 0.0])
+            continue
+        stack = stacks.get(key)
+        if not stack or stack[-1][0] != ev.path:
+            raise AnalysisError(
+                f"unbalanced section stream at rank {ev.rank}: exit {ev.path}"
+            )
+        path, t_enter, child_time = stack.pop()
+        dt = ev.time - t_enter
+        if dt < 0:
+            raise AnalysisError(
+                f"negative section duration on rank {ev.rank} for {path}"
+            )
+        pt = out.get(path)
+        if pt is None:
+            pt = PathTimes(path, {}, {}, {})
+            out[path] = pt
+        pt.inclusive[ev.rank] = pt.inclusive.get(ev.rank, 0.0) + dt
+        pt.exclusive[ev.rank] = pt.exclusive.get(ev.rank, 0.0) + (dt - child_time)
+        pt.count[ev.rank] = pt.count.get(ev.rank, 0) + 1
+        if stack:
+            stack[-1][2] += dt
+    for (rank, _), stack in stacks.items():
+        if stack:
+            raise AnalysisError(
+                f"rank {rank} left sections open: {[s[0] for s in stack]}"
+            )
+    return out

@@ -1,0 +1,112 @@
+"""Classical speedup laws (Section 2 of the paper, Equations 1–2).
+
+Everything here operates on plain numbers or NumPy arrays and is the
+foundation the partial-bounding layer builds on.  Conventions:
+
+* ``p`` — number of processing units (>= 1);
+* ``fs`` — serial fraction in [0, 1] (Amdahl's non-parallelisable share);
+* times are in seconds, speedups dimensionless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, ModelDomainError
+
+
+def speedup(seq_time: float, par_time: float) -> float:
+    """Equation 1: ``S(n, p) = seq(n) / par(n, p)``."""
+    if seq_time < 0:
+        raise ModelDomainError(f"sequential time must be >= 0, got {seq_time}")
+    if par_time <= 0:
+        raise ModelDomainError(f"parallel time must be > 0, got {par_time}")
+    return seq_time / par_time
+
+
+def efficiency(seq_time: float, par_time: float, p: int) -> float:
+    """Parallel efficiency ``S / p``."""
+    if p < 1:
+        raise ModelDomainError(f"p must be >= 1, got {p}")
+    return speedup(seq_time, par_time) / p
+
+
+def _check_fraction(fs: float) -> None:
+    if not 0.0 <= fs <= 1.0:
+        raise ModelDomainError(f"serial fraction must be in [0, 1], got {fs}")
+
+
+def amdahl_speedup(p: int, fs: float) -> float:
+    """Equation 2 (Amdahl): ``S <= 1 / (fs + (1-fs)/p)``."""
+    if p < 1:
+        raise ModelDomainError(f"p must be >= 1, got {p}")
+    _check_fraction(fs)
+    return 1.0 / (fs + (1.0 - fs) / p)
+
+
+def amdahl_limit(fs: float) -> float:
+    """Amdahl's asymptote ``1/fs`` as ``p → ∞`` (inf for fs == 0)."""
+    _check_fraction(fs)
+    if fs == 0.0:
+        return math.inf
+    return 1.0 / fs
+
+
+def gustafson_speedup(p: int, fs: float) -> float:
+    """Gustafson–Barsis scaled speedup ``S = p - fs * (p - 1)``.
+
+    ``fs`` is the serial fraction *of the scaled (parallel) run*.
+    """
+    if p < 1:
+        raise ModelDomainError(f"p must be >= 1, got {p}")
+    _check_fraction(fs)
+    return p - fs * (p - 1)
+
+
+def karp_flatt(observed_speedup: float, p: int) -> float:
+    """Karp–Flatt experimentally determined serial fraction.
+
+    ``e = (1/S - 1/p) / (1 - 1/p)``; an increasing ``e`` with ``p``
+    indicates growing parallel overhead.  Undefined for ``p == 1``.
+    """
+    if p < 2:
+        raise ModelDomainError("Karp–Flatt needs p >= 2")
+    if observed_speedup <= 0:
+        raise ModelDomainError(f"speedup must be > 0, got {observed_speedup}")
+    return (1.0 / observed_speedup - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def serial_fraction_from_speedup(observed_speedup: float, p: int) -> float:
+    """Invert Amdahl: the ``fs`` that would yield ``observed_speedup`` at
+    ``p`` (equals :func:`karp_flatt`; provided under the Amdahl name for
+    discoverability)."""
+    return karp_flatt(observed_speedup, p)
+
+
+def fit_amdahl(ps: Sequence[int], speedups: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of Amdahl's law to measured speedups.
+
+    Fits ``1/S = fs + (1 - fs)/p`` (linear in ``1/p``), returning
+    ``(fs, rmse)`` where rmse is over ``1/S`` residuals.  ``fs`` is
+    clipped to [0, 1].
+    """
+    ps_arr = np.asarray(ps, dtype=float)
+    s_arr = np.asarray(speedups, dtype=float)
+    if ps_arr.shape != s_arr.shape or ps_arr.size < 2:
+        raise InsufficientDataError("need >= 2 (p, speedup) pairs of equal length")
+    if np.any(ps_arr < 1) or np.any(s_arr <= 0):
+        raise ModelDomainError("p must be >= 1 and speedups > 0")
+    x = 1.0 / ps_arr
+    y = 1.0 / s_arr
+    # y = fs + (1 - fs) x  =>  y = fs (1 - x) + x  =>  (y - x) = fs (1 - x)
+    denom = float(np.sum((1.0 - x) ** 2))
+    if denom == 0.0:
+        raise InsufficientDataError("all points at p == 1; cannot fit")
+    fs = float(np.sum((y - x) * (1.0 - x)) / denom)
+    fs = min(1.0, max(0.0, fs))
+    resid = y - (fs + (1.0 - fs) * x)
+    rmse = float(np.sqrt(np.mean(resid**2)))
+    return fs, rmse

@@ -1,0 +1,122 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+The simulated-MPI errors mirror the error classes an MPI implementation
+would report (mismatched collectives, truncation, deadlock, invalid
+communicator use) so that workload code ported from real MPI keeps its
+error-handling structure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated-MPI runtime errors
+# ---------------------------------------------------------------------------
+
+class MPIError(ReproError):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class DeadlockError(MPIError):
+    """Every rank is blocked and no pending event can complete.
+
+    The message carries a per-rank dump of blocked states (operation,
+    peer, tag, virtual timestamp) to make the cycle diagnosable.
+    """
+
+
+class TruncationError(MPIError):
+    """A receive buffer is smaller than the matched incoming message."""
+
+
+class CommMismatchError(MPIError):
+    """Ranks of a communicator disagree on a collective operation."""
+
+
+class InvalidRankError(MPIError):
+    """A rank argument is outside ``[0, size)`` and not a valid wildcard."""
+
+
+class InvalidTagError(MPIError):
+    """A tag argument is negative and not a valid wildcard."""
+
+
+class InvalidCommunicatorError(MPIError):
+    """Operation attempted on a freed or foreign communicator."""
+
+
+class RequestError(MPIError):
+    """Invalid use of a request handle (double wait, freed request)."""
+
+
+class DatatypeError(MPIError):
+    """Buffer/dtype combination cannot be transferred."""
+
+
+class EngineStateError(MPIError):
+    """The simulation engine was driven through an illegal transition."""
+
+
+class RankFailedError(MPIError):
+    """A rank's main function raised; carries the original traceback."""
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(
+            f"rank {rank} failed with {type(original).__name__}: {original}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Section-abstraction errors (Fig. 1/2 semantics of the paper)
+# ---------------------------------------------------------------------------
+
+class SectionError(ReproError):
+    """Base class for MPI_Section misuse."""
+
+
+class SectionNestingError(SectionError):
+    """Sections were not perfectly nested (exit label != top of stack)."""
+
+
+class SectionMismatchError(SectionError):
+    """Ranks of the communicator entered different section labels."""
+
+
+class SectionStateError(SectionError):
+    """Enter/exit called in an invalid runtime state (e.g. after finalize)."""
+
+
+# ---------------------------------------------------------------------------
+# Analysis errors
+# ---------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """Base class for errors in the speedup/bounding analysis layer."""
+
+
+class InsufficientDataError(AnalysisError):
+    """An analysis needs more scaling points than the profile contains."""
+
+
+class ModelDomainError(AnalysisError):
+    """Inputs are outside a scaling law's domain (e.g. p < 1, f not in [0,1])."""
+
+
+# ---------------------------------------------------------------------------
+# Machine / cost-model errors
+# ---------------------------------------------------------------------------
+
+class MachineError(ReproError):
+    """Invalid machine description or resource request."""
+
+
+class OversubscriptionError(MachineError):
+    """More ranks/threads requested than the machine model exposes."""

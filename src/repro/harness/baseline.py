@@ -1,0 +1,154 @@
+"""Regression baselines for reproduced artifacts.
+
+A reproduction is only durable if drift is detectable: a cost-model
+tweak that silently flips "who wins" in Figure 9 must fail loudly.
+This module snapshots an :class:`~repro.harness.experiments.
+ExperimentResult` (rows + check outcomes) to JSON and compares later
+runs against it:
+
+* **checks** must not regress: anything PASS in the baseline must still
+  PASS (new checks may appear; that is reported, not failed);
+* **rows** are compared per cell: numeric cells within a relative
+  tolerance (noise-bearing quantities move run to run — the default
+  tolerance is generous), non-numeric cells exactly;
+* row sets are keyed by the experiment's axis columns (``p``/
+  ``threads``/first column), so adding a scale point is a reported
+  difference, not a misalignment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.harness.experiments import ExperimentResult
+
+_VERSION = 1
+_AXIS_CANDIDATES = ("p", "threads", "mpi_processes")
+
+
+def _row_key(row: dict) -> Tuple:
+    keys = [k for k in _AXIS_CANDIDATES if k in row]
+    if keys:
+        return tuple((k, row[k]) for k in keys)
+    first = next(iter(row))
+    return ((first, row[first]),)
+
+
+def save_baseline(result: ExperimentResult) -> str:
+    """Serialise an experiment result as a baseline (JSON text)."""
+    return json.dumps(
+        {
+            "version": _VERSION,
+            "exp_id": result.exp_id,
+            "title": result.title,
+            "checks": result.checks,
+            "rows": result.rows,
+        },
+        indent=1,
+    )
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of one comparison."""
+
+    exp_id: str
+    #: checks that were PASS in the baseline but FAIL now.
+    regressed_checks: List[str] = field(default_factory=list)
+    #: checks present now but not in the baseline (informational).
+    new_checks: List[str] = field(default_factory=list)
+    #: (row key, column, baseline value, current value) beyond tolerance.
+    value_drifts: List[Tuple[str, str, object, object]] = field(
+        default_factory=list
+    )
+    #: row keys present in exactly one side.
+    missing_rows: List[str] = field(default_factory=list)
+    extra_rows: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No regressions: checks hold and values stayed in tolerance."""
+        return not (self.regressed_checks or self.value_drifts or self.missing_rows)
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        if self.ok and not (self.new_checks or self.extra_rows):
+            return f"[{self.exp_id}] baseline OK"
+        lines = [f"[{self.exp_id}] baseline comparison:"]
+        for c in self.regressed_checks:
+            lines.append(f"  REGRESSED check: {c}")
+        for key, col, old, new in self.value_drifts:
+            lines.append(f"  DRIFT {key} {col}: {old!r} -> {new!r}")
+        for key in self.missing_rows:
+            lines.append(f"  MISSING row: {key}")
+        for key in self.extra_rows:
+            lines.append(f"  extra row (new): {key}")
+        for c in self.new_checks:
+            lines.append(f"  new check (untracked in baseline): {c}")
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    result: ExperimentResult,
+    baseline_text: str,
+    rel_tol: float = 0.5,
+    abs_tol: float = 1e-9,
+    ignore_columns: Optional[List[str]] = None,
+) -> BaselineDiff:
+    """Compare a fresh result against a stored baseline.
+
+    ``rel_tol`` is deliberately wide by default: jittered quantities
+    (HALO totals, bounds) legitimately move between seed families; the
+    baseline guards against order-of-magnitude and directional drift,
+    while the per-experiment *checks* guard the qualitative claims.
+    """
+    data = json.loads(baseline_text)
+    if data.get("version") != _VERSION:
+        raise AnalysisError(
+            f"unsupported baseline version {data.get('version')!r}"
+        )
+    if data["exp_id"] != result.exp_id:
+        raise AnalysisError(
+            f"baseline is for {data['exp_id']!r}, result is {result.exp_id!r}"
+        )
+    ignore = set(ignore_columns or ())
+    diff = BaselineDiff(result.exp_id)
+
+    for name, ok in data["checks"].items():
+        if ok and not result.checks.get(name, False):
+            diff.regressed_checks.append(name)
+    for name in result.checks:
+        if name not in data["checks"]:
+            diff.new_checks.append(name)
+
+    base_rows = {_row_key(r): r for r in data["rows"]}
+    cur_rows = {_row_key(r): r for r in result.rows}
+    for key, base_row in base_rows.items():
+        cur_row = cur_rows.get(key)
+        if cur_row is None:
+            diff.missing_rows.append(str(key))
+            continue
+        for col, base_val in base_row.items():
+            if col in ignore:
+                continue
+            cur_val = cur_row.get(col)
+            if isinstance(base_val, (int, float)) and not isinstance(
+                base_val, bool
+            ):
+                if not isinstance(cur_val, (int, float)) or isinstance(
+                    cur_val, bool
+                ):
+                    diff.value_drifts.append((str(key), col, base_val, cur_val))
+                    continue
+                bound = max(abs_tol, rel_tol * abs(base_val))
+                if abs(cur_val - base_val) > bound:
+                    diff.value_drifts.append((str(key), col, base_val, cur_val))
+            elif base_val != cur_val:
+                diff.value_drifts.append((str(key), col, base_val, cur_val))
+    for key in cur_rows:
+        if key not in base_rows:
+            diff.extra_rows.append(str(key))
+    return diff

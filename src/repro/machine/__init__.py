@@ -1,0 +1,37 @@
+"""Machine models: hardware descriptions feeding the simulation cost models.
+
+A :class:`~repro.machine.spec.MachineSpec` describes a (possibly multi-node)
+machine: node count, sockets, cores, hardware threads, per-core compute
+rates, memory bandwidth, and the network tiers between cores.  The
+:mod:`~repro.machine.catalog` module provides the three machines used in the
+paper's evaluation — the Nehalem cluster (convolution benchmark), the Intel
+KNL node and the dual-Broadwell node (LULESH) — plus a small generic model
+for quick experiments.  :mod:`~repro.machine.roofline` converts abstract
+work descriptions (flops, bytes) into modeled execution times.
+"""
+
+from repro.machine.spec import CoreSpec, NodeSpec, MachineSpec, NetworkTier
+from repro.machine.roofline import RooflineModel, WorkEstimate
+from repro.machine.catalog import (
+    nehalem_cluster,
+    knl_node,
+    broadwell_duo,
+    laptop,
+    by_name,
+    MACHINE_CATALOG,
+)
+
+__all__ = [
+    "CoreSpec",
+    "NodeSpec",
+    "MachineSpec",
+    "NetworkTier",
+    "RooflineModel",
+    "WorkEstimate",
+    "nehalem_cluster",
+    "knl_node",
+    "broadwell_duo",
+    "laptop",
+    "by_name",
+    "MACHINE_CATALOG",
+]

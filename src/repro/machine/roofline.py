@@ -1,0 +1,156 @@
+"""Roofline compute-time model.
+
+Converts a :class:`WorkEstimate` — a count of floating-point operations and
+memory traffic — into a modeled execution time on a given node with a given
+number of threads.  The model is a classical roofline with three terms:
+
+* compute term: ``flops / aggregate_flop_rate(nthreads)``;
+* memory term: ``bytes / effective_bandwidth(nthreads)`` where effective
+  bandwidth saturates at the node's sustainable bandwidth (a few threads
+  usually suffice to saturate it, which is what bends OpenMP scaling);
+* the modeled time is the max of the two (perfect overlap assumption),
+  optionally inflated by a serial fraction inside the kernel.
+
+This is the knob that gives the LULESH reproduction its machine-dependent
+inflexion points (Figures 8–10 of the paper): on the KNL model the per-core
+rate is low and bandwidth saturates early, so section time flattens and the
+fork/join overhead of :mod:`repro.omp` then bends it upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.machine.spec import NodeSpec
+
+
+@dataclass(frozen=True)
+class WorkEstimate:
+    """Abstract description of a kernel's work.
+
+    Parameters
+    ----------
+    flops:
+        Floating point operations performed.
+    bytes_moved:
+        Bytes read+written from/to memory (beyond cache).
+    serial_fraction:
+        Fraction of the kernel that does not parallelise (in [0, 1]);
+        models per-call bookkeeping that stays on one thread.
+    """
+
+    flops: float
+    bytes_moved: float = 0.0
+    serial_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise MachineError("work cannot be negative")
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise MachineError("serial_fraction must be in [0, 1]")
+
+    def __add__(self, other: "WorkEstimate") -> "WorkEstimate":
+        total = self.flops + other.flops
+        # Weight serial fractions by flops so that summing kernels keeps the
+        # overall serial work additive.
+        if total > 0:
+            sf = (
+                self.flops * self.serial_fraction
+                + other.flops * other.serial_fraction
+            ) / total
+        else:
+            sf = 0.0
+        return WorkEstimate(total, self.bytes_moved + other.bytes_moved, sf)
+
+    def scaled(self, factor: float) -> "WorkEstimate":
+        """The same kernel applied to ``factor`` times the data."""
+        if factor < 0:
+            raise MachineError("scale factor must be >= 0")
+        return WorkEstimate(
+            self.flops * factor, self.bytes_moved * factor, self.serial_fraction
+        )
+
+
+class RooflineModel:
+    """Maps :class:`WorkEstimate` to seconds on a :class:`NodeSpec`.
+
+    Parameters
+    ----------
+    node:
+        The node the work runs on.
+    bw_saturation_threads:
+        Number of threads needed to reach full memory bandwidth; below it,
+        effective bandwidth grows linearly.  Typical values: 4–8 on a
+        commodity socket, ~16 on KNL's MCDRAM.
+    """
+
+    def __init__(self, node: NodeSpec, bw_saturation_threads: int = 6):
+        if bw_saturation_threads < 1:
+            raise MachineError("bw_saturation_threads must be >= 1")
+        self.node = node
+        self.bw_saturation_threads = bw_saturation_threads
+
+    # -- aggregate rates ----------------------------------------------------
+
+    def flop_rate(self, nthreads: int) -> float:
+        """Aggregate flop rate of ``nthreads`` compactly-placed threads.
+
+        Threads fill physical cores first (one per core); hyper-threads are
+        only used once every physical core is busy, each contributing the
+        core's ``ht_efficiency`` share.
+        """
+        if nthreads < 1:
+            raise MachineError("need at least one thread")
+        if nthreads > self.node.max_threads:
+            raise MachineError(
+                f"{nthreads} threads exceed node capacity {self.node.max_threads}"
+            )
+        core = self.node.core
+        phys = self.node.physical_cores
+        full_cores = min(nthreads, phys)
+        rate = full_cores * core.flops
+        extra = nthreads - full_cores
+        if extra > 0:
+            rate += extra * core.flops * core.ht_efficiency
+        return rate
+
+    def bandwidth(self, nthreads: int) -> float:
+        """Effective memory bandwidth available to ``nthreads`` threads."""
+        if nthreads < 1:
+            raise MachineError("need at least one thread")
+        frac = min(1.0, nthreads / self.bw_saturation_threads)
+        bw = self.node.mem_bandwidth * frac
+        if self.node.spans_sockets(nthreads):
+            bw /= self.node.numa_penalty
+        return bw
+
+    # -- time ----------------------------------------------------------------
+
+    def time(self, work: WorkEstimate, nthreads: int = 1) -> float:
+        """Modeled execution time of ``work`` on ``nthreads`` threads.
+
+        The serial fraction runs at single-thread rates; the parallel
+        remainder takes the max of its compute and memory terms.
+        """
+        serial_work = work.scaled(work.serial_fraction)
+        par_work = work.scaled(1.0 - work.serial_fraction)
+
+        t_serial = self._roofline_time(serial_work, 1)
+        t_par = self._roofline_time(par_work, nthreads)
+        return t_serial + t_par
+
+    def _roofline_time(self, work: WorkEstimate, nthreads: int) -> float:
+        if work.flops == 0 and work.bytes_moved == 0:
+            return 0.0
+        t_compute = work.flops / self.flop_rate(nthreads)
+        t_memory = (
+            work.bytes_moved / self.bandwidth(nthreads)
+            if work.bytes_moved > 0
+            else 0.0
+        )
+        return max(t_compute, t_memory)
+
+    def arithmetic_intensity_knee(self) -> float:
+        """Flops/byte ratio at which single-node work turns compute bound."""
+        return self.flop_rate(self.node.max_threads) / self.node.mem_bandwidth

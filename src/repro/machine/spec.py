@@ -1,0 +1,219 @@
+"""Dataclasses describing simulated machines.
+
+The specification is deliberately coarse: the paper's experiments depend on
+the *structure* of the hardware (how many cores per node, how expensive an
+off-node message is compared to an on-node one, where the memory-bandwidth
+knee sits), not on cycle-accurate detail.  Every quantity is given in SI
+units — seconds, bytes, bytes/second, flops/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError, OversubscriptionError
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """A single physical core.
+
+    Parameters
+    ----------
+    flops:
+        Peak double-precision flop rate of one hardware thread, in flop/s.
+    hw_threads:
+        Hardware threads (hyper-threads) the core exposes.
+    ht_efficiency:
+        Relative throughput of each *additional* hardware thread beyond the
+        first; e.g. ``0.3`` means a second hyper-thread adds 30 % of a
+        physical core's throughput.  Models SMT resource sharing.
+    """
+
+    flops: float = 4.0e9
+    hw_threads: int = 1
+    ht_efficiency: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise MachineError(f"core flop rate must be positive, got {self.flops}")
+        if self.hw_threads < 1:
+            raise MachineError(f"hw_threads must be >= 1, got {self.hw_threads}")
+        if not 0.0 <= self.ht_efficiency <= 1.0:
+            raise MachineError(
+                f"ht_efficiency must be in [0, 1], got {self.ht_efficiency}"
+            )
+
+    def thread_throughput(self, nthreads_on_core: int) -> float:
+        """Aggregate flop rate of ``nthreads_on_core`` threads on this core.
+
+        The first thread delivers the full core rate; each extra hardware
+        thread contributes ``ht_efficiency`` of it.  Requests beyond
+        ``hw_threads`` raise, mirroring a real pinned launch failing.
+        """
+        if nthreads_on_core < 1:
+            raise MachineError("need at least one thread on the core")
+        if nthreads_on_core > self.hw_threads:
+            raise OversubscriptionError(
+                f"{nthreads_on_core} threads requested on a core with "
+                f"{self.hw_threads} hardware threads"
+            )
+        extra = nthreads_on_core - 1
+        return self.flops * (1.0 + extra * self.ht_efficiency)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A shared-memory node: sockets × cores plus a memory system.
+
+    Parameters
+    ----------
+    sockets:
+        Number of CPU sockets.
+    cores_per_socket:
+        Physical cores per socket.
+    core:
+        Description of each physical core.
+    mem_bandwidth:
+        Sustainable aggregate memory bandwidth in bytes/s (per node).
+    mem_per_node:
+        Physical memory in bytes (used for capacity checks in workloads).
+    numa_penalty:
+        Multiplier (>1) on effective memory latency/bandwidth cost when a
+        parallel region spans more than one socket.
+    """
+
+    sockets: int = 1
+    cores_per_socket: int = 8
+    core: CoreSpec = field(default_factory=CoreSpec)
+    mem_bandwidth: float = 30.0e9
+    mem_per_node: float = 24.0e9
+    numa_penalty: float = 1.15
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise MachineError("node must have at least one socket and core")
+        if self.mem_bandwidth <= 0 or self.mem_per_node <= 0:
+            raise MachineError("memory sizes/bandwidths must be positive")
+        if self.numa_penalty < 1.0:
+            raise MachineError("numa_penalty must be >= 1")
+
+    @property
+    def physical_cores(self) -> int:
+        """Physical cores on the node."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware threads on the node (cores × SMT ways)."""
+        return self.physical_cores * self.core.hw_threads
+
+    def spans_sockets(self, nthreads: int) -> bool:
+        """Whether ``nthreads`` placed compactly overflow one socket."""
+        return nthreads > self.cores_per_socket * self.core.hw_threads
+
+
+@dataclass(frozen=True)
+class NetworkTier:
+    """Latency/bandwidth of one communication tier.
+
+    ``latency`` is the zero-byte one-way time in seconds; ``bandwidth`` the
+    asymptotic transfer rate in bytes/s; ``jitter`` the relative standard
+    deviation of a multiplicative log-normal noise term applied per message
+    (0 disables noise for this tier).  ``spike_prob``/``spike_scale`` add a
+    heavy tail: with probability ``spike_prob`` a message's wire time is
+    multiplied by ``spike_scale`` — the rare congestion/retransmission
+    events whose accumulation over thousands of halo exchanges produces
+    the strongly varying communication totals of the paper's Figure 5(b).
+    """
+
+    latency: float
+    bandwidth: float
+    jitter: float = 0.0
+    spike_prob: float = 0.0
+    spike_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise MachineError("tier needs latency >= 0 and bandwidth > 0")
+        if self.jitter < 0:
+            raise MachineError("jitter must be >= 0")
+        if not 0.0 <= self.spike_prob <= 1.0:
+            raise MachineError("spike_prob must be in [0, 1]")
+        if self.spike_scale < 1.0:
+            raise MachineError("spike_scale must be >= 1")
+
+    def base_time(self, nbytes: int) -> float:
+        """Deterministic transfer time of ``nbytes`` on this tier."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A full machine: ``nodes`` × :class:`NodeSpec` plus network tiers.
+
+    Ranks are placed compactly: rank ``r`` lives on node ``r // cores_per
+    _node`` when one rank per core is used; the engine may be told an
+    explicit ``ranks_per_node``.  Two communication tiers are modeled —
+    shared-memory (same node) and interconnect (different nodes) — which is
+    the distinction that drives the convolution benchmark's behaviour at
+    the 8-core node boundary in the paper.
+    """
+
+    name: str
+    nodes: int
+    node: NodeSpec
+    intra_node: NetworkTier
+    inter_node: NetworkTier
+    eager_threshold: int = 16 * 1024
+    io_bandwidth: float = 300.0e6
+    io_latency: float = 5.0e-3
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise MachineError("machine needs at least one node")
+        if self.eager_threshold < 0:
+            raise MachineError("eager_threshold must be >= 0")
+        if self.io_bandwidth <= 0 or self.io_latency < 0:
+            raise MachineError("I/O model needs bandwidth > 0 and latency >= 0")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across the whole machine."""
+        return self.nodes * self.node.physical_cores
+
+    @property
+    def total_hw_threads(self) -> int:
+        """Hardware threads across the whole machine."""
+        return self.nodes * self.node.max_threads
+
+    def node_of_rank(self, rank: int, ranks_per_node: int | None = None) -> int:
+        """Node index hosting ``rank`` under compact placement."""
+        rpn = ranks_per_node if ranks_per_node else self.node.physical_cores
+        if rpn < 1:
+            raise MachineError("ranks_per_node must be >= 1")
+        return rank // rpn
+
+    def tier_between(
+        self, rank_a: int, rank_b: int, ranks_per_node: int | None = None
+    ) -> NetworkTier:
+        """Network tier used by a message between two ranks."""
+        if self.node_of_rank(rank_a, ranks_per_node) == self.node_of_rank(
+            rank_b, ranks_per_node
+        ):
+            return self.intra_node
+        return self.inter_node
+
+    def validate_ranks(self, n_ranks: int, ranks_per_node: int | None = None) -> None:
+        """Raise :class:`OversubscriptionError` if ranks exceed capacity."""
+        rpn = ranks_per_node if ranks_per_node else self.node.physical_cores
+        if rpn > self.node.physical_cores:
+            raise OversubscriptionError(
+                f"{rpn} ranks per node exceed {self.node.physical_cores} cores"
+            )
+        needed_nodes = -(-n_ranks // rpn)
+        if needed_nodes > self.nodes:
+            raise OversubscriptionError(
+                f"{n_ranks} ranks at {rpn}/node need {needed_nodes} nodes, "
+                f"machine '{self.name}' has {self.nodes}"
+            )

@@ -1,0 +1,20 @@
+"""Simulated OpenMP runtime.
+
+The paper's second study (Section 5.2) runs LULESH in MPI+OpenMP mode and
+characterises OpenMP scaling purely from MPI-level section instrumentation.
+To reproduce it we need an intra-rank threading model whose *time vs
+thread-count* curves behave like real OpenMP on the two machines: falling
+while compute-bound, flattening at the memory-bandwidth knee, and turning
+upward once contention and fork/join overheads dominate — the *inflexion
+point* the paper builds its partial-speedup argument on.
+
+The runtime executes **real** chunked work (the caller's ``body(lo, hi)``
+runs over every index range, so numerical results are exact) while time is
+charged from :class:`~repro.omp.costmodel.OMPCostModel`.
+"""
+
+from repro.omp.costmodel import OMPParams, OMPCostModel
+from repro.omp.runtime import OpenMP
+from repro.omp.parallel_for import chunk_ranges
+
+__all__ = ["OMPParams", "OMPCostModel", "OpenMP", "chunk_ranges"]

@@ -1,0 +1,85 @@
+"""Chunking helpers for simulated parallel loops.
+
+A simulated parallel-for executes every chunk *sequentially* on the host
+(the numerical result is exactly what a data-race-free OpenMP loop would
+produce) while the clock charge comes from the cost model.  The chunking
+here mirrors OpenMP's schedule kinds so that tests can verify coverage
+and disjointness properties per schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import MachineError
+
+
+def chunk_ranges(
+    n: int, nthreads: int, schedule: str = "static", chunk: int | None = None
+) -> List[Tuple[int, int, int]]:
+    """Partition ``range(n)`` into ``(thread, lo, hi)`` triples.
+
+    Supported schedules:
+
+    * ``static`` (no chunk): one contiguous block per thread, remainder
+      spread over the first threads — OpenMP's default;
+    * ``static`` with ``chunk``: round-robin blocks of ``chunk``;
+    * ``dynamic``: blocks of ``chunk`` (default 1) handed out in order —
+      deterministic here (thread ``k`` takes the k-th block mod t), which
+      is one legal execution of the real schedule;
+    * ``guided``: geometrically shrinking blocks, floor ``chunk``.
+
+    Returns triples in execution order; the union of [lo, hi) ranges is
+    exactly [0, n) with no overlap.
+    """
+    if n < 0:
+        raise MachineError(f"loop trip count must be >= 0, got {n}")
+    if nthreads < 1:
+        raise MachineError("need at least one thread")
+    if n == 0:
+        return []
+    if schedule == "static" and chunk is None:
+        base = n // nthreads
+        rem = n % nthreads
+        out = []
+        lo = 0
+        for t in range(nthreads):
+            size = base + (1 if t < rem else 0)
+            if size == 0:
+                continue
+            out.append((t, lo, lo + size))
+            lo += size
+        return out
+    if schedule in ("static", "dynamic"):
+        c = chunk if chunk is not None else 1
+        if c < 1:
+            raise MachineError("chunk must be >= 1")
+        out = []
+        for k, lo in enumerate(range(0, n, c)):
+            out.append((k % nthreads, lo, min(lo + c, n)))
+        return out
+    if schedule == "guided":
+        c_min = chunk if chunk is not None else 1
+        if c_min < 1:
+            raise MachineError("chunk must be >= 1")
+        out = []
+        lo = 0
+        k = 0
+        remaining = n
+        while remaining > 0:
+            size = max(c_min, remaining // (2 * nthreads))
+            size = min(size, remaining)
+            out.append((k % nthreads, lo, lo + size))
+            lo += size
+            remaining -= size
+            k += 1
+        return out
+    raise MachineError(f"unknown schedule {schedule!r}")
+
+
+def iter_chunks(
+    n: int, nthreads: int, schedule: str = "static", chunk: int | None = None
+) -> Iterator[Tuple[int, int]]:
+    """Yield just the ``(lo, hi)`` ranges of :func:`chunk_ranges`."""
+    for _, lo, hi in chunk_ranges(n, nthreads, schedule, chunk):
+        yield lo, hi

@@ -1,0 +1,151 @@
+"""The user-facing simulated OpenMP runtime.
+
+One :class:`OpenMP` instance models one MPI rank's thread team.  Workload
+code uses it like a very small subset of the OpenMP API::
+
+    omp = OpenMP(ctx, nthreads=16)
+    omp.parallel_for(nelem, body=lambda lo, hi: kernel(arr[lo:hi]),
+                     work=WorkEstimate(flops=5 * nelem, bytes_moved=24 * nelem))
+
+``body`` runs over every index chunk (real arithmetic, exact results);
+the clock charge comes from :class:`~repro.omp.costmodel.OMPCostModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import MachineError
+from repro.machine.roofline import WorkEstimate
+from repro.omp.costmodel import OMPCostModel, OMPParams
+from repro.omp.parallel_for import chunk_ranges
+
+
+class OpenMP:
+    """A simulated OpenMP team attached to one rank context.
+
+    Parameters
+    ----------
+    ctx:
+        The rank's :class:`~repro.simmpi.context.RankContext`.
+    nthreads:
+        Team size (``OMP_NUM_THREADS``).
+    params:
+        Cost-model constants; defaults to the machine preset.
+    ranks_on_node:
+        MPI ranks sharing this rank's node; defaults to the engine's
+        placement (all ranks on one node for single-node machines).
+    """
+
+    def __init__(
+        self,
+        ctx,
+        nthreads: int,
+        params: Optional[OMPParams] = None,
+        ranks_on_node: Optional[int] = None,
+    ):
+        if nthreads < 1:
+            raise MachineError("OMP_NUM_THREADS must be >= 1")
+        self.ctx = ctx
+        self.nthreads = nthreads
+        if ranks_on_node is None:
+            machine = ctx.machine
+            rpn = ctx.engine.ranks_per_node or machine.node.physical_cores
+            ranks_on_node = min(ctx.size, rpn)
+        self.model = OMPCostModel(ctx.machine, params, ranks_on_node)
+        #: Accumulated modeled time spent inside parallel regions.
+        self.parallel_time = 0.0
+        #: Number of parallel regions executed.
+        self.regions = 0
+
+    # -- core constructs -----------------------------------------------------------
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Optional[Callable[[int, int], None]] = None,
+        *,
+        work: WorkEstimate,
+        schedule: str = "static",
+        chunk: Optional[int] = None,
+    ) -> float:
+        """Run a parallel loop of ``n`` iterations.
+
+        ``body(lo, hi)`` is invoked for every chunk (in a deterministic
+        order); ``work`` describes the whole region's cost.  Returns the
+        charged time.
+        """
+        if body is not None:
+            for _, lo, hi in chunk_ranges(n, self.nthreads, schedule, chunk):
+                body(lo, hi)
+        dt = self.model.region_time(work, self.nthreads, n_iters=n)
+        self.ctx.compute(dt)
+        self.parallel_time += dt
+        self.regions += 1
+        return dt
+
+    def parallel_region(self, work: WorkEstimate) -> float:
+        """Charge one structured parallel region without a loop body
+        (replicated work, e.g. ``#pragma omp parallel`` with locals)."""
+        dt = self.model.region_time(work, self.nthreads)
+        self.ctx.compute(dt)
+        self.parallel_time += dt
+        self.regions += 1
+        return dt
+
+    def parallel_reduce(
+        self,
+        n: int,
+        body: Callable[[int, int], object],
+        combine: Callable[[object, object], object],
+        *,
+        work: WorkEstimate,
+        schedule: str = "static",
+        chunk: Optional[int] = None,
+    ):
+        """``parallel for reduction(...)``: per-chunk partials combined in
+        canonical chunk order (deterministic floats regardless of team
+        size for associative ``combine``; exact for min/max/int sums).
+
+        ``body(lo, hi)`` returns the chunk partial; returns the combined
+        value, or None for an empty loop.  Charges one region's time.
+        """
+        partials = []
+        for _, lo, hi in chunk_ranges(n, self.nthreads, schedule, chunk):
+            partials.append(body(lo, hi))
+        dt = self.model.region_time(work, self.nthreads, n_iters=n)
+        self.ctx.compute(dt)
+        self.parallel_time += dt
+        self.regions += 1
+        if not partials:
+            return None
+        acc = partials[0]
+        for part in partials[1:]:
+            acc = combine(acc, part)
+        return acc
+
+    def single(self, body: Optional[Callable[[], None]] = None, *, work: WorkEstimate) -> float:
+        """``#pragma omp single``: one thread works, the team waits at the
+        implicit barrier."""
+        if body is not None:
+            body()
+        dt = self.model.region_time(work.scaled(1.0), 1) + self.model.fork_join(
+            self.nthreads
+        )
+        self.ctx.compute(dt)
+        return dt
+
+    def barrier(self) -> float:
+        """Explicit team barrier."""
+        dt = self.model.fork_join(self.nthreads)
+        self.ctx.compute(dt)
+        return dt
+
+    # -- introspection ------------------------------------------------------------------
+
+    def efficiency(self, work: WorkEstimate) -> float:
+        """Parallel efficiency the model predicts for ``work`` at the
+        configured team size."""
+        t1 = self.model.region_time(work, 1)
+        tp = self.model.region_time(work, self.nthreads)
+        return t1 / (tp * self.nthreads)

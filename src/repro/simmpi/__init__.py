@@ -1,0 +1,84 @@
+"""Deterministic virtual-time MPI runtime (the paper's substrate).
+
+No real MPI library or cluster is available to this reproduction, so the
+whole message-passing substrate is simulated: each MPI rank runs as an OS
+thread with its own *virtual clock*; exactly one rank thread executes at a
+time under a deterministic min-clock scheduler; messages carry **real**
+NumPy/Python payloads (so computational results are exact and testable)
+while their timing comes from a parameterised network model with seeded
+jitter.  Collective operations are implemented as real algorithms
+(binomial trees, recursive doubling, rings) over the point-to-point layer,
+so their cost structure emerges from the same model the paper's cluster
+exhibits.
+
+Public surface
+--------------
+:func:`~repro.simmpi.engine.run_mpi` runs a per-rank ``main(ctx)`` callable
+and returns a :class:`~repro.simmpi.engine.RunResult`.  Inside ``main`` the
+:class:`~repro.simmpi.context.RankContext` exposes ``ctx.comm`` (an
+mpi4py-flavoured :class:`~repro.simmpi.comm.Communicator`), ``ctx.compute``
+for charging modeled compute time, and the MPI_Section entry points of the
+paper via :func:`~repro.simmpi.sections_rt.section_enter` /
+:func:`~repro.simmpi.sections_rt.section_exit`.
+"""
+
+from repro.simmpi.api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    UNDEFINED,
+    MAX_SECTION_DATA,
+)
+from repro.simmpi.engine import Engine, RunResult, run_mpi
+from repro.simmpi.context import RankContext
+from repro.simmpi.comm import Communicator, Group
+from repro.simmpi.request import (
+    Request,
+    Status,
+    waitall,
+    waitany,
+    waitsome,
+    testall,
+)
+from repro.simmpi.reduce_ops import SUM, PROD, MIN, MAX, LAND, LOR, MINLOC, MAXLOC
+from repro.simmpi.pmpi import Tool, ToolRegistry
+from repro.simmpi.sections_rt import (
+    SectionEvent,
+    section_enter,
+    section_exit,
+    section,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "MAX_SECTION_DATA",
+    "Engine",
+    "RunResult",
+    "run_mpi",
+    "RankContext",
+    "Communicator",
+    "Group",
+    "Request",
+    "Status",
+    "waitall",
+    "waitany",
+    "waitsome",
+    "testall",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "LAND",
+    "LOR",
+    "MINLOC",
+    "MAXLOC",
+    "Tool",
+    "ToolRegistry",
+    "SectionEvent",
+    "section_enter",
+    "section_exit",
+    "section",
+]

@@ -1,0 +1,38 @@
+"""Constants of the simulated MPI interface.
+
+Values mirror the role (not the numeric values) of their MPI counterparts.
+Negative sentinels are used so that they can never collide with a valid
+rank or tag, and validation code can distinguish "wildcard" from "typo".
+"""
+
+from __future__ import annotations
+
+#: Wildcard source rank for receives (``MPI_ANY_SOURCE``).
+ANY_SOURCE: int = -101
+
+#: Wildcard tag for receives (``MPI_ANY_TAG``).
+ANY_TAG: int = -102
+
+#: Null process: sends/recvs to it complete immediately with no data
+#: (``MPI_PROC_NULL``) — used by halo exchanges at domain boundaries.
+PROC_NULL: int = -103
+
+#: Returned by split for ranks passing ``color=UNDEFINED`` (no membership).
+UNDEFINED: int = -104
+
+#: Size, in bytes, of the opaque tool-data blob carried by section
+#: callbacks — Figure 2 of the paper fixes it at 32 bytes.
+MAX_SECTION_DATA: int = 32
+
+#: Upper bound on user tags (MPI guarantees at least 32767).
+TAG_UB: int = 2**30
+
+
+def is_wildcard_source(source: int) -> bool:
+    """Whether ``source`` is the ANY_SOURCE wildcard."""
+    return source == ANY_SOURCE
+
+
+def is_wildcard_tag(tag: int) -> bool:
+    """Whether ``tag`` is the ANY_TAG wildcard."""
+    return tag == ANY_TAG

@@ -1,0 +1,536 @@
+"""Collective operations over the point-to-point fabric.
+
+Each collective is implemented as the real message pattern an MPI library
+would use, so its simulated cost emerges from the same network model as
+user traffic:
+
+==============  ==========================================================
+barrier          dissemination (ceil(log2 p) rounds)
+bcast / Bcast    binomial tree rooted at ``root``
+reduce / Reduce  binomial tree (mirror of bcast), canonical combine order
+allreduce        reduce-to-0 + bcast (deterministic float results)
+scatter(v)       linear from root — root bottleneck grows with p, which is
+                 exactly the SCATTER behaviour in the paper's Figure 5
+gather(v)        linear to root (receives posted eagerly, completed in
+                 arrival order)
+allgather        ring (p−1 steps)
+alltoall         pairwise exchange (p−1 sendrecv steps)
+scan             linear chain (inclusive prefix)
+==============  ==========================================================
+
+Every invocation runs in a private communication sub-context (see
+:meth:`~repro.simmpi.comm.Communicator._next_coll_key`), so collectives
+can never be confused with each other or with point-to-point traffic.
+Within one invocation the message tag encodes the algorithm round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CommMismatchError
+from repro.simmpi.request import waitall
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+def barrier(comm) -> None:
+    """Dissemination barrier: after it, every rank's clock is >= the
+    latest arrival, plus the log-depth message cost."""
+    p = comm.size
+    if p == 1:
+        return
+    ckey = comm._next_coll_key()
+    mask, rnd = 1, 0
+    while mask < p:
+        dest = (comm.rank + mask) % p
+        src = (comm.rank - mask) % p
+        sreq = comm._coll_isend(ckey, b"", dest, rnd)
+        comm._coll_recv(ckey, src, rnd)
+        sreq.wait()
+        mask <<= 1
+        rnd += 1
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+def bcast(comm, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast of a Python object."""
+    p = comm.size
+    if p == 1:
+        return obj
+    vr = (comm.rank - root) % p
+    data = obj if comm.rank == root else None
+    ckey = comm._next_coll_key()
+
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            src = (vr - mask + root) % p
+            data = comm._coll_recv(ckey, src, 0)
+            break
+        mask <<= 1
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if vr + mask < p:
+            dst = (vr + mask + root) % p
+            reqs.append(comm._coll_isend(ckey, data, dst, 0))
+        mask >>= 1
+    waitall(reqs)
+    return data
+
+
+def Bcast(comm, buf: np.ndarray, root: int = 0) -> None:
+    """Binomial-tree broadcast filling ``buf`` in place on non-roots."""
+    p = comm.size
+    if p == 1:
+        return
+    buf = np.asarray(buf)
+    vr = (comm.rank - root) % p
+    ckey = comm._next_coll_key()
+
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            src = (vr - mask + root) % p
+            comm._coll_recv_into(ckey, buf, src, 0)
+            break
+        mask <<= 1
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if vr + mask < p:
+            dst = (vr + mask + root) % p
+            reqs.append(comm._coll_isend(ckey, buf, dst, 0))
+        mask >>= 1
+    waitall(reqs)
+
+
+# ---------------------------------------------------------------------------
+# reduce / allreduce / scan
+# ---------------------------------------------------------------------------
+
+def reduce(comm, obj: Any, op, root: int = 0) -> Any:
+    """Binomial-tree reduction to ``root``; returns None elsewhere.
+
+    Partials are combined in a canonical order (lower subtree first), so
+    floating-point results are bit-stable across runs.
+    """
+    p = comm.size
+    if p == 1:
+        return obj
+    vr = (comm.rank - root) % p
+    ckey = comm._next_coll_key()
+    result = obj
+    mask = 1
+    while mask < p:
+        if vr & mask == 0:
+            peer_vr = vr | mask
+            if peer_vr < p:
+                partial = comm._coll_recv(ckey, (peer_vr + root) % p, 0)
+                result = op(result, partial)
+        else:
+            peer = ((vr & ~mask) + root) % p
+            comm._coll_isend(ckey, result, peer, 0).wait()
+            return None
+        mask <<= 1
+    return result if comm.rank == root else None
+
+
+def allreduce(comm, obj: Any, op) -> Any:
+    """reduce-to-0 then bcast: every rank gets an identical result."""
+    partial = reduce(comm, obj, op, root=0)
+    return bcast(comm, partial, root=0)
+
+
+def Reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op, root: int = 0) -> None:
+    """Elementwise buffer reduction into ``recvbuf`` at ``root``."""
+    result = reduce(comm, np.asarray(sendbuf), op, root)
+    if comm.rank == root:
+        if recvbuf is None:
+            raise CommMismatchError("root must supply recvbuf to Reduce")
+        np.asarray(recvbuf)[...] = result
+
+
+def Allreduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> None:
+    """Elementwise buffer reduction with the result everywhere."""
+    result = allreduce(comm, np.asarray(sendbuf), op)
+    np.asarray(recvbuf)[...] = result
+
+
+def scan(comm, obj: Any, op) -> Any:
+    """Inclusive prefix reduction along rank order (linear chain)."""
+    p = comm.size
+    if p == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    result = obj
+    if comm.rank > 0:
+        partial = comm._coll_recv(ckey, comm.rank - 1, 0)
+        result = op(partial, result)
+    if comm.rank < p - 1:
+        comm._coll_isend(ckey, result, comm.rank + 1, 0).wait()
+    return result
+
+
+def exscan(comm, obj: Any, op) -> Any:
+    """Exclusive prefix reduction: rank r gets op over ranks [0, r).
+
+    Rank 0 receives None (MPI leaves its buffer undefined).
+    """
+    p = comm.size
+    ckey = comm._next_coll_key()
+    carry = None
+    if comm.rank > 0:
+        carry = comm._coll_recv(ckey, comm.rank - 1, 0)
+    if comm.rank < p - 1:
+        forward = obj if carry is None else op(carry, obj)
+        comm._coll_isend(ckey, forward, comm.rank + 1, 0).wait()
+    return carry
+
+
+def reduce_scatter_block(comm, sendobjs: Sequence[Any], op) -> Any:
+    """Reduce ``sendobjs[i]`` across ranks and deliver block i to rank i
+    (``MPI_Reduce_scatter_block``): reduce-to-0 of each block followed by
+    a linear scatter."""
+    p = comm.size
+    if len(sendobjs) != p:
+        raise CommMismatchError(
+            f"reduce_scatter_block needs exactly {p} blocks, got {len(sendobjs)}"
+        )
+    reduced = [reduce(comm, block, op, root=0) for block in sendobjs]
+    return scatter(comm, reduced if comm.rank == 0 else None, root=0)
+
+
+# ---------------------------------------------------------------------------
+# naive linear variants (ablation baselines)
+#
+# The benchmark suite compares these against the tree algorithms to
+# quantify what algorithmic collectives buy on the modeled network —
+# the kind of design-choice ablation DESIGN.md calls out.
+# ---------------------------------------------------------------------------
+
+def bcast_linear(comm, obj: Any, root: int = 0) -> Any:
+    """Root sends to every rank directly: O(p) root serialisation."""
+    p = comm.size
+    if p == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    if comm.rank == root:
+        reqs = [
+            comm._coll_isend(ckey, obj, i, 0) for i in range(p) if i != root
+        ]
+        waitall(reqs)
+        return obj
+    return comm._coll_recv(ckey, root, 0)
+
+
+def reduce_linear(comm, obj: Any, op, root: int = 0) -> Any:
+    """Root receives from every rank and combines in rank order."""
+    p = comm.size
+    if p == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    if comm.rank == root:
+        reqs = {i: comm._coll_irecv(ckey, i, 0) for i in range(p) if i != root}
+        result = None
+        for i in range(p):
+            partial = obj if i == root else reqs[i].wait()
+            result = partial if result is None else op(result, partial)
+        return result
+    comm._coll_isend(ckey, obj, root, 0).wait()
+    return None
+
+
+def barrier_central(comm) -> None:
+    """Centralised barrier: gather-to-0 then broadcast — O(p) at root."""
+    p = comm.size
+    if p == 1:
+        return
+    ckey = comm._next_coll_key()
+    if comm.rank == 0:
+        reqs = [comm._coll_irecv(ckey, i, 0) for i in range(1, p)]
+        waitall(reqs)
+        sends = [comm._coll_isend(ckey, b"", i, 1) for i in range(1, p)]
+        waitall(sends)
+    else:
+        comm._coll_isend(ckey, b"", 0, 0).wait()
+        comm._coll_recv(ckey, 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# scatter / gather (object mode, linear)
+# ---------------------------------------------------------------------------
+
+def scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
+    """Linear scatter of ``sendobjs[i]`` to rank ``i`` from ``root``."""
+    p = comm.size
+    ckey = comm._next_coll_key()
+    if comm.rank == root:
+        if sendobjs is None or len(sendobjs) != p:
+            raise CommMismatchError(
+                f"scatter root needs a sequence of exactly {p} items, "
+                f"got {None if sendobjs is None else len(sendobjs)}"
+            )
+        reqs = [
+            comm._coll_isend(ckey, sendobjs[i], i, 0)
+            for i in range(p)
+            if i != root
+        ]
+        waitall(reqs)
+        return sendobjs[root]
+    return comm._coll_recv(ckey, root, 0)
+
+
+def gather(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
+    """Linear gather of one object per rank into a list at ``root``."""
+    p = comm.size
+    ckey = comm._next_coll_key()
+    if comm.rank == root:
+        reqs = {
+            i: comm._coll_irecv(ckey, i, 0) for i in range(p) if i != root
+        }
+        out: List[Any] = [None] * p
+        out[root] = obj
+        for i, req in reqs.items():
+            out[i] = req.wait()
+        return out
+    comm._coll_isend(ckey, obj, root, 0).wait()
+    return None
+
+
+def allgather(comm, obj: Any) -> List[Any]:
+    """Ring allgather: p−1 neighbour exchanges."""
+    p = comm.size
+    out: List[Any] = [None] * p
+    out[comm.rank] = obj
+    if p == 1:
+        return out
+    ckey = comm._next_coll_key()
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    cur = obj
+    for step in range(p - 1):
+        sreq = comm._coll_isend(ckey, cur, right, step)
+        cur = comm._coll_recv(ckey, left, step)
+        sreq.wait()
+        out[(comm.rank - step - 1) % p] = cur
+    return out
+
+
+def alltoall(comm, sendobjs: Sequence[Any]) -> List[Any]:
+    """Pairwise personalised exchange."""
+    p = comm.size
+    if len(sendobjs) != p:
+        raise CommMismatchError(
+            f"alltoall needs exactly {p} send items, got {len(sendobjs)}"
+        )
+    out: List[Any] = [None] * p
+    out[comm.rank] = sendobjs[comm.rank]
+    ckey = comm._next_coll_key()
+    for k in range(1, p):
+        dst = (comm.rank + k) % p
+        src = (comm.rank - k) % p
+        sreq = comm._coll_isend(ckey, sendobjs[dst], dst, k)
+        out[src] = comm._coll_recv(ckey, src, k)
+        sreq.wait()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# buffer-mode scatter / gather and friends
+# ---------------------------------------------------------------------------
+
+def _offsets(counts: Sequence[int]) -> List[int]:
+    offs = [0]
+    for c in counts:
+        offs.append(offs[-1] + int(c))
+    return offs
+
+
+def Scatterv(
+    comm,
+    sendbuf: Optional[np.ndarray],
+    counts: Sequence[int],
+    recvbuf: np.ndarray,
+    root: int = 0,
+) -> None:
+    """Scatter variable-size slices of ``sendbuf`` along axis 0."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Scatterv needs {p} counts, got {len(counts)}")
+    recvbuf = np.asarray(recvbuf)
+    ckey = comm._next_coll_key()
+    if comm.rank == root:
+        sendbuf = np.asarray(sendbuf)
+        offs = _offsets(counts)
+        if offs[-1] != sendbuf.shape[0]:
+            raise CommMismatchError(
+                f"Scatterv counts sum to {offs[-1]} but sendbuf has "
+                f"{sendbuf.shape[0]} rows"
+            )
+        reqs = []
+        for i in range(p):
+            chunk = sendbuf[offs[i] : offs[i + 1]]
+            if i == root:
+                recvbuf[...] = chunk.reshape(recvbuf.shape)
+                comm.ctx.compute(
+                    chunk.nbytes / comm.ctx.machine.intra_node.bandwidth
+                )
+            else:
+                reqs.append(comm._coll_isend(ckey, chunk, i, 0))
+        waitall(reqs)
+    else:
+        comm._coll_recv_into(ckey, recvbuf, root, 0)
+
+
+def Scatter(comm, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int = 0) -> None:
+    """Equal-slice scatter along axis 0 (``MPI_Scatter``)."""
+    recvbuf = np.asarray(recvbuf)
+    p = comm.size
+    if comm.rank == root:
+        sendbuf = np.asarray(sendbuf)
+        if sendbuf.shape[0] % p != 0:
+            raise CommMismatchError(
+                f"Scatter sendbuf axis 0 ({sendbuf.shape[0]}) not divisible by {p}"
+            )
+        n = sendbuf.shape[0] // p
+    else:
+        n = recvbuf.shape[0] if recvbuf.ndim else 1
+    Scatterv(comm, sendbuf, [n] * p, recvbuf, root)
+
+
+def Gatherv(
+    comm,
+    sendbuf: np.ndarray,
+    recvbuf: Optional[np.ndarray],
+    counts: Sequence[int],
+    root: int = 0,
+) -> None:
+    """Gather variable-size slices into ``recvbuf`` along axis 0."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Gatherv needs {p} counts, got {len(counts)}")
+    sendbuf = np.asarray(sendbuf)
+    ckey = comm._next_coll_key()
+    if comm.rank == root:
+        recvbuf = np.asarray(recvbuf)
+        offs = _offsets(counts)
+        if offs[-1] != recvbuf.shape[0]:
+            raise CommMismatchError(
+                f"Gatherv counts sum to {offs[-1]} but recvbuf has "
+                f"{recvbuf.shape[0]} rows"
+            )
+        reqs = {}
+        for i in range(p):
+            if i == root:
+                recvbuf[offs[i] : offs[i + 1]] = sendbuf.reshape(
+                    recvbuf[offs[i] : offs[i + 1]].shape
+                )
+                comm.ctx.compute(
+                    sendbuf.nbytes / comm.ctx.machine.intra_node.bandwidth
+                )
+            else:
+                reqs[i] = comm._coll_irecv(ckey, i, 0)
+        for i, req in reqs.items():
+            data = req.wait()
+            recvbuf[offs[i] : offs[i + 1]] = np.asarray(data).reshape(
+                recvbuf[offs[i] : offs[i + 1]].shape
+            )
+    else:
+        comm._coll_isend(ckey, sendbuf, root, 0).wait()
+
+
+def Gather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int = 0) -> None:
+    """Equal-slice gather along axis 0 (``MPI_Gather``)."""
+    sendbuf = np.asarray(sendbuf)
+    n = sendbuf.shape[0] if sendbuf.ndim else 1
+    Gatherv(comm, sendbuf, recvbuf, [n] * comm.size, root)
+
+
+def Scan(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> None:
+    """Elementwise inclusive prefix reduction into ``recvbuf``."""
+    result = scan(comm, np.asarray(sendbuf), op)
+    np.asarray(recvbuf)[...] = result
+
+
+def Exscan(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> None:
+    """Elementwise exclusive prefix reduction into ``recvbuf``.
+
+    Rank 0's buffer is left untouched (MPI leaves it undefined).
+    """
+    result = exscan(comm, np.asarray(sendbuf), op)
+    if result is not None:
+        np.asarray(recvbuf)[...] = result
+
+
+def Reduce_scatter_block(
+    comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op
+) -> None:
+    """Reduce row i of ``sendbuf`` (shape (p, ...)) across ranks and
+    deliver it to rank i's ``recvbuf``."""
+    p = comm.size
+    sendbuf = np.asarray(sendbuf)
+    if sendbuf.shape[0] != p:
+        raise CommMismatchError(
+            f"Reduce_scatter_block sendbuf axis 0 must be {p}, "
+            f"got {sendbuf.shape[0]}"
+        )
+    result = reduce_scatter_block(comm, [sendbuf[i] for i in range(p)], op)
+    np.asarray(recvbuf)[...] = np.asarray(result).reshape(np.asarray(recvbuf).shape)
+
+
+def Allgatherv(
+    comm, sendbuf: np.ndarray, recvbuf: np.ndarray, counts: Sequence[int]
+) -> None:
+    """Variable-size allgather along axis 0 (ring of uneven blocks)."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Allgatherv needs {p} counts, got {len(counts)}")
+    recvbuf = np.asarray(recvbuf)
+    offs = _offsets(counts)
+    if offs[-1] != recvbuf.shape[0]:
+        raise CommMismatchError(
+            f"Allgatherv counts sum to {offs[-1]} but recvbuf has "
+            f"{recvbuf.shape[0]} rows"
+        )
+    blocks = allgather(comm, np.asarray(sendbuf))
+    for i, block in enumerate(blocks):
+        dst = recvbuf[offs[i] : offs[i + 1]]
+        dst[...] = np.asarray(block).reshape(dst.shape)
+
+
+def Allgather(comm, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+    """Ring allgather into ``recvbuf`` of shape ``(p, *sendbuf.shape)``."""
+    p = comm.size
+    sendbuf = np.asarray(sendbuf)
+    recvbuf = np.asarray(recvbuf)
+    if recvbuf.shape[0] != p:
+        raise CommMismatchError(
+            f"Allgather recvbuf axis 0 must be {p}, got {recvbuf.shape[0]}"
+        )
+    blocks = allgather(comm, sendbuf)
+    for i, block in enumerate(blocks):
+        recvbuf[i] = np.asarray(block).reshape(recvbuf[i].shape)
+
+
+def Alltoall(comm, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+    """Pairwise all-to-all over rows of ``sendbuf``/``recvbuf``."""
+    p = comm.size
+    sendbuf = np.asarray(sendbuf)
+    recvbuf = np.asarray(recvbuf)
+    if sendbuf.shape[0] != p or recvbuf.shape[0] != p:
+        raise CommMismatchError(
+            f"Alltoall buffers need axis 0 == {p}, got "
+            f"{sendbuf.shape[0]} / {recvbuf.shape[0]}"
+        )
+    rows = alltoall(comm, [sendbuf[i] for i in range(p)])
+    for i, row in enumerate(rows):
+        recvbuf[i] = np.asarray(row).reshape(recvbuf[i].shape)

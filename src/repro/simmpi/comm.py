@@ -1,0 +1,686 @@
+"""Communicators: groups of ranks with isolated communication contexts.
+
+A :class:`Communicator` couples a *group* (an ordered tuple of world
+ranks) with a *context id* (``cid``) that isolates its traffic: messages
+sent on one communicator can never match receives on another, and each
+collective invocation gets its own sub-context so collectives can never
+interfere with point-to-point traffic either — the property real MPI
+implements with hidden context ids.
+
+``dup`` and ``split`` are collective and derive the child ``cid``
+deterministically from the parent's (every rank of the parent executes
+the same sequence of communicator-creating calls, so all members compute
+the same id without any engine-side negotiation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    InvalidCommunicatorError,
+    InvalidRankError,
+    InvalidTagError,
+    RequestError,
+)
+from repro.simmpi.api import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB, UNDEFINED
+from repro.simmpi import collectives as _coll
+from repro.simmpi.datatypes import clone_payload, payload_nbytes
+from repro.simmpi.request import Request, Status, waitall
+from repro.simmpi.reduce_ops import ReduceOp, SUM
+
+
+class Group:
+    """An ordered set of world ranks (``MPI_Group`` analogue)."""
+
+    __slots__ = ("ranks",)
+
+    def __init__(self, ranks: Sequence[int]):
+        if len(set(ranks)) != len(ranks):
+            raise InvalidRankError(f"group has duplicate ranks: {ranks}")
+        self.ranks: Tuple[int, ...] = tuple(int(r) for r in ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group-relative rank of a world rank, or UNDEFINED."""
+        try:
+            return self.ranks.index(world_rank)
+        except ValueError:
+            return UNDEFINED
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self.ranks == other.ranks
+
+    def __hash__(self) -> int:
+        return hash(self.ranks)
+
+    def __repr__(self) -> str:
+        return f"Group({list(self.ranks)})"
+
+
+class Communicator:
+    """The user-facing communication handle (``MPI_Comm`` analogue).
+
+    Lowercase methods move arbitrary Python objects (pickled, like
+    mpi4py); capitalised methods move NumPy buffers the caller allocates.
+    All ranks are communicator-relative; PROC_NULL is honoured everywhere
+    a peer rank is accepted.
+    """
+
+    def __init__(self, ctx, group: Group, cid: tuple):
+        self.ctx = ctx
+        self._group = group
+        self.cid = cid
+        self.rank = group.rank_of(ctx.rank)
+        self.size = group.size
+        self._child_seq = 0
+        self._coll_seq = 0
+        self._freed = False
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def _world(cls, ctx) -> "Communicator":
+        return cls(ctx, Group(range(ctx.size)), ("w",))
+
+    @property
+    def group(self) -> Tuple[int, ...]:
+        """World ranks of this communicator, in rank order."""
+        return self._group.ranks
+
+    def dup(self) -> "Communicator":
+        """Collective duplicate with a fresh isolated context."""
+        self._check_alive()
+        cid = (*self.cid, "d", self._child_seq)
+        self._child_seq += 1
+        return Communicator(self.ctx, self._group, cid)
+
+    def split(self, color: int, key: int = 0) -> Optional["Communicator"]:
+        """Collective split by ``color``, ordered by ``(key, old rank)``.
+
+        Ranks passing ``color=UNDEFINED`` receive ``None``.  The member
+        lists are agreed through an allgather on the parent, so the call
+        carries a real synchronisation cost like its MPI counterpart.
+        """
+        self._check_alive()
+        seq = self._child_seq
+        self._child_seq += 1
+        triple = (color, key, self.rank)
+        all_triples = self.allgather(triple)
+        if color == UNDEFINED:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in all_triples if c == color
+        )
+        world = [self._group.ranks[r] for (_, r) in members]
+        cid = (*self.cid, "s", seq, color)
+        return Communicator(self.ctx, Group(world), cid)
+
+    def create_cart(self, dims: Sequence[int]) -> "CartComm":
+        """Collective creation of a Cartesian communicator
+        (``MPI_Cart_create`` with ``reorder=false``, non-periodic).
+
+        ``prod(dims)`` must equal the communicator size (MPI would allow
+        excluding ranks; the simulated API keeps everyone in).
+        """
+        self._check_alive()
+        from repro.simmpi.topology import CartGrid
+
+        grid = CartGrid(dims)
+        if grid.size != self.size:
+            raise InvalidCommunicatorError(
+                f"cartesian dims {list(dims)} hold {grid.size} ranks, "
+                f"communicator has {self.size}"
+            )
+        cid = (*self.cid, "cart", self._child_seq)
+        self._child_seq += 1
+        return CartComm(self.ctx, self._group, cid, grid)
+
+    def free(self) -> None:
+        """Mark the communicator unusable (``MPI_Comm_free``)."""
+        self._freed = True
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise InvalidCommunicatorError("operation on a freed communicator")
+
+    # -- validation helpers ----------------------------------------------------------
+
+    def _world_rank(self, comm_rank: int) -> int:
+        if not 0 <= comm_rank < self.size:
+            raise InvalidRankError(
+                f"rank {comm_rank} out of range for communicator of size {self.size}"
+            )
+        return self._group.ranks[comm_rank]
+
+    def _check_peer(self, peer: int) -> None:
+        if peer == PROC_NULL:
+            return
+        if not 0 <= peer < self.size:
+            raise InvalidRankError(
+                f"peer rank {peer} out of range [0, {self.size}) and not PROC_NULL"
+            )
+
+    def _check_source(self, source: int) -> None:
+        if source in (PROC_NULL, ANY_SOURCE):
+            return
+        if not 0 <= source < self.size:
+            raise InvalidRankError(
+                f"source rank {source} out of range [0, {self.size}) and not a wildcard"
+            )
+
+    @staticmethod
+    def _check_tag(tag: int, allow_any: bool) -> None:
+        if tag == ANY_TAG:
+            if allow_any:
+                return
+            raise InvalidTagError("ANY_TAG is only valid on receives")
+        if not 0 <= tag < TAG_UB:
+            raise InvalidTagError(f"tag {tag} out of range [0, {TAG_UB})")
+
+    def _comm_source(self, world_source: int) -> int:
+        """Translate a matched world source back to a communicator rank."""
+        return self._group.rank_of(world_source)
+
+    # -- context keys ------------------------------------------------------------------
+
+    def _p2p_key(self) -> tuple:
+        return ("p", self.cid)
+
+    def _next_coll_key(self) -> tuple:
+        """Fresh sub-context for one collective invocation.
+
+        All ranks call collectives on a communicator in the same order, so
+        each computes the same sequence number locally.
+        """
+        key = ("c", self.cid, self._coll_seq)
+        self._coll_seq += 1
+        return key
+
+    # -- point-to-point: object mode ------------------------------------------------------
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking object send."""
+        self._check_alive()
+        self._check_peer(dest)
+        self._check_tag(tag, allow_any=False)
+        ctx = self.ctx
+        req = Request(ctx, "send", f"isend(dest={dest}, tag={tag})")
+        if dest == PROC_NULL:
+            req.complete(ctx.now)
+            return req
+        payload = clone_payload(obj)
+        self._post_send(self._p2p_key(), dest, tag, payload, req)
+        return req
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking object send (returns when the message is in flight or,
+        for rendezvous sizes, delivered)."""
+        self.isend(obj, dest, tag).wait()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking object receive."""
+        self._check_alive()
+        self._check_source(source)
+        self._check_tag(tag, allow_any=True)
+        ctx = self.ctx
+        req = Request(ctx, "recv", f"irecv(source={source}, tag={tag})")
+        if source == PROC_NULL:
+            req.complete(ctx.now, source=PROC_NULL, tag=tag, count=0)
+            return req
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        ctx.engine.fabric.post_recv(ctx, self._p2p_key(), world_source, tag, None, req)
+        return req
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Blocking object receive; returns the received object."""
+        req = self.irecv(source, tag)
+        data = req.wait(status)
+        if status is not None and status.source >= 0:
+            status.source = self._comm_source(status.source)
+        return data
+
+    def probe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Status:
+        """Block until a matching message is pending; return its Status
+        without consuming it (``MPI_Probe``)."""
+        self._check_alive()
+        self._check_source(source)
+        self._check_tag(tag, allow_any=True)
+        ctx = self.ctx
+        req = Request(ctx, "recv", f"probe(source={source}, tag={tag})")
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        ctx.engine.fabric.post_probe(ctx, self._p2p_key(), world_source, tag, req)
+        st = Status()
+        req.wait(st)
+        if st.source >= 0:
+            st.source = self._comm_source(st.source)
+        return st
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Optional[Status]:
+        """Non-blocking probe: Status of a visible matching message, or
+        None (``MPI_Iprobe``).  A message is visible once its (virtual)
+        header has reached this rank."""
+        self._check_alive()
+        self._check_source(source)
+        self._check_tag(tag, allow_any=True)
+        ctx = self.ctx
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        env = ctx.engine.fabric.peek(
+            self._p2p_key(), ctx.rank, world_source, tag
+        )
+        if env is None or env.visible_time > ctx.now:
+            return None
+        st = Status()
+        st.source = self._comm_source(env.src)
+        st.tag = env.tag
+        st.count = env.element_count()
+        return st
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Combined send+receive, deadlock-free like ``MPI_Sendrecv``."""
+        rreq = self.irecv(source, recvtag)
+        sreq = self.isend(sendobj, dest, sendtag)
+        data = rreq.wait(status)
+        if status is not None and status.source >= 0:
+            status.source = self._comm_source(status.source)
+        sreq.wait()
+        return data
+
+    # -- point-to-point: buffer mode -----------------------------------------------------
+
+    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+        """Non-blocking buffer send (array snapshot taken at post time)."""
+        self._check_alive()
+        self._check_peer(dest)
+        self._check_tag(tag, allow_any=False)
+        ctx = self.ctx
+        req = Request(ctx, "send", f"Isend(dest={dest}, tag={tag})")
+        if dest == PROC_NULL:
+            req.complete(ctx.now)
+            return req
+        payload = clone_payload(np.asarray(buf))
+        self._post_send(self._p2p_key(), dest, tag, payload, req)
+        return req
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Blocking buffer send."""
+        self.Isend(buf, dest, tag).wait()
+
+    def Irecv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking buffer receive into caller-owned ``buf``."""
+        self._check_alive()
+        self._check_source(source)
+        self._check_tag(tag, allow_any=True)
+        ctx = self.ctx
+        req = Request(ctx, "recv", f"Irecv(source={source}, tag={tag})")
+        if source == PROC_NULL:
+            req.complete(ctx.now, source=PROC_NULL, tag=tag, count=0)
+            return req
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        ctx.engine.fabric.post_recv(
+            ctx, self._p2p_key(), world_source, tag, np.asarray(buf), req
+        )
+        return req
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> None:
+        """Blocking buffer receive."""
+        req = self.Irecv(buf, source, tag)
+        req.wait(status)
+        if status is not None and status.source >= 0:
+            status.source = self._comm_source(status.source)
+
+    def Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> None:
+        """Combined buffer send+receive."""
+        rreq = self.Irecv(recvbuf, source, recvtag)
+        sreq = self.Isend(sendbuf, dest, sendtag)
+        waitall([rreq, sreq])
+
+    # -- persistent requests (MPI_Send_init / Recv_init / Start) -----------------------
+
+    def Send_init(self, buf: np.ndarray, dest: int, tag: int = 0) -> "PersistentRequest":
+        """Create a persistent send for ``buf`` (re-read at every start).
+
+        The idiomatic MPI pattern for time-step loops: create once,
+        ``start()`` every iteration, wait, repeat.
+        """
+        self._check_alive()
+        self._check_peer(dest)
+        self._check_tag(tag, allow_any=False)
+        return PersistentRequest(self, "send", np.asarray(buf), dest, tag)
+
+    def Recv_init(
+        self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> "PersistentRequest":
+        """Create a persistent receive into ``buf``."""
+        self._check_alive()
+        self._check_source(source)
+        self._check_tag(tag, allow_any=True)
+        return PersistentRequest(self, "recv", np.asarray(buf), source, tag)
+
+    def _post_send(self, ckey: tuple, dest: int, tag: int, payload: Any, req: Request) -> None:
+        ctx = self.ctx
+        nbytes = payload_nbytes(payload)
+        if ctx.engine.tools.wants("on_send"):
+            ctx.engine.tools.dispatch("on_send", self.rank, dest, nbytes, tag, ctx.now)
+        ctx.engine.fabric.post_send(
+            ctx, ckey, self._world_rank(dest), tag, payload, nbytes, req
+        )
+        if not req.done:
+            # Rendezvous: posting cost only; completion comes at match time.
+            ctx._advance(ctx.engine.network.o_send)
+
+    # -- collectives (object mode) -----------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (dissemination algorithm)."""
+        self._collective_entry("barrier")
+        _coll.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast an object from ``root``; returns it on every rank."""
+        self._collective_entry("bcast")
+        return _coll.bcast(self, obj, root)
+
+    def scatter(self, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter one object to each rank from a root-side sequence."""
+        self._collective_entry("scatter")
+        return _coll.scatter(self, sendobjs, root)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank into a list at ``root``."""
+        self._collective_entry("gather")
+        return _coll.gather(self, obj, root)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank onto every rank (ring)."""
+        self._collective_entry("allgather")
+        return _coll.allgather(self, obj)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> List[Any]:
+        """Personalised all-to-all exchange."""
+        self._collective_entry("alltoall")
+        return _coll.alltoall(self, sendobjs)
+
+    def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (binomial tree); None on non-roots."""
+        self._collective_entry("reduce")
+        return _coll.reduce(self, obj, op, root)
+
+    def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce + broadcast; result on every rank."""
+        self._collective_entry("allreduce")
+        return _coll.allreduce(self, obj, op)
+
+    def scan(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction in rank order."""
+        self._collective_entry("scan")
+        return _coll.scan(self, obj, op)
+
+    def exscan(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction; None on rank 0."""
+        self._collective_entry("exscan")
+        return _coll.exscan(self, obj, op)
+
+    def reduce_scatter_block(self, sendobjs: Sequence[Any], op: ReduceOp = SUM) -> Any:
+        """Reduce block i across ranks; deliver it to rank i."""
+        self._collective_entry("reduce_scatter_block")
+        return _coll.reduce_scatter_block(self, sendobjs, op)
+
+    # -- collectives (buffer mode) --------------------------------------------------------
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        """Broadcast ``buf`` in place from ``root`` (binomial tree)."""
+        self._collective_entry("Bcast")
+        _coll.Bcast(self, buf, root)
+
+    def Reduce(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: ReduceOp = SUM, root: int = 0
+    ) -> None:
+        """Elementwise reduce into ``recvbuf`` at ``root``."""
+        self._collective_entry("Reduce")
+        _coll.Reduce(self, sendbuf, recvbuf, op, root)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM) -> None:
+        """Elementwise reduce with the result on every rank."""
+        self._collective_entry("Allreduce")
+        _coll.Allreduce(self, sendbuf, recvbuf, op)
+
+    def Scatter(self, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int = 0) -> None:
+        """Scatter equal slices of root's ``sendbuf`` (first axis)."""
+        self._collective_entry("Scatter")
+        _coll.Scatter(self, sendbuf, recvbuf, root)
+
+    def Scatterv(
+        self,
+        sendbuf: Optional[np.ndarray],
+        counts: Sequence[int],
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> None:
+        """Scatter variable-size slices (counts in elements of axis 0)."""
+        self._collective_entry("Scatterv")
+        _coll.Scatterv(self, sendbuf, counts, recvbuf, root)
+
+    def Gather(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int = 0) -> None:
+        """Gather equal slices into root's ``recvbuf`` (first axis)."""
+        self._collective_entry("Gather")
+        _coll.Gather(self, sendbuf, recvbuf, root)
+
+    def Gatherv(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        counts: Sequence[int],
+        root: int = 0,
+    ) -> None:
+        """Gather variable-size slices (counts in elements of axis 0)."""
+        self._collective_entry("Gatherv")
+        _coll.Gatherv(self, sendbuf, recvbuf, counts, root)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Gather equal blocks onto every rank (ring)."""
+        self._collective_entry("Allgather")
+        _coll.Allgather(self, sendbuf, recvbuf)
+
+    def Allgatherv(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, counts: Sequence[int]
+    ) -> None:
+        """Gather variable-size blocks onto every rank (axis 0)."""
+        self._collective_entry("Allgatherv")
+        _coll.Allgatherv(self, sendbuf, recvbuf, counts)
+
+    def Alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Personalised all-to-all over equal blocks (pairwise)."""
+        self._collective_entry("Alltoall")
+        _coll.Alltoall(self, sendbuf, recvbuf)
+
+    def Scan(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM) -> None:
+        """Elementwise inclusive prefix reduction."""
+        self._collective_entry("Scan")
+        _coll.Scan(self, sendbuf, recvbuf, op)
+
+    def Exscan(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM) -> None:
+        """Elementwise exclusive prefix reduction (rank 0 untouched)."""
+        self._collective_entry("Exscan")
+        _coll.Exscan(self, sendbuf, recvbuf, op)
+
+    def Reduce_scatter_block(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM
+    ) -> None:
+        """Reduce row i across ranks, deliver it to rank i."""
+        self._collective_entry("Reduce_scatter_block")
+        _coll.Reduce_scatter_block(self, sendbuf, recvbuf, op)
+
+    def _collective_entry(self, name: str) -> None:
+        self._check_alive()
+        ctx = self.ctx
+        if ctx.engine.tools.wants("on_collective"):
+            ctx.engine.tools.dispatch("on_collective", self.rank, name, self.cid, ctx.now)
+
+    # -- internal p2p used by collective algorithms ------------------------------------------
+
+    def _coll_isend(self, ckey: tuple, obj: Any, dest: int, tag: int) -> Request:
+        ctx = self.ctx
+        req = Request(ctx, "send", f"coll-send(dest={dest}, tag={tag})")
+        payload = clone_payload(obj)
+        nbytes = payload_nbytes(payload)
+        if ctx.engine.tools.wants("on_send"):
+            # Collective-internal messages are PMPI-visible sends too.
+            ctx.engine.tools.dispatch(
+                "on_send", self.rank, dest, nbytes, tag, ctx.now
+            )
+        ctx.engine.fabric.post_send(
+            ctx, ckey, self._world_rank(dest), tag, payload, nbytes, req
+        )
+        if not req.done:
+            ctx._advance(ctx.engine.network.o_send)
+        return req
+
+    def _coll_irecv(self, ckey: tuple, source: int, tag: int) -> Request:
+        ctx = self.ctx
+        req = Request(ctx, "recv", f"coll-recv(source={source}, tag={tag})")
+        ctx.engine.fabric.post_recv(
+            ctx, ckey, self._world_rank(source), tag, None, req
+        )
+        return req
+
+    def _coll_recv(self, ckey: tuple, source: int, tag: int) -> Any:
+        return self._coll_irecv(ckey, source, tag).wait()
+
+    def _coll_recv_into(self, ckey: tuple, buf: np.ndarray, source: int, tag: int) -> None:
+        ctx = self.ctx
+        req = Request(ctx, "recv", f"coll-recv-into(source={source}, tag={tag})")
+        ctx.engine.fabric.post_recv(
+            ctx, ckey, self._world_rank(source), tag, np.asarray(buf), req
+        )
+        req.wait()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(cid={self.cid}, rank={self.rank}/{self.size})"
+
+
+class PersistentRequest:
+    """A reusable communication handle (``MPI_Send_init`` family).
+
+    ``start()`` posts one instance of the operation and returns the
+    live :class:`~repro.simmpi.request.Request`; the handle itself can
+    be started again once the previous instance was waited on.  For
+    sends the buffer is snapshotted at each start (so the loop can
+    update it between iterations); for receives the delivery lands in
+    the bound buffer.
+    """
+
+    __slots__ = ("comm", "kind", "buf", "peer", "tag", "_active")
+
+    def __init__(self, comm: Communicator, kind: str, buf: np.ndarray,
+                 peer: int, tag: int):
+        self.comm = comm
+        self.kind = kind
+        self.buf = buf
+        self.peer = peer
+        self.tag = tag
+        self._active: Optional[Request] = None
+
+    def start(self) -> Request:
+        """Post one instance; returns the request to wait on."""
+        if self._active is not None and not self._active.done:
+            raise RequestError(
+                "persistent request started while the previous instance "
+                "is still in flight"
+            )
+        if self.kind == "send":
+            self._active = self.comm.Isend(self.buf, self.peer, self.tag)
+        else:
+            self._active = self.comm.Irecv(self.buf, self.peer, self.tag)
+        return self._active
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Wait on the active instance."""
+        if self._active is None:
+            raise RequestError("persistent request waited before start()")
+        out = self._active.wait(status)
+        return out
+
+    @property
+    def done(self) -> bool:
+        """Whether the current instance (if any) has completed."""
+        return self._active is not None and self._active.done
+
+
+class CartComm(Communicator):
+    """A communicator with an attached Cartesian topology.
+
+    Adds the ``MPI_Cart_*`` queries; all point-to-point and collective
+    operations are inherited unchanged.
+    """
+
+    def __init__(self, ctx, group: Group, cid: tuple, grid):
+        super().__init__(ctx, group, cid)
+        self._grid = grid
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        """Grid extents per dimension."""
+        return self._grid.dims
+
+    @property
+    def coords(self) -> Tuple[int, ...]:
+        """This rank's Cartesian coordinates (``MPI_Cart_coords``)."""
+        return self._grid.coords(self.rank)
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """Coordinates of an arbitrary rank."""
+        if not 0 <= rank < self.size:
+            raise InvalidRankError(f"rank {rank} outside [0, {self.size})")
+        return self._grid.coords(rank)
+
+    def rank_at(self, coords: Sequence[int]) -> int:
+        """Rank at ``coords`` (``MPI_Cart_rank``)."""
+        return self._grid.rank_of(coords)
+
+    def shift(self, axis: int, disp: int = 1) -> Tuple[int, int]:
+        """(source, dest) pair for a shift along ``axis``
+        (``MPI_Cart_shift``); PROC_NULL at the non-periodic edges."""
+        src = self._grid.shift(self.rank, axis, -disp)
+        dst = self._grid.shift(self.rank, axis, +disp)
+        return src, dst
+
+    def neighbors(self) -> List[Tuple[int, int, int]]:
+        """All face neighbours as (axis, direction, rank) triples."""
+        return self._grid.neighbors(self.rank)

@@ -1,0 +1,139 @@
+"""Per-rank execution context.
+
+A :class:`RankContext` is the handle workload code receives: it carries the
+rank's private virtual clock, its seeded RNG, the world communicator, the
+compute-time charging interface and the parking primitive used by blocking
+communication.  It is the simulated analogue of "the MPI process".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EngineStateError
+from repro.machine.roofline import RooflineModel, WorkEstimate
+from repro.simmpi.request import Request
+
+
+class RankContext:
+    """Execution state of one simulated MPI rank."""
+
+    def __init__(self, engine, thread):
+        self.engine = engine
+        self._thread = thread
+        self.rank: int = thread.rank
+        self.size: int = engine.n_ranks
+        self._clock: float = 0.0
+        #: Per-rank deterministic RNG for workload-level randomness.
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=engine.seed, spawn_key=(10_000 + self.rank,))
+        )
+        self._jitter_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=engine.seed, spawn_key=(20_000 + self.rank,))
+        )
+        self.roofline = RooflineModel(engine.machine.node)
+        # Imported lazily to avoid a cycle at module load.
+        from repro.simmpi.comm import Communicator
+
+        #: COMM_WORLD for this rank.
+        self.comm = Communicator._world(self)
+
+    # -- virtual time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of this rank, in seconds."""
+        return self._clock
+
+    def _advance(self, dt: float) -> None:
+        if dt < 0:
+            raise EngineStateError(f"cannot advance clock by {dt} s")
+        self._clock += dt
+
+    def _advance_to(self, t: float) -> None:
+        if t > self._clock:
+            self._clock = t
+
+    def compute(
+        self,
+        seconds: Optional[float] = None,
+        *,
+        work: Optional[WorkEstimate] = None,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        nthreads: int = 1,
+        jitter: Optional[float] = None,
+    ) -> float:
+        """Charge modeled compute time to this rank's clock.
+
+        Either pass ``seconds`` directly, a :class:`WorkEstimate`, or raw
+        ``flops``/``bytes_moved`` which are turned into time through the
+        node's roofline model at ``nthreads`` threads.  A multiplicative
+        log-normal jitter (engine-level default, overridable per call)
+        models OS noise.  Returns the charged time.
+        """
+        if seconds is None:
+            if work is None:
+                work = WorkEstimate(flops=flops, bytes_moved=bytes_moved)
+            seconds = self.roofline.time(work, nthreads=nthreads)
+        sigma = self.engine.compute_jitter if jitter is None else jitter
+        if sigma > 0.0 and seconds > 0.0:
+            seconds *= float(np.exp(self._jitter_rng.normal(0.0, sigma)))
+        if self.engine.noise_floor > 0.0 and seconds > 0.0:
+            seconds += float(
+                self._jitter_rng.exponential(self.engine.noise_floor)
+            )
+        self._advance(seconds)
+        return seconds
+
+    # -- blocking -----------------------------------------------------------------
+
+    def _block_on_request(self, req: Request) -> None:
+        """Park this rank until the fabric completes ``req``."""
+        if req.done:  # pragma: no cover - guarded by callers
+            return
+        req.waiter = self.rank
+        self.engine.park_current(self._thread, f"waiting on {req.describe}")
+        if not req.done:
+            raise EngineStateError(
+                f"rank {self.rank} woken but {req.describe} still pending"
+            )  # pragma: no cover - engine invariant
+
+    def _block_on_any(self, requests) -> None:
+        """Park this rank until *any* of ``requests`` completes.
+
+        Used by waitany/waitsome.  On wake, stale waiter marks on the
+        still-pending siblings are cleared.
+        """
+        pending = [r for r in requests if not r.done]
+        if not pending:
+            return
+        for r in pending:
+            r.waiter = self.rank
+        labels = ", ".join(r.describe for r in pending[:4])
+        self.engine.park_current(
+            self._thread, f"waiting on any of [{labels}...]"
+        )
+        for r in pending:
+            if r.waiter == self.rank:
+                r.waiter = None
+        if not any(r.done for r in requests):
+            raise EngineStateError(
+                f"rank {self.rank} woken from waitany with nothing done"
+            )  # pragma: no cover - engine invariant
+
+    # -- misc -----------------------------------------------------------------------
+
+    @property
+    def machine(self):
+        """The machine model this simulation runs on."""
+        return self.engine.machine
+
+    def node_id(self) -> int:
+        """Node hosting this rank under the configured placement."""
+        return self.engine.machine.node_of_rank(self.rank, self.engine.ranks_per_node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankContext(rank={self.rank}/{self.size}, t={self._clock:.6g})"

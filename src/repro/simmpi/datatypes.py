@@ -1,0 +1,99 @@
+"""Payload handling for the simulated transport.
+
+Two payload families are supported, mirroring mpi4py's convention:
+
+* **buffer payloads** — NumPy arrays (or anything convertible) travel as
+  typed element buffers; the receiver supplies a pre-allocated array that
+  the runtime fills, enforcing MPI truncation semantics;
+* **object payloads** — arbitrary picklable Python objects travel by
+  value; their size is estimated from the pickle for timing purposes.
+
+All payloads are defensively copied at send time so that sender-side
+mutation after a (virtually) completed send cannot corrupt data in flight,
+which is what a real MPI's internal buffering/rendezvous guarantees.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DatatypeError, TruncationError
+
+#: Flat per-object estimate used when pickling fails cheap size probing.
+_MIN_OBJECT_BYTES = 64
+
+
+def is_buffer_payload(obj: Any) -> bool:
+    """Whether ``obj`` travels through the typed-buffer path."""
+    return isinstance(obj, np.ndarray)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Size in bytes used by the network timing model for ``obj``."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    try:
+        return max(_MIN_OBJECT_BYTES, len(pickle.dumps(obj, protocol=5)))
+    except Exception as exc:  # pragma: no cover - exotic unpicklables
+        raise DatatypeError(f"payload of type {type(obj)!r} is not picklable") from exc
+
+
+def clone_payload(obj: Any) -> Any:
+    """Snapshot ``obj`` for transport.
+
+    Arrays are copied (C-contiguous); immutable primitives pass through;
+    other objects take a pickle round-trip, which both snapshots them and
+    verifies transportability.
+    """
+    if obj is None:
+        return None
+    if isinstance(obj, np.ndarray):
+        return np.ascontiguousarray(obj).copy()
+    if isinstance(obj, (int, float, complex, str, bytes, bool, frozenset)):
+        return obj
+    if isinstance(obj, tuple) and all(
+        isinstance(x, (int, float, complex, str, bytes, bool)) for x in obj
+    ):
+        return obj
+    try:
+        return pickle.loads(pickle.dumps(obj, protocol=5))
+    except Exception as exc:
+        raise DatatypeError(f"payload of type {type(obj)!r} is not picklable") from exc
+
+
+def deliver_into(recvbuf: np.ndarray, data: np.ndarray) -> int:
+    """Copy a matched buffer message into the user receive buffer.
+
+    Returns the number of elements delivered.  Enforces MPI semantics:
+    a message larger than the posted buffer is a truncation error; a
+    smaller one fills a prefix (the count is reported via Status).
+    """
+    if not isinstance(recvbuf, np.ndarray):
+        raise DatatypeError("receive buffer must be a numpy array")
+    if not isinstance(data, np.ndarray):
+        raise DatatypeError(
+            "buffer receive matched an object message; use recv() without "
+            "a buffer for object-mode traffic"
+        )
+    flat_dst = recvbuf.reshape(-1)
+    src = data.reshape(-1)
+    if src.size > flat_dst.size:
+        raise TruncationError(
+            f"message of {src.size} elements truncated by a "
+            f"{flat_dst.size}-element receive buffer"
+        )
+    if src.dtype != flat_dst.dtype:
+        # MPI would match raw bytes; requiring equal dtypes catches real
+        # porting bugs, so treat mismatch as an error rather than casting.
+        raise DatatypeError(
+            f"dtype mismatch: message is {src.dtype}, buffer is {flat_dst.dtype}"
+        )
+    flat_dst[: src.size] = src
+    return int(src.size)

@@ -1,0 +1,361 @@
+"""Virtual-time execution engine.
+
+Each MPI rank runs as one OS thread executing an arbitrary Python
+``main(ctx)``; the engine holds a baton so that **exactly one** rank thread
+is ever runnable, picking the READY rank with the smallest virtual clock
+(ties broken by rank).  This sequentialised conservative PDES gives:
+
+* bit-reproducible runs for a given seed, independent of OS scheduling;
+* a deterministic canonical message-matching order;
+* trivially race-free shared bookkeeping (queues, section stacks, stats).
+
+Ranks park (give the baton back) only when a communication dependency
+cannot yet be satisfied — a receive with no matching message, a rendezvous
+send with no posted receive.  Pure compute never blocks: a rank charges
+time to its private clock and keeps running.  If every live rank is parked
+and no pending event can complete, the run is deadlocked and the engine
+raises :class:`~repro.errors.DeadlockError` with a full per-rank dump —
+the simulated analogue of a hung ``mpiexec``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import DeadlockError, EngineStateError, RankFailedError
+from repro.machine.catalog import laptop
+from repro.machine.spec import MachineSpec
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.p2p import MessageFabric
+from repro.simmpi.pmpi import ToolRegistry
+from repro.simmpi.request import Request
+from repro.simmpi.sections_rt import SectionEvent, SectionRuntime
+
+# Rank lifecycle states.
+NEW = "NEW"
+READY = "READY"
+RUNNING = "RUNNING"
+BLOCKED = "BLOCKED"
+DONE = "DONE"
+FAILED = "FAILED"
+ABORTED = "ABORTED"
+
+
+class _SimAbort(BaseException):
+    """Injected into parked rank threads to unwind them on engine abort.
+
+    Derives from BaseException so workload ``except Exception`` blocks
+    cannot swallow it.
+    """
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated MPI run.
+
+    Attributes
+    ----------
+    results:
+        Per-rank return values of ``main``.
+    clocks:
+        Final virtual clock of each rank, in seconds.
+    walltime:
+        Virtual wall time of the job — the max of ``clocks`` (all ranks
+        start at t=0, like a real launcher).
+    section_events:
+        Chronological MPI_Section enter/exit events recorded by the
+        runtime (Figure 2's callback stream).
+    network:
+        Message/byte counters from the network model.
+    """
+
+    n_ranks: int
+    machine: str
+    seed: int
+    results: List[Any]
+    clocks: List[float]
+    walltime: float
+    section_events: List[SectionEvent]
+    network: Dict[str, int] = field(default_factory=dict)
+
+    def rank_result(self, rank: int) -> Any:
+        """Return value of ``main`` on ``rank``."""
+        return self.results[rank]
+
+
+class _RankThread(threading.Thread):
+    """One simulated MPI process."""
+
+    def __init__(self, engine: "Engine", rank: int, fn: Callable, args, kwargs):
+        super().__init__(name=f"simmpi-rank-{rank}", daemon=True)
+        self.engine = engine
+        self.rank = rank
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.state = NEW
+        self.go = threading.Event()
+        self.result: Any = None
+        self.exc: Optional[BaseException] = None
+        self.block_info: str = ""
+        self.ctx = None  # set by the engine before start
+
+    def run(self) -> None:  # pragma: no cover - exercised via engine runs
+        self.go.wait()
+        self.go.clear()
+        if self.engine._aborting:
+            self.state = ABORTED
+            self.engine._back.set()
+            return
+        try:
+            self.engine._sections.rank_begin(self.ctx)
+            self.result = self.fn(self.ctx, *self.args, **self.kwargs)
+            self.engine._sections.rank_end(self.ctx)
+            self.state = DONE
+        except _SimAbort:
+            self.state = ABORTED
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            self.exc = exc
+            self.state = FAILED
+        finally:
+            self.engine._back.set()
+
+
+class Engine:
+    """Runs ``n_ranks`` rank threads to completion under virtual time.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated MPI processes.
+    machine:
+        Machine model; defaults to a generic single node wide enough to
+        host every rank (useful for algorithm-level tests where timing
+        realism is secondary).
+    ranks_per_node:
+        Placement density; defaults to one rank per physical core.
+    seed:
+        Root seed for network jitter, compute jitter and workload RNGs.
+    compute_jitter:
+        Relative sigma of log-normal noise applied to each ``compute()``
+        charge (models DVFS / contention variability proportional to the
+        work).
+    noise_floor:
+        Mean of an *additive* exponential noise term per ``compute()``
+        call, in seconds (models OS noise quanta — interrupts, scheduler
+        preemption — whose size does not shrink with the task).  This
+        floor is what makes fine-grained phases lose efficiency at scale:
+        as per-step compute shrinks with p, a fixed-size disturbance
+        desynchronises neighbours and turns into wait time in coupled
+        phases like halo exchanges.
+    tools:
+        PMPI-style tools whose callbacks observe section events.
+    validate_sections:
+        Verify at finalize that all ranks of each communicator traversed
+        identical section sequences (the paper's collective invariant).
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: Optional[MachineSpec] = None,
+        ranks_per_node: Optional[int] = None,
+        seed: int = 0,
+        compute_jitter: float = 0.0,
+        noise_floor: float = 0.0,
+        tools: Sequence = (),
+        validate_sections: bool = True,
+        max_virtual_time: Optional[float] = None,
+    ):
+        if n_ranks < 1:
+            raise EngineStateError("need at least one rank")
+        if compute_jitter < 0 or noise_floor < 0:
+            raise EngineStateError("noise parameters must be >= 0")
+        if max_virtual_time is not None and max_virtual_time <= 0:
+            raise EngineStateError("max_virtual_time must be positive")
+        if machine is None:
+            machine = laptop(cores=n_ranks)
+        machine.validate_ranks(n_ranks, ranks_per_node)
+        self.n_ranks = n_ranks
+        self.machine = machine
+        self.ranks_per_node = ranks_per_node
+        self.seed = seed
+        self.compute_jitter = compute_jitter
+        self.noise_floor = noise_floor
+        #: Runaway guard: abort once every runnable rank is past this
+        #: virtual time (None disables).  Catches accidental huge
+        #: configurations before they burn real hours.
+        self.max_virtual_time = max_virtual_time
+        self.network = NetworkModel(machine, seed=seed, ranks_per_node=ranks_per_node)
+        self.fabric = MessageFabric(self, self.network)
+        self.tools = ToolRegistry(tools)
+        self._sections = SectionRuntime(self, validate=validate_sections)
+        self._threads: List[_RankThread] = []
+        self._back = threading.Event()
+        self._aborting = False
+        self._started = False
+
+    # -- scheduling -------------------------------------------------------------
+
+    def run(self, main: Callable, args: tuple = (), kwargs: Optional[dict] = None) -> RunResult:
+        """Execute ``main(ctx, *args, **kwargs)`` on every rank.
+
+        Returns once all ranks finished; raises :class:`RankFailedError`
+        (first failing rank's exception chained) or
+        :class:`DeadlockError`.
+        """
+        # Imported here to avoid a module cycle (context imports comm,
+        # comm uses collectives, collectives use the context).
+        from repro.simmpi.context import RankContext
+
+        if self._started:
+            raise EngineStateError("an Engine instance runs at most once")
+        self._started = True
+        kwargs = kwargs or {}
+
+        self._threads = [
+            _RankThread(self, r, main, args, kwargs) for r in range(self.n_ranks)
+        ]
+        for t in self._threads:
+            t.ctx = RankContext(self, t)
+            t.state = READY
+            t.start()
+
+        try:
+            self._loop()
+        except BaseException:
+            self._abort()
+            raise
+
+        self.fabric.assert_drained()
+        self._sections.finalize()
+        clocks = [t.ctx.now for t in self._threads]
+        return RunResult(
+            n_ranks=self.n_ranks,
+            machine=self.machine.name,
+            seed=self.seed,
+            results=[t.result for t in self._threads],
+            clocks=clocks,
+            walltime=max(clocks),
+            section_events=self._sections.events,
+            network=self.network.stats(),
+        )
+
+    def _loop(self) -> None:
+        while True:
+            runnable = [t for t in self._threads if t.state == READY]
+            if not runnable:
+                if all(t.state == DONE for t in self._threads):
+                    return
+                failed = [t for t in self._threads if t.state == FAILED]
+                if failed:
+                    t = failed[0]
+                    raise RankFailedError(t.rank, t.exc) from t.exc
+                self._raise_deadlock()
+            nxt = min(runnable, key=lambda t: (t.ctx.now, t.rank))
+            if (
+                self.max_virtual_time is not None
+                and nxt.ctx.now > self.max_virtual_time
+            ):
+                raise EngineStateError(
+                    f"virtual time {nxt.ctx.now:.6g}s exceeded the "
+                    f"max_virtual_time guard ({self.max_virtual_time:.6g}s) "
+                    f"on rank {nxt.rank}"
+                )
+            nxt.state = RUNNING
+            nxt.go.set()
+            self._back.wait()
+            self._back.clear()
+            failed = [t for t in self._threads if t.state == FAILED]
+            if failed:
+                t = failed[0]
+                raise RankFailedError(t.rank, t.exc) from t.exc
+
+    def _raise_deadlock(self) -> None:
+        lines = ["simulated MPI deadlock — every rank is blocked:"]
+        for t in self._threads:
+            lines.append(
+                f"  rank {t.rank}: state={t.state} t={t.ctx.now:.6g} {t.block_info}"
+            )
+        lines.extend(self.fabric.pending_summary())
+        raise DeadlockError("\n".join(lines))
+
+    def _abort(self) -> None:
+        """Unwind every live rank thread after a fatal error."""
+        self._aborting = True
+        for t in self._threads:
+            if t.state in (READY, BLOCKED, RUNNING, NEW):
+                t.go.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    # -- rank-side primitives (called from rank threads) -------------------------
+
+    def park_current(self, thread: _RankThread, info: str) -> None:
+        """Give the baton back and sleep until rescheduled.
+
+        Called from the rank's own thread.  On wake, raises
+        :class:`_SimAbort` if the engine is tearing the job down.
+        """
+        thread.state = BLOCKED
+        thread.block_info = info
+        self._back.set()
+        thread.go.wait()
+        thread.go.clear()
+        if self._aborting:
+            raise _SimAbort()
+        thread.block_info = ""
+
+    def wake_if_waiting(self, req: Request) -> None:
+        """Mark the rank parked on ``req`` (if any) runnable again.
+
+        A rank parked on *several* requests (waitany) is woken by the
+        first completion; sibling requests completing later may find the
+        rank already READY — their stale waiter mark is simply cleared.
+        """
+        if req.waiter is None:
+            return
+        t = self._threads[req.waiter]
+        req.waiter = None
+        if t.state == BLOCKED:
+            t.state = READY
+
+    def thread_of(self, rank: int) -> _RankThread:
+        """The rank thread object for ``rank``."""
+        return self._threads[rank]
+
+
+def run_mpi(
+    n_ranks: int,
+    main: Callable,
+    *,
+    machine: Optional[MachineSpec] = None,
+    ranks_per_node: Optional[int] = None,
+    seed: int = 0,
+    compute_jitter: float = 0.0,
+    noise_floor: float = 0.0,
+    tools: Sequence = (),
+    validate_sections: bool = True,
+    max_virtual_time: Optional[float] = None,
+    args: tuple = (),
+    kwargs: Optional[dict] = None,
+) -> RunResult:
+    """One-shot convenience: build an :class:`Engine` and run ``main``.
+
+    This is the moral equivalent of ``mpiexec -n <n_ranks> python main.py``
+    on the simulated machine.
+    """
+    eng = Engine(
+        n_ranks,
+        machine=machine,
+        ranks_per_node=ranks_per_node,
+        seed=seed,
+        compute_jitter=compute_jitter,
+        noise_floor=noise_floor,
+        tools=tools,
+        validate_sections=validate_sections,
+        max_virtual_time=max_virtual_time,
+    )
+    return eng.run(main, args=args, kwargs=kwargs)

@@ -1,0 +1,75 @@
+"""Modeled storage I/O.
+
+The convolution benchmark's LOAD and STORE phases are sequential rank-0
+file-system operations that every other rank waits through — their only
+role in the paper is to exist as non-parallel sections.  This module
+provides an in-memory object store whose read/write operations carry a
+bandwidth/latency cost from the machine model, so those phases show up in
+profiles with realistic (and problem-size-proportional) durations while
+remaining fully deterministic and self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import MPIError
+from repro.simmpi.datatypes import clone_payload, payload_nbytes
+
+
+class ModeledStorage:
+    """A per-simulation key/value store with modeled access costs.
+
+    One instance is typically shared by all ranks of an engine run (create
+    it before ``run_mpi`` and close over it in ``main``); concurrent
+    access needs no locking because the engine runs one rank at a time.
+    """
+
+    def __init__(self, bandwidth: float | None = None, latency: float | None = None):
+        self._data: Dict[str, Any] = {}
+        self._bandwidth = bandwidth
+        self._latency = latency
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _cost(self, ctx, nbytes: int) -> float:
+        bw = self._bandwidth if self._bandwidth is not None else ctx.machine.io_bandwidth
+        lat = self._latency if self._latency is not None else ctx.machine.io_latency
+        return lat + nbytes / bw
+
+    def write(self, ctx, key: str, value: Any) -> float:
+        """Store ``value`` under ``key``; charges modeled write time.
+
+        Returns the charged time.  The value is snapshotted (like bytes
+        hitting a disk) so later mutation of the source does not alter
+        the stored object.
+        """
+        payload = clone_payload(value)
+        nbytes = payload_nbytes(payload)
+        dt = self._cost(ctx, nbytes)
+        ctx.compute(dt, jitter=0.0)
+        self._data[key] = payload
+        self.bytes_written += nbytes
+        return dt
+
+    def read(self, ctx, key: str) -> Any:
+        """Load the value under ``key``; charges modeled read time."""
+        try:
+            payload = self._data[key]
+        except KeyError:
+            raise MPIError(f"storage has no object {key!r}") from None
+        nbytes = payload_nbytes(payload)
+        ctx.compute(self._cost(ctx, nbytes), jitter=0.0)
+        if isinstance(payload, np.ndarray):
+            return payload.copy()
+        return clone_payload(payload)
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is present (no cost; metadata lookup)."""
+        return key in self._data
+
+    def size_of(self, key: str) -> int:
+        """Stored size in bytes of ``key``."""
+        return payload_nbytes(self._data[key])

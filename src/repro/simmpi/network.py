@@ -1,0 +1,188 @@
+"""Network timing model for the simulated transport.
+
+The model is LogGP-flavoured:
+
+* per-message software overhead ``o_send``/``o_recv`` charged to the CPU
+  of each endpoint;
+* wire time ``L + n/B`` from the :class:`~repro.machine.spec.NetworkTier`
+  connecting the two ranks (intra-node vs inter-node);
+* a multiplicative log-normal jitter term per message, drawn from a
+  per-channel seeded RNG so that runs are bit-reproducible and the noise
+  a message experiences does not depend on unrelated traffic;
+* FIFO arrival: per (src → dst) channel, arrival times are forced
+  monotone, matching the non-overtaking guarantee of MPI.
+
+The accumulated jitter over many halo exchanges is what reproduces the
+noisy, rising HALO totals of Figure 5(b) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec, NetworkTier
+
+
+@dataclass(frozen=True)
+class MessageTiming:
+    """Timing decomposition of a single message.
+
+    ``transfer`` is the serialisation time of the payload through the
+    sender's port (the LogGP gap×bytes term — consecutive messages from
+    one rank queue behind each other); ``latency`` is the propagation
+    time added after serialisation.  Both carry this message's jitter.
+    """
+
+    send_overhead: float
+    latency: float
+    transfer: float
+    recv_overhead: float
+
+    @property
+    def wire_time(self) -> float:
+        """Serialisation + propagation (no queueing)."""
+        return self.latency + self.transfer
+
+    @property
+    def total(self) -> float:
+        """End-to-end time from send post to delivery completion."""
+        return self.send_overhead + self.wire_time + self.recv_overhead
+
+
+class NetworkModel:
+    """Computes per-message timings over a :class:`MachineSpec`.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose tiers define latency/bandwidth/jitter.
+    seed:
+        Root seed; each (src, dst) channel derives an independent stream.
+    ranks_per_node:
+        Rank placement density used to decide intra- vs inter-node.
+    o_send, o_recv:
+        Per-message software overheads (seconds) charged to the endpoints.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        seed: int = 0,
+        ranks_per_node: int | None = None,
+        o_send: float = 2.5e-7,
+        o_recv: float = 2.5e-7,
+    ):
+        self.machine = machine
+        self.seed = seed
+        self.ranks_per_node = ranks_per_node
+        self.o_send = o_send
+        self.o_recv = o_recv
+        self._channel_rng: Dict[Tuple[int, int], np.random.Generator] = {}
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        #: Per-rank time at which the outgoing port is next free.
+        self._port_free: Dict[int, float] = {}
+        #: Per-rank time at which the incoming port is next free.
+        self._in_port_free: Dict[int, float] = {}
+        self.messages = 0
+        self.bytes = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _rng_for(self, src: int, dst: int) -> np.random.Generator:
+        key = (src, dst)
+        rng = self._channel_rng.get(key)
+        if rng is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(src + 1, dst + 1))
+            )
+            self._channel_rng[key] = rng
+        return rng
+
+    def tier(self, src: int, dst: int) -> NetworkTier:
+        """Tier connecting two ranks under the configured placement."""
+        return self.machine.tier_between(src, dst, self.ranks_per_node)
+
+    def _jitter(self, src: int, dst: int, tier: NetworkTier) -> float:
+        if tier.jitter <= 0.0 and tier.spike_prob <= 0.0:
+            return 1.0
+        rng = self._rng_for(src, dst)
+        factor = 1.0
+        if tier.jitter > 0.0:
+            factor = float(np.exp(rng.normal(0.0, tier.jitter)))
+        if tier.spike_prob > 0.0 and rng.random() < tier.spike_prob:
+            factor *= tier.spike_scale
+        return factor
+
+    # -- public API ------------------------------------------------------------
+
+    def message_timing(self, src: int, dst: int, nbytes: int) -> MessageTiming:
+        """Draw the timing of one ``nbytes`` message from ``src`` to ``dst``.
+
+        Stateful: consumes one jitter draw on the channel and counts
+        traffic statistics.  Self-messages cost only a memcpy.
+        """
+        self.messages += 1
+        self.bytes += nbytes
+        if src == dst:
+            # Local: a memcpy at intra-node bandwidth, no wire latency.
+            t = self.machine.intra_node
+            return MessageTiming(0.0, 0.0, nbytes / t.bandwidth, 0.0)
+        tier = self.tier(src, dst)
+        factor = self._jitter(src, dst, tier)
+        return MessageTiming(
+            self.o_send,
+            tier.latency * factor,
+            (nbytes / tier.bandwidth) * factor,
+            self.o_recv,
+        )
+
+    def reserve_port(self, src: int, earliest: float, transfer: float) -> float:
+        """Serialise a transfer through ``src``'s outgoing port.
+
+        The transfer starts at max(earliest, port-free time) and occupies
+        the port for ``transfer`` seconds; returns the end-of-serialisation
+        timestamp.  This is what makes a root's linear fan-out O(p·n/B)
+        rather than magically parallel.
+        """
+        start = max(earliest, self._port_free.get(src, 0.0))
+        end = start + transfer
+        self._port_free[src] = end
+        return end
+
+    def deliver(self, src: int, dst: int, ser_end: float, transfer: float,
+                latency: float) -> float:
+        """Full-path arrival time of one message (cut-through pipe model).
+
+        The payload finishes serialising at the source port at
+        ``ser_end``; its head reaches the destination after ``latency``;
+        the destination's inbound port then streams it in, queueing
+        behind other incoming traffic — which is what makes a fan-in at
+        one root O(p · n/B) rather than magically parallel.  Per-channel
+        FIFO monotonicity is enforced on the result.
+        """
+        window_head = ser_end - transfer + latency
+        in_start = max(window_head, self._in_port_free.get(dst, 0.0))
+        in_end = in_start + transfer
+        self._in_port_free[dst] = in_end
+        return self.arrival_time(src, dst, in_end, 0.0)
+
+    def arrival_time(self, src: int, dst: int, depart: float, wire_time: float) -> float:
+        """Arrival timestamp honouring per-channel FIFO monotonicity."""
+        arrival = depart + wire_time
+        key = (src, dst)
+        prev = self._last_arrival.get(key, -np.inf)
+        if arrival < prev:
+            arrival = prev
+        self._last_arrival[key] = arrival
+        return arrival
+
+    def min_latency(self) -> float:
+        """Smallest zero-byte one-way latency of any tier (lookahead bound)."""
+        return min(self.machine.intra_node.latency, self.machine.inter_node.latency)
+
+    def stats(self) -> dict:
+        """Traffic counters accumulated so far."""
+        return {"messages": self.messages, "bytes": self.bytes}

@@ -1,0 +1,107 @@
+"""PMPI-style tool interposition.
+
+Real MPI tools interpose on the profiling interface by overriding weak
+``MPI_*`` symbols at link time and calling the ``PMPI_*`` originals.  In
+Python there is no link step, so the same contract is expressed as a
+registry of *tool* objects whose callback methods the runtime invokes at
+well-defined events.  Section 4 of the paper defines the two section
+callbacks (Figure 2):
+
+* ``section_enter_cb(comm, label, data)``
+* ``section_leave_cb(comm, label, data)``
+
+where ``data`` is a 32-byte scratch blob the runtime preserves between the
+matching enter and leave, letting a tool stash its own context (the paper
+suggests synchronized timestamps).  This module generalises the idea: a
+tool implements any subset of the hook methods below and the registry
+dispatches only to tools that implement each hook (cheap no-tool path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+
+class Tool:
+    """Base class for PMPI-style tools.
+
+    Subclasses override any of the hooks; the defaults are no-ops.  A tool
+    instance is shared by all ranks of the simulation (callbacks receive
+    the rank explicitly), mirroring the merged view a tool daemon builds.
+    """
+
+    # Lifecycle ---------------------------------------------------------------
+
+    def on_rank_begin(self, rank: int, size: int, t: float) -> None:
+        """A rank entered MPI (its ``MPI_Init``)."""
+
+    def on_rank_end(self, rank: int, t: float) -> None:
+        """A rank left MPI (its ``MPI_Finalize``)."""
+
+    # Figure 2 of the paper -----------------------------------------------------
+
+    def section_enter_cb(
+        self, comm_id: tuple, label: str, data: bytearray, rank: int, t: float
+    ) -> None:
+        """An MPI_Section was entered on ``rank`` at virtual time ``t``."""
+
+    def section_leave_cb(
+        self, comm_id: tuple, label: str, data: bytearray, rank: int, t: float
+    ) -> None:
+        """An MPI_Section was left on ``rank`` at virtual time ``t``."""
+
+    # Optional traffic hooks -------------------------------------------------------
+
+    def on_send(self, rank: int, dest: int, nbytes: int, tag: int, t: float) -> None:
+        """A point-to-point send was posted."""
+
+    def on_recv(self, rank: int, source: int, nbytes: int, tag: int, t: float) -> None:
+        """A point-to-point receive completed."""
+
+    def on_collective(self, rank: int, name: str, comm_id: tuple, t: float) -> None:
+        """A collective operation was entered."""
+
+
+#: Hook names the registry knows how to dispatch.
+_HOOKS = (
+    "on_rank_begin",
+    "on_rank_end",
+    "section_enter_cb",
+    "section_leave_cb",
+    "on_send",
+    "on_recv",
+    "on_collective",
+)
+
+
+class ToolRegistry:
+    """Dispatches runtime events to the tools that care about them.
+
+    Tools are probed once at registration: a hook left as the base-class
+    no-op is skipped entirely, so an un-instrumented run pays only a list
+    lookup per event kind.
+    """
+
+    def __init__(self, tools: Iterable = ()):
+        self._by_hook: Dict[str, List[Any]] = {h: [] for h in _HOOKS}
+        self.tools: List[Any] = []
+        for tool in tools:
+            self.register(tool)
+
+    def register(self, tool: Any) -> None:
+        """Add a tool; only its overridden hooks will be called."""
+        self.tools.append(tool)
+        for hook in _HOOKS:
+            impl = getattr(type(tool), hook, None)
+            base = getattr(Tool, hook, None)
+            if impl is not None and impl is not base:
+                self._by_hook[hook].append(tool)
+
+    def wants(self, hook: str) -> bool:
+        """Whether any registered tool implements ``hook``."""
+        return bool(self._by_hook.get(hook))
+
+    def dispatch(self, hook: str, *args) -> None:
+        """Invoke ``hook`` on every tool implementing it."""
+        for tool in self._by_hook[hook]:
+            getattr(tool, hook)(*args)

@@ -1,0 +1,105 @@
+"""Reduction operators for reduce/allreduce/scan.
+
+Each operator is a small callable object combining two partial results.
+Operators work on NumPy arrays (elementwise), Python scalars, and — for
+the ``*LOC`` variants — ``(value, location)`` pairs, matching MPI's
+``MPI_MINLOC``/``MPI_MAXLOC`` semantics (ties resolve to the lowest
+location, as the standard requires).
+
+All provided operators are commutative and associative; the collective
+algorithms nevertheless combine partials in canonical rank order so that
+floating-point results are identical across runs and algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import MPIError
+
+
+class ReduceOp:
+    """A named reduction operator."""
+
+    __slots__ = ("name", "fn", "commutative")
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any], commutative: bool = True):
+        self.name = name
+        self.fn = fn
+        self.commutative = commutative
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _prod(a, b):
+    return a * b
+
+
+def _min(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _max(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _land(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def _lor(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+def _as_valloc(x) -> tuple:
+    if not (isinstance(x, tuple) and len(x) == 2):
+        raise MPIError(
+            f"MINLOC/MAXLOC operate on (value, location) pairs, got {x!r}"
+        )
+    return x
+
+
+def _minloc(a, b):
+    va, la = _as_valloc(a)
+    vb, lb = _as_valloc(b)
+    if va < vb or (va == vb and la <= lb):
+        return (va, la)
+    return (vb, lb)
+
+
+def _maxloc(a, b):
+    va, la = _as_valloc(a)
+    vb, lb = _as_valloc(b)
+    if va > vb or (va == vb and la <= lb):
+        return (va, la)
+    return (vb, lb)
+
+
+SUM = ReduceOp("SUM", _sum)
+PROD = ReduceOp("PROD", _prod)
+MIN = ReduceOp("MIN", _min)
+MAX = ReduceOp("MAX", _max)
+LAND = ReduceOp("LAND", _land)
+LOR = ReduceOp("LOR", _lor)
+MINLOC = ReduceOp("MINLOC", _minloc)
+MAXLOC = ReduceOp("MAXLOC", _maxloc)
+
+ALL_OPS = (SUM, PROD, MIN, MAX, LAND, LOR, MINLOC, MAXLOC)

@@ -1,0 +1,171 @@
+"""Request and Status handles for non-blocking operations.
+
+A :class:`Request` tracks one in-flight send or receive.  Completion is a
+*virtual-time* event: the fabric stamps the request with the timestamp at
+which the operation finishes; ``wait()`` advances the caller's clock to at
+least that timestamp (and parks the rank thread if the match has not
+happened yet).  :class:`Status` mirrors ``MPI_Status`` — source, tag and
+element count of the matched message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import RequestError
+
+
+class Status:
+    """Outcome of a completed receive (``MPI_Status`` analogue)."""
+
+    __slots__ = ("source", "tag", "count", "cancelled")
+
+    def __init__(self) -> None:
+        self.source: int = -1
+        self.tag: int = -1
+        self.count: int = 0
+        self.cancelled: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Status(source={self.source}, tag={self.tag}, count={self.count})"
+
+
+class Request:
+    """Handle on a non-blocking point-to-point operation.
+
+    Attributes
+    ----------
+    kind:
+        ``"send"`` or ``"recv"``.
+    done:
+        Whether the operation has (virtually) completed.
+    completion_time:
+        Virtual timestamp of completion; only valid when ``done``.
+    data:
+        For object-mode receives, the received object.
+    """
+
+    __slots__ = (
+        "kind",
+        "done",
+        "completion_time",
+        "data",
+        "status",
+        "_ctx",
+        "_waited",
+        "waiter",
+        "describe",
+    )
+
+    def __init__(self, ctx, kind: str, describe: str = ""):
+        self.kind = kind
+        self.done = False
+        self.completion_time = 0.0
+        self.data: Any = None
+        self.status = Status()
+        self._ctx = ctx
+        self._waited = False
+        #: Rank currently parked in wait() on this request, if any.
+        self.waiter: Optional[int] = None
+        #: Human-readable description used in deadlock dumps.
+        self.describe = describe
+
+    # -- completion (called by the fabric) ------------------------------------
+
+    def complete(
+        self,
+        time: float,
+        *,
+        source: int = -1,
+        tag: int = -1,
+        count: int = 0,
+        data: Any = None,
+    ) -> None:
+        """Mark the request complete at virtual ``time``."""
+        if self.done:
+            raise RequestError(f"request {self.describe} completed twice")
+        self.done = True
+        self.completion_time = time
+        self.status.source = source
+        self.status.tag = tag
+        self.status.count = count
+        if data is not None:
+            self.data = data
+
+    # -- user side --------------------------------------------------------------
+
+    def test(self) -> bool:
+        """Non-blocking completion check (no clock effect)."""
+        return self.done
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Block (in virtual time) until complete; returns received data.
+
+        Advances the caller's clock to the completion timestamp.  Waiting
+        twice on the same request is an error, as in MPI.
+        """
+        if self._waited:
+            raise RequestError(f"request {self.describe} waited twice")
+        if not self.done:
+            self._ctx._block_on_request(self)
+        self._waited = True
+        self._ctx._advance_to(self.completion_time)
+        if status is not None:
+            status.source = self.status.source
+            status.tag = self.status.tag
+            status.count = self.status.count
+        return self.data
+
+
+def waitall(requests: list[Request], statuses: Optional[list[Status]] = None) -> list[Any]:
+    """Wait on every request; returns their data in order.
+
+    The caller's clock ends at the max completion time, as a real
+    ``MPI_Waitall`` would observe.
+    """
+    out = []
+    for i, req in enumerate(requests):
+        st = statuses[i] if statuses is not None else None
+        out.append(req.wait(st))
+    return out
+
+
+def waitany(requests: list[Request], status: Optional[Status] = None):
+    """Wait until one request completes; returns ``(index, data)``.
+
+    Among already-completed requests the one with the earliest virtual
+    completion time is taken (what a real ``MPI_Waitany`` polling loop
+    would observe first).  The chosen request is consumed (waited);
+    the others stay pending.
+    """
+    if not requests:
+        raise RequestError("waitany needs at least one request")
+    ctx = requests[0]._ctx
+    candidates = [r for r in requests if r.done and not r._waited]
+    if not candidates:
+        ctx._block_on_any(requests)
+        candidates = [r for r in requests if r.done and not r._waited]
+    req = min(candidates, key=lambda r: r.completion_time)
+    data = req.wait(status)
+    return requests.index(req), data
+
+
+def waitsome(requests: list[Request]) -> list:
+    """Wait until at least one request completes; consume *all* requests
+    complete at that virtual instant.  Returns ``[(index, data), ...]``
+    sorted by completion time (``MPI_Waitsome``)."""
+    if not requests:
+        raise RequestError("waitsome needs at least one request")
+    ctx = requests[0]._ctx
+    if not any(r.done and not r._waited for r in requests):
+        ctx._block_on_any(requests)
+    ready = sorted(
+        (r for r in requests if r.done and not r._waited),
+        key=lambda r: r.completion_time,
+    )
+    return [(requests.index(r), r.wait()) for r in ready]
+
+
+def testall(requests: list[Request]) -> bool:
+    """Non-blocking: True iff every request has completed."""
+    return all(r.done for r in requests)

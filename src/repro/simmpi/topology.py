@@ -1,0 +1,111 @@
+"""Cartesian process topologies (``MPI_Cart_*`` analogues).
+
+LULESH decomposes its mesh over a cube of MPI ranks; these helpers
+provide balanced dimension factorisation (``MPI_Dims_create``) and a
+non-periodic Cartesian grid with shift-style neighbour lookup returning
+PROC_NULL at domain boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidRankError, MPIError
+from repro.simmpi.api import PROC_NULL
+
+
+def dims_create(nnodes: int, ndims: int) -> List[int]:
+    """Balanced factorisation of ``nnodes`` over ``ndims`` dimensions.
+
+    Mirrors ``MPI_Dims_create`` with all dimensions free: factors are
+    distributed so the dims are as close to each other as possible,
+    sorted non-increasing.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise MPIError(f"invalid dims_create({nnodes}, {ndims})")
+    dims = [1] * ndims
+    # Prime-factorise and greedily assign largest factors to smallest dim.
+    n = nnodes
+    factors: List[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return sorted(dims, reverse=True)
+
+
+class CartGrid:
+    """A non-periodic Cartesian layout of ``prod(dims)`` ranks.
+
+    Rank 0 sits at coordinate origin; the last dimension varies fastest
+    (C order), matching ``MPI_Cart_create``.
+    """
+
+    def __init__(self, dims: Sequence[int]):
+        if not dims or any(d < 1 for d in dims):
+            raise MPIError(f"invalid cartesian dims {list(dims)}")
+        self.dims: Tuple[int, ...] = tuple(int(d) for d in dims)
+        self.size = 1
+        for d in self.dims:
+            self.size *= d
+
+    @classmethod
+    def cube(cls, p: int) -> "CartGrid":
+        """A 3-D cube of ``p`` ranks; ``p`` must be a perfect cube."""
+        side = round(p ** (1.0 / 3.0))
+        if side**3 != p:
+            raise MPIError(f"{p} ranks do not form a cube (side^3 != p)")
+        return cls((side, side, side))
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of ``rank``."""
+        if not 0 <= rank < self.size:
+            raise InvalidRankError(f"rank {rank} outside grid of {self.size}")
+        out = []
+        rem = rank
+        for d in reversed(self.dims):
+            out.append(rem % d)
+            rem //= d
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at ``coords``."""
+        if len(coords) != len(self.dims):
+            raise MPIError(
+                f"coordinate arity {len(coords)} != grid arity {len(self.dims)}"
+            )
+        rank = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise InvalidRankError(f"coordinate {list(coords)} outside {self.dims}")
+            rank = rank * d + c
+        return rank
+
+    def shift(self, rank: int, axis: int, disp: int) -> int:
+        """Neighbour of ``rank`` displaced ``disp`` along ``axis``.
+
+        Returns PROC_NULL when the displacement leaves the (non-periodic)
+        grid — exactly what halo exchanges feed to Sendrecv.
+        """
+        if not 0 <= axis < len(self.dims):
+            raise MPIError(f"axis {axis} outside grid arity {len(self.dims)}")
+        coords = list(self.coords(rank))
+        coords[axis] += disp
+        if not 0 <= coords[axis] < self.dims[axis]:
+            return PROC_NULL
+        return self.rank_of(coords)
+
+    def neighbors(self, rank: int) -> List[Tuple[int, int, int]]:
+        """All face neighbours as (axis, direction, rank) triples
+        (direction in {-1, +1}; rank may be PROC_NULL)."""
+        out = []
+        for axis in range(len(self.dims)):
+            for disp in (-1, +1):
+                out.append((axis, disp, self.shift(rank, axis, disp)))
+        return out

@@ -1,0 +1,39 @@
+"""Profiling tools built on the MPI_Section callback interface.
+
+These are the "support tools" the paper argues the section abstraction
+enables, each consuming only the two Figure 2 callbacks:
+
+* :class:`~repro.tools.section_profiler.SectionProfilerTool` — the
+  "preliminary tool" of Section 5: online per-rank section timing,
+  stashing enter timestamps in the 32-byte data blob exactly as the
+  paper suggests;
+* :class:`~repro.tools.trace.TraceTool` — an event trace recorder with a
+  Vampir-style coarse-grain merge of instances;
+* :mod:`~repro.tools.loadbalance` — the Section 8 (future work)
+  load-balance analysis over Figure 3 metrics;
+* :mod:`~repro.tools.adaptive` — the Section 8 idea of dynamically
+  restraining parallelism for non-scalable sections.
+"""
+
+from repro.tools.section_profiler import SectionProfilerTool
+from repro.tools.trace import TraceTool, TraceRecord
+from repro.tools.loadbalance import LoadBalanceReport, analyze_load_balance
+from repro.tools.adaptive import AdaptiveAdvisor, SectionPlan
+from repro.tools.reportgen import run_report, scaling_report
+from repro.tools.timeline import render_timeline, render_coarse_lane
+from repro.tools.comm_matrix import CommMatrixTool
+
+__all__ = [
+    "run_report",
+    "scaling_report",
+    "render_timeline",
+    "render_coarse_lane",
+    "CommMatrixTool",
+    "SectionProfilerTool",
+    "TraceTool",
+    "TraceRecord",
+    "LoadBalanceReport",
+    "analyze_load_balance",
+    "AdaptiveAdvisor",
+    "SectionPlan",
+]

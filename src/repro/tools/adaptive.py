@@ -1,0 +1,106 @@
+"""Adaptive parallelism restriction (the Section 8 future-work idea).
+
+*"We would like to explore the possibility of dynamically restraining
+parallelism for non-scalable sections — investigating potential
+improvements for the overall computation."*
+
+Given measured per-section thread-scaling curves (from a
+:class:`~repro.core.analysis.HybridAnalysis` grid or raw series), the
+advisor picks, per section, the thread count minimising that section's
+time — its pre-inflexion sweet spot — and predicts the walltime of a run
+that switches team size per section versus running everything at a
+uniform team size.  The ablation benchmark quantifies the gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.core.inflexion import find_inflexion
+
+
+@dataclass(frozen=True)
+class SectionPlan:
+    """Per-section recommendation."""
+
+    label: str
+    best_threads: int
+    best_time: float
+    #: Time the section would take at the uniform (reference) team size.
+    uniform_time: float
+    #: True when the uniform size sits beyond this section's inflexion.
+    over_parallelised: bool
+
+    @property
+    def gain(self) -> float:
+        """Per-section time saved by restraining parallelism (>= 0)."""
+        return max(0.0, self.uniform_time - self.best_time)
+
+
+class AdaptiveAdvisor:
+    """Chooses per-section thread counts from measured scaling curves.
+
+    Parameters
+    ----------
+    curves:
+        label → (thread_counts, mean per-process section times), with
+        thread counts strictly increasing.  Typically extracted via
+        :meth:`repro.core.analysis.HybridAnalysis.section_series`.
+    """
+
+    def __init__(self, curves: Mapping[str, Tuple[Sequence[int], Sequence[float]]]):
+        if not curves:
+            raise InsufficientDataError("advisor needs at least one section curve")
+        self.curves: Dict[str, Tuple[List[int], List[float]]] = {
+            label: (list(ts), list(xs)) for label, (ts, xs) in curves.items()
+        }
+        for label, (ts, xs) in self.curves.items():
+            if len(ts) != len(xs) or len(ts) < 2:
+                raise InsufficientDataError(
+                    f"section {label!r} needs >= 2 (threads, time) points"
+                )
+
+    def plan(self, uniform_threads: int, rel_tol: float = 0.02) -> List[SectionPlan]:
+        """Recommendation per section against a uniform team size."""
+        plans = []
+        for label, (ts, xs) in self.curves.items():
+            if uniform_threads not in ts:
+                raise AnalysisError(
+                    f"uniform thread count {uniform_threads} not sampled for "
+                    f"{label!r} (have {ts})"
+                )
+            i_best = min(range(len(xs)), key=lambda i: xs[i])
+            uniform_time = xs[ts.index(uniform_threads)]
+            pt = find_inflexion(ts, xs, rel_tol)
+            over = pt is not None and pt.exhausted and uniform_threads > pt.p
+            plans.append(
+                SectionPlan(
+                    label=label,
+                    best_threads=ts[i_best],
+                    best_time=xs[i_best],
+                    uniform_time=uniform_time,
+                    over_parallelised=over,
+                )
+            )
+        plans.sort(key=lambda p: p.gain, reverse=True)
+        return plans
+
+    def predicted_walltime(self, plans: Sequence[SectionPlan]) -> float:
+        """Walltime if each section runs at its own best team size
+        (sections assumed serialised, as LULESH's mutually exclusive
+        Lagrange phases are)."""
+        return sum(p.best_time for p in plans)
+
+    def uniform_walltime(self, plans: Sequence[SectionPlan]) -> float:
+        """Walltime at the uniform team size, same section set."""
+        return sum(p.uniform_time for p in plans)
+
+    def predicted_gain(self, uniform_threads: int, rel_tol: float = 0.02) -> float:
+        """Relative walltime reduction from adaptive restriction."""
+        plans = self.plan(uniform_threads, rel_tol)
+        uni = self.uniform_walltime(plans)
+        if uni <= 0:
+            raise AnalysisError("uniform walltime is non-positive")
+        return (uni - self.predicted_walltime(plans)) / uni

@@ -1,0 +1,91 @@
+"""Load-balance analysis over Figure 3 metrics (the Section 8 interface).
+
+The paper's future work announces "an MPI Section analysis interface
+describing the load-balancing of Sections as shown in Figure 3".  Given
+the section instances of a run, this module reports — per label — the
+entry-imbalance and aggregate-imbalance statistics of Figure 3 and ranks
+the sections by how much walltime their imbalance wastes, the
+"potential balancing information" the paper says a profiler would
+propose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.core.metrics import SectionInstanceTiming
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Aggregate imbalance statistics for one section label.
+
+    Attributes
+    ----------
+    label:
+        The section label.
+    instances:
+        Number of instances aggregated.
+    mean_span:
+        Mean ``Tmax − Tmin`` per instance.
+    mean_entry_imbalance:
+        Mean of the per-rank entry imbalance over all instances.
+    max_entry_imbalance:
+        Worst single-rank entry lateness observed.
+    mean_imbalance:
+        Mean Figure 3 aggregate imbalance ``(Tmax − Tmin) − mean(Tsection)``.
+    wasted_time:
+        Total imbalance summed over instances — an upper estimate of the
+        walltime recoverable by perfect balancing of this section.
+    """
+
+    label: str
+    instances: int
+    mean_span: float
+    mean_entry_imbalance: float
+    max_entry_imbalance: float
+    mean_imbalance: float
+    wasted_time: float
+
+    @property
+    def balance_ratio(self) -> float:
+        """1.0 = perfectly balanced; → 0 as imbalance dominates the span."""
+        if self.mean_span <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.mean_imbalance / self.mean_span)
+
+
+def analyze_load_balance(
+    instances: Iterable[SectionInstanceTiming],
+) -> List[LoadBalanceReport]:
+    """Summarise imbalance per label; sorted by descending wasted time."""
+    by_label: dict = {}
+    for inst in instances:
+        by_label.setdefault(inst.label, []).append(inst)
+    if not by_label:
+        raise InsufficientDataError("no section instances supplied")
+    reports = []
+    for label, insts in by_label.items():
+        spans = [i.span for i in insts]
+        entry_means = [i.entry_imbalance_mean for i in insts]
+        entry_maxes = [
+            max((i.entry_imbalance(r) for r in i.ranks), default=0.0) for i in insts
+        ]
+        imbs = [i.imbalance for i in insts]
+        reports.append(
+            LoadBalanceReport(
+                label=label,
+                instances=len(insts),
+                mean_span=float(np.mean(spans)),
+                mean_entry_imbalance=float(np.mean(entry_means)),
+                max_entry_imbalance=float(np.max(entry_maxes)) if entry_maxes else 0.0,
+                mean_imbalance=float(np.mean(imbs)),
+                wasted_time=float(np.sum(imbs)),
+            )
+        )
+    reports.sort(key=lambda r: r.wasted_time, reverse=True)
+    return reports

@@ -1,0 +1,140 @@
+"""Full-text run reports: everything a section-aware profiler would show.
+
+Combines the per-run profile (inclusive/exclusive breakdown), the
+Figure 3 load-balance view, and — when a scaling sweep is available —
+the speedup, partial-bound, Karp–Flatt and model-fit analyses into one
+plain-text report.  This is the "profile breakdown over sections and
+potential balancing information" the paper sketches in Section 5.3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import ScalingAnalysis
+from repro.core.models import fit_usl_profile
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.core.report import banner, format_dict_rows
+from repro.core.sections import build_instances
+from repro.errors import InsufficientDataError
+from repro.simmpi.engine import RunResult
+from repro.tools.loadbalance import analyze_load_balance
+
+
+def run_report(result: RunResult, top: int = 15) -> str:
+    """Single-run report: section breakdown + load balance.
+
+    ``top`` limits each table to its heaviest entries.
+    """
+    prof = SectionProfile.from_run(result)
+    parts: List[str] = [
+        banner(
+            f"run report — {result.n_ranks} ranks on {result.machine}, "
+            f"walltime {result.walltime:.6g}s, seed {result.seed}"
+        )
+    ]
+
+    rows = []
+    for label in prof.labels():
+        rows.append(
+            {
+                "section": label,
+                "pct_of_execution": prof.percent_of_execution(label),
+                "total_incl_s": prof.total(label),
+                "total_excl_s": prof.total(label, exclusive=True),
+                "avg_per_proc_s": prof.avg_per_process(label),
+                "instances": prof.count(label),
+            }
+        )
+    rows.sort(key=lambda r: r["total_excl_s"], reverse=True)
+    parts.append(
+        format_dict_rows(rows[:top], title="section breakdown (by exclusive time)")
+    )
+
+    instances = build_instances(result.section_events)
+    if instances:
+        lb = analyze_load_balance(i.timing for i in instances)
+        lb_rows = [
+            {
+                "section": r.label,
+                "instances": r.instances,
+                "mean_imbalance_s": r.mean_imbalance,
+                "wasted_s": r.wasted_time,
+                "balance": r.balance_ratio,
+            }
+            for r in lb[:top]
+        ]
+        parts.append(
+            format_dict_rows(lb_rows, title="load balance (Figure 3 metrics)")
+        )
+
+    net = result.network
+    parts.append(
+        f"traffic: {net.get('messages', 0)} messages, "
+        f"{net.get('bytes', 0)} bytes"
+    )
+    return "\n\n".join(parts)
+
+
+def scaling_report(
+    profile: ScalingProfile,
+    bound_labels: Optional[Sequence[str]] = None,
+    top: int = 12,
+) -> str:
+    """Cross-scale report: speedup, bounds, binding sections, law fits."""
+    analysis = ScalingAnalysis(profile)
+    parts: List[str] = [
+        banner(
+            f"scaling report — {profile.scale_name} in {profile.scales()}, "
+            f"T_seq = {profile.sequential_time():.6g}s"
+        )
+    ]
+
+    labels = list(bound_labels) if bound_labels else []
+    speed_rows = analysis.speedup_rows(bound_label=labels[0] if labels else None)
+    parts.append(format_dict_rows(speed_rows, title="measured speedup"))
+
+    binding = analysis.binding_sections()
+    if binding:
+        parts.append(
+            format_dict_rows(
+                [
+                    {
+                        profile.scale_name: scale,
+                        "binding_section": e.label,
+                        "bound": e.bound,
+                        "measured": profile.speedup(scale),
+                    }
+                    for scale, e in sorted(binding.items())
+                ][:top],
+                title="binding section per scale (Eq. 6)",
+            )
+        )
+
+    kf = analysis.karp_flatt_rows()
+    if kf:
+        parts.append(
+            format_dict_rows(kf[:top], title="Karp-Flatt serial fraction")
+        )
+
+    try:
+        fs, rmse = analysis.amdahl_fit()
+        parts.append(f"Amdahl fit: serial fraction = {fs:.4f} (rmse {rmse:.2e})")
+    except InsufficientDataError:
+        pass
+    try:
+        usl = fit_usl_profile(profile)
+        peak = usl.peak_scale
+        parts.append(
+            f"USL fit: sigma = {usl.sigma:.4f}, kappa = {usl.kappa:.3e} "
+            f"(rmse {usl.rmse:.2e}); "
+            + (
+                f"predicted peak speedup {usl.peak_speedup:.2f}x at "
+                f"{profile.scale_name} ~ {peak:.0f}"
+                if usl.retrograde
+                else "no retrograde scaling predicted"
+            )
+        )
+    except InsufficientDataError:
+        pass
+    return "\n\n".join(parts)

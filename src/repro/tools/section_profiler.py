@@ -1,0 +1,97 @@
+"""The paper's "preliminary tool": an online section profiler.
+
+It implements only the two PMPI callbacks of Figure 2 and derives
+per-rank, per-label timing from them.  Following the paper's suggestion,
+the tool uses the runtime-preserved 32-byte ``data`` blob to carry its
+own context between the enter and the leave callback — here the enter
+timestamp (8 bytes, little-endian float64) plus a 4-byte magic tag so a
+corrupted blob is detected rather than silently misread.
+
+This path is deliberately redundant with the engine's own event stream:
+tests cross-validate the two, demonstrating that a third-party tool
+seeing *only* the standardised callbacks reconstructs the same profile.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.errors import AnalysisError
+from repro.simmpi.pmpi import Tool
+
+_MAGIC = b"SPRO"
+_FMT = "<4sd"  # magic + enter timestamp
+_HDR = struct.calcsize(_FMT)
+
+
+class SectionProfilerTool(Tool):
+    """Aggregates inclusive section time per (rank, label) online.
+
+    Attributes
+    ----------
+    inclusive:
+        (rank, label) → summed inclusive seconds.
+    counts:
+        (rank, label) → number of completed instances.
+    open_depth:
+        rank → currently open section count (0 after a balanced run).
+    """
+
+    def __init__(self):
+        self.inclusive: Dict[Tuple[int, str], float] = {}
+        self.counts: Dict[Tuple[int, str], int] = {}
+        self.open_depth: Dict[int, int] = {}
+        self.ranks_seen: set = set()
+
+    # -- Figure 2 callbacks -----------------------------------------------------
+
+    def section_enter_cb(self, comm_id, label, data: bytearray, rank: int, t: float) -> None:
+        """Stash the entry timestamp in the runtime-preserved blob."""
+        struct.pack_into(_FMT, data, 0, _MAGIC, t)
+        self.open_depth[rank] = self.open_depth.get(rank, 0) + 1
+        self.ranks_seen.add(rank)
+
+    def section_leave_cb(self, comm_id, label, data: bytearray, rank: int, t: float) -> None:
+        """Recover the entry timestamp and accumulate the duration."""
+        magic, t_enter = struct.unpack_from(_FMT, data, 0)
+        if magic != _MAGIC:
+            raise AnalysisError(
+                f"section data blob for {label!r} on rank {rank} was not "
+                "preserved between enter and leave"
+            )
+        dt = t - t_enter
+        if dt < 0:
+            raise AnalysisError(
+                f"negative duration for section {label!r} on rank {rank}"
+            )
+        key = (rank, label)
+        self.inclusive[key] = self.inclusive.get(key, 0.0) + dt
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.open_depth[rank] = self.open_depth.get(rank, 0) - 1
+
+    # -- queries ---------------------------------------------------------------------
+
+    def labels(self) -> list:
+        """Distinct labels observed, sorted."""
+        return sorted({label for (_, label) in self.inclusive})
+
+    def total(self, label: str) -> float:
+        """Cross-rank total inclusive time of ``label``."""
+        return sum(v for (_, lab), v in self.inclusive.items() if lab == label)
+
+    def rank_total(self, rank: int, label: str) -> float:
+        """One rank's inclusive time in ``label``."""
+        return self.inclusive.get((rank, label), 0.0)
+
+    def avg_per_process(self, label: str) -> float:
+        """Per-process average time of ``label`` over ranks seen."""
+        if not self.ranks_seen:
+            raise AnalysisError("profiler observed no ranks")
+        return self.total(label) / len(self.ranks_seen)
+
+    def assert_balanced(self) -> None:
+        """Raise unless every rank closed every section it opened."""
+        bad = {r: d for r, d in self.open_depth.items() if d != 0}
+        if bad:
+            raise AnalysisError(f"unbalanced sections at end of run: {bad}")

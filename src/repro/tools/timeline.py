@@ -1,0 +1,129 @@
+"""ASCII section timelines — the §5.3 trace-viewer idea, in a terminal.
+
+The paper argues a temporal trace viewer "would merge fine-grained
+trace-events per sections to provide a coarse-grain overview of section
+instances before zooming in".  :func:`render_timeline` draws exactly
+that: one lane per rank, virtual time on the x axis, each section
+instance as a labelled bar — plus a coarse cross-rank lane built from
+the merged instances.  Everything is plain text, so it works wherever
+the simulator does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.errors import AnalysisError
+from repro.simmpi.sections_rt import SectionEvent
+
+#: Characters cycled through to distinguish section labels in the lanes.
+_GLYPHS = "#*=+%@&o~^"
+
+
+def _assign_glyphs(labels: Sequence[str]) -> Dict[str, str]:
+    return {lab: _GLYPHS[i % len(_GLYPHS)] for i, lab in enumerate(labels)}
+
+
+def _intervals_per_rank(
+    events: Iterable[SectionEvent], depth: int
+) -> Tuple[Dict[int, List[Tuple[float, float, str]]], List[str]]:
+    """Per-rank (start, end, label) intervals at a fixed nesting depth."""
+    stacks: Dict[int, List[Tuple[str, float]]] = {}
+    out: Dict[int, List[Tuple[float, float, str]]] = {}
+    labels: List[str] = []
+    for ev in events:
+        stack = stacks.setdefault(ev.rank, [])
+        if ev.kind == "enter":
+            stack.append((ev.label, ev.time))
+            continue
+        label, t0 = stack.pop()
+        if len(stack) == depth:  # depth counts enclosing sections
+            out.setdefault(ev.rank, []).append((t0, ev.time, label))
+            if label not in labels:
+                labels.append(label)
+    return out, labels
+
+
+def render_timeline(
+    events: Sequence[SectionEvent],
+    width: int = 72,
+    depth: int = 1,
+    t_max: Optional[float] = None,
+) -> str:
+    """Render per-rank lanes of the sections at nesting ``depth``.
+
+    ``depth`` 0 is MPI_MAIN itself; 1 (default) shows the user's
+    top-level phases.  Bars round half-open intervals onto ``width``
+    columns; instants too short for one column still get one, so brief
+    sections remain visible (at exaggerated width — it is a sketch, not
+    a plot).
+    """
+    if width < 10:
+        raise AnalysisError("timeline needs width >= 10")
+    per_rank, labels = _intervals_per_rank(events, depth)
+    if not per_rank:
+        return "(no sections at this depth)"
+    end = t_max if t_max is not None else max(
+        e for ivs in per_rank.values() for (_, e, _) in ivs
+    )
+    if end <= 0:
+        raise AnalysisError("timeline needs a positive time extent")
+    glyph = _assign_glyphs(labels)
+    scale = width / end
+
+    lines = [f"timeline (depth {depth}), t in [0, {end:.6g}]s, "
+             f"1 col = {end / width:.3g}s"]
+    for rank in sorted(per_rank):
+        lane = [" "] * width
+        # Paint long intervals first so brief sections stay visible on top.
+        ordered = sorted(per_rank[rank], key=lambda iv: iv[1] - iv[0],
+                         reverse=True)
+        for t0, t1, label in ordered:
+            c0 = min(width - 1, int(t0 * scale))
+            c1 = max(c0 + 1, min(width, int(t1 * scale + 0.5)))
+            for c in range(c0, c1):
+                lane[c] = glyph[label]
+        lines.append(f"rank {rank:3d} |{''.join(lane)}|")
+    legend = "  ".join(f"{glyph[lab]}={lab}" for lab in labels)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_coarse_lane(
+    instances: Sequence[SectionInstanceTiming],
+    width: int = 72,
+    t_max: Optional[float] = None,
+) -> str:
+    """One merged lane of cross-rank instances (the zoomed-out view).
+
+    Each instance spans [Tmin, Tmax]; overlap between consecutive
+    instances (ranks still in section A while others entered B) shows up
+    as glyph collisions resolved in favour of the later instance —
+    visible stagger, exactly what the Figure 3 metrics quantify.
+    """
+    if width < 10:
+        raise AnalysisError("timeline needs width >= 10")
+    if not instances:
+        return "(no instances)"
+    labels: List[str] = []
+    for inst in instances:
+        if inst.label not in labels:
+            labels.append(inst.label)
+    glyph = _assign_glyphs(labels)
+    end = t_max if t_max is not None else max(i.tmax for i in instances)
+    if end <= 0:
+        raise AnalysisError("timeline needs a positive time extent")
+    scale = width / end
+    lane = [" "] * width
+    for inst in sorted(instances, key=lambda i: i.tmin):
+        c0 = min(width - 1, int(inst.tmin * scale))
+        c1 = max(c0 + 1, min(width, int(inst.tmax * scale + 0.5)))
+        for c in range(c0, c1):
+            lane[c] = glyph[inst.label]
+    legend = "  ".join(f"{glyph[lab]}={lab}" for lab in labels)
+    return (
+        f"coarse view, t in [0, {end:.6g}]s\n"
+        f"all ranks|{''.join(lane)}|\n"
+        f"legend: {legend}"
+    )

@@ -1,0 +1,108 @@
+"""Event-trace tool: records the raw section callback stream.
+
+The paper sketches how "a temporal trace viewer such as Vampir would
+merge fine-grained trace-events per sections to provide a coarse-grain
+overview of section instances before zooming in".  :class:`TraceTool`
+records every callback; :meth:`TraceTool.coarse_view` performs exactly
+that merge — one record per section *instance* with its cross-rank extent
+— turning a per-rank event stream into a GUI-scalable summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.simmpi.pmpi import Tool
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded callback."""
+
+    rank: int
+    comm_id: tuple
+    label: str
+    kind: str  # "enter" | "exit"
+    time: float
+
+
+class TraceTool(Tool):
+    """Records every section event, with optional label filtering.
+
+    Parameters
+    ----------
+    label_filter:
+        Predicate on the label; events failing it are dropped (the
+        "event selectivity" use-case of the related-work discussion).
+    """
+
+    def __init__(self, label_filter: Optional[Callable[[str], bool]] = None):
+        self.records: List[TraceRecord] = []
+        self.label_filter = label_filter
+
+    def _keep(self, label: str) -> bool:
+        return self.label_filter is None or self.label_filter(label)
+
+    def section_enter_cb(self, comm_id, label, data, rank, t) -> None:
+        """Record an enter event (subject to the label filter)."""
+        if self._keep(label):
+            self.records.append(TraceRecord(rank, comm_id, label, "enter", t))
+
+    def section_leave_cb(self, comm_id, label, data, rank, t) -> None:
+        """Record an exit event (subject to the label filter)."""
+        if self._keep(label):
+            self.records.append(TraceRecord(rank, comm_id, label, "exit", t))
+
+    # -- views -----------------------------------------------------------------------
+
+    def per_rank(self, rank: int) -> List[TraceRecord]:
+        """The trace restricted to one rank, in recorded order."""
+        return [r for r in self.records if r.rank == rank]
+
+    def timeline(self) -> List[TraceRecord]:
+        """All records sorted by timestamp (stable on ties)."""
+        return sorted(self.records, key=lambda r: r.time)
+
+    def coarse_view(self) -> List[SectionInstanceTiming]:
+        """Merge the per-rank stream into cross-rank section instances.
+
+        Instances are identified by (comm, label, per-rank occurrence
+        index), which is sound because the runtime verifies that all
+        ranks of a communicator traverse identical section sequences.
+        Returns instances ordered by first entry time.
+        """
+        occ: Dict[Tuple[int, tuple, str], int] = {}
+        open_inst: Dict[Tuple[int, tuple], List[Tuple[str, int]]] = {}
+        instances: Dict[Tuple[tuple, str, int], SectionInstanceTiming] = {}
+        for rec in self.records:
+            if rec.kind == "enter":
+                k = (rec.rank, rec.comm_id, rec.label)
+                i = occ.get(k, 0)
+                occ[k] = i + 1
+                open_inst.setdefault((rec.rank, rec.comm_id), []).append(
+                    (rec.label, i)
+                )
+                inst = instances.setdefault(
+                    (rec.comm_id, rec.label, i),
+                    SectionInstanceTiming(rec.label, rec.comm_id, i),
+                )
+                inst.t_in[rec.rank] = rec.time
+            else:
+                stack = open_inst.get((rec.rank, rec.comm_id), [])
+                # Filtered traces may drop enters; skip unmatchable exits.
+                if not stack or stack[-1][0] != rec.label:
+                    continue
+                label, i = stack.pop()
+                instances[(rec.comm_id, label, i)].t_out[rec.rank] = rec.time
+        complete = [
+            inst
+            for inst in instances.values()
+            if inst.t_in and set(inst.t_in) == set(inst.t_out)
+        ]
+        complete.sort(key=lambda s: min(s.t_in.values()))
+        return complete
+
+    def __len__(self) -> int:
+        return len(self.records)

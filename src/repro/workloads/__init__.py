@@ -1,0 +1,47 @@
+"""Benchmark applications instrumented with MPI_Sections.
+
+* :mod:`~repro.workloads.convolution` — the paper's Section 5.1 image
+  convolution benchmark (LOAD / SCATTER / CONVOLVE / HALO / GATHER /
+  STORE phases over a 1-D row decomposition);
+* :mod:`~repro.workloads.lulesh` — a LULESH-like MPI+OpenMP Lagrangian
+  hydro proxy with the paper's 21-section instrumentation and the two
+  dominant phases LagrangeNodal / LagrangeElements (Section 5.2);
+* :mod:`~repro.workloads.images` — deterministic synthetic test images;
+* :mod:`~repro.workloads.stencil` — the shared halo-exchange machinery.
+"""
+
+from repro.workloads.images import make_image, image_checksum
+from repro.workloads.stencil import (
+    row_partition,
+    exchange_row_halos,
+    mean_filter_3x3,
+)
+from repro.workloads.convolution import (
+    ConvolutionConfig,
+    ConvolutionBenchmark,
+    sequential_convolution,
+)
+from repro.workloads.lulesh import (
+    LuleshConfig,
+    LuleshBenchmark,
+    LuleshResult,
+    lulesh_strong_scaling_configs,
+)
+from repro.workloads.lbm import LBMConfig, LBMBenchmark
+
+__all__ = [
+    "make_image",
+    "image_checksum",
+    "row_partition",
+    "exchange_row_halos",
+    "mean_filter_3x3",
+    "ConvolutionConfig",
+    "ConvolutionBenchmark",
+    "sequential_convolution",
+    "LuleshConfig",
+    "LuleshBenchmark",
+    "LuleshResult",
+    "lulesh_strong_scaling_configs",
+    "LBMConfig",
+    "LBMBenchmark",
+]

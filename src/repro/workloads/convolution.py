@@ -1,0 +1,280 @@
+"""The paper's convolution benchmark (Section 5.1).
+
+Structure, exactly as Figure 4 describes:
+
+* **LOAD** — rank 0 loads and decodes the image (modeled storage read +
+  decode compute); all other ranks wait;
+* **SCATTER** — 1-D row split of the image over the MPI processes
+  (``MPI_Scatterv``);
+* time-step loop, each step being:
+
+  * **HALO** — ghost-row exchange with vertical neighbours;
+  * **CONVOLVE** — one 3×3 mean-filter application on the local slab
+    (real NumPy arithmetic + modeled compute time);
+
+* **GATHER** — slabs collected back on rank 0 (``MPI_Gatherv``);
+* **STORE** — rank 0 encodes and stores the result.
+
+Every phase is outlined with an MPI_Section; the virtual timings drive
+Figures 5 and 6 of the paper while the pixel data is exact: the parallel
+result equals :func:`sequential_convolution` bit-for-bit at any rank
+count (integration-tested), because both run the same kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.machine.roofline import WorkEstimate
+from repro.machine.spec import MachineSpec
+from repro.simmpi.engine import RunResult, run_mpi
+from repro.simmpi.mio import ModeledStorage
+from repro.simmpi.sections_rt import section
+from repro.workloads.images import make_image
+from repro.workloads.stencil import (
+    conv_work_per_value,
+    exchange_row_halos,
+    mean_filter_3x3,
+    row_partition,
+)
+
+#: Section labels, in phase order (the paper's bullet list).
+SECTIONS = ("LOAD", "SCATTER", "CONVOLVE", "HALO", "GATHER", "STORE")
+
+
+@dataclass(frozen=True)
+class ConvolutionConfig:
+    """Benchmark parameters.
+
+    The defaults are a proportionally scaled-down version of the paper's
+    run (5616×3744×3 image, 1000 steps); ``paper_size()`` restores the
+    original dimensions for full-scale validation.
+    """
+
+    height: int = 768
+    width: int = 1152
+    channels: int = 3
+    steps: int = 200
+    image_seed: int = 7
+    #: Extra per-byte decode/encode compute charged in LOAD/STORE
+    #: (image (de)compression), in flops per byte.
+    codec_flops_per_byte: float = 1.0
+    #: Overlap communication with computation: post the halo exchange
+    #: non-blocking, filter the interior rows (which need no halo), then
+    #: complete the exchange and filter the two boundary rows.  The
+    #: optimization the section analysis motivates once HALO shows up as
+    #: the binding section.
+    overlap_halo: bool = False
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ReproError(f"need at least one step, got {self.steps}")
+        if self.height < 3 or self.width < 3:
+            raise ReproError("image must be at least 3x3 for a 3x3 stencil")
+
+    @classmethod
+    def paper_size(cls, steps: int = 1000) -> "ConvolutionConfig":
+        """The full-scale configuration of the paper."""
+        return cls(height=3744, width=5616, steps=steps)
+
+    @classmethod
+    def tiny(cls, steps: int = 5) -> "ConvolutionConfig":
+        """A seconds-scale configuration for unit tests."""
+        return cls(height=48, width=64, steps=steps)
+
+    @property
+    def values(self) -> int:
+        """Total number of image values."""
+        return self.height * self.width * self.channels
+
+    @property
+    def nbytes(self) -> int:
+        """Image size in bytes (float64)."""
+        return self.values * 8
+
+
+class ConvolutionBenchmark:
+    """Runs the instrumented convolution pipeline on the simulator."""
+
+    INPUT_KEY = "input.img"
+    OUTPUT_KEY = "output.img"
+
+    def __init__(self, config: Optional[ConvolutionConfig] = None):
+        self.config = config if config is not None else ConvolutionConfig()
+
+    # -- per-rank program -----------------------------------------------------------
+
+    def main(self, ctx, storage: ModeledStorage) -> Optional[np.ndarray]:
+        """The MPI program each rank executes.
+
+        Returns the final image on rank 0 (None elsewhere) so callers can
+        verify correctness.
+        """
+        cfg = self.config
+        comm = ctx.comm
+        p, rank = comm.size, comm.rank
+        flops_v, bytes_v = conv_work_per_value()
+
+        # ---- LOAD: sequential on rank 0, everyone else waits in-section.
+        with section(ctx, "LOAD"):
+            img = None
+            if rank == 0:
+                img = storage.read(ctx, self.INPUT_KEY)
+                # decode cost (the paper's image decoding)
+                ctx.compute(work=WorkEstimate(
+                    flops=cfg.codec_flops_per_byte * cfg.nbytes,
+                    bytes_moved=2 * cfg.nbytes,
+                ))
+            shape = comm.bcast(
+                img.shape if rank == 0 else None, root=0
+            )
+
+        counts = row_partition(shape[0], p)
+        local = np.empty((counts[rank], shape[1], shape[2]), dtype=np.float64)
+
+        # ---- SCATTER: 1-D row split from rank 0.
+        with section(ctx, "SCATTER"):
+            comm.Scatterv(img, counts, local, root=0)
+        del img
+
+        halo_up = np.zeros((shape[1], shape[2]), dtype=np.float64)
+        halo_down = np.zeros((shape[1], shape[2]), dtype=np.float64)
+        local_values = local.size
+        step_work = WorkEstimate(
+            flops=flops_v * local_values, bytes_moved=bytes_v * local_values
+        )
+
+        # Overlap is only sound when every rank has interior rows, and the
+        # decision must be uniform (sections are collective): decide from
+        # the globally known row counts, not the local slab.
+        can_overlap = cfg.overlap_halo and p > 1 and min(counts) >= 3
+
+        # ---- time-step loop: HALO then CONVOLVE, each its own section.
+        for _ in range(cfg.steps):
+            if can_overlap:
+                local = self._overlapped_step(
+                    ctx, comm, local, halo_up, halo_down, step_work
+                )
+                continue
+            with section(ctx, "HALO"):
+                if p > 1:
+                    exchange_row_halos(comm, local, halo_up, halo_down)
+            with section(ctx, "CONVOLVE"):
+                local = mean_filter_3x3(local, halo_up, halo_down)
+                ctx.compute(work=step_work)
+
+        # ---- GATHER: collect slabs back on rank 0.
+        out = None
+        if rank == 0:
+            out = np.empty(tuple(shape), dtype=np.float64)
+        with section(ctx, "GATHER"):
+            comm.Gatherv(local, out, counts, root=0)
+
+        # ---- STORE: sequential encode + write on rank 0.
+        with section(ctx, "STORE"):
+            if rank == 0:
+                ctx.compute(work=WorkEstimate(
+                    flops=cfg.codec_flops_per_byte * cfg.nbytes,
+                    bytes_moved=2 * cfg.nbytes,
+                ))
+                storage.write(ctx, self.OUTPUT_KEY, out)
+            comm.barrier()
+        return out
+
+    @staticmethod
+    def _overlapped_step(ctx, comm, local, halo_up, halo_down, step_work):
+        """One time step with communication/computation overlap.
+
+        Section outline: ``HALO`` posts the non-blocking exchange,
+        ``CONVOLVE`` filters the interior rows (which need no halo),
+        ``HALO_WAIT`` completes the exchange, and a second ``CONVOLVE``
+        instance filters the two boundary rows.  Numerically identical
+        to the blocking step; the virtual clock hides the wire time and
+        neighbour lateness behind the interior work.
+        """
+        from repro.simmpi.api import PROC_NULL
+        from repro.simmpi.request import waitall
+
+        h = local.shape[0]
+        up = comm.rank - 1 if comm.rank > 0 else PROC_NULL
+        down = comm.rank + 1 if comm.rank < comm.size - 1 else PROC_NULL
+
+        with section(ctx, "HALO"):
+            reqs = [
+                comm.Irecv(halo_up, source=up, tag=11),
+                comm.Irecv(halo_down, source=down, tag=12),
+                comm.Isend(local[-1], dest=down, tag=11),
+                comm.Isend(local[0], dest=up, tag=12),
+            ]
+
+        out = np.empty_like(local)
+        zero_row = np.zeros_like(halo_up)
+        with section(ctx, "CONVOLVE"):
+            # Interior output rows 1..h-2 depend only on local rows.
+            out[1:-1] = mean_filter_3x3(local, zero_row, zero_row)[1:-1]
+            ctx.compute(work=step_work.scaled((h - 2) / h))
+
+        with section(ctx, "HALO_WAIT"):
+            waitall(reqs)
+
+        with section(ctx, "CONVOLVE"):
+            # Row 0 needs halo_up; its lower neighbour (row 1) is local.
+            out[0] = mean_filter_3x3(local[0:2], halo_up, zero_row)[0]
+            # Row h-1 needs halo_down; row h-2 is local.
+            out[-1] = mean_filter_3x3(local[-2:], zero_row, halo_down)[1]
+            ctx.compute(work=step_work.scaled(2.0 / h))
+        return out
+
+    # -- driver ------------------------------------------------------------------------
+
+    def run(
+        self,
+        n_ranks: int,
+        machine: Optional[MachineSpec] = None,
+        ranks_per_node: Optional[int] = None,
+        seed: int = 0,
+        compute_jitter: float = 0.015,
+        noise_floor: float = 0.0,
+        tools=(),
+    ) -> RunResult:
+        """Execute the benchmark at ``n_ranks`` on ``machine``.
+
+        The input image is synthesised into modeled storage before the
+        clock starts (the paper's image pre-exists on the file system).
+        """
+        cfg = self.config
+        storage = ModeledStorage()
+        storage._data[self.INPUT_KEY] = make_image(
+            cfg.height, cfg.width, cfg.channels, seed=cfg.image_seed
+        )
+        return run_mpi(
+            n_ranks,
+            self.main,
+            machine=machine,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            compute_jitter=compute_jitter,
+            noise_floor=noise_floor,
+            tools=tools,
+            args=(storage,),
+        )
+
+
+def sequential_convolution(image: np.ndarray, steps: int) -> np.ndarray:
+    """Reference pipeline: the same kernel applied on the whole image.
+
+    Used by integration tests to check that the distributed pipeline is
+    bit-identical for every rank count.
+    """
+    if image.ndim != 3:
+        raise ReproError(f"image must be (h, w, c), got shape {image.shape}")
+    w, c = image.shape[1], image.shape[2]
+    zero = np.zeros((w, c), dtype=image.dtype)
+    out = image
+    for _ in range(steps):
+        out = mean_filter_3x3(out, zero, zero)
+    return out

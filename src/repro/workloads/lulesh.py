@@ -1,0 +1,366 @@
+"""LULESH-like MPI+OpenMP benchmark (the paper's Section 5.2 study).
+
+The driver mirrors LULESH 2.0's phase structure and the paper's
+instrumentation: *"We added 21 sections in the main source file in order
+to outline main computation steps"*, with the two dominant, mutually
+exclusive phases ``LagrangeNodal`` and ``LagrangeElements`` inside a
+``timeloop`` section that accounts for ~99 % of main.
+
+The 21 section labels (nesting shown by indentation)::
+
+    timeloop
+      LagrangeNodal
+        CommSBN
+        CalcForceForNodes
+          IntegrateStressForElems
+          CalcHourglassControlForElems
+        CalcAccelerationForNodes
+        ApplyAccelerationBC
+        CalcVelocityForNodes
+        CalcPositionForNodes
+      LagrangeElements
+        CalcLagrangeElements
+          CalcKinematicsForElems
+        CalcQForElems
+          CommMonoQ
+        ApplyMaterialPropertiesForElems
+          EvalEOSForElems
+        CommEnergy
+        UpdateVolumesForElems
+      CalcTimeConstraintsForElems
+        CommDt
+
+MPI decomposition is a cube of ranks (as LULESH requires); each rank owns
+an (s, s, s) element block and exchanges one ghost plane per face.  All
+compute loops run through the simulated OpenMP runtime, so a single run
+produces both the MPI and the OpenMP timing structure from nothing but
+MPI-level section instrumentation — the paper's headline demonstration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.machine.spec import MachineSpec
+from repro.omp import OMPParams, OpenMP
+from repro.simmpi.api import PROC_NULL
+from repro.simmpi.engine import RunResult, run_mpi
+from repro.simmpi.reduce_ops import MAX
+from repro.simmpi.sections_rt import section
+from repro.simmpi.topology import CartGrid
+from repro.workloads import lulesh_phases as ph
+
+#: The paper's element-count invariant: all strong-scaling configurations
+#: hold the global problem at 110 592 elements (Figure 7).
+PAPER_TOTAL_ELEMENTS = 110_592
+
+
+@dataclass(frozen=True)
+class LuleshConfig:
+    """Proxy parameters.
+
+    ``s`` is the per-rank side length (LULESH's ``-s``); the global mesh
+    is ``(cbrt(p)*s)^3`` elements.  ``work_scale`` multiplies the charged
+    (virtual) per-element work without changing the real arithmetic —
+    the knob that puts virtual walltimes in the paper's range.
+    """
+
+    s: int = 12
+    steps: int = 20
+    work_scale: float = 1.0
+    eos_iters: int = 4
+    spike: float = 3.0
+    hg_eps: float = 0.05
+    qcoef: float = 1.0
+    k0: float = 0.05
+    k1: float = 0.05
+    cfl: float = 0.5
+    dt0: float = 0.2
+    velocity_cutoff: float = 1e-12
+    return_fields: bool = False
+    omp_params: Optional[OMPParams] = None
+
+    def __post_init__(self) -> None:
+        if self.s < 2:
+            raise ReproError(f"per-rank side must be >= 2, got {self.s}")
+        if self.steps < 1:
+            raise ReproError(f"need at least one step, got {self.steps}")
+        if self.eos_iters < 1:
+            raise ReproError("EOS needs at least one iteration")
+
+    def with_side(self, s: int) -> "LuleshConfig":
+        """Copy at a different per-rank side length."""
+        return replace(self, s=s)
+
+
+def lulesh_strong_scaling_configs(
+    total_elements: int = PAPER_TOTAL_ELEMENTS,
+    process_counts: Tuple[int, ...] = (1, 8, 27, 64),
+) -> List[Tuple[int, int]]:
+    """Figure 7's table: (p, s) pairs holding total elements constant.
+
+    Raises if a process count cannot hold the invariant exactly (p must
+    be a cube and total/p a cube).
+    """
+    out = []
+    for p in process_counts:
+        side_p = round(p ** (1.0 / 3.0))
+        if side_p**3 != p:
+            raise ReproError(f"Lulesh needs a cube of processes, got p={p}")
+        local = total_elements / p
+        s = round(local ** (1.0 / 3.0))
+        if p * s**3 != total_elements:
+            raise ReproError(
+                f"cannot hold {total_elements} elements with p={p}: "
+                f"local size {local} is not a cube"
+            )
+        out.append((p, s))
+    return out
+
+
+@dataclass
+class LuleshResult:
+    """Physics-side outcome of one run (assembled on the caller)."""
+
+    total_energy: float
+    initial_energy: float
+    final_dt: float
+    #: Global energy field (side, side, side); None unless requested.
+    energy_field: Optional[np.ndarray]
+
+    @property
+    def energy_drift(self) -> float:
+        """Relative conservation error |E_final - E_initial| / E_initial."""
+        return abs(self.total_energy - self.initial_energy) / self.initial_energy
+
+
+class LuleshBenchmark:
+    """Runs the instrumented LULESH proxy on the simulator."""
+
+    def __init__(self, config: Optional[LuleshConfig] = None):
+        self.config = config if config is not None else LuleshConfig()
+
+    # -- halo exchange -------------------------------------------------------------
+
+    @staticmethod
+    def _exchange_ghosts(comm, grid: CartGrid, fields) -> None:
+        """Exchange one ghost plane per face for each padded field, then
+        replicate interior edges into global-boundary pads (zero-flux /
+        zero-gradient boundary)."""
+        rank = comm.rank
+        s = fields[0].shape[0] - 2
+
+        def plane(arr, axis, idx):
+            if axis == 0:
+                return np.ascontiguousarray(arr[idx, 1:-1, 1:-1])
+            if axis == 1:
+                return np.ascontiguousarray(arr[1:-1, idx, 1:-1])
+            return np.ascontiguousarray(arr[1:-1, 1:-1, idx])
+
+        def set_plane(arr, axis, idx, values):
+            if axis == 0:
+                arr[idx, 1:-1, 1:-1] = values
+            elif axis == 1:
+                arr[1:-1, idx, 1:-1] = values
+            else:
+                arr[1:-1, 1:-1, idx] = values
+
+        for axis in range(3):
+            minus = grid.shift(rank, axis, -1)
+            plus = grid.shift(rank, axis, +1)
+            for f in fields:
+                buf = np.empty((s, s), dtype=f.dtype)
+                # send high interior plane to +, receive low pad from -
+                comm.Sendrecv(plane(f, axis, -2), plus, buf, minus,
+                              sendtag=20 + axis, recvtag=20 + axis)
+                if minus != PROC_NULL:
+                    set_plane(f, axis, 0, buf)
+                else:
+                    set_plane(f, axis, 0, plane(f, axis, 1))
+                # send low interior plane to -, receive high pad from +
+                comm.Sendrecv(plane(f, axis, 1), minus, buf, plus,
+                              sendtag=30 + axis, recvtag=30 + axis)
+                if plus != PROC_NULL:
+                    set_plane(f, axis, -1, buf)
+                else:
+                    set_plane(f, axis, -1, plane(f, axis, -2))
+
+    # -- per-rank program ---------------------------------------------------------------
+
+    def main(self, ctx, nthreads: int) -> dict:
+        """The MPI+OpenMP program each rank executes."""
+        cfg = self.config
+        comm = ctx.comm
+        grid = CartGrid.cube(comm.size)
+        coords = grid.coords(comm.rank)
+        st = ph.HydroState.initial(cfg.s, coords, spike=cfg.spike)
+        initial_energy = st.total_energy()
+        omp = OpenMP(ctx, nthreads, params=cfg.omp_params)
+        s = cfg.s
+        nelem = s**3
+        W = cfg.work_scale
+
+        def pfor(kernel_name: str, body) -> None:
+            omp.parallel_for(
+                s, body, work=ph.work_for(kernel_name, nelem, W)
+            )
+
+        dt = cfg.dt0
+        with section(ctx, "timeloop"):
+            for _ in range(cfg.steps):
+                # ---------------- LagrangeNodal ----------------
+                with section(ctx, "LagrangeNodal"):
+                    with section(ctx, "CommSBN"):
+                        self._exchange_ghosts(comm, grid, [st.e])
+                    with section(ctx, "CalcForceForNodes"):
+                        with section(ctx, "IntegrateStressForElems"):
+                            pfor(
+                                "IntegrateStressForElems",
+                                lambda lo, hi: ph.integrate_stress(st, lo, hi),
+                            )
+                        with section(ctx, "CalcHourglassControlForElems"):
+                            pfor(
+                                "CalcHourglassControlForElems",
+                                lambda lo, hi, dt=dt: ph.hourglass_control(
+                                    st, dt, cfg.hg_eps, lo, hi
+                                ),
+                            )
+                    with section(ctx, "CalcAccelerationForNodes"):
+                        pfor(
+                            "CalcAccelerationForNodes",
+                            lambda lo, hi, dt=dt: ph.acceleration(st, dt, lo, hi),
+                        )
+                    with section(ctx, "ApplyAccelerationBC"):
+                        pfor(
+                            "ApplyAccelerationBC",
+                            lambda lo, hi: ph.acceleration_bc(st, coords, lo, hi),
+                        )
+                    with section(ctx, "CalcVelocityForNodes"):
+                        pfor(
+                            "CalcVelocityForNodes",
+                            lambda lo, hi: ph.velocity_cutoff(
+                                st, cfg.velocity_cutoff, lo, hi
+                            ),
+                        )
+                    with section(ctx, "CalcPositionForNodes"):
+                        pfor(
+                            "CalcPositionForNodes",
+                            lambda lo, hi, dt=dt: ph.position_update(st, dt, lo, hi),
+                        )
+
+                # ---------------- LagrangeElements ----------------
+                with section(ctx, "LagrangeElements"):
+                    with section(ctx, "CalcLagrangeElements"):
+                        with section(ctx, "CalcQForElems"):
+                            with section(ctx, "CommMonoQ"):
+                                self._exchange_ghosts(
+                                    comm, grid, [st.mx, st.my, st.mz]
+                                )
+                        with section(ctx, "CalcKinematicsForElems"):
+                            pfor(
+                                "CalcKinematicsForElems",
+                                lambda lo, hi: ph.kinematics(st, lo, hi),
+                            )
+                            pfor(
+                                "CalcMonotonicQForElems",
+                                lambda lo, hi: ph.monotonic_q(st, cfg.qcoef, lo, hi),
+                            )
+                    with section(ctx, "ApplyMaterialPropertiesForElems"):
+                        with section(ctx, "EvalEOSForElems"):
+                            pfor(
+                                "EvalEOSForElems",
+                                lambda lo, hi: ph.eval_eos(st, cfg.eos_iters, lo, hi),
+                            )
+                        pfor(
+                            "CalcSoundSpeed",
+                            lambda lo, hi: ph.sound_speed_kappa(
+                                st, cfg.k0, cfg.k1, lo, hi
+                            ),
+                        )
+                    with section(ctx, "CommEnergy"):
+                        self._exchange_ghosts(comm, grid, [st.kappa])
+                    with section(ctx, "UpdateVolumesForElems"):
+                        pfor(
+                            "UpdateVolumesForElems",
+                            lambda lo, hi, dt=dt: ph.update_volumes(st, dt, lo, hi),
+                        )
+                        st.interior(st.e)[...] += st.e_incr
+
+                # ---------------- time constraints ----------------
+                with section(ctx, "CalcTimeConstraintsForElems"):
+                    local_max = omp.parallel_reduce(
+                        s,
+                        lambda lo, hi: ph.courant_local_max(st, lo, hi),
+                        max,
+                        work=ph.work_for("CalcTimeConstraints", nelem, W),
+                    )
+                    with section(ctx, "CommDt"):
+                        gmax = comm.allreduce(local_max, op=MAX)
+                    dt = cfg.cfl / (6.0 * gmax + 1e-12)
+
+        out = {
+            "energy": st.total_energy(),
+            "initial_energy": initial_energy,
+            "coords": coords,
+            "dt": dt,
+            "omp_regions": omp.regions,
+        }
+        if cfg.return_fields:
+            out["e_field"] = st.interior(st.e).copy()
+        return out
+
+    # -- driver -----------------------------------------------------------------------------
+
+    def run(
+        self,
+        n_ranks: int,
+        nthreads: int = 1,
+        machine: Optional[MachineSpec] = None,
+        seed: int = 0,
+        compute_jitter: float = 0.0,
+        tools=(),
+    ) -> Tuple[RunResult, LuleshResult]:
+        """Run at (n_ranks, nthreads); all ranks share one node.
+
+        Returns the engine result plus the assembled physics result.
+        """
+        run = run_mpi(
+            n_ranks,
+            self.main,
+            machine=machine,
+            ranks_per_node=n_ranks,
+            seed=seed,
+            compute_jitter=compute_jitter,
+            tools=tools,
+            args=(nthreads,),
+        )
+        return run, self.collect(run)
+
+    def collect(self, run: RunResult) -> LuleshResult:
+        """Assemble the global physics result from per-rank returns."""
+        cfg = self.config
+        parts = run.results
+        total = sum(r["energy"] for r in parts)
+        initial = sum(r["initial_energy"] for r in parts)
+        field = None
+        if cfg.return_fields:
+            side = round(run.n_ranks ** (1.0 / 3.0))
+            big = side * cfg.s
+            field = np.empty((big, big, big), dtype=np.float64)
+            for r in parts:
+                cz, cy, cx = r["coords"]
+                field[
+                    cz * cfg.s : (cz + 1) * cfg.s,
+                    cy * cfg.s : (cy + 1) * cfg.s,
+                    cx * cfg.s : (cx + 1) * cfg.s,
+                ] = r["e_field"]
+        return LuleshResult(
+            total_energy=total,
+            initial_energy=initial,
+            final_dt=parts[0]["dt"],
+            energy_field=field,
+        )

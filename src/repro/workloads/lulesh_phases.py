@@ -1,0 +1,270 @@
+"""Per-phase kernels of the LULESH-like hydro proxy.
+
+The proxy evolves element-centred fields on a structured (s, s, s) local
+grid stored **with one ghost layer** (arrays are (s+2)^3; the interior is
+``[1:-1, 1:-1, 1:-1]``):
+
+* ``e`` — specific energy (the conserved quantity; Sedov-like spike init);
+* ``mx, my, mz`` — momentum-like nodal velocity proxies;
+* per step, derived fields ``q`` (artificial viscosity), ``p`` (pressure
+  via a fixed-point "EOS"), ``kappa`` (diffusivity fed back into the
+  energy flux).
+
+Design constraints (and why):
+
+* **decomposition invariance** — every update of an element uses only
+  that element and its six face neighbours, with an identical expression
+  and evaluation order at any rank count; after a correct ghost exchange
+  the evolved fields are *bitwise identical* across decompositions,
+  which the integration tests assert;
+* **exact conservation** — the energy update is in flux form with
+  symmetric face fluxes and zero-flux global boundaries (ghost
+  replication makes boundary fluxes vanish), so ``sum(e)`` is conserved
+  to roundoff — a second strong invariant;
+* **phase work contrast** — the Nodal-phase kernels are memory-bound
+  (large bytes/flops) and the EOS is compute-bound (Newton-style
+  iterations), reproducing the different OpenMP scaling of
+  LagrangeNodal vs LagrangeElements in the paper's Figures 8–10.
+
+Every kernel takes a z-slab ``[lo, hi)`` over the *interior* z index so
+the simulated OpenMP runtime can execute it in chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.machine.roofline import WorkEstimate
+
+
+@dataclass
+class HydroState:
+    """Per-rank field state (padded arrays)."""
+
+    s: int  # interior side length
+    e: np.ndarray
+    mx: np.ndarray
+    my: np.ndarray
+    mz: np.ndarray
+    pos: np.ndarray  # position-like accumulator (3, s, s, s), unpadded
+    # Deferred energy increment: the flux sweep must not read elements it
+    # already updated, so it accumulates here and the driver applies it
+    # once the whole sweep finished (also what makes results independent
+    # of the OpenMP chunking).
+    e_incr: np.ndarray = field(default=None)  # type: ignore[assignment]
+    # scratch (recomputed every step, padded where ghosts are needed)
+    gx: np.ndarray = field(default=None)  # type: ignore[assignment]
+    gy: np.ndarray = field(default=None)  # type: ignore[assignment]
+    gz: np.ndarray = field(default=None)  # type: ignore[assignment]
+    q: np.ndarray = field(default=None)  # type: ignore[assignment]
+    p: np.ndarray = field(default=None)  # type: ignore[assignment]
+    kappa: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def initial(cls, s: int, coords=(0, 0, 0), spike: float = 3.0) -> "HydroState":
+        """Sedov-like initial state: uniform low energy plus one spiked
+        element at the global origin corner (owned by coords (0,0,0))."""
+        if s < 2:
+            raise ReproError(f"local side must be >= 2, got {s}")
+        shape = (s + 2, s + 2, s + 2)
+        e = np.full(shape, 0.1, dtype=np.float64)
+        if coords == (0, 0, 0):
+            e[1, 1, 1] = spike
+        zeros = lambda: np.zeros(shape, dtype=np.float64)  # noqa: E731
+        st = cls(
+            s=s,
+            e=e,
+            mx=zeros(),
+            my=zeros(),
+            mz=zeros(),
+            pos=np.zeros((3, s, s, s), dtype=np.float64),
+        )
+        st.gx, st.gy, st.gz = zeros(), zeros(), zeros()
+        st.q, st.p, st.kappa = zeros(), zeros(), zeros()
+        st.e_incr = np.zeros((s, s, s), dtype=np.float64)
+        return st
+
+    def interior(self, arr: np.ndarray) -> np.ndarray:
+        """Interior view of a padded field."""
+        return arr[1:-1, 1:-1, 1:-1]
+
+    def total_energy(self) -> float:
+        """Sum of interior energy (the conserved invariant)."""
+        return float(self.interior(self.e).sum())
+
+
+# ---------------------------------------------------------------------------
+# Work estimates per element (multiplied by element count and the
+# benchmark-level work_scale).  flops/bytes ratios set each kernel's
+# roofline character: Nodal-side kernels memory-bound, EOS compute-bound.
+# ---------------------------------------------------------------------------
+
+WORK: Dict[str, WorkEstimate] = {
+    # serial_fraction models the per-region non-parallelised code (loop
+    # setup, scalar reductions, index bookkeeping) that OpenMP leaves on
+    # one thread but MPI divides with the domain — the Amdahl asymmetry
+    # behind "MPI provides more acceleration than OpenMP" in Figure 8.
+    "IntegrateStressForElems": WorkEstimate(18.0, 120.0, 0.04),
+    "CalcHourglassControlForElems": WorkEstimate(9.0, 72.0, 0.04),
+    "CalcAccelerationForNodes": WorkEstimate(6.0, 96.0, 0.03),
+    "ApplyAccelerationBC": WorkEstimate(1.0, 8.0, 0.05),
+    "CalcVelocityForNodes": WorkEstimate(6.0, 72.0, 0.03),
+    "CalcPositionForNodes": WorkEstimate(6.0, 72.0, 0.03),
+    "CalcKinematicsForElems": WorkEstimate(24.0, 96.0, 0.04),
+    "CalcMonotonicQForElems": WorkEstimate(21.0, 80.0, 0.04),
+    "EvalEOSForElems": WorkEstimate(200.0, 24.0, 0.05),
+    "CalcSoundSpeed": WorkEstimate(24.0, 16.0, 0.04),
+    "UpdateVolumesForElems": WorkEstimate(30.0, 112.0, 0.04),
+    "CalcTimeConstraints": WorkEstimate(4.0, 8.0, 0.05),
+}
+
+
+def work_for(kernel: str, nelem: int, scale: float = 1.0) -> WorkEstimate:
+    """Region work for ``kernel`` over ``nelem`` elements."""
+    try:
+        per = WORK[kernel]
+    except KeyError:
+        raise ReproError(f"unknown kernel {kernel!r}; known: {sorted(WORK)}") from None
+    return per.scaled(nelem * scale)
+
+
+# ---------------------------------------------------------------------------
+# Kernels.  ``lo``/``hi`` index the interior z range [0, s); padded array
+# index is shifted by +1.
+# ---------------------------------------------------------------------------
+
+def integrate_stress(st: HydroState, lo: int, hi: int) -> None:
+    """Central-difference energy gradient into (gx, gy, gz) interiors."""
+    zl, zh = lo + 1, hi + 1
+    e = st.e
+    st.gx[zl:zh, 1:-1, 1:-1] = 0.5 * (e[zl:zh, 1:-1, 2:] - e[zl:zh, 1:-1, :-2])
+    st.gy[zl:zh, 1:-1, 1:-1] = 0.5 * (e[zl:zh, 2:, 1:-1] - e[zl:zh, :-2, 1:-1])
+    st.gz[zl:zh, 1:-1, 1:-1] = 0.5 * (e[zl + 1 : zh + 1, 1:-1, 1:-1] - e[zl - 1 : zh - 1, 1:-1, 1:-1])
+
+
+def hourglass_control(st: HydroState, dt: float, eps: float, lo: int, hi: int) -> None:
+    """Pointwise momentum damping (the hourglass-mode filter proxy)."""
+    zl, zh = lo + 1, hi + 1
+    f = 1.0 - eps * dt
+    for m in (st.mx, st.my, st.mz):
+        m[zl:zh, 1:-1, 1:-1] *= f
+
+
+def acceleration(st: HydroState, dt: float, lo: int, hi: int) -> None:
+    """m -= dt * grad(e): energy gradients accelerate the flow proxy."""
+    zl, zh = lo + 1, hi + 1
+    sl = (slice(zl, zh), slice(1, -1), slice(1, -1))
+    st.mx[sl] -= dt * st.gx[sl]
+    st.my[sl] -= dt * st.gy[sl]
+    st.mz[sl] -= dt * st.gz[sl]
+
+
+def acceleration_bc(st: HydroState, coords, lo: int, hi: int) -> None:
+    """Symmetry boundary: zero normal momentum on the global minus faces
+    (only ranks owning a global face apply anything — decomposition
+    invariant because the face is a fixed physical location)."""
+    cz, cy, cx = coords
+    if cx == 0:
+        st.mx[lo + 1 : hi + 1, 1:-1, 1] = 0.0
+    if cy == 0:
+        st.my[lo + 1 : hi + 1, 1, 1:-1] = 0.0
+    if cz == 0 and lo == 0:
+        st.mz[1, 1:-1, 1:-1] = 0.0
+
+
+def velocity_cutoff(st: HydroState, cutoff: float, lo: int, hi: int) -> None:
+    """LULESH's velocity cutoff: flush tiny momenta to exactly zero."""
+    zl, zh = lo + 1, hi + 1
+    for m in (st.mx, st.my, st.mz):
+        view = m[zl:zh, 1:-1, 1:-1]
+        view[np.abs(view) < cutoff] = 0.0
+
+
+def position_update(st: HydroState, dt: float, lo: int, hi: int) -> None:
+    """pos += dt * m (the Lagrangian node motion proxy)."""
+    sl_pad = (slice(lo + 1, hi + 1), slice(1, -1), slice(1, -1))
+    st.pos[0, lo:hi] += dt * st.mx[sl_pad]
+    st.pos[1, lo:hi] += dt * st.my[sl_pad]
+    st.pos[2, lo:hi] += dt * st.mz[sl_pad]
+
+
+def kinematics(st: HydroState, lo: int, hi: int) -> None:
+    """Velocity divergence proxy into q's scratch (pre-viscosity).
+
+    Requires fresh m ghosts (CommMonoQ precedes it in the driver).
+    """
+    zl, zh = lo + 1, hi + 1
+    st.q[zl:zh, 1:-1, 1:-1] = (
+        0.5 * (st.mx[zl:zh, 1:-1, 2:] - st.mx[zl:zh, 1:-1, :-2])
+        + 0.5 * (st.my[zl:zh, 2:, 1:-1] - st.my[zl:zh, :-2, 1:-1])
+        + 0.5 * (st.mz[zl + 1 : zh + 1, 1:-1, 1:-1] - st.mz[zl - 1 : zh - 1, 1:-1, 1:-1])
+    )
+
+
+def monotonic_q(st: HydroState, qcoef: float, lo: int, hi: int) -> None:
+    """Artificial viscosity: quadratic in compressive divergence only."""
+    zl, zh = lo + 1, hi + 1
+    div = st.q[zl:zh, 1:-1, 1:-1]
+    compressive = np.minimum(div, 0.0)
+    st.q[zl:zh, 1:-1, 1:-1] = qcoef * compressive * compressive
+
+
+def eval_eos(st: HydroState, iters: int, lo: int, hi: int) -> None:
+    """Fixed-point "EOS": p from (e, q) via ``iters`` damped iterations.
+
+    Deliberately compute-heavy per element (the contrast that makes
+    LagrangeElements scale differently from LagrangeNodal).  The
+    iteration ``p <- (p + 0.4 e + q) / 2 + sqrt-term`` converges for any
+    non-negative inputs, so it is numerically safe at every config.
+    """
+    zl, zh = lo + 1, hi + 1
+    sl = (slice(zl, zh), slice(1, -1), slice(1, -1))
+    e = st.e[sl]
+    q = st.q[sl]
+    p = 0.4 * e
+    for _ in range(iters):
+        p = 0.5 * (p + 0.4 * e + q) + 1e-3 * np.sqrt(np.abs(p) + 1e-12)
+    st.p[sl] = p
+
+
+def sound_speed_kappa(st: HydroState, k0: float, k1: float, lo: int, hi: int) -> None:
+    """Diffusivity from pressure: kappa = k0 + k1 * sqrt(p)."""
+    zl, zh = lo + 1, hi + 1
+    sl = (slice(zl, zh), slice(1, -1), slice(1, -1))
+    st.kappa[sl] = k0 + k1 * np.sqrt(np.abs(st.p[sl]))
+
+
+def update_volumes(st: HydroState, dt: float, lo: int, hi: int) -> None:
+    """Conservative energy update: e += dt * div(kappa_face * grad e).
+
+    Face diffusivity is the mean of the two adjacent elements; ghost
+    replication at global boundaries makes boundary fluxes exactly zero,
+    so total energy is conserved to roundoff.  Requires fresh e ghosts
+    (from CommSBN at step start; e is unchanged since) and fresh kappa
+    ghosts (CommEnergy precedes it).
+    """
+    zl, zh = lo + 1, hi + 1
+    e, k = st.e, st.kappa
+
+    def face_flux(e_nb, k_nb, e_c, k_c):
+        return 0.5 * (k_nb + k_c) * (e_nb - e_c)
+
+    c = (slice(zl, zh), slice(1, -1), slice(1, -1))
+    e_c, k_c = e[c], k[c]
+    acc = face_flux(e[zl:zh, 1:-1, 2:], k[zl:zh, 1:-1, 2:], e_c, k_c)
+    acc += face_flux(e[zl:zh, 1:-1, :-2], k[zl:zh, 1:-1, :-2], e_c, k_c)
+    acc += face_flux(e[zl:zh, 2:, 1:-1], k[zl:zh, 2:, 1:-1], e_c, k_c)
+    acc += face_flux(e[zl:zh, :-2, 1:-1], k[zl:zh, :-2, 1:-1], e_c, k_c)
+    acc += face_flux(e[zl + 1 : zh + 1, 1:-1, 1:-1], k[zl + 1 : zh + 1, 1:-1, 1:-1], e_c, k_c)
+    acc += face_flux(e[zl - 1 : zh - 1, 1:-1, 1:-1], k[zl - 1 : zh - 1, 1:-1, 1:-1], e_c, k_c)
+    st.e_incr[lo:hi] = dt * acc
+
+
+def courant_local_max(st: HydroState, lo: int, hi: int) -> float:
+    """Local stability bound: max diffusivity over the slab."""
+    zl, zh = lo + 1, hi + 1
+    return float(st.kappa[zl:zh, 1:-1, 1:-1].max())

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.catalog import laptop, nehalem_cluster
+from repro.simmpi.engine import run_mpi
+
+
+@pytest.fixture
+def small_cluster():
+    """A small multi-node machine (Nehalem-style, 4 nodes x 8 cores)."""
+    return nehalem_cluster(nodes=4, jitter=0.0)
+
+
+@pytest.fixture
+def one_node():
+    """A deterministic single node with 8 cores."""
+    return laptop(cores=8)
+
+
+def mpi(n_ranks, main, **kwargs):
+    """Run ``main`` on ``n_ranks`` simulated ranks with quiet defaults.
+
+    Unless overridden, uses a machine wide enough for the rank count and
+    zero noise so assertions on virtual times are exact.
+    """
+    kwargs.setdefault("machine", laptop(cores=max(2, n_ranks)))
+    kwargs.setdefault("seed", 0)
+    return run_mpi(n_ranks, main, **kwargs)

@@ -1,0 +1,184 @@
+"""ScalingAnalysis and HybridAnalysis drivers."""
+
+import pytest
+
+from repro.core.analysis import HybridAnalysis, ScalingAnalysis
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.errors import InsufficientDataError
+from repro.simmpi.sections_rt import SectionEvent
+
+
+def _synthetic_profile(n_ranks, walltime, sections):
+    """Build a profile with given per-rank section times.
+
+    ``sections``: label → per-rank time (same on every rank).
+    """
+    events = []
+    for rank in range(n_ranks):
+        t = 0.0
+        for label, dt in sections.items():
+            events.append(SectionEvent(rank, ("w",), label, "enter", t, (label,)))
+            t += dt
+            events.append(SectionEvent(rank, ("w",), label, "exit", t, (label,)))
+    return SectionProfile.from_events(events, n_ranks, walltime)
+
+
+def _amdahl_sweep(fs=0.1, total=100.0):
+    """Synthetic workload: 'par' scales 1/p, 'ser' stays constant."""
+    sp = ScalingProfile("p")
+    for p in (1, 2, 4, 8, 16):
+        par = total * (1 - fs) / p
+        ser = total * fs
+        sp.add(p, _synthetic_profile(p, par + ser, {"par": par, "ser": ser}))
+    return sp
+
+
+def test_breakdown_rows_percentages():
+    an = ScalingAnalysis(_amdahl_sweep())
+    rows = an.breakdown_rows(labels=["par", "ser"])
+    assert rows[0]["p"] == 1
+    assert rows[0]["par"] == pytest.approx(90.0)
+    # serial share grows with p
+    assert rows[-1]["ser"] > rows[0]["ser"]
+
+
+def test_totals_and_averages_rows():
+    an = ScalingAnalysis(_amdahl_sweep())
+    totals = an.totals_rows(labels=["ser"])
+    # cross-process serial total grows linearly with p
+    assert totals[-1]["ser"] == pytest.approx(16 * 10.0)
+    avgs = an.averages_rows(labels=["ser"])
+    assert avgs[-1]["ser"] == pytest.approx(10.0)
+
+
+def test_speedup_rows_match_amdahl():
+    from repro.core.speedup import amdahl_speedup
+
+    an = ScalingAnalysis(_amdahl_sweep(fs=0.1))
+    rows = an.speedup_rows(bound_label="ser")
+    for row in rows:
+        assert row["speedup"] == pytest.approx(amdahl_speedup(row["p"], 0.1), rel=1e-9)
+    # bound from the serial section: T_seq / ser_avg = 100/10 = 10 = Amdahl limit
+    assert rows[-1]["bound"] == pytest.approx(10.0)
+
+
+def test_bound_table_eq6_holds_on_synthetic_data():
+    an = ScalingAnalysis(_amdahl_sweep(fs=0.2))
+    entries = an.bound_table("ser")
+    for e in entries:
+        measured = an.profile.speedup(e.p)
+        assert measured <= e.bound * 1.0001
+
+
+def test_binding_section_identifies_serial_part_at_scale():
+    an = ScalingAnalysis(_amdahl_sweep(fs=0.2))
+    binding = an.binding_sections()
+    # At low p the (still large) parallel section binds; once it shrinks
+    # below the constant serial part, 'ser' becomes the binding section.
+    assert binding[2].label == "par"
+    assert binding[8].label == "ser"
+    assert binding[16].label == "ser"
+    assert binding[16].bound == pytest.approx(5.0)  # Amdahl limit 1/0.2
+
+
+def test_karp_flatt_rows_recover_fraction():
+    an = ScalingAnalysis(_amdahl_sweep(fs=0.1))
+    for row in an.karp_flatt_rows():
+        assert row["karp_flatt"] == pytest.approx(0.1, abs=1e-9)
+
+
+def test_amdahl_fit_recovers_fraction():
+    an = ScalingAnalysis(_amdahl_sweep(fs=0.15))
+    fs, rmse = an.amdahl_fit()
+    assert fs == pytest.approx(0.15, abs=1e-9)
+    assert rmse < 1e-12
+
+
+def test_inflexion_from_profile():
+    sp = ScalingProfile("p")
+    times = {1: 8.0, 2: 4.0, 4: 2.5, 8: 3.5}
+    for p, t in times.items():
+        sp.add(p, _synthetic_profile(p, t, {"s": t}))
+    an = ScalingAnalysis(sp)
+    pt = an.inflexion("s")
+    assert pt is not None and pt.p == 4
+
+
+# -- HybridAnalysis ------------------------------------------------------------
+
+def _grid():
+    h = HybridAnalysis()
+    # walltime(p, t): MPI scales ideally, OMP saturates at 4.
+    for p in (1, 8):
+        for t in (1, 2, 4, 8):
+            omp_factor = 1.0 / min(t, 4)
+            wall = 100.0 / p * omp_factor
+            h.add(p, t, _synthetic_profile(
+                p, wall, {"LagrangeNodal": wall * 0.4, "LagrangeElements": wall * 0.6}
+            ))
+    return h
+
+
+def test_hybrid_structure():
+    h = _grid()
+    assert h.process_counts() == [1, 8]
+    assert h.thread_counts(1) == [1, 2, 4, 8]
+    with pytest.raises(InsufficientDataError):
+        h.runs(27, 1)
+
+
+def test_hybrid_speedup_from_sequential():
+    h = _grid()
+    assert h.sequential_time() == pytest.approx(100.0)
+    assert h.speedup(8, 4) == pytest.approx(32.0)
+
+
+def test_hybrid_section_series():
+    h = _grid()
+    ts, times = h.section_series("LagrangeElements", 1)
+    assert ts == [1, 2, 4, 8]
+    assert times[0] == pytest.approx(60.0)
+    assert times[2] == times[3]  # saturation
+
+
+def test_hybrid_inflexion_detects_saturation():
+    h = _grid()
+    pt = h.inflexion("LagrangeElements", 1)
+    assert pt is not None and pt.p == 4 and not pt.exhausted
+
+
+def test_hybrid_bound_from_sections_paper_formula():
+    h = _grid()
+    # At (1, 4): Nodal 10, Elements 15 → bound = 100/25 = 4, measured 4.
+    b = h.bound_from_sections(["LagrangeNodal", "LagrangeElements"], 1, 4)
+    assert b == pytest.approx(4.0)
+    assert h.speedup(1, 4) <= b * 1.0001
+
+
+def test_hybrid_bound_at_inflexion():
+    h = _grid()
+    out = h.bound_at_inflexion("LagrangeElements", 1)
+    assert out is not None
+    pt, bound = out
+    assert pt.p == 4
+    assert bound == pytest.approx(100.0 / 15.0)
+
+
+def test_hybrid_efficiency_and_best_configuration():
+    h = _grid()
+    # (8, 4): speedup 32 over 32 cores → efficiency 1.0 in the toy model
+    assert h.efficiency(8, 4) == pytest.approx(1.0)
+    assert h.efficiency(8, 8) == pytest.approx(0.5)
+    p, t, wall = h.best_configuration()
+    assert (p, t) == (8, 4) or (p, t) == (8, 8)  # both reach min walltime
+    assert wall == pytest.approx(100.0 / 32.0)
+
+
+def test_hybrid_efficiency_surface_rows():
+    h = _grid()
+    rows = h.efficiency_surface()
+    assert len(rows) == 8
+    assert all({"p", "threads", "cores", "walltime", "speedup", "efficiency"}
+               <= set(r) for r in rows)
+    row = next(r for r in rows if r["p"] == 1 and r["threads"] == 2)
+    assert row["cores"] == 2 and row["speedup"] == pytest.approx(2.0)

@@ -1,0 +1,109 @@
+"""Profile/sweep/event (de)serialisation."""
+
+import pytest
+
+from repro.core.export import (
+    events_to_csv,
+    profile_from_json,
+    profile_to_csv,
+    profile_to_json,
+    read_csv_rows,
+    scaling_from_json,
+    scaling_to_csv,
+    scaling_to_json,
+)
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.errors import AnalysisError
+from repro.simmpi.sections_rt import section
+
+from tests.conftest import mpi
+
+
+def _workload(ctx):
+    with section(ctx, "a"):
+        ctx.compute(0.5)
+        with section(ctx, "b"):
+            ctx.compute(0.25 * (ctx.rank + 1))
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return mpi(3, _workload)
+
+
+@pytest.fixture(scope="module")
+def profile(run_result):
+    return SectionProfile.from_run(run_result, workload="toy")
+
+
+def test_profile_json_roundtrip(profile):
+    back = profile_from_json(profile_to_json(profile))
+    assert back.n_ranks == profile.n_ranks
+    assert back.walltime == profile.walltime
+    assert back.meta == profile.meta
+    assert back.paths() == profile.paths()
+    for label in profile.labels():
+        assert back.total(label) == profile.total(label)
+        assert back.total(label, exclusive=True) == profile.total(
+            label, exclusive=True
+        )
+        assert back.rank_times(label) == profile.rank_times(label)
+
+
+def test_profile_json_rejects_unknown_version(profile):
+    import json
+
+    data = json.loads(profile_to_json(profile))
+    data["version"] = 99
+    with pytest.raises(AnalysisError):
+        profile_from_json(json.dumps(data))
+
+
+def test_scaling_json_roundtrip():
+    sp = ScalingProfile("p")
+    for p in (1, 2, 4):
+        for _ in range(2):
+            sp.add(p, SectionProfile.from_run(mpi(p, _workload)))
+    back = scaling_from_json(scaling_to_json(sp))
+    assert back.scale_name == "p"
+    assert back.scales() == sp.scales()
+    assert back.reps(2) == 2
+    for p in sp.scales():
+        assert back.mean_walltime(p) == sp.mean_walltime(p)
+        assert back.mean_total("b", p) == sp.mean_total("b", p)
+    assert back.speedup(4) == sp.speedup(4)
+
+
+def test_profile_csv_has_row_per_path_rank(profile):
+    rows = read_csv_rows(profile_to_csv(profile))
+    # 3 paths (MAIN, a, a/b) × 3 ranks
+    assert len(rows) == 9
+    b_rows = [r for r in rows if r["label"] == "b"]
+    assert {r["rank"] for r in b_rows} == {"0", "1", "2"}
+    assert float(b_rows[2]["inclusive_s"]) == pytest.approx(0.75)
+
+
+def test_csv_values_full_precision(profile):
+    rows = read_csv_rows(profile_to_csv(profile))
+    a0 = next(r for r in rows if r["label"] == "a" and r["rank"] == "0")
+    assert float(a0["inclusive_s"]) == profile.rank_times("a")[0]
+
+
+def test_scaling_csv_aggregates():
+    sp = ScalingProfile("p")
+    for p in (1, 2):
+        sp.add(p, SectionProfile.from_run(mpi(p, _workload)))
+    rows = read_csv_rows(scaling_to_csv(sp))
+    labels = {r["label"] for r in rows}
+    assert {"a", "b", "MPI_MAIN"} <= labels
+    row = next(r for r in rows if r["p"] == "2" and r["label"] == "a")
+    assert float(row["mean_total_s"]) == pytest.approx(sp.mean_total("a", 2))
+
+
+def test_events_csv(run_result):
+    rows = read_csv_rows(events_to_csv(run_result.section_events))
+    assert len(rows) == len(run_result.section_events)
+    assert rows[0]["kind"] == "enter"
+    assert rows[0]["label"] == "MPI_MAIN"
+    paths = {r["path"] for r in rows}
+    assert "MPI_MAIN/a/b" in paths

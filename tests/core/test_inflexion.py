@@ -1,0 +1,71 @@
+"""Inflexion-point detection on scaling curves."""
+
+import pytest
+
+from repro.core.inflexion import bound_at_inflexion, find_inflexion
+from repro.errors import InsufficientDataError, ModelDomainError
+
+
+def test_clear_u_shape_detected():
+    ps = [1, 2, 4, 8, 16, 32]
+    ts = [10.0, 5.0, 2.5, 1.4, 1.8, 3.0]
+    pt = find_inflexion(ps, ts)
+    assert pt is not None
+    assert pt.p == 8 and pt.exhausted
+
+
+def test_paper_figure10_shape():
+    """Lagrange section times on KNL: minimum at 24 threads, rising after."""
+    ps = [1, 2, 4, 8, 16, 24, 32, 64]
+    ts = [882.5, 450.0, 230.0, 125.0, 75.0, 64.29, 70.0, 95.0]
+    pt = find_inflexion(ps, ts)
+    assert pt.p == 24 and pt.exhausted
+    assert bound_at_inflexion(882.48, ps, ts) == pytest.approx(882.48 / 64.29)
+
+
+def test_monotone_decrease_has_no_inflexion():
+    assert find_inflexion([1, 2, 4, 8], [8.0, 4.0, 2.0, 1.0]) is None
+
+
+def test_plateau_reports_first_of_valley_not_exhausted():
+    pt = find_inflexion([1, 2, 4, 8], [8.0, 4.0, 4.01, 3.99], rel_tol=0.02)
+    assert pt is not None
+    assert pt.p == 2
+    assert not pt.exhausted
+
+
+def test_flat_tail_at_end_detected_as_plateau():
+    pt = find_inflexion([1, 2, 4], [4.0, 2.0, 1.99], rel_tol=0.02)
+    assert pt is not None and pt.p == 2 and not pt.exhausted
+
+
+def test_noise_bump_within_tolerance_ignored():
+    # 2% wiggle around a decreasing curve must not fake an inflexion.
+    ps = [1, 2, 4, 8]
+    ts = [8.0, 4.04, 4.0, 2.0]
+    assert find_inflexion(ps, ts, rel_tol=0.05) is None
+
+
+def test_exhausted_requires_clear_rise():
+    pt = find_inflexion([1, 2, 4, 8], [4.0, 2.0, 1.0, 1.005], rel_tol=0.02)
+    assert pt is not None and not pt.exhausted
+
+
+def test_validation():
+    with pytest.raises(InsufficientDataError):
+        find_inflexion([1], [1.0])
+    with pytest.raises(InsufficientDataError):
+        find_inflexion([1, 2], [1.0])
+    with pytest.raises(ModelDomainError):
+        find_inflexion([2, 1], [1.0, 2.0])
+    with pytest.raises(ModelDomainError):
+        find_inflexion([1, 2], [1.0, 0.0])
+
+
+def test_bound_at_inflexion_none_when_still_scaling():
+    assert bound_at_inflexion(10.0, [1, 2, 4], [4.0, 2.0, 1.0]) is None
+
+
+def test_bound_at_inflexion_domain():
+    with pytest.raises(ModelDomainError):
+        bound_at_inflexion(0.0, [1, 2, 4], [4.0, 2.0, 2.1])

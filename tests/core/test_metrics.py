@@ -1,0 +1,102 @@
+"""Figure 3 derived section metrics."""
+
+import pytest
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def instance():
+    """Three ranks entering/leaving with stagger (Figure 3's picture)."""
+    inst = SectionInstanceTiming("HALO", ("w",), 0)
+    inst.t_in = {0: 10.0, 1: 10.5, 2: 11.0}
+    inst.t_out = {0: 12.0, 1: 13.0, 2: 14.0}
+    return inst
+
+
+def test_tmin_first_entry(instance):
+    assert instance.tmin == 10.0
+
+
+def test_tmax_last_exit(instance):
+    assert instance.tmax == 14.0
+
+
+def test_span(instance):
+    assert instance.span == pytest.approx(4.0)
+
+
+def test_tsection_paper_definition(instance):
+    """Tsection = Tout − Tmin (not Tout − own Tin)."""
+    assert instance.tsection(0) == pytest.approx(2.0)
+    assert instance.tsection(2) == pytest.approx(4.0)
+
+
+def test_dwell_conventional_residence(instance):
+    assert instance.dwell(0) == pytest.approx(2.0)
+    assert instance.dwell(2) == pytest.approx(3.0)
+
+
+def test_mean_tsection(instance):
+    assert instance.mean_tsection == pytest.approx((2.0 + 3.0 + 4.0) / 3)
+
+
+def test_entry_imbalance_per_rank(instance):
+    """imb_in(r) = Tin(r) − Tmin."""
+    assert instance.entry_imbalance(0) == 0.0
+    assert instance.entry_imbalance(1) == pytest.approx(0.5)
+    assert instance.entry_imbalance(2) == pytest.approx(1.0)
+
+
+def test_entry_imbalance_stats(instance):
+    assert instance.entry_imbalance_mean == pytest.approx(0.5)
+    assert instance.entry_imbalance_var == pytest.approx(
+        ((0.0 - 0.5) ** 2 + 0 + (1.0 - 0.5) ** 2) / 3
+    )
+
+
+def test_aggregate_imbalance(instance):
+    """imb = (Tmax − Tmin) − mean(Tsection)."""
+    assert instance.imbalance == pytest.approx(4.0 - 3.0)
+
+
+def test_perfectly_balanced_instance_zero_imbalance():
+    inst = SectionInstanceTiming("X", ("w",), 0)
+    inst.t_in = {0: 1.0, 1: 1.0}
+    inst.t_out = {0: 2.0, 1: 2.0}
+    assert inst.imbalance == pytest.approx(0.0)
+    assert inst.entry_imbalance_mean == 0.0
+
+
+def test_imbalance_nonnegative_for_any_exit_pattern():
+    inst = SectionInstanceTiming("X", ("w",), 0)
+    inst.t_in = {0: 0.0, 1: 0.0, 2: 0.0}
+    inst.t_out = {0: 5.0, 1: 1.0, 2: 3.0}
+    # Tmax−Tmin = 5; mean Tsection = 3 → imb = 2
+    assert inst.imbalance == pytest.approx(2.0)
+    assert inst.imbalance >= 0
+
+
+def test_ranks_sorted(instance):
+    assert instance.ranks == (0, 1, 2)
+
+
+def test_as_dict_summary(instance):
+    d = instance.as_dict()
+    assert d["label"] == "HALO" and d["ranks"] == 3
+    assert d["imbalance"] == pytest.approx(1.0)
+
+
+def test_incomplete_instance_rejected():
+    inst = SectionInstanceTiming("X", ("w",), 0)
+    inst.t_in = {0: 1.0, 1: 1.0}
+    inst.t_out = {0: 2.0}
+    with pytest.raises(AnalysisError):
+        _ = inst.tmax
+
+
+def test_empty_instance_rejected():
+    inst = SectionInstanceTiming("X", ("w",), 0)
+    with pytest.raises(AnalysisError):
+        _ = inst.tmin

@@ -1,0 +1,185 @@
+"""Predictive scaling models: power-law fits, Eq. 5 prediction, USL."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    SectionScalingModel,
+    USLFit,
+    fit_power_law,
+    fit_usl,
+    fit_usl_profile,
+)
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.errors import InsufficientDataError, ModelDomainError
+from repro.simmpi.sections_rt import SectionEvent
+
+
+def _synthetic_profile(n_ranks, walltime, sections):
+    events = []
+    for rank in range(n_ranks):
+        t = 0.0
+        for label, dt in sections.items():
+            events.append(SectionEvent(rank, ("w",), label, "enter", t, (label,)))
+            t += dt
+            events.append(SectionEvent(rank, ("w",), label, "exit", t, (label,)))
+    return SectionProfile.from_events(events, n_ranks, walltime)
+
+
+# -- power law --------------------------------------------------------------
+
+def test_power_law_exact_roundtrip():
+    ps = [1, 2, 4, 8, 16, 32, 64]
+    a, b, c = 10.0, 0.9, 0.5
+    ts = [a / p**b + c for p in ps]
+    fit = fit_power_law(ps, ts, "x")
+    assert fit.a == pytest.approx(a, rel=1e-4)
+    assert fit.b == pytest.approx(b, rel=1e-4)
+    assert fit.c == pytest.approx(c, rel=1e-3)
+    assert fit.rmse < 1e-8
+    assert fit.time(128) == pytest.approx(a / 128**b + c, rel=1e-3)
+
+
+def test_power_law_ideal_section_detected():
+    ps = [1, 2, 4, 8, 16]
+    ts = [8.0 / p for p in ps]
+    fit = fit_power_law(ps, ts)
+    assert fit.scales_ideally
+    assert fit.floor == pytest.approx(0.0, abs=1e-6)
+
+
+def test_power_law_serial_section_detected():
+    ts = [2.0] * 5
+    fit = fit_power_law([1, 2, 4, 8, 16], ts)
+    assert fit.floor == pytest.approx(2.0, rel=0.05)
+    assert not fit.scales_ideally
+
+
+def test_power_law_validation():
+    with pytest.raises(InsufficientDataError):
+        fit_power_law([1, 2], [1.0, 0.5])
+    with pytest.raises(ModelDomainError):
+        fit_power_law([0, 1, 2], [1.0, 1.0, 1.0])
+    with pytest.raises(ModelDomainError):
+        fit_power_law([1, 2, 4], [0.0, 0.1, 0.1])
+    fit = fit_power_law([1, 2, 4], [4.0, 2.0, 1.0])
+    with pytest.raises(ModelDomainError):
+        fit.time(0)
+
+
+# -- SectionScalingModel --------------------------------------------------------
+
+def _amdahl_like_profile(fs=0.1, total=100.0, scales=(1, 2, 4, 8, 16, 32)):
+    sp = ScalingProfile("p")
+    for p in scales:
+        par = total * (1 - fs) / p
+        ser = total * fs
+        sp.add(p, _synthetic_profile(p, par + ser, {"par": par, "ser": ser}))
+    return sp
+
+
+def test_model_predicts_held_out_scales():
+    profile = _amdahl_like_profile()
+    model = SectionScalingModel.fit_profile(profile, max_scale=8)
+    # predictions at held-out p=16 and p=32 match the measurements
+    for p in (16, 32):
+        assert model.walltime(p) == pytest.approx(
+            profile.mean_walltime(p), rel=0.02
+        )
+        assert model.speedup(p) == pytest.approx(profile.speedup(p), rel=0.02)
+
+
+def test_model_binding_section_and_bounds():
+    model = SectionScalingModel.fit_profile(_amdahl_like_profile(fs=0.2))
+    label, bound = model.binding_section(1024)
+    assert label == "ser"
+    assert bound == pytest.approx(5.0, rel=0.05)  # Amdahl limit 1/0.2
+    assert model.bound("par", 2) < model.bound("par", 64)
+
+
+def test_model_asymptotic_speedup_matches_amdahl():
+    model = SectionScalingModel.fit_profile(_amdahl_like_profile(fs=0.1))
+    assert model.asymptotic_speedup() == pytest.approx(10.0, rel=0.05)
+
+
+def test_model_saturation_scale_reasonable():
+    model = SectionScalingModel.fit_profile(_amdahl_like_profile(fs=0.1))
+    p_sat = model.saturation_scale(gain_threshold=0.02)
+    # with fs=0.1 the returns diminish in the tens-to-hundreds range
+    assert 16 <= p_sat <= 1024
+
+
+def test_model_fully_parallel_has_infinite_ceiling():
+    sp = ScalingProfile("p")
+    for p in (1, 2, 4, 8):
+        sp.add(p, _synthetic_profile(p, 8.0 / p, {"par": 8.0 / p}))
+    model = SectionScalingModel.fit_profile(sp)
+    assert model.asymptotic_speedup() > 1e3
+
+
+def test_model_requires_enough_scales():
+    with pytest.raises(InsufficientDataError):
+        SectionScalingModel.fit_profile(_amdahl_like_profile(scales=(1, 2)))
+
+
+def test_model_unknown_label_bound():
+    model = SectionScalingModel.fit_profile(_amdahl_like_profile())
+    with pytest.raises(ModelDomainError):
+        model.bound("nope", 4)
+
+
+# -- USL ------------------------------------------------------------------------
+
+def test_usl_exact_roundtrip():
+    ref = USLFit(sigma=0.05, kappa=5e-4, rmse=0.0)
+    ps = [1, 2, 4, 8, 16, 32, 64, 128]
+    fit = fit_usl(ps, [ref.speedup(p) for p in ps])
+    assert fit.sigma == pytest.approx(0.05, abs=1e-4)
+    assert fit.kappa == pytest.approx(5e-4, rel=1e-2)
+
+
+def test_usl_peak_formula():
+    fit = USLFit(sigma=0.1, kappa=1e-3, rmse=0.0)
+    p_star = fit.peak_scale
+    assert p_star == pytest.approx(math.sqrt(0.9 / 1e-3))
+    # peak really is a maximum
+    assert fit.speedup(p_star) >= fit.speedup(p_star * 2)
+    assert fit.speedup(p_star) >= fit.speedup(max(1.0, p_star / 2))
+    assert fit.retrograde
+
+
+def test_usl_kappa_zero_reduces_to_amdahl():
+    from repro.core.speedup import amdahl_speedup
+
+    fit = USLFit(sigma=0.2, kappa=0.0, rmse=0.0)
+    for p in (1, 8, 64):
+        assert fit.speedup(p) == pytest.approx(amdahl_speedup(p, 0.2), rel=1e-9)
+    assert math.isinf(fit.peak_scale)
+    assert not fit.retrograde
+
+
+def test_usl_validation():
+    with pytest.raises(InsufficientDataError):
+        fit_usl([1, 2], [1.0, 1.5])
+    with pytest.raises(ModelDomainError):
+        fit_usl([1, 2, 4], [1.0, -1.0, 2.0])
+    with pytest.raises(ModelDomainError):
+        USLFit(0.1, 0.0, 0.0).speedup(0.5)
+
+
+def test_usl_detects_retrograde_measurements():
+    """Speedup that declines past a peak forces kappa > 0."""
+    ps = [1, 2, 4, 8, 16, 32, 64]
+    ss = [1.0, 1.9, 3.4, 5.2, 6.0, 5.5, 4.2]
+    fit = fit_usl(ps, ss)
+    assert fit.retrograde
+    assert 8 <= fit.peak_scale <= 40
+
+
+def test_usl_profile_helper():
+    profile = _amdahl_like_profile(fs=0.1)
+    fit = fit_usl_profile(profile)
+    assert fit.sigma == pytest.approx(0.1, abs=0.02)
+    assert fit.kappa == pytest.approx(0.0, abs=1e-4)

@@ -1,0 +1,127 @@
+"""SectionProfile / ScalingProfile containers."""
+
+import pytest
+
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.simmpi.sections_rt import SectionEvent, section
+
+from tests.conftest import mpi
+
+
+def _profile_from(main, p, **kw):
+    res = mpi(p, main, **kw)
+    return SectionProfile.from_run(res)
+
+
+def _two_phase(ctx):
+    with section(ctx, "compute"):
+        ctx.compute(1.0)
+    with section(ctx, "post"):
+        ctx.compute(0.25)
+
+
+def test_from_run_basic_lookups():
+    prof = _profile_from(_two_phase, 2)
+    assert prof.n_ranks == 2
+    assert prof.walltime == pytest.approx(1.25, rel=1e-6)
+    assert set(prof.labels()) == {"MPI_MAIN", "compute", "post"}
+    assert prof.total("compute") == pytest.approx(2.0)
+    assert prof.avg_per_process("compute") == pytest.approx(1.0)
+    assert prof.count("compute") == 2
+
+
+def test_unknown_label_raises():
+    prof = _profile_from(_two_phase, 1)
+    with pytest.raises(AnalysisError):
+        prof.total("nope")
+
+
+def test_percent_of_execution():
+    prof = _profile_from(_two_phase, 2)
+    assert prof.percent_of_execution("compute") == pytest.approx(80.0, rel=1e-6)
+    assert prof.percent_of_execution("post") == pytest.approx(20.0, rel=1e-6)
+
+
+def test_breakdown_excludes_main_by_default():
+    prof = _profile_from(_two_phase, 1)
+    bd = prof.breakdown()
+    assert "MPI_MAIN" not in bd
+    assert sum(bd.values()) == pytest.approx(100.0, rel=1e-6)
+    assert "MPI_MAIN" in prof.breakdown(include_main=True)
+
+
+def test_rank_times_per_rank():
+    def main(ctx):
+        with section(ctx, "w"):
+            ctx.compute(float(ctx.rank + 1))
+
+    prof = _profile_from(main, 3)
+    rt = prof.rank_times("w")
+    assert rt[0] == pytest.approx(1.0)
+    assert rt[2] == pytest.approx(3.0)
+
+
+def test_exclusive_vs_inclusive_totals():
+    def main(ctx):
+        with section(ctx, "outer"):
+            ctx.compute(1.0)
+            with section(ctx, "inner"):
+                ctx.compute(2.0)
+
+    prof = _profile_from(main, 1)
+    assert prof.total("outer") == pytest.approx(3.0)
+    assert prof.total("outer", exclusive=True) == pytest.approx(1.0)
+
+
+def test_scaling_profile_series():
+    sp = ScalingProfile("p")
+    for p in (1, 2, 4):
+        for _ in range(2):
+            sp.add(p, _profile_from(_two_phase, p))
+    assert sp.scales() == [1, 2, 4]
+    assert sp.reps(2) == 2
+    assert sp.sequential_time() == pytest.approx(1.25, rel=1e-6)
+    # compute is unparallelised in this toy main → speedup ~1
+    assert sp.speedup(4) == pytest.approx(1.0, rel=1e-3)
+    xs, totals = sp.total_series("compute")
+    assert xs == [1, 2, 4]
+    assert totals[2] == pytest.approx(4.0, rel=1e-6)
+    xs, avgs = sp.avg_series("compute")
+    assert avgs == pytest.approx([1.0, 1.0, 1.0], rel=1e-6)
+    xs, pcts = sp.percent_series("compute")
+    assert pcts[0] == pytest.approx(80.0, rel=1e-4)
+
+
+def test_scaling_profile_missing_scale():
+    sp = ScalingProfile()
+    sp.add(2, _profile_from(_two_phase, 2))
+    with pytest.raises(InsufficientDataError):
+        sp.runs(4)
+    with pytest.raises(InsufficientDataError):
+        sp.sequential_time()
+
+
+def test_scaling_profile_rejects_bad_scale():
+    sp = ScalingProfile()
+    with pytest.raises(AnalysisError):
+        sp.add(0, _profile_from(_two_phase, 1))
+
+
+def test_from_events_direct():
+    events = [
+        SectionEvent(0, ("w",), "s", "enter", 0.0, ("s",)),
+        SectionEvent(0, ("w",), "s", "exit", 2.0, ("s",)),
+    ]
+    prof = SectionProfile.from_events(events, n_ranks=1, walltime=2.0)
+    assert prof.total("s") == pytest.approx(2.0)
+
+
+def test_meta_carried():
+    def main(ctx):
+        pass
+
+    res = mpi(1, main)
+    prof = SectionProfile.from_run(res, workload="toy")
+    assert prof.meta["workload"] == "toy"
+    assert prof.seed == res.seed

@@ -1,0 +1,56 @@
+"""Plain-text rendering helpers."""
+
+from repro.core.report import banner, fmt, format_dict_rows, format_series, format_table
+
+
+def test_fmt_floats():
+    assert fmt(1.23456) == "1.235"
+    assert fmt(0.0) == "0"
+    assert fmt(1.5e-7) == "1.500e-07"
+    assert fmt(1234567.0) == "1.235e+06"
+    assert fmt(12, prec=3) == "12"
+    assert fmt(None) == "None"
+    assert fmt(True) == "True"
+
+
+def test_format_table_aligned():
+    out = format_table(["a", "long_header"], [[1, 2.5], [30, 4.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "long_header" in lines[0]
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows equally wide
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_format_dict_rows_column_order():
+    rows = [{"b": 1, "a": 2}, {"b": 3, "a": 4}]
+    out = format_dict_rows(rows)
+    header = out.splitlines()[0]
+    assert header.index("b") < header.index("a")
+
+
+def test_format_dict_rows_explicit_columns_and_missing():
+    rows = [{"a": 1}, {"a": 2, "c": 3}]
+    out = format_dict_rows(rows, columns=["a", "c"])
+    assert "c" in out.splitlines()[0]
+
+
+def test_format_dict_rows_empty():
+    assert format_dict_rows([], title="hey") == "hey"
+
+
+def test_format_series():
+    out = format_series("p", [1, 2], {"s": [1.0, 2.0], "b": [3.0, 4.0]})
+    lines = out.splitlines()
+    assert lines[0].split("|")[0].strip() == "p"
+    assert len(lines) == 4
+
+
+def test_banner_contains_text():
+    out = banner("hello")
+    assert "hello" in out and out.count("=") >= 100

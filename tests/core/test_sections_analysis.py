@@ -1,0 +1,131 @@
+"""Instance reconstruction and inclusive/exclusive time accounting."""
+
+import pytest
+
+from repro.core.sections import build_instances, rank_section_times
+from repro.errors import AnalysisError
+from repro.simmpi.sections_rt import SectionEvent, section
+
+from tests.conftest import mpi
+
+
+def _ev(rank, label, kind, t, path, comm=("w",)):
+    return SectionEvent(rank, comm, label, kind, t, path)
+
+
+def test_build_instances_single_rank():
+    events = [
+        _ev(0, "a", "enter", 1.0, ("a",)),
+        _ev(0, "a", "exit", 3.0, ("a",)),
+    ]
+    out = build_instances(events)
+    assert len(out) == 1
+    inst = out[0]
+    assert inst.label == "a" and inst.occurrence == 0
+    assert inst.timing.t_in == {0: 1.0} and inst.timing.t_out == {0: 3.0}
+
+
+def test_build_instances_matches_across_ranks_by_occurrence():
+    events = []
+    for rank in (0, 1):
+        for i in range(2):
+            events.append(_ev(rank, "x", "enter", i * 10.0 + rank, ("x",)))
+            events.append(_ev(rank, "x", "exit", i * 10.0 + rank + 1, ("x",)))
+    out = build_instances(events)
+    assert len(out) == 2
+    first = [s for s in out if s.occurrence == 0][0]
+    assert set(first.timing.t_in) == {0, 1}
+
+
+def test_build_instances_nested_paths_distinct():
+    events = [
+        _ev(0, "outer", "enter", 0.0, ("outer",)),
+        _ev(0, "inner", "enter", 1.0, ("outer", "inner")),
+        _ev(0, "inner", "exit", 2.0, ("outer", "inner")),
+        _ev(0, "outer", "exit", 3.0, ("outer",)),
+    ]
+    out = build_instances(events)
+    paths = {s.path for s in out}
+    assert paths == {("outer",), ("outer", "inner")}
+
+
+def test_build_instances_unbalanced_raises():
+    with pytest.raises(AnalysisError):
+        build_instances([_ev(0, "a", "exit", 1.0, ("a",))])
+    with pytest.raises(AnalysisError):
+        build_instances([_ev(0, "a", "enter", 1.0, ("a",))])
+
+
+def test_rank_section_times_exclusive_subtracts_children():
+    events = [
+        _ev(0, "outer", "enter", 0.0, ("outer",)),
+        _ev(0, "inner", "enter", 2.0, ("outer", "inner")),
+        _ev(0, "inner", "exit", 5.0, ("outer", "inner")),
+        _ev(0, "outer", "exit", 10.0, ("outer",)),
+    ]
+    times = rank_section_times(events)
+    outer = times[("outer",)]
+    inner = times[("outer", "inner")]
+    assert outer.inclusive[0] == pytest.approx(10.0)
+    assert outer.exclusive[0] == pytest.approx(7.0)
+    assert inner.inclusive[0] == pytest.approx(3.0)
+    assert inner.exclusive[0] == pytest.approx(3.0)
+
+
+def test_rank_section_times_repeated_instances_summed():
+    events = []
+    for i in range(3):
+        events.append(_ev(0, "s", "enter", 10.0 * i, ("s",)))
+        events.append(_ev(0, "s", "exit", 10.0 * i + 2.0, ("s",)))
+    times = rank_section_times(events)
+    pt = times[("s",)]
+    assert pt.inclusive[0] == pytest.approx(6.0)
+    assert pt.count[0] == 3
+
+
+def test_rank_section_times_multiple_ranks_separate():
+    events = [
+        _ev(0, "s", "enter", 0.0, ("s",)),
+        _ev(1, "s", "enter", 0.0, ("s",)),
+        _ev(0, "s", "exit", 1.0, ("s",)),
+        _ev(1, "s", "exit", 4.0, ("s",)),
+    ]
+    pt = rank_section_times(events)[("s",)]
+    assert pt.inclusive == {0: 1.0, 1: 4.0}
+    assert pt.total_inclusive() == pytest.approx(5.0)
+
+
+def test_rank_section_times_from_real_run_matches_engine():
+    """End-to-end: events from a real simulated run reconstruct times
+    consistent with the engine's clocks."""
+
+    def main(ctx):
+        with section(ctx, "work"):
+            ctx.compute(1.0)
+        with section(ctx, "rest"):
+            ctx.compute(0.5)
+
+    res = mpi(2, main)
+    times = rank_section_times(res.section_events)
+    work = next(pt for p, pt in times.items() if p[-1] == "work")
+    rest = next(pt for p, pt in times.items() if p[-1] == "rest")
+    assert work.inclusive[0] == pytest.approx(1.0)
+    assert rest.inclusive[1] == pytest.approx(0.5)
+    main_pt = next(pt for p, pt in times.items() if p[-1] == "MPI_MAIN")
+    assert main_pt.exclusive[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_instances_from_real_run_have_fig3_metrics():
+    def main(ctx):
+        ctx.compute(0.1 * ctx.rank)  # staggered entry
+        with section(ctx, "phase"):
+            ctx.compute(1.0)
+        ctx.comm.barrier()
+
+    res = mpi(3, main)
+    insts = [s for s in build_instances(res.section_events) if s.label == "phase"]
+    assert len(insts) == 1
+    timing = insts[0].timing
+    assert timing.tmin == pytest.approx(0.0)
+    assert timing.entry_imbalance(2) == pytest.approx(0.2)
+    assert timing.imbalance >= 0

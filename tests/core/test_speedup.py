@@ -1,0 +1,114 @@
+"""Classical speedup laws (Equation 1–2 and friends)."""
+
+import math
+
+import pytest
+
+from repro.core.speedup import (
+    amdahl_limit,
+    amdahl_speedup,
+    efficiency,
+    fit_amdahl,
+    gustafson_speedup,
+    karp_flatt,
+    serial_fraction_from_speedup,
+    speedup,
+)
+from repro.errors import InsufficientDataError, ModelDomainError
+
+
+def test_speedup_eq1():
+    assert speedup(100.0, 25.0) == 4.0
+
+
+def test_speedup_domain():
+    with pytest.raises(ModelDomainError):
+        speedup(-1.0, 1.0)
+    with pytest.raises(ModelDomainError):
+        speedup(1.0, 0.0)
+
+
+def test_efficiency():
+    assert efficiency(100.0, 25.0, 8) == pytest.approx(0.5)
+    with pytest.raises(ModelDomainError):
+        efficiency(1.0, 1.0, 0)
+
+
+def test_amdahl_limits():
+    assert amdahl_speedup(1, 0.5) == 1.0
+    assert amdahl_speedup(10**9, 0.1) == pytest.approx(10.0, rel=1e-6)
+    assert amdahl_limit(0.1) == pytest.approx(10.0)
+    assert amdahl_limit(0.0) == math.inf
+
+
+def test_amdahl_fully_parallel_is_ideal():
+    assert amdahl_speedup(64, 0.0) == pytest.approx(64.0)
+
+
+def test_amdahl_domain():
+    with pytest.raises(ModelDomainError):
+        amdahl_speedup(0, 0.1)
+    with pytest.raises(ModelDomainError):
+        amdahl_speedup(4, 1.5)
+
+
+def test_gustafson_linear_in_p():
+    assert gustafson_speedup(1, 0.3) == 1.0
+    assert gustafson_speedup(10, 0.0) == 10.0
+    assert gustafson_speedup(10, 1.0) == 1.0
+    assert gustafson_speedup(10, 0.3) == pytest.approx(10 - 0.3 * 9)
+
+
+def test_karp_flatt_recovers_amdahl_fraction():
+    fs = 0.07
+    for p in (2, 8, 64, 512):
+        s = amdahl_speedup(p, fs)
+        assert karp_flatt(s, p) == pytest.approx(fs, rel=1e-9)
+
+
+def test_karp_flatt_matches_paper_example():
+    # Paper Section 5.2: speedup 8.08 at 24 threads.
+    e = karp_flatt(8.08, 24)
+    assert 0.05 < e < 0.12
+
+
+def test_karp_flatt_domain():
+    with pytest.raises(ModelDomainError):
+        karp_flatt(2.0, 1)
+    with pytest.raises(ModelDomainError):
+        karp_flatt(0.0, 4)
+
+
+def test_serial_fraction_alias():
+    assert serial_fraction_from_speedup(4.0, 8) == karp_flatt(4.0, 8)
+
+
+def test_fit_amdahl_exact_data():
+    fs = 0.05
+    ps = [2, 4, 8, 16, 64]
+    ss = [amdahl_speedup(p, fs) for p in ps]
+    fit, rmse = fit_amdahl(ps, ss)
+    assert fit == pytest.approx(fs, abs=1e-9)
+    assert rmse < 1e-12
+
+
+def test_fit_amdahl_noisy_data_recovers_ballpark():
+    fs = 0.08
+    ps = [2, 4, 8, 16, 32, 64]
+    ss = [amdahl_speedup(p, fs) * f for p, f in zip(ps, (1.01, 0.98, 1.02, 0.99, 1.01, 0.97))]
+    fit, rmse = fit_amdahl(ps, ss)
+    assert fit == pytest.approx(fs, abs=0.03)
+    assert rmse > 0
+
+
+def test_fit_amdahl_clips_to_unit_interval():
+    # Superlinear data would imply negative fs; result is clipped.
+    fit, _ = fit_amdahl([2, 4], [3.0, 9.0])
+    assert fit == 0.0
+
+
+def test_fit_amdahl_insufficient():
+    with pytest.raises(InsufficientDataError):
+        fit_amdahl([4], [2.0])
+    with pytest.raises(InsufficientDataError):
+        fit_amdahl([1, 1], [1.0, 1.0])

@@ -1,0 +1,104 @@
+"""Regression-baseline snapshots and comparisons."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.harness.baseline import (
+    BaselineDiff,
+    compare_to_baseline,
+    save_baseline,
+)
+from repro.harness.experiments import ExperimentResult, table7
+
+
+def _result(rows=None, checks=None, exp_id="x"):
+    return ExperimentResult(
+        exp_id,
+        "test",
+        rows if rows is not None else [{"p": 1, "v": 10.0}, {"p": 2, "v": 5.0}],
+        checks if checks is not None else {"ok": True},
+    )
+
+
+def test_roundtrip_identical_is_ok():
+    res = _result()
+    diff = compare_to_baseline(res, save_baseline(res))
+    assert diff.ok
+    assert "baseline OK" in diff.render()
+
+
+def test_check_regression_detected():
+    base = save_baseline(_result(checks={"ok": True, "other": True}))
+    cur = _result(checks={"ok": True, "other": False})
+    diff = compare_to_baseline(cur, base)
+    assert not diff.ok
+    assert diff.regressed_checks == ["other"]
+    assert "REGRESSED" in diff.render()
+
+
+def test_baseline_fail_may_stay_failed():
+    base = save_baseline(_result(checks={"flaky": False}))
+    cur = _result(checks={"flaky": False})
+    assert compare_to_baseline(cur, base).ok
+
+
+def test_new_checks_reported_not_failed():
+    base = save_baseline(_result(checks={"ok": True}))
+    cur = _result(checks={"ok": True, "brand_new": False})
+    diff = compare_to_baseline(cur, base)
+    assert diff.ok
+    assert diff.new_checks == ["brand_new"]
+
+
+def test_value_within_tolerance_ok():
+    base = save_baseline(_result(rows=[{"p": 1, "v": 10.0}]))
+    cur = _result(rows=[{"p": 1, "v": 12.0}])
+    assert compare_to_baseline(cur, base, rel_tol=0.5).ok
+
+
+def test_value_drift_detected():
+    base = save_baseline(_result(rows=[{"p": 1, "v": 10.0}]))
+    cur = _result(rows=[{"p": 1, "v": 100.0}])
+    diff = compare_to_baseline(cur, base, rel_tol=0.5)
+    assert not diff.ok
+    assert diff.value_drifts[0][1] == "v"
+
+
+def test_non_numeric_cells_compared_exactly():
+    base = save_baseline(_result(rows=[{"p": 1, "who": "HALO"}]))
+    cur = _result(rows=[{"p": 1, "who": "STORE"}])
+    assert not compare_to_baseline(cur, base).ok
+
+
+def test_missing_and_extra_rows():
+    base = save_baseline(_result(rows=[{"p": 1, "v": 1.0}, {"p": 2, "v": 2.0}]))
+    cur = _result(rows=[{"p": 1, "v": 1.0}, {"p": 4, "v": 4.0}])
+    diff = compare_to_baseline(cur, base)
+    assert not diff.ok  # missing p=2 row is a regression
+    assert len(diff.missing_rows) == 1 and len(diff.extra_rows) == 1
+
+
+def test_ignore_columns():
+    base = save_baseline(_result(rows=[{"p": 1, "v": 1.0, "noise": 9.0}]))
+    cur = _result(rows=[{"p": 1, "v": 1.0, "noise": 900.0}])
+    assert compare_to_baseline(cur, base, ignore_columns=["noise"]).ok
+
+
+def test_experiment_mismatch_rejected():
+    base = save_baseline(_result(exp_id="a"))
+    with pytest.raises(AnalysisError):
+        compare_to_baseline(_result(exp_id="b"), base)
+
+
+def test_against_real_table7():
+    res = table7()
+    base = save_baseline(res)
+    assert compare_to_baseline(table7(), base).ok
+    # A cost-model "bug" that changed the sides would be caught:
+    broken = ExperimentResult(
+        "table7", res.title,
+        [dict(r, lulesh_s=r["lulesh_s"] + 1) for r in res.rows],
+        res.checks,
+    )
+    diff = compare_to_baseline(broken, base, rel_tol=0.01)
+    assert not diff.ok

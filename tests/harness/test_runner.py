@@ -1,0 +1,127 @@
+"""Sweep runners over tiny configurations."""
+
+import pytest
+
+from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
+from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
+from repro.machine.catalog import knl_node, nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+from repro.workloads.lulesh import LuleshConfig
+
+
+@pytest.fixture(scope="module")
+def conv_profile():
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig.tiny(steps=4),
+        machine=nehalem_cluster(nodes=1, jitter=0.0),
+        process_counts=(1, 2, 4),
+        reps=2,
+        noise_floor=0.0,
+        compute_jitter=0.0,
+    )
+    return run_convolution_sweep(sweep)
+
+
+def test_convolution_sweep_structure(conv_profile):
+    assert conv_profile.scales() == [1, 2, 4]
+    assert conv_profile.reps(2) == 2
+    assert "HALO" in conv_profile.labels()
+
+
+def test_convolution_sweep_progress_callback():
+    lines = []
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig.tiny(steps=2),
+        machine=nehalem_cluster(nodes=1, jitter=0.0),
+        process_counts=(1,),
+        reps=1,
+    )
+    run_convolution_sweep(sweep, progress=lines.append)
+    assert len(lines) == 1 and "p=1" in lines[0]
+
+
+def test_convolution_sweep_seeds_distinct_per_rep(conv_profile):
+    seeds = [r.seed for r in conv_profile.runs(2)]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_lulesh_grid_runner():
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=8, steps=2),
+        machine=knl_node(jitter=0.0),
+        grid={1: (1, 2), 8: (1,)},
+        reps=1,
+    )
+    analysis, drifts = run_lulesh_grid(sweep)
+    assert analysis.process_counts() == [1, 8]
+    assert analysis.thread_counts(1) == [1, 2]
+    assert set(drifts) == {(1, 1), (1, 2), (8, 1)}
+    assert max(drifts.values()) < 1e-10
+
+
+def test_lulesh_grid_scales_sides_to_hold_elements():
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=8, steps=1),
+        machine=knl_node(jitter=0.0),
+        grid={8: (1,)},
+        reps=1,
+    )
+    analysis, _ = run_lulesh_grid(sweep)
+    prof = analysis.runs(8, 1)[0]
+    # s=8 at p=1 → s=4 at p=8 (8 * 4^3 = 512 = 8^3): same global mesh
+    assert prof.n_ranks == 8
+
+
+def test_lulesh_grid_explicit_sides():
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=8, steps=1),
+        machine=knl_node(jitter=0.0),
+        grid={8: (1,)},
+        reps=1,
+    )
+    analysis, _ = run_lulesh_grid(sweep, sides={8: 3})
+    assert analysis.runs(8, 1)[0].n_ranks == 8
+
+
+def test_weak_scaling_sweep_grows_problem():
+    from repro.harness.sweeps import ConvolutionSweep
+    from repro.workloads.convolution import ConvolutionConfig
+    from repro.machine.catalog import nehalem_cluster
+
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig(height=12, width=16, steps=3),
+        machine=nehalem_cluster(nodes=1, jitter=0.0),
+        process_counts=(1, 2, 4),
+        reps=1,
+        weak=True,
+        compute_jitter=0.0,
+        noise_floor=0.0,
+    )
+    assert sweep.config_for(4).height == 48
+    prof = run_convolution_sweep(sweep)
+    # Weak scaling: per-process CONVOLVE time stays ~constant while the
+    # global problem quadruples (Gustafson's configuration).
+    t1 = prof.mean_avg_per_process("CONVOLVE", 1)
+    t4 = prof.mean_avg_per_process("CONVOLVE", 4)
+    assert t4 == pytest.approx(t1, rel=0.10)
+    # ... whereas under strong scaling it would have dropped ~4x.
+
+
+def test_weak_scaling_efficiency_stays_high():
+    from repro.harness.sweeps import ConvolutionSweep
+    from repro.workloads.convolution import ConvolutionConfig
+    from repro.machine.catalog import nehalem_cluster
+
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig(height=24, width=64, steps=10),
+        machine=nehalem_cluster(nodes=1, jitter=0.0),
+        process_counts=(1, 8),
+        reps=1,
+        weak=True,
+        compute_jitter=0.0,
+        noise_floor=0.0,
+    )
+    prof = run_convolution_sweep(sweep)
+    # Gustafson: walltime at p=8 on an 8x problem stays within ~40% of
+    # the p=1 walltime (scaled speedup >> Amdahl's strong-scaling S).
+    assert prof.mean_walltime(8) < 1.4 * prof.mean_walltime(1)

@@ -1,0 +1,99 @@
+"""Sweep definitions: validation and paper parameters."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.sweeps import (
+    ConvolutionSweep,
+    LuleshGridSweep,
+    default_convolution_sweep,
+    default_lulesh_sweep,
+    fig6_process_counts,
+    lulesh_sides_for,
+    paper_convolution_sweep,
+    paper_lulesh_sweep,
+)
+from repro.machine.catalog import nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+from repro.workloads.lulesh import PAPER_TOTAL_ELEMENTS, LuleshConfig
+
+
+def test_default_convolution_sweep_valid():
+    sw = default_convolution_sweep()
+    assert 1 in sw.process_counts
+    assert sw.ranks_per_node == 8  # paper's 8-core nodes
+    sw.machine.validate_ranks(max(sw.process_counts), sw.ranks_per_node)
+
+
+def test_paper_convolution_sweep_full_scale():
+    sw = paper_convolution_sweep()
+    assert max(sw.process_counts) == 456
+    assert sw.config.height == 3744 and sw.config.steps == 1000
+    assert sw.reps == 20  # "Runs were done twenty times and averaged"
+
+
+def test_fig6_process_counts_match_paper():
+    assert fig6_process_counts() == (64, 80, 112, 128, 144)
+
+
+def test_convolution_sweep_requires_sequential_point():
+    with pytest.raises(ReproError):
+        ConvolutionSweep(
+            config=ConvolutionConfig.tiny(),
+            machine=nehalem_cluster(nodes=1),
+            process_counts=(2, 4),
+        )
+
+
+def test_convolution_sweep_requires_reps():
+    with pytest.raises(ReproError):
+        ConvolutionSweep(
+            config=ConvolutionConfig.tiny(),
+            machine=nehalem_cluster(nodes=1),
+            process_counts=(1, 2),
+            reps=0,
+        )
+
+
+@pytest.mark.parametrize("name,pmax", [("knl", 64), ("broadwell", 27)])
+def test_default_lulesh_sweep_grids(name, pmax):
+    sw = default_lulesh_sweep(name)
+    assert max(sw.grid) == pmax
+    hw = sw.machine.node.max_threads
+    for p, ts in sw.grid.items():
+        assert max(ts) * p <= hw * 1.0 + hw  # bounded by hardware threads
+        assert ts[0] == 1
+
+
+def test_knl_grid_samples_inflexion_point():
+    sw = default_lulesh_sweep("knl")
+    assert 24 in sw.grid[1]  # the paper's inflexion point is sampled
+
+
+def test_paper_lulesh_sweep_sides():
+    sw = paper_lulesh_sweep("knl")
+    assert sw.config.s == 48
+    assert set(sw.grid) == {1, 8, 27, 64}
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(ReproError):
+        default_lulesh_sweep("cray")
+    with pytest.raises(ReproError):
+        paper_lulesh_sweep("cray")
+
+
+def test_grid_sweep_validation():
+    with pytest.raises(ReproError):
+        LuleshGridSweep(config=LuleshConfig(), machine=nehalem_cluster(1), grid={})
+    with pytest.raises(ReproError):
+        LuleshGridSweep(
+            config=LuleshConfig(), machine=nehalem_cluster(1), grid={4: (1,)}
+        )
+
+
+def test_lulesh_sides_for_paper_total():
+    sides = lulesh_sides_for((1, 8, 27, 64), PAPER_TOTAL_ELEMENTS)
+    assert sides == {1: 48, 8: 24, 27: 16, 64: 12}
+    with pytest.raises(ReproError):
+        lulesh_sides_for((27,), 1000)

@@ -1,0 +1,83 @@
+"""End-to-end convolution pipeline: sweep → profile → analysis → bounds."""
+
+import pytest
+
+from repro.core.analysis import ScalingAnalysis
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine.catalog import nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+
+
+@pytest.fixture(scope="module")
+def profile():
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig(height=96, width=128, steps=25),
+        machine=nehalem_cluster(nodes=2, jitter=0.05),
+        process_counts=(1, 2, 4, 8, 16),
+        reps=2,
+        compute_jitter=0.01,
+        noise_floor=20e-6,
+    )
+    return run_convolution_sweep(sweep)
+
+
+def test_speedup_monotone_then_saturating(profile):
+    xs, sp = profile.speedup_series()
+    assert sp[0] == pytest.approx(1.0)
+    assert sp[2] > 1.7  # real acceleration at p=4 (tiny test problem)
+    assert max(sp) < 16  # nothing superlinear
+
+
+def test_convolve_time_shrinks_with_p(profile):
+    _, avgs = profile.avg_series("CONVOLVE")
+    assert avgs[-1] < avgs[0] / 6
+
+
+def test_load_store_serial_components_constant(profile):
+    _, loads = profile.avg_series("LOAD")
+    assert max(loads) < min(loads) * 1.5  # roughly constant per process
+
+
+def test_halo_bound_caps_measured_speedup_e2e(profile):
+    """Eq. 6 verified on real simulated data at every scale."""
+    an = ScalingAnalysis(profile)
+    for entry in an.bound_table("HALO"):
+        assert profile.speedup(entry.p) <= entry.bound * 1.05
+
+
+def test_every_section_bound_caps_measured_speedup(profile):
+    an = ScalingAnalysis(profile)
+    violations = an.bounder.verify(
+        {p: profile.speedup(p) for p in profile.scales() if p > 1},
+        {
+            p: {
+                lab: profile.mean_total(lab, p)
+                for lab in ("LOAD", "STORE", "CONVOLVE", "HALO")
+                if profile.mean_total(lab, p) > 0
+            }
+            for p in profile.scales()
+            if p > 1
+        },
+    )
+    assert violations == {}
+
+
+def test_binding_section_transitions_from_convolve(profile):
+    an = ScalingAnalysis(profile)
+    binding = an.binding_sections()
+    assert binding[2].label == "CONVOLVE"  # compute still dominates at p=2
+
+
+def test_karp_flatt_grows_with_overhead(profile):
+    an = ScalingAnalysis(profile)
+    rows = an.karp_flatt_rows()
+    assert rows[-1]["karp_flatt"] > 0  # measurable serial/overhead fraction
+
+
+def test_percent_breakdown_sums_below_100(profile):
+    for p in profile.scales():
+        prof = profile.runs(p)[0]
+        total = sum(prof.breakdown().values())
+        assert total <= 100.0 + 1e-6
+        assert total > 90.0  # sections cover almost all execution

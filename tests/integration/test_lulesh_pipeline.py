@@ -1,0 +1,74 @@
+"""End-to-end Lulesh pipeline: grid → hybrid analysis → inflexion/bounds."""
+
+import pytest
+
+from repro.harness.runner import run_lulesh_grid
+from repro.harness.sweeps import LuleshGridSweep
+from repro.machine.catalog import knl_node
+from repro.tools import AdaptiveAdvisor
+from repro.workloads.lulesh import LuleshConfig
+
+
+@pytest.fixture(scope="module")
+def knl_grid():
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=24, steps=4),
+        machine=knl_node(jitter=0.0),
+        grid={1: (1, 2, 4, 8, 16, 24, 32, 64, 128), 8: (1, 2, 4, 8)},
+        reps=1,
+        compute_jitter=0.0,
+    )
+    return run_lulesh_grid(sweep)
+
+
+def test_energy_conserved_everywhere(knl_grid):
+    _, drifts = knl_grid
+    assert max(drifts.values()) < 1e-12
+
+
+def test_omp_speedup_then_regression(knl_grid):
+    analysis, _ = knl_grid
+    ts, walls = analysis.walltime_series(1)
+    assert walls[ts.index(8)] < walls[0] / 3
+    assert walls[ts.index(128)] > min(walls) * 1.5
+
+
+def test_elements_inflexion_exists_and_bounds_hold(knl_grid):
+    analysis, _ = knl_grid
+    out = analysis.bound_at_inflexion("LagrangeElements", 1)
+    assert out is not None
+    pt, bound = out
+    assert pt.exhausted
+    measured = analysis.speedup(1, pt.p)
+    assert measured <= bound * 1.02
+
+
+def test_two_phase_bound_tracks_measured(knl_grid):
+    analysis, _ = knl_grid
+    for t in (4, 8, 16):
+        measured = analysis.speedup(1, t)
+        bound = analysis.bound_from_sections(
+            ["LagrangeNodal", "LagrangeElements"], 1, t
+        )
+        assert measured <= bound * 1.02
+        assert bound <= measured * 1.6  # phases dominate → bound is tight
+
+
+def test_mpi_parallelism_beats_omp_at_same_degree(knl_grid):
+    analysis, _ = knl_grid
+    assert analysis.mean_walltime(8, 1) < analysis.mean_walltime(1, 8)
+
+
+def test_adaptive_advisor_on_real_curves(knl_grid):
+    """Section 8 future work wired end-to-end: per-section thread caps
+    computed from measured curves predict a walltime no worse than the
+    uniform configuration."""
+    analysis, _ = knl_grid
+    curves = {
+        lab: analysis.section_series(lab, 1)
+        for lab in ("LagrangeNodal", "LagrangeElements")
+    }
+    adv = AdaptiveAdvisor(curves)
+    gain = adv.predicted_gain(uniform_threads=128)
+    assert gain > 0.2  # restraining clearly helps past the inflexion
+    assert adv.predicted_gain(uniform_threads=8) >= 0.0

@@ -1,0 +1,103 @@
+"""Predictive-model validation on real simulated data.
+
+Fit the per-section power laws on the small scales of a convolution
+sweep, then check the model's *extrapolated* walltime/speedup against
+held-out measurements at larger scales — the workflow a user would run
+before requesting a bigger allocation.
+
+The sweep runs on a single-tier (one-node) machine: power-law models
+describe smooth scaling, and deliberately do not capture the regime
+change at node boundaries (that structural effect is exercised in the
+Figure 5/6 benchmarks instead).
+"""
+
+import pytest
+
+from repro.core.models import SectionScalingModel, fit_usl_profile
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine.spec import CoreSpec, MachineSpec, NetworkTier, NodeSpec
+from repro.workloads.convolution import ConvolutionConfig
+
+
+def _flat_machine(cores: int = 64) -> MachineSpec:
+    """One wide node, one network tier, zero jitter: smooth scaling."""
+    node = NodeSpec(
+        sockets=1,
+        cores_per_socket=cores,
+        core=CoreSpec(flops=9.0e9, hw_threads=1, ht_efficiency=0.0),
+        mem_bandwidth=200.0e9,
+        mem_per_node=64.0e9,
+    )
+    tier = NetworkTier(latency=1.0e-6, bandwidth=5.0e9, jitter=0.0)
+    return MachineSpec(
+        name="flat-64c", nodes=1, node=node, intra_node=tier, inter_node=tier,
+        io_bandwidth=4.0e9, io_latency=1.0e-3,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_profile():
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig(height=192, width=256, steps=40),
+        machine=_flat_machine(),
+        process_counts=(1, 2, 4, 8, 16, 32, 64),
+        reps=1,
+        ranks_per_node=64,
+        compute_jitter=0.0,
+        noise_floor=0.0,
+    )
+    return run_convolution_sweep(sweep)
+
+
+def test_model_extrapolates_heldout_scales(sweep_profile):
+    model = SectionScalingModel.fit_profile(sweep_profile, max_scale=16)
+    for p in (32, 64):
+        predicted = model.walltime(p)
+        measured = sweep_profile.mean_walltime(p)
+        assert predicted == pytest.approx(measured, rel=0.20), p
+
+
+def test_model_speedup_prediction_tracks_measurement(sweep_profile):
+    model = SectionScalingModel.fit_profile(sweep_profile, max_scale=16)
+    for p in (32, 64):
+        assert model.speedup(p) == pytest.approx(
+            sweep_profile.speedup(p), rel=0.20
+        )
+
+
+def test_model_identifies_serial_floor_sections(sweep_profile):
+    model = SectionScalingModel.fit_profile(sweep_profile)
+    # LOAD/STORE are rank-0-serial: their fitted floor is essentially
+    # their whole time; CONVOLVE scales nearly ideally.
+    assert model.fits["CONVOLVE"].b > 0.9
+    for label in ("LOAD", "STORE"):
+        fit = model.fits[label]
+        assert fit.floor > 0.5 * fit.time(1)
+
+
+def test_model_binding_section_at_extreme_scale(sweep_profile):
+    model = SectionScalingModel.fit_profile(sweep_profile)
+    label, bound = model.binding_section(10_000)
+    assert label in ("LOAD", "STORE", "HALO", "GATHER", "SCATTER")
+    # Eq. 6 in predicted form: the whole-model speedup respects the
+    # binding section's bound, and the asymptote (sum of all floors) is
+    # tighter than any single section's bound.
+    assert model.speedup(10_000) <= bound * 1.0001
+    assert model.asymptotic_speedup() <= bound * 1.0001
+
+
+def test_model_saturation_scale_matches_measured_plateau(sweep_profile):
+    model = SectionScalingModel.fit_profile(sweep_profile)
+    p_sat = model.saturation_scale(gain_threshold=0.05)
+    # the measured sweep still gains from 16 → 32, so saturation must not
+    # be predicted below that; nor absurdly far past the serial floors.
+    assert 16 <= p_sat <= 4096
+
+
+def test_usl_fit_on_real_sweep(sweep_profile):
+    fit = fit_usl_profile(sweep_profile)
+    assert 0.0 <= fit.sigma < 0.2
+    xs, ss = sweep_profile.speedup_series()
+    for p, s in zip(xs, ss):
+        assert fit.speedup(p) == pytest.approx(s, rel=0.30)

@@ -1,0 +1,65 @@
+"""Catalog machines match the paper's hardware structure."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.catalog import (
+    MACHINE_CATALOG,
+    broadwell_duo,
+    by_name,
+    knl_node,
+    laptop,
+    nehalem_cluster,
+)
+
+
+def test_nehalem_matches_paper_structure():
+    m = nehalem_cluster()
+    # "a single eight core Intel Xeon X5560 processor with
+    #  hyper-threading disabled" × 57 nodes = 456 cores
+    assert m.node.sockets == 1
+    assert m.node.cores_per_socket == 8
+    assert m.node.core.hw_threads == 1
+    assert m.total_cores == 456
+    assert m.node.mem_per_node == pytest.approx(24e9)  # "24 GB of memory"
+
+
+def test_knl_matches_paper_structure():
+    m = knl_node()
+    # "68 cores with 4 hyper-threads"
+    assert m.node.physical_cores == 68
+    assert m.node.core.hw_threads == 4
+    assert m.node.max_threads == 272
+    assert m.nodes == 1
+
+
+def test_broadwell_matches_paper_structure():
+    m = broadwell_duo()
+    # "2 sockets with 18 cores with two hyper-threads"
+    assert m.node.sockets == 2
+    assert m.node.cores_per_socket == 18
+    assert m.node.core.hw_threads == 2
+    assert m.node.max_threads == 72
+
+
+def test_inter_node_slower_than_intra():
+    for factory in (nehalem_cluster, knl_node, broadwell_duo):
+        m = factory()
+        assert m.inter_node.latency >= m.intra_node.latency
+        assert m.inter_node.bandwidth <= m.intra_node.bandwidth
+
+
+def test_laptop_configurable():
+    assert laptop(2).total_cores == 2
+    with pytest.raises(MachineError):
+        laptop(0)
+
+
+def test_by_name_lookup():
+    assert by_name("knl").name.startswith("knl")
+    with pytest.raises(MachineError):
+        by_name("cray")
+
+
+def test_catalog_complete():
+    assert set(MACHINE_CATALOG) == {"nehalem", "knl", "broadwell", "laptop"}

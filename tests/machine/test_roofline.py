@@ -1,0 +1,91 @@
+"""Roofline compute-time model."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.roofline import RooflineModel, WorkEstimate
+from repro.machine.spec import CoreSpec, NodeSpec
+
+
+@pytest.fixture
+def node():
+    return NodeSpec(
+        sockets=1,
+        cores_per_socket=8,
+        core=CoreSpec(flops=1e9, hw_threads=2, ht_efficiency=0.5),
+        mem_bandwidth=10e9,
+        numa_penalty=1.0,
+    )
+
+
+def test_work_estimate_validation():
+    with pytest.raises(MachineError):
+        WorkEstimate(flops=-1)
+    with pytest.raises(MachineError):
+        WorkEstimate(flops=1, serial_fraction=2.0)
+
+
+def test_work_estimate_add_combines_serial_weighted():
+    a = WorkEstimate(flops=100, bytes_moved=10, serial_fraction=0.1)
+    b = WorkEstimate(flops=300, bytes_moved=30, serial_fraction=0.5)
+    c = a + b
+    assert c.flops == 400 and c.bytes_moved == 40
+    assert c.serial_fraction == pytest.approx((100 * 0.1 + 300 * 0.5) / 400)
+
+
+def test_work_estimate_scaled():
+    w = WorkEstimate(flops=10, bytes_moved=4, serial_fraction=0.2).scaled(5)
+    assert w.flops == 50 and w.bytes_moved == 20 and w.serial_fraction == 0.2
+
+
+def test_flop_rate_fills_cores_then_smt(node):
+    m = RooflineModel(node)
+    assert m.flop_rate(1) == pytest.approx(1e9)
+    assert m.flop_rate(8) == pytest.approx(8e9)
+    assert m.flop_rate(12) == pytest.approx(8e9 + 4 * 0.5e9)
+    with pytest.raises(MachineError):
+        m.flop_rate(17)
+
+
+def test_bandwidth_saturates(node):
+    m = RooflineModel(node, bw_saturation_threads=4)
+    assert m.bandwidth(1) == pytest.approx(2.5e9)
+    assert m.bandwidth(4) == pytest.approx(10e9)
+    assert m.bandwidth(8) == pytest.approx(10e9)
+
+
+def test_compute_bound_time(node):
+    m = RooflineModel(node)
+    t = m.time(WorkEstimate(flops=2e9), nthreads=2)
+    assert t == pytest.approx(1.0)
+
+
+def test_memory_bound_time(node):
+    m = RooflineModel(node, bw_saturation_threads=1)
+    t = m.time(WorkEstimate(flops=1, bytes_moved=20e9), nthreads=2)
+    assert t == pytest.approx(2.0)
+
+
+def test_roofline_takes_max_of_terms(node):
+    m = RooflineModel(node, bw_saturation_threads=1)
+    w = WorkEstimate(flops=4e9, bytes_moved=20e9)
+    # compute: 4 s at 1 thread; memory: 2 s → compute bound
+    assert m.time(w, 1) == pytest.approx(4.0)
+    # at 8 threads compute: 0.5 s; memory: 2 s → memory bound
+    assert m.time(w, 8) == pytest.approx(2.0)
+
+
+def test_serial_fraction_floors_scaling(node):
+    m = RooflineModel(node)
+    w = WorkEstimate(flops=8e9, serial_fraction=0.5)
+    t8 = m.time(w, 8)
+    # serial half runs at 1 thread (4 s), parallel half at 8 (0.5 s)
+    assert t8 == pytest.approx(4.5)
+
+
+def test_zero_work_zero_time(node):
+    assert RooflineModel(node).time(WorkEstimate(flops=0), 4) == 0.0
+
+
+def test_arithmetic_intensity_knee_positive(node):
+    assert RooflineModel(node).arithmetic_intensity_knee() > 0

@@ -1,0 +1,101 @@
+"""Machine specification dataclasses: validation and derived quantities."""
+
+import pytest
+
+from repro.errors import MachineError, OversubscriptionError
+from repro.machine.spec import CoreSpec, MachineSpec, NetworkTier, NodeSpec
+
+
+def _machine(nodes=2, cores=4, hw_threads=2):
+    node = NodeSpec(
+        sockets=1,
+        cores_per_socket=cores,
+        core=CoreSpec(flops=1e9, hw_threads=hw_threads, ht_efficiency=0.5),
+    )
+    return MachineSpec(
+        name="t",
+        nodes=nodes,
+        node=node,
+        intra_node=NetworkTier(1e-6, 1e9),
+        inter_node=NetworkTier(2e-6, 5e8),
+    )
+
+
+def test_core_thread_throughput_smt_tiers():
+    core = CoreSpec(flops=2e9, hw_threads=4, ht_efficiency=0.25)
+    assert core.thread_throughput(1) == pytest.approx(2e9)
+    assert core.thread_throughput(2) == pytest.approx(2.5e9)
+    assert core.thread_throughput(4) == pytest.approx(3.5e9)
+
+
+def test_core_thread_throughput_overflow_raises():
+    core = CoreSpec(hw_threads=2)
+    with pytest.raises(OversubscriptionError):
+        core.thread_throughput(3)
+
+
+def test_core_invalid_parameters():
+    with pytest.raises(MachineError):
+        CoreSpec(flops=0)
+    with pytest.raises(MachineError):
+        CoreSpec(hw_threads=0)
+    with pytest.raises(MachineError):
+        CoreSpec(ht_efficiency=1.5)
+
+
+def test_node_counts():
+    node = NodeSpec(sockets=2, cores_per_socket=18,
+                    core=CoreSpec(hw_threads=2))
+    assert node.physical_cores == 36
+    assert node.max_threads == 72
+    assert not node.spans_sockets(36)
+    assert node.spans_sockets(37)
+
+
+def test_node_invalid():
+    with pytest.raises(MachineError):
+        NodeSpec(sockets=0)
+    with pytest.raises(MachineError):
+        NodeSpec(mem_bandwidth=-1)
+    with pytest.raises(MachineError):
+        NodeSpec(numa_penalty=0.9)
+
+
+def test_tier_validation():
+    with pytest.raises(MachineError):
+        NetworkTier(latency=-1, bandwidth=1e9)
+    with pytest.raises(MachineError):
+        NetworkTier(latency=0, bandwidth=0)
+    with pytest.raises(MachineError):
+        NetworkTier(1e-6, 1e9, spike_prob=2.0)
+    with pytest.raises(MachineError):
+        NetworkTier(1e-6, 1e9, spike_scale=0.5)
+
+
+def test_machine_totals():
+    m = _machine(nodes=3, cores=4, hw_threads=2)
+    assert m.total_cores == 12
+    assert m.total_hw_threads == 24
+
+
+def test_node_of_rank_compact_placement():
+    m = _machine(nodes=2, cores=4)
+    assert m.node_of_rank(0) == 0
+    assert m.node_of_rank(3) == 0
+    assert m.node_of_rank(4) == 1
+    assert m.node_of_rank(5, ranks_per_node=2) == 2
+
+
+def test_tier_between():
+    m = _machine(nodes=2, cores=4)
+    assert m.tier_between(0, 3) is m.intra_node
+    assert m.tier_between(3, 4) is m.inter_node
+
+
+def test_validate_ranks():
+    m = _machine(nodes=2, cores=4)
+    m.validate_ranks(8)
+    with pytest.raises(OversubscriptionError):
+        m.validate_ranks(9)
+    with pytest.raises(OversubscriptionError):
+        m.validate_ranks(4, ranks_per_node=5)

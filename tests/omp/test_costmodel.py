@@ -1,0 +1,118 @@
+"""OpenMP cost model: rates, contention, fork/join, inflexion shapes."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.catalog import broadwell_duo, knl_node
+from repro.machine.roofline import WorkEstimate
+from repro.omp.costmodel import OMPCostModel, OMPParams
+
+
+@pytest.fixture
+def knl():
+    return OMPCostModel(knl_node(), ranks_on_node=1)
+
+
+@pytest.fixture
+def bdw():
+    return OMPCostModel(broadwell_duo(), ranks_on_node=1)
+
+
+def test_params_presets_differ():
+    knl_p = OMPParams.for_machine(knl_node())
+    bdw_p = OMPParams.for_machine(broadwell_duo())
+    # "the OpenMP overhead tends to increase more rapidly than on the
+    # Broadwell" — KNL fork costs and contention onset are harsher.
+    assert knl_p.fork_per_thread > bdw_p.fork_per_thread
+    assert knl_p.t_half < bdw_p.t_half
+
+
+def test_core_allocation_divides_with_ranks():
+    m = OMPCostModel(knl_node(), ranks_on_node=27)
+    assert m.cores_avail == 2
+    assert m.hw_avail == 8
+
+
+def test_raw_flop_rate_monotone_until_oversubscription(knl):
+    rates = [knl.raw_flop_rate(t) for t in (1, 2, 34, 68, 136, 272)]
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+
+
+def test_oversubscription_reduces_rate():
+    m = OMPCostModel(knl_node(), ranks_on_node=4)  # 17 cores, 68 hw threads
+    assert m.raw_flop_rate(m.hw_avail * 2) < m.raw_flop_rate(m.hw_avail)
+
+
+def test_contention_grows_with_node_threads(knl):
+    assert knl.contention_factor(4) < knl.contention_factor(32)
+    m27 = OMPCostModel(knl_node(), ranks_on_node=27)
+    # 27 ranks × 2 threads = 54 node threads: more contention than 1×2.
+    assert m27.contention_factor(2) > knl.contention_factor(2)
+
+
+def test_bandwidth_mpi_scaling_property():
+    """p ranks × 1 thread draw ~p× the bandwidth of 1 rank × 1 thread
+    (until saturation) — the key MPI-vs-OpenMP asymmetry."""
+    one = OMPCostModel(knl_node(), ranks_on_node=1)
+    eight = OMPCostModel(knl_node(), ranks_on_node=8)
+    assert eight.bandwidth(1) == pytest.approx(one.bandwidth(1))
+    # 8 ranks × 2 threads have already saturated their fair share.
+    assert eight.bandwidth(4) <= knl_node().node.mem_bandwidth / 8
+
+
+def test_fork_join_zero_at_one_thread(knl):
+    assert knl.fork_join(1) == 0.0
+    assert knl.fork_join(16) > knl.fork_join(2)
+
+
+def test_imbalance_static_schedule():
+    assert OMPCostModel.imbalance(100, 1) == 1.0
+    assert OMPCostModel.imbalance(100, 8) == pytest.approx(13 / 12.5)
+    assert OMPCostModel.imbalance(3, 8) == pytest.approx(8 / 3)
+    assert OMPCostModel.imbalance(64, 8) == 1.0
+
+
+def test_region_time_u_shape_on_knl(knl):
+    """The Figure 10 behaviour: time falls, bottoms out, then rises."""
+    w = WorkEstimate(flops=2e10, bytes_moved=2e9, serial_fraction=0.03)
+    times = {t: knl.region_time(w, t) for t in (1, 8, 16, 24, 64, 200)}
+    assert times[8] < times[1]
+    tmin = min(times.values())
+    assert times[200] > 2 * tmin  # clearly past the inflexion
+    best = knl.best_thread_count(w, max_threads=64)
+    assert 8 <= best <= 48
+
+
+def test_broadwell_scales_further_than_knl(knl, bdw):
+    w = WorkEstimate(flops=2e10, bytes_moved=2e9, serial_fraction=0.03)
+    best_knl = knl.best_thread_count(w, max_threads=64)
+    best_bdw = bdw.best_thread_count(w, max_threads=64)
+    assert bdw.region_time(w, 32) < bdw.region_time(w, 1)
+    assert best_bdw >= best_knl * 0.75  # Broadwell at least comparable
+
+
+def test_memory_bound_work_flattens_early(knl):
+    w = WorkEstimate(flops=1e8, bytes_moved=5e10)
+    t12 = knl.region_time(w, knl.params.bw_sat)
+    t24 = knl.region_time(w, 2 * knl.params.bw_sat)
+    # No meaningful gain past the bandwidth knee.
+    assert t24 > 0.8 * t12
+
+
+def test_serial_fraction_caps_speedup(knl):
+    w = WorkEstimate(flops=1e10, serial_fraction=0.1)
+    s = knl.region_time(w, 1) / knl.region_time(w, 16)
+    assert s < 1 / 0.1  # Amdahl ceiling
+
+
+def test_invalid_inputs(knl):
+    with pytest.raises(MachineError):
+        knl.raw_flop_rate(0)
+    with pytest.raises(MachineError):
+        OMPCostModel(knl_node(), ranks_on_node=0)
+
+
+def test_with_overrides():
+    p = OMPParams().with_overrides(t_half=10.0)
+    assert p.t_half == 10.0
+    assert p.fork_base == OMPParams().fork_base

@@ -1,0 +1,67 @@
+"""Loop chunking: coverage, disjointness, schedule semantics."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.omp.parallel_for import chunk_ranges, iter_chunks
+
+
+def _covered(chunks, n):
+    seen = []
+    for _, lo, hi in chunks:
+        seen.extend(range(lo, hi))
+    return seen
+
+
+@pytest.mark.parametrize("n,t", [(10, 3), (7, 7), (100, 8), (5, 8), (1, 1)])
+def test_static_covers_exactly_once(n, t):
+    chunks = chunk_ranges(n, t, "static")
+    assert sorted(_covered(chunks, n)) == list(range(n))
+
+
+def test_static_default_contiguous_blocks():
+    chunks = chunk_ranges(10, 3, "static")
+    assert chunks == [(0, 0, 4), (1, 4, 7), (2, 7, 10)]
+
+
+def test_static_chunked_round_robin():
+    chunks = chunk_ranges(10, 2, "static", chunk=3)
+    assert chunks == [(0, 0, 3), (1, 3, 6), (0, 6, 9), (1, 9, 10)]
+
+
+@pytest.mark.parametrize("schedule", ["dynamic", "guided"])
+@pytest.mark.parametrize("n,t", [(25, 4), (100, 7), (3, 8)])
+def test_other_schedules_cover_exactly_once(schedule, n, t):
+    chunks = chunk_ranges(n, t, schedule, chunk=2)
+    assert sorted(_covered(chunks, n)) == list(range(n))
+
+
+def test_guided_blocks_shrink():
+    sizes = [hi - lo for _, lo, hi in chunk_ranges(1000, 4, "guided")]
+    assert sizes[0] > sizes[-1]
+    assert sizes[0] == 1000 // 8
+
+
+def test_empty_loop():
+    assert chunk_ranges(0, 4) == []
+
+
+def test_threads_idle_when_fewer_iterations():
+    chunks = chunk_ranges(2, 8, "static")
+    assert len(chunks) == 2
+    assert {t for t, _, _ in chunks} == {0, 1}
+
+
+def test_invalid_arguments():
+    with pytest.raises(MachineError):
+        chunk_ranges(-1, 2)
+    with pytest.raises(MachineError):
+        chunk_ranges(5, 0)
+    with pytest.raises(MachineError):
+        chunk_ranges(5, 2, "static", chunk=0)
+    with pytest.raises(MachineError):
+        chunk_ranges(5, 2, "bogus")
+
+
+def test_iter_chunks_yields_ranges():
+    assert list(iter_chunks(6, 2)) == [(0, 3), (3, 6)]

@@ -1,0 +1,195 @@
+"""The OpenMP runtime object inside rank contexts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.catalog import knl_node
+from repro.machine.roofline import WorkEstimate
+from repro.omp import OpenMP
+from repro.simmpi.engine import run_mpi
+
+
+def _run(main, n_ranks=1, machine=None, **kw):
+    return run_mpi(n_ranks, main, machine=machine or knl_node(),
+                   ranks_per_node=n_ranks, **kw)
+
+
+def test_parallel_for_executes_every_chunk_once():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=4)
+        arr = np.zeros(100)
+
+        def body(lo, hi):
+            arr[lo:hi] += 1
+
+        omp.parallel_for(100, body, work=WorkEstimate(flops=1e6))
+        return arr.copy()
+
+    res = _run(main)
+    assert np.array_equal(res.results[0], np.ones(100))
+
+
+def test_parallel_for_charges_model_time():
+    w = WorkEstimate(flops=2.4e9)  # 1 s at one KNL thread
+
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=1)
+        omp.parallel_for(10, None, work=w)
+        return ctx.now
+
+    res = _run(main)
+    assert res.results[0] == pytest.approx(1.0, rel=0.05)
+
+
+def test_more_threads_less_time_until_inflexion():
+    w = WorkEstimate(flops=2.4e10)
+
+    def make(nt):
+        def main(ctx):
+            OpenMP(ctx, nthreads=nt).parallel_for(1000, None, work=w)
+            return ctx.now
+
+        return main
+
+    t1 = _run(make(1)).walltime
+    t8 = _run(make(8)).walltime
+    t256 = _run(make(256)).walltime
+    assert t8 < t1 / 4
+    assert t256 > t8  # far past the inflexion point
+
+
+def test_region_counters():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=2)
+        omp.parallel_for(10, None, work=WorkEstimate(flops=1e6))
+        omp.parallel_region(WorkEstimate(flops=1e6))
+        return (omp.regions, omp.parallel_time)
+
+    res = _run(main)
+    regions, ptime = res.results[0]
+    assert regions == 2 and ptime > 0
+
+
+def test_single_runs_on_one_thread_with_barrier():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=8)
+        flag = []
+        omp.single(lambda: flag.append(1), work=WorkEstimate(flops=2.4e9))
+        return (flag, ctx.now)
+
+    res = _run(main)
+    flag, now = res.results[0]
+    assert flag == [1]
+    assert now >= 1.0  # one-thread time, not /8
+
+
+def test_barrier_charges_fork_join():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=16)
+        omp.barrier()
+        return ctx.now
+
+    res = _run(main)
+    assert res.results[0] > 0
+
+
+def test_ranks_on_node_inferred_from_engine():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=1)
+        return omp.model.ranks_on_node
+
+    res = _run(main, n_ranks=4)
+    assert res.results == [4, 4, 4, 4]
+
+
+def test_efficiency_below_one():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=16)
+        return omp.efficiency(WorkEstimate(flops=1e10, serial_fraction=0.05))
+
+    res = _run(main)
+    assert 0.0 < res.results[0] < 1.0
+
+
+def test_invalid_thread_count():
+    def main(ctx):
+        OpenMP(ctx, nthreads=0)
+
+    from repro.errors import RankFailedError
+
+    with pytest.raises(RankFailedError) as ei:
+        _run(main)
+    assert isinstance(ei.value.original, MachineError)
+
+
+def test_chunking_does_not_change_results():
+    """Deferred-write kernels give identical results at any team size."""
+
+    def make(nt):
+        def main(ctx):
+            omp = OpenMP(ctx, nthreads=nt)
+            arr = np.arange(64.0)
+            out = np.zeros(64)
+
+            def body(lo, hi):
+                out[lo:hi] = arr[lo:hi] * 2
+
+            omp.parallel_for(64, body, work=WorkEstimate(flops=64))
+            return out
+
+        return main
+
+    r1 = _run(make(1)).results[0]
+    r7 = _run(make(7)).results[0]
+    assert np.array_equal(r1, r7)
+
+
+def test_parallel_reduce_deterministic_across_team_sizes():
+    import numpy as np
+    data = np.arange(1000, dtype=np.int64)
+
+    def make(nt):
+        def main(ctx):
+            omp = OpenMP(ctx, nthreads=nt)
+            return omp.parallel_reduce(
+                1000,
+                lambda lo, hi: int(data[lo:hi].sum()),
+                lambda a, b: a + b,
+                work=WorkEstimate(flops=1000),
+            )
+        return main
+
+    r1 = _run(make(1)).results[0]
+    r7 = _run(make(7)).results[0]
+    assert r1 == r7 == int(data.sum())
+
+
+def test_parallel_reduce_max_and_empty():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=4)
+        vals = [3, 1, 4, 1, 5, 9, 2, 6]
+        biggest = omp.parallel_reduce(
+            8, lambda lo, hi: max(vals[lo:hi]), max,
+            work=WorkEstimate(flops=8),
+        )
+        empty = omp.parallel_reduce(
+            0, lambda lo, hi: 0, max, work=WorkEstimate(flops=0)
+        )
+        return (biggest, empty)
+
+    res = _run(main)
+    assert res.results[0] == (9, None)
+
+
+def test_parallel_reduce_charges_time():
+    def main(ctx):
+        omp = OpenMP(ctx, nthreads=2)
+        omp.parallel_reduce(
+            10, lambda lo, hi: 0, lambda a, b: a,
+            work=WorkEstimate(flops=2.4e9),
+        )
+        return ctx.now
+
+    res = _run(main)
+    assert res.results[0] > 0.1

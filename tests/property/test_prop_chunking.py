@@ -1,0 +1,47 @@
+"""Property-based tests on loop chunking and partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.omp.parallel_for import chunk_ranges
+from repro.workloads.stencil import row_partition
+
+SETTINGS = dict(max_examples=100, deadline=None)
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=32),
+       st.sampled_from(["static", "dynamic", "guided"]),
+       st.one_of(st.none(), st.integers(min_value=1, max_value=16)))
+@settings(**SETTINGS)
+def test_chunks_partition_iteration_space(n, t, schedule, chunk):
+    chunks = chunk_ranges(n, t, schedule, chunk)
+    covered = []
+    for tid, lo, hi in chunks:
+        assert 0 <= lo < hi <= n
+        assert 0 <= tid < t
+        covered.extend(range(lo, hi))
+    assert sorted(covered) == list(range(n))
+    assert len(covered) == len(set(covered))  # no overlap
+
+
+@given(st.integers(min_value=1, max_value=500),
+       st.integers(min_value=1, max_value=32))
+@settings(**SETTINGS)
+def test_static_default_is_balanced(n, t):
+    chunks = chunk_ranges(n, t, "static")
+    sizes = [hi - lo for _, lo, hi in chunks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=1, max_value=128))
+@settings(**SETTINGS)
+def test_row_partition_invariants(n, p):
+    if n < p:
+        return
+    counts = row_partition(n, p)
+    assert sum(counts) == n
+    assert len(counts) == p
+    assert max(counts) - min(counts) <= 1
+    assert min(counts) >= 1

@@ -1,0 +1,123 @@
+"""Property-based tests: collectives equal their sequential references
+for arbitrary payload shapes, roots, and communicator sizes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.reduce_ops import MAX, MIN, SUM
+
+from tests.conftest import mpi
+
+sizes = st.integers(min_value=1, max_value=9)
+roots_and_sizes = sizes.flatmap(
+    lambda p: st.tuples(st.just(p), st.integers(min_value=0, max_value=p - 1))
+)
+payload_shapes = st.lists(st.integers(min_value=1, max_value=4), min_size=1,
+                          max_size=3).map(tuple)
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@given(roots_and_sizes, payload_shapes, st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_bcast_delivers_identical_array(ps, shape, data_seed):
+    p, root = ps
+    src = np.random.default_rng(data_seed).random(shape)
+
+    def main(ctx):
+        return ctx.comm.bcast(src if ctx.rank == root else None, root=root)
+
+    res = mpi(p, main)
+    for r in res.results:
+        assert np.array_equal(r, src)
+
+
+@given(roots_and_sizes, payload_shapes, st.sampled_from([SUM, MIN, MAX]),
+       st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_reduce_matches_numpy_reference(ps, shape, op, data_seed):
+    p, root = ps
+    rng = np.random.default_rng(data_seed)
+    contribs = [rng.integers(-100, 100, size=shape) for _ in range(p)]
+
+    def main(ctx):
+        return ctx.comm.reduce(contribs[ctx.rank], op=op, root=root)
+
+    res = mpi(p, main)
+    ref_fn = {SUM: np.sum, MIN: np.min, MAX: np.max}[op]
+    expected = ref_fn(np.stack(contribs), axis=0)
+    assert np.array_equal(res.results[root], expected)
+    assert all(res.results[i] is None for i in range(p) if i != root)
+
+
+@given(sizes, st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_allreduce_sum_float_matches_on_all_ranks(p, data_seed):
+    vals = np.random.default_rng(data_seed).random(p)
+
+    def main(ctx):
+        return ctx.comm.allreduce(vals[ctx.rank], op=SUM)
+
+    res = mpi(p, main)
+    # All ranks agree bit-for-bit (bcast of a single combined value).
+    assert len({r for r in res.results}) == 1
+    assert abs(res.results[0] - vals.sum()) < 1e-9
+
+
+@given(sizes)
+@settings(**SETTINGS)
+def test_allgather_equals_gather_plus_bcast(p):
+    def main(ctx):
+        ag = ctx.comm.allgather(ctx.rank * 3)
+        g = ctx.comm.gather(ctx.rank * 3, root=0)
+        g = ctx.comm.bcast(g, root=0)
+        return (ag, g)
+
+    res = mpi(p, main)
+    for ag, g in res.results:
+        assert ag == g == [3 * i for i in range(p)]
+
+
+@given(sizes, st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_alltoall_is_transpose(p, data_seed):
+    mat = np.random.default_rng(data_seed).integers(0, 1000, size=(p, p))
+
+    def main(ctx):
+        return ctx.comm.alltoall(list(mat[ctx.rank]))
+
+    res = mpi(p, main)
+    for j in range(p):
+        assert res.results[j] == list(mat[:, j])
+
+
+@given(sizes, st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_scan_matches_cumsum(p, data_seed):
+    vals = np.random.default_rng(data_seed).integers(-50, 50, size=p)
+
+    def main(ctx):
+        return ctx.comm.scan(int(vals[ctx.rank]), op=SUM)
+
+    res = mpi(p, main)
+    assert res.results == list(np.cumsum(vals))
+
+
+@given(sizes, st.integers(min_value=1, max_value=30), st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_scatterv_gatherv_roundtrip_arbitrary_counts(p, extra, data_seed):
+    rng = np.random.default_rng(data_seed)
+    counts = list(rng.integers(1, 1 + extra, size=p))
+    rows = sum(counts)
+    data = rng.random((rows, 2))
+
+    def main(ctx):
+        local = np.zeros((counts[ctx.rank], 2))
+        ctx.comm.Scatterv(data if ctx.rank == 0 else None, counts, local, root=0)
+        out = np.zeros((rows, 2)) if ctx.rank == 0 else None
+        ctx.comm.Gatherv(local, out, counts, root=0)
+        return out
+
+    res = mpi(p, main)
+    assert np.array_equal(res.results[0], data)

@@ -1,0 +1,107 @@
+"""Property-based point-to-point semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.api import ANY_SOURCE
+
+from tests.conftest import mpi
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+json_objects = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=4), children, max_size=4),
+    max_leaves=10,
+)
+
+
+@given(json_objects)
+@settings(**SETTINGS)
+def test_object_roundtrip_preserves_value(obj):
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(obj, dest=1)
+        else:
+            return ctx.comm.recv(source=0)
+
+    res = mpi(2, main)
+    assert res.results[1] == obj
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=24))
+@settings(**SETTINGS)
+def test_fifo_per_source_tag_any_interleaving(tags):
+    """Messages with equal (source, tag) arrive in send order regardless
+    of how tags interleave."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            for i, tag in enumerate(tags):
+                ctx.comm.send((tag, i), dest=1, tag=tag)
+        else:
+            out = []
+            for tag in sorted(set(tags)):
+                n = tags.count(tag)
+                out.append([ctx.comm.recv(source=0, tag=tag) for _ in range(n)])
+            return out
+
+    res = mpi(2, main)
+    for group in res.results[1]:
+        indices = [i for (_, i) in group]
+        assert indices == sorted(indices)
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=6))
+@settings(**SETTINGS)
+def test_any_source_receives_every_message_exactly_once(p, per_rank):
+    def main(ctx):
+        if ctx.rank == 0:
+            got = [ctx.comm.recv(source=ANY_SOURCE)
+                   for _ in range((ctx.size - 1) * per_rank)]
+            return sorted(got)
+        for i in range(per_rank):
+            ctx.comm.send((ctx.rank, i), dest=0)
+
+    res = mpi(p, main)
+    expected = sorted((r, i) for r in range(1, p) for i in range(per_rank))
+    assert res.results[0] == expected
+
+
+@given(st.integers(min_value=1, max_value=200_000), st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_buffer_roundtrip_any_size_crosses_protocols(n, data_seed):
+    """Eager and rendezvous payloads both deliver exact bytes."""
+    src = np.random.default_rng(data_seed).random(n)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(src, dest=1)
+        else:
+            buf = np.empty(n)
+            ctx.comm.Recv(buf, source=0)
+            return buf
+
+    res = mpi(2, main)
+    assert np.array_equal(res.results[1], src)
+
+
+@given(st.integers(min_value=2, max_value=7), st.integers(0, 2**31 - 1))
+@settings(**SETTINGS)
+def test_ring_rotation_conserves_multiset(p, data_seed):
+    vals = list(np.random.default_rng(data_seed).integers(0, 100, size=p))
+
+    def main(ctx):
+        comm = ctx.comm
+        cur = vals[ctx.rank]
+        for _ in range(p):  # full rotation returns the original
+            cur = comm.sendrecv(cur, dest=(comm.rank + 1) % p,
+                                source=(comm.rank - 1) % p)
+        return cur
+
+    res = mpi(p, main)
+    assert res.results == vals

@@ -1,0 +1,94 @@
+"""Property-based tests on section semantics and Figure 3 metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.core.sections import build_instances, rank_section_times
+from repro.simmpi.sections_rt import section
+
+from tests.conftest import mpi
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+labels = st.sampled_from(["A", "B", "C"])
+
+# Random well-nested section programs as nested lists of labels.
+programs = st.recursive(
+    labels.map(lambda lab: (lab, [])),
+    lambda kids: st.tuples(labels, st.lists(kids, max_size=3)),
+    max_leaves=8,
+)
+
+
+def _run_program(ctx, node, dt):
+    lab, kids = node
+    with section(ctx, lab):
+        ctx.compute(dt)
+        for kid in kids:
+            _run_program(ctx, kid, dt)
+
+
+@given(programs, st.integers(min_value=1, max_value=4),
+       st.floats(min_value=1e-4, max_value=0.1))
+@settings(**SETTINGS)
+def test_arbitrary_nested_programs_balance_and_account(program, p, dt):
+    """Any well-nested section program yields a balanced event stream whose
+    exclusive times sum to each rank's MPI_MAIN inclusive time."""
+
+    def main(ctx):
+        _run_program(ctx, program, dt)
+
+    res = mpi(p, main)
+    times = rank_section_times(res.section_events)
+    for rank in range(p):
+        main_inc = next(
+            pt.inclusive[rank] for path, pt in times.items()
+            if path == ("MPI_MAIN",)
+        )
+        excl_sum = sum(pt.exclusive.get(rank, 0.0) for pt in times.values())
+        assert abs(excl_sum - main_inc) < 1e-9
+        # exclusive never exceeds inclusive
+        for pt in times.values():
+            if rank in pt.inclusive:
+                assert pt.exclusive[rank] <= pt.inclusive[rank] + 1e-12
+
+
+@given(programs, st.integers(min_value=1, max_value=3))
+@settings(**SETTINGS)
+def test_instances_have_full_rank_participation(program, p):
+    def main(ctx):
+        _run_program(ctx, program, 1e-4)
+
+    res = mpi(p, main)
+    for inst in build_instances(res.section_events):
+        assert set(inst.timing.t_in) == set(range(p))
+
+
+@st.composite
+def instance_timings(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    inst = SectionInstanceTiming("X", ("w",), 0)
+    base = draw(st.floats(min_value=0.0, max_value=100.0))
+    for r in range(n):
+        t_in = base + draw(st.floats(min_value=0.0, max_value=5.0))
+        dur = draw(st.floats(min_value=0.0, max_value=5.0))
+        inst.t_in[r] = t_in
+        inst.t_out[r] = t_in + dur
+    return inst
+
+
+@given(instance_timings())
+@settings(max_examples=100)
+def test_fig3_metric_invariants(inst):
+    """Structural facts of the Figure 3 quantities for any instance."""
+    assert inst.tmin <= inst.tmax
+    assert inst.span >= 0
+    for r in inst.ranks:
+        assert inst.entry_imbalance(r) >= 0
+        assert inst.tsection(r) >= inst.dwell(r) - 1e-12
+        assert inst.tsection(r) <= inst.span + 1e-12
+    assert 0 <= inst.entry_imbalance_mean <= inst.span + 1e-12
+    assert inst.entry_imbalance_var >= 0
+    assert -1e-12 <= inst.imbalance <= inst.span + 1e-12
+    assert inst.mean_tsection <= inst.span + 1e-12

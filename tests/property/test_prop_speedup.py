@@ -1,0 +1,108 @@
+"""Property-based tests on the speedup laws and partial bounding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounding import SpeedupBounder, modeled_speedup, partial_bound_from_total
+from repro.core.inflexion import find_inflexion
+from repro.core.speedup import (
+    amdahl_speedup,
+    fit_amdahl,
+    gustafson_speedup,
+    karp_flatt,
+)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+procs = st.integers(min_value=1, max_value=10_000)
+pos_time = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False,
+                     allow_infinity=False)
+
+
+@given(procs, fractions)
+def test_amdahl_between_one_and_p(p, fs):
+    s = amdahl_speedup(p, fs)
+    assert 1.0 - 1e-12 <= s <= p + 1e-9
+
+
+@given(procs, fractions)
+def test_amdahl_monotone_decreasing_in_fs(p, fs):
+    s1 = amdahl_speedup(p, fs)
+    s2 = amdahl_speedup(p, min(1.0, fs + 0.1))
+    assert s2 <= s1 + 1e-12
+
+
+@given(procs, fractions)
+def test_gustafson_dominates_amdahl(p, fs):
+    assert gustafson_speedup(p, fs) >= amdahl_speedup(p, fs) - 1e-9
+
+
+@given(st.integers(min_value=2, max_value=5000),
+       st.floats(min_value=1e-6, max_value=0.999))
+def test_karp_flatt_inverts_amdahl(p, fs):
+    s = amdahl_speedup(p, fs)
+    assert abs(karp_flatt(s, p) - fs) < 1e-6
+
+
+@given(st.floats(min_value=1e-4, max_value=0.9),
+       st.lists(st.integers(min_value=2, max_value=4096), min_size=2,
+                max_size=8, unique=True))
+def test_fit_amdahl_roundtrip(fs, ps):
+    ss = [amdahl_speedup(p, fs) for p in ps]
+    fit, rmse = fit_amdahl(ps, ss)
+    assert abs(fit - fs) < 1e-6
+    assert rmse < 1e-9
+
+
+@given(st.dictionaries(st.sampled_from("abcdef"), pos_time, min_size=1),
+       st.integers(min_value=1, max_value=512))
+@settings(max_examples=60)
+def test_every_section_bound_caps_eq5_speedup(seq_sections, p):
+    """Eq. 6 as a theorem: the modeled speedup (Eq. 5) never exceeds any
+    single section's partial bound, for arbitrary positive decompositions."""
+    rng = np.random.default_rng(42)
+    par_sections = {
+        k: v / p * float(rng.uniform(0.5, 10.0)) for k, v in seq_sections.items()
+    }
+    seq_total = sum(seq_sections.values())
+    s_model = modeled_speedup(seq_sections, par_sections)
+    for label, t_par in par_sections.items():
+        bound = partial_bound_from_total(seq_total, t_par * p, p)
+        assert s_model <= bound * (1 + 1e-9)
+
+
+@given(st.dictionaries(st.sampled_from("abcd"), pos_time, min_size=2),
+       st.integers(min_value=2, max_value=64))
+@settings(max_examples=40)
+def test_binding_section_bound_is_minimum(sections, p):
+    b = SpeedupBounder(100.0)
+    entry = b.binding_section(p, sections)
+    for label, total in sections.items():
+        assert entry.bound <= b.bound(label, p, total).bound + 1e-12
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2,
+                max_size=12))
+@settings(max_examples=80)
+def test_inflexion_never_crashes_and_points_into_series(times):
+    ps = list(range(1, len(times) + 1))
+    pt = find_inflexion(ps, times, rel_tol=0.05)
+    if pt is not None:
+        assert pt.p in ps
+        assert times[pt.index] == pt.time
+        # the inflexion is within tolerance of the global minimum
+        assert pt.time <= min(times) * 1.05 + 1e-12
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=3,
+                max_size=10))
+@settings(max_examples=60)
+def test_inflexion_on_sorted_decreasing_is_none_or_plateau(times):
+    dec = sorted(times, reverse=True)
+    # strictly decreasing by >5% everywhere → no inflexion
+    strict = all(b < a * 0.94 for a, b in zip(dec, dec[1:]))
+    pt = find_inflexion(list(range(1, len(dec) + 1)), dec, rel_tol=0.05)
+    if strict:
+        assert pt is None
+    elif pt is not None:
+        assert not pt.exhausted or pt.index < len(dec) - 1

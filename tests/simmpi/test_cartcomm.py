@@ -1,0 +1,109 @@
+"""Cartesian communicators (MPI_Cart_* analogues)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidCommunicatorError, RankFailedError
+from repro.simmpi.api import PROC_NULL
+
+from tests.conftest import mpi
+
+
+def test_create_cart_dims_and_coords():
+    def main(ctx):
+        cart = ctx.comm.create_cart((2, 3))
+        return (cart.dims, cart.coords)
+
+    res = mpi(6, main)
+    assert res.results[0] == ((2, 3), (0, 0))
+    assert res.results[5] == ((2, 3), (1, 2))
+
+
+def test_create_cart_size_mismatch():
+    def main(ctx):
+        ctx.comm.create_cart((2, 2))
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(6, main)
+    assert isinstance(ei.value.original, InvalidCommunicatorError)
+
+
+def test_cart_shift_pairs():
+    def main(ctx):
+        cart = ctx.comm.create_cart((4,))
+        return cart.shift(axis=0, disp=1)
+
+    res = mpi(4, main)
+    assert res.results[0] == (PROC_NULL, 1)
+    assert res.results[1] == (0, 2)
+    assert res.results[3] == (2, PROC_NULL)
+
+
+def test_cart_rank_at_roundtrip():
+    def main(ctx):
+        cart = ctx.comm.create_cart((2, 2, 2))
+        return cart.rank_at(cart.coords_of(ctx.rank))
+
+    res = mpi(8, main)
+    assert res.results == list(range(8))
+
+
+def test_cart_neighbors_count():
+    def main(ctx):
+        cart = ctx.comm.create_cart((3, 3))
+        real = [r for (_, _, r) in cart.neighbors() if r != PROC_NULL]
+        return len(real)
+
+    res = mpi(9, main)
+    assert res.results[4] == 4  # centre cell
+    assert res.results[0] == 2  # corner
+
+
+def test_cart_halo_exchange_with_shift():
+    """The idiomatic Cart_shift + Sendrecv halo pattern works end to end."""
+
+    def main(ctx):
+        cart = ctx.comm.create_cart((ctx.size,))
+        src, dst = cart.shift(axis=0, disp=1)
+        buf = np.full(4, -1.0)
+        cart.Sendrecv(np.full(4, float(cart.rank)), dst, buf, src)
+        return buf[0]
+
+    res = mpi(5, main)
+    assert res.results == [-1.0, 0.0, 1.0, 2.0, 3.0]
+
+
+def test_cart_collectives_inherited():
+    def main(ctx):
+        cart = ctx.comm.create_cart((2, 2))
+        return cart.allreduce(cart.rank)
+
+    res = mpi(4, main)
+    assert res.results == [6, 6, 6, 6]
+
+
+def test_cart_cids_agree():
+    def main(ctx):
+        return ctx.comm.create_cart((ctx.size,)).cid
+
+    res = mpi(3, main)
+    assert len(set(res.results)) == 1
+
+
+def test_engine_max_virtual_time_guard():
+    from repro.errors import EngineStateError
+
+    def main(ctx):
+        ctx.compute(100.0)
+        ctx.comm.barrier()
+
+    with pytest.raises(EngineStateError, match="max_virtual_time"):
+        mpi(2, main, max_virtual_time=1.0)
+
+
+def test_engine_max_virtual_time_allows_within_budget():
+    def main(ctx):
+        ctx.compute(0.5)
+
+    res = mpi(2, main, max_virtual_time=10.0)
+    assert res.walltime == pytest.approx(0.5)

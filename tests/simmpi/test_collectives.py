@@ -1,0 +1,302 @@
+"""Collective operations vs sequential references, at several sizes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommMismatchError, RankFailedError
+from repro.simmpi.reduce_ops import MAX, MIN, MINLOC, PROD, SUM
+from repro.simmpi import collectives as coll
+
+from tests.conftest import mpi
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 13]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast_object(p):
+    def main(ctx):
+        data = {"v": 42} if ctx.rank == 0 else None
+        return ctx.comm.bcast(data, root=0)
+
+    res = mpi(p, main)
+    assert all(r == {"v": 42} for r in res.results)
+
+
+@pytest.mark.parametrize("p", [2, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_nonzero_root(p, root):
+    def main(ctx):
+        data = "payload" if ctx.rank == root else None
+        return ctx.comm.bcast(data, root=root)
+
+    res = mpi(p, main, kwargs={})
+    assert all(r == "payload" for r in res.results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast_buffer_fills_in_place(p):
+    def main(ctx):
+        buf = np.arange(20.0) if ctx.rank == 0 else np.zeros(20)
+        ctx.comm.Bcast(buf, root=0)
+        return buf.copy()
+
+    res = mpi(p, main)
+    for r in res.results:
+        assert np.array_equal(r, np.arange(20.0))
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_sum_matches_reference(p):
+    def main(ctx):
+        return ctx.comm.reduce(ctx.rank + 1, op=SUM, root=0)
+
+    res = mpi(p, main)
+    assert res.results[0] == sum(range(1, p + 1))
+    assert all(r is None for r in res.results[1:])
+
+
+@pytest.mark.parametrize("op,ref", [(SUM, sum), (MIN, min), (MAX, max),
+                                    (PROD, lambda xs: int(np.prod(xs)))])
+def test_allreduce_ops(op, ref):
+    p = 6
+
+    def main(ctx):
+        return ctx.comm.allreduce(ctx.rank + 1, op=op)
+
+    res = mpi(p, main)
+    expected = ref(list(range(1, p + 1)))
+    assert all(r == expected for r in res.results)
+
+
+def test_allreduce_arrays_elementwise():
+    def main(ctx):
+        return ctx.comm.allreduce(np.array([ctx.rank, 2 * ctx.rank]), op=SUM)
+
+    res = mpi(4, main)
+    for r in res.results:
+        assert np.array_equal(r, np.array([6, 12]))
+
+
+def test_allreduce_minloc_ties_to_lowest_rank():
+    def main(ctx):
+        val = 5.0 if ctx.rank in (1, 3) else 9.0
+        return ctx.comm.allreduce((val, ctx.rank), op=MINLOC)
+
+    res = mpi(5, main)
+    assert all(r == (5.0, 1) for r in res.results)
+
+
+def test_allreduce_float_deterministic_combination_order():
+    """Tree reduction combines in canonical order: repeated runs give
+    bit-identical floats."""
+
+    def main(ctx):
+        return ctx.comm.allreduce(0.1 * (ctx.rank + 1), op=SUM)
+
+    r1 = mpi(7, main)
+    r2 = mpi(7, main)
+    assert r1.results == r2.results
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter_gather_object_roundtrip(p):
+    def main(ctx):
+        data = [f"part{i}" for i in range(ctx.size)] if ctx.rank == 0 else None
+        mine = ctx.comm.scatter(data, root=0)
+        return ctx.comm.gather(mine, root=0)
+
+    res = mpi(p, main)
+    assert res.results[0] == [f"part{i}" for i in range(p)]
+
+
+def test_scatter_wrong_length_raises():
+    def main(ctx):
+        data = [1] if ctx.rank == 0 else None
+        ctx.comm.scatter(data, root=0)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(3, main)
+    assert isinstance(ei.value.original, CommMismatchError)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allgather_collects_everything_everywhere(p):
+    def main(ctx):
+        return ctx.comm.allgather(ctx.rank * 2)
+
+    res = mpi(p, main)
+    expected = [2 * i for i in range(p)]
+    assert all(r == expected for r in res.results)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6])
+def test_alltoall_transpose(p):
+    def main(ctx):
+        send = [f"{ctx.rank}->{j}" for j in range(ctx.size)]
+        return ctx.comm.alltoall(send)
+
+    res = mpi(p, main)
+    for j, got in enumerate(res.results):
+        assert got == [f"{i}->{j}" for i in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scan_inclusive_prefix(p):
+    def main(ctx):
+        return ctx.comm.scan(ctx.rank + 1, op=SUM)
+
+    res = mpi(p, main)
+    assert res.results == [sum(range(1, r + 2)) for r in range(p)]
+
+
+def test_barrier_synchronises_clocks():
+    def main(ctx):
+        ctx.compute(0.01 * ctx.rank)
+        ctx.comm.barrier()
+        return ctx.now
+
+    res = mpi(4, main)
+    latest_arrival = 0.03
+    assert all(t >= latest_arrival for t in res.results)
+    # and nobody drifts absurdly past it (messages are microseconds)
+    assert all(t < latest_arrival + 0.001 for t in res.results)
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 8])
+def test_scatterv_gatherv_uneven(p):
+    rows = 3 * p + (p - 1)  # uneven split
+
+    def main(ctx):
+        comm = ctx.comm
+        base, rem = divmod(rows, comm.size)
+        counts = [base + (1 if i < rem else 0) for i in range(comm.size)]
+        send = None
+        if comm.rank == 0:
+            send = np.arange(rows * 2, dtype=np.float64).reshape(rows, 2)
+        local = np.zeros((counts[comm.rank], 2))
+        comm.Scatterv(send, counts, local, root=0)
+        local *= -1
+        out = np.zeros((rows, 2)) if comm.rank == 0 else None
+        comm.Gatherv(local, out, counts, root=0)
+        return out if comm.rank == 0 else None
+
+    res = mpi(p, main)
+    expected = -np.arange(rows * 2, dtype=np.float64).reshape(rows, 2)
+    assert np.array_equal(res.results[0], expected)
+
+
+def test_scatterv_count_mismatch_raises():
+    def main(ctx):
+        counts = [1] * ctx.size
+        send = np.zeros((ctx.size + 3, 1)) if ctx.rank == 0 else None
+        ctx.comm.Scatterv(send, counts, np.zeros((1, 1)), root=0)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(3, main)
+    assert isinstance(ei.value.original, CommMismatchError)
+
+
+def test_buffer_scatter_equal_blocks():
+    def main(ctx):
+        send = None
+        if ctx.rank == 0:
+            send = np.arange(12, dtype=np.int64).reshape(4, 3)
+        recv = np.zeros((1, 3), dtype=np.int64)
+        ctx.comm.Scatter(send, recv, root=0)
+        return recv[0, 0]
+
+    res = mpi(4, main)
+    assert res.results == [0, 3, 6, 9]
+
+
+def test_buffer_allgather():
+    def main(ctx):
+        send = np.full(3, ctx.rank, dtype=np.float64)
+        recv = np.zeros((ctx.size, 3))
+        ctx.comm.Allgather(send, recv)
+        return recv.copy()
+
+    res = mpi(4, main)
+    expected = np.repeat(np.arange(4.0)[:, None], 3, axis=1)
+    for r in res.results:
+        assert np.array_equal(r, expected)
+
+
+def test_buffer_alltoall():
+    def main(ctx):
+        p = ctx.size
+        send = np.array([[ctx.rank * 10 + j] for j in range(p)], dtype=np.int64)
+        recv = np.zeros((p, 1), dtype=np.int64)
+        ctx.comm.Alltoall(send, recv)
+        return recv[:, 0].copy()
+
+    res = mpi(3, main)
+    for j, got in enumerate(res.results):
+        assert list(got) == [i * 10 + j for i in range(3)]
+
+
+def test_buffer_reduce_and_allreduce():
+    def main(ctx):
+        send = np.array([ctx.rank + 1.0, 1.0])
+        out = np.zeros(2)
+        ctx.comm.Reduce(send, out if ctx.rank == 0 else None, op=SUM, root=0)
+        all_out = np.zeros(2)
+        ctx.comm.Allreduce(send, all_out, op=MAX)
+        return (out.copy(), all_out.copy())
+
+    res = mpi(4, main)
+    root_out, _ = res.results[0]
+    assert np.array_equal(root_out, np.array([10.0, 4.0]))
+    for _, a in res.results:
+        assert np.array_equal(a, np.array([4.0, 1.0]))
+
+
+# -- ablation baselines -------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 5, 8])
+def test_linear_bcast_equivalent_result(p):
+    def main(ctx):
+        data = [1, 2] if ctx.rank == 0 else None
+        return coll.bcast_linear(ctx.comm, data, root=0)
+
+    res = mpi(p, main)
+    assert all(r == [1, 2] for r in res.results)
+
+
+@pytest.mark.parametrize("p", [1, 3, 8])
+def test_linear_reduce_equivalent_result(p):
+    def main(ctx):
+        return coll.reduce_linear(ctx.comm, ctx.rank + 1, SUM, root=0)
+
+    res = mpi(p, main)
+    assert res.results[0] == sum(range(1, p + 1))
+
+
+def test_central_barrier_synchronises():
+    def main(ctx):
+        ctx.compute(0.005 * (ctx.size - ctx.rank))
+        coll.barrier_central(ctx.comm)
+        return ctx.now
+
+    res = mpi(4, main)
+    assert all(t >= 0.02 for t in res.results)
+
+
+def test_tree_bcast_faster_than_linear_at_scale():
+    """The ablation claim: binomial bcast beats linear fan-out."""
+    from repro.machine.catalog import nehalem_cluster
+
+    payload = np.zeros(40_000)  # rendezvous-sized
+
+    def tree(ctx):
+        ctx.comm.bcast(payload if ctx.rank == 0 else None, root=0)
+        return ctx.now
+
+    def linear(ctx):
+        coll.bcast_linear(ctx.comm, payload if ctx.rank == 0 else None, root=0)
+        return ctx.now
+
+    mach = nehalem_cluster(nodes=4, jitter=0.0)
+    t_tree = mpi(32, tree, machine=mach).walltime
+    t_linear = mpi(32, linear, machine=mach).walltime
+    assert t_tree < t_linear

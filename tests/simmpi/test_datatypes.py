@@ -1,0 +1,96 @@
+"""Payload snapshotting, size estimation, delivery semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatatypeError, TruncationError
+from repro.simmpi.datatypes import (
+    clone_payload,
+    deliver_into,
+    is_buffer_payload,
+    payload_nbytes,
+)
+
+
+def test_nbytes_of_array():
+    assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+    assert payload_nbytes(np.zeros((3, 4), dtype=np.int32)) == 48
+
+
+def test_nbytes_of_bytes_and_none():
+    assert payload_nbytes(b"12345") == 5
+    assert payload_nbytes(None) == 0
+
+
+def test_nbytes_of_object_is_positive_estimate():
+    assert payload_nbytes({"k": list(range(100))}) > 64
+
+
+def test_clone_array_is_independent_copy():
+    a = np.arange(5.0)
+    c = clone_payload(a)
+    a[0] = 99
+    assert c[0] == 0.0
+
+
+def test_clone_noncontiguous_array_made_contiguous():
+    a = np.arange(20.0).reshape(4, 5)[:, ::2]
+    c = clone_payload(a)
+    assert c.flags["C_CONTIGUOUS"]
+    assert np.array_equal(c, a)
+
+
+def test_clone_scalars_pass_through():
+    for v in (3, 2.5, "s", b"b", True, frozenset({1}), (1, 2.5, "x")):
+        assert clone_payload(v) == v
+
+
+def test_clone_mutable_object_snapshots():
+    d = {"x": [1, 2]}
+    c = clone_payload(d)
+    d["x"].append(3)
+    assert c == {"x": [1, 2]}
+
+
+def test_clone_unpicklable_raises():
+    with pytest.raises(DatatypeError):
+        clone_payload(lambda x: x)
+
+
+def test_is_buffer_payload():
+    assert is_buffer_payload(np.zeros(1))
+    assert not is_buffer_payload([1, 2])
+
+
+def test_deliver_exact_fit():
+    buf = np.zeros(4)
+    n = deliver_into(buf, np.arange(4.0))
+    assert n == 4 and np.array_equal(buf, np.arange(4.0))
+
+
+def test_deliver_prefix_smaller_message():
+    buf = np.full(6, -1.0)
+    n = deliver_into(buf, np.arange(3.0))
+    assert n == 3
+    assert np.array_equal(buf, np.array([0.0, 1.0, 2.0, -1.0, -1.0, -1.0]))
+
+
+def test_deliver_truncation_raises():
+    with pytest.raises(TruncationError):
+        deliver_into(np.zeros(2), np.arange(5.0))
+
+
+def test_deliver_dtype_mismatch_raises():
+    with pytest.raises(DatatypeError):
+        deliver_into(np.zeros(4, dtype=np.float32), np.zeros(4, dtype=np.float64))
+
+
+def test_deliver_object_into_buffer_raises():
+    with pytest.raises(DatatypeError):
+        deliver_into(np.zeros(4), "not-an-array")
+
+
+def test_deliver_reshapes_across_dims():
+    buf = np.zeros((2, 3))
+    deliver_into(buf, np.arange(6.0).reshape(3, 2))
+    assert np.array_equal(buf.reshape(-1), np.arange(6.0))

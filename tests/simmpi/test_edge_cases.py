@@ -1,0 +1,201 @@
+"""Substrate edge cases: self-messages, empty payloads, boundary values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidTagError, RankFailedError
+from repro.simmpi.api import ANY_SOURCE, TAG_UB, UNDEFINED
+
+from tests.conftest import mpi
+
+
+def test_self_send_recv_eager():
+    def main(ctx):
+        req = ctx.comm.isend({"self": ctx.rank}, dest=ctx.rank, tag=1)
+        data = ctx.comm.recv(source=ctx.rank, tag=1)
+        req.wait()
+        return data
+
+    res = mpi(2, main)
+    assert res.results == [{"self": 0}, {"self": 1}]
+
+
+def test_self_send_rendezvous_posted_recv_first():
+    def main(ctx):
+        big = np.arange(100_000.0)
+        rreq = ctx.comm.irecv(source=ctx.rank, tag=2)
+        ctx.comm.isend(big, dest=ctx.rank, tag=2).wait()
+        out = rreq.wait()
+        return float(out.sum())
+
+    res = mpi(1, main)
+    assert res.results[0] == pytest.approx(np.arange(100_000.0).sum())
+
+
+def test_self_blocking_rendezvous_send_without_recv_deadlocks():
+    from repro.errors import DeadlockError
+
+    def main(ctx):
+        ctx.comm.send(bytes(10**6), dest=ctx.rank)  # no recv posted: stuck
+
+    with pytest.raises(DeadlockError):
+        mpi(1, main)
+
+
+def test_zero_size_array_roundtrip():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.empty(0), dest=1)
+        else:
+            buf = np.empty(0)
+            ctx.comm.Recv(buf, source=0)
+            return buf.size
+
+    res = mpi(2, main)
+    assert res.results[1] == 0
+
+
+def test_empty_bytes_and_none_payloads():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"", dest=1, tag=1)
+            ctx.comm.send(None, dest=1, tag=2)
+        else:
+            empty = ctx.comm.recv(source=0, tag=1)
+            nothing = ctx.comm.recv(source=0, tag=2)
+            return (empty, nothing)
+
+    res = mpi(2, main)
+    assert res.results[1] == (b"", None)
+
+
+def test_tag_upper_boundary():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("edge", dest=1, tag=TAG_UB - 1)
+        else:
+            return ctx.comm.recv(source=0, tag=TAG_UB - 1)
+
+    res = mpi(2, main)
+    assert res.results[1] == "edge"
+
+
+def test_tag_at_ub_rejected():
+    def main(ctx):
+        ctx.comm.send("x", dest=0, tag=TAG_UB)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(1, main)
+    assert isinstance(ei.value.original, InvalidTagError)
+
+
+def test_split_all_undefined_returns_none_everywhere():
+    def main(ctx):
+        return ctx.comm.split(color=UNDEFINED)
+
+    res = mpi(3, main)
+    assert res.results == [None, None, None]
+
+
+def test_split_singletons():
+    def main(ctx):
+        sub = ctx.comm.split(color=ctx.rank)  # every rank alone
+        return (sub.size, sub.allreduce(ctx.rank + 1))
+
+    res = mpi(4, main)
+    assert res.results == [(1, 1), (1, 2), (1, 3), (1, 4)]
+
+
+def test_collectives_on_single_rank_world():
+    def main(ctx):
+        comm = ctx.comm
+        assert comm.bcast("x") == "x"
+        assert comm.allreduce(5) == 5
+        assert comm.gather(1) == [1]
+        assert comm.scatter([9]) == 9
+        assert comm.allgather(2) == [2]
+        assert comm.alltoall([3]) == [3]
+        assert comm.scan(4) == 4
+        assert comm.exscan(4) is None
+        comm.barrier()
+        return True
+
+    assert mpi(1, main).results == [True]
+
+
+def test_scalar_zero_dim_array_buffers():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.array(7.5), dest=1)
+        else:
+            buf = np.array(0.0)
+            ctx.comm.Recv(buf, source=0)
+            return float(buf)
+
+    res = mpi(2, main)
+    assert res.results[1] == 7.5
+
+
+def test_many_outstanding_requests_single_pair():
+    def main(ctx):
+        n = 200
+        if ctx.rank == 0:
+            reqs = [ctx.comm.isend(i, dest=1, tag=i % 8) for i in range(n)]
+            from repro.simmpi.request import waitall
+            waitall(reqs)
+        else:
+            out = []
+            for tag in range(8):
+                cnt = len([i for i in range(n) if i % 8 == tag])
+                out.extend(ctx.comm.recv(source=0, tag=tag) for _ in range(cnt))
+            return sorted(out)
+
+    res = mpi(2, main)
+    assert res.results[1] == list(range(200))
+
+
+def test_exception_in_tool_callback_fails_rank_cleanly():
+    from repro.simmpi.pmpi import Tool
+    from repro.simmpi.sections_rt import section
+
+    class BadTool(Tool):
+        def section_enter_cb(self, comm_id, label, data, rank, t):
+            if label == "boom":
+                raise RuntimeError("tool exploded")
+
+    def main(ctx):
+        with section(ctx, "boom"):
+            pass
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main, tools=[BadTool()])
+    assert isinstance(ei.value.original, RuntimeError)
+
+
+def test_failure_inside_collective_aborts_all():
+    def main(ctx):
+        if ctx.rank == 1:
+            raise ValueError("mid-collective death")
+        ctx.comm.allreduce(1)  # others enter and would wait forever
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(4, main)
+    assert ei.value.rank == 1
+
+
+def test_interleaved_communicators_no_crosstalk():
+    def main(ctx):
+        comm = ctx.comm
+        dup = comm.dup()
+        peer = 1 - ctx.rank
+        if ctx.rank == 0:
+            comm.send("world", dest=peer, tag=0)
+            dup.send("dup", dest=peer, tag=0)
+        else:
+            # receive in the opposite order of sends: isolation by comm
+            d = dup.recv(source=peer, tag=0)
+            w = comm.recv(source=peer, tag=0)
+            return (w, d)
+
+    res = mpi(2, main)
+    assert res.results[1] == ("world", "dup")

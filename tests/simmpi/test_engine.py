@@ -1,0 +1,202 @@
+"""Engine scheduling, lifecycle, failure and determinism tests."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    EngineStateError,
+    OversubscriptionError,
+    RankFailedError,
+)
+from repro.machine.catalog import laptop, nehalem_cluster
+from repro.simmpi.engine import Engine, run_mpi
+
+from tests.conftest import mpi
+
+
+def test_single_rank_returns_result():
+    res = mpi(1, lambda ctx: ctx.rank * 10 + 7)
+    assert res.results == [7]
+    assert res.n_ranks == 1
+
+
+def test_results_in_rank_order():
+    res = mpi(5, lambda ctx: ctx.rank**2)
+    assert res.results == [0, 1, 4, 9, 16]
+
+
+def test_all_ranks_start_at_time_zero():
+    res = mpi(4, lambda ctx: ctx.now)
+    assert res.results == [0.0] * 4
+
+
+def test_walltime_is_max_clock():
+    def main(ctx):
+        ctx.compute(0.001 * (ctx.rank + 1))
+
+    res = mpi(3, main)
+    assert res.walltime == pytest.approx(max(res.clocks))
+    assert res.clocks[2] == pytest.approx(0.003)
+
+
+def test_compute_advances_only_own_clock():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.compute(1.5)
+        return ctx.now
+
+    res = mpi(2, main)
+    assert res.results[0] == pytest.approx(1.5)
+    assert res.results[1] == 0.0
+
+
+def test_rank_failure_propagates_with_rank():
+    def main(ctx):
+        if ctx.rank == 2:
+            raise ValueError("boom on two")
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(4, main)
+    assert ei.value.rank == 2
+    assert isinstance(ei.value.original, ValueError)
+
+
+def test_failure_unwinds_blocked_peers_without_hang():
+    def main(ctx):
+        if ctx.rank == 0:
+            raise RuntimeError("early death")
+        ctx.comm.recv(source=0)  # would block forever
+
+    with pytest.raises(RankFailedError):
+        mpi(3, main)
+    # No stray rank threads survive the abort.
+    assert not [
+        t for t in threading.enumerate() if t.name.startswith("simmpi-rank")
+    ]
+
+
+def test_deadlock_detected_with_dump():
+    def main(ctx):
+        ctx.comm.recv(source=(ctx.rank + 1) % ctx.size)
+
+    with pytest.raises(DeadlockError) as ei:
+        mpi(3, main)
+    msg = str(ei.value)
+    assert "rank 0" in msg and "rank 2" in msg
+    assert "unmatched recv" in msg
+
+
+def test_pairwise_deadlock_two_blocking_rendezvous_sends():
+    big = 10**6  # rendezvous-sized object payload
+
+    def main(ctx):
+        peer = 1 - ctx.rank
+        ctx.comm.send(bytes(big), dest=peer)  # both block: classic deadlock
+        ctx.comm.recv(source=peer)
+
+    with pytest.raises(DeadlockError):
+        mpi(2, main)
+
+
+def test_engine_runs_once():
+    eng = Engine(2, machine=laptop(4))
+    eng.run(lambda ctx: None)
+    with pytest.raises(EngineStateError):
+        eng.run(lambda ctx: None)
+
+
+def test_needs_at_least_one_rank():
+    with pytest.raises(EngineStateError):
+        Engine(0)
+
+
+def test_oversubscription_rejected():
+    with pytest.raises(OversubscriptionError):
+        Engine(9, machine=laptop(cores=4), ranks_per_node=9)
+
+
+def test_oversubscription_multinode_rejected():
+    with pytest.raises(OversubscriptionError):
+        Engine(33, machine=nehalem_cluster(nodes=4))  # 4*8=32 cores
+
+
+def test_args_kwargs_forwarded():
+    def main(ctx, a, b=0):
+        return a + b + ctx.rank
+
+    res = mpi(2, main, args=(10,), kwargs={"b": 5})
+    assert res.results == [15, 16]
+
+
+def test_negative_noise_parameters_rejected():
+    with pytest.raises(EngineStateError):
+        Engine(1, machine=laptop(2), compute_jitter=-0.1)
+    with pytest.raises(EngineStateError):
+        Engine(1, machine=laptop(2), noise_floor=-1e-6)
+
+
+def test_determinism_same_seed_same_clocks():
+    def main(ctx):
+        comm = ctx.comm
+        ctx.compute(flops=1e7)
+        comm.allreduce(ctx.rank)
+        comm.sendrecv(ctx.rank, dest=(ctx.rank + 1) % ctx.size,
+                      source=(ctx.rank - 1) % ctx.size)
+        return ctx.now
+
+    mach = nehalem_cluster(nodes=2, jitter=0.2)
+    r1 = run_mpi(8, main, machine=mach, seed=77, compute_jitter=0.05)
+    r2 = run_mpi(8, main, machine=mach, seed=77, compute_jitter=0.05)
+    assert r1.clocks == r2.clocks
+    assert r1.walltime == r2.walltime
+
+
+def test_different_seed_changes_jittered_timing():
+    def main(ctx):
+        ctx.compute(flops=1e8)
+        ctx.comm.barrier()
+        return ctx.now
+
+    mach = nehalem_cluster(nodes=2, jitter=0.2)
+    r1 = run_mpi(4, main, machine=mach, seed=1, compute_jitter=0.1)
+    r2 = run_mpi(4, main, machine=mach, seed=2, compute_jitter=0.1)
+    assert r1.walltime != r2.walltime
+
+
+def test_noise_floor_adds_time():
+    quiet = mpi(1, lambda ctx: ctx.compute(0.001))
+    noisy = run_mpi(
+        1, lambda ctx: ctx.compute(0.001), machine=laptop(2), noise_floor=0.01,
+        seed=3,
+    )
+    assert noisy.walltime > quiet.walltime
+
+
+def test_network_stats_counted():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x" * 100, dest=1)
+        elif ctx.rank == 1:
+            ctx.comm.recv(source=0)
+
+    res = mpi(2, main)
+    assert res.network["messages"] == 1
+    assert res.network["bytes"] >= 100
+
+
+def test_unmatched_send_at_finalize_is_error():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.isend("orphan", dest=1)  # never received
+
+    from repro.errors import MPIError
+
+    with pytest.raises(MPIError, match="unmatched"):
+        mpi(2, main)
+
+
+def test_many_ranks_complete():
+    res = mpi(128, lambda ctx: ctx.comm.allreduce(1), machine=nehalem_cluster(nodes=16))
+    assert all(r == 128 for r in res.results)

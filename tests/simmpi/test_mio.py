@@ -1,0 +1,88 @@
+"""Modeled storage: costs, snapshot semantics, errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.simmpi.mio import ModeledStorage
+
+from tests.conftest import mpi
+
+
+def test_write_read_roundtrip_with_cost():
+    store = ModeledStorage(bandwidth=1e9, latency=1e-3)
+
+    def main(ctx):
+        arr = np.arange(1000.0)
+        t_write = store.write(ctx, "k", arr)
+        out = store.read(ctx, "k")
+        return (t_write, out, ctx.now)
+
+    res = mpi(1, main)
+    t_write, out, now = res.results[0]
+    assert np.array_equal(out, np.arange(1000.0))
+    assert t_write == pytest.approx(1e-3 + 8000 / 1e9)
+    assert now == pytest.approx(2 * t_write)
+
+
+def test_write_snapshots_source():
+    store = ModeledStorage()
+
+    def main(ctx):
+        arr = np.ones(4)
+        store.write(ctx, "a", arr)
+        arr[:] = -1
+        return store.read(ctx, "a")
+
+    res = mpi(1, main)
+    assert np.array_equal(res.results[0], np.ones(4))
+
+
+def test_read_returns_fresh_copy():
+    store = ModeledStorage()
+
+    def main(ctx):
+        store.write(ctx, "a", np.ones(4))
+        first = store.read(ctx, "a")
+        first[:] = 7
+        return store.read(ctx, "a")
+
+    res = mpi(1, main)
+    assert np.array_equal(res.results[0], np.ones(4))
+
+
+def test_missing_key_raises():
+    store = ModeledStorage()
+
+    def main(ctx):
+        store.read(ctx, "ghost")
+
+    from repro.errors import RankFailedError
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(1, main)
+    assert isinstance(ei.value.original, MPIError)
+
+
+def test_machine_defaults_used():
+    store = ModeledStorage()  # falls back to machine io parameters
+
+    def main(ctx):
+        store.write(ctx, "x", b"abc")
+        return ctx.now
+
+    res = mpi(1, main)
+    assert res.results[0] > 0
+
+
+def test_traffic_counters_and_metadata():
+    store = ModeledStorage()
+
+    def main(ctx):
+        store.write(ctx, "x", np.zeros(10))
+        assert store.exists("x") and not store.exists("y")
+        return store.size_of("x")
+
+    res = mpi(1, main)
+    assert res.results[0] == 80
+    assert store.bytes_written == 80

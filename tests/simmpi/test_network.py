@@ -1,0 +1,109 @@
+"""Network model: tiers, timing, jitter determinism, port serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.machine.catalog import laptop, nehalem_cluster
+from repro.machine.spec import NetworkTier
+from repro.simmpi.network import NetworkModel
+
+
+@pytest.fixture
+def model():
+    return NetworkModel(nehalem_cluster(nodes=4, jitter=0.0), seed=1)
+
+
+def test_tier_selection_intra_vs_inter(model):
+    mach = model.machine
+    # ranks 0..7 share node 0 at 8 ranks/node
+    assert model.tier(0, 7) is mach.intra_node
+    assert model.tier(0, 8) is mach.inter_node
+
+
+def test_ranks_per_node_changes_tier():
+    mach = nehalem_cluster(nodes=4, jitter=0.0)
+    m = NetworkModel(mach, ranks_per_node=2)
+    assert m.tier(0, 1) is mach.intra_node
+    assert m.tier(0, 2) is mach.inter_node
+
+
+def test_base_time_latency_plus_bandwidth():
+    tier = NetworkTier(latency=1e-6, bandwidth=1e9)
+    assert tier.base_time(0) == pytest.approx(1e-6)
+    assert tier.base_time(10**6) == pytest.approx(1e-6 + 1e-3)
+
+
+def test_message_timing_zero_jitter_deterministic(model):
+    t1 = model.message_timing(0, 9, 1000)
+    t2 = model.message_timing(0, 9, 1000)
+    assert t1.wire_time == t2.wire_time
+    assert t1.total > 0
+
+
+def test_self_message_is_memcpy_only(model):
+    t = model.message_timing(3, 3, 10**6)
+    assert t.send_overhead == 0 and t.recv_overhead == 0 and t.latency == 0
+    assert t.transfer == pytest.approx(10**6 / model.machine.intra_node.bandwidth)
+
+
+def test_jitter_reproducible_per_channel():
+    mach = nehalem_cluster(nodes=4, jitter=0.3)
+    a = NetworkModel(mach, seed=42)
+    b = NetworkModel(mach, seed=42)
+    ta = [a.message_timing(0, 9, 100).wire_time for _ in range(20)]
+    tb = [b.message_timing(0, 9, 100).wire_time for _ in range(20)]
+    assert ta == tb
+    assert len(set(ta)) > 1  # jitter actually varies
+
+
+def test_jitter_independent_across_channels():
+    mach = nehalem_cluster(nodes=4, jitter=0.3)
+    m1 = NetworkModel(mach, seed=42)
+    # Draw on an unrelated channel first; the (0, 9) stream must not shift.
+    m1.message_timing(5, 20, 100)
+    first_after_noise = m1.message_timing(0, 9, 100).wire_time
+
+    m2 = NetworkModel(mach, seed=42)
+    first_clean = m2.message_timing(0, 9, 100).wire_time
+    assert first_after_noise == first_clean
+
+
+def test_spikes_appear_at_configured_probability():
+    tier = NetworkTier(latency=1e-6, bandwidth=1e9, spike_prob=0.5, spike_scale=100)
+    mach = laptop(4)
+    object.__setattr__(mach, "intra_node", tier)
+    m = NetworkModel(mach, seed=7)
+    times = [m.message_timing(0, 1, 100).wire_time for _ in range(200)]
+    base = tier.base_time(100)
+    spiked = sum(1 for t in times if t > 10 * base)
+    assert 60 < spiked < 140  # ~50% of 200
+
+
+def test_arrival_fifo_monotone(model):
+    a1 = model.arrival_time(0, 1, depart=0.0, wire_time=1.0)
+    a2 = model.arrival_time(0, 1, depart=0.5, wire_time=0.1)  # would overtake
+    assert a2 >= a1
+
+
+def test_port_serialisation_queues_transfers(model):
+    end1 = model.reserve_port(0, earliest=0.0, transfer=1.0)
+    end2 = model.reserve_port(0, earliest=0.0, transfer=1.0)
+    assert end1 == pytest.approx(1.0)
+    assert end2 == pytest.approx(2.0)
+    # A different rank's port is free.
+    assert model.reserve_port(1, earliest=0.0, transfer=1.0) == pytest.approx(1.0)
+
+
+def test_port_respects_earliest(model):
+    assert model.reserve_port(2, earliest=5.0, transfer=0.5) == pytest.approx(5.5)
+
+
+def test_stats_accumulate(model):
+    model.message_timing(0, 1, 100)
+    model.message_timing(1, 2, 200)
+    stats = model.stats()
+    assert stats["messages"] == 2 and stats["bytes"] == 300
+
+
+def test_min_latency(model):
+    assert model.min_latency() == model.machine.intra_node.latency

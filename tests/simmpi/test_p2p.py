@@ -1,0 +1,309 @@
+"""Point-to-point semantics: matching, ordering, protocols, wildcards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InvalidRankError,
+    InvalidTagError,
+    RequestError,
+    TruncationError,
+)
+from repro.simmpi.api import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.simmpi.request import Status, waitall
+
+from tests.conftest import mpi
+
+
+def test_object_send_recv_roundtrip():
+    payload = {"a": [1, 2, 3], "b": ("x", 4.5)}
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(payload, dest=1, tag=9)
+        else:
+            return ctx.comm.recv(source=0, tag=9)
+
+    res = mpi(2, main)
+    assert res.results[1] == payload
+
+
+def test_buffer_send_recv_roundtrip():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.arange(50, dtype=np.int64), dest=1)
+        else:
+            buf = np.zeros(50, dtype=np.int64)
+            ctx.comm.Recv(buf, source=0)
+            return buf.copy()
+
+    res = mpi(2, main)
+    assert np.array_equal(res.results[1], np.arange(50))
+
+
+def test_send_snapshots_payload_against_later_mutation():
+    def main(ctx):
+        if ctx.rank == 0:
+            arr = np.ones(10)
+            req = ctx.comm.Isend(arr, dest=1)
+            arr[:] = -1  # mutate after post; receiver must see ones
+            req.wait()
+        else:
+            buf = np.zeros(10)
+            ctx.comm.Recv(buf, source=0)
+            return buf.copy()
+
+    res = mpi(2, main)
+    assert np.array_equal(res.results[1], np.ones(10))
+
+
+def test_fifo_order_same_source_same_tag():
+    def main(ctx):
+        if ctx.rank == 0:
+            for i in range(10):
+                ctx.comm.send(i, dest=1, tag=4)
+        else:
+            return [ctx.comm.recv(source=0, tag=4) for _ in range(10)]
+
+    res = mpi(2, main)
+    assert res.results[1] == list(range(10))
+
+
+def test_tag_selectivity_out_of_order_retrieval():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("first", dest=1, tag=1)
+            ctx.comm.send("second", dest=1, tag=2)
+        else:
+            b = ctx.comm.recv(source=0, tag=2)
+            a = ctx.comm.recv(source=0, tag=1)
+            return (a, b)
+
+    res = mpi(2, main)
+    assert res.results[1] == ("first", "second")
+
+
+def test_any_source_receives_from_both():
+    def main(ctx):
+        if ctx.rank == 0:
+            got = {ctx.comm.recv(source=ANY_SOURCE) for _ in range(2)}
+            return got
+        ctx.comm.send(ctx.rank, dest=0)
+
+    res = mpi(3, main)
+    assert res.results[0] == {1, 2}
+
+
+def test_any_tag_matches_first_posted():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("a", dest=1, tag=17)
+        else:
+            st = Status()
+            val = ctx.comm.recv(source=0, tag=ANY_TAG, status=st)
+            return (val, st.tag, st.source)
+
+    res = mpi(2, main)
+    assert res.results[1] == ("a", 17, 0)
+
+
+def test_status_reports_count_for_buffers():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.arange(7, dtype=np.float64), dest=1)
+        else:
+            buf = np.zeros(10)
+            st = Status()
+            ctx.comm.Recv(buf, source=0, status=st)
+            return st.count
+
+    res = mpi(2, main)
+    assert res.results[1] == 7
+
+
+def test_truncation_error_kills_run():
+    from repro.errors import RankFailedError
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.zeros(100), dest=1)
+        else:
+            ctx.comm.Recv(np.zeros(10), source=0)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main)
+    assert isinstance(ei.value.original, TruncationError)
+
+
+def test_proc_null_send_recv_complete_immediately():
+    def main(ctx):
+        ctx.comm.send("ignored", dest=PROC_NULL)
+        st = Status()
+        data = ctx.comm.recv(source=PROC_NULL, status=st)
+        return (data, st.count, ctx.now)
+
+    res = mpi(1, main)
+    data, count, now = res.results[0]
+    assert data is None and count == 0 and now == 0.0
+
+
+def test_isend_irecv_waitall():
+    def main(ctx):
+        comm = ctx.comm
+        peer = 1 - ctx.rank
+        reqs = [comm.isend(f"m{i}", dest=peer, tag=i) for i in range(3)]
+        rec = [comm.irecv(source=peer, tag=i) for i in range(3)]
+        got = waitall(rec)
+        waitall(reqs)
+        return got
+
+    res = mpi(2, main)
+    assert res.results[0] == ["m0", "m1", "m2"]
+
+
+def test_request_double_wait_rejected():
+    from repro.errors import RankFailedError
+
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(1, dest=1)
+            req.wait()
+            req.wait()
+        else:
+            ctx.comm.recv(source=0)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main)
+    assert isinstance(ei.value.original, RequestError)
+
+
+def test_request_test_is_nonblocking():
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1)
+            early = req.test()
+            ctx.comm.send("go", dest=1)
+            val = req.wait()
+            return (early, val)
+        else:
+            ctx.comm.recv(source=0)
+            ctx.comm.send("late", dest=0)
+
+    res = mpi(2, main)
+    assert res.results[0] == (False, "late")
+
+
+def test_invalid_dest_rank_raises():
+    from repro.errors import RankFailedError
+
+    def main(ctx):
+        ctx.comm.send(1, dest=5)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main)
+    assert isinstance(ei.value.original, InvalidRankError)
+
+
+def test_any_tag_invalid_on_send():
+    from repro.errors import RankFailedError
+
+    def main(ctx):
+        ctx.comm.send(1, dest=0, tag=ANY_TAG)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(1, main)
+    assert isinstance(ei.value.original, InvalidTagError)
+
+
+def test_negative_tag_rejected():
+    from repro.errors import RankFailedError
+
+    def main(ctx):
+        ctx.comm.send(1, dest=0, tag=-3)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(1, main)
+    assert isinstance(ei.value.original, InvalidTagError)
+
+
+def test_sendrecv_ring_shifts_data():
+    def main(ctx):
+        comm = ctx.comm
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        return comm.sendrecv(comm.rank, dest=right, source=left)
+
+    res = mpi(5, main)
+    assert res.results == [4, 0, 1, 2, 3]
+
+
+def test_buffer_sendrecv_exchanges_pairwise():
+    def main(ctx):
+        comm = ctx.comm
+        peer = 1 - comm.rank
+        send = np.full(4, comm.rank, dtype=np.float64)
+        recv = np.zeros(4)
+        comm.Sendrecv(send, peer, recv, peer)
+        return recv[0]
+
+    res = mpi(2, main)
+    assert res.results == [1.0, 0.0]
+
+
+def test_rendezvous_sender_waits_for_receiver():
+    """A rendezvous-size blocking send completes only after the receiver
+    posts, so the sender's clock includes the receiver's delay."""
+
+    def main(ctx):
+        big = np.zeros(500_000)  # 4 MB >> eager threshold
+        if ctx.rank == 0:
+            ctx.comm.Send(big, dest=1)
+            return ctx.now
+        ctx.compute(2.0)  # receiver arrives late
+        buf = np.empty_like(big)
+        ctx.comm.Recv(buf, source=0)
+        return ctx.now
+
+    res = mpi(2, main)
+    assert res.results[0] >= 2.0  # sender was held by the late receiver
+
+
+def test_eager_sender_does_not_wait_for_receiver():
+    def main(ctx):
+        small = np.zeros(16)  # well under the eager threshold
+        if ctx.rank == 0:
+            ctx.comm.Send(small, dest=1)
+            return ctx.now
+        ctx.compute(2.0)
+        buf = np.empty_like(small)
+        ctx.comm.Recv(buf, source=0)
+        return ctx.now
+
+    res = mpi(2, main)
+    assert res.results[0] < 0.1  # sender long gone before the receive
+
+
+def test_recv_completion_includes_wire_time():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x" * 1000, dest=1)
+        else:
+            ctx.comm.recv(source=0)
+            return ctx.now
+
+    res = mpi(2, main)
+    assert res.results[1] > 0.0
+
+
+def test_dtype_mismatch_rejected():
+    from repro.errors import DatatypeError, RankFailedError
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.zeros(4, dtype=np.float64), dest=1)
+        else:
+            ctx.comm.Recv(np.zeros(4, dtype=np.int32), source=0)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main)
+    assert isinstance(ei.value.original, DatatypeError)

@@ -1,0 +1,113 @@
+"""Persistent requests (MPI_Send_init / Recv_init / start)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RankFailedError, RequestError
+from repro.simmpi.api import PROC_NULL
+
+from tests.conftest import mpi
+
+
+def test_persistent_pingpong_loop():
+    """The idiomatic time-step pattern: init once, start+wait per step;
+    the send buffer is re-read at each start."""
+
+    def main(ctx):
+        comm = ctx.comm
+        peer = 1 - comm.rank
+        sendbuf = np.zeros(4)
+        recvbuf = np.zeros(4)
+        ps = comm.Send_init(sendbuf, dest=peer, tag=3)
+        pr = comm.Recv_init(recvbuf, source=peer, tag=3)
+        got = []
+        for step in range(5):
+            sendbuf[:] = comm.rank * 100 + step
+            pr.start()
+            ps.start()
+            pr.wait()
+            ps.wait()
+            got.append(recvbuf[0])
+        return got
+
+    res = mpi(2, main)
+    assert res.results[0] == [100.0 + s for s in range(5)]
+    assert res.results[1] == [0.0 + s for s in range(5)]
+
+
+def test_persistent_restart_before_wait_rejected():
+    def main(ctx):
+        if ctx.rank == 0:
+            pr = ctx.comm.Recv_init(np.zeros(2), source=1)
+            pr.start()
+            pr.start()  # previous instance still pending
+        else:
+            ctx.compute(1.0)
+            ctx.comm.Send(np.zeros(2), dest=0)
+            ctx.comm.Send(np.zeros(2), dest=0)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main)
+    assert isinstance(ei.value.original, RequestError)
+
+
+def test_persistent_wait_before_start_rejected():
+    def main(ctx):
+        ps = ctx.comm.Send_init(np.zeros(2), dest=ctx.rank)
+        ps.wait()
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(1, main)
+    assert isinstance(ei.value.original, RequestError)
+
+
+def test_persistent_to_proc_null_is_noop_loop():
+    def main(ctx):
+        ps = ctx.comm.Send_init(np.zeros(2), dest=PROC_NULL)
+        pr = ctx.comm.Recv_init(np.zeros(2), source=PROC_NULL)
+        for _ in range(3):
+            ps.start(); pr.start()
+            ps.wait(); pr.wait()
+        return ctx.now
+
+    res = mpi(1, main)
+    assert res.results[0] == 0.0
+
+
+def test_persistent_halo_ring():
+    """A persistent ring halo: each step shifts fresh data one rank."""
+
+    def main(ctx):
+        comm = ctx.comm
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        out = np.zeros(1)
+        inc = np.zeros(1)
+        ps = comm.Send_init(out, dest=right, tag=7)
+        pr = comm.Recv_init(inc, source=left, tag=7)
+        val = float(comm.rank)
+        for _ in range(comm.size):
+            out[0] = val
+            r1 = pr.start()
+            ps.start()
+            r1.wait()
+            ps.wait()
+            val = inc[0]
+        return val
+
+    res = mpi(5, main)
+    assert res.results == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_persistent_done_property():
+    def main(ctx):
+        if ctx.rank == 0:
+            pr = ctx.comm.Recv_init(np.zeros(1), source=1)
+            before = pr.done
+            pr.start()
+            pr.wait()
+            return (before, pr.done)
+        ctx.comm.Send(np.ones(1), dest=0)
+
+    res = mpi(2, main)
+    assert res.results[0] == (False, True)

@@ -1,0 +1,105 @@
+"""PMPI tool registry: selective dispatch, multiple tools, traffic hooks."""
+
+from repro.simmpi.pmpi import Tool, ToolRegistry
+from repro.simmpi.sections_rt import section
+
+from tests.conftest import mpi
+
+
+class CountingTool(Tool):
+    def __init__(self):
+        self.enters = 0
+        self.leaves = 0
+        self.begins = 0
+        self.ends = 0
+
+    def on_rank_begin(self, rank, size, t):
+        self.begins += 1
+
+    def on_rank_end(self, rank, t):
+        self.ends += 1
+
+    def section_enter_cb(self, comm_id, label, data, rank, t):
+        self.enters += 1
+
+    def section_leave_cb(self, comm_id, label, data, rank, t):
+        self.leaves += 1
+
+
+def test_registry_dispatches_only_overridden_hooks():
+    class OnlyEnter(Tool):
+        def __init__(self):
+            self.n = 0
+
+        def section_enter_cb(self, comm_id, label, data, rank, t):
+            self.n += 1
+
+    t = OnlyEnter()
+    reg = ToolRegistry([t])
+    assert reg.wants("section_enter_cb")
+    assert not reg.wants("section_leave_cb")
+    assert not reg.wants("on_send")
+
+
+def test_registry_dispatch_calls_every_tool():
+    a, b = CountingTool(), CountingTool()
+    reg = ToolRegistry([a, b])
+    reg.dispatch("section_enter_cb", ("w",), "x", bytearray(32), 0, 0.0)
+    assert a.enters == 1 and b.enters == 1
+
+
+def test_tool_sees_all_section_events_of_run():
+    tool = CountingTool()
+
+    def main(ctx):
+        with section(ctx, "phase"):
+            pass
+
+    mpi(3, main, tools=[tool])
+    # MPI_MAIN + "phase" per rank.
+    assert tool.enters == 6 and tool.leaves == 6
+
+
+def test_lifecycle_hooks_called_per_rank():
+    tool = CountingTool()
+    mpi(4, lambda ctx: None, tools=[tool])
+    assert tool.begins == 4 and tool.ends == 4
+
+
+def test_on_send_hook_observes_p2p():
+    class SendSpy(Tool):
+        def __init__(self):
+            self.sends = []
+
+        def on_send(self, rank, dest, nbytes, tag, t):
+            self.sends.append((rank, dest, tag))
+
+    spy = SendSpy()
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send("m", dest=1, tag=5)
+        else:
+            ctx.comm.recv(source=0)
+
+    mpi(2, main, tools=[spy])
+    assert spy.sends == [(0, 1, 5)]
+
+
+def test_on_collective_hook_observes_entry():
+    class CollSpy(Tool):
+        def __init__(self):
+            self.names = []
+
+        def on_collective(self, rank, name, comm_id, t):
+            self.names.append((rank, name))
+
+    spy = CollSpy()
+    mpi(2, lambda ctx: ctx.comm.barrier(), tools=[spy])
+    assert (0, "barrier") in spy.names and (1, "barrier") in spy.names
+
+
+def test_untooled_run_pays_no_dispatch():
+    reg = ToolRegistry([])
+    assert not reg.wants("on_send")
+    assert reg.tools == []

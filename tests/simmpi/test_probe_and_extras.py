@@ -1,0 +1,256 @@
+"""Probe/iprobe semantics and the extended collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommMismatchError, RankFailedError
+from repro.simmpi.api import ANY_SOURCE, ANY_TAG
+from repro.simmpi.reduce_ops import MAX, SUM
+
+from tests.conftest import mpi
+
+
+# -- probe / iprobe ------------------------------------------------------------
+
+def test_probe_reports_without_consuming():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.arange(5.0), dest=1, tag=7)
+        else:
+            st = ctx.comm.probe(source=0, tag=7)
+            buf = np.zeros(5)
+            ctx.comm.Recv(buf, source=0, tag=7)  # message still there
+            return (st.source, st.tag, st.count, buf[4])
+
+    res = mpi(2, main)
+    assert res.results[1] == (0, 7, 5, 4.0)
+
+
+def test_probe_blocks_until_message_exists():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.compute(1.0)
+            ctx.comm.send("late", dest=1)
+        else:
+            st = ctx.comm.probe(source=0)
+            t_probe = ctx.now
+            ctx.comm.recv(source=0)
+            return (t_probe, st.count)
+
+    res = mpi(2, main)
+    t_probe, count = res.results[1]
+    assert t_probe >= 1.0
+    assert count == 1
+
+
+def test_probe_any_source_wildcards():
+    def main(ctx):
+        if ctx.rank == 0:
+            st = ctx.comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            data = ctx.comm.recv(source=st.source, tag=st.tag)
+            return (st.source, data)
+        ctx.comm.send(f"from-{ctx.rank}", dest=0, tag=ctx.rank)
+
+    res = mpi(2, main)
+    assert res.results[0] == (1, "from-1")
+
+
+def test_iprobe_none_when_nothing_pending():
+    def main(ctx):
+        return ctx.comm.iprobe(source=ANY_SOURCE)
+
+    res = mpi(2, main)
+    assert res.results == [None, None]
+
+
+def test_iprobe_sees_pending_message_after_arrival():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send([1, 2], dest=1, tag=3)
+            ctx.comm.recv(source=1)  # sync so rank 1 probes after arrival
+        else:
+            ctx.compute(0.1)  # let the message land (virtually)
+            st = ctx.comm.iprobe(source=0, tag=3)
+            ctx.comm.send("sync", dest=0)
+            data = ctx.comm.recv(source=0, tag=3)
+            return (st is not None and st.tag == 3, data)
+
+    res = mpi(2, main)
+    assert res.results[1] == (True, [1, 2])
+
+
+def test_iprobe_respects_virtual_arrival_time():
+    """A message posted 'now' has not physically arrived yet; iprobe at
+    the same instant must not see it (the header is still in flight)."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.isend("x", dest=1)
+            return None
+        st = ctx.comm.iprobe(source=0)  # t=0, nothing can have arrived
+        ctx.comm.recv(source=0)
+        return st
+
+    res = mpi(2, main)
+    assert res.results[1] is None
+
+
+def test_probed_rendezvous_message_visible_before_payload_moves():
+    def main(ctx):
+        big = np.zeros(100_000)
+        if ctx.rank == 0:
+            ctx.comm.Send(big, dest=1)
+        else:
+            st = ctx.comm.probe(source=0)
+            buf = np.empty_like(big)
+            ctx.comm.Recv(buf, source=0)
+            return st.count
+
+    res = mpi(2, main)
+    assert res.results[1] == 100_000
+
+
+# -- exscan ------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_exscan_exclusive_prefix(p):
+    def main(ctx):
+        return ctx.comm.exscan(ctx.rank + 1, op=SUM)
+
+    res = mpi(p, main)
+    assert res.results[0] is None
+    for r in range(1, p):
+        assert res.results[r] == sum(range(1, r + 1))
+
+
+def test_exscan_with_max():
+    def main(ctx):
+        vals = [3, 1, 4, 1, 5]
+        return ctx.comm.exscan(vals[ctx.rank], op=MAX)
+
+    res = mpi(5, main)
+    assert res.results == [None, 3, 3, 4, 4]
+
+
+def test_scan_vs_exscan_relationship():
+    def main(ctx):
+        inc = ctx.comm.scan(ctx.rank + 1, op=SUM)
+        exc = ctx.comm.exscan(ctx.rank + 1, op=SUM)
+        return (inc, exc)
+
+    res = mpi(6, main)
+    for r, (inc, exc) in enumerate(res.results):
+        assert inc == (exc or 0) + (r + 1)
+
+
+# -- reduce_scatter_block -------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_reduce_scatter_block_scalars(p):
+    def main(ctx):
+        blocks = [ctx.rank * 10 + j for j in range(ctx.size)]
+        return ctx.comm.reduce_scatter_block(blocks, op=SUM)
+
+    res = mpi(p, main)
+    for j in range(p):
+        assert res.results[j] == sum(i * 10 + j for i in range(p))
+
+
+def test_reduce_scatter_block_arrays():
+    def main(ctx):
+        blocks = [np.full(3, float(ctx.rank + j)) for j in range(ctx.size)]
+        return ctx.comm.reduce_scatter_block(blocks, op=SUM)
+
+    res = mpi(3, main)
+    for j in range(3):
+        expected = sum(i + j for i in range(3))
+        assert np.array_equal(res.results[j], np.full(3, float(expected)))
+
+
+def test_reduce_scatter_block_wrong_count():
+    def main(ctx):
+        ctx.comm.reduce_scatter_block([1], op=SUM)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(3, main)
+    assert isinstance(ei.value.original, CommMismatchError)
+
+
+# -- Allgatherv -----------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [2, 3, 5])
+def test_allgatherv_uneven_blocks(p):
+    def main(ctx):
+        counts = [i + 1 for i in range(ctx.size)]
+        local = np.full((counts[ctx.rank], 2), float(ctx.rank))
+        total = sum(counts)
+        out = np.zeros((total, 2))
+        ctx.comm.Allgatherv(local, out, counts)
+        return out
+
+    res = mpi(p, main)
+    counts = [i + 1 for i in range(p)]
+    expected = np.concatenate(
+        [np.full((c, 2), float(i)) for i, c in enumerate(counts)]
+    )
+    for r in res.results:
+        assert np.array_equal(r, expected)
+
+
+def test_allgatherv_count_mismatch():
+    def main(ctx):
+        out = np.zeros((5, 1))
+        ctx.comm.Allgatherv(np.zeros((1, 1)), out, [1] * ctx.size)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(3, main)
+    assert isinstance(ei.value.original, CommMismatchError)
+
+
+# -- buffer-mode prefix/scatter reductions ---------------------------------------
+
+@pytest.mark.parametrize("p", [1, 3, 6])
+def test_buffer_scan(p):
+    def main(ctx):
+        send = np.array([float(ctx.rank + 1), 1.0])
+        recv = np.zeros(2)
+        ctx.comm.Scan(send, recv, op=SUM)
+        return recv.copy()
+
+    res = mpi(p, main)
+    for r in range(p):
+        assert np.array_equal(res.results[r],
+                              np.array([sum(range(1, r + 2)), r + 1.0]))
+
+
+def test_buffer_exscan_rank0_untouched():
+    def main(ctx):
+        send = np.array([float(ctx.rank + 1)])
+        recv = np.full(1, -99.0)
+        ctx.comm.Exscan(send, recv, op=SUM)
+        return recv[0]
+
+    res = mpi(4, main)
+    assert res.results == [-99.0, 1.0, 3.0, 6.0]
+
+
+def test_buffer_reduce_scatter_block():
+    def main(ctx):
+        p = ctx.size
+        send = np.array([[float(ctx.rank * 10 + j)] for j in range(p)])
+        recv = np.zeros(1)
+        ctx.comm.Reduce_scatter_block(send, recv, op=SUM)
+        return recv[0]
+
+    res = mpi(3, main)
+    for j in range(3):
+        assert res.results[j] == sum(i * 10 + j for i in range(3))
+
+
+def test_buffer_reduce_scatter_block_shape_checked():
+    def main(ctx):
+        ctx.comm.Reduce_scatter_block(np.zeros((1, 1)), np.zeros(1), op=SUM)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(3, main)
+    assert isinstance(ei.value.original, CommMismatchError)

@@ -1,0 +1,71 @@
+"""Reduction operator semantics on scalars, arrays, and (value, loc) pairs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.simmpi.reduce_ops import (
+    ALL_OPS,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+)
+
+
+def test_sum_scalars_and_arrays():
+    assert SUM(2, 3) == 5
+    assert np.array_equal(SUM(np.array([1, 2]), np.array([3, 4])), np.array([4, 6]))
+
+
+def test_prod():
+    assert PROD(3, 4) == 12
+    assert np.array_equal(PROD(np.array([2.0, 3.0]), np.array([5.0, 7.0])),
+                          np.array([10.0, 21.0]))
+
+
+def test_min_max_scalars():
+    assert MIN(3, -1) == -1
+    assert MAX(3, -1) == 3
+
+
+def test_min_max_arrays_elementwise():
+    a, b = np.array([1, 5]), np.array([4, 2])
+    assert np.array_equal(MIN(a, b), np.array([1, 2]))
+    assert np.array_equal(MAX(a, b), np.array([4, 5]))
+
+
+def test_logical_ops():
+    assert LAND(1, 0) is False
+    assert LAND(2, 3) is True
+    assert LOR(0, 0) is False
+    assert LOR(0, 5) is True
+    assert np.array_equal(
+        LAND(np.array([True, True]), np.array([True, False])),
+        np.array([True, False]),
+    )
+
+
+def test_minloc_picks_value_then_location():
+    assert MINLOC((1.0, 5), (2.0, 1)) == (1.0, 5)
+    assert MINLOC((2.0, 5), (2.0, 1)) == (2.0, 1)  # tie → lowest loc
+
+
+def test_maxloc_picks_value_then_location():
+    assert MAXLOC((1.0, 5), (2.0, 1)) == (2.0, 1)
+    assert MAXLOC((2.0, 5), (2.0, 1)) == (2.0, 1)
+
+
+def test_loc_ops_reject_non_pairs():
+    with pytest.raises(MPIError):
+        MINLOC(1.0, 2.0)
+
+
+def test_ops_have_names_and_repr():
+    for op in ALL_OPS:
+        assert op.name in repr(op)
+        assert op.commutative

@@ -1,0 +1,181 @@
+"""Quantitative timing-model contract (pins docs/simulator.md).
+
+These tests assert the *numbers* the timing model documentation
+promises, on a noise-free single-tier machine where every term is
+computable by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import CoreSpec, MachineSpec, NetworkTier, NodeSpec
+from repro.simmpi.engine import run_mpi
+
+LAT = 10e-6          # tier latency
+BW = 1e8             # tier bandwidth (bytes/s)
+O = 2.5e-7           # o_send / o_recv engine defaults
+
+
+def _machine(cores=8, eager=16 * 1024):
+    node = NodeSpec(
+        sockets=1, cores_per_socket=cores,
+        core=CoreSpec(flops=1e9, hw_threads=1, ht_efficiency=0.0),
+        mem_bandwidth=1e12,
+    )
+    tier = NetworkTier(latency=LAT, bandwidth=BW, jitter=0.0)
+    return MachineSpec(name="flat", nodes=1, node=node,
+                       intra_node=tier, inter_node=tier,
+                       eager_threshold=eager)
+
+
+def _run(main, p=2):
+    return run_mpi(p, main, machine=_machine(max(p, 2)), seed=0)
+
+
+def test_eager_delivery_time_formula():
+    """recv completes at o_send + transfer + latency + o_recv for an
+    eager message with the receiver already posted."""
+    n = 1000  # bytes (eager)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.zeros(n // 8), dest=1)
+        else:
+            buf = np.zeros(n // 8)
+            ctx.comm.Recv(buf, source=0)
+            return ctx.now
+
+    expected = O + n / BW + LAT + O
+    res = _run(main)
+    assert res.results[1] == pytest.approx(expected, rel=1e-9)
+
+
+def test_eager_sender_charge_is_overhead_plus_copy():
+    n = 8000
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.zeros(n // 8), dest=1)
+            return ctx.now
+        ctx.comm.Recv(np.zeros(n // 8), source=0)
+
+    res = _run(main)
+    copy = n / _machine().intra_node.bandwidth
+    assert res.results[0] == pytest.approx(O + copy, rel=1e-9)
+
+
+def test_rendezvous_transfer_starts_at_late_receiver():
+    n = 80_000  # > eager threshold
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.zeros(n // 8), dest=1)
+            return ctx.now
+        ctx.compute(1.0)
+        buf = np.zeros(n // 8)
+        ctx.comm.Recv(buf, source=0)
+        return ctx.now
+
+    res = _run(main)
+    # Sender resumes when serialisation ends: recv_post + transfer.
+    assert res.results[0] == pytest.approx(1.0 + n / BW, rel=1e-6)
+    # Receiver completes after latency + o_recv on top.
+    assert res.results[1] == pytest.approx(1.0 + n / BW + LAT + O, rel=1e-6)
+
+
+def test_source_port_serialises_consecutive_sends():
+    """Two eager messages to different receivers queue at the sender's
+    port: the second arrives one transfer later."""
+    n = 8000
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.Send(np.zeros(n // 8), dest=1)
+            ctx.comm.Send(np.zeros(n // 8), dest=2)
+        elif ctx.rank in (1, 2):
+            buf = np.zeros(n // 8)
+            ctx.comm.Recv(buf, source=0)
+            return ctx.now
+
+    res = _run(main, p=3)
+    t1, t2 = res.results[1], res.results[2]
+    # Port busy until ~2 transfers for the second message; the sender's
+    # own copy-time offset applies to both equally.
+    assert t2 - t1 == pytest.approx(n / BW, rel=0.2)
+
+
+def test_destination_port_serialises_fan_in():
+    """Two senders to one receiver: deliveries drain sequentially."""
+    n = 8000
+
+    def main(ctx):
+        if ctx.rank in (1, 2):
+            ctx.comm.Send(np.zeros(n // 8), dest=0)
+        else:
+            t = []
+            for src in (1, 2):
+                buf = np.zeros(n // 8)
+                ctx.comm.Recv(buf, source=src)
+                t.append(ctx.now)
+            return t
+
+    res = _run(main, p=3)
+    t1, t2 = res.results[0]
+    assert t2 - t1 >= n / BW * 0.99
+
+
+def test_compute_roofline_exact():
+    def main(ctx):
+        ctx.compute(flops=5e8)  # at 1 GF/s
+        return ctx.now
+
+    res = _run(main, p=2)
+    assert res.results[0] == pytest.approx(0.5, rel=1e-12)
+
+
+def test_proc_null_operations_cost_nothing():
+    from repro.simmpi.api import PROC_NULL
+
+    def main(ctx):
+        for _ in range(100):
+            ctx.comm.send("x", dest=PROC_NULL)
+            ctx.comm.recv(source=PROC_NULL)
+        return ctx.now
+
+    res = _run(main, p=2)
+    assert res.results[0] == 0.0
+
+
+def test_latency_only_barrier_cost_log_rounds():
+    """A dissemination barrier on p=8 takes ~3 rounds of (2·O + latency
+    + tiny-payload transfer), all ranks entering simultaneously."""
+
+    def main(ctx):
+        ctx.comm.barrier()
+        return ctx.now
+
+    res = _run(main, p=8)
+    per_round = LAT + 2 * O
+    assert max(res.results) < 3 * per_round * 2.5
+    assert max(res.results) > 3 * per_round * 0.5
+
+
+def test_message_timing_independent_of_observer_tools():
+    """Attaching every shipped tool changes nothing about virtual time."""
+    from repro.tools import CommMatrixTool, SectionProfilerTool, TraceTool
+
+    def main(ctx):
+        from repro.simmpi.sections_rt import section
+
+        with section(ctx, "w"):
+            ctx.comm.sendrecv(np.zeros(64), dest=1 - ctx.rank,
+                              source=1 - ctx.rank)
+            ctx.compute(0.01)
+        return ctx.now
+
+    bare = run_mpi(2, main, machine=_machine(), seed=1)
+    tooled = run_mpi(
+        2, main, machine=_machine(), seed=1,
+        tools=[SectionProfilerTool(), TraceTool(), CommMatrixTool()],
+    )
+    assert bare.clocks == tooled.clocks

@@ -1,0 +1,90 @@
+"""Cartesian topology helpers (dims_create, CartGrid)."""
+
+import pytest
+
+from repro.errors import InvalidRankError, MPIError
+from repro.simmpi.api import PROC_NULL
+from repro.simmpi.topology import CartGrid, dims_create
+
+
+@pytest.mark.parametrize("n,nd,expected", [
+    (8, 3, [2, 2, 2]),
+    (12, 2, [4, 3]),
+    (7, 2, [7, 1]),
+    (1, 3, [1, 1, 1]),
+    (24, 3, [4, 3, 2]),
+    (64, 3, [4, 4, 4]),
+])
+def test_dims_create_balanced(n, nd, expected):
+    assert dims_create(n, nd) == expected
+
+
+def test_dims_create_product_invariant():
+    for n in range(1, 65):
+        dims = dims_create(n, 3)
+        prod = dims[0] * dims[1] * dims[2]
+        assert prod == n
+        assert dims == sorted(dims, reverse=True)
+
+
+def test_dims_create_invalid():
+    with pytest.raises(MPIError):
+        dims_create(0, 3)
+
+
+@pytest.mark.parametrize("p", [1, 8, 27, 64])
+def test_cube_valid(p):
+    g = CartGrid.cube(p)
+    assert g.size == p
+
+
+def test_cube_invalid():
+    with pytest.raises(MPIError):
+        CartGrid.cube(10)
+
+
+def test_coords_roundtrip():
+    g = CartGrid((3, 2, 4))
+    for r in range(g.size):
+        assert g.rank_of(g.coords(r)) == r
+
+
+def test_coords_c_order_last_dim_fastest():
+    g = CartGrid((2, 2, 2))
+    assert g.coords(0) == (0, 0, 0)
+    assert g.coords(1) == (0, 0, 1)
+    assert g.coords(2) == (0, 1, 0)
+    assert g.coords(4) == (1, 0, 0)
+
+
+def test_shift_interior_and_boundary():
+    g = CartGrid((2, 2, 2))
+    assert g.shift(0, axis=2, disp=+1) == 1
+    assert g.shift(0, axis=2, disp=-1) == PROC_NULL
+    assert g.shift(7, axis=0, disp=+1) == PROC_NULL
+    assert g.shift(7, axis=0, disp=-1) == 3
+
+
+def test_neighbors_six_faces():
+    g = CartGrid((3, 3, 3))
+    center = g.rank_of((1, 1, 1))
+    nbrs = g.neighbors(center)
+    assert len(nbrs) == 6
+    assert all(r != PROC_NULL for (_, _, r) in nbrs)
+    corner = g.rank_of((0, 0, 0))
+    nulls = [r for (_, _, r) in g.neighbors(corner) if r == PROC_NULL]
+    assert len(nulls) == 3
+
+
+def test_rank_of_validates_coords():
+    g = CartGrid((2, 2))
+    with pytest.raises(InvalidRankError):
+        g.rank_of((2, 0))
+    with pytest.raises(MPIError):
+        g.rank_of((0, 0, 0))
+
+
+def test_coords_validates_rank():
+    g = CartGrid((2, 2))
+    with pytest.raises(InvalidRankError):
+        g.coords(4)

@@ -1,0 +1,132 @@
+"""waitany / waitsome / testall semantics."""
+
+import pytest
+
+from repro.errors import RankFailedError, RequestError
+from repro.simmpi.request import waitany, waitsome
+from repro.simmpi.request import testall as req_testall
+
+from tests.conftest import mpi
+
+
+def test_waitany_returns_earliest_completion():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=1, tag=t) for t in (0, 1)]
+            idx, data = waitany(reqs)
+            # consume the other to drain the run
+            other = reqs[1 - idx].wait()
+            return (idx, data, other)
+        ctx.compute(1.0)
+        ctx.comm.send("slow", dest=0, tag=0)   # arrives ~1.0s
+        ctx.comm.send("slower", dest=0, tag=1)  # arrives after
+    res = mpi(2, main)
+    idx, data, other = res.results[0]
+    assert (idx, data, other) == (0, "slow", "slower")
+
+
+def test_waitany_blocks_until_first():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=1, tag=t) for t in (5, 6)]
+            idx, _ = waitany(reqs)
+            t_first = ctx.now
+            waitany(reqs)
+            return (idx, t_first)
+        ctx.compute(2.0)
+        ctx.comm.send("a", dest=0, tag=5)
+        ctx.compute(1.0)
+        ctx.comm.send("b", dest=0, tag=6)
+
+    res = mpi(2, main)
+    idx, t_first = res.results[0]
+    assert idx == 0
+    assert 2.0 <= t_first < 3.0  # woke on the first message, not the second
+
+
+def test_waitany_consumes_chosen_only():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=1, tag=t) for t in (0, 1)]
+            waitany(reqs)
+            # waiting again must return the remaining one, not re-consume
+            idx2, data2 = waitany(reqs)
+            return (idx2, data2)
+        ctx.comm.send("x", dest=0, tag=0)
+        ctx.comm.send("y", dest=0, tag=1)
+
+    res = mpi(2, main)
+    assert res.results[0] == (1, "y")
+
+
+def test_waitany_double_consume_raises():
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.irecv(source=1)
+            waitany([req])
+            waitany([req])  # nothing unconsumed left
+        else:
+            ctx.comm.send(1, dest=0)
+
+    with pytest.raises(RankFailedError):
+        mpi(2, main)
+
+
+def test_waitany_empty_list_rejected():
+    def main(ctx):
+        waitany([])
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(1, main)
+    assert isinstance(ei.value.original, RequestError)
+
+
+def test_waitsome_returns_all_ready():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=1, tag=t) for t in range(3)]
+            first = waitsome(reqs)
+            rest = []
+            while len(first) + len(rest) < 3:
+                rest.extend(waitsome(reqs))
+            return (len(first) >= 1, sorted(i for i, _ in first + rest))
+        for t in range(3):
+            ctx.comm.send(t * 10, dest=0, tag=t)
+
+    res = mpi(2, main)
+    got_at_least_one, indices = res.results[0]
+    assert got_at_least_one
+    assert indices == [0, 1, 2]
+
+
+def test_testall():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=1, tag=t) for t in (0, 1)]
+            early = req_testall(reqs)
+            for r in reqs:
+                r.wait()
+            return (early, req_testall(reqs))
+        ctx.comm.send("a", dest=0, tag=0)
+        ctx.comm.send("b", dest=0, tag=1)
+
+    res = mpi(2, main)
+    early, late = res.results[0]
+    assert early is False and late is True
+
+
+def test_waitany_mixed_send_recv_requests():
+    def main(ctx):
+        if ctx.rank == 0:
+            sreq = ctx.comm.isend(bytes(10**6), dest=1)  # rendezvous
+            rreq = ctx.comm.irecv(source=1, tag=9)
+            done = {}
+            for _ in range(2):
+                idx, data = waitany([sreq, rreq])
+                done[idx] = data
+            return sorted(done)
+        ctx.comm.send("pong", dest=0, tag=9)
+        ctx.comm.recv(source=0)
+
+    res = mpi(2, main)
+    assert res.results[0] == [0, 1]

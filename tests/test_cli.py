@@ -1,0 +1,67 @@
+"""CLI entry point."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fig5a" in out and "fig10" in out and "table7" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["figX"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_table7_quiet(capsys):
+    assert main(["table7", "--quiet"]) == 0
+    assert "table7: PASS" in capsys.readouterr().out
+
+
+def test_table7_writes_artifact(tmp_path, capsys):
+    assert main(["table7", "--out", str(tmp_path)]) == 0
+    artifact = tmp_path / "table7.txt"
+    assert artifact.exists()
+    assert "lulesh_s" in artifact.read_text()
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig5a"])
+    assert args.reps == 2 and args.out is None and not args.quiet
+
+
+def test_module_invocation_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "list"],
+        capture_output=True, text=True, timeout=120,
+        cwd=str(pathlib.Path(__file__).resolve().parents[1]),
+    )
+    assert proc.returncode == 0
+    assert "fig9" in proc.stdout
+
+
+@pytest.mark.slow
+def test_fig9_small_run(capsys):
+    """A reduced Lulesh grid through the CLI end to end."""
+    assert main(["fig9", "--steps", "3", "--reps", "2", "--quiet"]) == 0
+    assert "fig9: PASS" in capsys.readouterr().out
+
+
+def test_baseline_save_and_compare(tmp_path, capsys):
+    assert main(["table7", "--quiet", "--save-baseline", str(tmp_path)]) == 0
+    assert (tmp_path / "table7.baseline.json").exists()
+    assert main(["table7", "--quiet", "--baseline", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "baseline OK" in out
+
+
+def test_baseline_missing_fails(tmp_path, capsys):
+    assert main(["table7", "--quiet", "--baseline", str(tmp_path)]) == 1
+    assert "no baseline" in capsys.readouterr().err

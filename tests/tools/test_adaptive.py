@@ -1,0 +1,70 @@
+"""Adaptive parallelism restriction advisor (Section 8 future work)."""
+
+import pytest
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.tools import AdaptiveAdvisor
+
+
+def _curves():
+    ts = [1, 2, 4, 8, 16, 32]
+    return {
+        # keeps scaling over the whole range
+        "scales": (ts, [32.0, 16.0, 8.0, 4.0, 2.0, 1.0]),
+        # exhausted at 8 threads, then regresses
+        "exhausted": (ts, [16.0, 8.0, 4.0, 3.0, 4.5, 7.0]),
+    }
+
+
+def test_plan_finds_best_thread_counts():
+    plans = {p.label: p for p in AdaptiveAdvisor(_curves()).plan(uniform_threads=32)}
+    assert plans["scales"].best_threads == 32
+    assert plans["exhausted"].best_threads == 8
+    assert plans["exhausted"].over_parallelised
+    assert not plans["scales"].over_parallelised
+
+
+def test_gain_only_from_restrainable_sections():
+    plans = {p.label: p for p in AdaptiveAdvisor(_curves()).plan(32)}
+    assert plans["scales"].gain == pytest.approx(0.0)
+    assert plans["exhausted"].gain == pytest.approx(7.0 - 3.0)
+
+
+def test_plans_sorted_by_gain():
+    plans = AdaptiveAdvisor(_curves()).plan(32)
+    assert plans[0].label == "exhausted"
+
+
+def test_predicted_walltimes():
+    adv = AdaptiveAdvisor(_curves())
+    plans = adv.plan(32)
+    assert adv.uniform_walltime(plans) == pytest.approx(1.0 + 7.0)
+    assert adv.predicted_walltime(plans) == pytest.approx(1.0 + 3.0)
+    assert adv.predicted_gain(32) == pytest.approx(4.0 / 8.0)
+
+
+def test_no_gain_when_uniform_is_optimal():
+    adv = AdaptiveAdvisor(
+        {"only": ([1, 2, 4, 8], [8.0, 4.0, 2.0, 3.0])}
+    )
+    assert adv.predicted_gain(4) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_advisor_can_recommend_more_threads_than_uniform():
+    """Restraining is per-section: a section still scaling may be given
+    a *larger* team than the uniform baseline."""
+    plans = {p.label: p for p in AdaptiveAdvisor(_curves()).plan(8)}
+    assert plans["scales"].best_threads == 32
+    assert plans["scales"].gain == pytest.approx(4.0 - 1.0)
+
+
+def test_unsampled_uniform_raises():
+    with pytest.raises(AnalysisError):
+        AdaptiveAdvisor(_curves()).plan(uniform_threads=5)
+
+
+def test_insufficient_curves_rejected():
+    with pytest.raises(InsufficientDataError):
+        AdaptiveAdvisor({})
+    with pytest.raises(InsufficientDataError):
+        AdaptiveAdvisor({"x": ([1], [1.0])})

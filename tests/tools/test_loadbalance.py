@@ -1,0 +1,80 @@
+"""Load-balance analysis over Figure 3 metrics."""
+
+import pytest
+
+from repro.core.metrics import SectionInstanceTiming
+from repro.errors import InsufficientDataError
+from repro.simmpi.sections_rt import section
+from repro.tools import TraceTool, analyze_load_balance
+
+from tests.conftest import mpi
+
+
+def _inst(label, t_in, t_out, occ=0):
+    inst = SectionInstanceTiming(label, ("w",), occ)
+    inst.t_in = dict(t_in)
+    inst.t_out = dict(t_out)
+    return inst
+
+
+def test_balanced_section_reports_zero_waste():
+    inst = _inst("even", {0: 0.0, 1: 0.0}, {0: 1.0, 1: 1.0})
+    rep = analyze_load_balance([inst])[0]
+    assert rep.mean_imbalance == pytest.approx(0.0)
+    assert rep.wasted_time == pytest.approx(0.0)
+    assert rep.balance_ratio == pytest.approx(1.0)
+
+
+def test_imbalanced_section_quantified():
+    inst = _inst("skew", {0: 0.0, 1: 0.0}, {0: 1.0, 1: 3.0})
+    rep = analyze_load_balance([inst])[0]
+    # span 3, mean Tsection 2 → imbalance 1
+    assert rep.mean_imbalance == pytest.approx(1.0)
+    assert rep.balance_ratio == pytest.approx(1 - 1 / 3)
+
+
+def test_entry_imbalance_tracked():
+    inst = _inst("late", {0: 0.0, 1: 2.0}, {0: 3.0, 1: 3.0})
+    rep = analyze_load_balance([inst])[0]
+    assert rep.mean_entry_imbalance == pytest.approx(1.0)
+    assert rep.max_entry_imbalance == pytest.approx(2.0)
+
+
+def test_reports_sorted_by_wasted_time():
+    bad = _inst("bad", {0: 0.0, 1: 0.0}, {0: 1.0, 1: 9.0})
+    good = _inst("good", {0: 0.0, 1: 0.0}, {0: 1.0, 1: 1.1})
+    reps = analyze_load_balance([good, bad])
+    assert [r.label for r in reps] == ["bad", "good"]
+
+
+def test_multiple_instances_aggregated():
+    insts = [
+        _inst("s", {0: 0.0, 1: 0.0}, {0: 1.0, 1: 2.0}, occ=0),
+        _inst("s", {0: 10.0, 1: 10.0}, {0: 11.0, 1: 14.0}, occ=1),
+    ]
+    rep = analyze_load_balance(insts)[0]
+    assert rep.instances == 2
+    assert rep.wasted_time == pytest.approx(0.5 + 1.5)
+
+
+def test_empty_input_raises():
+    with pytest.raises(InsufficientDataError):
+        analyze_load_balance([])
+
+
+def test_end_to_end_detects_imbalanced_phase():
+    """Rank-dependent work inside a section shows up as wasted time."""
+
+    def main(ctx):
+        with section(ctx, "balanced"):
+            ctx.compute(1.0)
+        ctx.comm.barrier()
+        with section(ctx, "imbalanced"):
+            ctx.compute(1.0 + ctx.rank)
+        ctx.comm.barrier()
+
+    tool = TraceTool()
+    mpi(4, main, tools=[tool])
+    reports = {r.label: r for r in analyze_load_balance(tool.coarse_view())}
+    assert reports["imbalanced"].wasted_time > reports["balanced"].wasted_time
+    assert reports["imbalanced"].mean_imbalance > 1.0

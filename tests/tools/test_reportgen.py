@@ -1,0 +1,75 @@
+"""Run and scaling report generation."""
+
+import pytest
+
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.simmpi.sections_rt import section
+from repro.tools.reportgen import run_report, scaling_report
+
+from tests.conftest import mpi
+
+
+def _workload(ctx):
+    with section(ctx, "compute"):
+        ctx.compute(1.0 / ctx.size)
+    with section(ctx, "serial"):
+        if ctx.rank == 0:
+            ctx.compute(0.05)
+        ctx.comm.barrier()
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return mpi(4, _workload)
+
+
+@pytest.fixture(scope="module")
+def sweep_profile():
+    prof = ScalingProfile("p")
+    for p in (1, 2, 4, 8):
+        def main(ctx, p=p):
+            with section(ctx, "compute"):
+                ctx.compute(1.0 / ctx.size)
+            with section(ctx, "serial"):
+                if ctx.rank == 0:
+                    ctx.compute(0.05)
+                ctx.comm.barrier()
+
+        prof.add(p, SectionProfile.from_run(mpi(p, main)))
+    return prof
+
+
+def test_run_report_contains_sections_and_traffic(run_result):
+    text = run_report(run_result)
+    assert "section breakdown" in text
+    assert "compute" in text and "serial" in text
+    assert "load balance" in text
+    assert "traffic:" in text
+    assert "4 ranks" in text
+
+
+def test_run_report_orders_by_exclusive_time(run_result):
+    text = run_report(run_result)
+    lines = [l for l in text.splitlines() if l.strip().startswith(("compute", "serial"))]
+    assert lines[0].strip().startswith("compute")
+
+
+def test_scaling_report_contains_analyses(sweep_profile):
+    text = scaling_report(sweep_profile, bound_labels=["serial"])
+    assert "measured speedup" in text
+    assert "binding section" in text
+    assert "Karp-Flatt" in text
+    assert "Amdahl fit" in text
+    assert "USL fit" in text
+
+
+def test_scaling_report_binding_is_serial(sweep_profile):
+    text = scaling_report(sweep_profile)
+    # the serial phase must surface as the binding section at p=8
+    block = text.split("binding section")[1]
+    assert "serial" in block
+
+
+def test_scaling_report_without_bound_labels(sweep_profile):
+    text = scaling_report(sweep_profile)
+    assert "measured speedup" in text

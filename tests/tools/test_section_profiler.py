@@ -1,0 +1,68 @@
+"""The online section profiler tool (blob-based timing)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.core.profile import SectionProfile
+from repro.simmpi.sections_rt import section
+from repro.tools import SectionProfilerTool
+
+from tests.conftest import mpi
+
+
+def _workload(ctx):
+    with section(ctx, "a"):
+        ctx.compute(1.0)
+    for _ in range(2):
+        with section(ctx, "b"):
+            ctx.compute(0.25)
+
+
+def test_profiler_times_from_blob():
+    tool = SectionProfilerTool()
+    mpi(2, _workload, tools=[tool])
+    assert tool.rank_total(0, "a") == pytest.approx(1.0)
+    assert tool.rank_total(1, "b") == pytest.approx(0.5)
+    assert tool.total("a") == pytest.approx(2.0)
+    assert tool.avg_per_process("b") == pytest.approx(0.5)
+
+
+def test_profiler_counts_instances():
+    tool = SectionProfilerTool()
+    mpi(3, _workload, tools=[tool])
+    assert tool.counts[(0, "b")] == 2
+    assert set(tool.labels()) == {"MPI_MAIN", "a", "b"}
+
+
+def test_profiler_balanced_after_run():
+    tool = SectionProfilerTool()
+    mpi(2, _workload, tools=[tool])
+    tool.assert_balanced()
+
+
+def test_profiler_detects_imbalance():
+    tool = SectionProfilerTool()
+    tool.section_enter_cb(("w",), "x", bytearray(32), 0, 0.0)
+    with pytest.raises(AnalysisError):
+        tool.assert_balanced()
+
+
+def test_profiler_rejects_corrupted_blob():
+    tool = SectionProfilerTool()
+    with pytest.raises(AnalysisError, match="not.*preserved"):
+        tool.section_leave_cb(("w",), "x", bytearray(32), 0, 1.0)
+
+
+def test_profiler_no_ranks_avg_raises():
+    with pytest.raises(AnalysisError):
+        SectionProfilerTool().avg_per_process("a")
+
+
+def test_profiler_cross_validates_with_event_stream():
+    """A tool seeing only the two Figure 2 callbacks reconstructs the
+    same per-label totals as post-hoc analysis of the event stream."""
+    tool = SectionProfilerTool()
+    res = mpi(4, _workload, tools=[tool])
+    prof = SectionProfile.from_run(res)
+    for label in ("a", "b", "MPI_MAIN"):
+        assert tool.total(label) == pytest.approx(prof.total(label), rel=1e-12)

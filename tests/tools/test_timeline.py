@@ -1,0 +1,83 @@
+"""ASCII timeline rendering."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.simmpi.sections_rt import section
+from repro.tools import TraceTool
+from repro.tools.timeline import render_coarse_lane, render_timeline
+
+from tests.conftest import mpi
+
+
+def _phased(ctx):
+    with section(ctx, "alpha"):
+        ctx.compute(0.4)
+    with section(ctx, "beta"):
+        ctx.compute(0.6)
+    ctx.comm.barrier()
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    return mpi(3, _phased)
+
+
+def test_timeline_one_lane_per_rank(run_result):
+    text = render_timeline(run_result.section_events, width=40)
+    lanes = [l for l in text.splitlines() if l.startswith("rank")]
+    assert len(lanes) == 3
+    assert all(len(l.split("|")[1]) == 40 for l in lanes)
+
+
+def test_timeline_proportions(run_result):
+    text = render_timeline(run_result.section_events, width=50)
+    lane0 = text.splitlines()[1].split("|")[1]
+    # alpha occupies ~40% of the run, beta ~60%
+    assert 15 <= lane0.count("#") <= 25
+    assert 25 <= lane0.count("*") <= 35
+
+
+def test_timeline_legend_lists_labels(run_result):
+    text = render_timeline(run_result.section_events)
+    assert "=alpha" in text and "=beta" in text
+
+
+def test_timeline_depth_zero_shows_main(run_result):
+    text = render_timeline(run_result.section_events, depth=0)
+    assert "=MPI_MAIN" in text
+
+
+def test_timeline_short_sections_visible():
+    def main(ctx):
+        with section(ctx, "blink"):
+            ctx.compute(1e-9)
+        with section(ctx, "bulk"):
+            ctx.compute(1.0)
+
+    res = mpi(1, main)
+    text = render_timeline(res.section_events, width=30)
+    lane = text.splitlines()[1].split("|")[1]
+    assert "#" in lane  # the 1 ns section still gets one column
+
+
+def test_timeline_validation(run_result):
+    with pytest.raises(AnalysisError):
+        render_timeline(run_result.section_events, width=5)
+    assert render_timeline([], width=40) == "(no sections at this depth)"
+
+
+def test_coarse_lane_from_trace_tool(run_result):
+    # (re-run with a tool attached to get merged instances)
+    tool = TraceTool()
+    mpi(3, _phased, tools=[tool])
+    insts = [i for i in tool.coarse_view() if i.label != "MPI_MAIN"]
+    text = render_coarse_lane(insts, width=40)
+    assert text.startswith("coarse view")
+    lane = text.splitlines()[1].split("|")[1]
+    assert len(lane) == 40
+    assert "#" in lane and "*" in lane
+
+
+def test_coarse_lane_empty():
+    assert render_coarse_lane([]) == "(no instances)"

@@ -1,0 +1,87 @@
+"""Trace tool: recording, filtering, coarse-grain instance merge."""
+
+import pytest
+
+from repro.simmpi.sections_rt import section
+from repro.tools import TraceTool
+
+from tests.conftest import mpi
+
+
+def _phased(ctx):
+    ctx.compute(0.01 * ctx.rank)
+    with section(ctx, "phase1"):
+        ctx.compute(0.5)
+    with section(ctx, "phase2"):
+        ctx.compute(0.2)
+
+
+def test_trace_records_all_events():
+    tool = TraceTool()
+    mpi(2, _phased, tools=[tool])
+    # 3 sections (MAIN, phase1, phase2) × enter+exit × 2 ranks
+    assert len(tool) == 12
+
+
+def test_trace_per_rank_is_ordered():
+    tool = TraceTool()
+    mpi(3, _phased, tools=[tool])
+    recs = tool.per_rank(1)
+    assert all(r.rank == 1 for r in recs)
+    times = [r.time for r in recs]
+    assert times == sorted(times)
+
+
+def test_trace_timeline_sorted_globally():
+    tool = TraceTool()
+    mpi(3, _phased, tools=[tool])
+    times = [r.time for r in tool.timeline()]
+    assert times == sorted(times)
+
+
+def test_label_filter_drops_events():
+    tool = TraceTool(label_filter=lambda lab: lab == "phase1")
+    mpi(2, _phased, tools=[tool])
+    labels = {r.label for r in tool.records}
+    assert labels == {"phase1"}
+    assert len(tool) == 4
+
+
+def test_coarse_view_builds_cross_rank_instances():
+    tool = TraceTool()
+    mpi(3, _phased, tools=[tool])
+    insts = tool.coarse_view()
+    by_label = {i.label for i in insts}
+    assert by_label == {"MPI_MAIN", "phase1", "phase2"}
+    p1 = next(i for i in insts if i.label == "phase1")
+    assert len(p1.t_in) == 3
+    # staggered entries produce positive entry imbalance
+    assert p1.entry_imbalance_mean > 0
+
+
+def test_coarse_view_ordered_by_first_entry():
+    tool = TraceTool()
+    mpi(2, _phased, tools=[tool])
+    insts = tool.coarse_view()
+    starts = [min(i.t_in.values()) for i in insts]
+    assert starts == sorted(starts)
+
+
+def test_coarse_view_repeated_sections_distinct_instances():
+    def main(ctx):
+        for _ in range(3):
+            with section(ctx, "loop"):
+                ctx.compute(0.1)
+
+    tool = TraceTool()
+    mpi(2, main, tools=[tool])
+    loops = [i for i in tool.coarse_view() if i.label == "loop"]
+    assert len(loops) == 3
+    assert sorted(i.occurrence for i in loops) == [0, 1, 2]
+
+
+def test_filtered_coarse_view_skips_unmatchable():
+    tool = TraceTool(label_filter=lambda lab: lab != "MPI_MAIN")
+    mpi(2, _phased, tools=[tool])
+    insts = tool.coarse_view()
+    assert {i.label for i in insts} == {"phase1", "phase2"}

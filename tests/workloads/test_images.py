@@ -1,0 +1,58 @@
+"""Synthetic image generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.images import image_checksum, make_image
+
+
+def test_shape_and_dtype():
+    img = make_image(20, 30, 3)
+    assert img.shape == (20, 30, 3)
+    assert img.dtype == np.float64
+
+
+def test_values_in_unit_interval():
+    img = make_image(50, 50, 3, noise=0.3)
+    assert img.min() >= 0.0 and img.max() <= 1.0
+
+
+def test_deterministic_per_seed():
+    a = make_image(16, 16, seed=5)
+    b = make_image(16, 16, seed=5)
+    c = make_image(16, 16, seed=6)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_noise_zero_is_pure_signal():
+    a = make_image(16, 16, seed=1, noise=0.0)
+    b = make_image(16, 16, seed=2, noise=0.0)
+    assert np.array_equal(a, b)  # seed only affects noise
+
+
+def test_channels_differ():
+    img = make_image(32, 32, 3, noise=0.0)
+    assert not np.array_equal(img[..., 0], img[..., 1])
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ReproError):
+        make_image(0, 10)
+    with pytest.raises(ReproError):
+        make_image(10, 10, noise=1.5)
+
+
+def test_checksum_stable_and_sensitive():
+    a = make_image(16, 16, seed=1)
+    assert image_checksum(a) == image_checksum(a.copy())
+    b = a.copy()
+    b[0, 0, 0] += 1e-12
+    assert image_checksum(a) != image_checksum(b)
+
+
+def test_checksum_includes_shape():
+    a = np.zeros((2, 8, 1))
+    b = np.zeros((4, 4, 1))
+    assert image_checksum(a) != image_checksum(b)

@@ -1,0 +1,185 @@
+"""LULESH proxy kernels: state, invariants, chunk independence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.machine.roofline import WorkEstimate
+from repro.workloads import lulesh_phases as ph
+
+
+@pytest.fixture
+def state():
+    return ph.HydroState.initial(6, coords=(0, 0, 0), spike=3.0)
+
+
+def test_initial_state_shapes(state):
+    assert state.e.shape == (8, 8, 8)
+    assert state.pos.shape == (3, 6, 6, 6)
+    assert state.e_incr.shape == (6, 6, 6)
+
+
+def test_initial_spike_only_at_origin_owner():
+    with_spike = ph.HydroState.initial(4, coords=(0, 0, 0))
+    without = ph.HydroState.initial(4, coords=(1, 0, 0))
+    assert with_spike.e.max() == pytest.approx(3.0)
+    assert without.e.max() == pytest.approx(0.1)
+
+
+def test_total_energy_counts_interior_only(state):
+    assert state.total_energy() == pytest.approx(0.1 * 6**3 + (3.0 - 0.1))
+
+
+def test_state_validation():
+    with pytest.raises(ReproError):
+        ph.HydroState.initial(1)
+
+
+def test_work_for_scales(state):
+    w = ph.work_for("EvalEOSForElems", 100, scale=2.0)
+    base = ph.WORK["EvalEOSForElems"]
+    assert w.flops == pytest.approx(base.flops * 200)
+    assert w.serial_fraction == base.serial_fraction
+
+
+def test_work_for_unknown_kernel():
+    with pytest.raises(ReproError):
+        ph.work_for("NotAKernel", 10)
+
+
+def test_work_table_phase_character():
+    """Nodal kernels are memory-heavy; the EOS is compute-heavy."""
+    eos = ph.WORK["EvalEOSForElems"]
+    stress = ph.WORK["IntegrateStressForElems"]
+    assert eos.flops / eos.bytes_moved > 4 * (stress.flops / stress.bytes_moved)
+
+
+def test_gradient_of_uniform_field_is_zero(state):
+    state.e[:] = 0.5
+    ph.integrate_stress(state, 0, state.s)
+    for g in (state.gx, state.gy, state.gz):
+        assert np.all(state.interior(g) == 0.0)
+
+
+def test_gradient_sees_spike(state):
+    ph.integrate_stress(state, 0, state.s)
+    assert np.abs(state.interior(state.gx)).max() > 0
+
+
+def test_chunked_execution_equals_full_sweep():
+    """Running a kernel in z-slabs gives the same result as one sweep —
+    the property that makes OMP chunking numerically transparent."""
+    a = ph.HydroState.initial(6)
+    b = ph.HydroState.initial(6)
+    rng = np.random.default_rng(0)
+    noise = rng.random(a.e.shape)
+    a.e += noise
+    b.e += noise
+    ph.integrate_stress(a, 0, 6)
+    for lo, hi in ((0, 2), (2, 3), (3, 6)):
+        ph.integrate_stress(b, lo, hi)
+    assert np.array_equal(a.gx, b.gx)
+    assert np.array_equal(a.gz, b.gz)
+
+
+def test_update_volumes_deferred_write_chunk_independent():
+    a = ph.HydroState.initial(6)
+    b = ph.HydroState.initial(6)
+    for st in (a, b):
+        st.kappa[:] = 0.05
+    ph.update_volumes(a, 0.1, 0, 6)
+    for lo, hi in ((0, 1), (1, 4), (4, 6)):
+        ph.update_volumes(b, 0.1, lo, hi)
+    assert np.array_equal(a.e_incr, b.e_incr)
+
+
+def test_update_volumes_conserves_energy(state):
+    state.kappa[:] = 0.05
+    # replicate ghosts so boundary fluxes vanish
+    for arr in (state.e, state.kappa):
+        arr[0] = arr[1]
+        arr[-1] = arr[-2]
+        arr[:, 0] = arr[:, 1]
+        arr[:, -1] = arr[:, -2]
+        arr[:, :, 0] = arr[:, :, 1]
+        arr[:, :, -1] = arr[:, :, -2]
+    ph.update_volumes(state, 0.1, 0, state.s)
+    assert state.e_incr.sum() == pytest.approx(0.0, abs=1e-12)
+    assert state.e_incr.max() != 0.0  # the spike actually diffuses
+
+
+def test_acceleration_moves_momentum(state):
+    ph.integrate_stress(state, 0, state.s)
+    ph.acceleration(state, 0.1, 0, state.s)
+    assert state.interior(state.mx).any()
+
+
+def test_acceleration_bc_zeroes_global_faces(state):
+    state.mx[:] = 1.0
+    state.my[:] = 1.0
+    state.mz[:] = 1.0
+    ph.acceleration_bc(state, (0, 0, 0), 0, state.s)
+    assert np.all(state.mx[1:-1, 1:-1, 1] == 0.0)
+    assert np.all(state.my[1:-1, 1, 1:-1] == 0.0)
+    assert np.all(state.mz[1, 1:-1, 1:-1] == 0.0)
+    # interior untouched
+    assert np.all(state.mx[2, 2, 2] == 1.0)
+
+
+def test_acceleration_bc_not_applied_off_boundary(state):
+    state.mx[:] = 1.0
+    ph.acceleration_bc(state, (1, 1, 1), 0, state.s)
+    assert np.all(state.mx[1:-1, 1:-1, 1] == 1.0)
+
+
+def test_velocity_cutoff_flushes_small_values(state):
+    state.mx[1:-1, 1:-1, 1:-1] = 1e-15
+    state.my[1:-1, 1:-1, 1:-1] = 0.5
+    ph.velocity_cutoff(state, 1e-12, 0, state.s)
+    assert np.all(state.interior(state.mx) == 0.0)
+    assert np.all(state.interior(state.my) == 0.5)
+
+
+def test_hourglass_damps_momentum(state):
+    state.mx[1:-1, 1:-1, 1:-1] = 2.0
+    ph.hourglass_control(state, dt=1.0, eps=0.1, lo=0, hi=state.s)
+    assert np.allclose(state.interior(state.mx), 1.8)
+
+
+def test_position_update_integrates_velocity(state):
+    state.mx[1:-1, 1:-1, 1:-1] = 1.0
+    ph.position_update(state, 0.5, 0, state.s)
+    assert np.allclose(state.pos[0], 0.5)
+    assert np.all(state.pos[1] == 0.0)
+
+
+def test_eos_safe_and_monotone_in_energy(state):
+    state.q[:] = 0.0
+    ph.eval_eos(state, iters=4, lo=0, hi=state.s)
+    p_spike = state.p[1, 1, 1]
+    p_bg = state.p[3, 3, 3]
+    assert p_spike > p_bg > 0
+    assert np.isfinite(state.p).all()
+
+
+def test_kappa_from_pressure(state):
+    ph.eval_eos(state, 3, 0, state.s)
+    ph.sound_speed_kappa(state, k0=0.05, k1=0.05, lo=0, hi=state.s)
+    interior = state.interior(state.kappa)
+    assert interior.min() >= 0.05
+    assert np.isfinite(interior).all()
+
+
+def test_monotonic_q_only_compression(state):
+    state.q[1:-1, 1:-1, 1:-1] = -2.0  # divergence proxy: compression
+    ph.monotonic_q(state, qcoef=1.5, lo=0, hi=state.s)
+    assert np.allclose(state.interior(state.q), 1.5 * 4.0)
+    state.q[1:-1, 1:-1, 1:-1] = 2.0  # expansion → no viscosity
+    ph.monotonic_q(state, qcoef=1.5, lo=0, hi=state.s)
+    assert np.all(state.interior(state.q) == 0.0)
+
+
+def test_courant_local_max(state):
+    state.kappa[1:-1, 1:-1, 1:-1] = 0.1
+    state.kappa[2, 2, 2] = 0.9
+    assert ph.courant_local_max(state, 0, state.s) == pytest.approx(0.9)

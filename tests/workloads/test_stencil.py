@@ -1,0 +1,92 @@
+"""Row partitioning, halo exchange, and the mean-filter kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.stencil import (
+    exchange_row_halos,
+    mean_filter_3x3,
+    row_partition,
+)
+
+from tests.conftest import mpi
+
+
+def test_row_partition_near_equal():
+    assert row_partition(10, 3) == [4, 3, 3]
+    assert row_partition(9, 3) == [3, 3, 3]
+    assert row_partition(5, 5) == [1, 1, 1, 1, 1]
+
+
+def test_row_partition_sums_to_total():
+    for n in (7, 64, 577):
+        for p in (1, 2, 3, 8, 7):
+            if n >= p:
+                assert sum(row_partition(n, p)) == n
+
+
+def test_row_partition_validation():
+    with pytest.raises(ReproError):
+        row_partition(2, 3)
+    with pytest.raises(ReproError):
+        row_partition(5, 0)
+
+
+def test_mean_filter_uniform_field_fixed_interior():
+    slab = np.ones((5, 5, 1))
+    row = np.ones((5, 1))
+    out = mean_filter_3x3(slab, row, row)
+    # interior cells keep value 1 (all 9 neighbours are 1)
+    assert out[2, 2, 0] == pytest.approx(1.0)
+    # lateral borders feel the zero padding
+    assert out[2, 0, 0] == pytest.approx(6 / 9)
+
+
+def test_mean_filter_zero_halos_darken_edges():
+    slab = np.ones((4, 4, 1))
+    zero = np.zeros((4, 1))
+    out = mean_filter_3x3(slab, zero, zero)
+    assert out[0, 1, 0] == pytest.approx(6 / 9)
+    assert out[0, 0, 0] == pytest.approx(4 / 9)
+
+
+def test_mean_filter_impulse_spreads():
+    slab = np.zeros((5, 5, 1))
+    slab[2, 2, 0] = 9.0
+    zero = np.zeros((5, 1))
+    out = mean_filter_3x3(slab, zero, zero)
+    assert out[1:4, 1:4, 0] == pytest.approx(np.ones((3, 3)))
+    assert out[0, 0, 0] == 0.0
+
+
+def test_mean_filter_uses_halos():
+    slab = np.zeros((2, 3, 1))
+    up = np.full((3, 1), 9.0)
+    down = np.zeros((3, 1))
+    out = mean_filter_3x3(slab, up, down)
+    assert out[0, 1, 0] == pytest.approx(3.0)  # 3 halo cells above
+    assert out[1, 1, 0] == 0.0
+
+
+def test_mean_filter_bad_shape():
+    with pytest.raises(ReproError):
+        mean_filter_3x3(np.zeros((4, 4)), np.zeros(4), np.zeros(4))
+
+
+def test_exchange_row_halos_moves_boundary_rows():
+    def main(ctx):
+        comm = ctx.comm
+        local = np.full((2, 3, 1), float(comm.rank))
+        up = np.full((3, 1), -1.0)
+        down = np.full((3, 1), -1.0)
+        exchange_row_halos(comm, local, up, down)
+        return (up.copy(), down.copy())
+
+    res = mpi(3, main)
+    up1, down1 = res.results[1]
+    assert np.all(up1 == 0.0)  # bottom row of rank 0
+    assert np.all(down1 == 2.0)  # top row of rank 2
+    up0, down2 = res.results[0][0], res.results[2][1]
+    assert np.all(up0 == -1.0)  # domain edge untouched
+    assert np.all(down2 == -1.0)
