@@ -1,0 +1,116 @@
+"""Harness-speed benchmarks: parallel sweeps, cache replay, scheduler.
+
+Not a paper artifact — these guard the performance subsystem itself:
+
+* serial vs multi-process wall-clock of a convolution sweep (the
+  ``--jobs`` fan-out; the speedup assertion only arms on hosts with
+  enough cores to express it);
+* cold vs warm run-cache wall-clock (a warm replay skips every
+  simulation);
+* engine scheduler step throughput at high rank counts (the ready-heap
+  fast path; each scheduling step should stay O(log ranks)).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.export import scaling_to_json
+from repro.harness.cache import RunCache
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine.catalog import nehalem_cluster
+from repro.simmpi.engine import run_mpi
+from repro.workloads.convolution import ConvolutionConfig
+
+from benchmarks.conftest import save_artifact
+
+
+def _bench_sweep(reps: int = 2) -> ConvolutionSweep:
+    """A mid-size sweep: big enough that fan-out/caching dominates the
+    pool/pickling overhead, small enough for CI."""
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig(height=192, width=288, steps=30),
+        machine=nehalem_cluster(nodes=8),
+        process_counts=(1, 2, 4, 8, 16, 32, 64),
+        reps=reps,
+    )
+    return sweep
+
+
+def test_sweep_parallel_vs_serial_wallclock():
+    sweep = _bench_sweep()
+    t0 = time.perf_counter()
+    serial = run_convolution_sweep(sweep, jobs=1)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_convolution_sweep(sweep, jobs=4)
+    t_parallel = time.perf_counter() - t0
+
+    assert scaling_to_json(parallel) == scaling_to_json(serial)
+    cores = os.cpu_count() or 1
+    lines = [
+        "parallel sweep wall-clock (convolution, 7 scales x 2 reps)",
+        f"  host cores:     {cores}",
+        f"  serial (jobs=1): {t_serial:8.2f} s",
+        f"  jobs=4:          {t_parallel:8.2f} s",
+        f"  speedup:         {t_serial / t_parallel:8.2f} x",
+    ]
+    save_artifact("sweep_parallel", "\n".join(lines))
+    if cores >= 4:
+        # The acceptance bar: >= 2x on a 4-core host.  Below 4 cores the
+        # pool cannot express the speedup, so only record the numbers.
+        assert t_parallel < t_serial / 2
+
+
+def test_sweep_cache_warm_vs_cold_wallclock(tmp_path):
+    sweep = _bench_sweep(reps=1)
+    cache = RunCache(root=tmp_path)
+    t0 = time.perf_counter()
+    cold = run_convolution_sweep(sweep, cache=cache)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_convolution_sweep(sweep, cache=cache)
+    t_warm = time.perf_counter() - t0
+
+    assert scaling_to_json(warm) == scaling_to_json(cold)
+    assert cache.hits == len(sweep.process_counts)
+    lines = [
+        "run-cache replay wall-clock (convolution, 7 scales x 1 rep)",
+        f"  cold (simulate + store): {t_cold:8.2f} s",
+        f"  warm (replay from disk): {t_warm:8.2f} s",
+        f"  warm / cold:             {100 * t_warm / t_cold:8.1f} %",
+    ]
+    save_artifact("sweep_cache", "\n".join(lines))
+    # The acceptance bar: a warm, identical repeat in < 10 % of cold.
+    assert t_warm < 0.10 * t_cold
+
+
+def test_engine_scheduler_step_throughput(benchmark):
+    """Scheduling-step rate at p=128: 20 barrier rounds drive thousands
+    of park/wake/schedule cycles through the ready heap."""
+
+    def main(ctx):
+        for _ in range(20):
+            ctx.comm.barrier()
+
+    benchmark(lambda: run_mpi(128, main, machine=nehalem_cluster(nodes=16)))
+
+
+def test_engine_scheduler_compute_heavy_throughput(benchmark):
+    """Step throughput when ranks mostly compute (heap entries go stale
+    rarely): 64 ranks x 100 compute/sendrecv rounds."""
+
+    def main(ctx):
+        peer = ctx.rank ^ 1
+        for i in range(100):
+            ctx.compute(seconds=1e-6 * (1 + ctx.rank % 3))
+            if ctx.rank < peer:
+                ctx.comm.send(i, dest=peer)
+                ctx.comm.recv(source=peer)
+            else:
+                ctx.comm.recv(source=peer)
+                ctx.comm.send(i, dest=peer)
+
+    benchmark(lambda: run_mpi(64, main, machine=nehalem_cluster(nodes=8)))

@@ -7,11 +7,22 @@ Usage (module form, no console-script assumptions)::
     python -m repro.cli fig5a --reps 2 --steps 60
     python -m repro.cli fig9 --steps 8
     python -m repro.cli fig10 --steps 10
+    python -m repro.cli fig5a fig6 --jobs 4 --cache
+    python -m repro.cli cache stats
+    python -m repro.cli cache clear
 
 Convolution experiments (fig5*, fig6) run the strong-scaling sweep once
 and reuse it across the artifacts requested in a single invocation;
 Lulesh experiments (fig8/9/10) run the corresponding machine grid.
 Outputs are printed and optionally written with ``--out DIR``.
+
+``--jobs N`` fans independent sweep points out over N worker processes
+(0 = all cores; the ``REPRO_JOBS`` environment variable sets the
+default), and ``--cache`` replays previously simulated points from the
+persistent run cache (enabled automatically when ``REPRO_CACHE_DIR`` is
+set) — both produce results bit-identical to a serial, uncached run.
+The ``cache`` subcommand inspects (``stats``) or empties (``clear``)
+that store.
 """
 
 from __future__ import annotations
@@ -59,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory to write <exp>.txt artifacts into")
     parser.add_argument("--quiet", action="store_true",
                         help="print only PASS/FAIL per experiment")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for sweep points "
+                             "(0 = all cores; default: $REPRO_JOBS or serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse the persistent run cache "
+                             "($REPRO_CACHE_DIR or ~/.cache/repro/runs)")
     parser.add_argument("--save-baseline", type=pathlib.Path, default=None,
                         metavar="DIR",
                         help="write <exp>.baseline.json snapshots into DIR")
@@ -99,8 +116,38 @@ def _emit(result, args) -> bool:
     return ok
 
 
+def _cache_main(argv: List[str]) -> int:
+    """The ``cache`` subcommand: inspect or empty the run cache."""
+    from repro.harness.cache import RunCache
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli cache",
+        description="Manage the persistent run cache.",
+    )
+    parser.add_argument("action", choices=("stats", "clear"),
+                        help="report hit/entry counts, or delete every entry")
+    parser.add_argument("--dir", type=pathlib.Path, default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro/runs)")
+    args = parser.parse_args(argv)
+    cache = RunCache(root=args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache clear: removed {removed} entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir:     {stats['dir']}")
+    print(f"entries:       {stats['entries']}")
+    print(f"size:          {stats['bytes']} bytes")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     wanted = list(dict.fromkeys(args.experiments))  # dedupe, keep order
 
@@ -118,6 +165,19 @@ def main(argv: List[str] | None = None) -> int:
 
     ok = True
     progress = None if args.quiet else print
+    from repro.errors import ReproError
+    from repro.harness.parallel import resolve_jobs
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run_cache = None
+    if args.cache:
+        from repro.harness.cache import RunCache
+
+        run_cache = RunCache()
 
     conv_wanted = [w for w in wanted if w in _CONV_EXPERIMENTS]
     if conv_wanted:
@@ -132,7 +192,8 @@ def main(argv: List[str] | None = None) -> int:
             )
         if args.seed is not None:
             object.__setattr__(sweep, "base_seed", args.seed)
-        profile = run_convolution_sweep(sweep, progress=progress)
+        profile = run_convolution_sweep(sweep, progress=progress,
+                                        jobs=jobs, cache=run_cache)
         for exp_id in conv_wanted:
             if exp_id == "fig6":
                 result = E.fig6(profile, fig6_process_counts())
@@ -149,7 +210,8 @@ def main(argv: List[str] | None = None) -> int:
         if args.seed is not None:
             object.__setattr__(sweep, "base_seed", args.seed)
         analysis, drifts = run_lulesh_grid(sweep, progress=progress,
-                                           sides=_PAPER_SIDES)
+                                           sides=_PAPER_SIDES,
+                                           jobs=jobs, cache=run_cache)
         if max(drifts.values()) > 1e-10:
             print("warning: energy conservation drifted", file=sys.stderr)
         for exp_id in hits:

@@ -2,10 +2,14 @@
 
 :mod:`~repro.harness.sweeps` defines the canonical parameter sweeps (the
 scaled-down defaults and the paper-scale variants); :mod:`~repro.harness.
-runner` executes workloads across sweeps into profile containers; and
-:mod:`~repro.harness.experiments` exposes ``fig5a`` … ``fig10`` /
-``table7`` functions that return — and can print — the same rows and
-series the paper's figures and tables report.
+runner` executes workloads across sweeps into profile containers —
+optionally fanning points out over worker processes
+(:mod:`~repro.harness.parallel`) and replaying previously simulated
+points from a persistent on-disk store
+(:mod:`~repro.harness.cache`) — and :mod:`~repro.harness.experiments`
+exposes ``fig5a`` … ``fig10`` / ``table7`` functions that return — and
+can print — the same rows and series the paper's figures and tables
+report.
 """
 
 from repro.harness.sweeps import (
@@ -20,6 +24,15 @@ from repro.harness.sweeps import (
 from repro.harness.runner import (
     run_convolution_sweep,
     run_lulesh_grid,
+)
+from repro.harness.parallel import (
+    map_points,
+    resolve_jobs,
+)
+from repro.harness.cache import (
+    RunCache,
+    run_key,
+    maybe_default_cache,
 )
 from repro.harness.baseline import (
     BaselineDiff,
@@ -50,6 +63,11 @@ __all__ = [
     "fig6_process_counts",
     "run_convolution_sweep",
     "run_lulesh_grid",
+    "map_points",
+    "resolve_jobs",
+    "RunCache",
+    "run_key",
+    "maybe_default_cache",
     "BaselineDiff",
     "save_baseline",
     "compare_to_baseline",

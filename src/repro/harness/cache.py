@@ -1,0 +1,177 @@
+"""Persistent, content-addressed cache of simulated runs.
+
+A sweep point is a pure function of its inputs: the workload
+configuration, the process/thread counts, the seed, the machine model
+and the noise parameters fully determine the resulting
+:class:`~repro.core.profile.SectionProfile` (the engine is a
+deterministic virtual-time simulation).  That makes every run safely
+cacheable: re-running a benchmark suite, regenerating a figure after an
+analysis-code change, or repeating a sweep with more repetitions can
+skip the simulation for every point it has already executed.
+
+Keys are SHA-256 digests of a canonical JSON rendering of the run
+inputs plus a cache schema version (bumped whenever the stored payload
+or the simulation semantics change, invalidating old entries wholesale).
+Payloads are JSON envelopes carrying the exported profile (via
+:mod:`repro.core.export`, which round-trips floats exactly) plus
+whatever side-band values the runner needs (progress line, energy
+drift), so a cache hit is indistinguishable from a fresh run.
+
+The cache directory defaults to ``~/.cache/repro/runs`` and is
+overridden by the ``REPRO_CACHE_DIR`` environment variable.  Runners
+enable the cache automatically when that variable is set; pass an
+explicit :class:`RunCache` (or ``cache=None``) to override.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional
+
+#: Bump to invalidate every previously stored entry (payload layout or
+#: simulation-semantics changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the cache directory (and opting the
+#: runners into caching by default).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/runs``."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "runs"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce run inputs to a stable JSON-serialisable form.
+
+    Dataclasses (configs, machine specs) become sorted field dicts,
+    tuples become lists, dict keys become strings — so logically equal
+    inputs always hash equal, regardless of construction order.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for cache keying")
+
+
+def run_key(**fields: Any) -> str:
+    """SHA-256 key of a run's inputs (schema version included).
+
+    Callers pass every input that influences the simulated result —
+    workload config, p, threads, seed, machine spec, noise parameters.
+    Logically identical inputs map to the same key; any change to any
+    field (or to :data:`CACHE_SCHEMA_VERSION`) yields a different key.
+    """
+    payload = _canonical(dict(fields, _schema=CACHE_SCHEMA_VERSION))
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """On-disk store of run payloads, one JSON file per key.
+
+    Instances count their own traffic (``hits``/``misses``/``stores``)
+    so callers can report effectiveness; ``stats()`` adds on-disk entry
+    and byte totals.
+    """
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """File backing ``key`` (two-level fan-out keeps dirs small)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None (counted as a miss).
+
+        A corrupt entry (truncated write, concurrent clear) is treated
+        as a miss and removed rather than poisoning the run.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic rename, last wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, separators=(",", ":")))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus on-disk entry/byte totals."""
+        entries = 0
+        nbytes = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                entries += 1
+                try:
+                    nbytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "dir": str(self.root),
+            "entries": entries,
+            "bytes": nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+def maybe_default_cache() -> Optional[RunCache]:
+    """A :class:`RunCache` iff ``REPRO_CACHE_DIR`` is set, else None.
+
+    This is the runners' default: caching is opt-in via the environment
+    so plain test runs never touch the user's cache directory.
+    """
+    if os.environ.get(CACHE_DIR_ENV, "").strip():
+        return RunCache()
+    return None

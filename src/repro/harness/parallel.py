@@ -1,0 +1,80 @@
+"""Parallel sweep execution across worker processes.
+
+Every sweep point is an independent, deterministically seeded
+simulation (repetition ``r`` at scale ``x`` derives its seed from the
+sweep's base seed alone — see :mod:`repro.harness.runner`), so points
+can execute on any number of worker processes and still merge into a
+result bit-identical to the serial run: the merge happens in canonical
+point order, and each point's output depends only on its own inputs.
+
+:func:`map_points` is the primitive the runners build on.  It yields
+results *in submission order* while later points keep executing in the
+background (``ProcessPoolExecutor.map`` buffers out-of-order
+completions), which is what keeps ``progress`` callback streams
+identical between serial and parallel runs.
+
+The worker count resolves, in priority order: an explicit ``jobs``
+argument → the ``REPRO_JOBS`` environment variable → 1 (serial).  A
+value of 0 (or any negative) means "all cores".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: ``jobs`` → ``$REPRO_JOBS`` → 1.
+
+    ``jobs <= 0`` (from either source) selects every available core.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ReproError(
+                f"{JOBS_ENV} must be an integer, got {env!r}"
+            ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def map_points(
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    jobs: int,
+) -> Iterator[_R]:
+    """Yield ``fn(task)`` for every task, in task order.
+
+    With ``jobs <= 1`` (or fewer than two tasks) this runs inline — the
+    serial and parallel paths share the same per-point function, which
+    is what makes their outputs trivially identical.  Otherwise tasks
+    fan out over a process pool; results stream back lazily but always
+    in submission order, so a consumer can emit ordered progress while
+    later points are still running.
+
+    ``fn`` and every task must be picklable (module-level function,
+    dataclass arguments).  A worker exception propagates to the caller
+    on the failing task's turn, mirroring where the serial run would
+    have raised.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield fn(task)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        yield from pool.map(fn, tasks)

@@ -1,57 +1,201 @@
 """Sweep execution: workloads → profile containers.
 
-Runs are deterministic per (sweep, seed): repetition ``r`` at scale ``x``
-uses seed ``base_seed + 1000 * x + r``, so any single point of a sweep
-can be re-executed in isolation and bit-compared.
+**Seeding contract.**  Runs are deterministic per (sweep, seed):
+repetition ``r`` at process count ``p`` uses seed
+``base_seed + 1000 * p + r`` (convolution) or
+``base_seed + 1000 * (p * 1000 + t) + r`` (the Lulesh p×t grid), so any
+single point of a sweep can be re-executed in isolation and
+bit-compared.  The schemes keep points distinct only while ``reps``
+stays below the 1000-seed stride and scales do not repeat; every runner
+therefore materialises the full seed set up front and raises
+``ValueError`` on a collision instead of silently correlating two
+points' noise streams.
+
+**Execution model.**  Each point is simulated by a module-level worker
+function taking a picklable task tuple, used identically by the serial
+path and by :func:`repro.harness.parallel.map_points` worker processes
+— so a parallel run (``jobs > 1`` or ``$REPRO_JOBS``) merges, in
+canonical ``(scale, rep)`` order, into a result bit-identical to the
+serial one, with the same ordered ``progress`` line stream.  When a
+:class:`~repro.harness.cache.RunCache` is active (passed explicitly, or
+by default whenever ``$REPRO_CACHE_DIR`` is set), previously executed
+points are replayed from disk instead of re-simulated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.analysis import HybridAnalysis
+from repro.core.export import profile_from_dict, profile_to_dict
 from repro.core.profile import ScalingProfile, SectionProfile
+from repro.harness.cache import RunCache, maybe_default_cache, run_key
+from repro.harness.parallel import map_points, resolve_jobs
 from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
 from repro.workloads.convolution import ConvolutionBenchmark
-from repro.workloads.lulesh import LuleshBenchmark
+from repro.workloads.lulesh import LuleshBenchmark, LuleshConfig
+
+
+def _check_seed_collisions(points) -> None:
+    """Raise ``ValueError`` if two sweep points derived the same seed.
+
+    ``points`` yields ``(label, seed)`` pairs; the label names the
+    colliding points in the error so the sweep author can fix the
+    base-seed / reps / scale combination.
+    """
+    seen: Dict[int, str] = {}
+    for label, seed in points:
+        other = seen.get(seed)
+        if other is not None:
+            raise ValueError(
+                f"seed collision: {label} and {other} both derived seed "
+                f"{seed}; their noise streams would be identical. Keep "
+                f"reps < 1000 and scales distinct, or change base_seed."
+            )
+        seen[seed] = label
+
+
+# ---------------------------------------------------------------------------
+# Convolution sweep
+# ---------------------------------------------------------------------------
+
+def _run_conv_point(task) -> Tuple[SectionProfile, str]:
+    """Execute one (p, rep) convolution point; the unit of parallelism."""
+    sweep, p, r, seed = task
+    bench = ConvolutionBenchmark(sweep.config_for(p))
+    res = bench.run(
+        p,
+        machine=sweep.machine,
+        ranks_per_node=sweep.ranks_per_node,
+        seed=seed,
+        compute_jitter=sweep.compute_jitter,
+        noise_floor=sweep.noise_floor,
+    )
+    msg = (
+        f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
+        f"msgs={res.network['messages']}"
+    )
+    return SectionProfile.from_run(res, p=p), msg
+
+
+def _conv_point_key(sweep: ConvolutionSweep, p: int, r: int, seed: int) -> str:
+    return run_key(
+        workload="convolution",
+        config=sweep.config_for(p),
+        p=p,
+        rep=r,
+        seed=seed,
+        machine=sweep.machine,
+        ranks_per_node=sweep.ranks_per_node,
+        compute_jitter=sweep.compute_jitter,
+        noise_floor=sweep.noise_floor,
+    )
 
 
 def run_convolution_sweep(
     sweep: ConvolutionSweep,
     progress: Optional[Callable[[str], None]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
 ) -> ScalingProfile:
     """Execute the convolution benchmark across a process-count sweep.
 
     Returns a :class:`~repro.core.profile.ScalingProfile` keyed by
     process count, with ``reps`` seeded repetitions per point (the
-    paper averaged twenty).
+    paper averaged twenty).  ``jobs`` fans points out over worker
+    processes (default: ``$REPRO_JOBS`` or serial; 0 = all cores);
+    ``cache`` replays previously executed points from disk (default: on
+    iff ``$REPRO_CACHE_DIR`` is set).  Both leave the result — and the
+    ``progress`` line sequence — bit-identical to a serial, uncached
+    run.
     """
+    points = [
+        (p, r, sweep.base_seed + 1000 * p + r)
+        for p in sweep.process_counts
+        for r in range(sweep.reps)
+    ]
+    _check_seed_collisions(
+        (f"convolution point (p={p}, rep={r})", seed) for p, r, seed in points
+    )
+    if cache is None:
+        cache = maybe_default_cache()
+    hits: Dict[int, dict] = {}
+    keys: List[Optional[str]] = [None] * len(points)
+    if cache is not None:
+        for i, (p, r, seed) in enumerate(points):
+            keys[i] = _conv_point_key(sweep, p, r, seed)
+            payload = cache.get(keys[i])
+            if payload is not None:
+                hits[i] = payload
+    fresh = map_points(
+        _run_conv_point,
+        [(sweep, p, r, seed) for i, (p, r, seed) in enumerate(points) if i not in hits],
+        resolve_jobs(jobs),
+    )
     profile = ScalingProfile(scale_name="p")
-    for p in sweep.process_counts:
-        bench = ConvolutionBenchmark(sweep.config_for(p))
-        for r in range(sweep.reps):
-            seed = sweep.base_seed + 1000 * p + r
-            res = bench.run(
-                p,
-                machine=sweep.machine,
-                ranks_per_node=sweep.ranks_per_node,
-                seed=seed,
-                compute_jitter=sweep.compute_jitter,
-                noise_floor=sweep.noise_floor,
-            )
-            profile.add(p, SectionProfile.from_run(res, p=p))
-            if progress is not None:
-                progress(
-                    f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
-                    f"msgs={res.network['messages']}"
-                )
+    for i, (p, r, seed) in enumerate(points):
+        if i in hits:
+            prof = profile_from_dict(hits[i]["profile"])
+            msg = hits[i]["msg"]
+        else:
+            prof, msg = next(fresh)
+            if cache is not None:
+                cache.put(keys[i], {"profile": profile_to_dict(prof), "msg": msg})
+        profile.add(p, prof)
+        if progress is not None:
+            progress(msg)
     return profile
+
+
+# ---------------------------------------------------------------------------
+# Lulesh MPI×OpenMP grid
+# ---------------------------------------------------------------------------
+
+def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
+    """Execute one (p, threads, rep) Lulesh point."""
+    sweep, cfg, p, t, r, seed = task
+    bench = LuleshBenchmark(cfg)
+    run, phys = bench.run(
+        p,
+        nthreads=t,
+        machine=sweep.machine,
+        seed=seed,
+        compute_jitter=sweep.compute_jitter,
+    )
+    msg = (
+        f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "
+        f"E-drift={phys.energy_drift:.2e}"
+    )
+    return (
+        SectionProfile.from_run(run, p=p, threads=t),
+        phys.energy_drift,
+        msg,
+    )
+
+
+def _lulesh_point_key(
+    sweep: LuleshGridSweep, cfg: LuleshConfig, p: int, t: int, r: int, seed: int
+) -> str:
+    return run_key(
+        workload="lulesh",
+        config=cfg,
+        p=p,
+        threads=t,
+        rep=r,
+        seed=seed,
+        machine=sweep.machine,
+        compute_jitter=sweep.compute_jitter,
+    )
 
 
 def run_lulesh_grid(
     sweep: LuleshGridSweep,
     progress: Optional[Callable[[str], None]] = None,
     sides: Optional[Dict[int, int]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
 ) -> Tuple[HybridAnalysis, Dict[Tuple[int, int], float]]:
     """Execute the Lulesh proxy over an MPI×OpenMP grid.
 
@@ -59,14 +203,15 @@ def run_lulesh_grid(
     count (to hold total elements constant à la Figure 7); when omitted,
     the sweep's single config side is scaled by ``cbrt(p)`` downward
     using the constant-total rule where exact, else kept as-is.
+    ``jobs`` and ``cache`` behave exactly as in
+    :func:`run_convolution_sweep`.
 
     Returns the populated :class:`~repro.core.analysis.HybridAnalysis`
     plus a dict of (p, threads) → mean energy drift (a correctness
     telltale carried along with every performance number).
     """
-    analysis = HybridAnalysis()
-    drifts: Dict[Tuple[int, int], float] = {}
     base_total = sweep.config.s**3  # elements at p=1
+    points: List[Tuple[LuleshConfig, int, int, int, int]] = []
     for p in sorted(sweep.grid):
         if sides and p in sides:
             s = sides[p]
@@ -75,24 +220,51 @@ def run_lulesh_grid(
             if p * s**3 != base_total:
                 s = sweep.config.s
         cfg = sweep.config.with_side(s)
-        bench = LuleshBenchmark(cfg)
         for t in sweep.grid[p]:
-            drift_acc = 0.0
             for r in range(sweep.reps):
                 seed = sweep.base_seed + 1000 * (p * 1000 + t) + r
-                run, phys = bench.run(
-                    p,
-                    nthreads=t,
-                    machine=sweep.machine,
-                    seed=seed,
-                    compute_jitter=sweep.compute_jitter,
-                )
-                analysis.add(p, t, SectionProfile.from_run(run, p=p, threads=t))
-                drift_acc += phys.energy_drift
-                if progress is not None:
-                    progress(
-                        f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "
-                        f"E-drift={phys.energy_drift:.2e}"
-                    )
-            drifts[(p, t)] = drift_acc / sweep.reps
+                points.append((cfg, p, t, r, seed))
+    _check_seed_collisions(
+        (f"lulesh point (p={p}, t={t}, rep={r})", seed)
+        for _, p, t, r, seed in points
+    )
+    if cache is None:
+        cache = maybe_default_cache()
+    hits: Dict[int, dict] = {}
+    keys: List[Optional[str]] = [None] * len(points)
+    if cache is not None:
+        for i, (cfg, p, t, r, seed) in enumerate(points):
+            keys[i] = _lulesh_point_key(sweep, cfg, p, t, r, seed)
+            payload = cache.get(keys[i])
+            if payload is not None:
+                hits[i] = payload
+    fresh = map_points(
+        _run_lulesh_point,
+        [
+            (sweep, cfg, p, t, r, seed)
+            for i, (cfg, p, t, r, seed) in enumerate(points)
+            if i not in hits
+        ],
+        resolve_jobs(jobs),
+    )
+    analysis = HybridAnalysis()
+    drift_acc: Dict[Tuple[int, int], float] = {}
+    for i, (cfg, p, t, r, seed) in enumerate(points):
+        if i in hits:
+            prof = profile_from_dict(hits[i]["profile"])
+            drift = hits[i]["drift"]
+            msg = hits[i]["msg"]
+        else:
+            prof, drift, msg = next(fresh)
+            if cache is not None:
+                cache.put(keys[i], {
+                    "profile": profile_to_dict(prof),
+                    "drift": drift,
+                    "msg": msg,
+                })
+        analysis.add(p, t, prof)
+        drift_acc[(p, t)] = drift_acc.get((p, t), 0.0) + drift
+        if progress is not None:
+            progress(msg)
+    drifts = {pt: acc / sweep.reps for pt, acc in drift_acc.items()}
     return analysis, drifts

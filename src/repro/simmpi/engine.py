@@ -20,9 +20,10 @@ the simulated analogue of a hung ``mpiexec``.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DeadlockError, EngineStateError, RankFailedError
 from repro.machine.catalog import laptop
@@ -114,11 +115,13 @@ class _RankThread(threading.Thread):
             self.result = self.fn(self.ctx, *self.args, **self.kwargs)
             self.engine._sections.rank_end(self.ctx)
             self.state = DONE
+            self.engine._done_count += 1
         except _SimAbort:
             self.state = ABORTED
         except BaseException as exc:  # noqa: BLE001 - reported to the caller
             self.exc = exc
             self.state = FAILED
+            self.engine._failed.append(self)
         finally:
             self.engine._back.set()
 
@@ -196,6 +199,17 @@ class Engine:
         self._back = threading.Event()
         self._aborting = False
         self._started = False
+        # Scheduler fast path: a min-heap of (clock, rank) entries for
+        # READY ranks plus incremental completion bookkeeping, so each
+        # scheduling step costs O(log ranks) instead of rescanning every
+        # thread.  Entries may go stale (a rank re-blocks or finishes
+        # while an old entry is still queued); staleness is resolved
+        # lazily at pop time.  No locking is needed: exactly one rank
+        # thread or the engine thread mutates this state at any moment
+        # (the baton guarantees mutual exclusion).
+        self._ready: List[Tuple[float, int]] = []
+        self._done_count = 0
+        self._failed: List[_RankThread] = []
 
     # -- scheduling -------------------------------------------------------------
 
@@ -221,6 +235,7 @@ class Engine:
         for t in self._threads:
             t.ctx = RankContext(self, t)
             t.state = READY
+            heapq.heappush(self._ready, (t.ctx.now, t.rank))
             t.start()
 
         try:
@@ -244,17 +259,35 @@ class Engine:
         )
 
     def _loop(self) -> None:
+        # Hot loop: one iteration per scheduling step.  The ready heap
+        # yields the READY rank with the smallest (clock, rank) — the
+        # same order the old linear `min()` scan produced — while DONE /
+        # FAILED detection rides on counters updated at the transitions
+        # themselves, so nothing here is O(ranks).
+        heap = self._ready
+        threads = self._threads
         while True:
-            runnable = [t for t in self._threads if t.state == READY]
-            if not runnable:
-                if all(t.state == DONE for t in self._threads):
+            if self._failed:
+                t = self._failed[0]
+                raise RankFailedError(t.rank, t.exc) from t.exc
+            nxt = None
+            while heap:
+                clock, rank = heapq.heappop(heap)
+                t = threads[rank]
+                if t.state != READY:
+                    continue  # stale entry from an earlier READY period
+                if t.ctx.now != clock:
+                    # Clock moved since the entry was queued (clocks are
+                    # monotonic, so the entry was a lower bound): requeue
+                    # at the real clock and keep looking.
+                    heapq.heappush(heap, (t.ctx.now, rank))
+                    continue
+                nxt = t
+                break
+            if nxt is None:
+                if self._done_count == self.n_ranks:
                     return
-                failed = [t for t in self._threads if t.state == FAILED]
-                if failed:
-                    t = failed[0]
-                    raise RankFailedError(t.rank, t.exc) from t.exc
                 self._raise_deadlock()
-            nxt = min(runnable, key=lambda t: (t.ctx.now, t.rank))
             if (
                 self.max_virtual_time is not None
                 and nxt.ctx.now > self.max_virtual_time
@@ -268,10 +301,6 @@ class Engine:
             nxt.go.set()
             self._back.wait()
             self._back.clear()
-            failed = [t for t in self._threads if t.state == FAILED]
-            if failed:
-                t = failed[0]
-                raise RankFailedError(t.rank, t.exc) from t.exc
 
     def _raise_deadlock(self) -> None:
         lines = ["simulated MPI deadlock — every rank is blocked:"]
@@ -321,6 +350,7 @@ class Engine:
         req.waiter = None
         if t.state == BLOCKED:
             t.state = READY
+            heapq.heappush(self._ready, (t.ctx.now, t.rank))
 
     def thread_of(self, rank: int) -> _RankThread:
         """The rank thread object for ``rank``."""

@@ -1,0 +1,182 @@
+"""The persistent run cache: keying, storage, and runner replay."""
+
+import json
+
+import pytest
+
+from repro.core.export import scaling_to_json
+from repro.harness.cache import (
+    CACHE_DIR_ENV,
+    RunCache,
+    default_cache_dir,
+    maybe_default_cache,
+    run_key,
+)
+from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
+from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
+from repro.machine.catalog import knl_node, nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+from repro.workloads.lulesh import LuleshConfig
+
+
+def _sweep(**overrides):
+    kwargs = dict(
+        config=ConvolutionConfig.tiny(steps=3),
+        machine=nehalem_cluster(nodes=1),
+        process_counts=(1, 2),
+        reps=2,
+    )
+    kwargs.update(overrides)
+    return ConvolutionSweep(**kwargs)
+
+
+# -- keying -----------------------------------------------------------------
+
+
+def test_same_inputs_same_key():
+    cfg = ConvolutionConfig.tiny(steps=3)
+    machine = nehalem_cluster(nodes=1)
+    a = run_key(workload="convolution", config=cfg, p=2, seed=7, machine=machine)
+    b = run_key(workload="convolution", config=cfg, p=2, seed=7, machine=machine)
+    assert a == b
+
+
+def test_config_change_changes_key():
+    machine = nehalem_cluster(nodes=1)
+    a = run_key(config=ConvolutionConfig.tiny(steps=3), p=2, seed=7, machine=machine)
+    b = run_key(config=ConvolutionConfig.tiny(steps=4), p=2, seed=7, machine=machine)
+    assert a != b
+
+
+def test_seed_change_changes_key():
+    cfg = ConvolutionConfig.tiny(steps=3)
+    a = run_key(config=cfg, p=2, seed=7)
+    b = run_key(config=cfg, p=2, seed=8)
+    assert a != b
+
+
+def test_machine_and_noise_change_key():
+    cfg = ConvolutionConfig.tiny(steps=3)
+    base = dict(config=cfg, p=2, seed=7, noise_floor=0.0)
+    assert run_key(machine=nehalem_cluster(nodes=1), **base) != run_key(
+        machine=nehalem_cluster(nodes=2), **base
+    )
+    assert run_key(**base) != run_key(**dict(base, noise_floor=1e-4))
+
+
+def test_key_field_names_matter():
+    assert run_key(p=2, threads=1) != run_key(p=1, threads=2)
+
+
+def test_unkeyable_input_rejected():
+    with pytest.raises(TypeError):
+        run_key(config=object())
+
+
+# -- store ------------------------------------------------------------------
+
+
+def test_put_get_roundtrip_and_counters(tmp_path):
+    cache = RunCache(root=tmp_path)
+    key = run_key(p=1, seed=0)
+    assert cache.get(key) is None
+    cache.put(key, {"x": 1.5})
+    assert cache.get(key) == {"x": 1.5}
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = RunCache(root=tmp_path)
+    key = run_key(p=1, seed=0)
+    cache.put(key, {"x": 1})
+    cache.path_for(key).write_text("{not json")
+    assert cache.get(key) is None
+    assert not cache.path_for(key).exists()
+
+
+def test_clear_and_stats(tmp_path):
+    cache = RunCache(root=tmp_path)
+    for seed in range(3):
+        cache.put(run_key(p=1, seed=seed), {"seed": seed})
+    stats = cache.stats()
+    assert stats["entries"] == 3 and stats["bytes"] > 0
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+
+
+def test_default_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    assert default_cache_dir() == tmp_path
+    assert maybe_default_cache().root == tmp_path
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert maybe_default_cache() is None
+
+
+# -- runner replay ----------------------------------------------------------
+
+
+def test_warm_cache_replays_identical_profile(tmp_path):
+    sweep = _sweep()
+    cache = RunCache(root=tmp_path)
+    uncached = run_convolution_sweep(sweep)
+    cold = run_convolution_sweep(sweep, cache=cache)
+    assert cache.hits == 0 and cache.stores == 4
+    warm = run_convolution_sweep(sweep, cache=cache)
+    assert cache.hits == 4 and cache.stores == 4
+    assert scaling_to_json(cold) == scaling_to_json(uncached)
+    assert scaling_to_json(warm) == scaling_to_json(uncached)
+
+
+def test_warm_cache_progress_lines_match(tmp_path):
+    sweep = _sweep()
+    cache = RunCache(root=tmp_path)
+    cold_lines, warm_lines = [], []
+    run_convolution_sweep(sweep, progress=cold_lines.append, cache=cache)
+    run_convolution_sweep(sweep, progress=warm_lines.append, cache=cache)
+    assert warm_lines == cold_lines
+
+
+def test_cache_distinguishes_sweep_variants(tmp_path):
+    cache = RunCache(root=tmp_path)
+    run_convolution_sweep(_sweep(), cache=cache)
+    # A different seed re-simulates every point instead of hitting.
+    run_convolution_sweep(_sweep(base_seed=999), cache=cache)
+    assert cache.hits == 0 and cache.stores == 8
+
+
+def test_growing_reps_hits_existing_points(tmp_path):
+    cache = RunCache(root=tmp_path)
+    run_convolution_sweep(_sweep(reps=1), cache=cache)
+    assert cache.stores == 2
+    run_convolution_sweep(_sweep(reps=2), cache=cache)
+    # The first repetition of each scale replays; only rep 1 simulates.
+    assert cache.hits == 2 and cache.stores == 4
+
+
+def test_lulesh_warm_cache_replay(tmp_path):
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=4, steps=2),
+        machine=knl_node(jitter=0.0),
+        grid={1: (1, 2)},
+        reps=1,
+    )
+    cache = RunCache(root=tmp_path)
+    a_cold, d_cold = run_lulesh_grid(sweep, cache=cache)
+    a_warm, d_warm = run_lulesh_grid(sweep, cache=cache)
+    assert cache.hits == 2
+    assert d_warm == d_cold
+    for p in a_cold.process_counts():
+        for t in a_cold.thread_counts(p):
+            assert [r.walltime for r in a_warm.runs(p, t)] == [
+                r.walltime for r in a_cold.runs(p, t)
+            ]
+
+
+def test_runner_uses_env_cache_by_default(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    sweep = _sweep(process_counts=(1,), reps=1)
+    run_convolution_sweep(sweep)
+    stored = list(tmp_path.glob("*/*.json"))
+    assert len(stored) == 1
+    payload = json.loads(stored[0].read_text())
+    assert "profile" in payload and "msg" in payload

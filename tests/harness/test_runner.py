@@ -45,6 +45,30 @@ def test_convolution_sweep_seeds_distinct_per_rep(conv_profile):
     assert len(set(seeds)) == len(seeds)
 
 
+def test_convolution_seed_collision_raises():
+    # Repetitions beyond the 1000-seed stride walk p=1's seeds into the
+    # p=2 block: base + 1000*1 + 1000 == base + 1000*2 + 0.
+    sweep = ConvolutionSweep(
+        config=ConvolutionConfig.tiny(steps=2),
+        machine=nehalem_cluster(nodes=1, jitter=0.0),
+        process_counts=(1, 2),
+        reps=1001,
+    )
+    with pytest.raises(ValueError, match="seed collision"):
+        run_convolution_sweep(sweep)
+
+
+def test_lulesh_seed_collision_raises():
+    sweep = LuleshGridSweep(
+        config=LuleshConfig(s=4, steps=2),
+        machine=knl_node(jitter=0.0),
+        grid={1: (1, 2)},
+        reps=1001,
+    )
+    with pytest.raises(ValueError, match="seed collision"):
+        run_lulesh_grid(sweep)
+
+
 def test_lulesh_grid_runner():
     sweep = LuleshGridSweep(
         config=LuleshConfig(s=8, steps=2),

@@ -1,0 +1,58 @@
+"""End-to-end determinism of the parallel/cached execution paths.
+
+The tentpole guarantee of the performance subsystem: however a sweep is
+executed — serially, over 2 or 4 worker processes, or replayed from the
+persistent run cache — the exported JSON of the resulting profile
+container is byte-identical, and downstream analyses (speedup series,
+section breakdowns) therefore agree exactly.
+"""
+
+import pytest
+
+from repro.core.export import scaling_to_json
+from repro.harness.cache import RunCache
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine.catalog import nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # Noisy configuration on purpose: jitter, OS-noise floor and network
+    # spikes all draw from seeded RNG streams, which is exactly what
+    # must not diverge across execution strategies.
+    return ConvolutionSweep(
+        config=ConvolutionConfig(height=48, width=64, steps=4),
+        machine=nehalem_cluster(nodes=2),
+        process_counts=(1, 2, 4, 8),
+        reps=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_json(sweep):
+    return scaling_to_json(run_convolution_sweep(sweep, jobs=1))
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_parallel_export_byte_identical(sweep, serial_json, jobs):
+    profile = run_convolution_sweep(sweep, jobs=jobs)
+    assert scaling_to_json(profile) == serial_json
+
+
+def test_cache_replay_byte_identical(sweep, serial_json, tmp_path):
+    cache = RunCache(root=tmp_path)
+    cold = run_convolution_sweep(sweep, cache=cache, jobs=2)
+    warm = run_convolution_sweep(sweep, cache=cache)
+    assert cache.hits == len(sweep.process_counts) * sweep.reps
+    assert scaling_to_json(cold) == serial_json
+    assert scaling_to_json(warm) == serial_json
+
+
+def test_speedup_series_agrees_across_paths(sweep, serial_json, tmp_path):
+    from repro.core.export import scaling_from_json
+
+    parallel = run_convolution_sweep(sweep, jobs=2)
+    reference = scaling_from_json(serial_json)
+    assert parallel.speedup_series() == reference.speedup_series()

@@ -200,3 +200,68 @@ def test_unmatched_send_at_finalize_is_error():
 def test_many_ranks_complete():
     res = mpi(128, lambda ctx: ctx.comm.allreduce(1), machine=nehalem_cluster(nodes=16))
     assert all(r == 128 for r in res.results)
+
+
+# -- ready-heap scheduler fast path ----------------------------------------
+
+
+def test_scheduler_ties_broken_by_rank_order():
+    """Equal clocks (no compute yet) must schedule in rank order: the
+    canonical message-matching order depends on it."""
+    order = []
+
+    def main(ctx):
+        order.append(ctx.rank)
+        ctx.comm.barrier()
+
+    mpi(8, main)
+    assert order[:8] == list(range(8))
+
+
+def test_scheduler_picks_smallest_clock_after_wake():
+    """A woken rank re-enters scheduling at its parked clock, competing
+    against ranks that advanced meanwhile."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.compute(seconds=1.0)
+            ctx.comm.send("late", dest=1)
+            return ctx.now
+        got = ctx.comm.recv(source=0)  # parks at t≈0, wakes ≥ 1.0
+        assert got == "late"
+        return ctx.now
+
+    res = mpi(2, main)
+    assert res.results[1] >= 1.0
+
+
+def test_scheduler_survives_repeated_block_wake_cycles():
+    """Many park/wake cycles per rank leave stale heap entries behind;
+    lazy invalidation must skip them all and still finish."""
+
+    def main(ctx):
+        peer = 1 - ctx.rank
+        for i in range(50):
+            if ctx.rank == 0:
+                ctx.comm.send(i, dest=peer)
+                assert ctx.comm.recv(source=peer) == i
+            else:
+                assert ctx.comm.recv(source=peer) == i
+                ctx.comm.send(i, dest=peer)
+        return ctx.now
+
+    res = mpi(2, main)
+    assert res.walltime > 0
+
+
+def test_scheduler_counts_completions_with_unequal_lifetimes():
+    """Ranks finishing at very different times must all be accounted for
+    by the DONE counter (no premature return, no hang)."""
+
+    def main(ctx):
+        ctx.compute(seconds=float(ctx.rank))
+        return ctx.rank
+
+    res = mpi(6, main)
+    assert res.results == list(range(6))
+    assert res.walltime == pytest.approx(5.0)

@@ -65,3 +65,32 @@ def test_baseline_save_and_compare(tmp_path, capsys):
 def test_baseline_missing_fails(tmp_path, capsys):
     assert main(["table7", "--quiet", "--baseline", str(tmp_path)]) == 1
     assert "no baseline" in capsys.readouterr().err
+
+
+def test_parser_jobs_and_cache_defaults():
+    args = build_parser().parse_args(["fig5a"])
+    assert args.jobs is None and args.cache is False
+    args = build_parser().parse_args(["fig5a", "--jobs", "4", "--cache"])
+    assert args.jobs == 4 and args.cache
+
+
+def test_cache_stats_subcommand(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out and "entries:       0" in out
+
+
+def test_cache_clear_subcommand(tmp_path, capsys):
+    from repro.harness.cache import RunCache, run_key
+
+    cache = RunCache(root=tmp_path)
+    cache.put(run_key(p=1, seed=0), {"x": 1})
+    assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    assert cache.stats()["entries"] == 0
+
+
+def test_cache_subcommand_rejects_unknown_action():
+    with pytest.raises(SystemExit):
+        main(["cache", "shrink"])
