@@ -23,6 +23,17 @@ persistent run cache (enabled automatically when ``REPRO_CACHE_DIR`` is
 set) — both produce results bit-identical to a serial, uncached run.
 The ``cache`` subcommand inspects (``stats``) or empties (``clear``)
 that store.
+
+Robustness controls: ``--faults plan.json`` injects a declarative
+:class:`~repro.faults.FaultPlan` into every sweep point; ``--on-error
+skip`` lets a sweep survive failing points (reported in a failure table
+at the end, with ``--retries N`` re-attempts per point); ``--timeout
+SECONDS`` arms the engine's per-point wall-clock watchdog.
+
+Exit codes: ``0`` success, ``1`` usage errors (unknown experiment, bad
+``--jobs``, unreadable fault plan, missing baseline file), ``2`` run
+failures (an experiment check failed, a baseline regressed, or sweep
+points failed under ``--on-error skip``).
 """
 
 from __future__ import annotations
@@ -47,6 +58,11 @@ _STANDALONE = ("table7",)
 
 #: Figure 7 sides holding the paper's element count fixed.
 _PAPER_SIDES = {1: 48, 8: 24, 27: 16, 64: 12}
+
+# Exit codes: usage errors and run failures are distinguishable in CI.
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_RUN_FAILURE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,10 +99,33 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="compare results against snapshots in DIR; "
                              "regressions fail the run")
+    parser.add_argument("--faults", type=pathlib.Path, default=None,
+                        metavar="PLAN.json",
+                        help="inject the JSON fault plan into every sweep "
+                             "point (stragglers, noise bursts, degraded "
+                             "links, hangs, crashes)")
+    parser.add_argument("--on-error", choices=("raise", "skip"),
+                        default="raise", dest="on_error",
+                        help="sweep-point failure policy: abort on the "
+                             "first failure (raise) or skip failed points "
+                             "and report them (skip)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per failing sweep point")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point wall-clock watchdog: abort a point "
+                             "whose simulation stops progressing in real "
+                             "time")
     return parser
 
 
-def _emit(result, args) -> bool:
+def _emit(result, args) -> tuple:
+    """Print/compare one experiment; returns ``(run_ok, usage_ok)``.
+
+    ``run_ok`` is False on a failed check or a baseline regression;
+    ``usage_ok`` is False when the requested baseline file is missing
+    (a setup problem, reported as a usage error).
+    """
     from repro.harness.baseline import compare_to_baseline, save_baseline
 
     text = result.render()
@@ -99,6 +138,7 @@ def _emit(result, args) -> bool:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / f"{result.exp_id}.txt").write_text(text + "\n")
     ok = result.passed
+    usage_ok = True
     if args.save_baseline is not None:
         args.save_baseline.mkdir(parents=True, exist_ok=True)
         path = args.save_baseline / f"{result.exp_id}.baseline.json"
@@ -108,12 +148,20 @@ def _emit(result, args) -> bool:
         path = args.baseline / f"{result.exp_id}.baseline.json"
         if not path.exists():
             print(f"{result.exp_id}: no baseline at {path}", file=sys.stderr)
-            ok = False
+            usage_ok = False
         else:
             diff = compare_to_baseline(result, path.read_text())
             print(diff.render())
             ok = ok and diff.ok
-    return ok
+    return ok, usage_ok
+
+
+def _report_sweep_failures(failures, label: str) -> bool:
+    """Print a sweep's failure table; returns True when it was clean."""
+    if not failures:
+        return True
+    print(f"{label} sweep: {failures.summary()}", file=sys.stderr)
+    return False
 
 
 def _cache_main(argv: List[str]) -> int:
@@ -161,23 +209,48 @@ def main(argv: List[str] | None = None) -> int:
     unknown = [w for w in wanted if w not in E.ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; try 'list'", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     ok = True
+    usage_ok = True
     progress = None if args.quiet else print
     from repro.errors import ReproError
+    from repro.faults.plan import FaultPlan, FaultPlanError
     from repro.harness.parallel import resolve_jobs
 
     try:
         jobs = resolve_jobs(args.jobs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"error: --timeout must be positive, got {args.timeout}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    fault_plan = None
+    if args.faults is not None:
+        try:
+            fault_plan = FaultPlan.load(args.faults)
+        except FaultPlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     run_cache = None
     if args.cache:
         from repro.harness.cache import RunCache
 
         run_cache = RunCache()
+
+    def _configure(sweep):
+        """Apply the robustness flags to one frozen sweep definition."""
+        if fault_plan is not None:
+            object.__setattr__(sweep, "faults", fault_plan)
+        if args.timeout is not None:
+            object.__setattr__(sweep, "wall_timeout", args.timeout)
+        return sweep
 
     conv_wanted = [w for w in wanted if w in _CONV_EXPERIMENTS]
     if conv_wanted:
@@ -192,14 +265,20 @@ def main(argv: List[str] | None = None) -> int:
             )
         if args.seed is not None:
             object.__setattr__(sweep, "base_seed", args.seed)
+        _configure(sweep)
         profile = run_convolution_sweep(sweep, progress=progress,
-                                        jobs=jobs, cache=run_cache)
+                                        jobs=jobs, cache=run_cache,
+                                        on_error=args.on_error,
+                                        retries=args.retries)
+        ok &= _report_sweep_failures(profile.failures, "convolution")
         for exp_id in conv_wanted:
             if exp_id == "fig6":
                 result = E.fig6(profile, fig6_process_counts())
             else:
                 result = E.ALL_EXPERIMENTS[exp_id](profile)
-            ok &= _emit(result, args)
+            exp_ok, exp_usage_ok = _emit(result, args)
+            ok &= exp_ok
+            usage_ok &= exp_usage_ok
 
     for machine, exp_ids in (("knl", _KNL_EXPERIMENTS), ("broadwell", _BDW_EXPERIMENTS)):
         hits = [w for w in wanted if w in exp_ids]
@@ -209,18 +288,28 @@ def main(argv: List[str] | None = None) -> int:
         object.__setattr__(sweep, "reps", max(1, args.reps // 2))
         if args.seed is not None:
             object.__setattr__(sweep, "base_seed", args.seed)
+        _configure(sweep)
         analysis, drifts = run_lulesh_grid(sweep, progress=progress,
                                            sides=_PAPER_SIDES,
-                                           jobs=jobs, cache=run_cache)
-        if max(drifts.values()) > 1e-10:
+                                           jobs=jobs, cache=run_cache,
+                                           on_error=args.on_error,
+                                           retries=args.retries)
+        ok &= _report_sweep_failures(analysis.failures, "lulesh")
+        if drifts and max(drifts.values()) > 1e-10:
             print("warning: energy conservation drifted", file=sys.stderr)
         for exp_id in hits:
-            ok &= _emit(E.ALL_EXPERIMENTS[exp_id](analysis), args)
+            exp_ok, exp_usage_ok = _emit(E.ALL_EXPERIMENTS[exp_id](analysis), args)
+            ok &= exp_ok
+            usage_ok &= exp_usage_ok
 
     for exp_id in (w for w in wanted if w in _STANDALONE):
-        ok &= _emit(E.table7(), args)
+        exp_ok, exp_usage_ok = _emit(E.table7(), args)
+        ok &= exp_ok
+        usage_ok &= exp_usage_ok
 
-    return 0 if ok else 1
+    if not usage_ok:
+        return EXIT_USAGE
+    return EXIT_OK if ok else EXIT_RUN_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

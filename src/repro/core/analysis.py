@@ -190,6 +190,9 @@ class HybridAnalysis:
 
     def __init__(self):
         self._runs: Dict[HybridPoint, List[SectionProfile]] = {}
+        #: :class:`~repro.harness.failures.SweepFailureReport` of skipped
+        #: points when produced by a fail-soft sweep runner, else None.
+        self.failures = None
 
     def add(self, p: int, threads: int, profile: SectionProfile) -> None:
         """Record a run at (p, threads)."""

@@ -136,6 +136,9 @@ class ScalingProfile:
     def __init__(self, scale_name: str = "p"):
         self.scale_name = scale_name
         self._runs: Dict[int, List[SectionProfile]] = {}
+        #: :class:`~repro.harness.failures.SweepFailureReport` of skipped
+        #: points when produced by a fail-soft sweep runner, else None.
+        self.failures = None
 
     def add(self, scale: int, profile: SectionProfile) -> None:
         """Record one run's profile at ``scale``."""

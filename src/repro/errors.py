@@ -10,6 +10,9 @@ error-handling structure.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
 
 class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
@@ -28,6 +31,81 @@ class DeadlockError(MPIError):
 
     The message carries a per-rank dump of blocked states (operation,
     peer, tag, virtual timestamp) to make the cycle diagnosable.
+    """
+
+
+@dataclass(frozen=True)
+class RankDiagnostic:
+    """Structured state of one rank at the moment a run stalled.
+
+    Attributes
+    ----------
+    rank:
+        World rank.
+    state:
+        Engine lifecycle state (``BLOCKED``, ``HUNG``, ``RUNNING``, ...).
+    clock:
+        The rank's virtual clock when the stall was detected.
+    waiting_on:
+        Human-readable description of the request(s) the rank is parked
+        on (empty for a running or finished rank).
+    sections:
+        The rank's currently open section label path on COMM_WORLD,
+        outermost first (e.g. ``("MPI_MAIN", "timeloop", "HALO")``).
+    """
+
+    rank: int
+    state: str
+    clock: float
+    waiting_on: str = ""
+    sections: Tuple[str, ...] = ()
+
+
+class SimulationStalledError(DeadlockError):
+    """A run stopped making progress and was aborted by the engine.
+
+    Raised for a virtual-time deadlock (every rank blocked, nothing
+    pending), a wall-clock watchdog expiry (a rank thread hogged the
+    baton for too long of *real* time), or a virtual-clock progress
+    monitor trip (scheduling continues but virtual time is frozen).
+
+    Carries a structured per-rank dump (:class:`RankDiagnostic`) and a
+    partial section profile covering everything up to the stall, so the
+    section metrics of an aborted run remain analyzable.  Subclasses
+    :class:`DeadlockError` for backward compatibility with callers that
+    catch the pre-watchdog deadlock abort.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "deadlock",
+        diagnostics: Optional[List[RankDiagnostic]] = None,
+        partial_profile=None,
+    ):
+        super().__init__(message)
+        #: ``"deadlock"`` | ``"watchdog-timeout"`` | ``"no-progress"``.
+        self.reason = reason
+        #: Per-rank state dumps, rank order.
+        self.diagnostics: List[RankDiagnostic] = diagnostics or []
+        #: :class:`~repro.core.profile.SectionProfile` of the run up to
+        #: the stall (open sections closed at the stall clock), or None.
+        self.partial_profile = partial_profile
+
+    def waiting_ranks(self) -> List[int]:
+        """Ranks that were blocked or hung when the run stalled."""
+        return [
+            d.rank for d in self.diagnostics if d.state in ("BLOCKED", "HUNG")
+        ]
+
+
+class InjectedFaultError(MPIError):
+    """A fault plan terminated this rank (injected crash).
+
+    The simulated analogue of a rank being OOM-killed or segfaulting at
+    a planned virtual time; surfaces to the caller wrapped in
+    :class:`RankFailedError` like any other rank death.
     """
 
 

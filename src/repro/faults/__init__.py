@@ -1,0 +1,31 @@
+"""Deterministic, seeded fault injection for the simulated MPI runtime.
+
+Declarative :class:`FaultPlan` objects describe stragglers, OS-noise
+bursts, degraded links and rank hangs/crashes; the engine interprets
+them through a :class:`FaultRuntime` so that faulty runs remain
+bit-reproducible and run-cache-keyable.  See ``docs/robustness.md``.
+"""
+
+from repro.faults.plan import (
+    DegradedLink,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    NoiseBurst,
+    RankCrash,
+    RankHang,
+    StragglerRank,
+)
+from repro.faults.runtime import FaultRuntime
+
+__all__ = [
+    "DegradedLink",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRuntime",
+    "NoiseBurst",
+    "RankCrash",
+    "RankHang",
+    "StragglerRank",
+]

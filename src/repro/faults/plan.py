@@ -1,0 +1,308 @@
+"""Declarative, per-run fault plans.
+
+A :class:`FaultPlan` is a frozen description of everything that will go
+wrong during one simulated run: straggler ranks (multiplicative compute
+slowdown, constant or time-windowed), OS-noise bursts (seeded random
+delay spikes on a rank), degraded links (latency/bandwidth multipliers
+on src→dst channels or node pairs) and rank hangs/crashes at a virtual
+time.  Plans are plain nested dataclasses, so they
+
+* canonicalise for run-cache keying exactly like workload configs (two
+  logically equal plans hash equal, a changed fault changes the key);
+* round-trip through JSON (``to_json``/``from_json``/``load``) for the
+  CLI's ``--faults plan.json``;
+* are bit-reproducible: every random fault draws from its own
+  seeded RNG stream derived from ``plan.seed`` and the fault's index,
+  independent of the engine seed and of the message-jitter and
+  compute-jitter streams (see :mod:`repro.faults.runtime`).
+
+Faults referencing ranks that do not exist in a particular run are
+ignored, so one plan can be applied across a whole process-count sweep
+("crash rank 3" only fires at points with at least four ranks).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (bad field values, unknown kind)."""
+
+
+def _check_time(name: str, value: float) -> None:
+    if value < 0 or math.isnan(value):
+        raise FaultPlanError(f"{name} must be >= 0, got {value}")
+
+
+def _check_window(t_start: float, t_end: Optional[float]) -> None:
+    _check_time("t_start", t_start)
+    if t_end is not None:
+        _check_time("t_end", t_end)
+        if t_end <= t_start:
+            raise FaultPlanError(
+                f"fault window is empty: t_end={t_end} <= t_start={t_start}"
+            )
+
+
+@dataclass(frozen=True)
+class StragglerRank:
+    """Multiplicative compute slowdown on one rank.
+
+    Every ``compute()`` charge that *starts* inside the window
+    ``[t_start, t_end)`` is multiplied by ``factor`` (2.0 = the rank
+    computes at half speed).  ``t_end=None`` means "for the whole run".
+    """
+
+    rank: int
+    factor: float
+    t_start: float = 0.0
+    t_end: Optional[float] = None
+
+    kind = "straggler"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise FaultPlanError(f"rank must be >= 0, got {self.rank}")
+        if self.factor <= 0:
+            raise FaultPlanError(f"straggler factor must be > 0, got {self.factor}")
+        _check_window(self.t_start, self.t_end)
+
+    def active(self, t: float) -> bool:
+        """Whether the window covers virtual time ``t``."""
+        return t >= self.t_start and (self.t_end is None or t < self.t_end)
+
+
+@dataclass(frozen=True)
+class NoiseBurst:
+    """Seeded random delay spikes on one rank (an OS-noise storm).
+
+    While the window is active, each ``compute()`` call on ``rank``
+    suffers, with probability ``prob``, an additional exponential delay
+    of mean ``mean_delay`` seconds.  Draws come from a per-fault RNG
+    stream, so adding or removing *other* faults (or changing the engine
+    seed) never changes this burst's spike sequence.
+    """
+
+    rank: int
+    mean_delay: float
+    prob: float = 1.0
+    t_start: float = 0.0
+    t_end: Optional[float] = None
+
+    kind = "noise_burst"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise FaultPlanError(f"rank must be >= 0, got {self.rank}")
+        if self.mean_delay <= 0:
+            raise FaultPlanError(
+                f"mean_delay must be > 0, got {self.mean_delay}"
+            )
+        if not 0.0 < self.prob <= 1.0:
+            raise FaultPlanError(f"prob must be in (0, 1], got {self.prob}")
+        _check_window(self.t_start, self.t_end)
+
+    def active(self, t: float) -> bool:
+        """Whether the window covers virtual time ``t``."""
+        return t >= self.t_start and (self.t_end is None or t < self.t_end)
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """Latency/bandwidth multipliers on one directed channel.
+
+    With ``nodes=False`` (default) ``src``/``dst`` are world ranks and
+    only that channel degrades; with ``nodes=True`` they are node ids
+    and every src-node → dst-node message degrades (a flaky cable).
+    ``latency_factor`` multiplies the tier latency (>1 = worse);
+    ``bandwidth_factor`` multiplies the tier bandwidth (<1 = worse).
+    """
+
+    src: int
+    dst: int
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    nodes: bool = False
+
+    kind = "degraded_link"
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise FaultPlanError(
+                f"src/dst must be >= 0, got ({self.src}, {self.dst})"
+            )
+        if self.latency_factor <= 0 or self.bandwidth_factor <= 0:
+            raise FaultPlanError(
+                "link factors must be > 0, got "
+                f"latency_factor={self.latency_factor} "
+                f"bandwidth_factor={self.bandwidth_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class RankHang:
+    """The rank stops responding forever at virtual time ``at_time``.
+
+    The simulated analogue of a livelocked or wedged process: the rank
+    parks permanently at its next fault-poll point (compute call or
+    communication post) past ``at_time``, eventually stalling the whole
+    job — which the engine watchdog then reports with diagnostics.
+    """
+
+    rank: int
+    at_time: float = 0.0
+
+    kind = "hang"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise FaultPlanError(f"rank must be >= 0, got {self.rank}")
+        _check_time("at_time", self.at_time)
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """The rank dies at virtual time ``at_time`` (OOM-kill, segfault).
+
+    Raises :class:`~repro.errors.InjectedFaultError` inside the rank at
+    its next fault-poll point past ``at_time``; the engine surfaces it
+    as a :class:`~repro.errors.RankFailedError` like any rank death.
+    """
+
+    rank: int
+    at_time: float = 0.0
+
+    kind = "crash"
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise FaultPlanError(f"rank must be >= 0, got {self.rank}")
+        _check_time("at_time", self.at_time)
+
+
+FaultEvent = Union[StragglerRank, NoiseBurst, DegradedLink, RankHang, RankCrash]
+
+_KINDS = {
+    cls.kind: cls
+    for cls in (StragglerRank, NoiseBurst, DegradedLink, RankHang, RankCrash)
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, ordered fault schedule for one run (or sweep).
+
+    ``seed`` roots every random fault's RNG stream; two runs with the
+    same plan are bit-identical regardless of the engine seed.  The
+    tuple order of ``faults`` defines each fault's stream index, so a
+    reordered plan is a *different* plan (and a different cache key).
+    """
+
+    faults: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if type(f) not in _KINDS.values():
+                raise FaultPlanError(
+                    f"unknown fault event type {type(f).__name__}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # -- typed views ----------------------------------------------------------
+
+    def of_kind(self, cls) -> Tuple[FaultEvent, ...]:
+        """All faults of one event class, in plan order."""
+        return tuple(f for f in self.faults if isinstance(f, cls))
+
+    @property
+    def stragglers(self) -> Tuple[StragglerRank, ...]:
+        return self.of_kind(StragglerRank)
+
+    @property
+    def noise_bursts(self) -> Tuple[NoiseBurst, ...]:
+        return self.of_kind(NoiseBurst)
+
+    @property
+    def degraded_links(self) -> Tuple[DegradedLink, ...]:
+        return self.of_kind(DegradedLink)
+
+    @property
+    def hangs(self) -> Tuple[RankHang, ...]:
+        return self.of_kind(RankHang)
+
+    @property
+    def crashes(self) -> Tuple[RankCrash, ...]:
+        return self.of_kind(RankCrash)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the ``--faults plan.json`` schema)."""
+        out = []
+        for f in self.faults:
+            entry = {"kind": f.kind}
+            for name in f.__dataclass_fields__:
+                entry[name] = getattr(f, name)
+            out.append(entry)
+        return {"seed": self.seed, "faults": out}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; validates every event."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(data).__name__}")
+        events = []
+        for i, entry in enumerate(data.get("faults", [])):
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise FaultPlanError(f"fault #{i} needs a 'kind' field")
+            kind = entry["kind"]
+            fcls = _KINDS.get(kind)
+            if fcls is None:
+                raise FaultPlanError(
+                    f"fault #{i}: unknown kind {kind!r} "
+                    f"(known: {sorted(_KINDS)})"
+                )
+            fields = {k: v for k, v in entry.items() if k != "kind"}
+            unknown = set(fields) - set(fcls.__dataclass_fields__)
+            if unknown:
+                raise FaultPlanError(
+                    f"fault #{i} ({kind}): unknown fields {sorted(unknown)}"
+                )
+            try:
+                events.append(fcls(**fields))
+            except TypeError as exc:
+                raise FaultPlanError(f"fault #{i} ({kind}): {exc}") from None
+        return cls(faults=tuple(events), seed=int(data.get("seed", 0)))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON text of the plan."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI entry point)."""
+        p = pathlib.Path(path)
+        try:
+            text = p.read_text()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {p}: {exc}") from None
+        return cls.from_json(text)

@@ -26,13 +26,20 @@ from repro.harness.runner import (
     run_lulesh_grid,
 )
 from repro.harness.parallel import (
+    PointOutcome,
     map_points,
+    map_points_failsoft,
     resolve_jobs,
 )
 from repro.harness.cache import (
     RunCache,
     run_key,
     maybe_default_cache,
+)
+from repro.harness.failures import (
+    PointFailure,
+    SweepFailureReport,
+    SweepPointError,
 )
 from repro.harness.baseline import (
     BaselineDiff,
@@ -64,6 +71,11 @@ __all__ = [
     "run_convolution_sweep",
     "run_lulesh_grid",
     "map_points",
+    "map_points_failsoft",
+    "PointOutcome",
+    "PointFailure",
+    "SweepFailureReport",
+    "SweepPointError",
     "resolve_jobs",
     "RunCache",
     "run_key",

@@ -28,13 +28,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pathlib
 from typing import Any, Dict, Optional
 
+logger = logging.getLogger(__name__)
+
 #: Bump to invalidate every previously stored entry (payload layout or
-#: simulation-semantics changes).
-CACHE_SCHEMA_VERSION = 1
+#: simulation-semantics changes).  v2: checksummed envelope + fault
+#: plans in run keys.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the cache directory (and opting the
 #: runners into caching by default).
@@ -83,12 +87,24 @@ def run_key(**fields: Any) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON rendering of a stored payload."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 class RunCache:
     """On-disk store of run payloads, one JSON file per key.
 
-    Instances count their own traffic (``hits``/``misses``/``stores``)
-    so callers can report effectiveness; ``stats()`` adds on-disk entry
-    and byte totals.
+    Entries are stored inside a checksummed envelope
+    (``{"checksum": sha256(payload), "payload": ...}``), so silent
+    corruption — a truncated write, bit rot, a partial concurrent clear
+    — is *detected*, logged, evicted and recomputed instead of feeding
+    garbage into an analysis or crashing the sweep.
+
+    Instances count their own traffic (``hits``/``misses``/``stores``/
+    ``corrupt``) so callers can report effectiveness; ``stats()`` adds
+    on-disk entry and byte totals.
     """
 
     def __init__(self, root: Optional[pathlib.Path] = None):
@@ -96,29 +112,53 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         """File backing ``key`` (two-level fan-out keeps dirs small)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def _evict_corrupt(self, path: pathlib.Path, why: str) -> None:
+        self.corrupt += 1
+        self.misses += 1
+        logger.warning(
+            "evicting corrupt cache entry %s (%s); the point will be "
+            "recomputed", path, why,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or None (counted as a miss).
 
-        A corrupt entry (truncated write, concurrent clear) is treated
-        as a miss and removed rather than poisoning the run.
+        A corrupt entry — unparseable JSON, a missing envelope, or a
+        checksum mismatch — is logged, counted under ``corrupt``,
+        evicted, and reported as a miss so the caller recomputes.
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
+            envelope = json.loads(path.read_text())
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError as exc:
+            self._evict_corrupt(path, f"unreadable: {exc}")
+            return None
+        except json.JSONDecodeError as exc:
+            self._evict_corrupt(path, f"invalid JSON: {exc}")
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or "checksum" not in envelope
+            or "payload" not in envelope
+        ):
+            self._evict_corrupt(path, "missing checksum envelope")
+            return None
+        payload = envelope["payload"]
+        if _payload_checksum(payload) != envelope["checksum"]:
+            self._evict_corrupt(path, "checksum mismatch")
             return None
         self.hits += 1
         return payload
@@ -127,8 +167,9 @@ class RunCache:
         """Store ``payload`` under ``key`` (atomic rename, last wins)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"checksum": _payload_checksum(payload), "payload": payload}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, separators=(",", ":")))
+        tmp.write_text(json.dumps(envelope, separators=(",", ":")))
         os.replace(tmp, path)
         self.stores += 1
 
@@ -163,6 +204,7 @@ class RunCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
         }
 
 

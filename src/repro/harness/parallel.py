@@ -21,8 +21,13 @@ value of 0 (or any negative) means "all cores".
 from __future__ import annotations
 
 import os
+import pickle
+import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterator, Optional, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
 from repro.errors import ReproError
 
@@ -78,3 +83,144 @@ def map_points(
         return
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         yield from pool.map(fn, tasks)
+
+
+# ---------------------------------------------------------------------------
+# Fail-soft mapping
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PointOutcome:
+    """Result of one fail-soft point execution.
+
+    ``ok`` outcomes carry the point function's return in ``value``;
+    failed outcomes carry the final attempt's error identity (and, when
+    the exception survived the worker boundary, the exception object
+    itself in ``error``).  ``worker_died`` marks loss of the worker
+    *process* (segfault, OOM kill) as opposed to a Python exception.
+    """
+
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+    error_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    worker_died: bool = False
+    attempts: int = 1
+
+
+def _failsoft_call(packed) -> PointOutcome:
+    """Run one task with retries, capturing any exception.
+
+    Module-level so it pickles into worker processes.  Exceptions are
+    caught *inside* the worker and shipped back as data, so a failed
+    point can never poison the pool — only genuine process death can,
+    which is exactly what lets the caller tell the two apart.
+    """
+    fn, task, retries, backoff = packed
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return PointOutcome(ok=True, value=fn(task), attempts=attempts)
+        except Exception as exc:  # noqa: BLE001 - reported as data
+            if attempts <= retries:
+                if backoff > 0.0:
+                    time.sleep(backoff * (2 ** (attempts - 1)))
+                continue
+            try:  # only ship the exception object if it survives pickling
+                pickle.dumps(exc)
+                err: Optional[BaseException] = exc
+            except Exception:  # noqa: BLE001 - unpicklable exception
+                err = None
+            return PointOutcome(
+                ok=False,
+                error=err,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=_traceback.format_exc(),
+                attempts=attempts,
+            )
+
+
+def _worker_death_outcome(attempts: int = 1) -> PointOutcome:
+    return PointOutcome(
+        ok=False,
+        error_type="WorkerCrash",
+        message="worker process died while executing this point "
+        "(killed or crashed below Python)",
+        worker_died=True,
+        attempts=attempts,
+    )
+
+
+def _run_isolated(packed) -> PointOutcome:
+    """Execute one packed task in a throwaway single-worker pool.
+
+    Used to attribute worker death to a specific point after a shared
+    pool broke: if this pool dies too, the point itself kills its
+    process.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as solo:
+            return next(iter(solo.map(_failsoft_call, [packed])))
+    except BrokenProcessPool:
+        return _worker_death_outcome()
+
+
+def map_points_failsoft(
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    jobs: int,
+    *,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+) -> Iterator[PointOutcome]:
+    """Yield a :class:`PointOutcome` per task, in task order.
+
+    The fail-soft sibling of :func:`map_points`: a point that raises (or
+    whose worker process dies) produces a failed outcome instead of
+    aborting the sweep.  Each point gets up to ``retries`` re-attempts
+    with exponential backoff starting at ``retry_backoff`` seconds.
+
+    Worker death breaks a shared :class:`ProcessPoolExecutor` for every
+    in-flight task, so on breakage the not-yet-collected points are
+    re-run — the first in an isolated single-worker pool (pinpointing
+    the killer), the rest in a fresh shared pool.  Points are pure
+    functions of their task, so re-execution is safe.
+    """
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    if retry_backoff < 0:
+        raise ReproError(f"retry_backoff must be >= 0, got {retry_backoff}")
+    packed = [(fn, task, retries, retry_backoff) for task in tasks]
+    if jobs <= 1 or len(tasks) <= 1:
+        for one in packed:
+            yield _failsoft_call(one)
+        return
+    n = len(tasks)
+    done: list = [None] * n
+    next_yield = 0
+    pending = list(range(n))
+    while pending:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                batch = list(pending)
+                for j, out in zip(batch, pool.map(_failsoft_call, [packed[j] for j in batch])):
+                    done[j] = out
+                    while next_yield < n and done[next_yield] is not None:
+                        yield done[next_yield]
+                        next_yield += 1
+            pending = [j for j in pending if done[j] is None]
+        except BrokenProcessPool:
+            pending = [j for j in pending if done[j] is None]
+            if pending:
+                j = pending.pop(0)
+                done[j] = _run_isolated(packed[j])
+                while next_yield < n and done[next_yield] is not None:
+                    yield done[next_yield]
+                    next_yield += 1
+    while next_yield < n:
+        yield done[next_yield]
+        next_yield += 1

@@ -13,13 +13,21 @@ points' noise streams.
 
 **Execution model.**  Each point is simulated by a module-level worker
 function taking a picklable task tuple, used identically by the serial
-path and by :func:`repro.harness.parallel.map_points` worker processes
-— so a parallel run (``jobs > 1`` or ``$REPRO_JOBS``) merges, in
-canonical ``(scale, rep)`` order, into a result bit-identical to the
+path and by :func:`repro.harness.parallel.map_points_failsoft` worker
+processes — so a parallel run (``jobs > 1`` or ``$REPRO_JOBS``) merges,
+in canonical ``(scale, rep)`` order, into a result bit-identical to the
 serial one, with the same ordered ``progress`` line stream.  When a
 :class:`~repro.harness.cache.RunCache` is active (passed explicitly, or
 by default whenever ``$REPRO_CACHE_DIR`` is set), previously executed
 points are replayed from disk instead of re-simulated.
+
+**Fail-soft execution.**  ``on_error="raise"`` (default) propagates the
+first failing point's exception; ``on_error="skip"`` keeps the sweep
+going, collecting every failure — including worker-process death — into
+a :class:`~repro.harness.failures.SweepFailureReport` attached to the
+result's ``failures``.  Either way each point may be retried
+(``retries``/``retry_backoff``) and a failed point is never written to
+the cache.
 """
 
 from __future__ import annotations
@@ -30,10 +38,50 @@ from repro.core.analysis import HybridAnalysis
 from repro.core.export import profile_from_dict, profile_to_dict
 from repro.core.profile import ScalingProfile, SectionProfile
 from repro.harness.cache import RunCache, maybe_default_cache, run_key
-from repro.harness.parallel import map_points, resolve_jobs
+from repro.harness.failures import (
+    PointFailure,
+    SweepFailureReport,
+    SweepPointError,
+)
+from repro.harness.parallel import (
+    PointOutcome,
+    map_points_failsoft,
+    resolve_jobs,
+)
 from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
 from repro.workloads.convolution import ConvolutionBenchmark
 from repro.workloads.lulesh import LuleshBenchmark, LuleshConfig
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ("raise", "skip"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
+
+
+def _to_failure(label: str, out: PointOutcome) -> PointFailure:
+    """Convert a failed :class:`PointOutcome` into a report record."""
+    return PointFailure(
+        label=label,
+        error_type=out.error_type,
+        message=out.message,
+        attempts=out.attempts,
+        worker_died=out.worker_died,
+        traceback=out.traceback,
+    )
+
+
+def _raise_point(failure: PointFailure, out: PointOutcome) -> None:
+    """Propagate a failed point under ``on_error="raise"``.
+
+    Re-raises the original exception when it survived the worker
+    boundary (matching the historical fail-fast behaviour); otherwise
+    raises a :class:`SweepPointError` naming the point.
+    """
+    if out.error is not None:
+        raise out.error
+    raise SweepPointError(failure)
 
 
 def _check_seed_collisions(points) -> None:
@@ -70,6 +118,8 @@ def _run_conv_point(task) -> Tuple[SectionProfile, str]:
         seed=seed,
         compute_jitter=sweep.compute_jitter,
         noise_floor=sweep.noise_floor,
+        faults=sweep.faults,
+        wall_timeout=sweep.wall_timeout,
     )
     msg = (
         f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
@@ -89,6 +139,7 @@ def _conv_point_key(sweep: ConvolutionSweep, p: int, r: int, seed: int) -> str:
         ranks_per_node=sweep.ranks_per_node,
         compute_jitter=sweep.compute_jitter,
         noise_floor=sweep.noise_floor,
+        faults=sweep.faults,
     )
 
 
@@ -98,6 +149,9 @@ def run_convolution_sweep(
     *,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    on_error: str = "raise",
+    retries: int = 0,
+    retry_backoff: float = 0.0,
 ) -> ScalingProfile:
     """Execute the convolution benchmark across a process-count sweep.
 
@@ -109,7 +163,15 @@ def run_convolution_sweep(
     iff ``$REPRO_CACHE_DIR`` is set).  Both leave the result — and the
     ``progress`` line sequence — bit-identical to a serial, uncached
     run.
+
+    ``on_error="skip"`` survives failing points (each retried
+    ``retries`` times with exponential backoff from ``retry_backoff``
+    seconds): the sweep completes, skipped points are reported through
+    the returned profile's ``failures``
+    (:class:`~repro.harness.failures.SweepFailureReport`) and never
+    cached.
     """
+    _check_on_error(on_error)
     points = [
         (p, r, sweep.base_seed + 1000 * p + r)
         for p in sweep.process_counts
@@ -128,23 +190,39 @@ def run_convolution_sweep(
             payload = cache.get(keys[i])
             if payload is not None:
                 hits[i] = payload
-    fresh = map_points(
+    fresh = map_points_failsoft(
         _run_conv_point,
         [(sweep, p, r, seed) for i, (p, r, seed) in enumerate(points) if i not in hits],
         resolve_jobs(jobs),
+        retries=retries,
+        retry_backoff=retry_backoff,
     )
     profile = ScalingProfile(scale_name="p")
+    report = SweepFailureReport()
     for i, (p, r, seed) in enumerate(points):
         if i in hits:
             prof = profile_from_dict(hits[i]["profile"])
             msg = hits[i]["msg"]
         else:
-            prof, msg = next(fresh)
+            out = next(fresh)
+            if not out.ok:
+                failure = _to_failure(f"convolution p={p} rep={r}", out)
+                if on_error == "raise":
+                    _raise_point(failure, out)
+                report.add(failure)
+                if progress is not None:
+                    progress(
+                        f"convolution p={p} rep={r}: FAILED "
+                        f"({failure.error_type}: {failure.message})"
+                    )
+                continue
+            prof, msg = out.value
             if cache is not None:
                 cache.put(keys[i], {"profile": profile_to_dict(prof), "msg": msg})
         profile.add(p, prof)
         if progress is not None:
             progress(msg)
+    profile.failures = report
     return profile
 
 
@@ -162,6 +240,8 @@ def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
         machine=sweep.machine,
         seed=seed,
         compute_jitter=sweep.compute_jitter,
+        faults=sweep.faults,
+        wall_timeout=sweep.wall_timeout,
     )
     msg = (
         f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "
@@ -186,6 +266,7 @@ def _lulesh_point_key(
         seed=seed,
         machine=sweep.machine,
         compute_jitter=sweep.compute_jitter,
+        faults=sweep.faults,
     )
 
 
@@ -196,6 +277,9 @@ def run_lulesh_grid(
     *,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    on_error: str = "raise",
+    retries: int = 0,
+    retry_backoff: float = 0.0,
 ) -> Tuple[HybridAnalysis, Dict[Tuple[int, int], float]]:
     """Execute the Lulesh proxy over an MPI×OpenMP grid.
 
@@ -209,7 +293,13 @@ def run_lulesh_grid(
     Returns the populated :class:`~repro.core.analysis.HybridAnalysis`
     plus a dict of (p, threads) → mean energy drift (a correctness
     telltale carried along with every performance number).
+
+    ``on_error``/``retries``/``retry_backoff`` give the same fail-soft
+    semantics as :func:`run_convolution_sweep`; skipped points land in
+    the analysis' ``failures`` report and are excluded from the drift
+    means.
     """
+    _check_on_error(on_error)
     base_total = sweep.config.s**3  # elements at p=1
     points: List[Tuple[LuleshConfig, int, int, int, int]] = []
     for p in sorted(sweep.grid):
@@ -238,7 +328,7 @@ def run_lulesh_grid(
             payload = cache.get(keys[i])
             if payload is not None:
                 hits[i] = payload
-    fresh = map_points(
+    fresh = map_points_failsoft(
         _run_lulesh_point,
         [
             (sweep, cfg, p, t, r, seed)
@@ -246,16 +336,32 @@ def run_lulesh_grid(
             if i not in hits
         ],
         resolve_jobs(jobs),
+        retries=retries,
+        retry_backoff=retry_backoff,
     )
     analysis = HybridAnalysis()
+    report = SweepFailureReport()
     drift_acc: Dict[Tuple[int, int], float] = {}
+    drift_n: Dict[Tuple[int, int], int] = {}
     for i, (cfg, p, t, r, seed) in enumerate(points):
         if i in hits:
             prof = profile_from_dict(hits[i]["profile"])
             drift = hits[i]["drift"]
             msg = hits[i]["msg"]
         else:
-            prof, drift, msg = next(fresh)
+            out = next(fresh)
+            if not out.ok:
+                failure = _to_failure(f"lulesh p={p} t={t} rep={r}", out)
+                if on_error == "raise":
+                    _raise_point(failure, out)
+                report.add(failure)
+                if progress is not None:
+                    progress(
+                        f"lulesh p={p} t={t} rep={r}: FAILED "
+                        f"({failure.error_type}: {failure.message})"
+                    )
+                continue
+            prof, drift, msg = out.value
             if cache is not None:
                 cache.put(keys[i], {
                     "profile": profile_to_dict(prof),
@@ -264,7 +370,9 @@ def run_lulesh_grid(
                 })
         analysis.add(p, t, prof)
         drift_acc[(p, t)] = drift_acc.get((p, t), 0.0) + drift
+        drift_n[(p, t)] = drift_n.get((p, t), 0) + 1
         if progress is not None:
             progress(msg)
-    drifts = {pt: acc / sweep.reps for pt, acc in drift_acc.items()}
+    drifts = {pt: acc / drift_n[pt] for pt, acc in drift_acc.items()}
+    analysis.failures = report
     return analysis, drifts

@@ -11,9 +11,10 @@ inflexion points).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
 from repro.machine.catalog import broadwell_duo, knl_node, nehalem_cluster
 from repro.machine.spec import MachineSpec
 from repro.workloads.convolution import ConvolutionConfig
@@ -41,6 +42,12 @@ class ConvolutionSweep:
     #: disturbance that makes halo waits dominate at scale.
     noise_floor: float = 120e-6
     weak: bool = False
+    #: Fault plan injected into every point (faults naming absent ranks
+    #: are inert at that point).  Part of each point's cache key.
+    faults: Optional[FaultPlan] = None
+    #: Per-point wall-clock watchdog (real seconds; None disables).
+    #: Affects abort behaviour only, so it is *not* cache-keyed.
+    wall_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.reps < 1:
@@ -101,6 +108,10 @@ class LuleshGridSweep:
     reps: int = 2
     base_seed: int = 300
     compute_jitter: float = 0.01
+    #: Fault plan injected into every grid point (cache-keyed).
+    faults: Optional[FaultPlan] = None
+    #: Per-point wall-clock watchdog (real seconds; not cache-keyed).
+    wall_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.grid:

@@ -34,6 +34,16 @@ from repro.errors import CommMismatchError
 from repro.simmpi.request import waitall
 
 
+def _poll_faults(comm) -> None:
+    """Deliver due injected hangs/crashes at collective entry.
+
+    The message pattern below reaches the fabric's fault points anyway,
+    but single-rank early returns and root-only compute paths would not;
+    polling here makes every collective a fault delivery point.
+    """
+    comm.ctx.engine.fault_poll(comm.ctx)
+
+
 # ---------------------------------------------------------------------------
 # barrier
 # ---------------------------------------------------------------------------
@@ -41,6 +51,7 @@ from repro.simmpi.request import waitall
 def barrier(comm) -> None:
     """Dissemination barrier: after it, every rank's clock is >= the
     latest arrival, plus the log-depth message cost."""
+    _poll_faults(comm)
     p = comm.size
     if p == 1:
         return
@@ -62,6 +73,7 @@ def barrier(comm) -> None:
 
 def bcast(comm, obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast of a Python object."""
+    _poll_faults(comm)
     p = comm.size
     if p == 1:
         return obj
@@ -89,6 +101,7 @@ def bcast(comm, obj: Any, root: int = 0) -> Any:
 
 def Bcast(comm, buf: np.ndarray, root: int = 0) -> None:
     """Binomial-tree broadcast filling ``buf`` in place on non-roots."""
+    _poll_faults(comm)
     p = comm.size
     if p == 1:
         return
@@ -123,6 +136,7 @@ def reduce(comm, obj: Any, op, root: int = 0) -> Any:
     Partials are combined in a canonical order (lower subtree first), so
     floating-point results are bit-stable across runs.
     """
+    _poll_faults(comm)
     p = comm.size
     if p == 1:
         return obj
@@ -167,6 +181,7 @@ def Allreduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> None:
 
 def scan(comm, obj: Any, op) -> Any:
     """Inclusive prefix reduction along rank order (linear chain)."""
+    _poll_faults(comm)
     p = comm.size
     if p == 1:
         return obj
@@ -185,6 +200,7 @@ def exscan(comm, obj: Any, op) -> Any:
 
     Rank 0 receives None (MPI leaves its buffer undefined).
     """
+    _poll_faults(comm)
     p = comm.size
     ckey = comm._next_coll_key()
     carry = None
@@ -271,6 +287,7 @@ def barrier_central(comm) -> None:
 
 def scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
     """Linear scatter of ``sendobjs[i]`` to rank ``i`` from ``root``."""
+    _poll_faults(comm)
     p = comm.size
     ckey = comm._next_coll_key()
     if comm.rank == root:
@@ -291,6 +308,7 @@ def scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
 
 def gather(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
     """Linear gather of one object per rank into a list at ``root``."""
+    _poll_faults(comm)
     p = comm.size
     ckey = comm._next_coll_key()
     if comm.rank == root:
@@ -308,6 +326,7 @@ def gather(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
 
 def allgather(comm, obj: Any) -> List[Any]:
     """Ring allgather: p−1 neighbour exchanges."""
+    _poll_faults(comm)
     p = comm.size
     out: List[Any] = [None] * p
     out[comm.rank] = obj
@@ -327,6 +346,7 @@ def allgather(comm, obj: Any) -> List[Any]:
 
 def alltoall(comm, sendobjs: Sequence[Any]) -> List[Any]:
     """Pairwise personalised exchange."""
+    _poll_faults(comm)
     p = comm.size
     if len(sendobjs) != p:
         raise CommMismatchError(

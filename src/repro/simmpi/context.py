@@ -72,8 +72,11 @@ class RankContext:
         ``flops``/``bytes_moved`` which are turned into time through the
         node's roofline model at ``nthreads`` threads.  A multiplicative
         log-normal jitter (engine-level default, overridable per call)
-        models OS noise.  Returns the charged time.
+        models OS noise.  Injected faults (stragglers, noise bursts,
+        hangs/crashes) are applied here as well.  Returns the charged
+        time.
         """
+        self.engine.fault_poll(self)
         if seconds is None:
             if work is None:
                 work = WorkEstimate(flops=flops, bytes_moved=bytes_moved)
@@ -85,6 +88,10 @@ class RankContext:
             seconds += float(
                 self._jitter_rng.exponential(self.engine.noise_floor)
             )
+        faults = self.engine._faults
+        if faults is not None:
+            seconds *= faults.compute_factor(self.rank, self._clock)
+            seconds += faults.noise_delay(self.rank, self._clock)
         self._advance(seconds)
         return seconds
 

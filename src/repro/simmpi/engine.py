@@ -14,8 +14,20 @@ cannot yet be satisfied — a receive with no matching message, a rendezvous
 send with no posted receive.  Pure compute never blocks: a rank charges
 time to its private clock and keeps running.  If every live rank is parked
 and no pending event can complete, the run is deadlocked and the engine
-raises :class:`~repro.errors.DeadlockError` with a full per-rank dump —
-the simulated analogue of a hung ``mpiexec``.
+raises :class:`~repro.errors.SimulationStalledError` (a
+:class:`~repro.errors.DeadlockError`) carrying a structured per-rank
+dump and a partial section profile — the simulated analogue of a hung
+``mpiexec``, but diagnosable.
+
+Two watchdogs guard against stalls the virtual-time deadlock check
+cannot see: a **wall-clock watchdog** (``wall_timeout``) that fires when
+a rank thread holds the baton for too long of *real* time (an infinite
+loop in workload code), and a **virtual-clock progress monitor**
+(``progress_steps``) that fires when scheduling keeps cycling without
+the virtual clock advancing (a zero-cost livelock).  A
+:class:`~repro.faults.FaultPlan` can additionally be injected to slow,
+delay, degrade, hang or crash ranks deterministically — see
+:mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -25,7 +37,14 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError, EngineStateError, RankFailedError
+from repro.errors import (
+    EngineStateError,
+    RankDiagnostic,
+    RankFailedError,
+    SimulationStalledError,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import FaultRuntime
 from repro.machine.catalog import laptop
 from repro.machine.spec import MachineSpec
 from repro.simmpi.network import NetworkModel
@@ -39,6 +58,8 @@ NEW = "NEW"
 READY = "READY"
 RUNNING = "RUNNING"
 BLOCKED = "BLOCKED"
+#: Parked forever by an injected hang fault; never rescheduled.
+HUNG = "HUNG"
 DONE = "DONE"
 FAILED = "FAILED"
 ABORTED = "ABORTED"
@@ -158,6 +179,19 @@ class Engine:
     validate_sections:
         Verify at finalize that all ranks of each communicator traversed
         identical section sequences (the paper's collective invariant).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into this run
+        (stragglers, noise bursts, degraded links, hangs, crashes).
+    wall_timeout:
+        Wall-clock watchdog: abort with
+        :class:`~repro.errors.SimulationStalledError` if a rank thread
+        keeps the baton longer than this many *real* seconds (None
+        disables).  Catches runaway workload code the virtual-time
+        deadlock check cannot see.
+    progress_steps:
+        Virtual-clock progress monitor: abort after this many
+        consecutive scheduling steps without the scheduled virtual clock
+        advancing (None disables).  Catches zero-cost livelocks.
     """
 
     def __init__(
@@ -171,6 +205,9 @@ class Engine:
         tools: Sequence = (),
         validate_sections: bool = True,
         max_virtual_time: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+        wall_timeout: Optional[float] = None,
+        progress_steps: Optional[int] = None,
     ):
         if n_ranks < 1:
             raise EngineStateError("need at least one rank")
@@ -178,6 +215,10 @@ class Engine:
             raise EngineStateError("noise parameters must be >= 0")
         if max_virtual_time is not None and max_virtual_time <= 0:
             raise EngineStateError("max_virtual_time must be positive")
+        if wall_timeout is not None and wall_timeout <= 0:
+            raise EngineStateError("wall_timeout must be positive")
+        if progress_steps is not None and progress_steps < 1:
+            raise EngineStateError("progress_steps must be >= 1")
         if machine is None:
             machine = laptop(cores=n_ranks)
         machine.validate_ranks(n_ranks, ranks_per_node)
@@ -191,7 +232,15 @@ class Engine:
         #: virtual time (None disables).  Catches accidental huge
         #: configurations before they burn real hours.
         self.max_virtual_time = max_virtual_time
-        self.network = NetworkModel(machine, seed=seed, ranks_per_node=ranks_per_node)
+        self.fault_plan = faults
+        self._faults: Optional[FaultRuntime] = (
+            FaultRuntime(faults, n_ranks, machine, ranks_per_node)
+            if faults else None
+        )
+        self.wall_timeout = wall_timeout
+        self.progress_steps = progress_steps
+        self.network = NetworkModel(machine, seed=seed, ranks_per_node=ranks_per_node,
+                                    faults=self._faults)
         self.fabric = MessageFabric(self, self.network)
         self.tools = ToolRegistry(tools)
         self._sections = SectionRuntime(self, validate=validate_sections)
@@ -210,6 +259,12 @@ class Engine:
         self._ready: List[Tuple[float, int]] = []
         self._done_count = 0
         self._failed: List[_RankThread] = []
+        # Join timeout used by _abort; shortened when the wall-clock
+        # watchdog fires (the stuck thread will not join anyway).
+        self._join_timeout = 5.0
+        # Virtual-clock progress monitor state.
+        self._progress_clock = -1.0
+        self._stalled_steps = 0
 
     # -- scheduling -------------------------------------------------------------
 
@@ -287,7 +342,10 @@ class Engine:
             if nxt is None:
                 if self._done_count == self.n_ranks:
                     return
-                self._raise_deadlock()
+                self._raise_stalled(
+                    "deadlock",
+                    "simulated MPI deadlock — every rank is blocked:",
+                )
             if (
                 self.max_virtual_time is not None
                 and nxt.ctx.now > self.max_virtual_time
@@ -297,28 +355,101 @@ class Engine:
                     f"max_virtual_time guard ({self.max_virtual_time:.6g}s) "
                     f"on rank {nxt.rank}"
                 )
+            if self.progress_steps is not None:
+                if nxt.ctx.now > self._progress_clock:
+                    self._progress_clock = nxt.ctx.now
+                    self._stalled_steps = 0
+                else:
+                    self._stalled_steps += 1
+                    if self._stalled_steps > self.progress_steps:
+                        self._raise_stalled(
+                            "no-progress",
+                            f"virtual clock stuck at t={self._progress_clock:.6g}s "
+                            f"for {self._stalled_steps} scheduling steps:",
+                        )
             nxt.state = RUNNING
             nxt.go.set()
-            self._back.wait()
+            completed = self._back.wait(timeout=self.wall_timeout)
+            if not completed:
+                # Wall-clock watchdog: the rank thread is stuck in real
+                # time (runaway workload code).  It cannot be unwound
+                # cooperatively, so don't wait for it during the abort.
+                self._join_timeout = 0.2
+                self._raise_stalled(
+                    "watchdog-timeout",
+                    f"wall-clock watchdog expired: rank {nxt.rank} held the "
+                    f"baton for more than {self.wall_timeout:.6g} real "
+                    "seconds:",
+                )
             self._back.clear()
 
-    def _raise_deadlock(self) -> None:
-        lines = ["simulated MPI deadlock — every rank is blocked:"]
+    def _rank_diagnostics(self) -> List[RankDiagnostic]:
+        """Structured per-rank state dumps (for stall reports)."""
+        world_cid = self._threads[0].ctx.comm.cid
+        out = []
         for t in self._threads:
+            stack = self._sections._stacks.get((world_cid, t.rank), [])
+            out.append(RankDiagnostic(
+                rank=t.rank,
+                state=t.state,
+                clock=t.ctx.now,
+                waiting_on=t.block_info,
+                sections=tuple(f.label for f in stack),
+            ))
+        return out
+
+    def _partial_profile(self):
+        """Section profile of the run so far, open sections closed now.
+
+        Every open frame gets a synthetic exit at its rank's current
+        clock (innermost first, keeping streams balanced), so the
+        metrics of an aborted run stay analyzable up to the stall.
+        """
+        from repro.core.profile import SectionProfile
+
+        events = list(self._sections.events)
+        for (cid, rank), stack in self._sections._stacks.items():
+            t = self._threads[rank].ctx.now
+            for depth in range(len(stack), 0, -1):
+                path = tuple(f.label for f in stack[:depth])
+                events.append(SectionEvent(
+                    rank, cid, stack[depth - 1].label, "exit", t, path
+                ))
+        clocks = [t.ctx.now for t in self._threads]
+        return SectionProfile.from_events(
+            events, self.n_ranks, max(clocks), seed=self.seed, partial=True,
+        )
+
+    def _raise_stalled(self, reason: str, headline: str) -> None:
+        """Abort the run with a full diagnostic dump attached."""
+        diagnostics = self._rank_diagnostics()
+        lines = [headline]
+        for d in diagnostics:
             lines.append(
-                f"  rank {t.rank}: state={t.state} t={t.ctx.now:.6g} {t.block_info}"
+                f"  rank {d.rank}: state={d.state} t={d.clock:.6g}"
+                + (f" sections={'/'.join(d.sections)}" if d.sections else "")
+                + (f" {d.waiting_on}" if d.waiting_on else "")
             )
         lines.extend(self.fabric.pending_summary())
-        raise DeadlockError("\n".join(lines))
+        try:
+            partial = self._partial_profile()
+        except Exception:  # diagnostics must never mask the stall itself
+            partial = None
+        raise SimulationStalledError(
+            "\n".join(lines),
+            reason=reason,
+            diagnostics=diagnostics,
+            partial_profile=partial,
+        )
 
     def _abort(self) -> None:
         """Unwind every live rank thread after a fatal error."""
         self._aborting = True
         for t in self._threads:
-            if t.state in (READY, BLOCKED, RUNNING, NEW):
+            if t.state in (READY, BLOCKED, HUNG, RUNNING, NEW):
                 t.go.set()
         for t in self._threads:
-            t.join(timeout=5.0)
+            t.join(timeout=self._join_timeout)
 
     # -- rank-side primitives (called from rank threads) -------------------------
 
@@ -336,6 +467,30 @@ class Engine:
         if self._aborting:
             raise _SimAbort()
         thread.block_info = ""
+
+    def hang_current(self, thread: _RankThread) -> None:
+        """Park the calling rank forever (injected hang fault).
+
+        Called from the rank's own thread.  Unlike :meth:`park_current`
+        the rank enters the ``HUNG`` state, which completion events
+        never wake — only an engine abort unwinds it.
+        """
+        thread.state = HUNG
+        thread.block_info = f"hung by injected fault at t={thread.ctx.now:.6g}"
+        self._back.set()
+        thread.go.wait()
+        thread.go.clear()
+        # The only wake-up a hung rank ever receives is the teardown.
+        raise _SimAbort()
+
+    def fault_poll(self, ctx) -> None:
+        """Deliver any due hang/crash fault for ``ctx``'s rank.
+
+        Fault points call this: compute charges and communication posts.
+        A no-op without an active fault plan.
+        """
+        if self._faults is not None:
+            self._faults.poll(ctx)
 
     def wake_if_waiting(self, req: Request) -> None:
         """Mark the rank parked on ``req`` (if any) runnable again.
@@ -369,6 +524,9 @@ def run_mpi(
     tools: Sequence = (),
     validate_sections: bool = True,
     max_virtual_time: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    wall_timeout: Optional[float] = None,
+    progress_steps: Optional[int] = None,
     args: tuple = (),
     kwargs: Optional[dict] = None,
 ) -> RunResult:
@@ -387,5 +545,8 @@ def run_mpi(
         tools=tools,
         validate_sections=validate_sections,
         max_virtual_time=max_virtual_time,
+        faults=faults,
+        wall_timeout=wall_timeout,
+        progress_steps=progress_steps,
     )
     return eng.run(main, args=args, kwargs=kwargs)

@@ -65,6 +65,10 @@ class NetworkModel:
         Rank placement density used to decide intra- vs inter-node.
     o_send, o_recv:
         Per-message software overheads (seconds) charged to the endpoints.
+    faults:
+        Optional :class:`~repro.faults.runtime.FaultRuntime`; when it
+        carries degraded-link faults, the affected channels' latency and
+        bandwidth are scaled before jitter is applied.
     """
 
     def __init__(
@@ -74,12 +78,14 @@ class NetworkModel:
         ranks_per_node: int | None = None,
         o_send: float = 2.5e-7,
         o_recv: float = 2.5e-7,
+        faults=None,
     ):
         self.machine = machine
         self.seed = seed
         self.ranks_per_node = ranks_per_node
         self.o_send = o_send
         self.o_recv = o_recv
+        self.faults = faults
         self._channel_rng: Dict[Tuple[int, int], np.random.Generator] = {}
         self._last_arrival: Dict[Tuple[int, int], float] = {}
         #: Per-rank time at which the outgoing port is next free.
@@ -131,11 +137,16 @@ class NetworkModel:
             t = self.machine.intra_node
             return MessageTiming(0.0, 0.0, nbytes / t.bandwidth, 0.0)
         tier = self.tier(src, dst)
+        lat, bw = tier.latency, tier.bandwidth
+        if self.faults is not None and self.faults.has_link_faults:
+            lat_mult, bw_mult = self.faults.link_factors(src, dst)
+            lat *= lat_mult
+            bw *= bw_mult
         factor = self._jitter(src, dst, tier)
         return MessageTiming(
             self.o_send,
-            tier.latency * factor,
-            (nbytes / tier.bandwidth) * factor,
+            lat * factor,
+            (nbytes / bw) * factor,
             self.o_recv,
         )
 

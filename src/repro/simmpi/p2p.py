@@ -199,6 +199,7 @@ class MessageFabric:
         complete ``req`` here; rendezvous sends leave it pending until a
         receive matches.
         """
+        self.engine.fault_poll(ctx)
         src = ctx.rank
         timing = self.network.message_timing(src, dst, nbytes)
         rndv = nbytes > self.network.machine.eager_threshold
@@ -268,6 +269,7 @@ class MessageFabric:
         req: Request,
     ) -> None:
         """Post a receive; may complete against an unexpected message."""
+        self.engine.fault_poll(ctx)
         dst = ctx.rank
         post = RecvPost(dst, ckey, source, tag, buf, ctx.now, req, self._next_seq())
         envs = self._sends.get((ckey, dst))
@@ -286,6 +288,7 @@ class MessageFabric:
     ) -> None:
         """Post a blocking probe: completes when a matching message is
         visible, without consuming it (``MPI_Probe``)."""
+        self.engine.fault_poll(ctx)
         dst = ctx.rank
         post = RecvPost(
             dst, ckey, source, tag, None, ctx.now, req, self._next_seq(),

@@ -240,6 +240,8 @@ class ConvolutionBenchmark:
         compute_jitter: float = 0.015,
         noise_floor: float = 0.0,
         tools=(),
+        faults=None,
+        wall_timeout: Optional[float] = None,
     ) -> RunResult:
         """Execute the benchmark at ``n_ranks`` on ``machine``.
 
@@ -260,6 +262,8 @@ class ConvolutionBenchmark:
             compute_jitter=compute_jitter,
             noise_floor=noise_floor,
             tools=tools,
+            faults=faults,
+            wall_timeout=wall_timeout,
             args=(storage,),
         )
 

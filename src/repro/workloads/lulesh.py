@@ -323,6 +323,8 @@ class LuleshBenchmark:
         seed: int = 0,
         compute_jitter: float = 0.0,
         tools=(),
+        faults=None,
+        wall_timeout: Optional[float] = None,
     ) -> Tuple[RunResult, LuleshResult]:
         """Run at (n_ranks, nthreads); all ranks share one node.
 
@@ -336,6 +338,8 @@ class LuleshBenchmark:
             seed=seed,
             compute_jitter=compute_jitter,
             tools=tools,
+            faults=faults,
+            wall_timeout=wall_timeout,
             args=(nthreads,),
         )
         return run, self.collect(run)

@@ -1,0 +1,242 @@
+"""Fault injection through the engine: behaviour and bit-reproducibility."""
+
+import pytest
+
+from repro.core.export import profile_to_json
+from repro.core.profile import SectionProfile
+from repro.errors import (
+    InjectedFaultError,
+    RankFailedError,
+    SimulationStalledError,
+)
+from repro.faults import (
+    DegradedLink,
+    FaultPlan,
+    FaultRuntime,
+    NoiseBurst,
+    RankCrash,
+    RankHang,
+    StragglerRank,
+)
+from repro.machine.catalog import laptop, nehalem_cluster
+from repro.simmpi.engine import run_mpi
+
+from tests.conftest import mpi
+
+
+def _compute_main(ctx):
+    ctx.compute(seconds=0.1)
+    return ctx.now
+
+
+# -- stragglers --------------------------------------------------------------
+
+
+def test_straggler_multiplies_compute_time():
+    plan = FaultPlan((StragglerRank(rank=0, factor=2.0),))
+    res = mpi(2, _compute_main, faults=plan)
+    assert res.results[0] == pytest.approx(0.2)
+    assert res.results[1] == pytest.approx(0.1)
+
+
+def test_straggler_window_limits_slowdown():
+    def main(ctx):
+        ctx.compute(seconds=0.1)  # starts at t=0: outside [1, 2)
+        return ctx.now
+
+    plan = FaultPlan((StragglerRank(rank=0, factor=5.0, t_start=1.0, t_end=2.0),))
+    res = mpi(1, main, faults=plan)
+    assert res.results[0] == pytest.approx(0.1)
+
+
+def test_stacked_stragglers_compound():
+    plan = FaultPlan(
+        (StragglerRank(rank=0, factor=2.0), StragglerRank(rank=0, factor=3.0))
+    )
+    res = mpi(1, _compute_main, faults=plan)
+    assert res.results[0] == pytest.approx(0.6)
+
+
+# -- noise bursts ------------------------------------------------------------
+
+
+def test_noise_burst_adds_delay():
+    plan = FaultPlan((NoiseBurst(rank=0, mean_delay=0.05),), seed=3)
+    clean = mpi(1, _compute_main)
+    noisy = mpi(1, _compute_main, faults=plan)
+    assert noisy.results[0] > clean.results[0]
+
+
+def test_noise_burst_respects_window():
+    plan = FaultPlan(
+        (NoiseBurst(rank=0, mean_delay=10.0, t_start=50.0),), seed=3
+    )
+    res = mpi(1, _compute_main, faults=plan)
+    assert res.results[0] == pytest.approx(0.1)
+
+
+# -- degraded links ----------------------------------------------------------
+
+
+def test_degraded_link_slows_delivery():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x" * 10_000, dest=1)
+        else:
+            ctx.comm.recv(source=0)
+        return ctx.now
+
+    plan = FaultPlan(
+        (DegradedLink(src=0, dst=1, latency_factor=10.0,
+                      bandwidth_factor=0.1),)
+    )
+    clean = mpi(2, main)
+    slow = mpi(2, main, faults=plan)
+    assert slow.results[1] > clean.results[1]
+
+
+def test_degraded_link_is_directional():
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x" * 10_000, dest=1)
+        else:
+            ctx.comm.recv(source=0)
+        return ctx.now
+
+    # Degrading the reverse channel leaves the 0 → 1 transfer untouched.
+    plan = FaultPlan((DegradedLink(src=1, dst=0, latency_factor=100.0),))
+    clean = mpi(2, main)
+    same = mpi(2, main, faults=plan)
+    assert same.results[1] == pytest.approx(clean.results[1])
+
+
+def test_node_link_degrades_cross_node_traffic():
+    mach = nehalem_cluster(nodes=2, jitter=0.0)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"y" * 10_000, dest=ctx.size - 1)
+        elif ctx.rank == ctx.size - 1:
+            ctx.comm.recv(source=0)
+        return ctx.now
+
+    plan = FaultPlan(
+        (DegradedLink(src=0, dst=1, latency_factor=10.0,
+                      bandwidth_factor=0.1, nodes=True),)
+    )
+    clean = run_mpi(16, main, machine=mach)
+    slow = run_mpi(16, main, machine=mach, faults=plan)
+    assert slow.results[-1] > clean.results[-1]
+
+
+# -- crashes and hangs -------------------------------------------------------
+
+
+def test_crash_surfaces_as_rank_failure():
+    plan = FaultPlan((RankCrash(rank=1, at_time=0.05),))
+
+    def main(ctx):
+        for _ in range(10):
+            ctx.compute(seconds=0.02)
+
+    with pytest.raises(RankFailedError) as ei:
+        mpi(2, main, faults=plan)
+    assert ei.value.rank == 1
+    assert isinstance(ei.value.original, InjectedFaultError)
+
+
+def test_hang_stalls_the_run_with_diagnostics():
+    plan = FaultPlan((RankHang(rank=1, at_time=0.05),))
+
+    def main(ctx):
+        for _ in range(10):
+            ctx.compute(seconds=0.02)
+        ctx.comm.barrier()
+
+    with pytest.raises(SimulationStalledError) as ei:
+        mpi(2, main, faults=plan)
+    assert 1 in ei.value.waiting_ranks()
+    assert ei.value.partial_profile is not None
+
+
+def test_out_of_range_faults_are_inert():
+    plan = FaultPlan(
+        (RankCrash(rank=5), RankHang(rank=9),
+         StragglerRank(rank=7, factor=4.0),
+         DegradedLink(src=5, dst=6, latency_factor=9.0))
+    )
+    res = mpi(2, _compute_main, faults=plan)
+    assert res.results == [pytest.approx(0.1)] * 2
+
+
+# -- reproducibility ---------------------------------------------------------
+
+
+def _jittery_main(ctx):
+    for _ in range(5):
+        ctx.compute(flops=1e7)
+        ctx.comm.allreduce(ctx.rank)
+    return ctx.now
+
+
+_FULL_PLAN = FaultPlan(
+    (
+        StragglerRank(rank=0, factor=1.7),
+        NoiseBurst(rank=1, mean_delay=1e-4, prob=0.8),
+        DegradedLink(src=0, dst=1, latency_factor=2.0),
+    ),
+    seed=11,
+)
+
+
+def test_same_plan_and_seed_byte_identical_exports():
+    mach = nehalem_cluster(nodes=2, jitter=0.1)
+
+    def once():
+        res = run_mpi(8, _jittery_main, machine=mach, seed=5,
+                      compute_jitter=0.05, faults=_FULL_PLAN)
+        return profile_to_json(SectionProfile.from_run(res)), res.clocks
+
+    (json_a, clocks_a), (json_b, clocks_b) = once(), once()
+    assert json_a == json_b
+    assert clocks_a == clocks_b
+
+
+def test_fault_streams_do_not_perturb_engine_streams():
+    """A unit-factor straggler is active yet must not consume any of the
+    engine's jitter RNG draws: clocks match the fault-free run exactly."""
+    mach = nehalem_cluster(nodes=2, jitter=0.1)
+    neutral = FaultPlan((StragglerRank(rank=0, factor=1.0),), seed=99)
+    base = run_mpi(8, _jittery_main, machine=mach, seed=5, compute_jitter=0.05)
+    faulty = run_mpi(8, _jittery_main, machine=mach, seed=5,
+                     compute_jitter=0.05, faults=neutral)
+    assert faulty.clocks == base.clocks
+
+
+def test_fault_draws_independent_of_engine_seed():
+    """The burst's spike sequence is rooted in the plan seed alone."""
+    plan = FaultPlan((NoiseBurst(rank=0, mean_delay=0.01),), seed=7)
+    quiet_mach = laptop(cores=2)
+
+    def delays(engine_seed):
+        clean = run_mpi(1, _compute_main, machine=quiet_mach,
+                        seed=engine_seed).results[0]
+        noisy = run_mpi(1, _compute_main, machine=quiet_mach,
+                        seed=engine_seed, faults=plan).results[0]
+        return noisy - clean
+
+    assert delays(1) == pytest.approx(delays(2), abs=0.0)
+
+
+def test_appending_a_fault_keeps_earlier_streams():
+    """Fault RNG streams are indexed by plan position, so appending new
+    faults never changes the draws of the ones already there."""
+    burst = NoiseBurst(rank=0, mean_delay=0.01)
+    short = FaultRuntime(FaultPlan((burst,), seed=7), n_ranks=1)
+    extended = FaultRuntime(
+        FaultPlan((burst, StragglerRank(rank=0, factor=2.0)), seed=7),
+        n_ranks=1,
+    )
+    a = [short.noise_delay(0, 0.0) for _ in range(20)]
+    b = [extended.noise_delay(0, 0.0) for _ in range(20)]
+    assert a == b

@@ -1,0 +1,164 @@
+"""FaultPlan construction, validation, serialisation, and cache keying."""
+
+import pytest
+
+from repro.faults import (
+    DegradedLink,
+    FaultPlan,
+    FaultPlanError,
+    NoiseBurst,
+    RankCrash,
+    RankHang,
+    StragglerRank,
+)
+from repro.harness.cache import run_key
+
+
+def _plan():
+    return FaultPlan(
+        faults=(
+            StragglerRank(rank=0, factor=2.0),
+            NoiseBurst(rank=1, mean_delay=0.01, prob=0.5, t_start=1.0, t_end=2.0),
+            DegradedLink(src=0, dst=1, latency_factor=3.0, bandwidth_factor=0.5),
+            RankHang(rank=2, at_time=5.0),
+            RankCrash(rank=3, at_time=7.0),
+        ),
+        seed=42,
+    )
+
+
+# -- construction & typed views ---------------------------------------------
+
+
+def test_typed_views_preserve_plan_order():
+    plan = _plan()
+    assert [f.kind for f in plan.faults] == [
+        "straggler", "noise_burst", "degraded_link", "hang", "crash",
+    ]
+    assert plan.stragglers[0].factor == 2.0
+    assert plan.noise_bursts[0].prob == 0.5
+    assert plan.degraded_links[0].latency_factor == 3.0
+    assert plan.hangs[0].at_time == 5.0
+    assert plan.crashes[0].rank == 3
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan()
+    assert _plan()
+
+
+def test_straggler_window_membership():
+    f = StragglerRank(rank=0, factor=2.0, t_start=1.0, t_end=3.0)
+    assert not f.active(0.5)
+    assert f.active(1.0)
+    assert f.active(2.999)
+    assert not f.active(3.0)
+    open_ended = StragglerRank(rank=0, factor=2.0, t_start=1.0)
+    assert open_ended.active(1e9)
+
+
+# -- validation --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: StragglerRank(rank=-1, factor=2.0),
+        lambda: StragglerRank(rank=0, factor=0.0),
+        lambda: StragglerRank(rank=0, factor=2.0, t_start=2.0, t_end=1.0),
+        lambda: StragglerRank(rank=0, factor=2.0, t_start=-1.0),
+        lambda: NoiseBurst(rank=0, mean_delay=0.0),
+        lambda: NoiseBurst(rank=0, mean_delay=0.1, prob=0.0),
+        lambda: NoiseBurst(rank=0, mean_delay=0.1, prob=1.5),
+        lambda: DegradedLink(src=-1, dst=0),
+        lambda: DegradedLink(src=0, dst=1, latency_factor=0.0),
+        lambda: DegradedLink(src=0, dst=1, bandwidth_factor=-0.5),
+        lambda: RankHang(rank=-2),
+        lambda: RankCrash(rank=0, at_time=-1.0),
+    ],
+)
+def test_invalid_events_rejected(build):
+    with pytest.raises(FaultPlanError):
+        build()
+
+
+def test_plan_rejects_foreign_objects():
+    with pytest.raises(FaultPlanError):
+        FaultPlan(faults=("not a fault",))
+
+
+# -- (de)serialisation -------------------------------------------------------
+
+
+def test_json_roundtrip_is_lossless():
+    plan = _plan()
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    assert FaultPlan.from_json(plan.to_json(indent=2)) == plan
+
+
+def test_load_reads_a_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(_plan().to_json())
+    assert FaultPlan.load(path) == _plan()
+
+
+def test_load_missing_file_is_plan_error(tmp_path):
+    with pytest.raises(FaultPlanError, match="cannot read"):
+        FaultPlan.load(tmp_path / "nope.json")
+
+
+def test_from_json_rejects_bad_json():
+    with pytest.raises(FaultPlanError, match="not valid JSON"):
+        FaultPlan.from_json("{not json")
+
+
+@pytest.mark.parametrize(
+    "data, match",
+    [
+        ([], "must be an object"),
+        ({"faults": [{"rank": 0}]}, "needs a 'kind'"),
+        ({"faults": [{"kind": "meteor", "rank": 0}]}, "unknown kind"),
+        ({"faults": [{"kind": "straggler", "rank": 0, "factor": 2.0,
+                      "speed": 9}]}, "unknown fields"),
+        ({"faults": [{"kind": "straggler"}]}, "straggler"),
+    ],
+)
+def test_from_dict_rejects_malformed_plans(data, match):
+    with pytest.raises(FaultPlanError, match=match):
+        FaultPlan.from_dict(data)
+
+
+def test_from_dict_validates_field_values():
+    with pytest.raises(FaultPlanError, match="factor"):
+        FaultPlan.from_dict(
+            {"faults": [{"kind": "straggler", "rank": 0, "factor": -1.0}]}
+        )
+
+
+# -- cache keying ------------------------------------------------------------
+
+
+def test_equal_plans_key_equal():
+    assert run_key(p=2, faults=_plan()) == run_key(p=2, faults=_plan())
+
+
+def test_changed_fault_changes_key():
+    a = FaultPlan((StragglerRank(rank=0, factor=2.0),))
+    b = FaultPlan((StragglerRank(rank=0, factor=3.0),))
+    assert run_key(p=2, faults=a) != run_key(p=2, faults=b)
+
+
+def test_reordered_plan_is_a_different_key():
+    """Plan order defines each fault's RNG stream index, so it must key."""
+    burst = NoiseBurst(rank=0, mean_delay=0.1)
+    strag = StragglerRank(rank=1, factor=2.0)
+    assert run_key(faults=FaultPlan((burst, strag), seed=1)) != run_key(
+        faults=FaultPlan((strag, burst), seed=1)
+    )
+
+
+def test_plan_seed_changes_key():
+    plan = (NoiseBurst(rank=0, mean_delay=0.1),)
+    assert run_key(faults=FaultPlan(plan, seed=1)) != run_key(
+        faults=FaultPlan(plan, seed=2)
+    )

@@ -94,6 +94,58 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     assert not cache.path_for(key).exists()
 
 
+def test_checksum_mismatch_detected_and_evicted(tmp_path, caplog):
+    import logging
+
+    cache = RunCache(root=tmp_path)
+    key = run_key(p=1, seed=0)
+    cache.put(key, {"x": 1})
+    path = cache.path_for(key)
+    envelope = json.loads(path.read_text())
+    envelope["payload"]["x"] = 2  # silent bit rot: payload no longer matches
+    path.write_text(json.dumps(envelope))
+    with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+        assert cache.get(key) is None
+    assert "checksum mismatch" in caplog.text
+    assert cache.corrupt == 1
+    assert not path.exists()  # evicted, so the point gets recomputed
+
+
+def test_missing_envelope_is_corrupt(tmp_path):
+    cache = RunCache(root=tmp_path)
+    key = run_key(p=1, seed=0)
+    cache.put(key, {"x": 1})
+    # A pre-envelope (schema v1 style) raw payload is treated as corrupt.
+    cache.path_for(key).write_text(json.dumps({"x": 1}))
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert not cache.path_for(key).exists()
+
+
+def test_corrupt_entry_recomputed_transparently(tmp_path):
+    """End to end: a corrupted point is re-simulated, not trusted."""
+    sweep = _sweep(process_counts=(1,), reps=1)
+    cache = RunCache(root=tmp_path)
+    clean = run_convolution_sweep(sweep, cache=cache)
+    victim = next(tmp_path.glob("*/*.json"))
+    envelope = json.loads(victim.read_text())
+    envelope["checksum"] = "0" * 64
+    victim.write_text(json.dumps(envelope))
+    fresh_cache = RunCache(root=tmp_path)
+    replayed = run_convolution_sweep(sweep, cache=fresh_cache)
+    assert fresh_cache.corrupt == 1 and fresh_cache.stores == 1
+    assert scaling_to_json(replayed) == scaling_to_json(clean)
+
+
+def test_stats_reports_corrupt_counter(tmp_path):
+    cache = RunCache(root=tmp_path)
+    key = run_key(p=1, seed=0)
+    cache.put(key, {"x": 1})
+    cache.path_for(key).write_text("garbage")
+    cache.get(key)
+    assert cache.stats()["corrupt"] == 1
+
+
 def test_clear_and_stats(tmp_path):
     cache = RunCache(root=tmp_path)
     for seed in range(3):
@@ -178,5 +230,7 @@ def test_runner_uses_env_cache_by_default(monkeypatch, tmp_path):
     run_convolution_sweep(sweep)
     stored = list(tmp_path.glob("*/*.json"))
     assert len(stored) == 1
-    payload = json.loads(stored[0].read_text())
+    envelope = json.loads(stored[0].read_text())
+    assert "checksum" in envelope
+    payload = envelope["payload"]
     assert "profile" in payload and "msg" in payload

@@ -1,0 +1,150 @@
+"""Watchdog, progress monitor, and structured stall diagnostics."""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, EngineStateError, SimulationStalledError
+from repro.machine.catalog import laptop
+from repro.machine.spec import CoreSpec, MachineSpec, NetworkTier, NodeSpec
+from repro.simmpi.engine import Engine, run_mpi
+from repro.simmpi.sections_rt import section
+
+from tests.conftest import mpi
+
+
+def _zero_latency_machine(cores: int = 2) -> MachineSpec:
+    """A machine on which a 0-byte message costs no virtual time: the
+    fixture that turns an endless ping-pong into a pure livelock."""
+    node = NodeSpec(
+        sockets=1,
+        cores_per_socket=cores,
+        core=CoreSpec(flops=8.0e9, hw_threads=1, ht_efficiency=1.0),
+        mem_bandwidth=20.0e9,
+        mem_per_node=16.0e9,
+    )
+    free = NetworkTier(latency=0.0, bandwidth=1.0e9, jitter=0.0)
+    return MachineSpec(
+        name="zero-lat", nodes=1, node=node, intra_node=free, inter_node=free,
+    )
+
+
+# -- deadlock fixtures: structured diagnostics -------------------------------
+
+
+def _recv_recv(ctx):
+    with section(ctx, "STEP"):
+        ctx.comm.recv(source=1 - ctx.rank)  # both wait forever
+
+
+def _send_send(ctx):
+    big = bytes(10**6)  # rendezvous-sized: send blocks until matched
+    with section(ctx, "STEP"):
+        ctx.comm.send(big, dest=1 - ctx.rank)
+        ctx.comm.recv(source=1 - ctx.rank)
+
+
+@pytest.mark.parametrize("main", [_recv_recv, _send_send],
+                         ids=["recv-recv", "send-send"])
+def test_two_rank_deadlock_names_both_ranks(main):
+    with pytest.raises(SimulationStalledError) as ei:
+        mpi(2, main)
+    err = ei.value
+    assert err.reason == "deadlock"
+    msg = str(err)
+    assert "rank 0" in msg and "rank 1" in msg
+    # Structured per-rank dumps: both ranks blocked, each with wait info.
+    assert sorted(err.waiting_ranks()) == [0, 1]
+    assert len(err.diagnostics) == 2
+    for d in err.diagnostics:
+        assert d.state == "BLOCKED"
+        assert d.waiting_on  # human-readable description of the request
+        assert d.sections[-1] == "STEP"  # innermost open section
+
+
+@pytest.mark.parametrize("main", [_recv_recv, _send_send],
+                         ids=["recv-recv", "send-send"])
+def test_deadlock_carries_partial_profile(main):
+    with pytest.raises(SimulationStalledError) as ei:
+        mpi(2, main)
+    partial = ei.value.partial_profile
+    assert partial is not None
+    assert partial.meta.get("partial") is True
+    # The open STEP section was synthetically closed on both ranks.
+    assert "STEP" in partial.labels()
+    assert sorted(partial.rank_times("STEP")) == [0, 1]
+
+
+def test_stalled_error_still_catches_as_deadlock_error():
+    with pytest.raises(DeadlockError):
+        mpi(2, _recv_recv)
+
+
+# -- wall-clock watchdog -----------------------------------------------------
+
+
+def test_watchdog_aborts_runaway_rank():
+    def main(ctx):
+        if ctx.rank == 0:
+            while True:  # never yields the baton back to the scheduler
+                time.sleep(0.05)
+        ctx.comm.barrier()
+
+    t0 = time.monotonic()
+    with pytest.raises(SimulationStalledError) as ei:
+        mpi(2, main, wall_timeout=0.5)
+    elapsed = time.monotonic() - t0
+    assert ei.value.reason == "watchdog-timeout"
+    assert "rank 0" in str(ei.value)
+    assert elapsed < 10.0  # terminated by the watchdog, not by luck
+
+
+def test_watchdog_does_not_fire_on_healthy_runs():
+    def main(ctx):
+        ctx.compute(seconds=1e6)  # huge *virtual* time, trivial real time
+        return ctx.now
+
+    res = mpi(2, main, wall_timeout=30.0)
+    assert res.results == [pytest.approx(1e6)] * 2
+
+
+# -- virtual-clock progress monitor ------------------------------------------
+
+
+def test_progress_monitor_trips_on_zero_cost_livelock():
+    def main(ctx):
+        peer = 1 - ctx.rank
+        while True:  # 0-byte ping-pong that never advances virtual time
+            if ctx.rank == 0:
+                ctx.comm.send(b"", dest=peer)
+                ctx.comm.recv(source=peer)
+            else:
+                ctx.comm.recv(source=peer)
+                ctx.comm.send(b"", dest=peer)
+
+    eng = Engine(2, machine=_zero_latency_machine(), progress_steps=500)
+    eng.network.o_send = eng.network.o_recv = 0.0
+    with pytest.raises(SimulationStalledError) as ei:
+        eng.run(main)
+    assert ei.value.reason == "no-progress"
+    assert "virtual clock stuck" in str(ei.value)
+
+
+def test_progress_monitor_tolerates_advancing_clocks():
+    def main(ctx):
+        for i in range(300):
+            ctx.compute(seconds=1e-6)
+        return ctx.now
+
+    res = run_mpi(2, main, machine=laptop(2), progress_steps=50)
+    assert res.results[0] > 0
+
+
+# -- parameter validation ----------------------------------------------------
+
+
+def test_watchdog_parameters_validated():
+    with pytest.raises(EngineStateError):
+        Engine(1, machine=laptop(2), wall_timeout=0.0)
+    with pytest.raises(EngineStateError):
+        Engine(1, machine=laptop(2), progress_steps=0)
