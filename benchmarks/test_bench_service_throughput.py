@@ -1,0 +1,145 @@
+"""Service-layer benchmarks: warm-path throughput and concurrent jobs.
+
+Not a paper artifact — these guard the ``repro.service`` subsystem:
+
+* warm-path requests/sec: a resubmit of completed work is answered from
+  the experiment registry without touching the queue or the harness, so
+  the app layer should sustain hundreds of such requests per second;
+* the same warm path over a real HTTP socket (client + server + JSON
+  round-trip), which bounds what one synchronous client observes;
+* end-to-end concurrent job throughput: eight distinct sweep jobs pushed
+  through the scheduler at once (the ISSUE acceptance bar) and drained
+  to completion.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.service.api import ServiceApp
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+
+from benchmarks.conftest import save_artifact
+
+TINY_SPEC = {
+    "kind": "convolution",
+    "client": "bench",
+    "workload": {"height": 64, "width": 96, "steps": 5},
+    "machine": {"name": "nehalem", "nodes": 4},
+    "process_counts": [1, 2, 4],
+    "reps": 1,
+    "base_seed": 100,
+}
+
+
+def _spec(seed: int = 100) -> dict:
+    spec = dict(TINY_SPEC)
+    spec["base_seed"] = seed
+    return spec
+
+
+def _run_to_completion(app: ServiceApp, spec: dict, timeout: float = 60.0) -> str:
+    """Submit one spec and poll the app until its record is done."""
+    status, _, body = app.handle("POST", "/api/v1/jobs", {},
+                                 json.dumps(spec).encode())
+    assert status in (200, 202), body
+    job_id = json.loads(body)["job_id"]
+    deadline = time.time() + timeout
+    while True:
+        record = json.loads(app.handle("GET", f"/api/v1/jobs/{job_id}")[2])
+        if record["status"] == "done":
+            return job_id
+        assert record["status"] in ("queued", "running"), record
+        assert time.time() < deadline, "benchmark job never finished"
+        time.sleep(0.01)
+
+
+def test_warm_submit_throughput_in_process(tmp_path):
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=1)
+    app.start()
+    try:
+        _run_to_completion(app, _spec())
+        payload = json.dumps(_spec()).encode()
+        n = 200
+        t0 = time.perf_counter()
+        for _ in range(n):
+            status, _, body = app.handle("POST", "/api/v1/jobs", {}, payload)
+            assert status == 200 and json.loads(body)["cached"] is True
+        elapsed = time.perf_counter() - t0
+    finally:
+        app.close()
+    rate = n / elapsed
+    lines = [
+        "service warm-path throughput (in-process, registry-served)",
+        f"  requests:      {n}",
+        f"  wall-clock:    {elapsed:8.3f} s",
+        f"  requests/sec:  {rate:8.1f}",
+    ]
+    save_artifact("service_warm_throughput", "\n".join(lines))
+    # each request is one JSON parse + one registry file read; anything
+    # below this means the warm path regressed into real work
+    assert rate > 50
+
+
+def test_warm_submit_throughput_over_http(tmp_path):
+    server = ServiceServer(ServiceApp(cache_dir=tmp_path / "cache", workers=1))
+    server.start()
+    try:
+        client = ServiceClient(server.url)
+        job_id = client.submit(_spec())["job_id"]
+        client.wait(job_id, timeout=60)
+        n = 50
+        t0 = time.perf_counter()
+        for _ in range(n):
+            assert client.submit(_spec())["cached"] is True
+        elapsed = time.perf_counter() - t0
+    finally:
+        server.stop()
+    rate = n / elapsed
+    lines = [
+        "service warm-path throughput (HTTP, single synchronous client)",
+        f"  requests:      {n}",
+        f"  wall-clock:    {elapsed:8.3f} s",
+        f"  requests/sec:  {rate:8.1f}",
+    ]
+    save_artifact("service_warm_throughput_http", "\n".join(lines))
+    assert rate > 10
+
+
+def test_concurrent_job_throughput(tmp_path):
+    """Eight distinct sweep jobs in flight at once, drained to done."""
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=4,
+                     queue_limit=64, per_client=8)
+    ids = []
+    for seed in range(1, 9):
+        status, _, body = app.handle(
+            "POST", "/api/v1/jobs", {},
+            json.dumps(_spec(seed)).encode())
+        assert status == 202
+        ids.append(json.loads(body)["job_id"])
+    assert app.queue.in_flight() == 8
+    t0 = time.perf_counter()
+    app.start()
+    try:
+        deadline = time.time() + 120
+        for job_id in ids:
+            while json.loads(
+                app.handle("GET", f"/api/v1/jobs/{job_id}")[2]
+            )["status"] != "done":
+                assert time.time() < deadline, "concurrent jobs never drained"
+                time.sleep(0.01)
+        elapsed = time.perf_counter() - t0
+        assert app.metrics.counter("jobs_completed") == 8
+        lat = app.metrics.snapshot()["latency"]
+    finally:
+        app.close()
+    lines = [
+        "service concurrent-job throughput (8 jobs, 4 workers)",
+        f"  wall-clock:   {elapsed:8.3f} s",
+        f"  jobs/sec:     {8 / elapsed:8.2f}",
+        f"  p50 latency:  {lat['p50'] * 1e3:8.1f} ms",
+        f"  p95 latency:  {lat['p95'] * 1e3:8.1f} ms",
+    ]
+    save_artifact("service_concurrency", "\n".join(lines))

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Drive the repro analysis service end to end from a client's seat.
+
+The service (``python -m repro.cli serve``) turns the simulation harness
+into an asynchronous analysis server: clients POST JSON job specs, poll
+or stream progress, and fetch derived artifacts (speedup tables, bound
+reports) without ever importing the harness.  This example:
+
+1. connects to a running server — or, with no ``--url``, boots one
+   in-process on an ephemeral port;
+2. submits a convolution scaling sweep with an injected straggler rank
+   (a ``FaultPlan`` travelling inside the job spec);
+3. streams the runner's progress lines as the sweep executes;
+4. fetches the speedup rows and the partial-bound report (Eq. 6);
+5. resubmits the identical spec to show the warm registry path
+   (HTTP 200, zero simulations);
+6. scrapes ``/metrics`` and prints the service counters.
+
+Run:  python examples/service_client.py [--url http://host:port]
+
+Used by CI as the service smoke driver — it exits non-zero if any step
+misbehaves.
+"""
+
+import argparse
+import sys
+
+from repro.service.client import ServiceClient
+
+JOB_SPEC = {
+    "kind": "convolution",
+    "client": "example",
+    "workload": {"height": 128, "width": 192, "steps": 10},
+    "machine": {"name": "nehalem", "nodes": 4},
+    "process_counts": [1, 2, 4, 8],
+    "reps": 1,
+    "base_seed": 42,
+    "faults": {
+        "seed": 7,
+        "faults": [{"kind": "straggler", "rank": 0, "factor": 1.5}],
+    },
+}
+
+
+def drive(url: str) -> int:
+    """Run the whole client workflow against ``url``; 0 on success."""
+    client = ServiceClient(url)
+    health = client.health()
+    print(f"server at {url} is up (uptime {health['uptime']:.1f}s)")
+
+    receipt = client.submit(JOB_SPEC)
+    job_id = receipt["job_id"]
+    print(f"submitted job {job_id[:12]}… ({receipt['status']})")
+
+    for line in client.stream_progress(job_id):
+        print(f"  progress: {line}")
+    record = client.wait(job_id, timeout=300)
+    if record["status"] != "done":
+        print(f"job ended {record['status']}: {record.get('error')}",
+              file=sys.stderr)
+        return 1
+    print(f"job done in {record['duration']:.2f}s")
+
+    speedup = client.artifact(job_id, "speedup")
+    print("\nspeedup rows (straggler on rank 0):")
+    for row in speedup["rows"]:
+        print(f"  p={row['p']:<3d} S={row['speedup']:6.2f} "
+              f"E={row['efficiency']:6.2f}")
+
+    print("\npartial-bound report:")
+    print(client.artifact(job_id, "report"))
+
+    warm = client.submit(JOB_SPEC)
+    if not warm.get("cached"):
+        print("expected the resubmit to be served from the registry",
+              file=sys.stderr)
+        return 1
+    print("resubmit answered from the experiment registry (zero simulations)")
+
+    print("\nservice counters:")
+    for line in client.metrics_text().splitlines():
+        if line.startswith("repro_jobs_") or line.startswith("repro_registry_"):
+            print(f"  {line}")
+    return 0
+
+
+def main() -> int:
+    """Parse arguments, boot a local server if needed, and drive it."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="base URL of a running server "
+                             "(default: boot one in-process)")
+    args = parser.parse_args()
+
+    if args.url:
+        return drive(args.url)
+
+    import tempfile
+
+    from repro.service.api import ServiceApp
+    from repro.service.server import ServiceServer
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as cache_dir:
+        server = ServiceServer(ServiceApp(cache_dir=cache_dir, workers=2))
+        server.start()
+        print(f"booted in-process server on {server.url}")
+        try:
+            return drive(server.url)
+        finally:
+            server.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

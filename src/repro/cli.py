@@ -10,6 +10,9 @@ Usage (module form, no console-script assumptions)::
     python -m repro.cli fig5a fig6 --jobs 4 --cache
     python -m repro.cli cache stats
     python -m repro.cli cache clear
+    python -m repro.cli serve --port 8765 --jobs 4 --cache-dir /var/cache/repro
+    python -m repro.cli submit job.json --wait
+    python -m repro.cli status <job-id>
 
 Convolution experiments (fig5*, fig6) run the strong-scaling sweep once
 and reuse it across the artifacts requested in a single invocation;
@@ -30,10 +33,15 @@ skip`` lets a sweep survive failing points (reported in a failure table
 at the end, with ``--retries N`` re-attempts per point); ``--timeout
 SECONDS`` arms the engine's per-point wall-clock watchdog.
 
+The ``serve`` subcommand runs the :mod:`repro.service` analysis server
+(job queue + experiment registry + ``/metrics``); ``submit`` and
+``status`` are thin clients for it.
+
 Exit codes: ``0`` success, ``1`` usage errors (unknown experiment, bad
-``--jobs``, unreadable fault plan, missing baseline file), ``2`` run
-failures (an experiment check failed, a baseline regressed, or sweep
-points failed under ``--on-error skip``).
+``--jobs``, unreadable fault plan or job spec, missing baseline file),
+``2`` run failures (an experiment check failed, a baseline regressed,
+sweep points failed under ``--on-error skip``, or a submitted job
+failed).
 """
 
 from __future__ import annotations
@@ -183,11 +191,149 @@ def _cache_main(argv: List[str]) -> int:
         removed = cache.clear()
         print(f"cache clear: removed {removed} entries from {cache.root}")
         return 0
-    stats = cache.stats()
-    print(f"cache dir:     {stats['dir']}")
-    print(f"entries:       {stats['entries']}")
-    print(f"size:          {stats['bytes']} bytes")
+    from repro.harness.cache import format_stats
+
+    print(format_stats(cache.stats()))
     return 0
+
+
+def _serve_main(argv: List[str]) -> int:
+    """The ``serve`` subcommand: run the analysis service."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli serve",
+        description="Run the asynchronous analysis server (repro.service).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="bind port (0 = ephemeral; default: 8765)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes per sweep "
+                             "(0 = all cores; default: $REPRO_JOBS or serial)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent jobs (scheduler threads; default 2)")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        help="run cache + registry root (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/runs)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="max jobs in flight before 429 (default 64)")
+    parser.add_argument("--per-client", type=int, default=8,
+                        help="max in-flight jobs per client (default 8)")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.harness.parallel import resolve_jobs
+    from repro.service import ServiceApp, ServiceServer
+
+    try:
+        jobs = resolve_jobs(args.jobs) if args.jobs is not None else None
+        if args.workers < 1:
+            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        app = ServiceApp(
+            cache_dir=args.cache_dir,
+            queue_limit=args.queue_limit,
+            per_client=args.per_client,
+            workers=args.workers,
+            sweep_jobs=jobs,
+        )
+        server = ServiceServer(app, host=args.host, port=args.port)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    host, port = server.address
+    print(f"repro service listening on http://{host}:{port} "
+          f"(cache: {app.cache.root})", flush=True)
+    server.serve_forever()
+    return EXIT_OK
+
+
+def _submit_main(argv: List[str]) -> int:
+    """The ``submit`` subcommand: send a job spec to a running server."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli submit",
+        description="Submit a JSON job spec to a running analysis server.",
+    )
+    parser.add_argument("spec", type=pathlib.Path,
+                        help="path to the job-spec JSON file")
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="server base URL (default: http://127.0.0.1:8765)")
+    parser.add_argument("--wait", action="store_true",
+                        help="stream progress and block until the job ends")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds (default 600)")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    try:
+        spec = _json.loads(args.spec.read_text())
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    client = ServiceClient(args.url)
+    try:
+        receipt = client.submit(spec)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE if exc.status in (400, 404) else EXIT_RUN_FAILURE
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    job_id = receipt["job_id"]
+    print(f"job {job_id}: {receipt['status']}"
+          + (" (served from registry)" if receipt.get("cached") else ""))
+    if not args.wait:
+        return EXIT_OK
+    try:
+        for line in client.stream_progress(job_id):
+            print(line)
+        record = client.wait(job_id, timeout=args.timeout)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILURE
+    print(f"job {job_id}: {record['status']}")
+    if record["status"] != "done":
+        err = record.get("error") or {}
+        print(f"  {err.get('error_type')}: {err.get('message')}",
+              file=sys.stderr)
+        return EXIT_RUN_FAILURE
+    return EXIT_OK
+
+
+def _status_main(argv: List[str]) -> int:
+    """The ``status`` subcommand: query one job (or list all jobs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli status",
+        description="Show job status on a running analysis server.",
+    )
+    parser.add_argument("job_id", nargs="?", default=None,
+                        help="job id (omit to list every known job)")
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="server base URL (default: http://127.0.0.1:8765)")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            print(_json.dumps(client.jobs(), indent=2))
+            return EXIT_OK
+        record = client.status(args.job_id)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE if exc.status in (400, 404) else EXIT_RUN_FAILURE
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(_json.dumps(record, indent=2))
+    return EXIT_OK if record.get("status") != "failed" else EXIT_RUN_FAILURE
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -196,6 +342,12 @@ def main(argv: List[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_main(argv[1:])
     args = build_parser().parse_args(argv)
     wanted = list(dict.fromkeys(args.experiments))  # dedupe, keep order
 

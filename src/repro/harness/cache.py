@@ -208,6 +208,30 @@ class RunCache:
         }
 
 
+def format_stats(stats: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :meth:`RunCache.stats` dict.
+
+    The one formatting path for cache statistics: ``repro cache stats``
+    prints this text, and the service's ``/metrics`` endpoint exports
+    the same dict's counters — both consume the public ``stats()`` API
+    rather than reaching into cache internals.
+    """
+    hits = stats.get("hits", 0)
+    misses = stats.get("misses", 0)
+    lookups = hits + misses
+    rate = f"{hits / lookups:.1%}" if lookups else "n/a"
+    return "\n".join([
+        f"cache dir:     {stats['dir']}",
+        f"entries:       {stats['entries']}",
+        f"size:          {stats['bytes']} bytes",
+        f"hits:          {hits}",
+        f"misses:        {misses}",
+        f"stores:        {stats.get('stores', 0)}",
+        f"corrupt:       {stats.get('corrupt', 0)}",
+        f"hit rate:      {rate}",
+    ])
+
+
 def maybe_default_cache() -> Optional[RunCache]:
     """A :class:`RunCache` iff ``REPRO_CACHE_DIR`` is set, else None.
 

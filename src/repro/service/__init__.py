@@ -1,0 +1,62 @@
+"""repro.service — analysis-as-a-service on top of the sweep harness.
+
+The reproduction can *compute* everything in the paper — section
+profiles, partial speedup bounds (Eq. 1–6), inflexion points, model
+fits — but a one-shot CLI re-simulates from scratch on every question.
+This subsystem turns the harness into a long-running analysis server:
+expensive simulations run once, behind a job queue, and analyses are
+served on demand from persisted results.
+
+Layers (bottom up):
+
+* :mod:`repro.service.jobs` — declarative JSON job specs (sweep
+  parameters, fault plans, fail-soft policy) with content-addressed
+  keys, plus the executor that maps a spec onto the PR 1/PR 2 harness
+  (:func:`~repro.harness.runner.run_convolution_sweep` /
+  :func:`~repro.harness.runner.run_lulesh_grid`);
+* :mod:`repro.service.queue` — a bounded in-memory job queue with
+  per-client concurrency limits (backpressure → HTTP 429) and
+  deduplication of identical in-flight jobs;
+* :mod:`repro.service.registry` — the experiment registry: persisted,
+  schema-versioned, content-addressed job records layered next to the
+  PR 1 run cache, so a resubmitted job is served without re-simulation;
+* :mod:`repro.service.scheduler` — the worker pool draining the queue
+  (graceful shutdown drains running jobs; crashes become failed-job
+  records, never hung clients);
+* :mod:`repro.service.metrics` — counters/gauges/latency quantiles in
+  Prometheus text format;
+* :mod:`repro.service.api` / :mod:`repro.service.server` — the HTTP
+  surface (stdlib ``http.server``, no third-party dependencies);
+* :mod:`repro.service.client` — a thin ``urllib`` client used by the
+  ``repro submit``/``repro status`` CLI, the examples and the tests.
+
+Everything is standard library only; the simulation itself still runs
+on the deterministic harness, so a served result is bit-identical to a
+direct library call with the same spec.
+"""
+
+from repro.service.api import ServiceApp
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.jobs import JobSpec, JobSpecError, execute_job, parse_job_spec
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import ClientLimitError, JobQueue, QueueFullError
+from repro.service.registry import ExperimentRegistry
+from repro.service.scheduler import Scheduler
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "ClientLimitError",
+    "ExperimentRegistry",
+    "JobQueue",
+    "JobSpec",
+    "JobSpecError",
+    "QueueFullError",
+    "Scheduler",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "execute_job",
+    "parse_job_spec",
+]

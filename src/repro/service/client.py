@@ -1,0 +1,143 @@
+"""A thin stdlib client for the analysis service.
+
+Wraps ``urllib.request`` with the handful of calls the CLI
+(``repro submit`` / ``repro status``), the examples and the tests need:
+submit a spec, poll status, stream progress, wait for completion, fetch
+results/artifacts/metrics.  HTTP errors become
+:class:`ServiceClientError` carrying the status code and the server's
+JSON error payload, so callers branch on ``exc.status`` instead of
+parsing exception strings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """An HTTP call failed; carries ``status`` and the decoded payload."""
+
+    def __init__(self, status: int, payload: Any, url: str):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status} from {url}: {detail}")
+
+
+class ServiceClient:
+    """Minimal blocking client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+        except urlerror.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = raw.decode("utf-8", "replace")
+            raise ServiceClientError(exc.code, payload, url) from None
+        except urlerror.URLError as exc:
+            raise ReproError(f"cannot reach {url}: {exc.reason}") from None
+        text = raw.decode("utf-8")
+        if ctype.startswith("application/json"):
+            return json.loads(text)
+        return text
+
+    # -- API calls ----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._call("GET", "/healthz")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /api/v1/jobs`` — returns the submission receipt."""
+        return self._call("POST", "/api/v1/jobs", body=spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /api/v1/jobs/{id}``."""
+        return self._call("GET", f"/api/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /api/v1/jobs/{id}/result`` (raises 409 while running)."""
+        return self._call("GET", f"/api/v1/jobs/{job_id}/result")
+
+    def progress(self, job_id: str, after: int = 0,
+                 wait: float = 0.0) -> Dict[str, Any]:
+        """``GET /api/v1/jobs/{id}/progress`` with a cursor."""
+        return self._call(
+            "GET", f"/api/v1/jobs/{job_id}/progress?after={after}&wait={wait}"
+        )
+
+    def stream_progress(self, job_id: str,
+                        poll_wait: float = 5.0) -> Iterator[str]:
+        """Yield progress lines until the job reaches a terminal state."""
+        after = 0
+        while True:
+            chunk = self.progress(job_id, after=after, wait=poll_wait)
+            yield from chunk["lines"]
+            after = chunk["next"]
+            if chunk["done"] and not chunk["lines"]:
+                return
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Block until the job is terminal; returns the status record.
+
+        Raises :class:`~repro.errors.ReproError` on timeout — a dead
+        worker therefore surfaces as a failed status or a timeout, never
+        an indefinite hang.
+        """
+        deadline = time.time() + timeout
+        while True:
+            record = self.status(job_id)
+            if record.get("status") not in ("queued", "running"):
+                return record
+            if time.time() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {record.get('status')!r} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll)
+
+    def artifact(self, job_id: str, name: str, **query: Any) -> Any:
+        """``GET /api/v1/jobs/{id}/artifacts/{name}`` (JSON or text)."""
+        qs = "&".join(f"{k}={v}" for k, v in query.items())
+        path = f"/api/v1/jobs/{job_id}/artifacts/{name}"
+        if qs:
+            path += f"?{qs}"
+        return self._call("GET", path)
+
+    def jobs(self) -> Dict[str, Any]:
+        """``GET /api/v1/jobs`` — live and stored job summaries."""
+        return self._call("GET", "/api/v1/jobs")
+
+    def delete(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /api/v1/jobs/{id}``."""
+        return self._call("DELETE", f"/api/v1/jobs/{job_id}")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus document."""
+        return self._call("GET", "/metrics")

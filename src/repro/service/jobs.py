@@ -1,0 +1,436 @@
+"""Job specifications: the JSON contract between clients and the service.
+
+A *job spec* declares one sweep the service should execute — workload
+parameters, machine model, scales, seeds, an optional
+:class:`~repro.faults.FaultPlan`, and the fail-soft policy — as plain
+JSON.  Parsing normalises the spec (defaults applied, keys
+canonicalised) and validates it eagerly by constructing the actual
+sweep object, so a malformed spec is rejected at submission time with a
+:class:`JobSpecError` instead of failing later inside a worker.
+
+**Content addressing.**  :attr:`JobSpec.key` is the SHA-256 of the
+canonical JSON rendering of everything that influences the simulated
+*result* (kind + normalised work definition + a job schema version).
+Execution knobs that cannot change the numbers — the submitting client,
+``on_error``, ``retries``, per-sweep worker count, the wall-clock
+watchdog — are excluded, so two clients asking the same question share
+one queue slot (deduplication) and one registry record (warm-cache
+resubmits).  This mirrors the run cache's keying philosophy one level
+up: the cache addresses *points*, the registry addresses *jobs*.
+
+**Determinism.**  :func:`execute_job` drives the exact same harness
+entry points (:func:`~repro.harness.runner.run_convolution_sweep`,
+:func:`~repro.harness.runner.run_lulesh_grid`) a direct library caller
+would use, with the same seeds, so a served payload is byte-identical
+to a local run of the same spec — the e2e tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.export import profile_to_dict, scaling_to_json
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan, FaultPlanError
+from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
+from repro.machine.catalog import broadwell_duo, knl_node, laptop, nehalem_cluster
+from repro.machine.spec import MachineSpec
+from repro.workloads.convolution import ConvolutionConfig
+from repro.workloads.lulesh import LuleshConfig
+
+#: Bump when the normalised work layout (and therefore job keys) or the
+#: result payload layout changes; old registry records become invisible.
+JOB_SCHEMA_VERSION = 1
+
+#: Job kinds the service can execute.
+JOB_KINDS = ("convolution", "lulesh")
+
+
+class JobSpecError(ReproError):
+    """A job spec is malformed (unknown kind, bad field, invalid sweep)."""
+
+
+def _require(data: Dict[str, Any], field: str, kind: str) -> Any:
+    try:
+        return data[field]
+    except KeyError:
+        raise JobSpecError(f"{kind} job spec is missing {field!r}") from None
+
+
+def _as_int(value: Any, field: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise JobSpecError(f"{field} must be an integer, got {value!r}")
+    return value
+
+
+def _as_number(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise JobSpecError(f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A parsed, validated, normalised job.
+
+    ``work`` is the canonical (JSON-round-trippable) definition of the
+    simulation; everything else is execution policy that cannot change
+    the result and therefore stays out of :attr:`key`.
+    """
+
+    kind: str
+    work: Dict[str, Any]
+    client: str = "anonymous"
+    on_error: str = "raise"
+    retries: int = 0
+    jobs: Optional[int] = None
+    wall_timeout: Optional[float] = None
+
+    @property
+    def key(self) -> str:
+        """Content address of the work (stable across clients/policy)."""
+        payload = {
+            "kind": self.kind,
+            "work": self.work,
+            "_schema": JOB_SCHEMA_VERSION,
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (round-trips through the registry)."""
+        return {
+            "kind": self.kind,
+            "work": self.work,
+            "client": self.client,
+            "on_error": self.on_error,
+            "retries": self.retries,
+            "jobs": self.jobs,
+            "wall_timeout": self.wall_timeout,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Machine resolution
+# ---------------------------------------------------------------------------
+
+def _machine_from(work: Dict[str, Any]) -> MachineSpec:
+    """Resolve the spec's machine block to a catalog model."""
+    m = work.get("machine")
+    if not isinstance(m, dict) or "name" not in m:
+        raise JobSpecError("job spec needs machine: {\"name\": ...}")
+    name = m["name"]
+    try:
+        if name == "nehalem":
+            kwargs = {"nodes": _as_int(m.get("nodes", 24), "machine.nodes")}
+            if "jitter" in m:
+                kwargs["jitter"] = _as_number(m["jitter"], "machine.jitter")
+            return nehalem_cluster(**kwargs)
+        if name == "knl":
+            if "jitter" in m:
+                return knl_node(jitter=_as_number(m["jitter"], "machine.jitter"))
+            return knl_node()
+        if name == "broadwell":
+            if "jitter" in m:
+                return broadwell_duo(jitter=_as_number(m["jitter"], "machine.jitter"))
+            return broadwell_duo()
+        if name == "laptop":
+            return laptop(cores=_as_int(m.get("cores", 4), "machine.cores"))
+    except ReproError as exc:
+        raise JobSpecError(f"invalid machine block: {exc}") from exc
+    raise JobSpecError(
+        f"unknown machine {name!r} (nehalem | knl | broadwell | laptop)"
+    )
+
+
+def _faults_from(work: Dict[str, Any]) -> Optional[FaultPlan]:
+    """Materialise the spec's optional fault plan."""
+    raw = work.get("faults")
+    if raw is None:
+        return None
+    try:
+        return FaultPlan.from_dict(raw)
+    except (FaultPlanError, TypeError, KeyError) as exc:
+        raise JobSpecError(f"invalid fault plan: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Normalisation (spec JSON → canonical work dict)
+# ---------------------------------------------------------------------------
+
+def _normalise_convolution(data: Dict[str, Any]) -> Dict[str, Any]:
+    wl = _require(data, "workload", "convolution")
+    if not isinstance(wl, dict):
+        raise JobSpecError("convolution workload must be an object")
+    counts = _require(data, "process_counts", "convolution")
+    if not isinstance(counts, list) or not counts:
+        raise JobSpecError("process_counts must be a non-empty list")
+    work = {
+        "workload": {
+            "height": _as_int(_require(wl, "height", "convolution"), "height"),
+            "width": _as_int(_require(wl, "width", "convolution"), "width"),
+            "steps": _as_int(_require(wl, "steps", "convolution"), "steps"),
+        },
+        "machine": data.get("machine", {"name": "nehalem", "nodes": 24}),
+        "process_counts": sorted(_as_int(p, "process_counts[]") for p in counts),
+        "reps": _as_int(data.get("reps", 1), "reps"),
+        "base_seed": _as_int(data.get("base_seed", 100), "base_seed"),
+        "ranks_per_node": _as_int(data.get("ranks_per_node", 8), "ranks_per_node"),
+        "compute_jitter": _as_number(data.get("compute_jitter", 0.02), "compute_jitter"),
+        "noise_floor": _as_number(data.get("noise_floor", 120e-6), "noise_floor"),
+        "weak": bool(data.get("weak", False)),
+        "faults": data.get("faults"),
+    }
+    return work
+
+
+def _normalise_lulesh(data: Dict[str, Any]) -> Dict[str, Any]:
+    wl = _require(data, "workload", "lulesh")
+    if not isinstance(wl, dict):
+        raise JobSpecError("lulesh workload must be an object")
+    grid = _require(data, "grid", "lulesh")
+    if not isinstance(grid, dict) or not grid:
+        raise JobSpecError("grid must be a non-empty {p: [threads]} object")
+    norm_grid: Dict[str, List[int]] = {}
+    for p, ts in grid.items():
+        if not isinstance(ts, list) or not ts:
+            raise JobSpecError(f"grid[{p}] must be a non-empty thread list")
+        norm_grid[str(_as_int(int(p), "grid key"))] = sorted(
+            _as_int(t, "grid threads") for t in ts
+        )
+    sides = data.get("sides")
+    norm_sides: Optional[Dict[str, int]] = None
+    if sides is not None:
+        if not isinstance(sides, dict):
+            raise JobSpecError("sides must be a {p: side} object")
+        norm_sides = {
+            str(_as_int(int(p), "sides key")): _as_int(s, "sides value")
+            for p, s in sides.items()
+        }
+    work = {
+        "workload": {
+            "s": _as_int(_require(wl, "s", "lulesh"), "s"),
+            "steps": _as_int(_require(wl, "steps", "lulesh"), "steps"),
+        },
+        "machine": data.get("machine", {"name": "knl"}),
+        "grid": dict(sorted(norm_grid.items(), key=lambda kv: int(kv[0]))),
+        "sides": norm_sides,
+        "reps": _as_int(data.get("reps", 1), "reps"),
+        "base_seed": _as_int(data.get("base_seed", 300), "base_seed"),
+        "compute_jitter": _as_number(data.get("compute_jitter", 0.01), "compute_jitter"),
+        "faults": data.get("faults"),
+    }
+    return work
+
+
+def parse_job_spec(data: Any) -> JobSpec:
+    """Parse and validate client JSON into a :class:`JobSpec`.
+
+    Validation is eager: the sweep object is constructed once here (and
+    discarded), so every constraint the harness enforces — p=1 present,
+    cube process counts, valid fault windows — is reported at submit
+    time as a :class:`JobSpecError`.
+    """
+    if not isinstance(data, dict):
+        raise JobSpecError("job spec must be a JSON object")
+    kind = data.get("kind")
+    if kind not in JOB_KINDS:
+        raise JobSpecError(f"unknown job kind {kind!r} (one of {JOB_KINDS})")
+    on_error = data.get("on_error", "raise")
+    if on_error not in ("raise", "skip"):
+        raise JobSpecError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    retries = _as_int(data.get("retries", 0), "retries")
+    if retries < 0:
+        raise JobSpecError(f"retries must be >= 0, got {retries}")
+    jobs = data.get("jobs")
+    if jobs is not None:
+        jobs = _as_int(jobs, "jobs")
+        if jobs < 0:
+            raise JobSpecError(f"jobs must be >= 0, got {jobs}")
+    wall_timeout = data.get("wall_timeout")
+    if wall_timeout is not None:
+        wall_timeout = _as_number(wall_timeout, "wall_timeout")
+        if wall_timeout <= 0:
+            raise JobSpecError(f"wall_timeout must be positive, got {wall_timeout}")
+    client = data.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise JobSpecError(f"client must be a non-empty string, got {client!r}")
+
+    if kind == "convolution":
+        work = _normalise_convolution(data)
+    else:
+        work = _normalise_lulesh(data)
+
+    spec = JobSpec(
+        kind=kind,
+        work=work,
+        client=client,
+        on_error=on_error,
+        retries=retries,
+        jobs=jobs,
+        wall_timeout=wall_timeout,
+    )
+    build_sweep(spec)  # eager validation: raises JobSpecError on bad params
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Spec → sweep objects
+# ---------------------------------------------------------------------------
+
+def build_sweep(spec: JobSpec):
+    """The harness sweep object(s) for a spec.
+
+    Returns a :class:`~repro.harness.sweeps.ConvolutionSweep` for
+    convolution jobs, or a ``(LuleshGridSweep, sides)`` pair for Lulesh
+    jobs.  Tests use this to run the *same* sweep directly and compare
+    byte-identical results with the served payload.
+    """
+    work = spec.work
+    machine = _machine_from(work)
+    faults = _faults_from(work)
+    try:
+        if spec.kind == "convolution":
+            return ConvolutionSweep(
+                config=ConvolutionConfig(
+                    height=work["workload"]["height"],
+                    width=work["workload"]["width"],
+                    steps=work["workload"]["steps"],
+                ),
+                machine=machine,
+                process_counts=tuple(work["process_counts"]),
+                reps=work["reps"],
+                base_seed=work["base_seed"],
+                ranks_per_node=work["ranks_per_node"],
+                compute_jitter=work["compute_jitter"],
+                noise_floor=work["noise_floor"],
+                weak=work["weak"],
+                faults=faults,
+                wall_timeout=spec.wall_timeout,
+            )
+        sweep = LuleshGridSweep(
+            config=LuleshConfig(
+                s=work["workload"]["s"], steps=work["workload"]["steps"]
+            ),
+            machine=machine,
+            grid={int(p): tuple(ts) for p, ts in work["grid"].items()},
+            reps=work["reps"],
+            base_seed=work["base_seed"],
+            compute_jitter=work["compute_jitter"],
+            faults=faults,
+            wall_timeout=spec.wall_timeout,
+        )
+        sides = work.get("sides")
+        return sweep, ({int(p): s for p, s in sides.items()} if sides else None)
+    except ReproError as exc:
+        raise JobSpecError(f"invalid {spec.kind} sweep: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Execution (spec → result payload)
+# ---------------------------------------------------------------------------
+
+def _failures_payload(report) -> List[Dict[str, Any]]:
+    """Serialise a fail-soft sweep's failure report (empty when clean)."""
+    if not report:
+        return []
+    return [
+        {
+            "label": f.label,
+            "error_type": f.error_type,
+            "message": f.message,
+            "attempts": f.attempts,
+            "worker_died": f.worker_died,
+        }
+        for f in report
+    ]
+
+
+def hybrid_to_points(analysis) -> List[Dict[str, Any]]:
+    """Canonical JSON form of a :class:`~repro.core.analysis.HybridAnalysis`.
+
+    One entry per (p, threads) grid point, profiles in insertion order —
+    shared by the service payload and the byte-identity tests.
+    """
+    points = []
+    for p in analysis.process_counts():
+        for t in analysis.thread_counts(p):
+            points.append({
+                "p": p,
+                "threads": t,
+                "profiles": [profile_to_dict(pr) for pr in analysis.runs(p, t)],
+            })
+    return points
+
+
+def execute_job(
+    spec: JobSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run a job spec on the harness; returns the result payload.
+
+    ``jobs`` is the per-sweep worker-process count (the spec's own
+    ``jobs`` field wins when set); ``cache`` is the shared
+    :class:`~repro.harness.cache.RunCache`, so repeated points across
+    *different* jobs are also served from disk.  Exceptions propagate —
+    the scheduler turns them into failed-job records.
+    """
+    from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
+
+    sweep_jobs = spec.jobs if spec.jobs is not None else jobs
+    if spec.kind == "convolution":
+        sweep = build_sweep(spec)
+        profile = run_convolution_sweep(
+            sweep,
+            progress=progress,
+            jobs=sweep_jobs,
+            cache=cache,
+            on_error=spec.on_error,
+            retries=spec.retries,
+        )
+        summary: Dict[str, Any] = {"scales": profile.scales()}
+        try:  # fail-soft sweeps may have lost the p=1 reference runs
+            summary["speedup"] = {
+                str(p): profile.speedup(p) for p in profile.scales()
+            }
+            summary["sequential_time"] = profile.sequential_time()
+        except ReproError:
+            summary["speedup"] = None
+            summary["sequential_time"] = None
+        return {
+            "kind": "convolution",
+            "schema": JOB_SCHEMA_VERSION,
+            "profile_json": scaling_to_json(profile),
+            "failures": _failures_payload(profile.failures),
+            "summary": summary,
+        }
+
+    sweep, sides = build_sweep(spec)
+    analysis, drifts = run_lulesh_grid(
+        sweep,
+        progress=progress,
+        sides=sides,
+        jobs=sweep_jobs,
+        cache=cache,
+        on_error=spec.on_error,
+        retries=spec.retries,
+    )
+    summary: Dict[str, Any] = {"process_counts": analysis.process_counts()}
+    try:  # needs the (1, 1) reference point, which fail-soft may have lost
+        summary["best"] = analysis.best_configuration()
+    except ReproError:
+        summary["best"] = None
+    return {
+        "kind": "lulesh",
+        "schema": JOB_SCHEMA_VERSION,
+        "points": hybrid_to_points(analysis),
+        "drifts": {f"{p},{t}": d for (p, t), d in sorted(drifts.items())},
+        "failures": _failures_payload(analysis.failures),
+        "summary": summary,
+    }

@@ -1,0 +1,171 @@
+"""Service metrics: counters, gauges and latency quantiles.
+
+A deliberately small, stdlib-only metrics core exposed at ``/metrics``
+in the Prometheus text exposition format, so any standard scraper can
+watch a running analysis server.  Three instrument families:
+
+* **counters** — monotonically increasing totals (jobs submitted /
+  completed / failed / rejected / deduplicated, registry warm hits);
+* **gauges** — instantaneous values sampled at render time (queue
+  depth, running jobs, cache entry counts); callers pass them in, the
+  renderer does not reach into other subsystems;
+* **latency summary** — a bounded reservoir of recent job durations
+  rendered as p50/p95 quantiles plus count/sum, enough to spot a
+  degrading service without a histogram dependency.
+
+The run cache's counters are *not* duplicated here: the renderer
+consumes the dict returned by the one public
+:meth:`repro.harness.cache.RunCache.stats` API — the same numbers
+``repro cache stats`` prints.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Latency samples retained for quantile estimation (ring buffer).
+LATENCY_WINDOW = 1024
+
+#: Counter names pre-registered so /metrics shows zeros before traffic.
+COUNTERS = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_cancelled",
+    "jobs_rejected",
+    "jobs_deduplicated",
+    "registry_hits",
+)
+
+_HELP = {
+    "jobs_submitted": "Jobs accepted into the queue.",
+    "jobs_completed": "Jobs that finished successfully.",
+    "jobs_failed": "Jobs that ended in a failure record.",
+    "jobs_cancelled": "Queued jobs cancelled by shutdown.",
+    "jobs_rejected": "Submissions refused by backpressure or client limits.",
+    "jobs_deduplicated": "Submissions coalesced onto an identical in-flight job.",
+    "registry_hits": "Submissions answered from the experiment registry with zero simulation.",
+}
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated quantile ``q`` in [0, 1] of pre-sorted data."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoir with Prometheus rendering."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        self._latency_count = 0
+        self._latency_sum = 0.0
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment a counter (auto-registered on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one finished job's wall-clock duration."""
+        with self._lock:
+            self._latencies.append(seconds)
+            self._latency_count += 1
+            self._latency_sum += seconds
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters + latency quantiles as a plain dict (for JSON/tests)."""
+        with self._lock:
+            counters = dict(self._counters)
+            lat = sorted(self._latencies)
+            count, total = self._latency_count, self._latency_sum
+        return {
+            "counters": counters,
+            "latency": {
+                "count": count,
+                "sum": total,
+                "p50": percentile(lat, 0.50),
+                "p95": percentile(lat, 0.95),
+            },
+        }
+
+    def render_prometheus(
+        self,
+        gauges: Optional[Mapping[str, Tuple[float, str]]] = None,
+        cache_stats: Optional[Mapping[str, Any]] = None,
+    ) -> str:
+        """The ``/metrics`` document.
+
+        ``gauges`` maps metric name → (value, help text), sampled by the
+        caller at scrape time; ``cache_stats`` is the dict from
+        :meth:`repro.harness.cache.RunCache.stats` (and, prefixed, the
+        registry's), re-exported under ``repro_cache_*``.
+        """
+        snap = self.snapshot()
+        lines: List[str] = []
+
+        def emit(name: str, kind: str, help_text: str,
+                 samples: Iterable[Tuple[str, float]]) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for suffix, value in samples:
+                if isinstance(value, float) and value == int(value):
+                    value = int(value)
+                lines.append(f"{name}{suffix} {value}")
+
+        for cname in sorted(snap["counters"]):
+            emit(
+                f"repro_{cname}_total", "counter",
+                _HELP.get(cname, f"Total {cname.replace('_', ' ')}."),
+                [("", snap["counters"][cname])],
+            )
+        for gname, (value, help_text) in sorted((gauges or {}).items()):
+            emit(f"repro_{gname}", "gauge", help_text, [("", value)])
+        if cache_stats is not None:
+            for field in ("hits", "misses", "stores", "corrupt"):
+                emit(
+                    f"repro_cache_{field}_total", "counter",
+                    f"Run cache {field} this server session.",
+                    [("", cache_stats.get(field, 0))],
+                )
+            emit("repro_cache_entries", "gauge",
+                 "Run cache entries on disk.",
+                 [("", cache_stats.get("entries", 0))])
+            emit("repro_cache_bytes", "gauge",
+                 "Run cache bytes on disk.",
+                 [("", cache_stats.get("bytes", 0))])
+            hits = cache_stats.get("hits", 0)
+            misses = cache_stats.get("misses", 0)
+            rate = hits / (hits + misses) if (hits + misses) else 0.0
+            emit("repro_cache_hit_ratio", "gauge",
+                 "Run cache hits / lookups this server session.",
+                 [("", round(rate, 6))])
+        lat = snap["latency"]
+        emit(
+            "repro_job_latency_seconds", "summary",
+            "Wall-clock duration of finished jobs (recent window).",
+            [
+                ('{quantile="0.5"}', round(lat["p50"], 6)),
+                ('{quantile="0.95"}', round(lat["p95"], 6)),
+                ("_count", lat["count"]),
+                ("_sum", round(lat["sum"], 6)),
+            ],
+        )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,274 @@
+"""Bounded job queue with per-client limits and in-flight deduplication.
+
+The queue is the service's admission controller.  Three policies are
+enforced at submit time, each surfaced to the HTTP layer as a distinct
+outcome:
+
+* **backpressure** — the queue is bounded; a submit that would exceed
+  ``limit`` raises :class:`QueueFullError` (HTTP 429) instead of letting
+  memory and latency grow without bound;
+* **per-client fairness** — one client can hold at most ``per_client``
+  jobs in flight (queued + running); the next submit raises
+  :class:`ClientLimitError` (HTTP 429) so a single chatty client cannot
+  starve the rest;
+* **deduplication** — a spec whose content key matches an in-flight job
+  coalesces onto that job (same job id, no new queue slot), so N
+  clients asking the same question cost one simulation.
+
+Jobs move ``queued → running → done | failed | cancelled``; every job
+carries its own ordered progress log (the runner's ``progress`` lines)
+and a :class:`threading.Event` that waiters block on, which is what
+keeps clients from hanging when a job fails.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.service.jobs import JobSpec
+
+#: Terminal job states (the done-event is set exactly once, on entry).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Cap on retained progress lines per job (oldest dropped beyond this).
+MAX_PROGRESS_LINES = 10_000
+
+
+class QueueFullError(ReproError):
+    """The bounded queue is at capacity; the client should back off."""
+
+
+class ClientLimitError(ReproError):
+    """The submitting client already has its maximum jobs in flight."""
+
+
+class Job:
+    """One tracked job: spec, state machine, progress log, done-event.
+
+    Thread-safe: state transitions and progress appends are serialised
+    by the job's own lock; readers get consistent snapshots.
+    """
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.key = spec.key
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[Dict[str, Any]] = None
+        self._progress: List[str] = []
+        self._progress_dropped = 0
+
+    # -- transitions (called by the scheduler) ------------------------------
+
+    def mark_running(self) -> None:
+        """queued → running."""
+        with self._lock:
+            self.state = "running"
+            self.started_at = time.time()
+
+    def finish(self, result: Dict[str, Any],
+               at: Optional[float] = None) -> None:
+        """running → done, waking every waiter.
+
+        ``at`` lets the scheduler stamp the job with the same timestamp
+        it already persisted in the registry record (persist-first
+        ordering: by the time waiters wake, the record is on disk).
+        """
+        with self._lock:
+            self.state = "done"
+            self.result = result
+            self.finished_at = at if at is not None else time.time()
+        self._done.set()
+
+    def fail(self, error: Dict[str, Any],
+             at: Optional[float] = None) -> None:
+        """running → failed (a record, not a hung client)."""
+        with self._lock:
+            self.state = "failed"
+            self.error = error
+            self.finished_at = at if at is not None else time.time()
+        self._done.set()
+
+    def cancel(self, why: str, at: Optional[float] = None) -> None:
+        """queued → cancelled (shutdown before the job ever ran)."""
+        with self._lock:
+            self.state = "cancelled"
+            self.error = {"error_type": "Cancelled", "message": why}
+            self.finished_at = at if at is not None else time.time()
+        self._done.set()
+
+    # -- progress -----------------------------------------------------------
+
+    def add_progress(self, line: str) -> None:
+        """Append one runner progress line (bounded ring)."""
+        with self._lock:
+            self._progress.append(line)
+            if len(self._progress) > MAX_PROGRESS_LINES:
+                self._progress.pop(0)
+                self._progress_dropped += 1
+
+    def progress_since(self, after: int) -> Dict[str, Any]:
+        """Progress lines with absolute index > ``after``.
+
+        Returns ``{"lines", "next", "done"}`` so a client can poll with
+        a cursor and stop once the job is terminal.
+        """
+        with self._lock:
+            base = self._progress_dropped
+            start = max(0, after - base)
+            lines = list(self._progress[start:])
+            nxt = base + len(self._progress)
+            done = self.state in TERMINAL_STATES
+        return {"lines": lines, "next": nxt, "done": done}
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def done_event(self) -> threading.Event:
+        """Set once the job reaches a terminal state."""
+        return self._done
+
+    def duration(self) -> Optional[float]:
+        """Wall-clock run time of a finished job (None before that)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable status view (no result payload)."""
+        with self._lock:
+            return {
+                "job_id": self.key,
+                "kind": self.spec.kind,
+                "client": self.spec.client,
+                "status": self.state,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "progress_lines": self._progress_dropped + len(self._progress),
+                "error": self.error,
+            }
+
+
+class JobQueue:
+    """FIFO of :class:`Job` records with admission control.
+
+    ``limit`` bounds jobs in flight (queued + running); ``per_client``
+    bounds them per submitting client.  Workers pull with :meth:`next_job`;
+    the queue keeps tracking a job until :meth:`forget` (terminal state),
+    so deduplication covers running jobs, not just queued ones.
+    """
+
+    def __init__(self, limit: int = 64, per_client: int = 8):
+        if limit < 1:
+            raise ReproError(f"queue limit must be >= 1, got {limit}")
+        if per_client < 1:
+            raise ReproError(f"per-client limit must be >= 1, got {per_client}")
+        self.limit = limit
+        self.per_client = per_client
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._fifo: deque = deque()          # queued Jobs
+        self._active: Dict[str, Job] = {}    # key → Job (queued or running)
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> tuple:
+        """Admit a spec; returns ``(job, created)``.
+
+        ``created`` is False when the spec coalesced onto an identical
+        in-flight job.  Raises :class:`QueueFullError` /
+        :class:`ClientLimitError` on policy violations and
+        :class:`ReproError` once the queue is closed for shutdown.
+        """
+        with self._lock:
+            if self._closed:
+                raise ReproError("service is shutting down; not accepting jobs")
+            existing = self._active.get(spec.key)
+            if existing is not None:
+                return existing, False
+            in_flight = len(self._active)
+            if in_flight >= self.limit:
+                raise QueueFullError(
+                    f"queue is full ({in_flight}/{self.limit} jobs in flight)"
+                )
+            mine = sum(
+                1 for j in self._active.values() if j.spec.client == spec.client
+            )
+            if mine >= self.per_client:
+                raise ClientLimitError(
+                    f"client {spec.client!r} already has {mine} jobs in "
+                    f"flight (limit {self.per_client})"
+                )
+            job = Job(spec)
+            self._active[job.key] = job
+            self._fifo.append(job)
+            self._not_empty.notify()
+            return job, True
+
+    # -- worker side --------------------------------------------------------
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the oldest queued job (blocking up to ``timeout``)."""
+        with self._not_empty:
+            if not self._fifo:
+                self._not_empty.wait(timeout)
+            if not self._fifo:
+                return None
+            return self._fifo.popleft()
+
+    def forget(self, job: Job) -> None:
+        """Stop tracking a terminal job (frees its dedup/limit slot)."""
+        with self._lock:
+            self._active.pop(job.key, None)
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self) -> List[Job]:
+        """Refuse new submits; drain and return still-queued jobs.
+
+        The returned jobs are *not* cancelled here — the scheduler
+        persists each one's cancellation record first and only then
+        calls :meth:`Job.cancel`, so waiters never wake before the
+        registry knows the outcome.
+        """
+        with self._lock:
+            self._closed = True
+            drained = list(self._fifo)
+            self._fifo.clear()
+            for job in drained:
+                self._active.pop(job.key, None)
+            self._not_empty.notify_all()
+        return drained
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Job]:
+        """The in-flight job with this key, if any."""
+        with self._lock:
+            return self._active.get(key)
+
+    def depth(self) -> int:
+        """Jobs waiting in the FIFO (not yet running)."""
+        with self._lock:
+            return len(self._fifo)
+
+    def in_flight(self) -> int:
+        """Jobs queued or running."""
+        with self._lock:
+            return len(self._active)
+
+    def jobs(self) -> List[Job]:
+        """Every tracked (queued or running) job, oldest first."""
+        with self._lock:
+            return sorted(self._active.values(), key=lambda j: j.submitted_at)

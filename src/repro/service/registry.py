@@ -1,0 +1,204 @@
+"""Experiment registry: persisted, content-addressed job records.
+
+The registry is the service's memory.  Every job — spec, lifecycle
+timestamps, result payload or failure record — is persisted as one JSON
+file addressed by the job's content key (see
+:attr:`~repro.service.jobs.JobSpec.key`), inside a schema-versioned
+envelope.  Because the key hashes only what influences the simulated
+result, a resubmit of the same work is answered straight from the
+registry with **zero** simulations — the job-level analogue of the PR 1
+run cache, and stored right next to it (``<cache-root>/registry/`` by
+default) so one ``--cache-dir`` flag provisions both layers.
+
+Records are written atomically (tmp + rename, like the run cache) and
+read defensively: unparseable or wrong-schema files are treated as
+absent and counted, never raised, so a corrupted record degrades to a
+re-run instead of a serving outage.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.harness.cache import default_cache_dir
+
+logger = logging.getLogger(__name__)
+
+#: Bump to invalidate every stored job record (envelope layout changes).
+REGISTRY_SCHEMA_VERSION = 1
+
+
+def default_registry_dir() -> pathlib.Path:
+    """``<run-cache root>/registry`` — one directory tree for both layers.
+
+    The extra path level keeps registry files out of the run cache's
+    ``*/*.json`` globs (``stats``/``clear`` never see job records).
+    """
+    return default_cache_dir() / "registry"
+
+
+class ExperimentRegistry:
+    """On-disk store of job records, one JSON file per job key.
+
+    Like the run cache, files fan out under a two-character prefix
+    directory.  Session counters (``hits``/``misses``/``stores``/
+    ``corrupt``) feed the service metrics.
+    """
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None else default_registry_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """File backing ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- record construction -------------------------------------------------
+
+    @staticmethod
+    def make_record(
+        job,
+        *,
+        result: Optional[Dict[str, Any]] = None,
+        status: Optional[str] = None,
+        error: Optional[Dict[str, Any]] = None,
+        finished_at: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Build the persistable record for a job.
+
+        The overrides let the scheduler persist a job's *terminal*
+        record **before** flipping the in-memory state: any observer
+        that sees a terminal status is then guaranteed to find the
+        matching registry record (no done-but-not-yet-persisted window).
+        """
+        snap = job.snapshot()
+        status = status if status is not None else snap["status"]
+        error = error if error is not None else snap["error"]
+        finished = finished_at if finished_at is not None else snap["finished_at"]
+        duration = None
+        if job.started_at is not None and finished is not None:
+            duration = finished - job.started_at
+        return {
+            "key": job.key,
+            "spec": job.spec.to_dict(),
+            "status": status,
+            "submitted_at": snap["submitted_at"],
+            "started_at": snap["started_at"],
+            "finished_at": finished,
+            "duration": duration,
+            "error": error,
+            "result": result,
+        }
+
+    # -- storage -------------------------------------------------------------
+
+    def put(self, record: Dict[str, Any]) -> None:
+        """Persist a record (atomic rename, last write wins)."""
+        key = record["key"]
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": REGISTRY_SCHEMA_VERSION,
+            "stored_at": time.time(),
+            "record": record,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(envelope, separators=(",", ":")))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``key``, or None.
+
+        Wrong-schema and unparseable files count as ``corrupt`` misses
+        (and are left in place for post-mortem inspection — unlike run
+        cache entries they are small and not self-healing by re-run).
+        """
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            self.corrupt += 1
+            self.misses += 1
+            logger.warning("unreadable registry record %s: %s", path, exc)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != REGISTRY_SCHEMA_VERSION
+            or "record" not in envelope
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            logger.warning("registry record %s has wrong schema", path)
+            return None
+        self.hits += 1
+        return envelope["record"]
+
+    def delete(self, key: str) -> bool:
+        """Remove a record; True when a file was actually deleted."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+
+    # -- listing -------------------------------------------------------------
+
+    def list_records(self) -> List[Dict[str, Any]]:
+        """Status summaries of every stored record, newest first.
+
+        Summaries carry identity/lifecycle fields only (no result
+        payloads), so listing stays cheap even with large sweeps stored.
+        """
+        out: List[Dict[str, Any]] = []
+        if not self.root.exists():
+            return out
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != REGISTRY_SCHEMA_VERSION
+            ):
+                continue
+            rec = envelope["record"]
+            out.append({
+                "job_id": rec.get("key"),
+                "kind": (rec.get("spec") or {}).get("kind"),
+                "client": (rec.get("spec") or {}).get("client"),
+                "status": rec.get("status"),
+                "submitted_at": rec.get("submitted_at"),
+                "finished_at": rec.get("finished_at"),
+                "duration": rec.get("duration"),
+            })
+        out.sort(key=lambda r: r.get("submitted_at") or 0, reverse=True)
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Session counters plus on-disk record count."""
+        entries = 0
+        if self.root.exists():
+            entries = sum(1 for _ in self.root.glob("*/*.json"))
+        return {
+            "dir": str(self.root),
+            "entries": entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }

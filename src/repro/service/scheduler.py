@@ -1,0 +1,183 @@
+"""The worker pool draining the job queue.
+
+``workers`` daemon threads pull jobs off the :class:`~repro.service.queue.JobQueue`
+and execute them through :func:`~repro.service.jobs.execute_job` — which
+itself fans sweep points out over the PR 1 process pool
+(:mod:`repro.harness.parallel`) with PR 2's fail-soft / retry / watchdog
+semantics.  Threads are the right grain here: a job spends its life
+inside the harness (which releases the GIL into worker *processes* when
+``jobs > 1``), so the scheduler only needs cheap concurrency for
+bookkeeping and blocking.
+
+Every terminal transition is persisted to the
+:class:`~repro.service.registry.ExperimentRegistry` before the client is
+woken: a completed job's record carries the full result payload, a
+crashed job's record carries the error identity and traceback — so a
+worker dying mid-job yields a *failed-job record*, never a hung client.
+
+Shutdown is graceful by default: :meth:`Scheduler.stop` closes the
+queue (new submits refused, queued jobs cancelled-and-recorded), then
+joins the workers, which finish their running jobs first — draining, in
+service terms.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import traceback
+from typing import List, Optional
+
+from repro.service.jobs import execute_job
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import Job, JobQueue
+from repro.service.registry import ExperimentRegistry
+
+logger = logging.getLogger(__name__)
+
+#: How long an idle worker blocks on the queue before re-checking the
+#: stop flag (seconds); bounds shutdown latency, not throughput.
+_POLL_INTERVAL = 0.1
+
+
+class Scheduler:
+    """Runs queued jobs on a pool of worker threads.
+
+    Parameters
+    ----------
+    queue, registry, metrics:
+        The shared service singletons.
+    workers:
+        Concurrent jobs (threads).  Each job may additionally use
+        ``sweep_jobs`` worker *processes* for its points.
+    sweep_jobs:
+        Default per-sweep process count passed to the harness (a spec's
+        own ``jobs`` field overrides it; None → harness default).
+    cache:
+        Shared :class:`~repro.harness.cache.RunCache` (or None) given to
+        every job, so identical points across different jobs replay
+        from disk.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        registry: ExperimentRegistry,
+        metrics: ServiceMetrics,
+        *,
+        workers: int = 2,
+        sweep_jobs: Optional[int] = None,
+        cache=None,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.queue = queue
+        self.registry = registry
+        self.metrics = metrics
+        self.workers = workers
+        self.sweep_jobs = sweep_jobs
+        self.cache = cache
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._running_lock = threading.Lock()
+        self._running: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut the pool down.
+
+        ``drain=True`` (default) cancels *queued* jobs but lets
+        *running* jobs finish and persist their records; ``drain=False``
+        abandons running jobs too (their threads are daemonic).
+        """
+        why = "service shut down before the job started"
+        for job in self.queue.close():
+            now = time.time()
+            self.registry.put(ExperimentRegistry.make_record(
+                job,
+                status="cancelled",
+                error={"error_type": "Cancelled", "message": why},
+                finished_at=now,
+            ))
+            self.metrics.inc("jobs_cancelled")
+            job.cancel(why, at=now)
+        self._stop.set()
+        if drain:
+            for t in self._threads:
+                t.join(timeout)
+        self._threads = []
+
+    def running_count(self) -> int:
+        """Jobs currently executing on a worker."""
+        with self._running_lock:
+            return len(self._running)
+
+    # -- the worker loop ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.next_job(timeout=_POLL_INTERVAL)
+            if job is None:
+                continue
+            self._run_job(job)
+        # drain: keep servicing the queue until close() emptied it
+        while True:
+            job = self.queue.next_job(timeout=0)
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one job and persist its terminal record."""
+        job.mark_running()
+        with self._running_lock:
+            self._running.add(job.key)
+        self.registry.put(ExperimentRegistry.make_record(job))
+        try:
+            payload = execute_job(
+                job.spec,
+                jobs=self.sweep_jobs,
+                cache=self.cache,
+                progress=job.add_progress,
+            )
+        except BaseException as exc:  # noqa: BLE001 - becomes a failure record
+            error = {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            now = time.time()
+            # persist first, then wake waiters: anyone who observes the
+            # terminal state is guaranteed to find the record on disk
+            self.registry.put(ExperimentRegistry.make_record(
+                job, status="failed", error=error, finished_at=now))
+            job.fail(error, at=now)
+            self.metrics.inc("jobs_failed")
+            logger.warning("job %s failed: %s: %s",
+                           job.key[:12], type(exc).__name__, exc)
+        else:
+            now = time.time()
+            self.registry.put(ExperimentRegistry.make_record(
+                job, status="done", result=payload, finished_at=now))
+            job.finish(payload, at=now)
+            self.metrics.inc("jobs_completed")
+        finally:
+            duration = job.duration()
+            if duration is not None:
+                self.metrics.observe_latency(duration)
+            with self._running_lock:
+                self._running.discard(job.key)
+            self.queue.forget(job)

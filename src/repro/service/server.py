@@ -1,0 +1,136 @@
+"""The HTTP transport: ``http.server`` bound to a :class:`ServiceApp`.
+
+A deliberately thin adapter — all routing, validation and state live in
+:mod:`repro.service.api`; this module only parses the request line,
+reads the body, calls :meth:`ServiceApp.handle` and writes the response.
+``ThreadingHTTPServer`` gives one thread per connection, which is all
+the concurrency the transport needs: requests either return immediately
+(submit, status, metrics) or block cheaply on a job's done-event
+(progress long-polls).
+
+No third-party dependencies; stdlib ``http.server`` is explicitly
+production-adjacent here — the service is an *analysis* server living
+behind a reverse proxy, not an internet-facing frontend.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.api import ServiceApp
+
+logger = logging.getLogger(__name__)
+
+#: Largest accepted request body (a job spec; sweeps are small JSON).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-request adapter: parse, delegate to the app, write back."""
+
+    #: Injected by :class:`ServiceServer` via a subclass attribute.
+    app: ServiceApp = None  # type: ignore[assignment]
+
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        query = dict(parse_qsl(split.query))
+        body = b""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._write(413, {"Content-Type": "application/json"},
+                        b'{"error": "request body too large"}\n')
+            return
+        if length:
+            body = self.rfile.read(length)
+        status, headers, payload = self.app.handle(
+            method, split.path, query, body
+        )
+        self._write(status, headers, payload)
+
+    def _write(self, status: int, headers: dict, payload: bytes) -> None:
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        """Route GET requests."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        """Route POST requests."""
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        """Route DELETE requests."""
+        self._dispatch("DELETE")
+
+    def log_message(self, fmt: str, *args) -> None:
+        """Access log → the logging module (quiet by default)."""
+        logger.debug("%s - %s", self.address_string(), fmt % args)
+
+
+class ServiceServer:
+    """A running analysis server: app + listener + acceptor thread.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the actual ``(host, port)`` after :meth:`start`.
+    """
+
+    def __init__(self, app: ServiceApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        handler = type("BoundHandler", (_Handler,), {"app": app})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Start workers and the acceptor thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self.app.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI: start, then wait for shutdown."""
+        self.app.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain jobs, close sockets."""
+        self._httpd.shutdown()
+        self.app.close(drain=drain)
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,73 @@
+"""Shared fixtures for the service tests: tiny specs, apps, live servers.
+
+Job specs here are deliberately minuscule (tens of milliseconds of
+simulated sweep), so the whole service suite — including the live-HTTP
+end-to-end tests — stays inside the tier-1 time budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.api import ServiceApp
+from repro.service.server import ServiceServer
+
+
+def tiny_conv_spec(**overrides) -> dict:
+    """A convolution job spec that simulates in ~20 ms."""
+    spec = {
+        "kind": "convolution",
+        "client": "tester",
+        "workload": {"height": 64, "width": 96, "steps": 5},
+        "machine": {"name": "nehalem", "nodes": 4},
+        "process_counts": [1, 2, 4],
+        "reps": 1,
+        "base_seed": 100,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def tiny_lulesh_spec(**overrides) -> dict:
+    """A Lulesh grid job spec that simulates in ~40 ms."""
+    spec = {
+        "kind": "lulesh",
+        "client": "tester",
+        "workload": {"s": 6, "steps": 2},
+        "machine": {"name": "knl"},
+        "grid": {"1": [1, 2], "8": [1]},
+        "sides": {"1": 6, "8": 3},
+        "reps": 1,
+        "base_seed": 300,
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def app(tmp_path):
+    """A started service app on a private cache dir; drained at teardown."""
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=2)
+    app.start()
+    yield app
+    app.close()
+
+
+@pytest.fixture
+def idle_app(tmp_path):
+    """An app whose scheduler is NOT running — jobs stay queued, which
+    makes admission-control tests deterministic."""
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=1,
+                     queue_limit=4, per_client=2)
+    yield app
+    app.close()
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live HTTP server on an ephemeral port; stopped at teardown."""
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=2)
+    server = ServiceServer(app)
+    server.start()
+    yield server
+    server.stop()

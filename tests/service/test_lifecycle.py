@@ -1,0 +1,173 @@
+"""Service lifecycle: draining shutdown, worker crashes, sustained load."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+import repro.service.scheduler as scheduler_mod
+from repro.service.api import ServiceApp
+from repro.service.jobs import parse_job_spec
+
+from tests.service.conftest import tiny_conv_spec
+
+
+def _submit(app, spec):
+    status, _, body = app.handle("POST", "/api/v1/jobs", {},
+                                 json.dumps(spec).encode())
+    return status, json.loads(body)
+
+
+def _wait_terminal(job, timeout=30.0):
+    assert job.done_event.wait(timeout), "job never reached a terminal state"
+
+
+def test_graceful_shutdown_drains_running_and_cancels_queued(tmp_path):
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=1)
+    app.start()
+    # a job big enough to still be running when we pull the plug
+    running_spec = tiny_conv_spec(
+        workload={"height": 128, "width": 192, "steps": 40},
+        process_counts=[1, 2, 4, 8], reps=2, base_seed=1,
+    )
+    _, first = _submit(app, running_spec)
+    _, second = _submit(app, tiny_conv_spec(base_seed=2, client="other"))
+    running = app.queue.get(first["job_id"])
+    for _ in range(500):
+        if running.state == "running":
+            break
+        time.sleep(0.01)
+    assert running.state == "running"
+    queued = app.queue.get(second["job_id"])
+
+    app.close(drain=True)
+
+    # the running job was drained to completion and persisted
+    assert running.state == "done"
+    record = app.registry.get(first["job_id"])
+    assert record["status"] == "done"
+    assert record["result"]["kind"] == "convolution"
+    # the queued job was cancelled, recorded, and its waiters released
+    assert queued.state == "cancelled"
+    assert queued.done_event.is_set()
+    assert app.registry.get(second["job_id"])["status"] == "cancelled"
+    assert app.metrics.counter("jobs_cancelled") == 1
+    # and the service refuses new work
+    status, body = _submit(app, tiny_conv_spec(base_seed=3))
+    assert status == 503
+
+
+def test_worker_crash_yields_failed_record_not_hung_client(
+        tmp_path, monkeypatch):
+    """An unexpected executor death becomes a failed-job record."""
+    def boom(spec, **kwargs):
+        raise RuntimeError("worker exploded mid-job")
+
+    monkeypatch.setattr(scheduler_mod, "execute_job", boom)
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=1)
+    app.start()
+    try:
+        _, receipt = _submit(app, tiny_conv_spec())
+        job = app.queue.get(receipt["job_id"])
+        _wait_terminal(job)
+        assert job.state == "failed"
+        assert job.error["error_type"] == "RuntimeError"
+        record = app.registry.get(receipt["job_id"])
+        assert record["status"] == "failed"
+        assert "exploded" in record["error"]["message"]
+        assert "traceback" in record["error"]
+        assert app.metrics.counter("jobs_failed") == 1
+        # the result endpoint reports the failure instead of hanging
+        status, _, body = app.handle(
+            "GET", f"/api/v1/jobs/{receipt['job_id']}/result")
+        assert status == 410
+        assert json.loads(body)["status"] == "failed"
+    finally:
+        app.close()
+
+
+def test_failed_record_is_not_served_as_warm_hit(tmp_path, monkeypatch):
+    """A resubmit after a failure re-runs instead of replaying the error."""
+    calls = {"n": 0}
+    real = scheduler_mod.execute_job
+
+    def flaky(spec, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return real(spec, **kwargs)
+
+    monkeypatch.setattr(scheduler_mod, "execute_job", flaky)
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=1)
+    app.start()
+    try:
+        _, receipt = _submit(app, tiny_conv_spec())
+        first_job = app.queue.get(receipt["job_id"])
+        _wait_terminal(first_job)
+        assert first_job.state == "failed"
+        deadline = time.time() + 30
+        while app.queue.get(receipt["job_id"]) is not None:
+            assert time.time() < deadline  # wait for the slot to free
+            time.sleep(0.01)
+        status, body = _submit(app, tiny_conv_spec())
+        assert status == 202 and body["cached"] is False
+        deadline = time.time() + 30
+        while app.registry.get(receipt["job_id"])["status"] != "done":
+            assert time.time() < deadline
+            time.sleep(0.01)
+        assert calls["n"] == 2
+    finally:
+        app.close()
+
+
+def test_sustains_eight_in_flight_jobs_with_limits_enforced(tmp_path):
+    """The ISSUE acceptance bar: >= 8 concurrent in-flight sweep jobs,
+    per-client limits enforced, all completing correctly."""
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=4,
+                     queue_limit=64, per_client=8)
+    # submit before starting workers so "8 in flight" is exact, not racy
+    ids = []
+    for seed in range(1, 9):
+        status, body = _submit(
+            app, tiny_conv_spec(base_seed=seed, client="load"))
+        assert status == 202
+        ids.append(body["job_id"])
+    assert len(set(ids)) == 8
+    assert app.queue.in_flight() == 8
+    # the ninth from the same client trips the per-client limit…
+    status, body = _submit(app, tiny_conv_spec(base_seed=9, client="load"))
+    assert status == 429
+    # …while another client still gets in (fairness, not global stop)
+    status, body = _submit(app, tiny_conv_spec(base_seed=9, client="solo"))
+    assert status == 202
+    ids.append(body["job_id"])
+
+    app.start()
+    try:
+        jobs = [app.queue.get(i) for i in ids]
+        for job in jobs:
+            if job is not None:
+                _wait_terminal(job)
+        for job_id in ids:
+            assert app.registry.get(job_id)["status"] == "done"
+        assert app.metrics.counter("jobs_completed") == 9
+        snap = app.metrics.snapshot()
+        assert snap["latency"]["count"] == 9
+        assert snap["latency"]["p95"] > 0
+    finally:
+        app.close()
+
+
+def test_rejected_jobs_do_not_leak_queue_slots(tmp_path):
+    app = ServiceApp(cache_dir=tmp_path / "cache", workers=1,
+                     queue_limit=2, per_client=2)
+    _submit(app, tiny_conv_spec(base_seed=1))
+    _submit(app, tiny_conv_spec(base_seed=2))
+    for seed in (3, 4, 5):
+        status, _ = _submit(app, tiny_conv_spec(base_seed=seed))
+        assert status == 429
+    assert app.queue.in_flight() == 2
+    assert app.metrics.counter("jobs_rejected") == 3
+    app.close()

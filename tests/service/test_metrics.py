@@ -1,0 +1,65 @@
+"""Metrics core: counters, quantiles, Prometheus rendering."""
+
+from __future__ import annotations
+
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+def test_percentile_interpolates():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 1.0) == 4.0
+    assert percentile(data, 0.5) == 2.5
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.95) == 7.0
+
+
+def test_counters_start_at_zero_and_increment():
+    m = ServiceMetrics()
+    assert m.counter("jobs_submitted") == 0
+    m.inc("jobs_submitted")
+    m.inc("jobs_submitted", 2)
+    assert m.counter("jobs_submitted") == 3
+    m.inc("made_up_counter")
+    assert m.counter("made_up_counter") == 1
+
+
+def test_latency_summary():
+    m = ServiceMetrics()
+    for s in (0.1, 0.2, 0.3, 0.4):
+        m.observe_latency(s)
+    lat = m.snapshot()["latency"]
+    assert lat["count"] == 4
+    assert abs(lat["sum"] - 1.0) < 1e-12
+    assert abs(lat["p50"] - 0.25) < 1e-12
+    assert lat["p95"] <= 0.4
+
+
+def test_prometheus_rendering_shape():
+    m = ServiceMetrics()
+    m.inc("jobs_submitted")
+    m.observe_latency(0.5)
+    text = m.render_prometheus(
+        gauges={"queue_depth": (3.0, "Jobs waiting.")},
+        cache_stats={"hits": 2, "misses": 2, "stores": 1, "corrupt": 0,
+                     "entries": 5, "bytes": 1234},
+    )
+    assert "# TYPE repro_jobs_submitted_total counter" in text
+    assert "repro_jobs_submitted_total 1" in text
+    assert "repro_queue_depth 3" in text
+    assert "repro_cache_hits_total 2" in text
+    assert "repro_cache_hit_ratio 0.5" in text
+    assert 'repro_job_latency_seconds{quantile="0.5"} 0.5' in text
+    assert "repro_job_latency_seconds_count 1" in text
+    # every non-comment line is "name[{labels}] value"
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name and float(value) is not None
+
+
+def test_zero_traffic_renders_zeros():
+    text = ServiceMetrics().render_prometheus()
+    assert "repro_jobs_completed_total 0" in text
+    assert "repro_job_latency_seconds_count 0" in text

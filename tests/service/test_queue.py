@@ -1,0 +1,106 @@
+"""Admission control: backpressure, per-client limits, deduplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.jobs import parse_job_spec
+from repro.service.queue import ClientLimitError, JobQueue, QueueFullError
+
+from tests.service.conftest import tiny_conv_spec
+
+
+def _spec(seed=100, client="tester"):
+    return parse_job_spec(tiny_conv_spec(base_seed=seed, client=client))
+
+
+def test_fifo_order_and_depth():
+    q = JobQueue(limit=8, per_client=8)
+    j1, _ = q.submit(_spec(1))
+    j2, _ = q.submit(_spec(2))
+    assert q.depth() == 2 and q.in_flight() == 2
+    assert q.next_job(timeout=0) is j1
+    assert q.next_job(timeout=0) is j2
+    assert q.next_job(timeout=0) is None
+    # popped jobs stay tracked (running) until forgotten
+    assert q.in_flight() == 2
+    q.forget(j1)
+    q.forget(j2)
+    assert q.in_flight() == 0
+
+
+def test_bounded_queue_backpressure():
+    q = JobQueue(limit=2, per_client=8)
+    q.submit(_spec(1))
+    q.submit(_spec(2))
+    with pytest.raises(QueueFullError):
+        q.submit(_spec(3))
+
+
+def test_per_client_limit_is_per_client():
+    q = JobQueue(limit=8, per_client=2)
+    q.submit(_spec(1, client="a"))
+    q.submit(_spec(2, client="a"))
+    with pytest.raises(ClientLimitError):
+        q.submit(_spec(3, client="a"))
+    # a different client still gets in
+    job, created = q.submit(_spec(3, client="b"))
+    assert created and job.spec.client == "b"
+
+
+def test_limit_slot_freed_after_forget():
+    q = JobQueue(limit=8, per_client=1)
+    job, _ = q.submit(_spec(1))
+    with pytest.raises(ClientLimitError):
+        q.submit(_spec(2))
+    q.next_job(timeout=0)
+    q.forget(job)
+    q.submit(_spec(2))  # slot released
+
+
+def test_duplicate_in_flight_submits_coalesce():
+    q = JobQueue(limit=8, per_client=8)
+    j1, created1 = q.submit(_spec(1))
+    j2, created2 = q.submit(_spec(1, client="other"))
+    assert created1 and not created2
+    assert j1 is j2
+    assert q.in_flight() == 1
+    # dedup also covers *running* jobs (popped but not forgotten)
+    assert q.next_job(timeout=0) is j1
+    j3, created3 = q.submit(_spec(1))
+    assert j3 is j1 and not created3
+
+
+def test_close_drains_queued_jobs_and_refuses_new():
+    q = JobQueue(limit=8, per_client=8)
+    job, _ = q.submit(_spec(1))
+    drained = q.close()
+    assert drained == [job]
+    # cancellation is the scheduler's job (it persists the record first)
+    assert job.state == "queued"
+    assert not job.done_event.is_set()
+    assert q.in_flight() == 0
+    with pytest.raises(ReproError):
+        q.submit(_spec(2))
+
+
+def test_job_progress_cursor():
+    q = JobQueue()
+    job, _ = q.submit(_spec(1))
+    job.add_progress("one")
+    job.add_progress("two")
+    chunk = job.progress_since(0)
+    assert chunk["lines"] == ["one", "two"] and chunk["next"] == 2
+    assert not chunk["done"]
+    chunk = job.progress_since(2)
+    assert chunk["lines"] == []
+    job.finish({"kind": "convolution"})
+    assert job.progress_since(2)["done"]
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ReproError):
+        JobQueue(limit=0)
+    with pytest.raises(ReproError):
+        JobQueue(per_client=0)

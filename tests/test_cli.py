@@ -173,3 +173,96 @@ def test_fault_plan_flows_into_the_sweep(monkeypatch, capsys, tmp_path):
     out = capsys.readouterr().out
     assert "fig5a:" in out
     assert rc in (0, 2)  # no usage error; pass/fail depends on the check
+
+
+# -- service subcommands (serve / submit / status) ---------------------------
+
+
+def test_serve_rejects_bad_workers(capsys):
+    assert main(["serve", "--workers", "0"]) == 1
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_submit_unreadable_spec_is_usage_error(tmp_path, capsys):
+    assert main(["submit", str(tmp_path / "missing.json")]) == 1
+    assert "cannot read spec" in capsys.readouterr().err
+
+
+def test_submit_unreachable_server_is_usage_error(tmp_path, capsys):
+    from tests.service.conftest import tiny_conv_spec
+
+    spec = tmp_path / "job.json"
+    spec.write_text(__import__("json").dumps(tiny_conv_spec()))
+    rc = main(["submit", str(spec), "--url", "http://127.0.0.1:9"])
+    assert rc == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_status_unreachable_server_is_usage_error(capsys):
+    assert main(["status", "--url", "http://127.0.0.1:9"]) == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_submit_and_status_against_live_server(tmp_path, capsys):
+    """The thin clients drive a real server end to end."""
+    import json
+
+    from repro.service.api import ServiceApp
+    from repro.service.server import ServiceServer
+
+    from tests.service.conftest import tiny_conv_spec
+
+    server = ServiceServer(ServiceApp(cache_dir=tmp_path / "cache", workers=1))
+    server.start()
+    try:
+        spec = tmp_path / "job.json"
+        spec.write_text(json.dumps(tiny_conv_spec()))
+        rc = main(["submit", str(spec), "--url", server.url, "--wait"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "done" in out
+        assert "convolution p=" in out  # streamed progress lines
+        job_id = out.split()[1].rstrip(":")
+
+        assert main(["status", job_id, "--url", server.url]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["status"] == "done"
+
+        # a bare `status` lists jobs; a resubmit is a registry hit
+        assert main(["status", "--url", server.url]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert any(j["job_id"] == job_id for j in listing["stored"])
+        assert main(["submit", str(spec), "--url", server.url]) == 0
+        assert "served from registry" in capsys.readouterr().out
+
+        # unknown job id is a usage error
+        assert main(["status", "0" * 64, "--url", server.url]) == 1
+    finally:
+        server.stop()
+
+
+def test_submit_failed_job_exits_run_failure(tmp_path, capsys, monkeypatch):
+    import json
+
+    import repro.service.scheduler as scheduler_mod
+    from repro.service.api import ServiceApp
+    from repro.service.server import ServiceServer
+
+    from tests.service.conftest import tiny_conv_spec
+
+    def boom(spec, **kwargs):
+        raise RuntimeError("simulated worker failure")
+
+    monkeypatch.setattr(scheduler_mod, "execute_job", boom)
+    server = ServiceServer(ServiceApp(cache_dir=tmp_path / "cache", workers=1))
+    server.start()
+    try:
+        spec = tmp_path / "job.json"
+        spec.write_text(json.dumps(tiny_conv_spec()))
+        rc = main(["submit", str(spec), "--url", server.url, "--wait"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "failed" in captured.out
+        assert "RuntimeError" in captured.err
+    finally:
+        server.stop()
