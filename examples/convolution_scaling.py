@@ -7,7 +7,10 @@ the Figure 6 bound table.  A smaller image / fewer steps than the
 benchmark harness keeps this under a minute.
 
 Run:  python examples/convolution_scaling.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
+
+import os
 
 from repro.harness import experiments as E
 from repro.harness.runner import run_convolution_sweep
@@ -16,7 +19,18 @@ from repro.machine import nehalem_cluster
 from repro.workloads.convolution import ConvolutionConfig
 
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+
+
 def build_sweep() -> ConvolutionSweep:
+    if FAST:
+        return ConvolutionSweep(
+            config=ConvolutionConfig(height=64, width=96, steps=5),
+            machine=nehalem_cluster(nodes=2),
+            process_counts=(1, 2, 4, 8),
+            reps=1,
+            noise_floor=120e-6,
+        )
     return ConvolutionSweep(
         config=ConvolutionConfig(height=288, width=432, steps=60),
         machine=nehalem_cluster(nodes=12),
@@ -41,7 +55,7 @@ if __name__ == "__main__":
         print(result.render())
         print()
 
-    fig6 = E.fig6(profile, (32, 64, 96))
+    fig6 = E.fig6(profile, (2, 4, 8) if FAST else (32, 64, 96))
     print(fig6.render())
     print()
     print("Reading the tables the way the paper does:")

@@ -10,8 +10,10 @@ state — and runs it together with the built-in trace tool to produce a
 Figure 3-style load-balance report.
 
 Run:  python examples/custom_tool.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
 
+import os
 import struct
 
 import numpy as np
@@ -20,6 +22,10 @@ from repro.core.report import format_dict_rows
 from repro.machine import nehalem_cluster
 from repro.simmpi import Tool, run_mpi, section
 from repro.tools import TraceTool, analyze_load_balance, render_timeline
+
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+STEPS = 3 if FAST else 10
+FLOPS_PER_STEP = 1e6 if FAST else 1e7
 
 
 class LatecomerDetector(Tool):
@@ -59,10 +65,10 @@ def application(ctx):
     """Imbalanced domain: rank 'size-1' carries extra work every step."""
     comm = ctx.comm
     data = np.full(50_000, float(comm.rank))
-    for _ in range(10):
+    for _ in range(STEPS):
         with section(ctx, "assemble"):
             extra = 3.0 if comm.rank == comm.size - 1 else 1.0
-            ctx.compute(flops=1e7 * extra)
+            ctx.compute(flops=FLOPS_PER_STEP * extra)
         with section(ctx, "exchange"):
             peer = (comm.rank + 1) % comm.size
             src = (comm.rank - 1) % comm.size

@@ -8,11 +8,19 @@ rank's blocked operation, and the section stacks recorded up to that
 point tell you *which phase* of the program the hang lives in.
 
 Run:  python examples/deadlock_debugging.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
+
+import os
 
 from repro.errors import DeadlockError
 from repro.machine import laptop
 from repro.simmpi import Tool, run_mpi, section_enter, section_exit
+
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+# Must stay above the eager threshold or the sends complete and the
+# "bug" vanishes; 100 kB is still firmly rendezvous-sized.
+PAYLOAD = 10**5 if FAST else 10**6
 
 
 class OpenSectionTracker(Tool):
@@ -35,7 +43,7 @@ def buggy_application(ctx):
     comm = ctx.comm
     section_enter(ctx, "load-balancing")
     section_enter(ctx, "communication")
-    big = bytes(10**6)  # rendezvous-sized: blocking send will wait
+    big = bytes(PAYLOAD)  # rendezvous-sized: blocking send will wait
     right = (comm.rank + 1) % comm.size
     left = (comm.rank - 1) % comm.size
     got = comm.recv(source=right)  # everyone receives first → cycle

@@ -9,13 +9,21 @@ section-based scaling analysis as the convolution study, showing the
 methodology transfers unchanged to a different stencil code.
 
 Run:  python examples/lbm_flow.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
+
+import os
 
 from repro.core.analysis import ScalingAnalysis
 from repro.core.profile import ScalingProfile, SectionProfile
 from repro.core.report import format_dict_rows
 from repro.machine import nehalem_cluster
 from repro.workloads.lbm import LBMBenchmark, LBMConfig
+
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+PHYSICS_STEPS = 50 if FAST else 400
+SCALING_CFG = dict(ny=48, nx=48, steps=8) if FAST else dict(ny=192, nx=192, steps=40)
+PROCESS_COUNTS = (1, 2, 4, 8) if FAST else (1, 2, 4, 8, 16, 32, 64)
 
 
 def ascii_profile(prof, width=48):
@@ -31,17 +39,17 @@ if __name__ == "__main__":
     machine = nehalem_cluster(nodes=8)
 
     # 1. physics: develop the flow and show the parabolic profile
-    bench = LBMBenchmark(LBMConfig(ny=16, nx=24, steps=400))
+    bench = LBMBenchmark(LBMConfig(ny=16, nx=24, steps=PHYSICS_STEPS))
     _, summary = bench.run(4, machine=machine)
     print("developed channel-flow profile (mean u_x per row):")
     print(ascii_profile(summary["ux_profile"]))
-    print(f"\nmass drift over 400 steps: {summary['mass_drift']:.2e} "
-          "(exact conservation)\n")
+    print(f"\nmass drift over {PHYSICS_STEPS} steps: "
+          f"{summary['mass_drift']:.2e} (exact conservation)\n")
 
     # 2. scaling: the convolution study's analysis, unchanged
-    cfg = LBMConfig(ny=192, nx=192, steps=40)
+    cfg = LBMConfig(**SCALING_CFG)
     profile = ScalingProfile("p")
-    for p in (1, 2, 4, 8, 16, 32, 64):
+    for p in PROCESS_COUNTS:
         res, s = LBMBenchmark(cfg).run(
             p, machine=machine, compute_jitter=0.02, noise_floor=80e-6,
             seed=100 + p,

@@ -7,7 +7,10 @@ instrumentation* — the paper's headline demonstration — and locates the
 inflexion point with its partial speedup bounds (Figure 10).
 
 Run:  python examples/lulesh_hybrid.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
+
+import os
 
 from repro.core.report import format_dict_rows
 from repro.harness import experiments as E
@@ -17,10 +20,24 @@ from repro.machine import broadwell_duo, knl_node
 from repro.tools import AdaptiveAdvisor
 from repro.workloads.lulesh import LuleshConfig
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+# p=1/8/27 must stay in both grids: fig8/9/10 read those MPI levels.
+CONFIG = LuleshConfig(s=12, steps=2) if FAST else LuleshConfig(s=24, steps=8)
+KNL_GRID = (
+    {1: (1, 2, 4, 8), 8: (1, 2), 27: (1, 2)} if FAST else
+    {1: (1, 2, 4, 8, 16, 24, 32, 64, 128), 8: (1, 2, 4, 8, 16),
+     27: (1, 2, 4, 8)}
+)
+BDW_GRID = (
+    # fig8 compares w(8,1) with w(1,8): keep 8 threads at p=1.
+    {1: (1, 2, 4, 8), 8: (1, 2), 27: (1, 2)} if FAST else
+    {1: (1, 2, 4, 8, 16, 32, 64), 8: (1, 2, 4, 8), 27: (1, 2)}
+)
+
 
 def run_machine(name, machine, grid):
     sweep = LuleshGridSweep(
-        config=LuleshConfig(s=24, steps=8),  # 13 824 elements at p=1
+        config=CONFIG,  # 13 824 elements at p=1 (1 728 under FAST)
         machine=machine,
         grid=grid,
         reps=1,
@@ -34,15 +51,8 @@ def run_machine(name, machine, grid):
 
 
 if __name__ == "__main__":
-    knl = run_machine(
-        "Intel KNL", knl_node(),
-        {1: (1, 2, 4, 8, 16, 24, 32, 64, 128), 8: (1, 2, 4, 8, 16),
-         27: (1, 2, 4, 8)},
-    )
-    bdw = run_machine(
-        "dual Broadwell", broadwell_duo(),
-        {1: (1, 2, 4, 8, 16, 32, 64), 8: (1, 2, 4, 8), 27: (1, 2)},
-    )
+    knl = run_machine("Intel KNL", knl_node(), KNL_GRID)
+    bdw = run_machine("dual Broadwell", broadwell_duo(), BDW_GRID)
 
     print(E.fig8(bdw).render())
     print()

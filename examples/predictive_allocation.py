@@ -11,7 +11,10 @@ requesting — then verify the prediction against actual (simulated)
 measurements at the large scales.
 
 Run:  python examples/predictive_allocation.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
+
+import os
 
 from repro.core.models import SectionScalingModel, fit_usl_profile
 from repro.core.report import format_dict_rows
@@ -20,19 +23,32 @@ from repro.harness.sweeps import ConvolutionSweep
 from repro.machine import nehalem_cluster
 from repro.workloads.convolution import ConvolutionConfig
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+TRAIN_MAX_SCALE = 8 if FAST else 16
+VALIDATION_SCALES = (16, 32) if FAST else (32, 64, 128, 192)
+
 if __name__ == "__main__":
-    sweep = ConvolutionSweep(
-        config=ConvolutionConfig(height=288, width=432, steps=60),
-        machine=nehalem_cluster(nodes=24),
-        process_counts=(1, 2, 4, 8, 16, 32, 64, 128, 192),
-        reps=2,
-        noise_floor=80e-6,
-    )
+    if FAST:
+        sweep = ConvolutionSweep(
+            config=ConvolutionConfig(height=96, width=144, steps=10),
+            machine=nehalem_cluster(nodes=4),
+            process_counts=(1, 2, 4, 8, 16, 32),
+            reps=1,
+            noise_floor=80e-6,
+        )
+    else:
+        sweep = ConvolutionSweep(
+            config=ConvolutionConfig(height=288, width=432, steps=60),
+            machine=nehalem_cluster(nodes=24),
+            process_counts=(1, 2, 4, 8, 16, 32, 64, 128, 192),
+            reps=2,
+            noise_floor=80e-6,
+        )
     print("running the sweep (small scales train the model, large ones "
           "validate it)...")
     profile = run_convolution_sweep(sweep)
 
-    model = SectionScalingModel.fit_profile(profile, max_scale=16)
+    model = SectionScalingModel.fit_profile(profile, max_scale=TRAIN_MAX_SCALE)
     print("\nfitted per-section power laws  T(p) = a/p^b + c :")
     print(format_dict_rows([
         {"section": lab, "a": f.a, "b": f.b, "floor_c": f.c,
@@ -41,7 +57,7 @@ if __name__ == "__main__":
     ]))
 
     rows = []
-    for p in (32, 64, 128, 192):
+    for p in VALIDATION_SCALES:
         rows.append({
             "p": p,
             "predicted_speedup": model.speedup(p),
@@ -50,7 +66,8 @@ if __name__ == "__main__":
         })
     print()
     print(format_dict_rows(
-        rows, title="extrapolation (model fitted on p <= 16 only)"))
+        rows,
+        title=f"extrapolation (model fitted on p <= {TRAIN_MAX_SCALE} only)"))
 
     p_sat = model.saturation_scale(gain_threshold=0.05)
     print(f"\nrecommendation: request ~{p_sat} cores — past that, doubling "

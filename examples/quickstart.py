@@ -11,7 +11,10 @@ This is the smallest end-to-end tour of the library:
    you *which phase* limits scaling.
 
 Run:  python examples/quickstart.py
+(REPRO_EXAMPLE_FAST=1 shrinks the run to CI-smoke scale, seconds.)
 """
+
+import os
 
 import numpy as np
 
@@ -21,6 +24,10 @@ from repro.core.report import format_dict_rows
 from repro.machine import nehalem_cluster
 from repro.simmpi import run_mpi, section
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+TOTAL_WORK = 400_000 if FAST else 16_000_000
+PROCESS_COUNTS = (1, 2, 4, 8) if FAST else (1, 2, 4, 8, 16, 32, 64)
+
 
 def main(ctx):
     """A toy application: parallel matrix work plus a serial summary.
@@ -29,7 +36,7 @@ def main(ctx):
     the section), so it caps the speedup exactly as Eq. 6 predicts.
     """
     comm = ctx.comm
-    n = 16_000_000 // comm.size  # strong scaling: fixed global work
+    n = TOTAL_WORK // comm.size  # strong scaling: fixed global work
 
     with section(ctx, "compute"):
         offset = comm.rank * n
@@ -51,7 +58,7 @@ if __name__ == "__main__":
     machine = nehalem_cluster(nodes=8)
     profile = ScalingProfile("p")
 
-    for p in (1, 2, 4, 8, 16, 32, 64):
+    for p in PROCESS_COUNTS:
         result = run_mpi(p, main, machine=machine, seed=42)
         profile.add(p, SectionProfile.from_run(result))
         print(f"p={p:3d}  walltime={result.walltime*1e3:8.3f} ms  "

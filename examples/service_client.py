@@ -17,22 +17,27 @@ reports) without ever importing the harness.  This example:
 6. scrapes ``/metrics`` and prints the service counters.
 
 Run:  python examples/service_client.py [--url http://host:port]
+(REPRO_EXAMPLE_FAST=1 shrinks the job to CI-smoke scale, seconds.)
 
 Used by CI as the service smoke driver — it exits non-zero if any step
 misbehaves.
 """
 
 import argparse
+import os
 import sys
 
 from repro.service.client import ServiceClient
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+
 JOB_SPEC = {
     "kind": "convolution",
     "client": "example",
-    "workload": {"height": 128, "width": 192, "steps": 10},
+    "workload": ({"height": 64, "width": 96, "steps": 5} if FAST else
+                 {"height": 128, "width": 192, "steps": 10}),
     "machine": {"name": "nehalem", "nodes": 4},
-    "process_counts": [1, 2, 4, 8],
+    "process_counts": [1, 2, 4] if FAST else [1, 2, 4, 8],
     "reps": 1,
     "base_seed": 42,
     "faults": {

@@ -8,6 +8,7 @@ Usage (module form, no console-script assumptions)::
     python -m repro.cli fig9 --steps 8
     python -m repro.cli fig10 --steps 10
     python -m repro.cli fig5a fig6 --jobs 4 --cache
+    python -m repro.cli fig5a --trace trace.json
     python -m repro.cli cache stats
     python -m repro.cli cache clear
     python -m repro.cli serve --port 8765 --jobs 4 --cache-dir /var/cache/repro
@@ -37,6 +38,12 @@ The ``serve`` subcommand runs the :mod:`repro.service` analysis server
 (job queue + experiment registry + ``/metrics``); ``submit`` and
 ``status`` are thin clients for it.
 
+``--trace out.json`` (or ``REPRO_TRACE=out.json``) self-profiles the
+invocation: a wall-time summary prints to stderr and a Chrome
+trace-event file — loadable in ``chrome://tracing`` or Perfetto — is
+written with spans from every layer under one trace ID.  See
+:mod:`repro.obs` and ``docs/observability.md``.
+
 Exit codes: ``0`` success, ``1`` usage errors (unknown experiment, bad
 ``--jobs``, unreadable fault plan or job spec, missing baseline file),
 ``2`` run failures (an experiment check failed, a baseline regressed,
@@ -49,8 +56,10 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+from contextlib import contextmanager
 from typing import List
 
+from repro import obs
 from repro.harness import experiments as E
 from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
 from repro.harness.sweeps import (
@@ -78,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Regenerate the paper's tables and figures on the simulator.",
+        epilog="Exit codes (0 success / 1 usage / 2 run failure) and every "
+               "REPRO_* environment variable are documented canonically in "
+               "docs/api.md; tracing output is described in "
+               "docs/observability.md.",
     )
     parser.add_argument(
         "experiments",
@@ -124,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-point wall-clock watchdog: abort a point "
                              "whose simulation stops progressing in real "
                              "time")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="OUT.json",
+                        help="self-profile this invocation: write a Chrome "
+                             "trace-event file (chrome://tracing, Perfetto) "
+                             "and print a wall-time summary to stderr "
+                             "($REPRO_TRACE sets the default)")
     return parser
 
 
@@ -172,10 +191,38 @@ def _report_sweep_failures(failures, label: str) -> bool:
     return False
 
 
-def _cache_main(argv: List[str]) -> int:
-    """The ``cache`` subcommand: inspect or empty the run cache."""
-    from repro.harness.cache import RunCache
+@contextmanager
+def _trace_scope(args, wanted: List[str]):
+    """Trace the experiment run when ``--trace``/``REPRO_TRACE`` ask for it.
 
+    The CLI is the outermost entry point, so the trace minted here is the
+    one every layer underneath (harness, cache, workers, engine) attaches
+    spans to.  ``--trace PATH`` wins over the environment; either way the
+    self-profiling summary prints to stderr, and a Chrome trace file is
+    written when a path was given.
+    """
+    env_value = obs.trace_env()
+    if args.trace is None and env_value is None:
+        yield
+        return
+    obs.start_trace("cli", layer="cli",
+                    attrs={"experiments": " ".join(wanted)})
+    try:
+        yield
+    finally:
+        tracer = obs.finish_trace()
+        print(obs.self_profile(tracer), file=sys.stderr)
+        path = None
+        if args.trace is not None:
+            path = str(args.trace)
+        elif env_value.lower() not in ("1", "true", "yes", "summary"):
+            path = env_value
+        if path is not None:
+            obs.write_chrome_trace(tracer, path)
+            print(f"chrome trace written: {path}", file=sys.stderr)
+
+
+def _cache_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli cache",
         description="Manage the persistent run cache.",
@@ -185,7 +232,14 @@ def _cache_main(argv: List[str]) -> int:
     parser.add_argument("--dir", type=pathlib.Path, default=None,
                         help="cache directory (default: $REPRO_CACHE_DIR "
                              "or ~/.cache/repro/runs)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _cache_main(argv: List[str]) -> int:
+    """The ``cache`` subcommand: inspect or empty the run cache."""
+    from repro.harness.cache import RunCache
+
+    args = _cache_parser().parse_args(argv)
     cache = RunCache(root=args.dir)
     if args.action == "clear":
         removed = cache.clear()
@@ -197,8 +251,7 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
-def _serve_main(argv: List[str]) -> int:
-    """The ``serve`` subcommand: run the analysis service."""
+def _serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli serve",
         description="Run the asynchronous analysis server (repro.service).",
@@ -219,7 +272,12 @@ def _serve_main(argv: List[str]) -> int:
                         help="max jobs in flight before 429 (default 64)")
     parser.add_argument("--per-client", type=int, default=8,
                         help="max in-flight jobs per client (default 8)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    """The ``serve`` subcommand: run the analysis service."""
+    args = _serve_parser().parse_args(argv)
 
     from repro.errors import ReproError
     from repro.harness.parallel import resolve_jobs
@@ -247,8 +305,7 @@ def _serve_main(argv: List[str]) -> int:
     return EXIT_OK
 
 
-def _submit_main(argv: List[str]) -> int:
-    """The ``submit`` subcommand: send a job spec to a running server."""
+def _submit_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli submit",
         description="Submit a JSON job spec to a running analysis server.",
@@ -261,7 +318,16 @@ def _submit_main(argv: List[str]) -> int:
                         help="stream progress and block until the job ends")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="--wait deadline in seconds (default 600)")
-    args = parser.parse_args(argv)
+    parser.add_argument("--trace", action="store_true",
+                        help="run the job traced (?trace=1): its Chrome "
+                             "trace becomes fetchable at "
+                             "/api/v1/jobs/{id}/trace")
+    return parser
+
+
+def _submit_main(argv: List[str]) -> int:
+    """The ``submit`` subcommand: send a job spec to a running server."""
+    args = _submit_parser().parse_args(argv)
 
     import json as _json
 
@@ -275,7 +341,7 @@ def _submit_main(argv: List[str]) -> int:
         return EXIT_USAGE
     client = ServiceClient(args.url)
     try:
-        receipt = client.submit(spec)
+        receipt = client.submit(spec, trace=args.trace)
     except ServiceClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE if exc.status in (400, 404) else EXIT_RUN_FAILURE
@@ -300,11 +366,12 @@ def _submit_main(argv: List[str]) -> int:
         print(f"  {err.get('error_type')}: {err.get('message')}",
               file=sys.stderr)
         return EXIT_RUN_FAILURE
+    if args.trace:
+        print(f"trace: {args.url}/api/v1/jobs/{job_id}/trace")
     return EXIT_OK
 
 
-def _status_main(argv: List[str]) -> int:
-    """The ``status`` subcommand: query one job (or list all jobs)."""
+def _status_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli status",
         description="Show job status on a running analysis server.",
@@ -313,7 +380,12 @@ def _status_main(argv: List[str]) -> int:
                         help="job id (omit to list every known job)")
     parser.add_argument("--url", default="http://127.0.0.1:8765",
                         help="server base URL (default: http://127.0.0.1:8765)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def _status_main(argv: List[str]) -> int:
+    """The ``status`` subcommand: query one job (or list all jobs)."""
+    args = _status_parser().parse_args(argv)
 
     import json as _json
 
@@ -334,6 +406,17 @@ def _status_main(argv: List[str]) -> int:
         return EXIT_USAGE
     print(_json.dumps(record, indent=2))
     return EXIT_OK if record.get("status") != "failed" else EXIT_RUN_FAILURE
+
+
+#: Subcommand name → parser builder.  The doc-sync test uses this to
+#: smoke-parse every ``python -m repro.cli ...`` line in the docs, so a
+#: flag rename that orphans an example fails CI.
+SUBCOMMAND_PARSERS = {
+    "cache": _cache_parser,
+    "serve": _serve_parser,
+    "submit": _submit_parser,
+    "status": _status_parser,
+}
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -404,60 +487,61 @@ def main(argv: List[str] | None = None) -> int:
             object.__setattr__(sweep, "wall_timeout", args.timeout)
         return sweep
 
-    conv_wanted = [w for w in wanted if w in _CONV_EXPERIMENTS]
-    if conv_wanted:
-        sweep = default_convolution_sweep()
-        object.__setattr__(sweep, "reps", args.reps)
-        if args.steps is not None:
-            object.__setattr__(
-                sweep, "config", sweep.config.__class__(
-                    height=sweep.config.height, width=sweep.config.width,
-                    steps=args.steps,
+    with _trace_scope(args, wanted):
+        conv_wanted = [w for w in wanted if w in _CONV_EXPERIMENTS]
+        if conv_wanted:
+            sweep = default_convolution_sweep()
+            object.__setattr__(sweep, "reps", args.reps)
+            if args.steps is not None:
+                object.__setattr__(
+                    sweep, "config", sweep.config.__class__(
+                        height=sweep.config.height, width=sweep.config.width,
+                        steps=args.steps,
+                    )
                 )
-            )
-        if args.seed is not None:
-            object.__setattr__(sweep, "base_seed", args.seed)
-        _configure(sweep)
-        profile = run_convolution_sweep(sweep, progress=progress,
-                                        jobs=jobs, cache=run_cache,
-                                        on_error=args.on_error,
-                                        retries=args.retries)
-        ok &= _report_sweep_failures(profile.failures, "convolution")
-        for exp_id in conv_wanted:
-            if exp_id == "fig6":
-                result = E.fig6(profile, fig6_process_counts())
-            else:
-                result = E.ALL_EXPERIMENTS[exp_id](profile)
-            exp_ok, exp_usage_ok = _emit(result, args)
+            if args.seed is not None:
+                object.__setattr__(sweep, "base_seed", args.seed)
+            _configure(sweep)
+            profile = run_convolution_sweep(sweep, progress=progress,
+                                            jobs=jobs, cache=run_cache,
+                                            on_error=args.on_error,
+                                            retries=args.retries)
+            ok &= _report_sweep_failures(profile.failures, "convolution")
+            for exp_id in conv_wanted:
+                if exp_id == "fig6":
+                    result = E.fig6(profile, fig6_process_counts())
+                else:
+                    result = E.ALL_EXPERIMENTS[exp_id](profile)
+                exp_ok, exp_usage_ok = _emit(result, args)
+                ok &= exp_ok
+                usage_ok &= exp_usage_ok
+
+        for machine, exp_ids in (("knl", _KNL_EXPERIMENTS), ("broadwell", _BDW_EXPERIMENTS)):
+            hits = [w for w in wanted if w in exp_ids]
+            if not hits:
+                continue
+            sweep = paper_lulesh_sweep(machine, steps=args.steps or 10)
+            object.__setattr__(sweep, "reps", max(1, args.reps // 2))
+            if args.seed is not None:
+                object.__setattr__(sweep, "base_seed", args.seed)
+            _configure(sweep)
+            analysis, drifts = run_lulesh_grid(sweep, progress=progress,
+                                               sides=_PAPER_SIDES,
+                                               jobs=jobs, cache=run_cache,
+                                               on_error=args.on_error,
+                                               retries=args.retries)
+            ok &= _report_sweep_failures(analysis.failures, "lulesh")
+            if drifts and max(drifts.values()) > 1e-10:
+                print("warning: energy conservation drifted", file=sys.stderr)
+            for exp_id in hits:
+                exp_ok, exp_usage_ok = _emit(E.ALL_EXPERIMENTS[exp_id](analysis), args)
+                ok &= exp_ok
+                usage_ok &= exp_usage_ok
+
+        for exp_id in (w for w in wanted if w in _STANDALONE):
+            exp_ok, exp_usage_ok = _emit(E.table7(), args)
             ok &= exp_ok
             usage_ok &= exp_usage_ok
-
-    for machine, exp_ids in (("knl", _KNL_EXPERIMENTS), ("broadwell", _BDW_EXPERIMENTS)):
-        hits = [w for w in wanted if w in exp_ids]
-        if not hits:
-            continue
-        sweep = paper_lulesh_sweep(machine, steps=args.steps or 10)
-        object.__setattr__(sweep, "reps", max(1, args.reps // 2))
-        if args.seed is not None:
-            object.__setattr__(sweep, "base_seed", args.seed)
-        _configure(sweep)
-        analysis, drifts = run_lulesh_grid(sweep, progress=progress,
-                                           sides=_PAPER_SIDES,
-                                           jobs=jobs, cache=run_cache,
-                                           on_error=args.on_error,
-                                           retries=args.retries)
-        ok &= _report_sweep_failures(analysis.failures, "lulesh")
-        if drifts and max(drifts.values()) > 1e-10:
-            print("warning: energy conservation drifted", file=sys.stderr)
-        for exp_id in hits:
-            exp_ok, exp_usage_ok = _emit(E.ALL_EXPERIMENTS[exp_id](analysis), args)
-            ok &= exp_ok
-            usage_ok &= exp_usage_ok
-
-    for exp_id in (w for w in wanted if w in _STANDALONE):
-        exp_ok, exp_usage_ok = _emit(E.table7(), args)
-        ok &= exp_ok
-        usage_ok &= exp_usage_ok
 
     if not usage_ok:
         return EXIT_USAGE

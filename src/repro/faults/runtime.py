@@ -155,6 +155,11 @@ class FaultRuntime:
         kind = self.due(ctx.rank, ctx.now)
         if kind is None:
             return
+        # Imported here to keep plan parsing importable standalone.
+        from repro import obs
+
+        obs.event("fault.activated", layer="engine", kind=kind,
+                  rank=ctx.rank, at=ctx.now)
         if kind == "crash":
             raise InjectedFaultError(
                 f"rank {ctx.rank} crashed by fault plan at t={ctx.now:.6g}s"

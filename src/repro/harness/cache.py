@@ -33,6 +33,8 @@ import os
 import pathlib
 from typing import Any, Dict, Optional
 
+from repro import obs
+
 logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every previously stored entry (payload layout or
@@ -137,41 +139,51 @@ class RunCache:
         checksum mismatch — is logged, counted under ``corrupt``,
         evicted, and reported as a miss so the caller recomputes.
         """
-        path = self.path_for(key)
-        try:
-            envelope = json.loads(path.read_text())
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except OSError as exc:
-            self._evict_corrupt(path, f"unreadable: {exc}")
-            return None
-        except json.JSONDecodeError as exc:
-            self._evict_corrupt(path, f"invalid JSON: {exc}")
-            return None
-        if (
-            not isinstance(envelope, dict)
-            or "checksum" not in envelope
-            or "payload" not in envelope
-        ):
-            self._evict_corrupt(path, "missing checksum envelope")
-            return None
-        payload = envelope["payload"]
-        if _payload_checksum(payload) != envelope["checksum"]:
-            self._evict_corrupt(path, "checksum mismatch")
-            return None
-        self.hits += 1
-        return payload
+        with obs.span("cache.get", layer="cache", key=key[:12]) as sp:
+            path = self.path_for(key)
+            try:
+                envelope = json.loads(path.read_text())
+            except FileNotFoundError:
+                self.misses += 1
+                sp.set(outcome="miss")
+                return None
+            except OSError as exc:
+                self._evict_corrupt(path, f"unreadable: {exc}")
+                sp.set(outcome="corrupt")
+                return None
+            except json.JSONDecodeError as exc:
+                self._evict_corrupt(path, f"invalid JSON: {exc}")
+                sp.set(outcome="corrupt")
+                return None
+            if (
+                not isinstance(envelope, dict)
+                or "checksum" not in envelope
+                or "payload" not in envelope
+            ):
+                self._evict_corrupt(path, "missing checksum envelope")
+                sp.set(outcome="corrupt")
+                return None
+            payload = envelope["payload"]
+            if _payload_checksum(payload) != envelope["checksum"]:
+                self._evict_corrupt(path, "checksum mismatch")
+                sp.set(outcome="corrupt")
+                return None
+            self.hits += 1
+            sp.set(outcome="hit")
+            return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store ``payload`` under ``key`` (atomic rename, last wins)."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {"checksum": _payload_checksum(payload), "payload": payload}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(envelope, separators=(",", ":")))
-        os.replace(tmp, path)
-        self.stores += 1
+        with obs.span("cache.put", layer="cache", key=key[:12]):
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            envelope = {
+                "checksum": _payload_checksum(payload), "payload": payload,
+            }
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(envelope, separators=(",", ":")))
+            os.replace(tmp, path)
+            self.stores += 1
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -27,8 +27,10 @@ import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
+from repro import obs
 from repro.errors import ReproError
 
 #: Environment variable supplying the default worker count.
@@ -81,8 +83,33 @@ def map_points(
         for task in tasks:
             yield fn(task)
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        yield from pool.map(fn, tasks)
+    # Trace propagation: the worker side adopts the parent's trace ID so
+    # its spans fold into one timeline; spools are gathered once the
+    # pool has drained (see repro.obs).
+    ctx = obs.propagation_context()
+    with obs.span("pool.map", layer="harness",
+                  jobs=min(jobs, len(tasks)), tasks=len(tasks)):
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                yield from pool.map(partial(_traced_call, fn, ctx), tasks)
+        finally:
+            tracer = obs.current_tracer()
+            if tracer is not None:
+                tracer.gather()
+
+
+def _traced_call(fn: Callable[[_T], _R], ctx, task: _T) -> _R:
+    """Worker-side shim: run ``fn(task)`` inside the propagated trace.
+
+    Module-level so ``partial(_traced_call, fn, ctx)`` pickles.  With
+    tracing off (``ctx`` None) this is a plain call.
+    """
+    worker = obs.adopt_context(ctx)
+    try:
+        with obs.span("worker.task", layer="harness"):
+            return fn(task)
+    finally:
+        obs.release_context(worker)
 
 
 # ---------------------------------------------------------------------------
@@ -118,30 +145,42 @@ def _failsoft_call(packed) -> PointOutcome:
     point can never poison the pool — only genuine process death can,
     which is exactly what lets the caller tell the two apart.
     """
-    fn, task, retries, backoff = packed
-    attempts = 0
-    while True:
-        attempts += 1
-        try:
-            return PointOutcome(ok=True, value=fn(task), attempts=attempts)
-        except Exception as exc:  # noqa: BLE001 - reported as data
-            if attempts <= retries:
-                if backoff > 0.0:
-                    time.sleep(backoff * (2 ** (attempts - 1)))
-                continue
-            try:  # only ship the exception object if it survives pickling
-                pickle.dumps(exc)
-                err: Optional[BaseException] = exc
-            except Exception:  # noqa: BLE001 - unpicklable exception
-                err = None
-            return PointOutcome(
-                ok=False,
-                error=err,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback=_traceback.format_exc(),
-                attempts=attempts,
-            )
+    fn, task, retries, backoff, ctx = packed
+    worker = obs.adopt_context(ctx)
+    try:
+        with obs.span("worker.task", layer="harness") as sp:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    value = fn(task)
+                    sp.set(attempts=attempts)
+                    return PointOutcome(ok=True, value=value,
+                                        attempts=attempts)
+                except Exception as exc:  # noqa: BLE001 - reported as data
+                    if attempts <= retries:
+                        obs.event("worker.retry", layer="harness",
+                                  attempt=attempts,
+                                  error=type(exc).__name__)
+                        if backoff > 0.0:
+                            time.sleep(backoff * (2 ** (attempts - 1)))
+                        continue
+                    sp.set(attempts=attempts, failed=type(exc).__name__)
+                    try:  # ship the exception object iff it pickles
+                        pickle.dumps(exc)
+                        err: Optional[BaseException] = exc
+                    except Exception:  # noqa: BLE001 - unpicklable
+                        err = None
+                    return PointOutcome(
+                        ok=False,
+                        error=err,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=_traceback.format_exc(),
+                        attempts=attempts,
+                    )
+    finally:
+        obs.release_context(worker)
 
 
 def _worker_death_outcome(attempts: int = 1) -> PointOutcome:
@@ -194,33 +233,46 @@ def map_points_failsoft(
         raise ReproError(f"retries must be >= 0, got {retries}")
     if retry_backoff < 0:
         raise ReproError(f"retry_backoff must be >= 0, got {retry_backoff}")
-    packed = [(fn, task, retries, retry_backoff) for task in tasks]
     if jobs <= 1 or len(tasks) <= 1:
-        for one in packed:
-            yield _failsoft_call(one)
+        # Inline path: the ambient tracer (if any) is already active, so
+        # adopt/release inside _failsoft_call are no-ops and spans flow
+        # straight into the parent trace.
+        for task in tasks:
+            yield _failsoft_call((fn, task, retries, retry_backoff, None))
         return
+    ctx = obs.propagation_context()
+    packed = [(fn, task, retries, retry_backoff, ctx) for task in tasks]
     n = len(tasks)
     done: list = [None] * n
     next_yield = 0
     pending = list(range(n))
-    while pending:
+    with obs.span("pool.map", layer="harness",
+                  jobs=min(jobs, n), tasks=n, failsoft=True):
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                batch = list(pending)
-                for j, out in zip(batch, pool.map(_failsoft_call, [packed[j] for j in batch])):
-                    done[j] = out
-                    while next_yield < n and done[next_yield] is not None:
-                        yield done[next_yield]
-                        next_yield += 1
-            pending = [j for j in pending if done[j] is None]
-        except BrokenProcessPool:
-            pending = [j for j in pending if done[j] is None]
-            if pending:
-                j = pending.pop(0)
-                done[j] = _run_isolated(packed[j])
-                while next_yield < n and done[next_yield] is not None:
-                    yield done[next_yield]
-                    next_yield += 1
+            while pending:
+                try:
+                    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                        batch = list(pending)
+                        for j, out in zip(batch, pool.map(_failsoft_call, [packed[j] for j in batch])):
+                            done[j] = out
+                            while next_yield < n and done[next_yield] is not None:
+                                yield done[next_yield]
+                                next_yield += 1
+                    pending = [j for j in pending if done[j] is None]
+                except BrokenProcessPool:
+                    obs.event("pool.broken", layer="harness",
+                              pending=len(pending))
+                    pending = [j for j in pending if done[j] is None]
+                    if pending:
+                        j = pending.pop(0)
+                        done[j] = _run_isolated(packed[j])
+                        while next_yield < n and done[next_yield] is not None:
+                            yield done[next_yield]
+                            next_yield += 1
+        finally:
+            tracer = obs.current_tracer()
+            if tracer is not None:
+                tracer.gather()
     while next_yield < n:
         yield done[next_yield]
         next_yield += 1

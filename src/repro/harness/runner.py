@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.analysis import HybridAnalysis
 from repro.core.export import profile_from_dict, profile_to_dict
 from repro.core.profile import ScalingProfile, SectionProfile
@@ -110,17 +111,19 @@ def _check_seed_collisions(points) -> None:
 def _run_conv_point(task) -> Tuple[SectionProfile, str]:
     """Execute one (p, rep) convolution point; the unit of parallelism."""
     sweep, p, r, seed = task
-    bench = ConvolutionBenchmark(sweep.config_for(p))
-    res = bench.run(
-        p,
-        machine=sweep.machine,
-        ranks_per_node=sweep.ranks_per_node,
-        seed=seed,
-        compute_jitter=sweep.compute_jitter,
-        noise_floor=sweep.noise_floor,
-        faults=sweep.faults,
-        wall_timeout=sweep.wall_timeout,
-    )
+    with obs.span("point.simulate", layer="harness",
+                  workload="convolution", p=p, rep=r):
+        bench = ConvolutionBenchmark(sweep.config_for(p))
+        res = bench.run(
+            p,
+            machine=sweep.machine,
+            ranks_per_node=sweep.ranks_per_node,
+            seed=seed,
+            compute_jitter=sweep.compute_jitter,
+            noise_floor=sweep.noise_floor,
+            faults=sweep.faults,
+            wall_timeout=sweep.wall_timeout,
+        )
     msg = (
         f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
         f"msgs={res.network['messages']}"
@@ -170,60 +173,74 @@ def run_convolution_sweep(
     the returned profile's ``failures``
     (:class:`~repro.harness.failures.SweepFailureReport`) and never
     cached.
+
+    With ``REPRO_TRACE`` set (and no trace already active) the sweep is
+    an outermost entry point: it mints the trace and emits the
+    self-profiling outputs on return — see :mod:`repro.obs`.
     """
     _check_on_error(on_error)
-    points = [
-        (p, r, sweep.base_seed + 1000 * p + r)
-        for p in sweep.process_counts
-        for r in range(sweep.reps)
-    ]
-    _check_seed_collisions(
-        (f"convolution point (p={p}, rep={r})", seed) for p, r, seed in points
-    )
-    if cache is None:
-        cache = maybe_default_cache()
-    hits: Dict[int, dict] = {}
-    keys: List[Optional[str]] = [None] * len(points)
-    if cache is not None:
-        for i, (p, r, seed) in enumerate(points):
-            keys[i] = _conv_point_key(sweep, p, r, seed)
-            payload = cache.get(keys[i])
-            if payload is not None:
-                hits[i] = payload
-    fresh = map_points_failsoft(
-        _run_conv_point,
-        [(sweep, p, r, seed) for i, (p, r, seed) in enumerate(points) if i not in hits],
-        resolve_jobs(jobs),
-        retries=retries,
-        retry_backoff=retry_backoff,
-    )
-    profile = ScalingProfile(scale_name="p")
-    report = SweepFailureReport()
-    for i, (p, r, seed) in enumerate(points):
-        if i in hits:
-            prof = profile_from_dict(hits[i]["profile"])
-            msg = hits[i]["msg"]
-        else:
-            out = next(fresh)
-            if not out.ok:
-                failure = _to_failure(f"convolution p={p} rep={r}", out)
-                if on_error == "raise":
-                    _raise_point(failure, out)
-                report.add(failure)
-                if progress is not None:
-                    progress(
-                        f"convolution p={p} rep={r}: FAILED "
-                        f"({failure.error_type}: {failure.message})"
-                    )
-                continue
-            prof, msg = out.value
+    with obs.env_trace("sweep.convolution", layer="harness"), \
+            obs.span("sweep.run", layer="harness", workload="convolution",
+                     reps=sweep.reps) as sweep_span:
+        points = [
+            (p, r, sweep.base_seed + 1000 * p + r)
+            for p in sweep.process_counts
+            for r in range(sweep.reps)
+        ]
+        _check_seed_collisions(
+            (f"convolution point (p={p}, rep={r})", seed)
+            for p, r, seed in points
+        )
+        if cache is None:
+            cache = maybe_default_cache()
+        hits: Dict[int, dict] = {}
+        keys: List[Optional[str]] = [None] * len(points)
+        with obs.span("cache.resolve", layer="cache",
+                      enabled=cache is not None, points=len(points)) as csp:
             if cache is not None:
-                cache.put(keys[i], {"profile": profile_to_dict(prof), "msg": msg})
-        profile.add(p, prof)
-        if progress is not None:
-            progress(msg)
-    profile.failures = report
-    return profile
+                for i, (p, r, seed) in enumerate(points):
+                    keys[i] = _conv_point_key(sweep, p, r, seed)
+                    payload = cache.get(keys[i])
+                    if payload is not None:
+                        hits[i] = payload
+            csp.set(hits=len(hits))
+        sweep_span.set(points=len(points), cache_hits=len(hits))
+        fresh = map_points_failsoft(
+            _run_conv_point,
+            [(sweep, p, r, seed)
+             for i, (p, r, seed) in enumerate(points) if i not in hits],
+            resolve_jobs(jobs),
+            retries=retries,
+            retry_backoff=retry_backoff,
+        )
+        profile = ScalingProfile(scale_name="p")
+        report = SweepFailureReport()
+        for i, (p, r, seed) in enumerate(points):
+            if i in hits:
+                prof = profile_from_dict(hits[i]["profile"])
+                msg = hits[i]["msg"]
+            else:
+                out = next(fresh)
+                if not out.ok:
+                    failure = _to_failure(f"convolution p={p} rep={r}", out)
+                    if on_error == "raise":
+                        _raise_point(failure, out)
+                    report.add(failure)
+                    if progress is not None:
+                        progress(
+                            f"convolution p={p} rep={r}: FAILED "
+                            f"({failure.error_type}: {failure.message})"
+                        )
+                    continue
+                prof, msg = out.value
+                if cache is not None:
+                    cache.put(keys[i],
+                              {"profile": profile_to_dict(prof), "msg": msg})
+            profile.add(p, prof)
+            if progress is not None:
+                progress(msg)
+        profile.failures = report
+        return profile
 
 
 # ---------------------------------------------------------------------------
@@ -233,16 +250,18 @@ def run_convolution_sweep(
 def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
     """Execute one (p, threads, rep) Lulesh point."""
     sweep, cfg, p, t, r, seed = task
-    bench = LuleshBenchmark(cfg)
-    run, phys = bench.run(
-        p,
-        nthreads=t,
-        machine=sweep.machine,
-        seed=seed,
-        compute_jitter=sweep.compute_jitter,
-        faults=sweep.faults,
-        wall_timeout=sweep.wall_timeout,
-    )
+    with obs.span("point.simulate", layer="harness",
+                  workload="lulesh", p=p, threads=t, rep=r):
+        bench = LuleshBenchmark(cfg)
+        run, phys = bench.run(
+            p,
+            nthreads=t,
+            machine=sweep.machine,
+            seed=seed,
+            compute_jitter=sweep.compute_jitter,
+            faults=sweep.faults,
+            wall_timeout=sweep.wall_timeout,
+        )
     msg = (
         f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "
         f"E-drift={phys.energy_drift:.2e}"
@@ -298,81 +317,91 @@ def run_lulesh_grid(
     semantics as :func:`run_convolution_sweep`; skipped points land in
     the analysis' ``failures`` report and are excluded from the drift
     means.
+
+    Like :func:`run_convolution_sweep`, this is a ``REPRO_TRACE``
+    entry point — see :mod:`repro.obs`.
     """
     _check_on_error(on_error)
-    base_total = sweep.config.s**3  # elements at p=1
-    points: List[Tuple[LuleshConfig, int, int, int, int]] = []
-    for p in sorted(sweep.grid):
-        if sides and p in sides:
-            s = sides[p]
-        else:
-            s = round((base_total / p) ** (1.0 / 3.0))
-            if p * s**3 != base_total:
-                s = sweep.config.s
-        cfg = sweep.config.with_side(s)
-        for t in sweep.grid[p]:
-            for r in range(sweep.reps):
-                seed = sweep.base_seed + 1000 * (p * 1000 + t) + r
-                points.append((cfg, p, t, r, seed))
-    _check_seed_collisions(
-        (f"lulesh point (p={p}, t={t}, rep={r})", seed)
-        for _, p, t, r, seed in points
-    )
-    if cache is None:
-        cache = maybe_default_cache()
-    hits: Dict[int, dict] = {}
-    keys: List[Optional[str]] = [None] * len(points)
-    if cache is not None:
-        for i, (cfg, p, t, r, seed) in enumerate(points):
-            keys[i] = _lulesh_point_key(sweep, cfg, p, t, r, seed)
-            payload = cache.get(keys[i])
-            if payload is not None:
-                hits[i] = payload
-    fresh = map_points_failsoft(
-        _run_lulesh_point,
-        [
-            (sweep, cfg, p, t, r, seed)
-            for i, (cfg, p, t, r, seed) in enumerate(points)
-            if i not in hits
-        ],
-        resolve_jobs(jobs),
-        retries=retries,
-        retry_backoff=retry_backoff,
-    )
-    analysis = HybridAnalysis()
-    report = SweepFailureReport()
-    drift_acc: Dict[Tuple[int, int], float] = {}
-    drift_n: Dict[Tuple[int, int], int] = {}
-    for i, (cfg, p, t, r, seed) in enumerate(points):
-        if i in hits:
-            prof = profile_from_dict(hits[i]["profile"])
-            drift = hits[i]["drift"]
-            msg = hits[i]["msg"]
-        else:
-            out = next(fresh)
-            if not out.ok:
-                failure = _to_failure(f"lulesh p={p} t={t} rep={r}", out)
-                if on_error == "raise":
-                    _raise_point(failure, out)
-                report.add(failure)
-                if progress is not None:
-                    progress(
-                        f"lulesh p={p} t={t} rep={r}: FAILED "
-                        f"({failure.error_type}: {failure.message})"
-                    )
-                continue
-            prof, drift, msg = out.value
+    with obs.env_trace("sweep.lulesh", layer="harness"), \
+            obs.span("sweep.run", layer="harness", workload="lulesh",
+                     reps=sweep.reps) as sweep_span:
+        base_total = sweep.config.s**3  # elements at p=1
+        points: List[Tuple[LuleshConfig, int, int, int, int]] = []
+        for p in sorted(sweep.grid):
+            if sides and p in sides:
+                s = sides[p]
+            else:
+                s = round((base_total / p) ** (1.0 / 3.0))
+                if p * s**3 != base_total:
+                    s = sweep.config.s
+            cfg = sweep.config.with_side(s)
+            for t in sweep.grid[p]:
+                for r in range(sweep.reps):
+                    seed = sweep.base_seed + 1000 * (p * 1000 + t) + r
+                    points.append((cfg, p, t, r, seed))
+        _check_seed_collisions(
+            (f"lulesh point (p={p}, t={t}, rep={r})", seed)
+            for _, p, t, r, seed in points
+        )
+        if cache is None:
+            cache = maybe_default_cache()
+        hits: Dict[int, dict] = {}
+        keys: List[Optional[str]] = [None] * len(points)
+        with obs.span("cache.resolve", layer="cache",
+                      enabled=cache is not None, points=len(points)) as csp:
             if cache is not None:
-                cache.put(keys[i], {
-                    "profile": profile_to_dict(prof),
-                    "drift": drift,
-                    "msg": msg,
-                })
-        analysis.add(p, t, prof)
-        drift_acc[(p, t)] = drift_acc.get((p, t), 0.0) + drift
-        drift_n[(p, t)] = drift_n.get((p, t), 0) + 1
-        if progress is not None:
-            progress(msg)
-    drifts = {pt: acc / drift_n[pt] for pt, acc in drift_acc.items()}
-    analysis.failures = report
-    return analysis, drifts
+                for i, (cfg, p, t, r, seed) in enumerate(points):
+                    keys[i] = _lulesh_point_key(sweep, cfg, p, t, r, seed)
+                    payload = cache.get(keys[i])
+                    if payload is not None:
+                        hits[i] = payload
+            csp.set(hits=len(hits))
+        sweep_span.set(points=len(points), cache_hits=len(hits))
+        fresh = map_points_failsoft(
+            _run_lulesh_point,
+            [
+                (sweep, cfg, p, t, r, seed)
+                for i, (cfg, p, t, r, seed) in enumerate(points)
+                if i not in hits
+            ],
+            resolve_jobs(jobs),
+            retries=retries,
+            retry_backoff=retry_backoff,
+        )
+        analysis = HybridAnalysis()
+        report = SweepFailureReport()
+        drift_acc: Dict[Tuple[int, int], float] = {}
+        drift_n: Dict[Tuple[int, int], int] = {}
+        for i, (cfg, p, t, r, seed) in enumerate(points):
+            if i in hits:
+                prof = profile_from_dict(hits[i]["profile"])
+                drift = hits[i]["drift"]
+                msg = hits[i]["msg"]
+            else:
+                out = next(fresh)
+                if not out.ok:
+                    failure = _to_failure(f"lulesh p={p} t={t} rep={r}", out)
+                    if on_error == "raise":
+                        _raise_point(failure, out)
+                    report.add(failure)
+                    if progress is not None:
+                        progress(
+                            f"lulesh p={p} t={t} rep={r}: FAILED "
+                            f"({failure.error_type}: {failure.message})"
+                        )
+                    continue
+                prof, drift, msg = out.value
+                if cache is not None:
+                    cache.put(keys[i], {
+                        "profile": profile_to_dict(prof),
+                        "drift": drift,
+                        "msg": msg,
+                    })
+            analysis.add(p, t, prof)
+            drift_acc[(p, t)] = drift_acc.get((p, t), 0.0) + drift
+            drift_n[(p, t)] = drift_n.get((p, t), 0) + 1
+            if progress is not None:
+                progress(msg)
+        drifts = {pt: acc / drift_n[pt] for pt, acc in drift_acc.items()}
+        analysis.failures = report
+        return analysis, drifts

@@ -1,0 +1,84 @@
+"""Structured observability for the whole stack (``repro.obs``).
+
+The paper's thesis is that aggregate numbers hide *where* time goes;
+this package applies the same medicine to the reproduction's own
+machinery.  A **trace** is minted at an outermost entry point (a CLI
+invocation, a service job, a direct :func:`~repro.simmpi.engine.run_mpi`
+call) and every layer underneath — service queue/scheduler, harness
+sweeps, the parallel worker pool, the run cache, the simulation engine —
+emits **spans** (timed operations) and **events** (instantaneous marks)
+into a lock-cheap in-process ring buffer carrying one shared trace ID.
+
+Tracing is **off by default** and costs one ``None`` check per
+instrumentation point when off; simulated virtual-time numbers are
+bit-identical with tracing on or off (spans only ever read the *wall*
+clock).
+
+Quick tour::
+
+    from repro import obs
+
+    tracer = obs.start_trace("my-analysis", layer="app")
+    with obs.span("load", layer="app", path="data.json"):
+        ...                       # nested spans/events attach underneath
+    tracer = obs.finish_trace()
+
+    print(obs.render_span_tree(tracer))       # plain-text span tree
+    print(obs.self_profile(tracer))           # where wall time went
+    obs.write_chrome_trace(tracer, "out.json")  # chrome://tracing / Perfetto
+
+Self-profiling mode: set ``REPRO_TRACE=1`` (summary on stderr) or
+``REPRO_TRACE=/path/out.json`` (summary + Chrome trace file), or pass
+``--trace out.json`` to the CLI / ``?trace=1`` to a service submit.
+See ``docs/observability.md`` for the span model and propagation rules.
+"""
+
+from repro.obs.core import (
+    TRACE_ENV,
+    Span,
+    Tracer,
+    adopt_context,
+    current_tracer,
+    enabled,
+    env_trace,
+    event,
+    finish_trace,
+    install,
+    propagation_context,
+    release_context,
+    span,
+    start_trace,
+    trace_env,
+)
+from repro.obs.chrome import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.ids import new_span_id, new_trace_id
+from repro.obs.report import render_span_tree, self_profile
+
+__all__ = [
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "adopt_context",
+    "current_tracer",
+    "enabled",
+    "env_trace",
+    "event",
+    "finish_trace",
+    "install",
+    "new_span_id",
+    "new_trace_id",
+    "propagation_context",
+    "release_context",
+    "render_span_tree",
+    "self_profile",
+    "span",
+    "start_trace",
+    "to_chrome_trace",
+    "trace_env",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

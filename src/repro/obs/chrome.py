@@ -1,0 +1,138 @@
+"""Chrome trace-event exporter (``chrome://tracing`` / Perfetto).
+
+Spans become ``ph:"X"`` *complete* events (timestamps and durations in
+microseconds); zero-duration marks become ``ph:"i"`` *instant* events.
+Lanes follow the emitting process and thread, so a ``--jobs N`` sweep
+renders as one lane per worker process next to the parent's lanes, and
+engine rank threads each get their own row.  ``ph:"M"`` metadata events
+name the lanes.
+
+The format reference is the Trace Event Format document; only the small
+stable subset above is emitted, and :func:`validate_chrome_trace` checks
+exactly that subset so tests can pin the schema without a JSON-schema
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.obs.core import Span, Tracer
+
+SpanSource = Union[Tracer, List[Span]]
+
+
+def _spans_of(source: SpanSource) -> List[Span]:
+    return source.spans() if isinstance(source, Tracer) else list(source)
+
+
+def to_chrome_trace(source: SpanSource) -> Dict[str, Any]:
+    """Render a tracer (or span list) as a Chrome trace-event object."""
+    spans = _spans_of(source)
+    events: List[Dict[str, Any]] = []
+    lanes = {}  # (pid, thread name) -> tid
+    pids = set()
+    for sp in spans:
+        key = (sp.pid, sp.thread)
+        if key not in lanes:
+            lanes[key] = len([k for k in lanes if k[0] == sp.pid]) + 1
+        pids.add(sp.pid)
+    # Stable lane numbering: MainThread first, then lexical.
+    for pid in sorted(pids):
+        threads = sorted(
+            (t for (p, t) in lanes if p == pid),
+            key=lambda t: (t != "MainThread", t),
+        )
+        for tid, name in enumerate(threads, start=1):
+            lanes[(pid, name)] = tid
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"repro pid {pid}"},
+        })
+
+    trace_id = spans[0].trace_id if spans else ""
+    # Timestamps are trace-relative microseconds: epoch-absolute values
+    # render as a giant empty scroll range in some viewers.
+    t0 = min((sp.start for sp in spans), default=0.0)
+    for sp in spans:
+        tid = lanes[(sp.pid, sp.thread)]
+        args = {"trace_id": sp.trace_id, "span_id": sp.span_id,
+                "layer": sp.layer}
+        if sp.parent_id:
+            args["parent_id"] = sp.parent_id
+        args.update(sp.attrs)
+        base = {
+            "name": sp.name,
+            "cat": sp.layer,
+            "pid": sp.pid,
+            "tid": tid,
+            "ts": (sp.start - t0) * 1e6,
+            "args": args,
+        }
+        if sp.kind == "event":
+            base.update(ph="i", s="t")  # thread-scoped instant
+        else:
+            base.update(ph="X", dur=sp.duration * 1e6)
+        events.append(base)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "spans": len(spans)},
+    }
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    An empty list means the document is loadable by ``chrome://tracing``
+    and Perfetto as far as the emitted subset goes: a ``traceEvents``
+    array whose members carry the per-phase required keys with the right
+    types (``X`` needs ``dur``; ``M`` needs ``args.name``; ``ts``/``dur``
+    numeric; ``pid``/``tid`` integers).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+                ev.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+        if ph in ("X", "i"):
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: ts missing or non-numeric")
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: args missing or not an object")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event without numeric dur")
+        if ph == "M" and not isinstance(
+                ev.get("args", {}).get("name"), str):
+            problems.append(f"{where}: metadata event without args.name")
+    return problems
+
+
+def write_chrome_trace(source: SpanSource, path: str) -> str:
+    """Write the Chrome trace JSON for ``source`` to ``path``."""
+    doc = to_chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path

@@ -1,0 +1,530 @@
+"""Tracer, spans, ambient state and cross-process propagation.
+
+**Span model.**  A :class:`Span` is one timed operation: a name, a layer
+(``cli`` / ``service`` / ``harness`` / ``cache`` / ``engine`` / …), a
+wall-clock start, a duration, the emitting process/thread, free-form
+attributes, and three IDs — the trace it belongs to, its own span ID,
+and its parent's.  Zero-duration marks (a cache hit, a watchdog firing)
+are spans with ``kind="event"``.
+
+**Ambient state.**  The active :class:`Tracer` is *thread-local*: each
+outermost entry point (one CLI invocation, one service job on one
+scheduler thread) owns its trace without seeing its neighbours'.  Code
+that spawns threads on behalf of a trace (the engine's rank threads)
+passes the tracer along explicitly via :func:`install`.
+
+**Fast path.**  Every instrumentation point starts with "is a tracer
+installed on this thread?" — a single attribute read returning ``None``
+when tracing is off.  :func:`span` then returns a no-op singleton, so
+the disabled cost is one predictable branch (measured < 2 % on the
+engine microbenchmarks; see ``benchmarks/results/obs_overhead.md``).
+
+**Ring buffer.**  Finished spans land in a bounded ``deque`` (appends
+are atomic under the GIL — no lock on the hot path); once full, the
+oldest spans are dropped and counted, never blocking the traced code.
+
+**Process boundaries.**  :func:`propagation_context` packs
+``(trace_id, parent span, spool directory)`` for shipping into worker
+processes; :func:`adopt_context` activates it on the worker side and
+:func:`release_context` flushes the worker's spans to one JSONL file in
+the spool, which the parent folds back in with :meth:`Tracer.gather`.
+Worker spans therefore carry the *parent job's* trace ID — the property
+the cross-process propagation tests pin down.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.ids import new_span_id, new_trace_id
+
+#: Environment variable enabling self-profiling mode: ``1`` prints a
+#: wall-time summary to stderr at the end of the traced entry point;
+#: any other value is treated as a path to write the Chrome trace to
+#: (the summary still prints).  Unset/``0`` disables (the default).
+TRACE_ENV = "REPRO_TRACE"
+
+#: Default ring-buffer capacity (spans retained per trace).
+DEFAULT_BUFFER = 65536
+
+
+@dataclass
+class Span:
+    """One finished, timed operation within a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    layer: str
+    start: float          # wall-clock seconds since the epoch
+    duration: float       # seconds
+    pid: int
+    thread: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    kind: str = "span"    # "span" | "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the JSONL sink / spool line format)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "layer": self.layer,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "thread": self.thread,
+            "attrs": self.attrs,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+class _State(threading.local):
+    """Per-thread ambient trace state (tracer, open-span stack, base)."""
+
+    def __init__(self):  # runs once per thread on first access
+        self.tracer: Optional[Tracer] = None
+        self.stack: List[str] = []
+        self.base: Optional[str] = None
+
+
+_STATE = _State()
+
+
+class Tracer:
+    """One trace: an ID, a ring buffer of spans, an optional spool dir.
+
+    Construct through :func:`start_trace` (which also installs it on
+    the calling thread) rather than directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        layer: str = "app",
+        trace_id: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        limit: int = DEFAULT_BUFFER,
+        emit_root: bool = True,
+    ):
+        self.name = name
+        self.layer = layer
+        self.trace_id = trace_id or new_trace_id()
+        self.attrs = dict(attrs or {})
+        self.root_id = new_span_id()
+        #: Owning process — lets :func:`adopt_context` tell a genuinely
+        #: ambient tracer apart from a stale copy inherited over fork().
+        self.pid = os.getpid()
+        self.dropped = 0
+        self._spans: deque = deque(maxlen=limit)
+        self._limit = limit
+        self._wall0 = time.time()
+        self._perf0 = time.perf_counter()
+        self._spool: Optional[str] = None
+        self._emit_root = emit_root
+        self._finished = False
+
+    # -- time ----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Monotonic-within-process wall-clock estimate (seconds)."""
+        return self._wall0 + (time.perf_counter() - self._perf0)
+
+    # -- recording -----------------------------------------------------------
+
+    def add(self, span: Span) -> None:
+        """Append one finished span (oldest dropped when full)."""
+        if len(self._spans) >= self._limit:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def record(
+        self,
+        name: str,
+        *,
+        layer: str = "app",
+        start: float,
+        duration: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[str] = None,
+        kind: str = "span",
+    ) -> Span:
+        """Record a span from externally measured timestamps.
+
+        Used for intervals whose endpoints were captured before a span
+        could be opened — e.g. a job's queue wait, measured between the
+        submit and start timestamps the queue already keeps.
+        """
+        sp = Span(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id if parent_id is not None else self.root_id,
+            name=name,
+            layer=layer,
+            start=start,
+            duration=duration,
+            pid=os.getpid(),
+            thread=threading.current_thread().name,
+            attrs=dict(attrs or {}),
+            kind=kind,
+        )
+        self.add(sp)
+        return sp
+
+    def spans(self) -> List[Span]:
+        """Snapshot of the buffered spans, in completion order."""
+        return list(self._spans)
+
+    # -- worker spool --------------------------------------------------------
+
+    def ensure_spool(self) -> str:
+        """The spool directory worker processes flush spans into."""
+        if self._spool is None:
+            self._spool = tempfile.mkdtemp(prefix="repro-trace-")
+        return self._spool
+
+    def gather(self) -> int:
+        """Fold spans flushed by worker processes back into the buffer.
+
+        Safe to call any number of times; each spool file is consumed
+        exactly once.  Returns the number of spans gathered.
+        """
+        if self._spool is None:
+            return 0
+        n = 0
+        for path in sorted(glob.glob(os.path.join(self._spool, "*.jsonl"))):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            self.add(Span.from_dict(json.loads(line)))
+                            n += 1
+                        except (TypeError, ValueError, KeyError):
+                            continue  # a torn line never kills the trace
+                os.unlink(path)
+            except OSError:
+                continue
+        return n
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self) -> None:
+        """Close the trace: gather workers, emit the root span, clean up."""
+        if self._finished:
+            return
+        self._finished = True
+        self.gather()
+        if self._spool is not None:
+            shutil.rmtree(self._spool, ignore_errors=True)
+            self._spool = None
+        if self._emit_root:
+            attrs = dict(self.attrs)
+            if self.dropped:
+                attrs["spans_dropped"] = self.dropped
+            self.add(Span(
+                trace_id=self.trace_id,
+                span_id=self.root_id,
+                parent_id=None,
+                name=self.name,
+                layer=self.layer,
+                start=self._wall0,
+                duration=self.now() - self._wall0,
+                pid=os.getpid(),
+                thread=threading.current_thread().name,
+                attrs=attrs,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Ambient API
+# ---------------------------------------------------------------------------
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer installed on the calling thread, or None."""
+    return _STATE.tracer
+
+
+def enabled() -> bool:
+    """True when the calling thread is inside an active trace."""
+    return _STATE.tracer is not None
+
+
+def install(tracer: Optional[Tracer], base: Optional[str] = None) -> None:
+    """Adopt ``tracer`` as this thread's ambient trace.
+
+    ``base`` sets the parent for top-level spans opened on this thread
+    (defaults to the tracer's root span) — the engine uses it to hang
+    rank-thread events under its own ``engine.run`` span.  Passing
+    ``None`` uninstalls.
+    """
+    _STATE.tracer = tracer
+    _STATE.stack = []
+    _STATE.base = (
+        base if base is not None else (tracer.root_id if tracer else None)
+    )
+
+
+def start_trace(
+    name: str,
+    *,
+    layer: str = "app",
+    trace_id: Optional[str] = None,
+    attrs: Optional[Dict[str, Any]] = None,
+    limit: int = DEFAULT_BUFFER,
+) -> Tracer:
+    """Mint a trace and install it on the calling thread.
+
+    Raises ``RuntimeError`` if this thread is already tracing — traces
+    start at *outermost* entry points only (inner layers attach spans,
+    they never re-mint).
+    """
+    if _STATE.tracer is not None:
+        raise RuntimeError(
+            f"a trace ({_STATE.tracer.trace_id[:12]}…) is already active on "
+            "this thread; spans nest, traces do not"
+        )
+    tracer = Tracer(name, layer=layer, trace_id=trace_id, attrs=attrs,
+                    limit=limit)
+    install(tracer)
+    return tracer
+
+
+def finish_trace() -> Optional[Tracer]:
+    """Finish and uninstall the calling thread's trace; returns it."""
+    tracer = _STATE.tracer
+    install(None)
+    if tracer is not None:
+        tracer.finish()
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# Spans and events
+# ---------------------------------------------------------------------------
+
+class _NullSpan:
+    """The disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        """Ignore attributes (tracing is off)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span: context manager recording itself on exit."""
+
+    __slots__ = ("_tracer", "name", "layer", "attrs", "span_id",
+                 "parent_id", "start", "_p0")
+
+    def __init__(self, tracer: Tracer, name: str, layer: str,
+                 attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.layer = layer
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        st = _STATE.stack
+        self.parent_id = st[-1] if st else _STATE.base
+        self.span_id = new_span_id()
+        st.append(self.span_id)
+        self.start = self._tracer.now()
+        self._p0 = time.perf_counter()
+        return self
+
+    def set(self, **attrs) -> "_LiveSpan":
+        """Attach/overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._p0
+        st = _STATE.stack
+        if st and st[-1] == self.span_id:
+            st.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer.add(Span(
+            trace_id=self._tracer.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            layer=self.layer,
+            start=self.start,
+            duration=duration,
+            pid=os.getpid(),
+            thread=threading.current_thread().name,
+            attrs=self.attrs,
+        ))
+        return False
+
+
+def span(name: str, layer: str = "app", **attrs):
+    """Open a span (context manager); a no-op when tracing is off."""
+    tracer = _STATE.tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return _LiveSpan(tracer, name, layer, attrs)
+
+
+def event(name: str, layer: str = "app", **attrs) -> None:
+    """Record an instantaneous mark; a no-op when tracing is off."""
+    tracer = _STATE.tracer
+    if tracer is None:
+        return
+    st = _STATE.stack
+    tracer.record(
+        name,
+        layer=layer,
+        start=tracer.now(),
+        duration=0.0,
+        attrs=attrs,
+        parent_id=st[-1] if st else _STATE.base,
+        kind="event",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-process propagation
+# ---------------------------------------------------------------------------
+
+def propagation_context() -> Optional[Dict[str, Any]]:
+    """The picklable trace context to ship into a worker process.
+
+    None when tracing is off — callers pack it unconditionally and the
+    worker side treats None as "don't trace".
+    """
+    tracer = _STATE.tracer
+    if tracer is None:
+        return None
+    st = _STATE.stack
+    return {
+        "trace_id": tracer.trace_id,
+        "parent": st[-1] if st else _STATE.base,
+        "spool": tracer.ensure_spool(),
+    }
+
+
+def adopt_context(ctx: Optional[Dict[str, Any]]) -> Optional[Tracer]:
+    """Worker-side: activate a shipped trace context on this thread.
+
+    Returns the worker tracer to pass to :func:`release_context`, or
+    None when there is nothing to do — no context, or a tracer is
+    already ambient (the serial in-process path, where spans flow into
+    the parent trace directly).  A tracer inherited through ``fork()``
+    is *not* ambient: its buffer lives in the parent, so appending to
+    the forked copy would silently lose spans — the pid check below
+    detects that case and installs a real worker tracer instead.
+    """
+    if ctx is None:
+        return None
+    ambient = _STATE.tracer
+    if ambient is not None and ambient.pid == os.getpid():
+        return None
+    tracer = Tracer("worker", trace_id=ctx["trace_id"], emit_root=False)
+    tracer._spool = None  # workers write into the parent's spool, below
+    tracer._target_spool = ctx["spool"]  # type: ignore[attr-defined]
+    install(tracer, base=ctx.get("parent"))
+    return tracer
+
+
+def release_context(tracer: Optional[Tracer]) -> None:
+    """Worker-side: flush adopted-trace spans to the parent's spool."""
+    if tracer is None:
+        return
+    install(None)
+    spans = tracer.spans()
+    if not spans:
+        return
+    spool = getattr(tracer, "_target_spool", None)
+    if spool is None:
+        return
+    try:
+        fd, path = tempfile.mkstemp(
+            prefix=f"w{os.getpid()}-", suffix=".jsonl", dir=spool
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            for sp in spans:
+                fh.write(json.dumps(sp.to_dict()) + "\n")
+    except OSError:
+        pass  # a vanished spool (parent already finished) drops the spans
+
+
+# ---------------------------------------------------------------------------
+# Environment-driven self-profiling
+# ---------------------------------------------------------------------------
+
+def trace_env() -> Optional[str]:
+    """The ``REPRO_TRACE`` value when self-profiling is on, else None."""
+    value = os.environ.get(TRACE_ENV, "").strip()
+    if value in ("", "0"):
+        return None
+    return value
+
+
+@contextmanager
+def env_trace(name: str, *, layer: str = "app",
+              attrs: Optional[Dict[str, Any]] = None):
+    """Trace a block iff ``REPRO_TRACE`` asks for it and none is active.
+
+    The hook direct entry points (``run_mpi``, the sweep runners) wrap
+    around themselves so that *whatever* the outermost call turns out to
+    be becomes the trace root.  On exit the self-profiling summary goes
+    to stderr and, when ``REPRO_TRACE`` is a path, the Chrome trace is
+    written there.  Yields the tracer, or None when inactive.
+    """
+    value = trace_env()
+    if value is None or enabled():
+        yield None
+        return
+    start_trace(name, layer=layer, attrs=attrs)
+    try:
+        yield _STATE.tracer
+    finally:
+        tracer = finish_trace()
+        if tracer is not None:
+            emit_env_outputs(tracer, value)
+
+
+def emit_env_outputs(tracer: Tracer, value: str) -> None:
+    """Self-profiling outputs for an env-driven trace."""
+    from repro.obs.chrome import write_chrome_trace
+    from repro.obs.report import self_profile
+
+    print(self_profile(tracer), file=sys.stderr)
+    if value.lower() not in ("1", "true", "yes", "summary"):
+        path = write_chrome_trace(tracer, value)
+        print(f"chrome trace written: {path}", file=sys.stderr)

@@ -1,0 +1,21 @@
+"""Trace and span identifiers.
+
+IDs come from ``os.urandom`` — unique across threads and worker
+processes with no coordination, and entirely outside the simulation's
+seeded RNG streams, so minting them can never perturb a simulated
+result (the bit-identical-with-tracing guarantee rests on this).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace ID (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span ID (16 lowercase hex chars)."""
+    return os.urandom(8).hex()

@@ -1,0 +1,117 @@
+"""Plain-text trace views: the span tree and the self-profile summary.
+
+Both operate on a finished :class:`~repro.obs.core.Tracer` (or a bare
+span list) and are what ``REPRO_TRACE=1`` / ``--trace`` print at the end
+of a run — the quick look before reaching for Perfetto.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Union
+
+from repro.obs.core import Span, Tracer
+
+SpanSource = Union[Tracer, List[Span]]
+
+
+def _spans_of(source: SpanSource) -> List[Span]:
+    return source.spans() if isinstance(source, Tracer) else list(source)
+
+
+def render_span_tree(source: SpanSource, *, max_children: int = 12) -> str:
+    """Indented tree of spans (durations in ms), children by start time.
+
+    Sibling lists longer than ``max_children`` are elided with a count —
+    a 60-point sweep stays readable.
+    """
+    spans = _spans_of(source)
+    if not spans:
+        return "(no spans)"
+    by_id = {sp.span_id: sp for sp in spans}
+    children: Dict[str, List[Span]] = defaultdict(list)
+    roots: List[Span] = []
+    for sp in spans:
+        if sp.parent_id and sp.parent_id in by_id:
+            children[sp.parent_id].append(sp)
+        else:
+            roots.append(sp)
+    for sibs in children.values():
+        sibs.sort(key=lambda s: s.start)
+    roots.sort(key=lambda s: s.start)
+
+    lines: List[str] = []
+
+    def fmt(sp: Span) -> str:
+        mark = "·" if sp.kind == "event" else f"{sp.duration * 1e3:9.2f} ms"
+        extra = ""
+        if sp.attrs:
+            parts = [f"{k}={v}" for k, v in sorted(sp.attrs.items())][:4]
+            extra = "  [" + ", ".join(parts) + "]"
+        return f"{mark:>12}  {sp.layer}:{sp.name}{extra}"
+
+    def walk(sp: Span, depth: int) -> None:
+        lines.append("  " * depth + fmt(sp))
+        sibs = children.get(sp.span_id, [])
+        shown = sibs[:max_children]
+        for child in shown:
+            walk(child, depth + 1)
+        if len(sibs) > len(shown):
+            lines.append("  " * (depth + 1) +
+                         f"… {len(sibs) - len(shown)} more siblings elided")
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def self_profile(source: SpanSource, *, top: int = 12) -> str:
+    """Where wall time went: per-span-name totals, sorted by self time.
+
+    *Self* time is a span's duration minus its direct children's, so a
+    parent that merely waits on instrumented work does not double-count
+    it.  Events are listed as counts.
+    """
+    spans = _spans_of(source)
+    trace_id = spans[0].trace_id if spans else "?"
+    timed = [sp for sp in spans if sp.kind == "span"]
+    events = [sp for sp in spans if sp.kind == "event"]
+
+    child_time: Dict[str, float] = defaultdict(float)
+    ids = {sp.span_id for sp in timed}
+    for sp in timed:
+        if sp.parent_id and sp.parent_id in ids:
+            child_time[sp.parent_id] += sp.duration
+
+    agg: Dict[str, List[float]] = {}
+    for sp in timed:
+        total, self_t, count = agg.get(sp.name, (0.0, 0.0, 0))
+        agg[sp.name] = [
+            total + sp.duration,
+            self_t + max(0.0, sp.duration - child_time.get(sp.span_id, 0.0)),
+            count + 1,
+        ]
+
+    wall = max((sp.start + sp.duration for sp in timed), default=0.0) - \
+        min((sp.start for sp in timed), default=0.0)
+    lines = [
+        f"== repro self-profile · trace {trace_id[:12]}… · "
+        f"{len(timed)} spans / {len(events)} events · wall {wall:.3f}s ==",
+        f"{'span':<28} {'count':>5} {'total':>10} {'self':>10}   % self",
+    ]
+    rows = sorted(agg.items(), key=lambda kv: kv[1][1], reverse=True)
+    denom = sum(v[1] for v in agg.values()) or 1.0
+    for name, (total, self_t, count) in rows[:top]:
+        lines.append(
+            f"{name:<28} {count:>5} {total * 1e3:>8.1f}ms "
+            f"{self_t * 1e3:>8.1f}ms   {100.0 * self_t / denom:5.1f}%"
+        )
+    if len(rows) > top:
+        lines.append(f"… {len(rows) - top} more span names elided")
+    if events:
+        counts: Dict[str, int] = defaultdict(int)
+        for ev in events:
+            counts[ev.name] += 1
+        marks = ", ".join(f"{name}×{n}" for name, n in sorted(counts.items()))
+        lines.append(f"events: {marks}")
+    return "\n".join(lines)

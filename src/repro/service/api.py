@@ -16,6 +16,7 @@ Endpoints (all JSON unless noted)::
     DELETE /api/v1/jobs/{id}              delete the registry record
     GET    /api/v1/jobs/{id}/result       full result payload
     GET    /api/v1/jobs/{id}/progress     progress lines (?after=N&wait=S)
+    GET    /api/v1/jobs/{id}/trace        Chrome trace (submit with ?trace=1)
     GET    /api/v1/jobs/{id}/artifacts/X  derived artifact X
 
 Submission semantics: a spec whose work key matches a *completed*
@@ -50,7 +51,7 @@ Response = Tuple[int, Dict[str, str], bytes]
 
 _JOB_PATH = re.compile(
     r"^/api/v1/jobs/(?P<key>[0-9a-f]{64})"
-    r"(?:/(?P<sub>result|progress|artifacts/(?P<artifact>[a-z_]+)))?$"
+    r"(?:/(?P<sub>result|progress|trace|artifacts/(?P<artifact>[a-z_]+)))?$"
 )
 
 #: Longest a progress long-poll may block (seconds).
@@ -131,7 +132,7 @@ class ServiceApp:
                 return self._metrics()
             if path == "/api/v1/jobs":
                 if method == "POST":
-                    return self._submit(body)
+                    return self._submit(body, query)
                 if method == "GET":
                     return self._list_jobs()
                 return _error(405, f"{method} not allowed on {path}")
@@ -162,7 +163,8 @@ class ServiceApp:
         return _text_response(200, text,
                               content_type="text/plain; version=0.0.4")
 
-    def _submit(self, body: bytes) -> Response:
+    def _submit(self, body: bytes, query: Dict[str, str]) -> Response:
+        want_trace = query.get("trace", "") in ("1", "true", "yes")
         try:
             data = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -194,6 +196,8 @@ class ServiceApp:
         except Exception as exc:  # queue closed during shutdown
             self.metrics.inc("jobs_rejected")
             return _error(503, str(exc))
+        if want_trace:
+            job.want_trace = True
         if created:
             self.metrics.inc("jobs_submitted")
         else:
@@ -236,6 +240,8 @@ class ServiceApp:
             return self._job_result(key)
         if sub == "progress":
             return self._job_progress(key, query)
+        if sub == "trace":
+            return self._job_trace(key)
         return self._job_artifact(key, m.group("artifact"), query)
 
     def _job_status(self, key: str) -> Response:
@@ -245,8 +251,11 @@ class ServiceApp:
         record = self.registry.get(key)
         if record is None:
             return _error(404, f"no job {key}")
-        summary = {k: v for k, v in record.items() if k != "result"}
+        summary = {
+            k: v for k, v in record.items() if k not in ("result", "trace")
+        }
         summary["job_id"] = key
+        summary["has_trace"] = "trace" in record
         return _json_response(200, summary)
 
     def _job_result(self, key: str) -> Response:
@@ -270,6 +279,23 @@ class ServiceApp:
             "duration": record.get("duration"),
             "result": record.get("result"),
         })
+
+    def _job_trace(self, key: str) -> Response:
+        """The job's Chrome trace-event document (``?trace=1`` submits).
+
+        Served as plain JSON, directly loadable by ``chrome://tracing``
+        and Perfetto.
+        """
+        record = self.registry.get(key)
+        if record is None:
+            if self.queue.get(key) is not None:
+                return _error(409, "job has not finished yet")
+            return _error(404, f"no job {key}")
+        trace = record.get("trace")
+        if trace is None:
+            return _error(404, "job was submitted without ?trace=1; "
+                               "resubmit with tracing to capture one")
+        return _json_response(200, trace)
 
     def _job_progress(self, key: str, query: Dict[str, str]) -> Response:
         try:

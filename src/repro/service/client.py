@@ -72,9 +72,15 @@ class ServiceClient:
         """``GET /healthz``."""
         return self._call("GET", "/healthz")
 
-    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
-        """``POST /api/v1/jobs`` — returns the submission receipt."""
-        return self._call("POST", "/api/v1/jobs", body=spec)
+    def submit(self, spec: Dict[str, Any],
+               trace: bool = False) -> Dict[str, Any]:
+        """``POST /api/v1/jobs`` — returns the submission receipt.
+
+        ``trace=True`` submits with ``?trace=1``: the job runs traced
+        and its Chrome trace becomes fetchable via :meth:`trace`.
+        """
+        path = "/api/v1/jobs" + ("?trace=1" if trace else "")
+        return self._call("POST", path, body=spec)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """``GET /api/v1/jobs/{id}``."""
@@ -129,6 +135,13 @@ class ServiceClient:
         if qs:
             path += f"?{qs}"
         return self._call("GET", path)
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """``GET /api/v1/jobs/{id}/trace`` — the Chrome trace document.
+
+        404 unless the job was submitted with ``trace=True``.
+        """
+        return self._call("GET", f"/api/v1/jobs/{job_id}/trace")
 
     def jobs(self) -> Dict[str, Any]:
         """``GET /api/v1/jobs`` — live and stored job summaries."""

@@ -11,7 +11,12 @@ watch a running analysis server.  Three instrument families:
   renderer does not reach into other subsystems;
 * **latency summary** — a bounded reservoir of recent job durations
   rendered as p50/p95 quantiles plus count/sum, enough to spot a
-  degrading service without a histogram dependency.
+  degrading service without a histogram dependency;
+* **span summaries** — per-span-name duration reservoirs fed from the
+  :mod:`repro.obs` traces of executed jobs (queue wait, cache lookups,
+  per-point simulate, …), rendered as one labelled
+  ``repro_span_seconds`` summary family — so served and local runs
+  describe where time went in the same vocabulary.
 
 The run cache's counters are *not* duplicated here: the renderer
 consumes the dict returned by the one public
@@ -27,6 +32,10 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Latency samples retained for quantile estimation (ring buffer).
 LATENCY_WINDOW = 1024
+
+#: Distinct span names tracked before new ones are dropped (the span
+#: vocabulary is small and fixed; this is a safety bound, not a tune).
+MAX_SPAN_SERIES = 64
 
 #: Counter names pre-registered so /metrics shows zeros before traffic.
 COUNTERS = (
@@ -72,6 +81,8 @@ class ServiceMetrics:
         self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
         self._latency_count = 0
         self._latency_sum = 0.0
+        # span name → (reservoir, count, sum); see observe_span.
+        self._spans: Dict[str, List[Any]] = {}
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment a counter (auto-registered on first use)."""
@@ -85,6 +96,25 @@ class ServiceMetrics:
             self._latency_count += 1
             self._latency_sum += seconds
 
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Record one span duration from a job's trace.
+
+        Fed by the scheduler from every executed job's :mod:`repro.obs`
+        trace; rendered as the ``repro_span_seconds{span="name"}``
+        summary family.  Unknown names beyond :data:`MAX_SPAN_SERIES`
+        are dropped (cardinality guard).
+        """
+        with self._lock:
+            series = self._spans.get(name)
+            if series is None:
+                if len(self._spans) >= MAX_SPAN_SERIES:
+                    return
+                series = [deque(maxlen=LATENCY_WINDOW), 0, 0.0]
+                self._spans[name] = series
+            series[0].append(seconds)
+            series[1] += 1
+            series[2] += seconds
+
     def counter(self, name: str) -> int:
         """Current value of one counter (0 if never incremented)."""
         with self._lock:
@@ -96,6 +126,10 @@ class ServiceMetrics:
             counters = dict(self._counters)
             lat = sorted(self._latencies)
             count, total = self._latency_count, self._latency_sum
+            spans = {
+                name: (sorted(series[0]), series[1], series[2])
+                for name, series in self._spans.items()
+            }
         return {
             "counters": counters,
             "latency": {
@@ -103,6 +137,15 @@ class ServiceMetrics:
                 "sum": total,
                 "p50": percentile(lat, 0.50),
                 "p95": percentile(lat, 0.95),
+            },
+            "spans": {
+                name: {
+                    "count": scount,
+                    "sum": ssum,
+                    "p50": percentile(window, 0.50),
+                    "p95": percentile(window, 0.95),
+                }
+                for name, (window, scount, ssum) in spans.items()
             },
         }
 
@@ -168,4 +211,20 @@ class ServiceMetrics:
                 ("_sum", round(lat["sum"], 6)),
             ],
         )
+        if snap["spans"]:
+            samples: List[Tuple[str, float]] = []
+            for name in sorted(snap["spans"]):
+                s = snap["spans"][name]
+                samples.extend([
+                    (f'{{span="{name}",quantile="0.5"}}', round(s["p50"], 6)),
+                    (f'{{span="{name}",quantile="0.95"}}', round(s["p95"], 6)),
+                    (f'_count{{span="{name}"}}', s["count"]),
+                    (f'_sum{{span="{name}"}}', round(s["sum"], 6)),
+                ])
+            emit(
+                "repro_span_seconds", "summary",
+                "Durations of traced spans inside executed jobs "
+                "(queue wait, cache lookups, per-point simulate, ...).",
+                samples,
+            )
         return "\n".join(lines) + "\n"

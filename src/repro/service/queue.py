@@ -66,6 +66,10 @@ class Job:
         self.error: Optional[Dict[str, Any]] = None
         self._progress: List[str] = []
         self._progress_dropped = 0
+        #: Submitted with ``?trace=1``: the scheduler attaches the job's
+        #: Chrome trace to its terminal registry record.  Sticky under
+        #: coalescing — any submitter asking for a trace gets one.
+        self.want_trace = False
 
     # -- transitions (called by the scheduler) ------------------------------
 

@@ -29,6 +29,7 @@ import time
 import traceback
 from typing import List, Optional
 
+from repro import obs
 from repro.service.jobs import execute_job
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import Job, JobQueue
@@ -141,39 +142,73 @@ class Scheduler:
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
-        """Execute one job and persist its terminal record."""
+        """Execute one job and persist its terminal record.
+
+        Every job runs inside its own :mod:`repro.obs` trace, minted on
+        this worker thread (thread-local state keeps concurrent jobs'
+        traces apart).  Span durations feed the ``repro_span_seconds``
+        metrics family; when the job was submitted with ``?trace=1``
+        the full Chrome trace rides along on the terminal record.
+        """
         job.mark_running()
         with self._running_lock:
             self._running.add(job.key)
         self.registry.put(ExperimentRegistry.make_record(job))
+        tracer = obs.start_trace(
+            "job.run", layer="service",
+            attrs={"kind": job.spec.kind, "job": job.key[:12]},
+        )
+        # The queue wait ended the instant mark_running() stamped
+        # started_at — record it from the timestamps the job already
+        # keeps rather than opening a span after the fact.
+        tracer.record(
+            "queue.wait", layer="service",
+            start=job.submitted_at,
+            duration=max(0.0, (job.started_at or job.submitted_at)
+                         - job.submitted_at),
+        )
+        error = None
+        payload = None
         try:
-            payload = execute_job(
-                job.spec,
-                jobs=self.sweep_jobs,
-                cache=self.cache,
-                progress=job.add_progress,
-            )
-        except BaseException as exc:  # noqa: BLE001 - becomes a failure record
-            error = {
-                "error_type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-            }
+            try:
+                with obs.span("job.execute", layer="service",
+                              kind=job.spec.kind):
+                    payload = execute_job(
+                        job.spec,
+                        jobs=self.sweep_jobs,
+                        cache=self.cache,
+                        progress=job.add_progress,
+                    )
+            except BaseException as exc:  # noqa: BLE001 - failure record
+                error = {
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                }
+        finally:
+            tracer = obs.finish_trace()
+        self._observe_trace(tracer)
+        try:
             now = time.time()
-            # persist first, then wake waiters: anyone who observes the
-            # terminal state is guaranteed to find the record on disk
-            self.registry.put(ExperimentRegistry.make_record(
-                job, status="failed", error=error, finished_at=now))
-            job.fail(error, at=now)
-            self.metrics.inc("jobs_failed")
-            logger.warning("job %s failed: %s: %s",
-                           job.key[:12], type(exc).__name__, exc)
-        else:
-            now = time.time()
-            self.registry.put(ExperimentRegistry.make_record(
-                job, status="done", result=payload, finished_at=now))
-            job.finish(payload, at=now)
-            self.metrics.inc("jobs_completed")
+            if error is not None:
+                # persist first, then wake waiters: anyone who observes
+                # the terminal state finds the record already on disk
+                record = ExperimentRegistry.make_record(
+                    job, status="failed", error=error, finished_at=now)
+                self._attach_trace(record, job, tracer)
+                self.registry.put(record)
+                job.fail(error, at=now)
+                self.metrics.inc("jobs_failed")
+                logger.warning("job %s failed: %s: %s",
+                               job.key[:12], error["error_type"],
+                               error["message"])
+            else:
+                record = ExperimentRegistry.make_record(
+                    job, status="done", result=payload, finished_at=now)
+                self._attach_trace(record, job, tracer)
+                self.registry.put(record)
+                job.finish(payload, at=now)
+                self.metrics.inc("jobs_completed")
         finally:
             duration = job.duration()
             if duration is not None:
@@ -181,3 +216,20 @@ class Scheduler:
             with self._running_lock:
                 self._running.discard(job.key)
             self.queue.forget(job)
+
+    def _observe_trace(self, tracer) -> None:
+        """Feed the job trace's span durations into the metrics family."""
+        if tracer is None:
+            return
+        for sp in tracer.spans():
+            if sp.kind == "span":
+                self.metrics.observe_span(sp.name, sp.duration)
+
+    @staticmethod
+    def _attach_trace(record, job: Job, tracer) -> None:
+        """Put the Chrome trace on the record when the submit asked."""
+        if tracer is None or not job.want_trace:
+            return
+        from repro.obs import to_chrome_trace
+
+        record["trace"] = to_chrome_trace(tracer)

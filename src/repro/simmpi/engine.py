@@ -37,6 +37,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import (
     EngineStateError,
     RankDiagnostic,
@@ -131,6 +132,12 @@ class _RankThread(threading.Thread):
             self.state = ABORTED
             self.engine._back.set()
             return
+        if self.engine._tracer is not None:
+            # Join the engine's trace: fault/watchdog events emitted from
+            # this rank thread land under the engine.run span.  The ring
+            # buffer append is GIL-atomic and the baton serialises rank
+            # threads anyway, so no extra locking is needed.
+            obs.install(self.engine._tracer, base=self.engine._trace_base)
         try:
             self.engine._sections.rank_begin(self.ctx)
             self.result = self.fn(self.ctx, *self.args, **self.kwargs)
@@ -265,6 +272,9 @@ class Engine:
         # Virtual-clock progress monitor state.
         self._progress_clock = -1.0
         self._stalled_steps = 0
+        # Ambient trace shared with the rank threads (set in run()).
+        self._tracer = None
+        self._trace_base: Optional[str] = None
 
     # -- scheduling -------------------------------------------------------------
 
@@ -284,34 +294,45 @@ class Engine:
         self._started = True
         kwargs = kwargs or {}
 
-        self._threads = [
-            _RankThread(self, r, main, args, kwargs) for r in range(self.n_ranks)
-        ]
-        for t in self._threads:
-            t.ctx = RankContext(self, t)
-            t.state = READY
-            heapq.heappush(self._ready, (t.ctx.now, t.rank))
-            t.start()
+        with obs.span("engine.run", layer="engine", ranks=self.n_ranks,
+                      machine=self.machine.name, seed=self.seed) as run_span:
+            self._tracer = obs.current_tracer()
+            if self._tracer is not None:
+                self._trace_base = run_span.span_id
 
-        try:
-            self._loop()
-        except BaseException:
-            self._abort()
-            raise
+            with obs.span("engine.setup", layer="engine"):
+                self._threads = [
+                    _RankThread(self, r, main, args, kwargs)
+                    for r in range(self.n_ranks)
+                ]
+                for t in self._threads:
+                    t.ctx = RankContext(self, t)
+                    t.state = READY
+                    heapq.heappush(self._ready, (t.ctx.now, t.rank))
+                    t.start()
 
-        self.fabric.assert_drained()
-        self._sections.finalize()
-        clocks = [t.ctx.now for t in self._threads]
-        return RunResult(
-            n_ranks=self.n_ranks,
-            machine=self.machine.name,
-            seed=self.seed,
-            results=[t.result for t in self._threads],
-            clocks=clocks,
-            walltime=max(clocks),
-            section_events=self._sections.events,
-            network=self.network.stats(),
-        )
+            try:
+                with obs.span("engine.schedule", layer="engine"):
+                    self._loop()
+            except BaseException:
+                self._abort()
+                raise
+
+            with obs.span("engine.finalize", layer="engine"):
+                self.fabric.assert_drained()
+                self._sections.finalize()
+            clocks = [t.ctx.now for t in self._threads]
+            run_span.set(walltime=max(clocks))
+            return RunResult(
+                n_ranks=self.n_ranks,
+                machine=self.machine.name,
+                seed=self.seed,
+                results=[t.result for t in self._threads],
+                clocks=clocks,
+                walltime=max(clocks),
+                section_events=self._sections.events,
+                network=self.network.stats(),
+            )
 
     def _loop(self) -> None:
         # Hot loop: one iteration per scheduling step.  The ready heap
@@ -423,6 +444,11 @@ class Engine:
     def _raise_stalled(self, reason: str, headline: str) -> None:
         """Abort the run with a full diagnostic dump attached."""
         diagnostics = self._rank_diagnostics()
+        obs.event(
+            "engine.stall", layer="engine", reason=reason,
+            blocked=sum(1 for d in diagnostics if d.state == BLOCKED),
+            hung=sum(1 for d in diagnostics if d.state == HUNG),
+        )
         lines = [headline]
         for d in diagnostics:
             lines.append(
@@ -534,19 +560,25 @@ def run_mpi(
 
     This is the moral equivalent of ``mpiexec -n <n_ranks> python main.py``
     on the simulated machine.
+
+    With ``REPRO_TRACE`` set and no trace already active, this call is
+    an outermost entry point: it mints the trace and emits the
+    self-profiling outputs on return (see :mod:`repro.obs`).
     """
-    eng = Engine(
-        n_ranks,
-        machine=machine,
-        ranks_per_node=ranks_per_node,
-        seed=seed,
-        compute_jitter=compute_jitter,
-        noise_floor=noise_floor,
-        tools=tools,
-        validate_sections=validate_sections,
-        max_virtual_time=max_virtual_time,
-        faults=faults,
-        wall_timeout=wall_timeout,
-        progress_steps=progress_steps,
-    )
-    return eng.run(main, args=args, kwargs=kwargs)
+    with obs.env_trace("run_mpi", layer="engine",
+                       attrs={"ranks": n_ranks, "seed": seed}):
+        eng = Engine(
+            n_ranks,
+            machine=machine,
+            ranks_per_node=ranks_per_node,
+            seed=seed,
+            compute_jitter=compute_jitter,
+            noise_floor=noise_floor,
+            tools=tools,
+            validate_sections=validate_sections,
+            max_virtual_time=max_virtual_time,
+            faults=faults,
+            wall_timeout=wall_timeout,
+            progress_steps=progress_steps,
+        )
+        return eng.run(main, args=args, kwargs=kwargs)

@@ -1,0 +1,92 @@
+"""Chrome trace-event export, schema validation, and text reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_thread_state():
+    obs.install(None)
+    yield
+    obs.install(None)
+
+
+def _sample_tracer():
+    tracer = obs.start_trace("root", layer="test", attrs={"run": "sample"})
+    with obs.span("phase.one", layer="test", items=2):
+        with obs.span("phase.one.inner", layer="test"):
+            pass
+        obs.event("milestone", layer="test")
+    with obs.span("phase.two", layer="test"):
+        pass
+    return obs.finish_trace()
+
+
+def test_export_is_schema_valid():
+    doc = obs.to_chrome_trace(_sample_tracer())
+    assert obs.validate_chrome_trace(doc) == []
+
+
+def test_export_shape_and_units():
+    tracer = _sample_tracer()
+    doc = obs.to_chrome_trace(tracer)
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["trace_id"] == tracer.trace_id
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    assert any(e["name"] == "thread_name" for e in metas)
+    completes = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in completes} >= {
+        "root", "phase.one", "phase.one.inner", "phase.two"}
+    assert [e["name"] for e in instants] == ["milestone"]
+    for e in completes:
+        assert isinstance(e["ts"], (int, float))
+        assert e["dur"] >= 0
+        assert e["args"]["trace_id"] == tracer.trace_id
+    # timestamps are microseconds relative to the trace start: the root
+    # span starts at (or very near) zero
+    root = next(e for e in completes if e["name"] == "root")
+    assert root["ts"] < 1e6
+
+
+def test_export_roundtrips_through_json(tmp_path):
+    path = tmp_path / "trace.json"
+    obs.write_chrome_trace(_sample_tracer(), str(path))
+    doc = json.loads(path.read_text())
+    assert obs.validate_chrome_trace(doc) == []
+
+
+def test_validator_flags_problems():
+    assert obs.validate_chrome_trace({"nope": 1})
+    assert obs.validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+    missing_dur = {"traceEvents": [
+        {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0.0, "args": {}}]}
+    assert any("dur" in p for p in obs.validate_chrome_trace(missing_dur))
+    ok = {"traceEvents": [
+        {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0.0,
+         "dur": 1.0, "args": {}}]}
+    assert obs.validate_chrome_trace(ok) == []
+
+
+def test_span_tree_rendering():
+    text = obs.render_span_tree(_sample_tracer())
+    lines = text.splitlines()
+    root_line = next(line for line in lines if "test:root" in line)
+    inner_line = next(line for line in lines if "phase.one.inner" in line)
+    # children indent deeper than the root, durations render in ms
+    assert inner_line.index("test:") > root_line.index("test:")
+    assert "ms" in root_line and "[run=sample]" in root_line
+    assert any("milestone" in line and "·" in line for line in lines)
+
+
+def test_self_profile_lists_hot_spans():
+    text = obs.self_profile(_sample_tracer())
+    assert "phase.one" in text
+    assert "ms" in text or "%" in text

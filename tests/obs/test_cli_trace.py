@@ -1,0 +1,75 @@
+"""The headline acceptance test: ``repro fig5a --trace out.json``.
+
+Runs the CLI in a subprocess and checks the written file is a
+schema-valid Chrome trace carrying spans from every layer — CLI,
+harness, cache, engine — under a single trace ID.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(*argv, env_extra=None, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_CACHE_DIR", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, cwd=cwd, timeout=600,
+    )
+
+
+def test_cli_trace_flag_writes_valid_chrome_trace(tmp_path):
+    from repro.obs import validate_chrome_trace
+
+    out = tmp_path / "trace.json"
+    proc = _run_cli(
+        "fig5a", "--reps", "1", "--steps", "10", "--jobs", "2",
+        "--quiet", "--out", str(tmp_path / "results"),
+        "--trace", str(out),
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    events = [e for e in doc["traceEvents"] if e["ph"] in ("X", "i")]
+    layers = {e["args"]["layer"] for e in events}
+    assert {"cli", "harness", "cache", "engine"} <= layers
+    assert len({e["args"]["trace_id"] for e in events}) == 1
+    # the fan-out really crossed process boundaries
+    assert len({e["pid"] for e in events}) >= 2
+    # self-profile printed to stderr alongside the file
+    assert "self-profile" in proc.stderr or "chrome trace written" in proc.stdout
+
+
+def test_cli_env_var_traces_without_flag(tmp_path):
+    out = tmp_path / "env-trace.json"
+    proc = _run_cli(
+        "fig5a", "--reps", "1", "--steps", "10", "--quiet",
+        "--out", str(tmp_path / "results"),
+        env_extra={"REPRO_TRACE": str(out)},
+    )
+    assert proc.returncode == 0, proc.stderr
+    from repro.obs import validate_chrome_trace
+
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+
+
+def test_cli_untraced_run_prints_no_trace_output(tmp_path):
+    proc = _run_cli(
+        "fig5a", "--reps", "1", "--steps", "10", "--quiet",
+        "--out", str(tmp_path / "results"),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "trace" not in proc.stdout.lower()
+    assert "self-profile" not in proc.stderr

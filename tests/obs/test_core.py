@@ -1,0 +1,167 @@
+"""Unit tests for the obs core: tracers, spans, the ambient stack."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.core import Span, Tracer, _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_thread_state():
+    """Every test starts and ends with no ambient tracer on this thread."""
+    obs.install(None)
+    yield
+    obs.install(None)
+
+
+def test_disabled_span_is_shared_null_object():
+    assert not obs.enabled()
+    sp = obs.span("anything", layer="test")
+    assert sp is _NULL_SPAN
+    with sp as inner:
+        inner.set(key="value")  # must be a silent no-op
+    obs.event("nothing-happens")  # and so must events
+
+
+def test_span_nesting_builds_parent_chain():
+    tracer = obs.start_trace("root", layer="test")
+    with obs.span("outer", layer="test") as outer:
+        with obs.span("inner", layer="test") as inner:
+            assert inner.span_id != outer.span_id
+    finished = obs.finish_trace()
+    assert finished is tracer
+    by_name = {s.name: s for s in tracer.spans()}
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["outer"].parent_id == tracer.root_id
+    assert by_name["root"].parent_id is None
+    assert len({s.trace_id for s in tracer.spans()}) == 1
+
+
+def test_events_are_zero_duration_instants():
+    tracer = obs.start_trace("root", layer="test")
+    with obs.span("work", layer="test") as work:
+        obs.event("tick", layer="test", n=3)
+    obs.finish_trace()
+    ev = next(s for s in tracer.spans() if s.kind == "event")
+    assert ev.name == "tick"
+    assert ev.duration == 0.0
+    assert ev.parent_id == work.span_id
+    assert ev.attrs["n"] == 3
+
+
+def test_span_set_and_error_attrs():
+    tracer = obs.start_trace("root", layer="test")
+    with pytest.raises(ValueError):
+        with obs.span("doomed", layer="test") as sp:
+            sp.set(points=7)
+            raise ValueError("boom")
+    obs.finish_trace()
+    doomed = next(s for s in tracer.spans() if s.name == "doomed")
+    assert doomed.attrs["points"] == 7
+    assert doomed.attrs["error"] == "ValueError"
+
+
+def test_start_trace_twice_on_one_thread_raises():
+    obs.start_trace("first", layer="test")
+    with pytest.raises(RuntimeError):
+        obs.start_trace("second", layer="test")
+    obs.finish_trace()
+
+
+def test_finish_trace_without_start_returns_none():
+    assert obs.finish_trace() is None
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tracer = Tracer("root", layer="test", limit=4)
+    obs.install(tracer)
+    for i in range(10):
+        with obs.span(f"s{i}", layer="test"):
+            pass
+    obs.install(None)
+    tracer.finish()
+    names = [s.name for s in tracer.spans()]
+    # the root span is emitted by finish() and always survives
+    assert "root" in names
+    assert tracer.dropped > 0
+    root = next(s for s in tracer.spans() if s.name == "root")
+    # the counter in the root attrs is snapshotted before the root span
+    # itself lands in the (full) ring, so it may trail by one
+    assert 0 < root.attrs["spans_dropped"] <= tracer.dropped
+
+
+def test_install_with_base_reparents_new_spans():
+    tracer = Tracer("root", layer="test")
+    obs.install(tracer, base="feedbeefcafe0001")
+    with obs.span("child", layer="test"):
+        pass
+    obs.install(None)
+    child = next(s for s in tracer.spans() if s.name == "child")
+    assert child.parent_id == "feedbeefcafe0001"
+
+
+def test_record_externally_timed_span():
+    tracer = obs.start_trace("root", layer="test")
+    tracer.record("queue.wait", layer="test", start=tracer._wall0 - 1.0,
+                  duration=1.0, attrs={"q": 1})
+    obs.finish_trace()
+    rec = next(s for s in tracer.spans() if s.name == "queue.wait")
+    assert rec.duration == 1.0
+    assert rec.parent_id == tracer.root_id
+    assert rec.pid == os.getpid()
+
+
+def test_span_roundtrips_through_dict():
+    sp = Span(trace_id="t" * 32, span_id="s" * 16, parent_id=None,
+              name="x", layer="test", start=1.5, duration=0.25,
+              pid=123, thread="T", attrs={"a": 1}, kind="span")
+    assert Span.from_dict(sp.to_dict()) == sp
+
+
+def test_ids_are_hex_and_unique():
+    trace_ids = {obs.new_trace_id() for _ in range(64)}
+    span_ids = {obs.new_span_id() for _ in range(64)}
+    assert len(trace_ids) == 64 and len(span_ids) == 64
+    assert all(len(t) == 32 and int(t, 16) >= 0 for t in trace_ids)
+    assert all(len(s) == 16 and int(s, 16) >= 0 for s in span_ids)
+
+
+def test_env_trace_noop_when_unset(monkeypatch):
+    monkeypatch.delenv(obs.TRACE_ENV, raising=False)
+    with obs.env_trace("outer", layer="test"):
+        assert not obs.enabled()
+
+
+def test_env_trace_activates_and_cleans_up(monkeypatch, capsys):
+    monkeypatch.setenv(obs.TRACE_ENV, "1")
+    with obs.env_trace("outer", layer="test"):
+        assert obs.enabled()
+        with obs.span("inner", layer="test"):
+            pass
+    assert not obs.enabled()
+    err = capsys.readouterr().err
+    assert "inner" in err  # self-profile printed to stderr
+
+
+def test_env_trace_nested_does_not_restart(monkeypatch):
+    monkeypatch.setenv(obs.TRACE_ENV, "1")
+    with obs.env_trace("outer", layer="test"):
+        tracer = obs.current_tracer()
+        with obs.env_trace("nested", layer="test"):
+            assert obs.current_tracer() is tracer
+
+
+def test_env_trace_writes_chrome_file(monkeypatch, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    monkeypatch.setenv(obs.TRACE_ENV, str(out))
+    with obs.env_trace("outer", layer="test"):
+        with obs.span("inner", layer="test"):
+            pass
+    capsys.readouterr()
+    assert out.exists()
+    doc = __import__("json").loads(out.read_text())
+    assert obs.validate_chrome_trace(doc) == []

@@ -1,0 +1,55 @@
+"""Tracing must never perturb simulated results.
+
+Span IDs come from ``os.urandom`` and span timestamps from the wall
+clock — neither touches the seeded numpy RNG streams — so every
+virtual-time number must be bit-identical with tracing on and off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.harness.runner import run_convolution_sweep
+from repro.harness.sweeps import ConvolutionSweep
+from repro.machine.catalog import nehalem_cluster
+from repro.workloads.convolution import ConvolutionConfig
+
+
+@pytest.fixture(autouse=True)
+def _clean_thread_state():
+    obs.install(None)
+    yield
+    obs.install(None)
+
+
+def _sweep():
+    return ConvolutionSweep(
+        config=ConvolutionConfig(height=64, width=96, steps=5),
+        machine=nehalem_cluster(nodes=2),
+        process_counts=(1, 2, 4),
+        reps=2,
+        base_seed=7,
+    )
+
+
+def _times(profile):
+    return {p: [r.walltime for r in profile.runs(p)]
+            for p in profile.scales()}
+
+
+def test_virtual_times_bit_identical_with_tracing():
+    baseline = run_convolution_sweep(_sweep())
+    obs.start_trace("traced-run", layer="test")
+    traced = run_convolution_sweep(_sweep())
+    tracer = obs.finish_trace()
+    assert _times(traced) == _times(baseline)
+    assert any(s.name == "point.simulate" for s in tracer.spans())
+
+
+def test_virtual_times_bit_identical_across_worker_fanout():
+    baseline = run_convolution_sweep(_sweep(), jobs=2)
+    obs.start_trace("traced-run", layer="test")
+    traced = run_convolution_sweep(_sweep(), jobs=2)
+    obs.finish_trace()
+    assert _times(traced) == _times(baseline)

@@ -1,0 +1,176 @@
+"""Doc-sync tests: the documentation's code must actually work.
+
+Two contracts, over ``README.md`` and every ``docs/*.md``:
+
+* every fenced ``python`` block **executes** (blocks in one file run
+  cumulatively, in order, sharing a namespace — so a later block may
+  use names a ``Quickstart`` block defined);
+* every ``python -m repro.cli ...`` line inside ``sh``/``console``
+  blocks **parses** against the real argument parsers — flag renames
+  that orphan a documented example fail here, not in a user's shell.
+
+Illustrative fragments that are not meant to run (signature tours,
+server-required snippets) use bare/``text`` fences, which this module
+deliberately ignores.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+_FENCE = re.compile(r"^```(\S*)\s*$")
+
+
+def _blocks(path: Path) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(language, body, first_line_number)`` per fenced block."""
+    lang = None
+    body: List[str] = []
+    start = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        fence = _FENCE.match(line)
+        if fence and lang is None:
+            lang, body, start = fence.group(1).lower(), [], lineno + 1
+        elif line.strip() == "```" and lang is not None:
+            yield lang, "\n".join(body), start
+            lang = None
+        elif lang is not None:
+            body.append(line)
+    assert lang is None, f"{path.name}: unterminated fence opened at {start}"
+
+
+def _python_blocks(path: Path) -> List[Tuple[str, int]]:
+    return [(b, n) for lang, b, n in _blocks(path) if lang == "python"]
+
+
+def _shell_lines(path: Path) -> List[Tuple[str, int]]:
+    """CLI lines from sh/console blocks, continuations joined."""
+    lines: List[Tuple[str, int]] = []
+    for lang, body, start in _blocks(path):
+        if lang not in ("sh", "shell", "bash", "console"):
+            continue
+        pending, pending_at = "", start
+        for off, raw in enumerate(body.splitlines()):
+            line = raw.strip()
+            if not pending:
+                pending_at = start + off
+            joined = (pending + " " + line).strip() if pending else line
+            if joined.endswith("\\"):
+                pending = joined[:-1].strip()
+                continue
+            pending = ""
+            lines.append((joined, pending_at))
+    return lines
+
+
+def _cli_argv(line: str) -> List[str] | None:
+    """``['fig5a', '--reps', '2']`` for a repro.cli line, else None."""
+    if line.startswith("$ "):
+        line = line[2:]
+    try:
+        tokens = shlex.split(line, comments=True)
+    except ValueError:
+        return None
+    while tokens and re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*=.*", tokens[0]):
+        tokens = tokens[1:]  # env-var prefixes like REPRO_TRACE=out.json
+    if tokens[:3] != ["python", "-m", "repro.cli"]:
+        return None
+    return tokens[3:]
+
+
+def _doc_files_with(extractor) -> List[Path]:
+    return [p for p in DOC_FILES if extractor(p)]
+
+
+@pytest.mark.parametrize(
+    "path", _doc_files_with(_python_blocks), ids=lambda p: p.name)
+def test_python_blocks_execute(path: Path, tmp_path):
+    """Concatenate a file's python blocks and run them for real."""
+    script = []
+    for body, lineno in _python_blocks(path):
+        script.append(f"# --- {path.name}:{lineno}\n{body}")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "doc-cache")
+    env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_JOBS", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", "\n\n".join(script)],
+        capture_output=True, text=True, env=env, cwd=tmp_path, timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{path.name}: a documented python block failed\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", _doc_files_with(_shell_lines), ids=lambda p: p.name)
+def test_cli_lines_parse(path: Path, capsys):
+    """Every documented ``python -m repro.cli`` invocation must parse."""
+    from repro.cli import SUBCOMMAND_PARSERS, build_parser
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    checked = 0
+    for line, lineno in _shell_lines(path):
+        argv = _cli_argv(line)
+        if argv is None or not argv:
+            continue
+        checked += 1
+        where = f"{path.name}:{lineno}: {line!r}"
+        builder = SUBCOMMAND_PARSERS.get(argv[0])
+        if builder is not None:
+            parser, rest = builder(), argv[1:]
+        else:
+            parser, rest = build_parser(), argv
+        try:
+            args = parser.parse_args(rest)
+        except SystemExit as exc:
+            capsys.readouterr()
+            pytest.fail(f"{where} does not parse (exit {exc.code})")
+        if builder is None:
+            for exp in args.experiments:
+                assert exp in ALL_EXPERIMENTS or exp in ("list", "all"), (
+                    f"{where} names unknown experiment {exp!r}")
+    # Guard against the extractor silently matching nothing.
+    assert checked > 0, f"{path.name}: no repro.cli lines found to check"
+
+
+def test_every_doc_is_linked_from_readme():
+    """The README documentation map must cover every docs/*.md page."""
+    readme = (REPO / "README.md").read_text()
+    for page in sorted((REPO / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README.md does not link docs/{page.name}")
+
+
+def test_docs_cross_link_each_other():
+    """Every docs page links every sibling page (the cross-link table)."""
+    pages = sorted((REPO / "docs").glob("*.md"))
+    for page in pages:
+        text = page.read_text()
+        missing = [other.name for other in pages
+                   if other != page and other.name not in text]
+        assert not missing, f"docs/{page.name} does not link {missing}"
+
+
+def test_cli_help_points_at_canonical_docs():
+    """``--help`` must direct users to the canonical references."""
+    from repro.cli import build_parser
+
+    help_text = build_parser().format_help()
+    assert "docs/api.md" in help_text
+    assert "docs/observability.md" in help_text
