@@ -40,23 +40,40 @@ def _bench_sweep(reps: int = 2) -> ConvolutionSweep:
 
 
 def test_sweep_parallel_vs_serial_wallclock():
+    """Honest fan-out measurement: the pool never oversubscribes.
+
+    The job count is ``min(4, cores)`` — an earlier version hardcoded
+    ``jobs=4`` and dutifully recorded a 0.57× "speedup" on a 1-core
+    host, which measured only context-switch overhead.  On hosts that
+    cannot express parallelism (< 2 cores) the artifact says so instead
+    of publishing a misleading ratio.
+    """
     sweep = _bench_sweep()
+    cores = os.cpu_count() or 1
+    jobs = min(4, cores)
     t0 = time.perf_counter()
     serial = run_convolution_sweep(sweep, jobs=1)
     t_serial = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    parallel = run_convolution_sweep(sweep, jobs=4)
-    t_parallel = time.perf_counter() - t0
-
-    assert scaling_to_json(parallel) == scaling_to_json(serial)
-    cores = os.cpu_count() or 1
     lines = [
         "parallel sweep wall-clock (convolution, 7 scales x 2 reps)",
-        f"  host cores:     {cores}",
+        f"  host cores:      {cores}",
         f"  serial (jobs=1): {t_serial:8.2f} s",
-        f"  jobs=4:          {t_parallel:8.2f} s",
-        f"  speedup:         {t_serial / t_parallel:8.2f} x",
     ]
+    if jobs > 1:
+        t0 = time.perf_counter()
+        parallel = run_convolution_sweep(sweep, jobs=jobs)
+        t_parallel = time.perf_counter() - t0
+        assert scaling_to_json(parallel) == scaling_to_json(serial)
+        lines += [
+            f"  jobs={jobs}:          {t_parallel:8.2f} s",
+            f"  speedup:         {t_serial / t_parallel:8.2f} x",
+        ]
+    else:
+        lines += [
+            "  parallel run:    skipped — a 1-core host cannot express a",
+            "  sweep speedup; an oversubscribed pool would only measure",
+            "  context-switch overhead (see resolve_jobs).",
+        ]
     save_artifact("sweep_parallel", "\n".join(lines))
     if cores >= 4:
         # The acceptance bar: >= 2x on a 4-core host.  Below 4 cores the

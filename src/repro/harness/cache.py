@@ -39,8 +39,12 @@ logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every previously stored entry (payload layout or
 #: simulation-semantics changes).  v2: checksummed envelope + fault
-#: plans in run keys.
-CACHE_SCHEMA_VERSION = 2
+#: plans in run keys.  v3: the collective gate pins engine interleaving
+#: at collective boundaries, which can shift port-queueing arithmetic
+#: relative to v2 runs.  The ``REPRO_COLL_ANALYTIC`` switch itself is
+#: deliberately NOT part of the key: fast- and message-path results are
+#: bit-identical, so either mode may serve the other's cached entries.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the cache directory (and opting the
 #: runners into caching by default).

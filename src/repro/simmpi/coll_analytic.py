@@ -1,0 +1,746 @@
+"""Analytic collective fast path: thread-free resolution of collectives.
+
+Why
+---
+Every blocking point in the simulator is a two-``threading.Event`` baton
+handoff, so a p-rank collective simulated as its full message pattern
+costs ~2·p·log2(p) OS context switches even though nothing about the
+pattern depends on *which OS thread* computes it.  This module resolves
+an entire collective invocation on **one** thread — the last-arriving
+rank's — while every other participant pays exactly one park and one
+wake.
+
+How bit-identity is guaranteed
+------------------------------
+The fast path does **not** use a closed-form cost formula that could
+drift from the transport.  Instead, every collective algorithm is
+written once, as a per-rank *generator program* (see
+:mod:`repro.simmpi.collectives`) that posts sends/receives and yields
+every request it waits on; the driver performs the wait bookkeeping.
+The same program source runs in both modes:
+
+* **message path** (``REPRO_COLL_ANALYTIC=0``): each rank's own thread
+  drives its program through the rank's real
+  :class:`~repro.simmpi.comm.Communicator` and
+  :class:`~repro.simmpi.p2p.MessageFabric`, parking on every pending
+  request — the classic engine behaviour;
+* **analytic path** (default): the last-arriving rank drives *all* p
+  programs with :class:`_Replay`, a miniature copy of the engine
+  scheduler that picks the runnable virtual rank with the smallest
+  ``(clock, rank)`` key and runs it until its program yields a pending
+  request — the exact rule ``Engine._loop`` applies to rank threads.
+  The replay posts through :class:`_LeanComm`, a transport that keeps
+  only the fabric machinery a resolved collective can observe — every
+  :class:`~repro.simmpi.network.NetworkModel` state change (jitter
+  draw, port reservation, FIFO arrival, traffic counters), every clock
+  advance and every payload clone/delivery, in the identical order —
+  and falls back to the full fabric when a PMPI tool watches
+  per-message events or the network carries link faults.
+
+Because both modes evolve the *same* network-model state, in the
+*same* canonical order, against the *same* per-channel jitter RNG
+streams, the resulting per-rank exit clocks, payloads, traffic
+counters and section timestamps are **bit-identical** — walking the
+same algorithm rounds and consuming the same seeded jitter draws,
+rather than approximating them.
+
+The collective gate
+-------------------
+Order must also be pinned at the collective's *boundaries*, so every
+gated collective synchronises twice in engine time (never in virtual
+time — parking is free on the virtual clock):
+
+* **entry gate**: ranks park until the whole communicator has arrived
+  in the same private sub-context (the ``ckey`` minted by
+  :meth:`~repro.simmpi.comm.Communicator._next_coll_key`); the last
+  arrival releases everyone — or, on the fast path, resolves the whole
+  collective first;
+* **exit gate**: ranks park after finishing their pattern until every
+  pattern is complete, so post-collective user code interleaves
+  identically in both modes.
+
+Treating every collective as (engine-)synchronising is behaviour the
+MPI standard explicitly permits an implementation; virtual-time costs
+are unchanged because parked ranks' clocks never move.
+
+Preconditions
+-------------
+The gate (and therefore the fast path) engages only when
+
+* no :class:`~repro.faults.FaultPlan` is active (fault delivery points
+  must fire mid-pattern at true engine scheduling granularity), and
+* the communicator spans every rank of the job (otherwise outside
+  ranks could interleave port traffic mid-collective).
+
+Anything else — sub-communicators, fault runs, the linear ablation
+variants — takes the ungated message path unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from collections import deque
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CommMismatchError, EngineStateError
+from repro.simmpi.datatypes import (
+    clone_payload,
+    deliver_into,
+    is_buffer_payload,
+    payload_nbytes,
+)
+from repro.simmpi.request import Request
+
+#: Environment switch for the analytic fast path.  On by default;
+#: ``0``/``false``/``no``/``off`` reverts every collective to the
+#: message-pattern path (results are bit-identical either way).
+ANALYTIC_ENV = "REPRO_COLL_ANALYTIC"
+
+_FALSY = {"0", "false", "no", "off"}
+
+#: A collective program: ``factory(comm, ckey, *args)`` returning a
+#: generator that yields pending Requests and returns the result.
+ProgramFactory = Callable[..., Generator[Request, None, Any]]
+
+
+def analytic_enabled(value: Optional[str] = None) -> bool:
+    """Whether the analytic fast path is on.
+
+    Reads ``REPRO_COLL_ANALYTIC`` when ``value`` is None; unset or empty
+    means **enabled**.  Matching is case-insensitive.
+    """
+    if value is None:
+        value = os.environ.get(ANALYTIC_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in _FALSY
+
+
+def drive_threaded(ctx, gen: Generator[Request, None, Any]) -> Any:
+    """Run a collective program on the calling rank's own thread.
+
+    Programs yield every request they wait on; the driver performs the
+    wait itself — parking the rank iff the request is still pending
+    (exactly where :meth:`Request.wait` would have), then applying
+    ``wait()``'s bookkeeping: the waited mark, the clock advance to the
+    completion stamp, and sending the payload back into the program.
+    Keeping the wait bookkeeping in the driver rather than a helper
+    generator saves one generator allocation + resume per wait, which
+    the replay's per-message budget cares about.
+    """
+    val = None
+    try:
+        while True:
+            req = gen.send(val)
+            if not req.done:
+                ctx._block_on_request(req)
+            req._waited = True
+            ctx._advance_to(req.completion_time)
+            val = req.data
+    except StopIteration as stop:
+        return stop.value
+
+
+def dispatch(comm, kind: str, ckey: tuple, factory: ProgramFactory,
+             args: tuple = ()) -> Any:
+    """Entry point used by every gated collective wrapper.
+
+    Routes through the engine's :class:`CollectiveGate` when the
+    preconditions hold, otherwise drives the program inline on the
+    calling thread (the plain message path).
+    """
+    engine = comm.ctx.engine
+    gate = engine.coll_gate
+    if gate.eligible(comm):
+        return gate.run(comm, kind, ckey, factory, args)
+    return drive_threaded(comm.ctx, factory(comm, ckey, *args))
+
+
+class _GateEntry:
+    """Bookkeeping for one collective invocation crossing the gate."""
+
+    __slots__ = ("kind", "ckey", "size", "comms", "factories", "args",
+                 "results", "errors", "mode", "arrived", "exited",
+                 "exit_parked")
+
+    def __init__(self, kind: str, ckey: tuple, size: int):
+        self.kind = kind
+        self.ckey = ckey
+        self.size = size
+        self.comms: List[Any] = [None] * size
+        self.factories: List[Optional[ProgramFactory]] = [None] * size
+        self.args: List[tuple] = [()] * size
+        self.results: List[Any] = [None] * size
+        self.errors: List[Optional[BaseException]] = [None] * size
+        #: "fast" once the replay resolved it, "threaded" otherwise.
+        self.mode: Optional[str] = None
+        self.arrived = 0
+        self.exited = 0
+        #: Comm ranks parked at the exit gate (threaded mode only).
+        self.exit_parked: List[int] = []
+
+
+class CollectiveGate:
+    """Per-engine rendezvous point for gated collective invocations.
+
+    Owns the entry/exit synchronisation and hands whole invocations to
+    :class:`_Replay` when the analytic path is enabled.  All methods run
+    under the engine baton (exactly one rank thread executes at a
+    time), so no locking is needed.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._pending: Dict[tuple, _GateEntry] = {}
+        #: Collective invocations that crossed the gate.
+        self.gated = 0
+        #: Invocations resolved thread-free by the analytic replay.
+        self.fast = 0
+
+    def eligible(self, comm) -> bool:
+        """Gate precondition: the communicator spans the whole job.
+
+        Fault runs still cross the gate (so their engine interleaving —
+        and hence their clocks — stays comparable to fault-free runs),
+        but :meth:`run` keeps them on the threaded message path.
+        """
+        engine = self.engine
+        return comm.size == engine.n_ranks and comm.size > 1
+
+    def run(self, comm, kind: str, ckey: tuple, factory: ProgramFactory,
+            args: tuple) -> Any:
+        """Carry one rank through the gated collective ``ckey``."""
+        ctx = comm.ctx
+        entry = self._pending.get(ckey)
+        if entry is None:
+            entry = self._pending[ckey] = _GateEntry(kind, ckey, comm.size)
+            self.gated += 1
+        if entry.kind != kind:
+            raise CommMismatchError(
+                f"collective mismatch in sub-context {ckey}: this rank "
+                f"called {kind!r} but the invocation started as "
+                f"{entry.kind!r}"
+            )
+        rank = comm.rank
+        entry.comms[rank] = comm
+        entry.factories[rank] = factory
+        entry.args[rank] = args
+        entry.arrived += 1
+        if entry.arrived < entry.size:
+            ctx._park(
+                f"collective gate: {kind} waiting for "
+                f"{entry.size - entry.arrived} more rank(s)"
+            )
+            if entry.mode == "fast":
+                return self._finish_fast(entry, rank)
+            return self._run_threaded(entry, comm)
+        # Last arrival: release (or resolve) the whole invocation.  An
+        # active FaultPlan forces the message path — hang/crash delivery
+        # points inside the pattern must fire on the owning rank's own
+        # thread, which a thread-free replay cannot honour.
+        if self.engine.coll_analytic and self.engine._faults is None:
+            entry.mode = "fast"
+            _Replay(entry).run()
+            self.fast += 1
+            self._wake_others(entry, rank)
+            ctx._yield_baton()
+            return self._finish_fast(entry, rank)
+        entry.mode = "threaded"
+        self._wake_others(entry, rank)
+        ctx._yield_baton()
+        return self._run_threaded(entry, comm)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _wake_others(self, entry: _GateEntry, rank: int) -> None:
+        """Mark every other participant runnable again (entry release)."""
+        engine = self.engine
+        for q in range(entry.size):
+            if q != rank:
+                engine.make_ready(entry.comms[q].ctx.rank)
+
+    def _finish_fast(self, entry: _GateEntry, rank: int) -> Any:
+        """Collect this rank's replayed outcome (fast mode)."""
+        entry.exited += 1
+        if entry.exited == entry.size:
+            self._pending.pop(entry.ckey, None)
+        err = entry.errors[rank]
+        if err is not None:
+            raise err
+        return entry.results[rank]
+
+    def _run_threaded(self, entry: _GateEntry, comm) -> Any:
+        """Run this rank's own program, then hold the exit gate."""
+        ctx = comm.ctx
+        rank = comm.rank
+        gen = entry.factories[rank](comm, entry.ckey, *entry.args[rank])
+        result = drive_threaded(ctx, gen)
+        entry.exited += 1
+        if entry.exited < entry.size:
+            entry.exit_parked.append(rank)
+            ctx._park(
+                f"collective exit gate: {entry.kind} waiting for "
+                f"{entry.size - entry.exited} unfinished rank(s)"
+            )
+        else:
+            engine = self.engine
+            for q in entry.exit_parked:
+                engine.make_ready(entry.comms[q].ctx.rank)
+            entry.exit_parked = []
+            self._pending.pop(entry.ckey, None)
+            ctx._yield_baton()
+        return result
+
+
+_NEG_INF = float("-inf")
+
+
+class _LeanReq:
+    """Minimal request for the lean replay transport.
+
+    Carries exactly the surface the wait protocol touches (``done``,
+    ``completion_time``, ``data``, the waited mark and the replay's
+    waiter index) — no Status, no describe string, no context
+    back-reference.  Never escapes the replay: programs only ever see
+    the payload the driver sends back in.
+    """
+
+    __slots__ = ("done", "completion_time", "data", "waiter", "_waited")
+
+    def __init__(self):
+        self.done = False
+        self.completion_time = 0.0
+        self.data = None
+        self.waiter = None
+        self._waited = False
+
+
+class _LeanComm:
+    """Drop-in :class:`~repro.simmpi.comm.Communicator` stand-in that
+    resolves a program's collective traffic replay-locally.
+
+    The generic replay drives programs through
+    :class:`~repro.simmpi.p2p.MessageFabric`, whose per-message cost is
+    dominated by machinery a resolved collective cannot exercise: fault
+    polling (the fast path requires no FaultPlan), PMPI dispatch (lean
+    mode is skipped when a tool wants ``on_send``/``on_recv``), wildcard
+    matching and probes (collective programs name specific source+tag),
+    and thread wakeups (no rank thread is running during a replay).
+    This class keeps only the state evolution that is observable after
+    the collective — every :class:`~repro.simmpi.network.NetworkModel`
+    state change (jitter draw, port reservation, FIFO arrival, traffic
+    counters), every clock advance and every payload clone/delivery, in
+    the identical order — so the fabric-visible outcome is bit-identical
+    while the per-message overhead drops severalfold.  The jitter and
+    port arithmetic is an exact inline of ``NetworkModel.message_timing``
+    / ``reserve_port`` / ``deliver`` / ``arrival_time`` and of
+    ``MessageFabric.post_send`` / ``_complete_pair``; any change there
+    must be mirrored here (the differential suite enforces it).
+
+    Exposes exactly the surface the ``_prog_*`` generators touch —
+    ``rank``/``size``/``ctx`` and the ``_coll_*`` posting helpers — so
+    the very same program source runs against either transport.
+    Matching inside one collective sub-context is specific-(source, tag)
+    FIFO, and one gated invocation spans exactly one sub-context, so a
+    ``(dst, src, tag)``-keyed table reproduces the full fabric's
+    post-order matching exactly (the ``ckey`` argument is common to all
+    traffic this instance ever sees).  Collective programs almost never
+    reuse a (source, tag) pair before it is matched, so each table slot
+    holds the bare envelope/post and is promoted to a deque only on
+    collision.
+    """
+
+    __slots__ = ("ctx", "rank", "size", "_wr", "_net", "_eager",
+                 "_intra_bw", "_o_send", "_o_recv", "_sends", "_recvs",
+                 "_completed", "_msgs", "_bytes")
+
+    def __init__(self, comm, net, sends, recvs, completed):
+        self.ctx = comm.ctx
+        self.rank = comm.rank
+        self.size = comm.size
+        #: comm rank -> world rank (gate precondition: spans the world,
+        #: but split() may still have permuted the numbering).
+        self._wr = comm._group.ranks
+        self._net = net
+        self._eager = net.machine.eager_threshold
+        self._intra_bw = net.machine.intra_node.bandwidth
+        self._o_send = net.o_send
+        self._o_recv = net.o_recv
+        self._sends = sends
+        self._recvs = recvs
+        #: Requests completed by matching since the replay last drained
+        #: them — lets the replay wake exactly the programs that became
+        #: runnable instead of scanning all p after every segment.
+        self._completed = completed
+        #: Local traffic counters, flushed into the NetworkModel once
+        #: per replay (same totals, p·log(p) fewer attribute updates).
+        self._msgs = 0
+        self._bytes = 0
+
+    def _coll_isend(self, ckey, obj, dest, tag) -> _LeanReq:
+        """Inline of ``Communicator._coll_isend`` + ``Fabric.post_send``."""
+        ctx = self.ctx
+        src = ctx.rank
+        dst = self._wr[dest]
+        if type(obj) is np.ndarray:
+            # clone_payload on a plain ndarray is exactly a C-order copy.
+            payload = obj.copy()
+            nbytes = payload.nbytes
+        else:
+            payload = clone_payload(obj)
+            nbytes = payload_nbytes(payload)
+        self._msgs += 1
+        self._bytes += nbytes
+        net = self._net
+        pair = (src, dst)
+        # Exact inline of NetworkModel.message_timing (sans link faults:
+        # lean mode requires a fault-free network, see _Replay.__init__).
+        if src == dst:
+            send_o = 0.0
+            lat = 0.0
+            transfer = nbytes / self._intra_bw
+            recv_o = 0.0
+        else:
+            chan = net._chan_cache.get(pair)
+            if chan is None:
+                chan = net._chan_cache[pair] = [
+                    net.tier(src, dst), net._rng_for(src, dst), (), 0,
+                ]
+            tier = chan[0]
+            if tier.jitter > 0.0 or tier.spike_prob > 0.0:
+                fbuf = chan[2]
+                i = chan[3]
+                if i >= len(fbuf):
+                    fbuf = net._refill_factors(chan)
+                    i = 0
+                chan[3] = i + 1
+                factor = fbuf[i]
+                lat = tier.latency * factor
+                transfer = (nbytes / tier.bandwidth) * factor
+            else:
+                lat = tier.latency
+                transfer = nbytes / tier.bandwidth
+            send_o = self._o_send
+            recv_o = self._o_recv
+        depart = ctx._clock
+        req = _LeanReq()
+        if nbytes > self._eager:
+            # Rendezvous: port traffic happens at match time (_complete).
+            env = (src, dst, payload, depart, lat, transfer, recv_o, req)
+        else:
+            # reserve_port + deliver + arrival_time, inlined.
+            pf = net._port_free
+            start = pf.get(src, 0.0)
+            earliest = depart + send_o
+            if earliest > start:
+                start = earliest
+            ser_end = start + transfer
+            pf[src] = ser_end
+            window_head = ser_end - transfer + lat
+            ipf = net._in_port_free
+            in_start = ipf.get(dst, 0.0)
+            if window_head > in_start:
+                in_start = window_head
+            in_end = in_start + transfer
+            ipf[dst] = in_end
+            la = net._last_arrival
+            prev = la.get(pair, _NEG_INF)
+            arrival = in_end if in_end >= prev else prev
+            la[pair] = arrival
+            # ctx._advance(send_overhead + eager copy), then complete —
+            # grouped exactly as the fabric sums it (float addition is
+            # not associative).
+            clock = depart + (send_o + nbytes / self._intra_bw)
+            ctx._clock = clock
+            req.done = True
+            req.completion_time = clock
+            env = (payload, arrival, recv_o)
+        key = (dst, src, tag)
+        recvs = self._recvs
+        post = recvs.pop(key, None)
+        if post is not None:
+            if type(post) is deque:
+                first = post.popleft()
+                if post:
+                    recvs[key] = post
+                post = first
+            self._complete(env, post[0], post[1], post[2])
+        else:
+            sends = self._sends
+            cur = sends.get(key)
+            if cur is None:
+                sends[key] = env
+            elif type(cur) is deque:
+                cur.append(env)
+            else:
+                sends[key] = deque((cur, env))
+        if not req.done:
+            # Unfinished (rendezvous) send: charge o_send, as the comm does.
+            ctx._clock = depart + self._o_send
+        return req
+
+    def _coll_irecv(self, ckey, source, tag) -> _LeanReq:
+        """Inline of ``Communicator._coll_irecv`` + ``Fabric.post_recv``."""
+        req = _LeanReq()
+        ctx = self.ctx
+        key = (ctx.rank, self._wr[source], tag)
+        sends = self._sends
+        env = sends.pop(key, None)
+        if env is not None:
+            if type(env) is deque:
+                first = env.popleft()
+                if env:
+                    sends[key] = env
+                env = first
+            self._complete(env, None, ctx._clock, req)
+        else:
+            post = (None, ctx._clock, req)
+            recvs = self._recvs
+            cur = recvs.get(key)
+            if cur is None:
+                recvs[key] = post
+            elif type(cur) is deque:
+                cur.append(post)
+            else:
+                recvs[key] = deque((cur, post))
+        return req
+
+    def _coll_irecv_into(self, ckey, buf, source, tag) -> _LeanReq:
+        """Inline of ``Communicator._coll_irecv_into`` + ``post_recv``."""
+        req = _LeanReq()
+        ctx = self.ctx
+        buf = np.asarray(buf)
+        key = (ctx.rank, self._wr[source], tag)
+        sends = self._sends
+        env = sends.pop(key, None)
+        if env is not None:
+            if type(env) is deque:
+                first = env.popleft()
+                if env:
+                    sends[key] = env
+                env = first
+            self._complete(env, buf, ctx._clock, req)
+        else:
+            post = (buf, ctx._clock, req)
+            recvs = self._recvs
+            cur = recvs.get(key)
+            if cur is None:
+                recvs[key] = post
+            elif type(cur) is deque:
+                cur.append(post)
+            else:
+                recvs[key] = deque((cur, post))
+        return req
+
+    def _complete(self, env, buf, post_time, rreq) -> None:
+        """Inline of ``MessageFabric._complete_pair`` (sans thread wakes).
+
+        Eager envelopes arrive as ``(payload, arrival, recv_overhead)``
+        — their port traffic already happened at post time.  Rendezvous
+        envelopes carry the full ``(src, dst, payload, depart, latency,
+        transfer, recv_overhead, send_request)`` and run the port
+        arithmetic here, at match time.
+        """
+        if len(env) == 3:
+            data, arrival, recv_o = env
+        else:
+            src, dst, data, depart, lat, transfer, recv_o, sreq = env
+            net = self._net
+            t_start = depart if depart >= post_time else post_time
+            pf = net._port_free
+            start = pf.get(src, 0.0)
+            if t_start > start:
+                start = t_start
+            ser_end = start + transfer
+            pf[src] = ser_end
+            window_head = ser_end - transfer + lat
+            ipf = net._in_port_free
+            in_start = ipf.get(dst, 0.0)
+            if window_head > in_start:
+                in_start = window_head
+            in_end = in_start + transfer
+            ipf[dst] = in_end
+            la = net._last_arrival
+            la_key = (src, dst)
+            prev = la.get(la_key, _NEG_INF)
+            arrival = in_end if in_end >= prev else prev
+            la[la_key] = arrival
+            if not sreq.done:
+                sreq.done = True
+                sreq.completion_time = ser_end
+                self._completed.append(sreq)
+        recv_done = (arrival if arrival >= post_time else post_time) + recv_o
+        if buf is not None:
+            deliver_into(buf, data)
+        else:
+            rreq.data = data
+        rreq.done = True
+        rreq.completion_time = recv_done
+        self._completed.append(rreq)
+
+
+class _Replay:
+    """Thread-free twin of ``Engine._loop`` for one collective.
+
+    Drives all p generator programs of a gated invocation on the
+    resolver's thread, always advancing the runnable virtual rank with
+    the smallest ``(virtual clock, world rank)`` — the identical
+    scheduling rule the engine applies to rank threads — and running it
+    until its program yields a request that is still pending.  Clock
+    advances, jitter draws, port reservations and payload movement all
+    go through the very same fabric/network code the threaded path
+    uses, so the replay is an order-preserving re-execution, not a
+    model of one.
+    """
+
+    _READY, _BLOCKED, _DONE, _FAILED = range(4)
+
+    def __init__(self, entry: _GateEntry):
+        self.entry = entry
+        self.ctxs = [entry.comms[q].ctx for q in range(entry.size)]
+        # Lean transport unless a PMPI tool observes per-message events
+        # (the tool must see the identical send/recv stream the message
+        # path would emit) or the network carries link faults, in which
+        # case the replay walks the full fabric.
+        engine = self.ctxs[0].engine
+        tools = engine.tools
+        net = engine.network
+        self._net = net
+        self._lean_comms: List[_LeanComm] = []
+        if (tools.wants("on_send") or tools.wants("on_recv")
+                or net.faults is not None):
+            self.lean = False
+            self._sends: Dict[tuple, Any] = {}
+            self._recvs: Dict[tuple, Any] = {}
+            self.completed: List[Any] = []
+            comms = entry.comms
+        else:
+            self.lean = True
+            self._sends = {}
+            self._recvs = {}
+            self.completed = []
+            comms = self._lean_comms = [
+                _LeanComm(c, net, self._sends, self._recvs, self.completed)
+                for c in entry.comms
+            ]
+        self.gens = [
+            entry.factories[q](comms[q], entry.ckey, *entry.args[q])
+            for q in range(entry.size)
+        ]
+
+    def run(self) -> None:
+        entry = self.entry
+        size = entry.size
+        ctxs = self.ctxs
+        gens = self.gens
+        lean = self.lean
+        completed = self.completed
+        state = [self._READY] * size
+        pending: List[Optional[Any]] = [None] * size
+        failures = 0
+        heap: List[Tuple[float, int, int]] = [
+            (ctxs[q]._clock, ctxs[q].rank, q) for q in range(size)
+        ]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        READY, BLOCKED = self._READY, self._BLOCKED
+        while heap:
+            clock, wrank, q = heappop(heap)
+            if state[q] != READY:
+                continue  # stale entry from an earlier READY period
+            ctx = ctxs[q]
+            if ctx._clock != clock:
+                heappush(heap, (ctx._clock, wrank, q))
+                continue
+            # Finish the wait the program blocked on (the bookkeeping
+            # Request.wait applies: waited mark, advance to completion).
+            req = pending[q]
+            if req is not None:
+                pending[q] = None
+                req._waited = True
+                ct = req.completion_time
+                if ct > ctx._clock:
+                    ctx._clock = ct
+                val = req.data
+            else:
+                val = None
+            gen_send = gens[q].send
+            while True:
+                try:
+                    req = gen_send(val)
+                except StopIteration as stop:
+                    state[q] = self._DONE
+                    entry.results[q] = stop.value
+                    break
+                except Exception as exc:  # noqa: BLE001 - re-raised per rank
+                    state[q] = self._FAILED
+                    entry.errors[q] = exc
+                    failures += 1
+                    break
+                if req.done:
+                    # Wait on an already-complete request: no block.
+                    req._waited = True
+                    ct = req.completion_time
+                    if ct > ctx._clock:
+                        ctx._clock = ct
+                    val = req.data
+                    continue
+                state[q] = BLOCKED
+                pending[q] = req
+                if lean:
+                    req.waiter = q
+                break
+            # A segment may have completed requests other ranks' parked
+            # programs were waiting on — exactly like the engine's
+            # wake_if_waiting, applied at the baton boundary.  The lean
+            # transport reports exactly which requests it completed; the
+            # full-fabric fallback scans all p (tool/fault runs only).
+            if lean:
+                if completed:
+                    for dreq in completed:
+                        j = dreq.waiter
+                        if j is not None and state[j] == BLOCKED:
+                            dreq.waiter = None
+                            state[j] = READY
+                            cj = ctxs[j]
+                            heappush(heap, (cj._clock, cj.rank, j))
+                    completed.clear()
+            else:
+                for j in range(size):
+                    if state[j] == BLOCKED and pending[j].done:
+                        state[j] = READY
+                        heappush(heap, (ctxs[j]._clock, ctxs[j].rank, j))
+        if lean:
+            # Flush the transports' local traffic counters (same totals
+            # as the fabric's per-message updates, in one pass).
+            net = self._net
+            for c in self._lean_comms:
+                net.messages += c._msgs
+                net.bytes += c._bytes
+        stuck = [ctxs[q].rank for q in range(size)
+                 if state[q] == self._BLOCKED]
+        if lean and not failures and not stuck:
+            if self._sends or self._recvs:
+                leftovers = len(self._sends) + len(self._recvs)
+                raise EngineStateError(
+                    f"analytic replay finished with {leftovers} unmatched "
+                    "send/recv group(s) — collective programs must be "
+                    "balanced within their own sub-context"
+                )
+        if stuck and not failures:
+            raise EngineStateError(
+                f"analytic replay of {entry.kind!r} stalled with ranks "
+                f"{stuck} blocked — collective programs must be closed "
+                "over their own sub-context"
+            )
+        if stuck:
+            # A failed program (e.g. a root-side argument error) leaves
+            # peers legitimately unmatched; surface the original error
+            # on each blocked rank instead of a bogus stall.
+            first = next(e for e in entry.errors if e is not None)
+            for q in range(size):
+                if state[q] == self._BLOCKED and entry.errors[q] is None:
+                    entry.errors[q] = first

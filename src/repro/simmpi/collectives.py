@@ -8,7 +8,8 @@ user traffic:
 barrier          dissemination (ceil(log2 p) rounds)
 bcast / Bcast    binomial tree rooted at ``root``
 reduce / Reduce  binomial tree (mirror of bcast), canonical combine order
-allreduce        reduce-to-0 + bcast (deterministic float results)
+allreduce        recursive doubling (canonical pair order: deterministic,
+                 rank-identical float results)
 scatter(v)       linear from root — root bottleneck grows with p, which is
                  exactly the SCATTER behaviour in the paper's Figure 5
 gather(v)        linear to root (receives posted eagerly, completed in
@@ -22,16 +23,29 @@ Every invocation runs in a private communication sub-context (see
 :meth:`~repro.simmpi.comm.Communicator._next_coll_key`), so collectives
 can never be confused with each other or with point-to-point traffic.
 Within one invocation the message tag encodes the algorithm round.
+
+Each pattern is written **once**, as a per-rank *generator program*
+(``_prog_*``) that posts through the communicator into the real fabric
+and yields wherever a blocking wait would sit.  The thin public
+wrappers hand the program to :func:`repro.simmpi.coll_analytic.dispatch`,
+which either drives it on the calling rank's own thread (the classic
+message path) or lets the engine's collective gate resolve the whole
+invocation thread-free (the analytic fast path, ``REPRO_COLL_ANALYTIC``).
+Both drivers execute identical fabric operations in identical order, so
+simulated results are bit-identical either way.  The linear ablation
+variants at the bottom stay permanently on the plain threaded path.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import CommMismatchError
-from repro.simmpi.request import waitall
+from repro.simmpi.coll_analytic import dispatch as _dispatch
+from repro.simmpi.reduce_ops import ReduceOp
+from repro.simmpi.request import Request, waitall
 
 
 def _poll_faults(comm) -> None:
@@ -44,48 +58,55 @@ def _poll_faults(comm) -> None:
     comm.ctx.engine.fault_poll(comm.ctx)
 
 
+#: Type alias for a collective program generator.
+_Prog = Generator[Request, None, Any]
+
+
 # ---------------------------------------------------------------------------
 # barrier
 # ---------------------------------------------------------------------------
 
-def barrier(comm) -> None:
-    """Dissemination barrier: after it, every rank's clock is >= the
-    latest arrival, plus the log-depth message cost."""
-    _poll_faults(comm)
+def _prog_barrier(comm, ckey: tuple) -> _Prog:
+    """Program: dissemination barrier rounds for one rank."""
     p = comm.size
-    if p == 1:
-        return
-    ckey = comm._next_coll_key()
     mask, rnd = 1, 0
     while mask < p:
         dest = (comm.rank + mask) % p
         src = (comm.rank - mask) % p
         sreq = comm._coll_isend(ckey, b"", dest, rnd)
-        comm._coll_recv(ckey, src, rnd)
-        sreq.wait()
+        rreq = comm._coll_irecv(ckey, src, rnd)
+        yield rreq
+        yield sreq
         mask <<= 1
         rnd += 1
+
+
+def barrier(comm) -> None:
+    """Dissemination barrier: after it, every rank's clock is >= the
+    latest arrival, plus the log-depth message cost."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return
+    ckey = comm._next_coll_key()
+    return _dispatch(comm, "barrier", ckey, _prog_barrier)
 
 
 # ---------------------------------------------------------------------------
 # broadcast
 # ---------------------------------------------------------------------------
 
-def bcast(comm, obj: Any, root: int = 0) -> Any:
-    """Binomial-tree broadcast of a Python object."""
-    _poll_faults(comm)
+def _prog_bcast(comm, ckey: tuple, obj: Any, root: int) -> _Prog:
+    """Program: binomial-tree broadcast of a Python object."""
     p = comm.size
-    if p == 1:
-        return obj
     vr = (comm.rank - root) % p
     data = obj if comm.rank == root else None
-    ckey = comm._next_coll_key()
 
     mask = 1
     while mask < p:
         if vr & mask:
             src = (vr - mask + root) % p
-            data = comm._coll_recv(ckey, src, 0)
+            rreq = comm._coll_irecv(ckey, src, 0)
+            data = yield rreq
             break
         mask <<= 1
     mask >>= 1
@@ -95,25 +116,31 @@ def bcast(comm, obj: Any, root: int = 0) -> Any:
             dst = (vr + mask + root) % p
             reqs.append(comm._coll_isend(ckey, data, dst, 0))
         mask >>= 1
-    waitall(reqs)
+    for req in reqs:
+        yield req
     return data
 
 
-def Bcast(comm, buf: np.ndarray, root: int = 0) -> None:
-    """Binomial-tree broadcast filling ``buf`` in place on non-roots."""
+def bcast(comm, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast of a Python object."""
     _poll_faults(comm)
-    p = comm.size
-    if p == 1:
-        return
-    buf = np.asarray(buf)
-    vr = (comm.rank - root) % p
+    if comm.size == 1:
+        return obj
     ckey = comm._next_coll_key()
+    return _dispatch(comm, "bcast", ckey, _prog_bcast, (obj, root))
+
+
+def _prog_Bcast(comm, ckey: tuple, buf: np.ndarray, root: int) -> _Prog:
+    """Program: binomial-tree broadcast landing in ``buf`` in place."""
+    p = comm.size
+    vr = (comm.rank - root) % p
 
     mask = 1
     while mask < p:
         if vr & mask:
             src = (vr - mask + root) % p
-            comm._coll_recv_into(ckey, buf, src, 0)
+            rreq = comm._coll_irecv_into(ckey, buf, src, 0)
+            yield rreq
             break
         mask <<= 1
     mask >>= 1
@@ -123,12 +150,45 @@ def Bcast(comm, buf: np.ndarray, root: int = 0) -> None:
             dst = (vr + mask + root) % p
             reqs.append(comm._coll_isend(ckey, buf, dst, 0))
         mask >>= 1
-    waitall(reqs)
+    for req in reqs:
+        yield req
+
+
+def Bcast(comm, buf: np.ndarray, root: int = 0) -> None:
+    """Binomial-tree broadcast filling ``buf`` in place on non-roots."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return
+    buf = np.asarray(buf)
+    ckey = comm._next_coll_key()
+    return _dispatch(comm, "Bcast", ckey, _prog_Bcast, (buf, root))
 
 
 # ---------------------------------------------------------------------------
 # reduce / allreduce / scan
 # ---------------------------------------------------------------------------
+
+def _prog_reduce(comm, ckey: tuple, obj: Any, op, root: int) -> _Prog:
+    """Program: binomial-tree reduction, canonical combine order."""
+    p = comm.size
+    vr = (comm.rank - root) % p
+    result = obj
+    mask = 1
+    while mask < p:
+        if vr & mask == 0:
+            peer_vr = vr | mask
+            if peer_vr < p:
+                rreq = comm._coll_irecv(ckey, (peer_vr + root) % p, 0)
+                partial = yield rreq
+                result = op(result, partial)
+        else:
+            peer = ((vr & ~mask) + root) % p
+            sreq = comm._coll_isend(ckey, result, peer, 0)
+            yield sreq
+            return None
+        mask <<= 1
+    return result if comm.rank == root else None
+
 
 def reduce(comm, obj: Any, op, root: int = 0) -> Any:
     """Binomial-tree reduction to ``root``; returns None elsewhere.
@@ -137,31 +197,86 @@ def reduce(comm, obj: Any, op, root: int = 0) -> Any:
     floating-point results are bit-stable across runs.
     """
     _poll_faults(comm)
-    p = comm.size
-    if p == 1:
+    if comm.size == 1:
         return obj
-    vr = (comm.rank - root) % p
     ckey = comm._next_coll_key()
+    return _dispatch(comm, "reduce", ckey, _prog_reduce, (obj, op, root))
+
+
+def _prog_allreduce(comm, ckey: tuple, obj: Any, op) -> _Prog:
+    """Program: recursive-doubling allreduce (MPICH's small-message
+    algorithm), one fused gated invocation.
+
+    Non-power-of-2 counts use the standard pre/post folding: the first
+    ``2*rem`` ranks pair up, evens hand their value to their odd
+    neighbour and sit out the doubling, and receive the final result
+    back afterwards.  Every combine is applied in canonical pair order
+    (lower-rank subtree first), so all ranks compute bit-identical
+    floating-point results.
+
+    Compared with reduce-to-0 + bcast this halves the critical-path
+    depth (log2 p rounds instead of 2·log2 p) at the cost of more total
+    messages — the trade real MPI implementations make for latency-bound
+    payloads.
+    """
+    p = comm.size
+    me = comm.rank
+    if type(op) is ReduceOp:
+        # Skip the __call__ wrapper: one combine per round on every rank.
+        op = op.fn
     result = obj
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    ndoubling = pof2.bit_length() - 1
+    if me < 2 * rem:
+        if me % 2 == 0:
+            # Fold into the odd neighbour; rejoin for the result only.
+            sreq = comm._coll_isend(ckey, result, me + 1, 0)
+            yield sreq
+            rreq = comm._coll_irecv(ckey, me + 1, ndoubling + 1)
+            result = yield rreq
+            return result
+        rreq = comm._coll_irecv(ckey, me - 1, 0)
+        partial = yield rreq
+        result = op(partial, result)
+        newrank = me // 2
+    else:
+        newrank = me - rem
+    isend = comm._coll_isend  # hoisted: the doubling loop is hot
+    irecv = comm._coll_irecv
     mask = 1
-    while mask < p:
-        if vr & mask == 0:
-            peer_vr = vr | mask
-            if peer_vr < p:
-                partial = comm._coll_recv(ckey, (peer_vr + root) % p, 0)
-                result = op(result, partial)
+    rnd = 1
+    while mask < pof2:
+        partner_new = newrank ^ mask
+        partner = (
+            partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+        )
+        sreq = isend(ckey, result, partner, rnd)
+        rreq = irecv(ckey, partner, rnd)
+        partial = yield rreq
+        yield sreq
+        if partner < me:
+            result = op(partial, result)
         else:
-            peer = ((vr & ~mask) + root) % p
-            comm._coll_isend(ckey, result, peer, 0).wait()
-            return None
+            result = op(result, partial)
         mask <<= 1
-    return result if comm.rank == root else None
+        rnd += 1
+    if me < 2 * rem:
+        # Odd rank: return the result to the even neighbour that sat out.
+        sreq = comm._coll_isend(ckey, result, me - 1, ndoubling + 1)
+        yield sreq
+    return result
 
 
 def allreduce(comm, obj: Any, op) -> Any:
-    """reduce-to-0 then bcast: every rank gets an identical result."""
-    partial = reduce(comm, obj, op, root=0)
-    return bcast(comm, partial, root=0)
+    """Recursive-doubling allreduce: every rank gets an identical result."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    return _dispatch(comm, "allreduce", ckey, _prog_allreduce, (obj, op))
 
 
 def Reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op, root: int = 0) -> None:
@@ -179,20 +294,39 @@ def Allreduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> None:
     np.asarray(recvbuf)[...] = result
 
 
+def _prog_scan(comm, ckey: tuple, obj: Any, op) -> _Prog:
+    """Program: inclusive prefix chain step for one rank."""
+    result = obj
+    if comm.rank > 0:
+        rreq = comm._coll_irecv(ckey, comm.rank - 1, 0)
+        partial = yield rreq
+        result = op(partial, result)
+    if comm.rank < comm.size - 1:
+        sreq = comm._coll_isend(ckey, result, comm.rank + 1, 0)
+        yield sreq
+    return result
+
+
 def scan(comm, obj: Any, op) -> Any:
     """Inclusive prefix reduction along rank order (linear chain)."""
     _poll_faults(comm)
-    p = comm.size
-    if p == 1:
+    if comm.size == 1:
         return obj
     ckey = comm._next_coll_key()
-    result = obj
+    return _dispatch(comm, "scan", ckey, _prog_scan, (obj, op))
+
+
+def _prog_exscan(comm, ckey: tuple, obj: Any, op) -> _Prog:
+    """Program: exclusive prefix chain step for one rank."""
+    carry = None
     if comm.rank > 0:
-        partial = comm._coll_recv(ckey, comm.rank - 1, 0)
-        result = op(partial, result)
-    if comm.rank < p - 1:
-        comm._coll_isend(ckey, result, comm.rank + 1, 0).wait()
-    return result
+        rreq = comm._coll_irecv(ckey, comm.rank - 1, 0)
+        carry = yield rreq
+    if comm.rank < comm.size - 1:
+        forward = obj if carry is None else op(carry, obj)
+        sreq = comm._coll_isend(ckey, forward, comm.rank + 1, 0)
+        yield sreq
+    return carry
 
 
 def exscan(comm, obj: Any, op) -> Any:
@@ -201,15 +335,8 @@ def exscan(comm, obj: Any, op) -> Any:
     Rank 0 receives None (MPI leaves its buffer undefined).
     """
     _poll_faults(comm)
-    p = comm.size
     ckey = comm._next_coll_key()
-    carry = None
-    if comm.rank > 0:
-        carry = comm._coll_recv(ckey, comm.rank - 1, 0)
-    if comm.rank < p - 1:
-        forward = obj if carry is None else op(carry, obj)
-        comm._coll_isend(ckey, forward, comm.rank + 1, 0).wait()
-    return carry
+    return _dispatch(comm, "exscan", ckey, _prog_exscan, (obj, op))
 
 
 def reduce_scatter_block(comm, sendobjs: Sequence[Any], op) -> Any:
@@ -230,7 +357,9 @@ def reduce_scatter_block(comm, sendobjs: Sequence[Any], op) -> Any:
 #
 # The benchmark suite compares these against the tree algorithms to
 # quantify what algorithmic collectives buy on the modeled network —
-# the kind of design-choice ablation DESIGN.md calls out.
+# the kind of design-choice ablation DESIGN.md calls out.  These stay
+# on the plain threaded message path (never gated): as ablation
+# baselines they must measure the engine exactly as shipped.
 # ---------------------------------------------------------------------------
 
 def bcast_linear(comm, obj: Any, root: int = 0) -> Any:
@@ -285,11 +414,10 @@ def barrier_central(comm) -> None:
 # scatter / gather (object mode, linear)
 # ---------------------------------------------------------------------------
 
-def scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
-    """Linear scatter of ``sendobjs[i]`` to rank ``i`` from ``root``."""
-    _poll_faults(comm)
+def _prog_scatter(comm, ckey: tuple, sendobjs: Optional[Sequence[Any]],
+                  root: int) -> _Prog:
+    """Program: linear scatter — root fans out, leaves receive once."""
     p = comm.size
-    ckey = comm._next_coll_key()
     if comm.rank == root:
         if sendobjs is None or len(sendobjs) != p:
             raise CommMismatchError(
@@ -301,16 +429,24 @@ def scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
             for i in range(p)
             if i != root
         ]
-        waitall(reqs)
+        for req in reqs:
+            yield req
         return sendobjs[root]
-    return comm._coll_recv(ckey, root, 0)
+    rreq = comm._coll_irecv(ckey, root, 0)
+    data = yield rreq
+    return data
 
 
-def gather(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
-    """Linear gather of one object per rank into a list at ``root``."""
+def scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> Any:
+    """Linear scatter of ``sendobjs[i]`` to rank ``i`` from ``root``."""
     _poll_faults(comm)
-    p = comm.size
     ckey = comm._next_coll_key()
+    return _dispatch(comm, "scatter", ckey, _prog_scatter, (sendobjs, root))
+
+
+def _prog_gather(comm, ckey: tuple, obj: Any, root: int) -> _Prog:
+    """Program: linear gather — root drains receives in rank order."""
+    p = comm.size
     if comm.rank == root:
         reqs = {
             i: comm._coll_irecv(ckey, i, 0) for i in range(p) if i != root
@@ -318,29 +454,58 @@ def gather(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
         out: List[Any] = [None] * p
         out[root] = obj
         for i, req in reqs.items():
-            out[i] = req.wait()
+            out[i] = yield req
         return out
-    comm._coll_isend(ckey, obj, root, 0).wait()
+    sreq = comm._coll_isend(ckey, obj, root, 0)
+    yield sreq
     return None
 
 
-def allgather(comm, obj: Any) -> List[Any]:
-    """Ring allgather: p−1 neighbour exchanges."""
+def gather(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
+    """Linear gather of one object per rank into a list at ``root``."""
     _poll_faults(comm)
+    ckey = comm._next_coll_key()
+    return _dispatch(comm, "gather", ckey, _prog_gather, (obj, root))
+
+
+def _prog_allgather(comm, ckey: tuple, obj: Any) -> _Prog:
+    """Program: ring allgather — p−1 neighbour exchanges."""
     p = comm.size
     out: List[Any] = [None] * p
     out[comm.rank] = obj
-    if p == 1:
-        return out
-    ckey = comm._next_coll_key()
     right = (comm.rank + 1) % p
     left = (comm.rank - 1) % p
     cur = obj
     for step in range(p - 1):
         sreq = comm._coll_isend(ckey, cur, right, step)
-        cur = comm._coll_recv(ckey, left, step)
-        sreq.wait()
+        rreq = comm._coll_irecv(ckey, left, step)
+        cur = yield rreq
+        yield sreq
         out[(comm.rank - step - 1) % p] = cur
+    return out
+
+
+def allgather(comm, obj: Any) -> List[Any]:
+    """Ring allgather: p−1 neighbour exchanges."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return [obj]
+    ckey = comm._next_coll_key()
+    return _dispatch(comm, "allgather", ckey, _prog_allgather, (obj,))
+
+
+def _prog_alltoall(comm, ckey: tuple, sendobjs: Sequence[Any]) -> _Prog:
+    """Program: pairwise personalised exchange (p−1 sendrecv steps)."""
+    p = comm.size
+    out: List[Any] = [None] * p
+    out[comm.rank] = sendobjs[comm.rank]
+    for k in range(1, p):
+        dst = (comm.rank + k) % p
+        src = (comm.rank - k) % p
+        sreq = comm._coll_isend(ckey, sendobjs[dst], dst, k)
+        rreq = comm._coll_irecv(ckey, src, k)
+        out[src] = yield rreq
+        yield sreq
     return out
 
 
@@ -352,16 +517,8 @@ def alltoall(comm, sendobjs: Sequence[Any]) -> List[Any]:
         raise CommMismatchError(
             f"alltoall needs exactly {p} send items, got {len(sendobjs)}"
         )
-    out: List[Any] = [None] * p
-    out[comm.rank] = sendobjs[comm.rank]
     ckey = comm._next_coll_key()
-    for k in range(1, p):
-        dst = (comm.rank + k) % p
-        src = (comm.rank - k) % p
-        sreq = comm._coll_isend(ckey, sendobjs[dst], dst, k)
-        out[src] = comm._coll_recv(ckey, src, k)
-        sreq.wait()
-    return out
+    return _dispatch(comm, "alltoall", ckey, _prog_alltoall, (sendobjs,))
 
 
 # ---------------------------------------------------------------------------
@@ -375,19 +532,11 @@ def _offsets(counts: Sequence[int]) -> List[int]:
     return offs
 
 
-def Scatterv(
-    comm,
-    sendbuf: Optional[np.ndarray],
-    counts: Sequence[int],
-    recvbuf: np.ndarray,
-    root: int = 0,
-) -> None:
-    """Scatter variable-size slices of ``sendbuf`` along axis 0."""
+def _prog_Scatterv(comm, ckey: tuple, sendbuf: Optional[np.ndarray],
+                   counts: Sequence[int], recvbuf: np.ndarray,
+                   root: int) -> _Prog:
+    """Program: variable-size linear scatter along axis 0."""
     p = comm.size
-    if len(counts) != p:
-        raise CommMismatchError(f"Scatterv needs {p} counts, got {len(counts)}")
-    recvbuf = np.asarray(recvbuf)
-    ckey = comm._next_coll_key()
     if comm.rank == root:
         sendbuf = np.asarray(sendbuf)
         offs = _offsets(counts)
@@ -406,9 +555,30 @@ def Scatterv(
                 )
             else:
                 reqs.append(comm._coll_isend(ckey, chunk, i, 0))
-        waitall(reqs)
+        for req in reqs:
+            yield req
     else:
-        comm._coll_recv_into(ckey, recvbuf, root, 0)
+        rreq = comm._coll_irecv_into(ckey, recvbuf, root, 0)
+        yield rreq
+
+
+def Scatterv(
+    comm,
+    sendbuf: Optional[np.ndarray],
+    counts: Sequence[int],
+    recvbuf: np.ndarray,
+    root: int = 0,
+) -> None:
+    """Scatter variable-size slices of ``sendbuf`` along axis 0."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Scatterv needs {p} counts, got {len(counts)}")
+    recvbuf = np.asarray(recvbuf)
+    ckey = comm._next_coll_key()
+    return _dispatch(
+        comm, "Scatterv", ckey, _prog_Scatterv,
+        (sendbuf, counts, recvbuf, root),
+    )
 
 
 def Scatter(comm, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int = 0) -> None:
@@ -427,19 +597,11 @@ def Scatter(comm, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int 
     Scatterv(comm, sendbuf, [n] * p, recvbuf, root)
 
 
-def Gatherv(
-    comm,
-    sendbuf: np.ndarray,
-    recvbuf: Optional[np.ndarray],
-    counts: Sequence[int],
-    root: int = 0,
-) -> None:
-    """Gather variable-size slices into ``recvbuf`` along axis 0."""
+def _prog_Gatherv(comm, ckey: tuple, sendbuf: np.ndarray,
+                  recvbuf: Optional[np.ndarray], counts: Sequence[int],
+                  root: int) -> _Prog:
+    """Program: variable-size linear gather along axis 0."""
     p = comm.size
-    if len(counts) != p:
-        raise CommMismatchError(f"Gatherv needs {p} counts, got {len(counts)}")
-    sendbuf = np.asarray(sendbuf)
-    ckey = comm._next_coll_key()
     if comm.rank == root:
         recvbuf = np.asarray(recvbuf)
         offs = _offsets(counts)
@@ -460,12 +622,32 @@ def Gatherv(
             else:
                 reqs[i] = comm._coll_irecv(ckey, i, 0)
         for i, req in reqs.items():
-            data = req.wait()
+            data = yield req
             recvbuf[offs[i] : offs[i + 1]] = np.asarray(data).reshape(
                 recvbuf[offs[i] : offs[i + 1]].shape
             )
     else:
-        comm._coll_isend(ckey, sendbuf, root, 0).wait()
+        sreq = comm._coll_isend(ckey, sendbuf, root, 0)
+        yield sreq
+
+
+def Gatherv(
+    comm,
+    sendbuf: np.ndarray,
+    recvbuf: Optional[np.ndarray],
+    counts: Sequence[int],
+    root: int = 0,
+) -> None:
+    """Gather variable-size slices into ``recvbuf`` along axis 0."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Gatherv needs {p} counts, got {len(counts)}")
+    sendbuf = np.asarray(sendbuf)
+    ckey = comm._next_coll_key()
+    return _dispatch(
+        comm, "Gatherv", ckey, _prog_Gatherv,
+        (sendbuf, recvbuf, counts, root),
+    )
 
 
 def Gather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int = 0) -> None:

@@ -583,13 +583,16 @@ class Communicator:
     def _coll_recv(self, ckey: tuple, source: int, tag: int) -> Any:
         return self._coll_irecv(ckey, source, tag).wait()
 
-    def _coll_recv_into(self, ckey: tuple, buf: np.ndarray, source: int, tag: int) -> None:
+    def _coll_irecv_into(self, ckey: tuple, buf: np.ndarray, source: int, tag: int) -> Request:
         ctx = self.ctx
         req = Request(ctx, "recv", f"coll-recv-into(source={source}, tag={tag})")
         ctx.engine.fabric.post_recv(
             ctx, ckey, self._world_rank(source), tag, np.asarray(buf), req
         )
-        req.wait()
+        return req
+
+    def _coll_recv_into(self, ckey: tuple, buf: np.ndarray, source: int, tag: int) -> None:
+        self._coll_irecv_into(ckey, buf, source, tag).wait()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator(cid={self.cid}, rank={self.rank}/{self.size})"

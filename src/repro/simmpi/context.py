@@ -108,6 +108,24 @@ class RankContext:
                 f"rank {self.rank} woken but {req.describe} still pending"
             )  # pragma: no cover - engine invariant
 
+    def _park(self, info: str) -> None:
+        """Park this rank with a diagnostic label until made READY again.
+
+        Unlike :meth:`_block_on_request` no request completion is
+        involved — the waker calls ``engine.make_ready`` explicitly.
+        The collective gate uses this for its entry/exit rendezvous;
+        parking never moves the virtual clock.
+        """
+        self.engine.park_current(self._thread, info)
+
+    def _yield_baton(self) -> None:
+        """Hand the baton back and rejoin the ready queue at ``now``.
+
+        Lets a rank that just woke peers compete with them under the
+        engine's smallest-``(clock, rank)`` rule instead of running on.
+        """
+        self.engine.yield_current(self._thread)
+
     def _block_on_any(self, requests) -> None:
         """Park this rank until *any* of ``requests`` completes.
 

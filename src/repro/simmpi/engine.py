@@ -48,6 +48,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultRuntime
 from repro.machine.catalog import laptop
 from repro.machine.spec import MachineSpec
+from repro.simmpi.coll_analytic import CollectiveGate, analytic_enabled
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.p2p import MessageFabric
 from repro.simmpi.pmpi import ToolRegistry
@@ -92,6 +93,18 @@ class RunResult:
         runtime (Figure 2's callback stream).
     network:
         Message/byte counters from the network model.
+    sched_steps:
+        Scheduling-loop iterations the engine performed (one per baton
+        decision, including lazy re-queues of stale heap entries).
+    baton_handoffs:
+        Times a rank thread was actually handed the baton — each one is
+        a pair of OS ``threading.Event`` waits, the engine's dominant
+        real-time cost.
+    collectives_gated:
+        Collective invocations that crossed the collective gate (see
+        :mod:`repro.simmpi.coll_analytic`).
+    collectives_fast:
+        Gated invocations the analytic fast path resolved thread-free.
     """
 
     n_ranks: int
@@ -102,6 +115,10 @@ class RunResult:
     walltime: float
     section_events: List[SectionEvent]
     network: Dict[str, int] = field(default_factory=dict)
+    sched_steps: int = 0
+    baton_handoffs: int = 0
+    collectives_gated: int = 0
+    collectives_fast: int = 0
 
     def rank_result(self, rank: int) -> Any:
         """Return value of ``main`` on ``rank``."""
@@ -199,6 +216,14 @@ class Engine:
         Virtual-clock progress monitor: abort after this many
         consecutive scheduling steps without the scheduled virtual clock
         advancing (None disables).  Catches zero-cost livelocks.
+    coll_analytic:
+        Analytic collective fast path (see
+        :mod:`repro.simmpi.coll_analytic`).  ``None`` (default) follows
+        the ``REPRO_COLL_ANALYTIC`` environment variable, which is on
+        unless set to ``0``; ``True``/``False`` force it for this
+        engine.  Either way simulated results are bit-identical — the
+        switch only changes how many OS thread handoffs a collective
+        costs in *real* time.
     """
 
     def __init__(
@@ -215,6 +240,7 @@ class Engine:
         faults: Optional[FaultPlan] = None,
         wall_timeout: Optional[float] = None,
         progress_steps: Optional[int] = None,
+        coll_analytic: Optional[bool] = None,
     ):
         if n_ranks < 1:
             raise EngineStateError("need at least one rank")
@@ -246,6 +272,12 @@ class Engine:
         )
         self.wall_timeout = wall_timeout
         self.progress_steps = progress_steps
+        #: Whether eligible collectives resolve via the analytic replay
+        #: (bit-identical results either way; see coll_analytic).
+        self.coll_analytic = (
+            analytic_enabled() if coll_analytic is None else bool(coll_analytic)
+        )
+        self.coll_gate = CollectiveGate(self)
         self.network = NetworkModel(machine, seed=seed, ranks_per_node=ranks_per_node,
                                     faults=self._faults)
         self.fabric = MessageFabric(self, self.network)
@@ -266,6 +298,10 @@ class Engine:
         self._ready: List[Tuple[float, int]] = []
         self._done_count = 0
         self._failed: List[_RankThread] = []
+        # Handoff-slimming counters, surfaced via RunResult and the
+        # engine.run obs span for perf debugging.
+        self.sched_steps = 0
+        self.baton_handoffs = 0
         # Join timeout used by _abort; shortened when the wall-clock
         # watchdog fires (the stuck thread will not join anyway).
         self._join_timeout = 5.0
@@ -322,16 +358,27 @@ class Engine:
                 self.fabric.assert_drained()
                 self._sections.finalize()
             clocks = [t.ctx.now for t in self._threads]
-            run_span.set(walltime=max(clocks))
+            walltime = max(clocks)
+            run_span.set(
+                walltime=walltime,
+                sched_steps=self.sched_steps,
+                baton_handoffs=self.baton_handoffs,
+                collectives_gated=self.coll_gate.gated,
+                collectives_fast=self.coll_gate.fast,
+            )
             return RunResult(
                 n_ranks=self.n_ranks,
                 machine=self.machine.name,
                 seed=self.seed,
                 results=[t.result for t in self._threads],
                 clocks=clocks,
-                walltime=max(clocks),
+                walltime=walltime,
                 section_events=self._sections.events,
                 network=self.network.stats(),
+                sched_steps=self.sched_steps,
+                baton_handoffs=self.baton_handoffs,
+                collectives_gated=self.coll_gate.gated,
+                collectives_fast=self.coll_gate.fast,
             )
 
     def _loop(self) -> None:
@@ -339,70 +386,92 @@ class Engine:
         # yields the READY rank with the smallest (clock, rank) — the
         # same order the old linear `min()` scan produced — while DONE /
         # FAILED detection rides on counters updated at the transitions
-        # themselves, so nothing here is O(ranks).
+        # themselves, so nothing here is O(ranks).  Every per-iteration
+        # invariant is hoisted into a local; mutable state that other
+        # threads append to (the failed list) keeps its identity, so
+        # reading it through a local stays correct.
         heap = self._ready
         threads = self._threads
-        while True:
-            if self._failed:
-                t = self._failed[0]
-                raise RankFailedError(t.rank, t.exc) from t.exc
-            nxt = None
-            while heap:
-                clock, rank = heapq.heappop(heap)
-                t = threads[rank]
-                if t.state != READY:
-                    continue  # stale entry from an earlier READY period
-                if t.ctx.now != clock:
-                    # Clock moved since the entry was queued (clocks are
-                    # monotonic, so the entry was a lower bound): requeue
-                    # at the real clock and keep looking.
-                    heapq.heappush(heap, (t.ctx.now, rank))
-                    continue
-                nxt = t
-                break
-            if nxt is None:
-                if self._done_count == self.n_ranks:
-                    return
-                self._raise_stalled(
-                    "deadlock",
-                    "simulated MPI deadlock — every rank is blocked:",
-                )
-            if (
-                self.max_virtual_time is not None
-                and nxt.ctx.now > self.max_virtual_time
-            ):
-                raise EngineStateError(
-                    f"virtual time {nxt.ctx.now:.6g}s exceeded the "
-                    f"max_virtual_time guard ({self.max_virtual_time:.6g}s) "
-                    f"on rank {nxt.rank}"
-                )
-            if self.progress_steps is not None:
-                if nxt.ctx.now > self._progress_clock:
-                    self._progress_clock = nxt.ctx.now
-                    self._stalled_steps = 0
-                else:
-                    self._stalled_steps += 1
-                    if self._stalled_steps > self.progress_steps:
-                        self._raise_stalled(
-                            "no-progress",
-                            f"virtual clock stuck at t={self._progress_clock:.6g}s "
-                            f"for {self._stalled_steps} scheduling steps:",
-                        )
-            nxt.state = RUNNING
-            nxt.go.set()
-            completed = self._back.wait(timeout=self.wall_timeout)
-            if not completed:
-                # Wall-clock watchdog: the rank thread is stuck in real
-                # time (runaway workload code).  It cannot be unwound
-                # cooperatively, so don't wait for it during the abort.
-                self._join_timeout = 0.2
-                self._raise_stalled(
-                    "watchdog-timeout",
-                    f"wall-clock watchdog expired: rank {nxt.rank} held the "
-                    f"baton for more than {self.wall_timeout:.6g} real "
-                    "seconds:",
-                )
-            self._back.clear()
+        failed = self._failed
+        n_ranks = self.n_ranks
+        wall_timeout = self.wall_timeout
+        max_virtual_time = self.max_virtual_time
+        progress_steps = self.progress_steps
+        back_wait = self._back.wait
+        back_clear = self._back.clear
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        steps = 0
+        handoffs = 0
+        try:
+            while True:
+                steps += 1
+                if failed:
+                    t = failed[0]
+                    raise RankFailedError(t.rank, t.exc) from t.exc
+                nxt = None
+                while heap:
+                    clock, rank = heappop(heap)
+                    t = threads[rank]
+                    if t.state != READY:
+                        continue  # stale entry from an earlier READY period
+                    if t.ctx.now != clock:
+                        # Clock moved since the entry was queued (clocks are
+                        # monotonic, so the entry was a lower bound): requeue
+                        # at the real clock and keep looking.
+                        heappush(heap, (t.ctx.now, rank))
+                        continue
+                    nxt = t
+                    break
+                if nxt is None:
+                    if self._done_count == n_ranks:
+                        return
+                    self._raise_stalled(
+                        "deadlock",
+                        "simulated MPI deadlock — every rank is blocked:",
+                    )
+                if (
+                    max_virtual_time is not None
+                    and nxt.ctx.now > max_virtual_time
+                ):
+                    raise EngineStateError(
+                        f"virtual time {nxt.ctx.now:.6g}s exceeded the "
+                        f"max_virtual_time guard ({max_virtual_time:.6g}s) "
+                        f"on rank {nxt.rank}"
+                    )
+                if progress_steps is not None:
+                    if nxt.ctx.now > self._progress_clock:
+                        self._progress_clock = nxt.ctx.now
+                        self._stalled_steps = 0
+                    else:
+                        self._stalled_steps += 1
+                        if self._stalled_steps > progress_steps:
+                            self._raise_stalled(
+                                "no-progress",
+                                f"virtual clock stuck at t={self._progress_clock:.6g}s "
+                                f"for {self._stalled_steps} scheduling steps:",
+                            )
+                nxt.state = RUNNING
+                handoffs += 1
+                nxt.go.set()
+                completed = back_wait(timeout=wall_timeout)
+                if not completed:
+                    # Wall-clock watchdog: the rank thread is stuck in real
+                    # time (runaway workload code).  It cannot be unwound
+                    # cooperatively, so don't wait for it during the abort.
+                    self._join_timeout = 0.2
+                    self._raise_stalled(
+                        "watchdog-timeout",
+                        f"wall-clock watchdog expired: rank {nxt.rank} held the "
+                        f"baton for more than {wall_timeout:.6g} real "
+                        "seconds:",
+                    )
+                back_clear()
+        finally:
+            # Persist the counters even when the loop exits via an abort
+            # path, so stall reports and partial results stay accurate.
+            self.sched_steps += steps
+            self.baton_handoffs += handoffs
 
     def _rank_diagnostics(self) -> List[RankDiagnostic]:
         """Structured per-rank state dumps (for stall reports)."""
@@ -533,6 +602,34 @@ class Engine:
             t.state = READY
             heapq.heappush(self._ready, (t.ctx.now, t.rank))
 
+    def make_ready(self, rank: int) -> None:
+        """Mark a parked rank runnable again (collective-gate release).
+
+        Unlike :meth:`wake_if_waiting` this wakes by rank, not by
+        request: gate parks have no request to complete.  Called under
+        the baton by the rank releasing the gate.
+        """
+        t = self._threads[rank]
+        t.state = READY
+        heapq.heappush(self._ready, (t.ctx.now, t.rank))
+
+    def yield_current(self, thread: _RankThread) -> None:
+        """Re-enter the scheduler without blocking on anything.
+
+        The calling rank goes back on the ready heap at its current
+        clock and sleeps until the engine picks it again by the usual
+        smallest-``(clock, rank)`` rule.  Collective gates use this so
+        the rank that releases a gate competes fairly with the ranks it
+        just woke instead of keeping the baton.
+        """
+        thread.state = READY
+        heapq.heappush(self._ready, (thread.ctx.now, thread.rank))
+        self._back.set()
+        thread.go.wait()
+        thread.go.clear()
+        if self._aborting:
+            raise _SimAbort()
+
     def thread_of(self, rank: int) -> _RankThread:
         """The rank thread object for ``rank``."""
         return self._threads[rank]
@@ -553,6 +650,7 @@ def run_mpi(
     faults: Optional[FaultPlan] = None,
     wall_timeout: Optional[float] = None,
     progress_steps: Optional[int] = None,
+    coll_analytic: Optional[bool] = None,
     args: tuple = (),
     kwargs: Optional[dict] = None,
 ) -> RunResult:
@@ -580,5 +678,6 @@ def run_mpi(
             faults=faults,
             wall_timeout=wall_timeout,
             progress_steps=progress_steps,
+            coll_analytic=coll_analytic,
         )
         return eng.run(main, args=args, kwargs=kwargs)

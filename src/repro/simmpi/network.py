@@ -8,7 +8,9 @@ The model is LogGP-flavoured:
   connecting the two ranks (intra-node vs inter-node);
 * a multiplicative log-normal jitter term per message, drawn from a
   per-channel seeded RNG so that runs are bit-reproducible and the noise
-  a message experiences does not depend on unrelated traffic;
+  a message experiences does not depend on unrelated traffic (factors
+  are pre-drawn in fixed-size blocks per channel — a pure amortisation
+  of RNG-call overhead, consumed one per message);
 * FIFO arrival: per (src → dst) channel, arrival times are forced
   monotone, matching the non-overtaking guarantee of MPI.
 
@@ -18,22 +20,35 @@ noisy, rising HALO totals of Figure 5(b) in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, NamedTuple, Tuple
 
 import numpy as np
 
 from repro.machine.spec import MachineSpec, NetworkTier
 
+#: Jitter factors are drawn per channel in fixed-size blocks (one factor
+#: consumed per message).  The block size is part of the model's
+#: definition — it fixes how the channel's RNG stream is consumed, so it
+#: must never vary with workload or transport.
+_FACTOR_BLOCK = 32
 
-@dataclass(frozen=True)
-class MessageTiming:
+#: (seed, src, dst) -> initial PCG64 state.  SeedSequence derivation is
+#: a pure function of these inputs, so the state is shared process-wide
+#: across runs (each run still gets its own Generator and therefore its
+#: own stream position).  A few hundred bytes per channel ever touched.
+_channel_state_cache: Dict[Tuple[int, int, int], dict] = {}
+
+
+class MessageTiming(NamedTuple):
     """Timing decomposition of a single message.
 
     ``transfer`` is the serialisation time of the payload through the
     sender's port (the LogGP gap×bytes term — consecutive messages from
     one rank queue behind each other); ``latency`` is the propagation
     time added after serialisation.  Both carry this message's jitter.
+
+    A named tuple rather than a (frozen) dataclass: one instance is
+    built per simulated message, squarely on the fabric's hot path.
     """
 
     send_overhead: float
@@ -87,6 +102,14 @@ class NetworkModel:
         self.o_recv = o_recv
         self.faults = faults
         self._channel_rng: Dict[Tuple[int, int], np.random.Generator] = {}
+        # Placement never changes after construction, so the tier of a
+        # channel is a pure function of (src, dst) — memoised because
+        # message_timing resolves it for every single message.
+        self._tier_cache: Dict[Tuple[int, int], NetworkTier] = {}
+        # [tier, rng, factor_block, next_index] per channel: one dict
+        # probe on the message_timing hot path instead of two, plus the
+        # channel's buffered jitter factors (see _refill_factors).
+        self._chan_cache: Dict[Tuple[int, int], list] = {}
         self._last_arrival: Dict[Tuple[int, int], float] = {}
         #: Per-rank time at which the outgoing port is next free.
         self._port_free: Dict[int, float] = {}
@@ -101,26 +124,56 @@ class NetworkModel:
         key = (src, dst)
         rng = self._channel_rng.get(key)
         if rng is None:
-            rng = np.random.default_rng(
-                np.random.SeedSequence(entropy=self.seed, spawn_key=(src + 1, dst + 1))
-            )
+            # Deriving a stream through SeedSequence hashing costs tens
+            # of microseconds; at p ranks a run touches O(p log p)
+            # channels, every run, for the identical (seed, src, dst)
+            # inputs.  Memoise the derived initial PCG64 state
+            # process-wide and restore it into a fresh bit generator —
+            # the stream is bit-for-bit the one SeedSequence would
+            # produce, at less than half the setup cost.
+            skey = (self.seed, src, dst)
+            state = _channel_state_cache.get(skey)
+            if state is None:
+                bg = np.random.PCG64(np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(src + 1, dst + 1)))
+                _channel_state_cache[skey] = bg.state
+            else:
+                bg = np.random.PCG64(0)
+                bg.state = state
+            rng = np.random.Generator(bg)
             self._channel_rng[key] = rng
         return rng
 
     def tier(self, src: int, dst: int) -> NetworkTier:
         """Tier connecting two ranks under the configured placement."""
-        return self.machine.tier_between(src, dst, self.ranks_per_node)
+        key = (src, dst)
+        tier = self._tier_cache.get(key)
+        if tier is None:
+            tier = self.machine.tier_between(src, dst, self.ranks_per_node)
+            self._tier_cache[key] = tier
+        return tier
 
-    def _jitter(self, src: int, dst: int, tier: NetworkTier) -> float:
-        if tier.jitter <= 0.0 and tier.spike_prob <= 0.0:
-            return 1.0
-        rng = self._rng_for(src, dst)
-        factor = 1.0
+    def _refill_factors(self, chan: list) -> list:
+        """Draw the next block of jitter factors for one channel.
+
+        One factor is consumed per message; drawing them in blocks of
+        ``_FACTOR_BLOCK`` amortises the RNG-call overhead over the whole
+        block while staying bit-reproducible: for a given seed the
+        channel's stream is consumed identically no matter who asks
+        (``message_timing`` or the analytic replay's lean transport).
+        """
+        tier, rng = chan[0], chan[1]
         if tier.jitter > 0.0:
-            factor = float(np.exp(rng.normal(0.0, tier.jitter)))
-        if tier.spike_prob > 0.0 and rng.random() < tier.spike_prob:
-            factor *= tier.spike_scale
-        return factor
+            factors = np.exp(rng.normal(0.0, tier.jitter, _FACTOR_BLOCK))
+        else:
+            factors = np.ones(_FACTOR_BLOCK)
+        if tier.spike_prob > 0.0:
+            spiked = rng.random(_FACTOR_BLOCK) < tier.spike_prob
+            if spiked.any():
+                factors = np.where(spiked, factors * tier.spike_scale, factors)
+        buf = chan[2] = factors.tolist()
+        chan[3] = 0
+        return buf
 
     # -- public API ------------------------------------------------------------
 
@@ -136,13 +189,28 @@ class NetworkModel:
             # Local: a memcpy at intra-node bandwidth, no wire latency.
             t = self.machine.intra_node
             return MessageTiming(0.0, 0.0, nbytes / t.bandwidth, 0.0)
-        tier = self.tier(src, dst)
+        key = (src, dst)
+        chan = self._chan_cache.get(key)
+        if chan is None:
+            chan = self._chan_cache[key] = [
+                self.tier(src, dst), self._rng_for(src, dst), (), 0,
+            ]
+        tier = chan[0]
         lat, bw = tier.latency, tier.bandwidth
         if self.faults is not None and self.faults.has_link_faults:
             lat_mult, bw_mult = self.faults.link_factors(src, dst)
             lat *= lat_mult
             bw *= bw_mult
-        factor = self._jitter(src, dst, tier)
+        if tier.jitter > 0.0 or tier.spike_prob > 0.0:
+            buf = chan[2]
+            i = chan[3]
+            if i >= len(buf):
+                buf = self._refill_factors(chan)
+                i = 0
+            chan[3] = i + 1
+            factor = buf[i]
+        else:
+            factor = 1.0
         return MessageTiming(
             self.o_send,
             lat * factor,

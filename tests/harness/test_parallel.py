@@ -35,12 +35,14 @@ def test_resolve_jobs_defaults_to_serial(monkeypatch):
     assert resolve_jobs(None) == 1
 
 
-def test_resolve_jobs_explicit_wins():
+def test_resolve_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     assert resolve_jobs(3) == 3
     assert resolve_jobs(1) == 1
 
 
 def test_resolve_jobs_env_var(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     monkeypatch.setenv(JOBS_ENV, "5")
     assert resolve_jobs() == 5
     # An explicit argument overrides the environment.
@@ -48,9 +50,29 @@ def test_resolve_jobs_env_var(monkeypatch):
 
 
 def test_resolve_jobs_zero_means_all_cores(monkeypatch):
+    """The automatic default never oversubscribes: it is exactly the
+    host's core count, not a multiple of it."""
     assert resolve_jobs(0) == (os.cpu_count() or 1)
     monkeypatch.setenv(JOBS_ENV, "0")
     assert resolve_jobs() == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_warns_on_explicit_oversubscription(monkeypatch, capsys):
+    """An explicit count beyond the host's cores is honoured (workers
+    may block on I/O) but flagged on stderr, so a 0.57×-style
+    "speedup" from contention is never silent again."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert resolve_jobs(16) == 16
+    assert "oversubscribes" in capsys.readouterr().err
+    monkeypatch.setenv(JOBS_ENV, "16")
+    assert resolve_jobs() == 16
+    assert "oversubscribes" in capsys.readouterr().err
+
+
+def test_resolve_jobs_no_warning_within_core_count(monkeypatch, capsys):
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    assert resolve_jobs(4) == 4
+    assert capsys.readouterr().err == ""
 
 
 def test_resolve_jobs_rejects_garbage_env(monkeypatch):
