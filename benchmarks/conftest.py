@@ -9,6 +9,7 @@ analysis step with pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -32,6 +33,30 @@ def save_artifact(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def merge_json_artifact(name: str, update: dict) -> pathlib.Path:
+    """Shallow-merge ``update`` into ``results/<name>.json``.
+
+    Several benchmark files contribute sections to one machine-readable
+    document (``BENCH_engine.json``), so each writer merges its own
+    top-level keys instead of overwriting the file.  An unreadable or
+    non-object existing payload is discarded.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    doc = {}
+    if path.exists():
+        try:
+            prev = json.loads(path.read_text())
+        except (OSError, ValueError):
+            prev = None
+        if isinstance(prev, dict):
+            doc = prev
+    doc.update(update)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\n[saved to {path}]")
+    return path
 
 
 # The session sweeps honor the harness speed knobs: set REPRO_JOBS=N

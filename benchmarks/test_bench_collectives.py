@@ -4,8 +4,10 @@ Not a paper artifact — these track the perf trajectory of the engine
 itself across PRs.  The suite measures, per collective, the baton
 handoffs and wall-clock of the analytic fast path against the threaded
 message path (results are bit-identical, so the ratio is pure overhead
-reduction), plus raw scheduling-step throughput, and emits everything
-as machine-readable ``benchmarks/results/BENCH_engine.json``.
+reduction), plus raw scheduling-step throughput, and merges everything
+under the ``"coll_fastpath"`` key of the shared machine-readable
+``benchmarks/results/BENCH_engine.json`` (the thread-free engine sweep
+in ``test_bench_engine.py`` owns the ``"threadfree"`` key).
 
 Fast mode: set ``REPRO_BENCH_FAST=1`` (the CI bench-smoke job does) to
 shrink rank counts and repetition so the whole file finishes in tens of
@@ -21,7 +23,6 @@ the 3x/p=128 criterion and records it in ``coll_fastpath_p128.txt``).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -31,7 +32,7 @@ from repro.machine.catalog import nehalem_cluster
 from repro.simmpi import SUM
 from repro.simmpi.engine import run_mpi
 
-from benchmarks.conftest import RESULTS_DIR, save_artifact
+from benchmarks.conftest import merge_json_artifact, save_artifact
 
 FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "").strip() not in ("", "0")
 
@@ -101,17 +102,13 @@ def test_collective_handoffs_and_fastpath_ratio():
     steps_per_sec = res.sched_steps / (time.perf_counter() - t0)
 
     doc = {
-        "schema": 1,
         "mode": "fast" if FAST_MODE else "full",
         "ranks": p,
         "iterations": iters,
         "sched_steps_per_sec_message_path": steps_per_sec,
         "collectives": per_coll,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_engine.json"
-    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    print(f"\n[saved to {out}]")
+    merge_json_artifact("BENCH_engine", {"schema": 2, "coll_fastpath": doc})
 
 
 def test_allreduce_heavy_speedup_p128():

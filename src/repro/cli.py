@@ -33,6 +33,9 @@ Robustness controls: ``--faults plan.json`` injects a declarative
 skip`` lets a sweep survive failing points (reported in a failure table
 at the end, with ``--retries N`` re-attempts per point); ``--timeout
 SECONDS`` arms the engine's per-point wall-clock watchdog.
+``--engine threads`` swaps the default single-thread event loop for the
+thread-per-rank oracle (``REPRO_ENGINE`` sets the default); simulated
+results are bit-identical either way.
 
 The ``serve`` subcommand runs the :mod:`repro.service` analysis server
 (job queue + experiment registry + ``/metrics``); ``submit`` and
@@ -137,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-point wall-clock watchdog: abort a point "
                              "whose simulation stops progressing in real "
                              "time")
+    parser.add_argument("--engine", choices=("threadfree", "threads"),
+                        default=None,
+                        help="execution substrate: single-thread generator "
+                             "event loop (threadfree, default) or the "
+                             "thread-per-rank oracle (threads); results "
+                             "are identical ($REPRO_ENGINE sets the "
+                             "default)")
     parser.add_argument("--trace", type=pathlib.Path, default=None,
                         metavar="OUT.json",
                         help="self-profile this invocation: write a Chrome "
@@ -485,6 +495,8 @@ def main(argv: List[str] | None = None) -> int:
             object.__setattr__(sweep, "faults", fault_plan)
         if args.timeout is not None:
             object.__setattr__(sweep, "wall_timeout", args.timeout)
+        if args.engine is not None:
+            object.__setattr__(sweep, "engine", args.engine)
         return sweep
 
     with _trace_scope(args, wanted):

@@ -52,6 +52,12 @@ class RankDiagnostic:
     sections:
         The rank's currently open section label path on COMM_WORLD,
         outermost first (e.g. ``("MPI_MAIN", "timeloop", "HALO")``).
+    frame:
+        Where the rank's program is suspended, as ``file:line in name``.
+        Populated by the thread-free engine from the stuck rank's
+        innermost generator frame; empty under the threaded engine
+        (rank threads park inside engine primitives, so a frame would
+        carry no workload information) and for finished ranks.
     """
 
     rank: int
@@ -59,6 +65,7 @@ class RankDiagnostic:
     clock: float
     waiting_on: str = ""
     sections: Tuple[str, ...] = ()
+    frame: str = ""
 
 
 class SimulationStalledError(DeadlockError):

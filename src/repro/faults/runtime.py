@@ -149,8 +149,13 @@ class FaultRuntime:
         """Deliver a due hang/crash for the calling rank (or return).
 
         Called from fault points: compute charges and communication
-        posts.  A crash raises :class:`InjectedFaultError` in the rank
-        thread; a hang parks the rank forever via the engine.
+        posts.  Both fire purely in *event time*, so the delivery point
+        and timestamp are identical under either engine: a crash raises
+        :class:`InjectedFaultError` through the rank's body (thread or
+        generator alike); a hang asks the engine to park the rank
+        forever — the threaded engine blocks the rank's thread, the
+        thread-free engine marks the program ``HUNG`` and unwinds its
+        generator.
         """
         kind = self.due(ctx.rank, ctx.now)
         if kind is None:

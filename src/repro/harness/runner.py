@@ -123,6 +123,7 @@ def _run_conv_point(task) -> Tuple[SectionProfile, str]:
             noise_floor=sweep.noise_floor,
             faults=sweep.faults,
             wall_timeout=sweep.wall_timeout,
+            engine=sweep.engine,
         )
     msg = (
         f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
@@ -261,6 +262,7 @@ def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
             compute_jitter=sweep.compute_jitter,
             faults=sweep.faults,
             wall_timeout=sweep.wall_timeout,
+            engine=sweep.engine,
         )
     msg = (
         f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "

@@ -48,6 +48,10 @@ class ConvolutionSweep:
     #: Per-point wall-clock watchdog (real seconds; None disables).
     #: Affects abort behaviour only, so it is *not* cache-keyed.
     wall_timeout: Optional[float] = None
+    #: Execution substrate override (``REPRO_ENGINE``-style value; None
+    #: follows the environment).  Both engines produce bit-identical
+    #: results, so it is *not* cache-keyed.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.reps < 1:
@@ -112,6 +116,10 @@ class LuleshGridSweep:
     faults: Optional[FaultPlan] = None
     #: Per-point wall-clock watchdog (real seconds; not cache-keyed).
     wall_timeout: Optional[float] = None
+    #: Execution substrate override (``REPRO_ENGINE``-style value; None
+    #: follows the environment; not cache-keyed — results are engine-
+    #: independent).
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.grid:

@@ -46,8 +46,10 @@ from repro.obs.core import (
     install,
     propagation_context,
     release_context,
+    restore_scope,
     span,
     start_trace,
+    swap_scope,
     trace_env,
 )
 from repro.obs.chrome import (
@@ -74,9 +76,11 @@ __all__ = [
     "propagation_context",
     "release_context",
     "render_span_tree",
+    "restore_scope",
     "self_profile",
     "span",
     "start_trace",
+    "swap_scope",
     "to_chrome_trace",
     "trace_env",
     "validate_chrome_trace",

@@ -286,6 +286,28 @@ def install(tracer: Optional[Tracer], base: Optional[str] = None) -> None:
     )
 
 
+def swap_scope(base: Optional[str]):
+    """Re-root ambient span parentage at ``base``; returns the old scope.
+
+    The thread-free engine brackets each rank segment with
+    ``swap_scope``/:func:`restore_scope` so spans and events emitted
+    from workload code parent under the ``engine.run`` span — exactly
+    where the threaded engine's per-rank :func:`install` puts them —
+    instead of under whatever engine-loop span happens to be open.
+    Unlike :func:`install` the tracer itself is untouched, so the
+    engine loop's own spans keep nesting normally after the restore.
+    """
+    scope = (_STATE.stack, _STATE.base)
+    _STATE.stack = []
+    _STATE.base = base
+    return scope
+
+
+def restore_scope(scope) -> None:
+    """Undo a :func:`swap_scope` (rank segment finished)."""
+    _STATE.stack, _STATE.base = scope
+
+
 def start_trace(
     name: str,
     *,

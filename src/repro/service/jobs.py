@@ -13,7 +13,8 @@ canonical JSON rendering of everything that influences the simulated
 *result* (kind + normalised work definition + a job schema version).
 Execution knobs that cannot change the numbers — the submitting client,
 ``on_error``, ``retries``, per-sweep worker count, the wall-clock
-watchdog — are excluded, so two clients asking the same question share
+watchdog, the execution engine — are excluded, so two clients asking
+the same question share
 one queue slot (deduplication) and one registry record (warm-cache
 resubmits).  This mirrors the run cache's keying philosophy one level
 up: the cache addresses *points*, the registry addresses *jobs*.
@@ -33,11 +34,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.export import profile_to_dict, scaling_to_json
-from repro.errors import ReproError
+from repro.errors import EngineStateError, ReproError
 from repro.faults.plan import FaultPlan, FaultPlanError
 from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
 from repro.machine.catalog import broadwell_duo, knl_node, laptop, nehalem_cluster
 from repro.machine.spec import MachineSpec
+from repro.simmpi.engine import engine_mode
 from repro.workloads.convolution import ConvolutionConfig
 from repro.workloads.lulesh import LuleshConfig
 
@@ -88,6 +90,7 @@ class JobSpec:
     retries: int = 0
     jobs: Optional[int] = None
     wall_timeout: Optional[float] = None
+    engine: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -110,6 +113,7 @@ class JobSpec:
             "retries": self.retries,
             "jobs": self.jobs,
             "wall_timeout": self.wall_timeout,
+            "engine": self.engine,
         }
 
 
@@ -255,6 +259,14 @@ def parse_job_spec(data: Any) -> JobSpec:
         wall_timeout = _as_number(wall_timeout, "wall_timeout")
         if wall_timeout <= 0:
             raise JobSpecError(f"wall_timeout must be positive, got {wall_timeout}")
+    engine = data.get("engine")
+    if engine is not None:
+        if not isinstance(engine, str):
+            raise JobSpecError(f"engine must be a string, got {engine!r}")
+        try:
+            engine_mode(engine)
+        except EngineStateError as exc:
+            raise JobSpecError(str(exc)) from exc
     client = data.get("client", "anonymous")
     if not isinstance(client, str) or not client:
         raise JobSpecError(f"client must be a non-empty string, got {client!r}")
@@ -272,6 +284,7 @@ def parse_job_spec(data: Any) -> JobSpec:
         retries=retries,
         jobs=jobs,
         wall_timeout=wall_timeout,
+        engine=engine,
     )
     build_sweep(spec)  # eager validation: raises JobSpecError on bad params
     return spec
@@ -310,6 +323,7 @@ def build_sweep(spec: JobSpec):
                 weak=work["weak"],
                 faults=faults,
                 wall_timeout=spec.wall_timeout,
+                engine=spec.engine,
             )
         sweep = LuleshGridSweep(
             config=LuleshConfig(
@@ -322,6 +336,7 @@ def build_sweep(spec: JobSpec):
             compute_jitter=work["compute_jitter"],
             faults=faults,
             wall_timeout=spec.wall_timeout,
+            engine=spec.engine,
         )
         sides = work.get("sides")
         return sweep, ({int(p): s for p, s in sides.items()} if sides else None)

@@ -1,20 +1,31 @@
 """Deterministic virtual-time MPI runtime (the paper's substrate).
 
 No real MPI library or cluster is available to this reproduction, so the
-whole message-passing substrate is simulated: each MPI rank runs as an OS
-thread with its own *virtual clock*; exactly one rank thread executes at a
-time under a deterministic min-clock scheduler; messages carry **real**
-NumPy/Python payloads (so computational results are exact and testable)
-while their timing comes from a parameterised network model with seeded
-jitter.  Collective operations are implemented as real algorithms
-(binomial trees, recursive doubling, rings) over the point-to-point layer,
-so their cost structure emerges from the same model the paper's cluster
+whole message-passing substrate is simulated: each MPI rank has its own
+*virtual clock*; exactly one rank executes at a time under a
+deterministic min-clock scheduler; messages carry **real** NumPy/Python
+payloads (so computational results are exact and testable) while their
+timing comes from a parameterised network model with seeded jitter.
+Collective operations are implemented as real algorithms (binomial
+trees, recursive doubling, rings) over the point-to-point layer, so
+their cost structure emerges from the same model the paper's cluster
 exhibits.
+
+Two execution substrates implement the scheduler, selected by the
+``REPRO_ENGINE`` environment variable (see
+:func:`~repro.simmpi.engine.engine_mode`): the default
+:class:`~repro.simmpi.engine.ThreadFreeEngine` drives every rank as a
+suspended generator from one thread (a pure discrete-event simulation —
+write ``main`` as a generator using the ``g_*`` communicator methods),
+and the legacy thread-per-rank :class:`~repro.simmpi.engine.Engine`
+accepts plain blocking mains.  Simulated results are bit-identical
+across the two.
 
 Public surface
 --------------
-:func:`~repro.simmpi.engine.run_mpi` runs a per-rank ``main(ctx)`` callable
-and returns a :class:`~repro.simmpi.engine.RunResult`.  Inside ``main`` the
+:func:`~repro.simmpi.engine.run_mpi` runs a per-rank ``main(ctx)``
+callable or generator and returns a
+:class:`~repro.simmpi.engine.RunResult`.  Inside ``main`` the
 :class:`~repro.simmpi.context.RankContext` exposes ``ctx.comm`` (an
 mpi4py-flavoured :class:`~repro.simmpi.comm.Communicator`), ``ctx.compute``
 for charging modeled compute time, and the MPI_Section entry points of the
@@ -25,11 +36,21 @@ paper via :func:`~repro.simmpi.sections_rt.section_enter` /
 from repro.simmpi.api import (
     ANY_SOURCE,
     ANY_TAG,
+    ENGINE_ENV,
+    ENGINE_THREADFREE,
+    ENGINE_THREADS,
     PROC_NULL,
     UNDEFINED,
     MAX_SECTION_DATA,
 )
-from repro.simmpi.engine import Engine, RunResult, run_mpi
+from repro.simmpi.engine import (
+    Engine,
+    RunResult,
+    ThreadFreeEngine,
+    engine_mode,
+    is_generator_main,
+    run_mpi,
+)
 from repro.simmpi.context import RankContext
 from repro.simmpi.comm import Communicator, Group
 from repro.simmpi.request import (
@@ -40,6 +61,7 @@ from repro.simmpi.request import (
     waitsome,
     testall,
 )
+from repro.simmpi.sched import g_wait, g_waitall, g_waitany, g_waitsome
 from repro.simmpi.reduce_ops import SUM, PROD, MIN, MAX, LAND, LOR, MINLOC, MAXLOC
 from repro.simmpi.pmpi import Tool, ToolRegistry
 from repro.simmpi.sections_rt import (
@@ -55,8 +77,14 @@ __all__ = [
     "PROC_NULL",
     "UNDEFINED",
     "MAX_SECTION_DATA",
+    "ENGINE_ENV",
+    "ENGINE_THREADFREE",
+    "ENGINE_THREADS",
     "Engine",
     "RunResult",
+    "ThreadFreeEngine",
+    "engine_mode",
+    "is_generator_main",
     "run_mpi",
     "RankContext",
     "Communicator",
@@ -67,6 +95,10 @@ __all__ = [
     "waitany",
     "waitsome",
     "testall",
+    "g_wait",
+    "g_waitall",
+    "g_waitany",
+    "g_waitsome",
     "SUM",
     "PROD",
     "MIN",

@@ -27,6 +27,18 @@ MAX_SECTION_DATA: int = 32
 #: Upper bound on user tags (MPI guarantees at least 32767).
 TAG_UB: int = 2**30
 
+#: Environment variable selecting the execution engine; see
+#: :func:`repro.simmpi.engine.engine_mode`.  Lives here (not in
+#: engine.py) because the service/harness layers need the name without
+#: importing the engine machinery.
+ENGINE_ENV: str = "REPRO_ENGINE"
+
+#: Engine names accepted by ``REPRO_ENGINE`` / ``run_mpi(engine=...)``:
+#: the single-thread generator-driven event loop (the default) and the
+#: legacy thread-per-rank baton engine (the differential oracle).
+ENGINE_THREADFREE: str = "threadfree"
+ENGINE_THREADS: str = "threads"
+
 
 def is_wildcard_source(source: int) -> bool:
     """Whether ``source`` is the ANY_SOURCE wildcard."""

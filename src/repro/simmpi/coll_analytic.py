@@ -78,7 +78,6 @@ variants — takes the ungated message path unchanged.
 
 from __future__ import annotations
 
-import heapq
 import os
 from collections import deque
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
@@ -93,6 +92,7 @@ from repro.simmpi.datatypes import (
     payload_nbytes,
 )
 from repro.simmpi.request import Request
+from repro.simmpi.sched import YIELD, Park, ReadyHeap, drive_blocking
 
 #: Environment switch for the analytic fast path.  On by default;
 #: ``0``/``false``/``no``/``off`` reverts every collective to the
@@ -146,7 +146,7 @@ def drive_threaded(ctx, gen: Generator[Request, None, Any]) -> Any:
 
 def dispatch(comm, kind: str, ckey: tuple, factory: ProgramFactory,
              args: tuple = ()) -> Any:
-    """Entry point used by every gated collective wrapper.
+    """Entry point used by every blocking (sync) collective wrapper.
 
     Routes through the engine's :class:`CollectiveGate` when the
     preconditions hold, otherwise drives the program inline on the
@@ -157,6 +157,23 @@ def dispatch(comm, kind: str, ckey: tuple, factory: ProgramFactory,
     if gate.eligible(comm):
         return gate.run(comm, kind, ckey, factory, args)
     return drive_threaded(comm.ctx, factory(comm, ckey, *args))
+
+
+def g_dispatch(comm, kind: str, ckey: tuple, factory: ProgramFactory,
+               args: tuple = ()) -> Generator:
+    """Entry point used by every generator (``g_*``) collective wrapper.
+
+    The generator twin of :func:`dispatch`: instead of parking the
+    calling thread it yields the gate's scheduling commands (and the
+    program's pending requests) to whichever driver is resuming it —
+    the thread-free engine loop, or :func:`drive_blocking` when the
+    generator main runs under the threaded oracle.
+    """
+    engine = comm.ctx.engine
+    gate = engine.coll_gate
+    if gate.eligible(comm):
+        return (yield from gate.g_run(comm, kind, ckey, factory, args))
+    return (yield from factory(comm, ckey, *args))
 
 
 class _GateEntry:
@@ -212,8 +229,23 @@ class CollectiveGate:
 
     def run(self, comm, kind: str, ckey: tuple, factory: ProgramFactory,
             args: tuple) -> Any:
-        """Carry one rank through the gated collective ``ckey``."""
-        ctx = comm.ctx
+        """Carry one rank through the gated collective ``ckey``, blocking.
+
+        The sync entry point (rank threads): the gate logic lives once,
+        in :meth:`g_run`; this drives it with the calling rank's own
+        thread, mapping each scheduling command onto a park/yield.
+        """
+        return drive_blocking(comm.ctx, self.g_run(comm, kind, ckey, factory, args))
+
+    def g_run(self, comm, kind: str, ckey: tuple, factory: ProgramFactory,
+              args: tuple) -> Generator:
+        """Carry one rank through the gated collective ``ckey``.
+
+        A command-yielding generator (see :mod:`repro.simmpi.sched`):
+        entry/exit rendezvous are ``Park``/``YIELD`` commands and the
+        per-rank pattern's pending requests are yielded through, so the
+        same gate source runs under both engines.
+        """
         entry = self._pending.get(ckey)
         if entry is None:
             entry = self._pending[ckey] = _GateEntry(kind, ckey, comm.size)
@@ -230,28 +262,28 @@ class CollectiveGate:
         entry.args[rank] = args
         entry.arrived += 1
         if entry.arrived < entry.size:
-            ctx._park(
-                f"collective gate: {kind} waiting for "
-                f"{entry.size - entry.arrived} more rank(s)"
+            yield Park(
+                ("collective gate: {} waiting for {} more rank(s)",
+                 kind, entry.size - entry.arrived)
             )
             if entry.mode == "fast":
                 return self._finish_fast(entry, rank)
-            return self._run_threaded(entry, comm)
+            return (yield from self._g_run_threaded(entry, comm))
         # Last arrival: release (or resolve) the whole invocation.  An
         # active FaultPlan forces the message path — hang/crash delivery
         # points inside the pattern must fire on the owning rank's own
-        # thread, which a thread-free replay cannot honour.
+        # scheduling slot, which a batched replay cannot honour.
         if self.engine.coll_analytic and self.engine._faults is None:
             entry.mode = "fast"
             _Replay(entry).run()
             self.fast += 1
             self._wake_others(entry, rank)
-            ctx._yield_baton()
+            yield YIELD
             return self._finish_fast(entry, rank)
         entry.mode = "threaded"
         self._wake_others(entry, rank)
-        ctx._yield_baton()
-        return self._run_threaded(entry, comm)
+        yield YIELD
+        return (yield from self._g_run_threaded(entry, comm))
 
     # -- internals ---------------------------------------------------------------
 
@@ -272,18 +304,17 @@ class CollectiveGate:
             raise err
         return entry.results[rank]
 
-    def _run_threaded(self, entry: _GateEntry, comm) -> Any:
+    def _g_run_threaded(self, entry: _GateEntry, comm) -> Generator:
         """Run this rank's own program, then hold the exit gate."""
-        ctx = comm.ctx
         rank = comm.rank
         gen = entry.factories[rank](comm, entry.ckey, *entry.args[rank])
-        result = drive_threaded(ctx, gen)
+        result = yield from gen
         entry.exited += 1
         if entry.exited < entry.size:
             entry.exit_parked.append(rank)
-            ctx._park(
-                f"collective exit gate: {entry.kind} waiting for "
-                f"{entry.size - entry.exited} unfinished rank(s)"
+            yield Park(
+                ("collective exit gate: {} waiting for {} unfinished rank(s)",
+                 entry.kind, entry.size - entry.exited)
             )
         else:
             engine = self.engine
@@ -291,7 +322,7 @@ class CollectiveGate:
                 engine.make_ready(entry.comms[q].ctx.rank)
             entry.exit_parked = []
             self._pending.pop(entry.ckey, None)
-            ctx._yield_baton()
+            yield YIELD
         return result
 
 
@@ -641,20 +672,23 @@ class _Replay:
         state = [self._READY] * size
         pending: List[Optional[Any]] = [None] * size
         failures = 0
-        heap: List[Tuple[float, int, int]] = [
+        # The engine's scheduling rule, shared via ReadyHeap: smallest
+        # (virtual clock, world rank), stale entries dropped, moved
+        # clocks requeued.  Entries are (clock, world rank, q).
+        heap = ReadyHeap(
             (ctxs[q]._clock, ctxs[q].rank, q) for q in range(size)
-        ]
-        heapq.heapify(heap)
-        heappush, heappop = heapq.heappush, heapq.heappop
+        )
+        heappush = heap.push
+        pop_ready = heap.pop_ready
         READY, BLOCKED = self._READY, self._BLOCKED
-        while heap:
-            clock, wrank, q = heappop(heap)
-            if state[q] != READY:
-                continue  # stale entry from an earlier READY period
+        is_ready = lambda q: state[q] == READY  # noqa: E731 - hot closure
+        clock_of = lambda q: ctxs[q]._clock  # noqa: E731 - hot closure
+        while True:
+            nxt = pop_ready(is_ready, clock_of)
+            if nxt is None:
+                break
+            q = nxt[2]
             ctx = ctxs[q]
-            if ctx._clock != clock:
-                heappush(heap, (ctx._clock, wrank, q))
-                continue
             # Finish the wait the program blocked on (the bookkeeping
             # Request.wait applies: waited mark, advance to completion).
             req = pending[q]
@@ -706,13 +740,13 @@ class _Replay:
                             dreq.waiter = None
                             state[j] = READY
                             cj = ctxs[j]
-                            heappush(heap, (cj._clock, cj.rank, j))
+                            heappush((cj._clock, cj.rank, j))
                     completed.clear()
             else:
                 for j in range(size):
                     if state[j] == BLOCKED and pending[j].done:
                         state[j] = READY
-                        heappush(heap, (ctxs[j]._clock, ctxs[j].rank, j))
+                        heappush((ctxs[j]._clock, ctxs[j].rank, j))
         if lean:
             # Flush the transports' local traffic counters (same totals
             # as the fabric's per-message updates, in one pass).

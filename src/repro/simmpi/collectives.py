@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.errors import CommMismatchError
 from repro.simmpi.coll_analytic import dispatch as _dispatch
+from repro.simmpi.coll_analytic import g_dispatch as _g_dispatch
 from repro.simmpi.reduce_ops import ReduceOp
 from repro.simmpi.request import Request, waitall
 
@@ -736,3 +737,279 @@ def Alltoall(comm, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
     rows = alltoall(comm, [sendbuf[i] for i in range(p)])
     for i, row in enumerate(rows):
         recvbuf[i] = np.asarray(row).reshape(recvbuf[i].shape)
+
+
+# ---------------------------------------------------------------------------
+# generator twins (thread-free engine)
+#
+# Each g_* below is the command-yielding twin of the blocking wrapper of
+# the same name: identical fault-poll, validation and ckey-allocation
+# order, with the dispatch routed through coll_analytic.g_dispatch so
+# the calling rank suspends instead of blocking its thread.  Workload
+# generator mains reach these through the Communicator.g_* methods.
+# ---------------------------------------------------------------------------
+
+def g_barrier(comm) -> _Prog:
+    """Generator twin of :func:`barrier`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return None
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "barrier", ckey, _prog_barrier))
+
+
+def g_bcast(comm, obj: Any, root: int = 0) -> _Prog:
+    """Generator twin of :func:`bcast`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "bcast", ckey, _prog_bcast, (obj, root)))
+
+
+def g_Bcast(comm, buf: np.ndarray, root: int = 0) -> _Prog:
+    """Generator twin of :func:`Bcast`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return None
+    buf = np.asarray(buf)
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "Bcast", ckey, _prog_Bcast, (buf, root)))
+
+
+def g_reduce(comm, obj: Any, op, root: int = 0) -> _Prog:
+    """Generator twin of :func:`reduce`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "reduce", ckey, _prog_reduce, (obj, op, root)))
+
+
+def g_allreduce(comm, obj: Any, op) -> _Prog:
+    """Generator twin of :func:`allreduce`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "allreduce", ckey, _prog_allreduce, (obj, op)))
+
+
+def g_Reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op,
+             root: int = 0) -> _Prog:
+    """Generator twin of :func:`Reduce`."""
+    result = yield from g_reduce(comm, np.asarray(sendbuf), op, root)
+    if comm.rank == root:
+        if recvbuf is None:
+            raise CommMismatchError("root must supply recvbuf to Reduce")
+        np.asarray(recvbuf)[...] = result
+    return None
+
+
+def g_Allreduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> _Prog:
+    """Generator twin of :func:`Allreduce`."""
+    result = yield from g_allreduce(comm, np.asarray(sendbuf), op)
+    np.asarray(recvbuf)[...] = result
+    return None
+
+
+def g_scan(comm, obj: Any, op) -> _Prog:
+    """Generator twin of :func:`scan`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return obj
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "scan", ckey, _prog_scan, (obj, op)))
+
+
+def g_exscan(comm, obj: Any, op) -> _Prog:
+    """Generator twin of :func:`exscan`."""
+    _poll_faults(comm)
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "exscan", ckey, _prog_exscan, (obj, op)))
+
+
+def g_reduce_scatter_block(comm, sendobjs: Sequence[Any], op) -> _Prog:
+    """Generator twin of :func:`reduce_scatter_block`."""
+    p = comm.size
+    if len(sendobjs) != p:
+        raise CommMismatchError(
+            f"reduce_scatter_block needs exactly {p} blocks, got {len(sendobjs)}"
+        )
+    reduced = []
+    for block in sendobjs:
+        reduced.append((yield from g_reduce(comm, block, op, root=0)))
+    return (yield from g_scatter(comm, reduced if comm.rank == 0 else None, root=0))
+
+
+def g_scatter(comm, sendobjs: Optional[Sequence[Any]], root: int = 0) -> _Prog:
+    """Generator twin of :func:`scatter`."""
+    _poll_faults(comm)
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "scatter", ckey, _prog_scatter,
+                                   (sendobjs, root)))
+
+
+def g_gather(comm, obj: Any, root: int = 0) -> _Prog:
+    """Generator twin of :func:`gather`."""
+    _poll_faults(comm)
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "gather", ckey, _prog_gather, (obj, root)))
+
+
+def g_allgather(comm, obj: Any) -> _Prog:
+    """Generator twin of :func:`allgather`."""
+    _poll_faults(comm)
+    if comm.size == 1:
+        return [obj]
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "allgather", ckey, _prog_allgather, (obj,)))
+
+
+def g_alltoall(comm, sendobjs: Sequence[Any]) -> _Prog:
+    """Generator twin of :func:`alltoall`."""
+    _poll_faults(comm)
+    p = comm.size
+    if len(sendobjs) != p:
+        raise CommMismatchError(
+            f"alltoall needs exactly {p} send items, got {len(sendobjs)}"
+        )
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(comm, "alltoall", ckey, _prog_alltoall,
+                                   (sendobjs,)))
+
+
+def g_Scatterv(comm, sendbuf: Optional[np.ndarray], counts: Sequence[int],
+               recvbuf: np.ndarray, root: int = 0) -> _Prog:
+    """Generator twin of :func:`Scatterv`."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Scatterv needs {p} counts, got {len(counts)}")
+    recvbuf = np.asarray(recvbuf)
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(
+        comm, "Scatterv", ckey, _prog_Scatterv,
+        (sendbuf, counts, recvbuf, root),
+    ))
+
+
+def g_Scatter(comm, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray,
+              root: int = 0) -> _Prog:
+    """Generator twin of :func:`Scatter`."""
+    recvbuf = np.asarray(recvbuf)
+    p = comm.size
+    if comm.rank == root:
+        sendbuf = np.asarray(sendbuf)
+        if sendbuf.shape[0] % p != 0:
+            raise CommMismatchError(
+                f"Scatter sendbuf axis 0 ({sendbuf.shape[0]}) not divisible by {p}"
+            )
+        n = sendbuf.shape[0] // p
+    else:
+        n = recvbuf.shape[0] if recvbuf.ndim else 1
+    return (yield from g_Scatterv(comm, sendbuf, [n] * p, recvbuf, root))
+
+
+def g_Gatherv(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+              counts: Sequence[int], root: int = 0) -> _Prog:
+    """Generator twin of :func:`Gatherv`."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Gatherv needs {p} counts, got {len(counts)}")
+    sendbuf = np.asarray(sendbuf)
+    ckey = comm._next_coll_key()
+    return (yield from _g_dispatch(
+        comm, "Gatherv", ckey, _prog_Gatherv,
+        (sendbuf, recvbuf, counts, root),
+    ))
+
+
+def g_Gather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+             root: int = 0) -> _Prog:
+    """Generator twin of :func:`Gather`."""
+    sendbuf = np.asarray(sendbuf)
+    n = sendbuf.shape[0] if sendbuf.ndim else 1
+    return (yield from g_Gatherv(comm, sendbuf, recvbuf, [n] * comm.size, root))
+
+
+def g_Scan(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> _Prog:
+    """Generator twin of :func:`Scan`."""
+    result = yield from g_scan(comm, np.asarray(sendbuf), op)
+    np.asarray(recvbuf)[...] = result
+    return None
+
+
+def g_Exscan(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op) -> _Prog:
+    """Generator twin of :func:`Exscan`."""
+    result = yield from g_exscan(comm, np.asarray(sendbuf), op)
+    if result is not None:
+        np.asarray(recvbuf)[...] = result
+    return None
+
+
+def g_Reduce_scatter_block(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                           op) -> _Prog:
+    """Generator twin of :func:`Reduce_scatter_block`."""
+    p = comm.size
+    sendbuf = np.asarray(sendbuf)
+    if sendbuf.shape[0] != p:
+        raise CommMismatchError(
+            f"Reduce_scatter_block sendbuf axis 0 must be {p}, "
+            f"got {sendbuf.shape[0]}"
+        )
+    result = yield from g_reduce_scatter_block(
+        comm, [sendbuf[i] for i in range(p)], op
+    )
+    np.asarray(recvbuf)[...] = np.asarray(result).reshape(np.asarray(recvbuf).shape)
+    return None
+
+
+def g_Allgatherv(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                 counts: Sequence[int]) -> _Prog:
+    """Generator twin of :func:`Allgatherv`."""
+    p = comm.size
+    if len(counts) != p:
+        raise CommMismatchError(f"Allgatherv needs {p} counts, got {len(counts)}")
+    recvbuf = np.asarray(recvbuf)
+    offs = _offsets(counts)
+    if offs[-1] != recvbuf.shape[0]:
+        raise CommMismatchError(
+            f"Allgatherv counts sum to {offs[-1]} but recvbuf has "
+            f"{recvbuf.shape[0]} rows"
+        )
+    blocks = yield from g_allgather(comm, np.asarray(sendbuf))
+    for i, block in enumerate(blocks):
+        dst = recvbuf[offs[i] : offs[i + 1]]
+        dst[...] = np.asarray(block).reshape(dst.shape)
+    return None
+
+
+def g_Allgather(comm, sendbuf: np.ndarray, recvbuf: np.ndarray) -> _Prog:
+    """Generator twin of :func:`Allgather`."""
+    p = comm.size
+    sendbuf = np.asarray(sendbuf)
+    recvbuf = np.asarray(recvbuf)
+    if recvbuf.shape[0] != p:
+        raise CommMismatchError(
+            f"Allgather recvbuf axis 0 must be {p}, got {recvbuf.shape[0]}"
+        )
+    blocks = yield from g_allgather(comm, sendbuf)
+    for i, block in enumerate(blocks):
+        recvbuf[i] = np.asarray(block).reshape(recvbuf[i].shape)
+    return None
+
+
+def g_Alltoall(comm, sendbuf: np.ndarray, recvbuf: np.ndarray) -> _Prog:
+    """Generator twin of :func:`Alltoall`."""
+    p = comm.size
+    sendbuf = np.asarray(sendbuf)
+    recvbuf = np.asarray(recvbuf)
+    if sendbuf.shape[0] != p or recvbuf.shape[0] != p:
+        raise CommMismatchError(
+            f"Alltoall buffers need axis 0 == {p}, got "
+            f"{sendbuf.shape[0]} / {recvbuf.shape[0]}"
+        )
+    rows = yield from g_alltoall(comm, [sendbuf[i] for i in range(p)])
+    for i, row in enumerate(rows):
+        recvbuf[i] = np.asarray(row).reshape(recvbuf[i].shape)
+    return None

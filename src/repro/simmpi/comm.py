@@ -30,6 +30,7 @@ from repro.simmpi import collectives as _coll
 from repro.simmpi.datatypes import clone_payload, payload_nbytes
 from repro.simmpi.request import Request, Status, waitall
 from repro.simmpi.reduce_ops import ReduceOp, SUM
+from repro.simmpi.sched import g_wait, g_waitall
 
 
 class Group:
@@ -112,6 +113,22 @@ class Communicator:
         self._child_seq += 1
         triple = (color, key, self.rank)
         all_triples = self.allgather(triple)
+        if color == UNDEFINED:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in all_triples if c == color
+        )
+        world = [self._group.ranks[r] for (_, r) in members]
+        cid = (*self.cid, "s", seq, color)
+        return Communicator(self.ctx, Group(world), cid)
+
+    def g_split(self, color: int, key: int = 0):
+        """Generator twin of :meth:`split` (``yield from comm.g_split(...)``)."""
+        self._check_alive()
+        seq = self._child_seq
+        self._child_seq += 1
+        triple = (color, key, self.rank)
+        all_triples = yield from self.g_allgather(triple)
         if color == UNDEFINED:
             return None
         members = sorted(
@@ -210,7 +227,7 @@ class Communicator:
         self._check_peer(dest)
         self._check_tag(tag, allow_any=False)
         ctx = self.ctx
-        req = Request(ctx, "send", f"isend(dest={dest}, tag={tag})")
+        req = Request(ctx, "send", ("isend(dest={}, tag={})", dest, tag))
         if dest == PROC_NULL:
             req.complete(ctx.now)
             return req
@@ -229,7 +246,7 @@ class Communicator:
         self._check_source(source)
         self._check_tag(tag, allow_any=True)
         ctx = self.ctx
-        req = Request(ctx, "recv", f"irecv(source={source}, tag={tag})")
+        req = Request(ctx, "recv", ("irecv(source={}, tag={})", source, tag))
         if source == PROC_NULL:
             req.complete(ctx.now, source=PROC_NULL, tag=tag, count=0)
             return req
@@ -259,7 +276,7 @@ class Communicator:
         self._check_source(source)
         self._check_tag(tag, allow_any=True)
         ctx = self.ctx
-        req = Request(ctx, "recv", f"probe(source={source}, tag={tag})")
+        req = Request(ctx, "recv", ("probe(source={}, tag={})", source, tag))
         world_source = source if source == ANY_SOURCE else self._world_rank(source)
         ctx.engine.fabric.post_probe(ctx, self._p2p_key(), world_source, tag, req)
         st = Status()
@@ -308,6 +325,94 @@ class Communicator:
         sreq.wait()
         return data
 
+    # -- point-to-point: generator twins -------------------------------------------------
+    #
+    # Command-yielding twins of the blocking calls above, for generator
+    # mains (``yield from comm.g_recv(...)``).  The non-blocking posts
+    # (isend/irecv/Isend/Irecv/iprobe) need no twins — they never block;
+    # wait on their requests with repro.simmpi.sched.g_wait/g_waitall.
+
+    def g_send(self, obj: Any, dest: int, tag: int = 0):
+        """Generator twin of :meth:`send`."""
+        yield from g_wait(self.isend(obj, dest, tag))
+
+    def g_recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ):
+        """Generator twin of :meth:`recv`."""
+        req = self.irecv(source, tag)
+        data = yield from g_wait(req, status)
+        if status is not None and status.source >= 0:
+            status.source = self._comm_source(status.source)
+        return data
+
+    def g_probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator twin of :meth:`probe`."""
+        self._check_alive()
+        self._check_source(source)
+        self._check_tag(tag, allow_any=True)
+        ctx = self.ctx
+        req = Request(ctx, "recv", ("probe(source={}, tag={})", source, tag))
+        world_source = source if source == ANY_SOURCE else self._world_rank(source)
+        ctx.engine.fabric.post_probe(ctx, self._p2p_key(), world_source, tag, req)
+        st = Status()
+        yield from g_wait(req, st)
+        if st.source >= 0:
+            st.source = self._comm_source(st.source)
+        return st
+
+    def g_sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ):
+        """Generator twin of :meth:`sendrecv`."""
+        rreq = self.irecv(source, recvtag)
+        sreq = self.isend(sendobj, dest, sendtag)
+        data = yield from g_wait(rreq, status)
+        if status is not None and status.source >= 0:
+            status.source = self._comm_source(status.source)
+        yield from g_wait(sreq)
+        return data
+
+    def g_Send(self, buf: np.ndarray, dest: int, tag: int = 0):
+        """Generator twin of :meth:`Send`."""
+        yield from g_wait(self.Isend(buf, dest, tag))
+
+    def g_Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ):
+        """Generator twin of :meth:`Recv`."""
+        req = self.Irecv(buf, source, tag)
+        yield from g_wait(req, status)
+        if status is not None and status.source >= 0:
+            status.source = self._comm_source(status.source)
+
+    def g_Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ):
+        """Generator twin of :meth:`Sendrecv`."""
+        rreq = self.Irecv(recvbuf, source, recvtag)
+        sreq = self.Isend(sendbuf, dest, sendtag)
+        yield from g_waitall([rreq, sreq])
+
     # -- point-to-point: buffer mode -----------------------------------------------------
 
     def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
@@ -316,7 +421,7 @@ class Communicator:
         self._check_peer(dest)
         self._check_tag(tag, allow_any=False)
         ctx = self.ctx
-        req = Request(ctx, "send", f"Isend(dest={dest}, tag={tag})")
+        req = Request(ctx, "send", ("Isend(dest={}, tag={})", dest, tag))
         if dest == PROC_NULL:
             req.complete(ctx.now)
             return req
@@ -334,7 +439,7 @@ class Communicator:
         self._check_source(source)
         self._check_tag(tag, allow_any=True)
         ctx = self.ctx
-        req = Request(ctx, "recv", f"Irecv(source={source}, tag={tag})")
+        req = Request(ctx, "recv", ("Irecv(source={}, tag={})", source, tag))
         if source == PROC_NULL:
             req.complete(ctx.now, source=PROC_NULL, tag=tag, count=0)
             return req
@@ -553,11 +658,156 @@ class Communicator:
         if ctx.engine.tools.wants("on_collective"):
             ctx.engine.tools.dispatch("on_collective", self.rank, name, self.cid, ctx.now)
 
+    # -- collectives: generator twins ------------------------------------------------------
+    #
+    # Command-yielding twins of the collective methods above, for
+    # generator mains (``result = yield from comm.g_allreduce(x)``).
+    # Entry bookkeeping, validation and sub-context allocation are
+    # identical, so simulated outcomes are bit-identical to the
+    # blocking calls.
+
+    def g_barrier(self):
+        """Generator twin of :meth:`barrier`."""
+        self._collective_entry("barrier")
+        return (yield from _coll.g_barrier(self))
+
+    def g_bcast(self, obj: Any, root: int = 0):
+        """Generator twin of :meth:`bcast`."""
+        self._collective_entry("bcast")
+        return (yield from _coll.g_bcast(self, obj, root))
+
+    def g_scatter(self, sendobjs: Optional[Sequence[Any]], root: int = 0):
+        """Generator twin of :meth:`scatter`."""
+        self._collective_entry("scatter")
+        return (yield from _coll.g_scatter(self, sendobjs, root))
+
+    def g_gather(self, obj: Any, root: int = 0):
+        """Generator twin of :meth:`gather`."""
+        self._collective_entry("gather")
+        return (yield from _coll.g_gather(self, obj, root))
+
+    def g_allgather(self, obj: Any):
+        """Generator twin of :meth:`allgather`."""
+        self._collective_entry("allgather")
+        return (yield from _coll.g_allgather(self, obj))
+
+    def g_alltoall(self, sendobjs: Sequence[Any]):
+        """Generator twin of :meth:`alltoall`."""
+        self._collective_entry("alltoall")
+        return (yield from _coll.g_alltoall(self, sendobjs))
+
+    def g_reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0):
+        """Generator twin of :meth:`reduce`."""
+        self._collective_entry("reduce")
+        return (yield from _coll.g_reduce(self, obj, op, root))
+
+    def g_allreduce(self, obj: Any, op: ReduceOp = SUM):
+        """Generator twin of :meth:`allreduce`."""
+        self._collective_entry("allreduce")
+        return (yield from _coll.g_allreduce(self, obj, op))
+
+    def g_scan(self, obj: Any, op: ReduceOp = SUM):
+        """Generator twin of :meth:`scan`."""
+        self._collective_entry("scan")
+        return (yield from _coll.g_scan(self, obj, op))
+
+    def g_exscan(self, obj: Any, op: ReduceOp = SUM):
+        """Generator twin of :meth:`exscan`."""
+        self._collective_entry("exscan")
+        return (yield from _coll.g_exscan(self, obj, op))
+
+    def g_reduce_scatter_block(self, sendobjs: Sequence[Any], op: ReduceOp = SUM):
+        """Generator twin of :meth:`reduce_scatter_block`."""
+        self._collective_entry("reduce_scatter_block")
+        return (yield from _coll.g_reduce_scatter_block(self, sendobjs, op))
+
+    def g_Bcast(self, buf: np.ndarray, root: int = 0):
+        """Generator twin of :meth:`Bcast`."""
+        self._collective_entry("Bcast")
+        yield from _coll.g_Bcast(self, buf, root)
+
+    def g_Reduce(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+        op: ReduceOp = SUM, root: int = 0,
+    ):
+        """Generator twin of :meth:`Reduce`."""
+        self._collective_entry("Reduce")
+        yield from _coll.g_Reduce(self, sendbuf, recvbuf, op, root)
+
+    def g_Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM):
+        """Generator twin of :meth:`Allreduce`."""
+        self._collective_entry("Allreduce")
+        yield from _coll.g_Allreduce(self, sendbuf, recvbuf, op)
+
+    def g_Scatter(self, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int = 0):
+        """Generator twin of :meth:`Scatter`."""
+        self._collective_entry("Scatter")
+        yield from _coll.g_Scatter(self, sendbuf, recvbuf, root)
+
+    def g_Scatterv(
+        self,
+        sendbuf: Optional[np.ndarray],
+        counts: Sequence[int],
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ):
+        """Generator twin of :meth:`Scatterv`."""
+        self._collective_entry("Scatterv")
+        yield from _coll.g_Scatterv(self, sendbuf, counts, recvbuf, root)
+
+    def g_Gather(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int = 0):
+        """Generator twin of :meth:`Gather`."""
+        self._collective_entry("Gather")
+        yield from _coll.g_Gather(self, sendbuf, recvbuf, root)
+
+    def g_Gatherv(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        counts: Sequence[int],
+        root: int = 0,
+    ):
+        """Generator twin of :meth:`Gatherv`."""
+        self._collective_entry("Gatherv")
+        yield from _coll.g_Gatherv(self, sendbuf, recvbuf, counts, root)
+
+    def g_Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        """Generator twin of :meth:`Allgather`."""
+        self._collective_entry("Allgather")
+        yield from _coll.g_Allgather(self, sendbuf, recvbuf)
+
+    def g_Allgatherv(self, sendbuf: np.ndarray, recvbuf: np.ndarray, counts: Sequence[int]):
+        """Generator twin of :meth:`Allgatherv`."""
+        self._collective_entry("Allgatherv")
+        yield from _coll.g_Allgatherv(self, sendbuf, recvbuf, counts)
+
+    def g_Alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray):
+        """Generator twin of :meth:`Alltoall`."""
+        self._collective_entry("Alltoall")
+        yield from _coll.g_Alltoall(self, sendbuf, recvbuf)
+
+    def g_Scan(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM):
+        """Generator twin of :meth:`Scan`."""
+        self._collective_entry("Scan")
+        yield from _coll.g_Scan(self, sendbuf, recvbuf, op)
+
+    def g_Exscan(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM):
+        """Generator twin of :meth:`Exscan`."""
+        self._collective_entry("Exscan")
+        yield from _coll.g_Exscan(self, sendbuf, recvbuf, op)
+
+    def g_Reduce_scatter_block(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp = SUM
+    ):
+        """Generator twin of :meth:`Reduce_scatter_block`."""
+        self._collective_entry("Reduce_scatter_block")
+        yield from _coll.g_Reduce_scatter_block(self, sendbuf, recvbuf, op)
+
     # -- internal p2p used by collective algorithms ------------------------------------------
 
     def _coll_isend(self, ckey: tuple, obj: Any, dest: int, tag: int) -> Request:
         ctx = self.ctx
-        req = Request(ctx, "send", f"coll-send(dest={dest}, tag={tag})")
+        req = Request(ctx, "send", ("coll-send(dest={}, tag={})", dest, tag))
         payload = clone_payload(obj)
         nbytes = payload_nbytes(payload)
         if ctx.engine.tools.wants("on_send"):
@@ -574,7 +824,7 @@ class Communicator:
 
     def _coll_irecv(self, ckey: tuple, source: int, tag: int) -> Request:
         ctx = self.ctx
-        req = Request(ctx, "recv", f"coll-recv(source={source}, tag={tag})")
+        req = Request(ctx, "recv", ("coll-recv(source={}, tag={})", source, tag))
         ctx.engine.fabric.post_recv(
             ctx, ckey, self._world_rank(source), tag, None, req
         )
@@ -585,7 +835,7 @@ class Communicator:
 
     def _coll_irecv_into(self, ckey: tuple, buf: np.ndarray, source: int, tag: int) -> Request:
         ctx = self.ctx
-        req = Request(ctx, "recv", f"coll-recv-into(source={source}, tag={tag})")
+        req = Request(ctx, "recv", ("coll-recv-into(source={}, tag={})", source, tag))
         ctx.engine.fabric.post_recv(
             ctx, ckey, self._world_rank(source), tag, np.asarray(buf), req
         )

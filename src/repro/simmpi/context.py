@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import EngineStateError
 from repro.machine.roofline import RooflineModel, WorkEstimate
 from repro.simmpi.request import Request
+from repro.simmpi.sched import waitany_info
 
 
 class RankContext:
@@ -102,10 +103,10 @@ class RankContext:
         if req.done:  # pragma: no cover - guarded by callers
             return
         req.waiter = self.rank
-        self.engine.park_current(self._thread, f"waiting on {req.describe}")
+        self.engine.park_current(self._thread, ("waiting on {}", req))
         if not req.done:
             raise EngineStateError(
-                f"rank {self.rank} woken but {req.describe} still pending"
+                f"rank {self.rank} woken but {req.label} still pending"
             )  # pragma: no cover - engine invariant
 
     def _park(self, info: str) -> None:
@@ -137,10 +138,7 @@ class RankContext:
             return
         for r in pending:
             r.waiter = self.rank
-        labels = ", ".join(r.describe for r in pending[:4])
-        self.engine.park_current(
-            self._thread, f"waiting on any of [{labels}...]"
-        )
+        self.engine.park_current(self._thread, waitany_info(pending))
         for r in pending:
             if r.waiter == self.rank:
                 r.waiter = None

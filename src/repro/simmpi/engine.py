@@ -1,19 +1,41 @@
-"""Virtual-time execution engine.
+"""Virtual-time execution engines.
 
-Each MPI rank runs as one OS thread executing an arbitrary Python
-``main(ctx)``; the engine holds a baton so that **exactly one** rank thread
-is ever runnable, picking the READY rank with the smallest virtual clock
-(ties broken by rank).  This sequentialised conservative PDES gives:
+The simulator is a sequentialised conservative PDES: exactly one rank
+makes progress at any moment, always the READY rank with the smallest
+``(virtual clock, rank)`` key (see :class:`repro.simmpi.sched.ReadyHeap`).
+That rule gives bit-reproducible runs for a given seed, a deterministic
+canonical message-matching order, and trivially race-free shared
+bookkeeping (queues, section stacks, stats).  Two engines implement it:
 
-* bit-reproducible runs for a given seed, independent of OS scheduling;
-* a deterministic canonical message-matching order;
-* trivially race-free shared bookkeeping (queues, section stacks, stats).
+:class:`ThreadFreeEngine` (the default)
+    Rank bodies are *generator programs* that ``yield`` scheduling
+    commands — pending :class:`~repro.simmpi.request.Request` handles
+    and the gate commands of :mod:`repro.simmpi.sched` — and a single
+    thread drives all of them as a pure discrete-event loop: zero OS
+    threads, zero baton handoffs, zero context switches.  This is what
+    makes dense p=1024+ sweeps practical.
 
-Ranks park (give the baton back) only when a communication dependency
-cannot yet be satisfied — a receive with no matching message, a rendezvous
-send with no posted receive.  Pure compute never blocks: a rank charges
-time to its private clock and keeps running.  If every live rank is parked
-and no pending event can complete, the run is deadlocked and the engine
+:class:`Engine` (the legacy thread-per-rank oracle)
+    Each rank is one OS thread and the engine holds a **baton** so that
+    exactly one rank thread is ever runnable; every blocking point is a
+    pair of ``threading.Event`` waits.  It accepts arbitrary *blocking*
+    Python ``main(ctx)`` callables (no generator protocol needed), which
+    keeps it the graceful-degradation path for workloads that cannot be
+    expressed as generators — and the differential oracle the
+    thread-free engine is tested against: every clock, result byte,
+    section event and counter must match bit-for-bit.
+
+Selection is by :func:`engine_mode` — the ``engine=`` argument to
+:func:`run_mpi`, else ``REPRO_ENGINE``, else thread-free — and degrades
+gracefully: a plain callable ``main`` always runs on the threaded
+engine, and a generator ``main`` runs under either (the threaded engine
+drives it with :func:`~repro.simmpi.sched.drive_blocking`).
+
+Ranks block only when a communication dependency cannot yet be
+satisfied — a receive with no matching message, a rendezvous send with
+no posted receive.  Pure compute never blocks: a rank charges time to
+its private clock and keeps running.  If every live rank is blocked and
+no pending event can complete, the run is deadlocked and the engine
 raises :class:`~repro.errors.SimulationStalledError` (a
 :class:`~repro.errors.DeadlockError`) carrying a structured per-rank
 dump and a partial section profile — the simulated analogue of a hung
@@ -21,10 +43,10 @@ dump and a partial section profile — the simulated analogue of a hung
 
 Two watchdogs guard against stalls the virtual-time deadlock check
 cannot see: a **wall-clock watchdog** (``wall_timeout``) that fires when
-a rank thread holds the baton for too long of *real* time (an infinite
-loop in workload code), and a **virtual-clock progress monitor**
-(``progress_steps``) that fires when scheduling keeps cycling without
-the virtual clock advancing (a zero-cost livelock).  A
+a rank runs for too long of *real* time between scheduling points (an
+infinite loop in workload code), and a **virtual-clock progress
+monitor** (``progress_steps``) that fires when scheduling keeps cycling
+without the virtual clock advancing (a zero-cost livelock).  A
 :class:`~repro.faults.FaultPlan` can additionally be injected to slow,
 delay, degrade, hang or crash ranks deterministically — see
 :mod:`repro.faults`.
@@ -32,10 +54,13 @@ delay, degrade, hang or crash ranks deterministically — see
 
 from __future__ import annotations
 
-import heapq
+import inspect
+import os
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from functools import wraps
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.errors import (
@@ -48,11 +73,21 @@ from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultRuntime
 from repro.machine.catalog import laptop
 from repro.machine.spec import MachineSpec
+from repro.simmpi.api import ENGINE_ENV, ENGINE_THREADFREE, ENGINE_THREADS
 from repro.simmpi.coll_analytic import CollectiveGate, analytic_enabled
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.p2p import MessageFabric
 from repro.simmpi.pmpi import ToolRegistry
 from repro.simmpi.request import Request
+from repro.simmpi.sched import (
+    YIELD,
+    Park,
+    ReadyHeap,
+    WaitAny,
+    drive_blocking,
+    info_text,
+    waitany_info,
+)
 from repro.simmpi.sections_rt import SectionEvent, SectionRuntime
 
 # Rank lifecycle states.
@@ -75,6 +110,49 @@ class _SimAbort(BaseException):
     """
 
 
+class _Hang(BaseException):
+    """Unwinds a thread-free rank's generator on an injected hang fault.
+
+    The threaded engine parks a hung rank's thread forever; a generator
+    rank has no thread to park, so the fault raises this through the
+    rank body instead (after marking the rank ``HUNG`` and muting its
+    section recording — see ``ThreadFreeEngine.hang_current``).
+    Derives from BaseException so workload ``except Exception`` blocks
+    cannot swallow it.
+    """
+
+
+def is_generator_main(fn: Callable) -> bool:
+    """Whether ``fn`` is a generator main (yields scheduling commands).
+
+    Follows bound methods and ``functools.partial`` wrappers, so
+    workload classes can expose generator ``main`` methods.
+    """
+    return inspect.isgeneratorfunction(fn)
+
+
+def engine_mode(value: Optional[str] = None) -> str:
+    """Resolve the engine selection: explicit > ``REPRO_ENGINE`` > default.
+
+    Returns ``"threadfree"`` or ``"threads"``.  Unset or empty means the
+    thread-free engine; anything unrecognised is an error (a typo in an
+    engine name must not silently change the execution substrate).
+    """
+    if value is None:
+        value = os.environ.get(ENGINE_ENV)
+    if value is None:
+        return ENGINE_THREADFREE
+    v = value.strip().lower()
+    if v in ("", ENGINE_THREADFREE, "thread-free"):
+        return ENGINE_THREADFREE
+    if v in (ENGINE_THREADS, "threaded"):
+        return ENGINE_THREADS
+    raise EngineStateError(
+        f"unknown {ENGINE_ENV} value {value!r}: expected "
+        f"{ENGINE_THREADFREE!r} or {ENGINE_THREADS!r}"
+    )
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated MPI run.
@@ -94,17 +172,23 @@ class RunResult:
     network:
         Message/byte counters from the network model.
     sched_steps:
-        Scheduling-loop iterations the engine performed (one per baton
-        decision, including lazy re-queues of stale heap entries).
+        Scheduling-loop iterations the engine performed (one per
+        scheduling decision, including lazy re-queues of stale heap
+        entries).
     baton_handoffs:
-        Times a rank thread was actually handed the baton — each one is
-        a pair of OS ``threading.Event`` waits, the engine's dominant
-        real-time cost.
+        Times a rank OS thread was actually handed the baton — each one
+        is a pair of ``threading.Event`` waits, the threaded engine's
+        dominant real-time cost.  Always 0 under the thread-free
+        engine, which has no baton.
     collectives_gated:
         Collective invocations that crossed the collective gate (see
         :mod:`repro.simmpi.coll_analytic`).
     collectives_fast:
-        Gated invocations the analytic fast path resolved thread-free.
+        Gated invocations the analytic fast path resolved in a batch.
+    engine:
+        Which engine executed the run (``"threadfree"`` or
+        ``"threads"``).  Purely informational: simulated quantities are
+        bit-identical across engines.
     """
 
     n_ranks: int
@@ -119,6 +203,7 @@ class RunResult:
     baton_handoffs: int = 0
     collectives_gated: int = 0
     collectives_fast: int = 0
+    engine: str = ENGINE_THREADS
 
     def rank_result(self, rank: int) -> Any:
         """Return value of ``main`` on ``rank``."""
@@ -126,7 +211,7 @@ class RunResult:
 
 
 class _RankThread(threading.Thread):
-    """One simulated MPI process."""
+    """One simulated MPI process (threaded engine)."""
 
     def __init__(self, engine: "Engine", rank: int, fn: Callable, args, kwargs):
         super().__init__(name=f"simmpi-rank-{rank}", daemon=True)
@@ -139,7 +224,7 @@ class _RankThread(threading.Thread):
         self.go = threading.Event()
         self.result: Any = None
         self.exc: Optional[BaseException] = None
-        self.block_info: str = ""
+        self.block_info = ""  # str, (template, *args) tuple, or callable
         self.ctx = None  # set by the engine before start
 
     def run(self) -> None:  # pragma: no cover - exercised via engine runs
@@ -171,8 +256,60 @@ class _RankThread(threading.Thread):
             self.engine._back.set()
 
 
-class Engine:
-    """Runs ``n_ranks`` rank threads to completion under virtual time.
+class _RankProgram:
+    """One simulated MPI process as a suspended generator (no OS thread).
+
+    Duck-types the scheduling surface of :class:`_RankThread` (``rank``,
+    ``state``, ``block_info``, ``ctx``, ``result``, ``exc``) so the
+    shared engine bookkeeping — ready heap, wake paths, diagnostics —
+    works on either record.
+    """
+
+    __slots__ = ("rank", "state", "result", "exc", "block_info", "ctx",
+                 "gen", "pending", "pending_any")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.state = NEW
+        self.result: Any = None
+        self.exc: Optional[BaseException] = None
+        self.block_info = ""
+        self.ctx = None
+        #: The rank body generator (created in _setup, driven in _segment).
+        self.gen = None
+        #: Pending Request the program last yielded, if blocked on one.
+        self.pending: Optional[Request] = None
+        #: Request list of a pending WaitAny command, if blocked on one.
+        self.pending_any: Optional[Sequence[Request]] = None
+
+
+def _rank_body(engine: "ThreadFreeEngine", prog: _RankProgram,
+               main: Callable, args, kwargs):
+    """Wrap a generator main with the per-rank begin/end protocol.
+
+    A generator function: nothing runs at creation time, so
+    ``rank_begin`` fires on the rank's *first scheduling slot* — the
+    same moment the threaded engine's rank thread runs it.
+    """
+    ctx = prog.ctx
+    engine._sections.rank_begin(ctx)
+    result = yield from main(ctx, *args, **kwargs)
+    engine._sections.rank_end(ctx)
+    return result
+
+
+def _as_blocking(main: Callable) -> Callable:
+    """Adapt a generator main into a blocking callable (threaded engine)."""
+
+    @wraps(main)
+    def blocking(ctx, *args, **kwargs):
+        return drive_blocking(ctx, main(ctx, *args, **kwargs))
+
+    return blocking
+
+
+class _EngineBase:
+    """State and scheduling policy shared by both engines.
 
     Parameters
     ----------
@@ -208,10 +345,14 @@ class Engine:
         (stragglers, noise bursts, degraded links, hangs, crashes).
     wall_timeout:
         Wall-clock watchdog: abort with
-        :class:`~repro.errors.SimulationStalledError` if a rank thread
-        keeps the baton longer than this many *real* seconds (None
-        disables).  Catches runaway workload code the virtual-time
-        deadlock check cannot see.
+        :class:`~repro.errors.SimulationStalledError` if a rank runs
+        longer than this many *real* seconds between scheduling points
+        (None disables).  Catches runaway workload code the virtual-time
+        deadlock check cannot see.  The threaded engine can interrupt a
+        stuck rank mid-segment; the thread-free engine detects the
+        overrun at the next scheduling point, so a segment that never
+        returns (an unconditional infinite loop with no simulated
+        communication) is only caught under ``REPRO_ENGINE=threads``.
     progress_steps:
         Virtual-clock progress monitor: abort after this many
         consecutive scheduling steps without the scheduled virtual clock
@@ -222,9 +363,11 @@ class Engine:
         the ``REPRO_COLL_ANALYTIC`` environment variable, which is on
         unless set to ``0``; ``True``/``False`` force it for this
         engine.  Either way simulated results are bit-identical — the
-        switch only changes how many OS thread handoffs a collective
-        costs in *real* time.
+        switch only changes how much *real* time a collective costs.
     """
+
+    #: RunResult.engine value; overridden per engine.
+    engine_name = ENGINE_THREADS
 
     def __init__(
         self,
@@ -283,36 +426,37 @@ class Engine:
         self.fabric = MessageFabric(self, self.network)
         self.tools = ToolRegistry(tools)
         self._sections = SectionRuntime(self, validate=validate_sections)
-        self._threads: List[_RankThread] = []
+        #: Per-rank scheduling records (_RankThread or _RankProgram).
+        self._ranks: List[Any] = []
         self._back = threading.Event()
         self._aborting = False
         self._started = False
         # Scheduler fast path: a min-heap of (clock, rank) entries for
         # READY ranks plus incremental completion bookkeeping, so each
         # scheduling step costs O(log ranks) instead of rescanning every
-        # thread.  Entries may go stale (a rank re-blocks or finishes
+        # rank.  Entries may go stale (a rank re-blocks or finishes
         # while an old entry is still queued); staleness is resolved
-        # lazily at pop time.  No locking is needed: exactly one rank
-        # thread or the engine thread mutates this state at any moment
-        # (the baton guarantees mutual exclusion).
-        self._ready: List[Tuple[float, int]] = []
+        # lazily at pop time (see ReadyHeap).  No locking is needed:
+        # exactly one rank or the engine loop mutates this state at any
+        # moment.
+        self._ready = ReadyHeap()
         self._done_count = 0
-        self._failed: List[_RankThread] = []
+        self._failed: List[Any] = []
         # Handoff-slimming counters, surfaced via RunResult and the
         # engine.run obs span for perf debugging.
         self.sched_steps = 0
         self.baton_handoffs = 0
-        # Join timeout used by _abort; shortened when the wall-clock
-        # watchdog fires (the stuck thread will not join anyway).
+        # Join timeout used by the threaded _abort; shortened when the
+        # wall-clock watchdog fires (the stuck thread won't join anyway).
         self._join_timeout = 5.0
         # Virtual-clock progress monitor state.
         self._progress_clock = -1.0
         self._stalled_steps = 0
-        # Ambient trace shared with the rank threads (set in run()).
+        # Ambient trace shared with rank execution (set in run()).
         self._tracer = None
         self._trace_base: Optional[str] = None
 
-    # -- scheduling -------------------------------------------------------------
+    # -- run skeleton (shared) ---------------------------------------------------
 
     def run(self, main: Callable, args: tuple = (), kwargs: Optional[dict] = None) -> RunResult:
         """Execute ``main(ctx, *args, **kwargs)`` on every rank.
@@ -321,10 +465,6 @@ class Engine:
         (first failing rank's exception chained) or
         :class:`DeadlockError`.
         """
-        # Imported here to avoid a module cycle (context imports comm,
-        # comm uses collectives, collectives use the context).
-        from repro.simmpi.context import RankContext
-
         if self._started:
             raise EngineStateError("an Engine instance runs at most once")
         self._started = True
@@ -337,15 +477,7 @@ class Engine:
                 self._trace_base = run_span.span_id
 
             with obs.span("engine.setup", layer="engine"):
-                self._threads = [
-                    _RankThread(self, r, main, args, kwargs)
-                    for r in range(self.n_ranks)
-                ]
-                for t in self._threads:
-                    t.ctx = RankContext(self, t)
-                    t.state = READY
-                    heapq.heappush(self._ready, (t.ctx.now, t.rank))
-                    t.start()
+                self._setup(main, args, kwargs)
 
             try:
                 with obs.span("engine.schedule", layer="engine"):
@@ -357,7 +489,7 @@ class Engine:
             with obs.span("engine.finalize", layer="engine"):
                 self.fabric.assert_drained()
                 self._sections.finalize()
-            clocks = [t.ctx.now for t in self._threads]
+            clocks = [t.ctx.now for t in self._ranks]
             walltime = max(clocks)
             run_span.set(
                 walltime=walltime,
@@ -370,7 +502,7 @@ class Engine:
                 n_ranks=self.n_ranks,
                 machine=self.machine.name,
                 seed=self.seed,
-                results=[t.result for t in self._threads],
+                results=[t.result for t in self._ranks],
                 clocks=clocks,
                 walltime=walltime,
                 section_events=self._sections.events,
@@ -379,19 +511,168 @@ class Engine:
                 baton_handoffs=self.baton_handoffs,
                 collectives_gated=self.coll_gate.gated,
                 collectives_fast=self.coll_gate.fast,
+                engine=self.engine_name,
             )
+
+    def _setup(self, main: Callable, args: tuple, kwargs: dict) -> None:
+        raise NotImplementedError
+
+    def _loop(self) -> None:
+        raise NotImplementedError
+
+    def _abort(self) -> None:
+        raise NotImplementedError
+
+    # -- diagnostics (shared) ----------------------------------------------------
+
+    def _frame_info(self, record) -> str:
+        """Where the rank's program is suspended (thread-free only)."""
+        return ""
+
+    def _rank_diagnostics(self) -> List[RankDiagnostic]:
+        """Structured per-rank state dumps (for stall reports)."""
+        world_cid = self._ranks[0].ctx.comm.cid
+        out = []
+        for t in self._ranks:
+            stack = self._sections._stacks.get((world_cid, t.rank), [])
+            out.append(RankDiagnostic(
+                rank=t.rank,
+                state=t.state,
+                clock=t.ctx.now,
+                waiting_on=info_text(t.block_info),
+                sections=tuple(f.label for f in stack),
+                frame=self._frame_info(t),
+            ))
+        return out
+
+    def _partial_profile(self):
+        """Section profile of the run so far, open sections closed now.
+
+        Every open frame gets a synthetic exit at its rank's current
+        clock (innermost first, keeping streams balanced), so the
+        metrics of an aborted run stay analyzable up to the stall.
+        """
+        from repro.core.profile import SectionProfile
+
+        events = list(self._sections.events)
+        for (cid, rank), stack in self._sections._stacks.items():
+            t = self._ranks[rank].ctx.now
+            for depth in range(len(stack), 0, -1):
+                path = tuple(f.label for f in stack[:depth])
+                events.append(SectionEvent(
+                    rank, cid, stack[depth - 1].label, "exit", t, path
+                ))
+        clocks = [t.ctx.now for t in self._ranks]
+        return SectionProfile.from_events(
+            events, self.n_ranks, max(clocks), seed=self.seed, partial=True,
+        )
+
+    def _raise_stalled(self, reason: str, headline: str) -> None:
+        """Abort the run with a full diagnostic dump attached."""
+        diagnostics = self._rank_diagnostics()
+        obs.event(
+            "engine.stall", layer="engine", reason=reason,
+            blocked=sum(1 for d in diagnostics if d.state == BLOCKED),
+            hung=sum(1 for d in diagnostics if d.state == HUNG),
+        )
+        lines = [headline]
+        for d in diagnostics:
+            lines.append(
+                f"  rank {d.rank}: state={d.state} t={d.clock:.6g}"
+                + (f" sections={'/'.join(d.sections)}" if d.sections else "")
+                + (f" {d.waiting_on}" if d.waiting_on else "")
+                + (f" [{d.frame}]" if d.frame else "")
+            )
+        lines.extend(self.fabric.pending_summary())
+        try:
+            partial = self._partial_profile()
+        except Exception:  # diagnostics must never mask the stall itself
+            partial = None
+        raise SimulationStalledError(
+            "\n".join(lines),
+            reason=reason,
+            diagnostics=diagnostics,
+            partial_profile=partial,
+        )
+
+    # -- wake paths (shared) -----------------------------------------------------
+
+    def fault_poll(self, ctx) -> None:
+        """Deliver any due hang/crash fault for ``ctx``'s rank.
+
+        Fault points call this: compute charges and communication posts.
+        A no-op without an active fault plan.
+        """
+        if self._faults is not None:
+            self._faults.poll(ctx)
+
+    def wake_if_waiting(self, req: Request) -> None:
+        """Mark the rank blocked on ``req`` (if any) runnable again.
+
+        A rank blocked on *several* requests (waitany) is woken by the
+        first completion; sibling requests completing later may find the
+        rank already READY — their stale waiter mark is simply cleared.
+        """
+        if req.waiter is None:
+            return
+        t = self._ranks[req.waiter]
+        req.waiter = None
+        if t.state == BLOCKED:
+            t.state = READY
+            self._ready.push((t.ctx.now, t.rank))
+
+    def make_ready(self, rank: int) -> None:
+        """Mark a blocked rank runnable again (collective-gate release).
+
+        Unlike :meth:`wake_if_waiting` this wakes by rank, not by
+        request: gate parks have no request to complete.
+        """
+        t = self._ranks[rank]
+        t.state = READY
+        self._ready.push((t.ctx.now, t.rank))
+
+
+class Engine(_EngineBase):
+    """Thread-per-rank baton engine (the differential oracle).
+
+    Runs ``n_ranks`` rank threads to completion under virtual time;
+    accepts both blocking callables and generator mains (the latter are
+    driven with :func:`~repro.simmpi.sched.drive_blocking`).  See
+    :class:`_EngineBase` for the constructor parameters and
+    :class:`ThreadFreeEngine` for the default, thread-free execution
+    substrate.
+    """
+
+    engine_name = ENGINE_THREADS
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _setup(self, main: Callable, args: tuple, kwargs: dict) -> None:
+        # Imported here to avoid a module cycle (context imports comm,
+        # comm uses collectives, collectives use the context).
+        from repro.simmpi.context import RankContext
+
+        fn = _as_blocking(main) if is_generator_main(main) else main
+        self._ranks = [
+            _RankThread(self, r, fn, args, kwargs)
+            for r in range(self.n_ranks)
+        ]
+        for t in self._ranks:
+            t.ctx = RankContext(self, t)
+            t.state = READY
+            self._ready.push((t.ctx.now, t.rank))
+            t.start()
 
     def _loop(self) -> None:
         # Hot loop: one iteration per scheduling step.  The ready heap
-        # yields the READY rank with the smallest (clock, rank) — the
-        # same order the old linear `min()` scan produced — while DONE /
-        # FAILED detection rides on counters updated at the transitions
-        # themselves, so nothing here is O(ranks).  Every per-iteration
-        # invariant is hoisted into a local; mutable state that other
-        # threads append to (the failed list) keeps its identity, so
-        # reading it through a local stays correct.
-        heap = self._ready
-        threads = self._threads
+        # yields the READY rank with the smallest (clock, rank) — see
+        # ReadyHeap — while DONE / FAILED detection rides on counters
+        # updated at the transitions themselves, so nothing here is
+        # O(ranks).  Every per-iteration invariant is hoisted into a
+        # local; mutable state that other threads append to (the failed
+        # list) keeps its identity, so reading it through a local stays
+        # correct.
+        ranks = self._ranks
         failed = self._failed
         n_ranks = self.n_ranks
         wall_timeout = self.wall_timeout
@@ -399,8 +680,9 @@ class Engine:
         progress_steps = self.progress_steps
         back_wait = self._back.wait
         back_clear = self._back.clear
-        heappop = heapq.heappop
-        heappush = heapq.heappush
+        pop_ready = self._ready.pop_ready
+        is_ready = lambda r: ranks[r].state == READY  # noqa: E731 - hot closure
+        clock_of = lambda r: ranks[r].ctx._clock  # noqa: E731 - hot closure
         steps = 0
         handoffs = 0
         try:
@@ -409,27 +691,15 @@ class Engine:
                 if failed:
                     t = failed[0]
                     raise RankFailedError(t.rank, t.exc) from t.exc
-                nxt = None
-                while heap:
-                    clock, rank = heappop(heap)
-                    t = threads[rank]
-                    if t.state != READY:
-                        continue  # stale entry from an earlier READY period
-                    if t.ctx.now != clock:
-                        # Clock moved since the entry was queued (clocks are
-                        # monotonic, so the entry was a lower bound): requeue
-                        # at the real clock and keep looking.
-                        heappush(heap, (t.ctx.now, rank))
-                        continue
-                    nxt = t
-                    break
-                if nxt is None:
+                entry = pop_ready(is_ready, clock_of)
+                if entry is None:
                     if self._done_count == n_ranks:
                         return
                     self._raise_stalled(
                         "deadlock",
                         "simulated MPI deadlock — every rank is blocked:",
                     )
+                nxt = ranks[entry[1]]
                 if (
                     max_virtual_time is not None
                     and nxt.ctx.now > max_virtual_time
@@ -473,82 +743,18 @@ class Engine:
             self.sched_steps += steps
             self.baton_handoffs += handoffs
 
-    def _rank_diagnostics(self) -> List[RankDiagnostic]:
-        """Structured per-rank state dumps (for stall reports)."""
-        world_cid = self._threads[0].ctx.comm.cid
-        out = []
-        for t in self._threads:
-            stack = self._sections._stacks.get((world_cid, t.rank), [])
-            out.append(RankDiagnostic(
-                rank=t.rank,
-                state=t.state,
-                clock=t.ctx.now,
-                waiting_on=t.block_info,
-                sections=tuple(f.label for f in stack),
-            ))
-        return out
-
-    def _partial_profile(self):
-        """Section profile of the run so far, open sections closed now.
-
-        Every open frame gets a synthetic exit at its rank's current
-        clock (innermost first, keeping streams balanced), so the
-        metrics of an aborted run stay analyzable up to the stall.
-        """
-        from repro.core.profile import SectionProfile
-
-        events = list(self._sections.events)
-        for (cid, rank), stack in self._sections._stacks.items():
-            t = self._threads[rank].ctx.now
-            for depth in range(len(stack), 0, -1):
-                path = tuple(f.label for f in stack[:depth])
-                events.append(SectionEvent(
-                    rank, cid, stack[depth - 1].label, "exit", t, path
-                ))
-        clocks = [t.ctx.now for t in self._threads]
-        return SectionProfile.from_events(
-            events, self.n_ranks, max(clocks), seed=self.seed, partial=True,
-        )
-
-    def _raise_stalled(self, reason: str, headline: str) -> None:
-        """Abort the run with a full diagnostic dump attached."""
-        diagnostics = self._rank_diagnostics()
-        obs.event(
-            "engine.stall", layer="engine", reason=reason,
-            blocked=sum(1 for d in diagnostics if d.state == BLOCKED),
-            hung=sum(1 for d in diagnostics if d.state == HUNG),
-        )
-        lines = [headline]
-        for d in diagnostics:
-            lines.append(
-                f"  rank {d.rank}: state={d.state} t={d.clock:.6g}"
-                + (f" sections={'/'.join(d.sections)}" if d.sections else "")
-                + (f" {d.waiting_on}" if d.waiting_on else "")
-            )
-        lines.extend(self.fabric.pending_summary())
-        try:
-            partial = self._partial_profile()
-        except Exception:  # diagnostics must never mask the stall itself
-            partial = None
-        raise SimulationStalledError(
-            "\n".join(lines),
-            reason=reason,
-            diagnostics=diagnostics,
-            partial_profile=partial,
-        )
-
     def _abort(self) -> None:
         """Unwind every live rank thread after a fatal error."""
         self._aborting = True
-        for t in self._threads:
+        for t in self._ranks:
             if t.state in (READY, BLOCKED, HUNG, RUNNING, NEW):
                 t.go.set()
-        for t in self._threads:
+        for t in self._ranks:
             t.join(timeout=self._join_timeout)
 
     # -- rank-side primitives (called from rank threads) -------------------------
 
-    def park_current(self, thread: _RankThread, info: str) -> None:
+    def park_current(self, thread: _RankThread, info) -> None:
         """Give the baton back and sleep until rescheduled.
 
         Called from the rank's own thread.  On wake, raises
@@ -578,41 +784,6 @@ class Engine:
         # The only wake-up a hung rank ever receives is the teardown.
         raise _SimAbort()
 
-    def fault_poll(self, ctx) -> None:
-        """Deliver any due hang/crash fault for ``ctx``'s rank.
-
-        Fault points call this: compute charges and communication posts.
-        A no-op without an active fault plan.
-        """
-        if self._faults is not None:
-            self._faults.poll(ctx)
-
-    def wake_if_waiting(self, req: Request) -> None:
-        """Mark the rank parked on ``req`` (if any) runnable again.
-
-        A rank parked on *several* requests (waitany) is woken by the
-        first completion; sibling requests completing later may find the
-        rank already READY — their stale waiter mark is simply cleared.
-        """
-        if req.waiter is None:
-            return
-        t = self._threads[req.waiter]
-        req.waiter = None
-        if t.state == BLOCKED:
-            t.state = READY
-            heapq.heappush(self._ready, (t.ctx.now, t.rank))
-
-    def make_ready(self, rank: int) -> None:
-        """Mark a parked rank runnable again (collective-gate release).
-
-        Unlike :meth:`wake_if_waiting` this wakes by rank, not by
-        request: gate parks have no request to complete.  Called under
-        the baton by the rank releasing the gate.
-        """
-        t = self._threads[rank]
-        t.state = READY
-        heapq.heappush(self._ready, (t.ctx.now, t.rank))
-
     def yield_current(self, thread: _RankThread) -> None:
         """Re-enter the scheduler without blocking on anything.
 
@@ -623,7 +794,7 @@ class Engine:
         just woke instead of keeping the baton.
         """
         thread.state = READY
-        heapq.heappush(self._ready, (thread.ctx.now, thread.rank))
+        self._ready.push((thread.ctx.now, thread.rank))
         self._back.set()
         thread.go.wait()
         thread.go.clear()
@@ -632,7 +803,286 @@ class Engine:
 
     def thread_of(self, rank: int) -> _RankThread:
         """The rank thread object for ``rank``."""
-        return self._threads[rank]
+        return self._ranks[rank]
+
+
+class ThreadFreeEngine(_EngineBase):
+    """Single-thread generator-driven discrete-event engine (the default).
+
+    Every rank is a suspended generator; the event loop resumes the
+    READY rank with the smallest ``(clock, rank)`` key and runs its
+    *segment* — generator code up to the next blocking yield — inline.
+    A segment yields scheduling commands (pending
+    :class:`~repro.simmpi.request.Request` handles, the gate commands of
+    :mod:`repro.simmpi.sched`), and the loop performs exactly the wait
+    bookkeeping the threaded engine's parking primitives perform, so
+    clocks, results, section events and traces are bit-identical to
+    :class:`Engine` — with zero OS threads, zero baton handoffs and zero
+    context switches (``baton_handoffs`` is always 0 here).
+
+    Requires a generator ``main``; plain blocking callables must run on
+    the threaded engine (:func:`run_mpi` falls back automatically).
+    """
+
+    engine_name = ENGINE_THREADFREE
+
+    def _setup(self, main: Callable, args: tuple, kwargs: dict) -> None:
+        from repro.simmpi.context import RankContext
+
+        if not is_generator_main(main):
+            raise EngineStateError(
+                "ThreadFreeEngine requires a generator main (a function "
+                "that uses 'yield from' for blocking calls); plain "
+                "blocking callables run on the threaded engine — use "
+                "run_mpi(), which falls back automatically, or set "
+                f"{ENGINE_ENV}={ENGINE_THREADS}"
+            )
+        self._ranks = [_RankProgram(r) for r in range(self.n_ranks)]
+        for p in self._ranks:
+            p.ctx = RankContext(self, p)
+            p.gen = _rank_body(self, p, main, args, kwargs)
+            p.state = READY
+            self._ready.push((p.ctx.now, p.rank))
+
+    def _loop(self) -> None:
+        ranks = self._ranks
+        failed = self._failed
+        n_ranks = self.n_ranks
+        wall_timeout = self.wall_timeout
+        max_virtual_time = self.max_virtual_time
+        progress_steps = self.progress_steps
+        pop_ready = self._ready.pop_ready
+        segment = self._segment
+        perf = time.perf_counter
+        is_ready = lambda r: ranks[r].state == READY  # noqa: E731 - hot closure
+        clock_of = lambda r: ranks[r].ctx._clock  # noqa: E731 - hot closure
+        steps = 0
+        try:
+            while True:
+                steps += 1
+                if failed:
+                    p = failed[0]
+                    raise RankFailedError(p.rank, p.exc) from p.exc
+                entry = pop_ready(is_ready, clock_of)
+                if entry is None:
+                    if self._done_count == n_ranks:
+                        return
+                    self._raise_stalled(
+                        "deadlock",
+                        "simulated MPI deadlock — every rank is blocked:",
+                    )
+                nxt = ranks[entry[1]]
+                if (
+                    max_virtual_time is not None
+                    and nxt.ctx.now > max_virtual_time
+                ):
+                    raise EngineStateError(
+                        f"virtual time {nxt.ctx.now:.6g}s exceeded the "
+                        f"max_virtual_time guard ({max_virtual_time:.6g}s) "
+                        f"on rank {nxt.rank}"
+                    )
+                if progress_steps is not None:
+                    if nxt.ctx.now > self._progress_clock:
+                        self._progress_clock = nxt.ctx.now
+                        self._stalled_steps = 0
+                    else:
+                        self._stalled_steps += 1
+                        if self._stalled_steps > progress_steps:
+                            self._raise_stalled(
+                                "no-progress",
+                                f"virtual clock stuck at t={self._progress_clock:.6g}s "
+                                f"for {self._stalled_steps} scheduling steps:",
+                            )
+                nxt.state = RUNNING
+                if wall_timeout is None:
+                    segment(nxt)
+                else:
+                    # The loop cannot interrupt a segment from the same
+                    # thread; the overrun is detected at the segment
+                    # boundary (see the wall_timeout docs).
+                    t0 = perf()
+                    segment(nxt)
+                    if perf() - t0 > wall_timeout:
+                        self._raise_stalled(
+                            "watchdog-timeout",
+                            f"wall-clock watchdog expired: rank {nxt.rank} ran "
+                            f"for more than {wall_timeout:.6g} real seconds "
+                            "between scheduling points:",
+                        )
+        finally:
+            self.sched_steps += steps
+
+    def _segment(self, p: _RankProgram) -> None:
+        """Resume one rank's generator until its next blocking yield.
+
+        Performs, inline, exactly what the threaded engine's primitives
+        perform for the corresponding command: ``Request.wait``'s
+        bookkeeping for yielded requests, gate parks for ``Park``,
+        requeue-at-clock for ``YIELD``, waiter marks for ``WaitAny``.
+        """
+        ctx = p.ctx
+        tracer = self._tracer
+        if tracer is not None:
+            # Rank code runs on the loop's thread: re-root ambient span
+            # parentage under engine.run for the duration of the segment
+            # (the threaded engine achieves this via per-thread install).
+            scope = obs.swap_scope(self._trace_base)
+        try:
+            req = p.pending
+            if req is not None:
+                # Finish the wait the program blocked on.
+                p.pending = None
+                p.block_info = ""
+                req._waited = True
+                ct = req.completion_time
+                if ct > ctx._clock:
+                    ctx._clock = ct
+                val = req.data
+            else:
+                anyreqs = p.pending_any
+                if anyreqs is not None:
+                    p.pending_any = None
+                    p.block_info = ""
+                    rank = p.rank
+                    woke = False
+                    for r in anyreqs:
+                        if r.waiter == rank:
+                            r.waiter = None
+                        if r.done:
+                            woke = True
+                    if not woke:
+                        raise EngineStateError(
+                            f"rank {rank} woken from waitany with nothing done"
+                        )  # pragma: no cover - engine invariant
+                else:
+                    p.block_info = ""
+                val = None
+            gen_send = p.gen.send
+            push = self._ready.push
+            while True:
+                try:
+                    cmd = gen_send(val)
+                except StopIteration as stop:
+                    p.state = DONE
+                    p.result = stop.value
+                    self._done_count += 1
+                    return
+                except _Hang:
+                    # hang_current already marked the rank HUNG and muted
+                    # its section recording; the generator has unwound.
+                    return
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    p.exc = exc
+                    p.state = FAILED
+                    failed = self._failed
+                    failed.append(p)
+                    return
+                if isinstance(cmd, Request):
+                    if cmd.done:
+                        # Wait on an already-complete request: no block.
+                        cmd._waited = True
+                        ct = cmd.completion_time
+                        if ct > ctx._clock:
+                            ctx._clock = ct
+                        val = cmd.data
+                        continue
+                    cmd.waiter = p.rank
+                    p.pending = cmd
+                    p.state = BLOCKED
+                    p.block_info = ("waiting on {}", cmd)
+                    return
+                if cmd is YIELD:
+                    p.state = READY
+                    push((ctx._clock, p.rank))
+                    return
+                tcmd = type(cmd)
+                if tcmd is Park:
+                    p.state = BLOCKED
+                    p.block_info = cmd.info
+                    return
+                if tcmd is WaitAny:
+                    requests = cmd.requests
+                    pending = [r for r in requests if not r.done]
+                    if not pending:
+                        val = None
+                        continue
+                    rank = p.rank
+                    for r in pending:
+                        r.waiter = rank
+                    p.pending_any = requests
+                    p.state = BLOCKED
+                    p.block_info = waitany_info(pending)
+                    return
+                raise EngineStateError(
+                    f"rank {p.rank} yielded unsupported value {cmd!r} — "
+                    "generator mains may yield Requests, Park, YIELD or "
+                    "WaitAny (use the g_* API for blocking operations)"
+                )
+        finally:
+            if tracer is not None:
+                obs.restore_scope(scope)
+
+    def _abort(self) -> None:
+        """Close every live rank generator after a fatal error."""
+        self._aborting = True
+        for p in self._ranks:
+            gen = p.gen
+            if gen is not None:
+                try:
+                    gen.close()
+                except BaseException:  # noqa: BLE001 - teardown best effort
+                    pass
+            if p.state in (READY, BLOCKED, HUNG, RUNNING, NEW):
+                p.state = ABORTED
+
+    # -- rank-side primitives ----------------------------------------------------
+
+    def park_current(self, prog: _RankProgram, info) -> None:
+        """Blocking primitives cannot run under the thread-free engine."""
+        raise EngineStateError(
+            f"rank {prog.rank} hit a blocking call ({info}) outside the "
+            "generator protocol — thread-free mains must route blocking "
+            "operations through the g_* API (yield from), or run under "
+            f"{ENGINE_ENV}={ENGINE_THREADS}"
+        )
+
+    def yield_current(self, prog: _RankProgram) -> None:
+        """Blocking primitives cannot run under the thread-free engine."""
+        self.park_current(prog, "yield")
+
+    def hang_current(self, prog: _RankProgram) -> None:
+        """Deliver an injected hang: mark HUNG and unwind the generator.
+
+        The rank's section recording is muted first so the unwind's
+        ``with section`` exits leave no trace — matching the threaded
+        oracle, whose hung thread parks with its sections still open.
+        The open-frame stacks stay intact for stall diagnostics and
+        partial profiles.
+        """
+        prog.state = HUNG
+        prog.block_info = f"hung by injected fault at t={prog.ctx.now:.6g}"
+        self._sections.mute_rank(prog.rank)
+        raise _Hang()
+
+    def _frame_info(self, record) -> str:
+        """Innermost suspension point of the rank's generator chain.
+
+        Walks ``gi_yieldfrom`` to the deepest suspended frame — the
+        thread-free analogue of the stuck thread's stack tip — so stall
+        reports point into workload code (``file:line in name``).
+        """
+        gen = record.gen
+        frame = None
+        while gen is not None:
+            f = getattr(gen, "gi_frame", None)
+            if f is None:
+                break
+            frame = f
+            gen = getattr(gen, "gi_yieldfrom", None)
+        if frame is None:
+            return ""
+        code = frame.f_code
+        return f"{os.path.basename(code.co_filename)}:{frame.f_lineno} in {code.co_name}"
 
 
 def run_mpi(
@@ -651,13 +1101,21 @@ def run_mpi(
     wall_timeout: Optional[float] = None,
     progress_steps: Optional[int] = None,
     coll_analytic: Optional[bool] = None,
+    engine: Optional[str] = None,
     args: tuple = (),
     kwargs: Optional[dict] = None,
 ) -> RunResult:
-    """One-shot convenience: build an :class:`Engine` and run ``main``.
+    """One-shot convenience: build an engine and run ``main``.
 
     This is the moral equivalent of ``mpiexec -n <n_ranks> python main.py``
     on the simulated machine.
+
+    ``engine`` selects the execution substrate (see :func:`engine_mode`):
+    ``"threadfree"`` (default) or ``"threads"``; unset follows
+    ``REPRO_ENGINE``.  The thread-free engine needs a generator ``main``
+    — a plain blocking callable degrades gracefully to the threaded
+    engine, and a generator ``main`` runs under either.  Simulated
+    results are bit-identical across engines.
 
     With ``REPRO_TRACE`` set and no trace already active, this call is
     an outermost entry point: it mints the trace and emits the
@@ -665,7 +1123,13 @@ def run_mpi(
     """
     with obs.env_trace("run_mpi", layer="engine",
                        attrs={"ranks": n_ranks, "seed": seed}):
-        eng = Engine(
+        mode = engine_mode(engine)
+        cls = (
+            ThreadFreeEngine
+            if mode == ENGINE_THREADFREE and is_generator_main(main)
+            else Engine
+        )
+        eng = cls(
             n_ranks,
             machine=machine,
             ranks_per_node=ranks_per_node,

@@ -16,8 +16,12 @@ semantics:
   until the receiver has posted, which is how real MPI back-pressure
   shows up as "late receiver" time in the paper's sections.
 
-All queue manipulation happens inside rank threads, which the engine runs
-one at a time — no locking is needed beyond the engine's baton.
+All queue manipulation happens inside rank bodies, which every engine
+executes one at a time — under the thread-free engine literally on one
+thread, under the threaded oracle serialised by its baton — so no
+locking is needed anywhere in the fabric.  Completion wakes blocked
+ranks through ``engine.wake_if_waiting``, which is engine-neutral: it
+flips the waiter's scheduling record to READY on either substrate.
 """
 
 from __future__ import annotations

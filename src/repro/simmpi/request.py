@@ -57,7 +57,7 @@ class Request:
         "describe",
     )
 
-    def __init__(self, ctx, kind: str, describe: str = ""):
+    def __init__(self, ctx, kind: str, describe="") -> None:
         self.kind = kind
         self.done = False
         self.completion_time = 0.0
@@ -67,8 +67,18 @@ class Request:
         self._waited = False
         #: Rank currently parked in wait() on this request, if any.
         self.waiter: Optional[int] = None
-        #: Human-readable description used in deadlock dumps.
+        #: Description used in deadlock dumps: a plain string, or a
+        #: ``(template, *args)`` tuple formatted lazily by :attr:`label`
+        #: (hot constructors avoid paying for a string nobody reads).
         self.describe = describe
+
+    @property
+    def label(self) -> str:
+        """Human-readable description (formats lazy ``describe`` forms)."""
+        d = self.describe
+        if type(d) is tuple:
+            return d[0].format(*d[1:])
+        return d
 
     # -- completion (called by the fabric) ------------------------------------
 
@@ -83,7 +93,7 @@ class Request:
     ) -> None:
         """Mark the request complete at virtual ``time``."""
         if self.done:
-            raise RequestError(f"request {self.describe} completed twice")
+            raise RequestError(f"request {self.label} completed twice")
         self.done = True
         self.completion_time = time
         self.status.source = source
@@ -105,7 +115,7 @@ class Request:
         twice on the same request is an error, as in MPI.
         """
         if self._waited:
-            raise RequestError(f"request {self.describe} waited twice")
+            raise RequestError(f"request {self.label} waited twice")
         if not self.done:
             self._ctx._block_on_request(self)
         self._waited = True

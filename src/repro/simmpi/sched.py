@@ -1,0 +1,264 @@
+"""Shared discrete-event scheduling core and the generator wait protocol.
+
+Every scheduler in the simulator — ``Engine._loop`` driving rank
+threads, ``ThreadFreeEngine._loop`` driving rank generators, and the
+collective fast path's ``_Replay`` — picks the runnable entity with the
+smallest ``(virtual clock, rank)`` key, with two twists:
+
+* entries may go **stale** (the entity re-blocked or finished while an
+  old entry was still queued) — resolved lazily at pop time;
+* a queued clock is only a **lower bound** (clocks are monotonic) — an
+  entry whose entity has since advanced is requeued at the real clock.
+
+:class:`ReadyHeap` implements exactly that rule once, so the analytic
+collective fast path is a special case of the engine scheduler rather
+than a parallel implementation.
+
+The second half of this module is the *generator wait protocol*: rank
+bodies and collective programs are written as generators that ``yield``
+scheduling commands instead of calling blocking primitives, which lets
+one OS thread drive every rank.  A driver resumes the generator and
+interprets what it yields:
+
+``Request``
+    Wait for the request: block iff still pending, then apply
+    ``Request.wait``'s bookkeeping — the waited mark, the clock advance
+    to the completion stamp — and send the payload back in.
+``Park(info)``
+    Block with a diagnostic label until an explicit ``make_ready`` (the
+    collective gate's entry/exit rendezvous).
+``YIELD``
+    Re-enter the scheduler at the current clock without blocking.
+``WaitAny(requests)``
+    Block until any of the requests completes (waitany/waitsome).
+
+Two drivers exist: :func:`drive_blocking` maps each command onto the
+threaded engine's parking primitives (so the same generator source runs
+unchanged under thread-per-rank), and ``ThreadFreeEngine._segment``
+interprets the commands inline in its event loop.  ``g_wait`` /
+``g_waitall`` / ``g_waitany`` / ``g_waitsome`` are the generator twins
+of the :mod:`repro.simmpi.request` wait calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineStateError, RequestError
+from repro.simmpi.request import Request, Status
+
+
+class ReadyHeap:
+    """Min-``(clock, ..., key)`` heap with lazy stale-entry resolution.
+
+    Entries are tuples whose first element is the virtual clock and
+    whose last element is the scheduling key (a rank index).  The pop
+    rule is shared by every scheduler in the simulator; see the module
+    docstring.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, entries=()):
+        self._heap: List[Tuple] = list(entries)
+        if self._heap:
+            heapq.heapify(self._heap)
+
+    def push(self, entry: Tuple) -> None:
+        """Queue ``entry`` (``(clock, ..., key)``) for scheduling."""
+        heapq.heappush(self._heap, entry)
+
+    def pop_ready(
+        self,
+        is_ready: Callable[[Any], bool],
+        clock_of: Callable[[Any], float],
+    ) -> Optional[Tuple]:
+        """Pop the earliest entry whose key is still runnable.
+
+        Entries whose key is no longer READY are dropped; entries whose
+        clock moved since queueing are requeued at the real clock (the
+        queued clock was a lower bound).  Returns None when no runnable
+        entry remains.
+        """
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
+        while heap:
+            entry = heappop(heap)
+            key = entry[-1]
+            if not is_ready(key):
+                continue  # stale entry from an earlier READY period
+            clock = clock_of(key)
+            if clock != entry[0]:
+                heappush(heap, (clock,) + entry[1:])
+                continue
+            return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# -- scheduling commands ---------------------------------------------------------
+
+
+class Park:
+    """Yielded command: block with a diagnostic label until made READY.
+
+    ``info`` may be a plain string or any lazy form accepted by
+    :func:`info_text` (hot gates pass ``(template, *args)`` tuples so
+    nothing is formatted unless a stall report needs the text).
+    """
+
+    __slots__ = ("info",)
+
+    def __init__(self, info):
+        self.info = info
+
+
+class YieldBaton:
+    """Yielded command: rejoin the ready queue at the current clock."""
+
+    __slots__ = ()
+
+
+#: The singleton ``YieldBaton`` command (it carries no state).
+YIELD = YieldBaton()
+
+
+class WaitAny:
+    """Yielded command: block until any of ``requests`` completes."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self, requests: Sequence[Request]):
+        self.requests = requests
+
+
+# -- diagnostic labels -----------------------------------------------------------
+
+
+def info_text(info) -> str:
+    """Render a block/park label that may be stored lazily.
+
+    Hot paths store labels as ``(template, *args)`` tuples (args that
+    are Requests contribute their :attr:`Request.label`) or zero-argument
+    callables, and only a stall report pays for the formatting.  Plain
+    strings pass through unchanged.
+    """
+    if type(info) is str:
+        return info
+    if type(info) is tuple:
+        return info[0].format(
+            *(a.label if isinstance(a, Request) else a for a in info[1:])
+        )
+    return info()
+
+
+def waitany_info(pending: Sequence[Request]) -> Callable[[], str]:
+    """Lazy block label for a waitany park (first four request labels)."""
+    return lambda: "waiting on any of [{}...]".format(
+        ", ".join(r.label for r in pending[:4])
+    )
+
+
+# -- drivers ---------------------------------------------------------------------
+
+
+def drive_blocking(ctx, gen: Generator) -> Any:
+    """Run a command-yielding generator on the calling rank's own thread.
+
+    The threaded-engine driver: each yielded command maps onto the
+    blocking primitive it abstracts, so generator mains and gate
+    programs behave exactly like hand-written blocking code when driven
+    under thread-per-rank (the differential oracle).
+    """
+    val = None
+    try:
+        while True:
+            cmd = gen.send(val)
+            val = None
+            if isinstance(cmd, Request):
+                if not cmd.done:
+                    ctx._block_on_request(cmd)
+                cmd._waited = True
+                ctx._advance_to(cmd.completion_time)
+                val = cmd.data
+            elif cmd is YIELD:
+                ctx._yield_baton()
+            elif type(cmd) is Park:
+                ctx._park(cmd.info)
+            elif type(cmd) is WaitAny:
+                ctx._block_on_any(cmd.requests)
+            else:
+                raise EngineStateError(
+                    f"generator yielded unsupported value {cmd!r} — "
+                    "yield Requests, Park, YIELD or WaitAny"
+                )
+    except StopIteration as stop:
+        return stop.value
+
+
+# -- generator wait twins --------------------------------------------------------
+
+
+def g_wait(req: Request, status: Optional[Status] = None) -> Generator:
+    """Generator twin of :meth:`Request.wait`: ``data = yield from g_wait(r)``.
+
+    The driver performs the wait itself (blocking iff pending) and sends
+    the payload back; this helper adds the user-facing double-wait check
+    and the Status copy-out, mirroring ``wait()`` exactly.
+    """
+    if req._waited:
+        raise RequestError(f"request {req.label} waited twice")
+    data = yield req
+    if status is not None:
+        status.source = req.status.source
+        status.tag = req.status.tag
+        status.count = req.status.count
+    return data
+
+
+def g_waitall(
+    requests: List[Request], statuses: Optional[List[Status]] = None
+) -> Generator:
+    """Generator twin of :func:`repro.simmpi.request.waitall`."""
+    out = []
+    for i, req in enumerate(requests):
+        st = statuses[i] if statuses is not None else None
+        out.append((yield from g_wait(req, st)))
+    return out
+
+
+def g_waitany(
+    requests: List[Request], status: Optional[Status] = None
+) -> Generator:
+    """Generator twin of :func:`repro.simmpi.request.waitany`."""
+    if not requests:
+        raise RequestError("waitany needs at least one request")
+    candidates = [r for r in requests if r.done and not r._waited]
+    if not candidates:
+        yield WaitAny(requests)
+        candidates = [r for r in requests if r.done and not r._waited]
+    req = min(candidates, key=lambda r: r.completion_time)
+    data = yield from g_wait(req, status)
+    return requests.index(req), data
+
+
+def g_waitsome(requests: List[Request]) -> Generator:
+    """Generator twin of :func:`repro.simmpi.request.waitsome`."""
+    if not requests:
+        raise RequestError("waitsome needs at least one request")
+    if not any(r.done and not r._waited for r in requests):
+        yield WaitAny(requests)
+    ready = sorted(
+        (r for r in requests if r.done and not r._waited),
+        key=lambda r: r.completion_time,
+    )
+    out = []
+    for r in ready:
+        out.append((requests.index(r), (yield from g_wait(r))))
+    return out

@@ -89,6 +89,9 @@ class SectionRuntime:
         self._logs: Dict[Tuple[tuple, int], List[Tuple[str, str]]] = {}
         # comm_id -> world-rank group (captured on first use for validation)
         self._groups: Dict[tuple, tuple] = {}
+        # Ranks whose event recording is suppressed (injected hangs on
+        # the thread-free engine); see mute_rank.
+        self._muted: set = set()
         self._finalized = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -118,10 +121,25 @@ class SectionRuntime:
                     f"on communicator {cid}"
                 )
 
+    def mute_rank(self, rank: int) -> None:
+        """Stop recording section events for ``rank`` (injected hang).
+
+        The thread-free engine delivers a hang by unwinding the rank's
+        generator, which runs the ``finally`` blocks of its open ``with
+        section(...)`` scopes.  Under the threaded oracle a hung rank
+        parks forever with those sections open, so the unwind's exit
+        events must not be recorded — muting keeps the event stream
+        bit-identical.  The open-frame stacks are deliberately left
+        intact: stall diagnostics and partial profiles read them.
+        """
+        self._muted.add(rank)
+
     # -- the two calls of Figure 1 ------------------------------------------------
 
     def enter(self, ctx, comm, label: str) -> None:
         """``MPIX_Section_enter``: non-blocking collective entry."""
+        if self._muted and ctx.rank in self._muted:
+            return
         if self._finalized:
             raise SectionStateError("section entered after finalize")
         if not label or not isinstance(label, str):
@@ -142,6 +160,8 @@ class SectionRuntime:
 
     def exit(self, ctx, comm, label: str) -> None:
         """``MPIX_Section_exit``: non-blocking collective exit."""
+        if self._muted and ctx.rank in self._muted:
+            return
         if self._finalized:
             raise SectionStateError("section exited after finalize")
         key = (comm.cid, ctx.rank)

@@ -14,6 +14,7 @@ from repro.workloads.images import make_image, image_checksum
 from repro.workloads.stencil import (
     row_partition,
     exchange_row_halos,
+    g_exchange_row_halos,
     mean_filter_3x3,
 )
 from repro.workloads.convolution import (
@@ -34,6 +35,7 @@ __all__ = [
     "image_checksum",
     "row_partition",
     "exchange_row_halos",
+    "g_exchange_row_halos",
     "mean_filter_3x3",
     "ConvolutionConfig",
     "ConvolutionBenchmark",

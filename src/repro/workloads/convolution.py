@@ -37,7 +37,7 @@ from repro.simmpi.sections_rt import section
 from repro.workloads.images import make_image
 from repro.workloads.stencil import (
     conv_work_per_value,
-    exchange_row_halos,
+    g_exchange_row_halos,
     mean_filter_3x3,
     row_partition,
 )
@@ -108,11 +108,14 @@ class ConvolutionBenchmark:
 
     # -- per-rank program -----------------------------------------------------------
 
-    def main(self, ctx, storage: ModeledStorage) -> Optional[np.ndarray]:
-        """The MPI program each rank executes.
+    def main(self, ctx, storage: ModeledStorage):
+        """The MPI program each rank executes (a generator rank body).
 
-        Returns the final image on rank 0 (None elsewhere) so callers can
-        verify correctness.
+        Written against the ``g_*`` communicator API so the thread-free
+        engine can drive it as a suspended generator; the threaded
+        oracle runs the same source via ``drive_blocking``.  Returns the
+        final image on rank 0 (None elsewhere) so callers can verify
+        correctness.
         """
         cfg = self.config
         comm = ctx.comm
@@ -129,7 +132,7 @@ class ConvolutionBenchmark:
                     flops=cfg.codec_flops_per_byte * cfg.nbytes,
                     bytes_moved=2 * cfg.nbytes,
                 ))
-            shape = comm.bcast(
+            shape = yield from comm.g_bcast(
                 img.shape if rank == 0 else None, root=0
             )
 
@@ -138,7 +141,7 @@ class ConvolutionBenchmark:
 
         # ---- SCATTER: 1-D row split from rank 0.
         with section(ctx, "SCATTER"):
-            comm.Scatterv(img, counts, local, root=0)
+            yield from comm.g_Scatterv(img, counts, local, root=0)
         del img
 
         halo_up = np.zeros((shape[1], shape[2]), dtype=np.float64)
@@ -156,13 +159,13 @@ class ConvolutionBenchmark:
         # ---- time-step loop: HALO then CONVOLVE, each its own section.
         for _ in range(cfg.steps):
             if can_overlap:
-                local = self._overlapped_step(
+                local = yield from self._overlapped_step(
                     ctx, comm, local, halo_up, halo_down, step_work
                 )
                 continue
             with section(ctx, "HALO"):
                 if p > 1:
-                    exchange_row_halos(comm, local, halo_up, halo_down)
+                    yield from g_exchange_row_halos(comm, local, halo_up, halo_down)
             with section(ctx, "CONVOLVE"):
                 local = mean_filter_3x3(local, halo_up, halo_down)
                 ctx.compute(work=step_work)
@@ -172,7 +175,7 @@ class ConvolutionBenchmark:
         if rank == 0:
             out = np.empty(tuple(shape), dtype=np.float64)
         with section(ctx, "GATHER"):
-            comm.Gatherv(local, out, counts, root=0)
+            yield from comm.g_Gatherv(local, out, counts, root=0)
 
         # ---- STORE: sequential encode + write on rank 0.
         with section(ctx, "STORE"):
@@ -182,7 +185,7 @@ class ConvolutionBenchmark:
                     bytes_moved=2 * cfg.nbytes,
                 ))
                 storage.write(ctx, self.OUTPUT_KEY, out)
-            comm.barrier()
+            yield from comm.g_barrier()
         return out
 
     @staticmethod
@@ -197,7 +200,7 @@ class ConvolutionBenchmark:
         neighbour lateness behind the interior work.
         """
         from repro.simmpi.api import PROC_NULL
-        from repro.simmpi.request import waitall
+        from repro.simmpi.sched import g_waitall
 
         h = local.shape[0]
         up = comm.rank - 1 if comm.rank > 0 else PROC_NULL
@@ -219,7 +222,7 @@ class ConvolutionBenchmark:
             ctx.compute(work=step_work.scaled((h - 2) / h))
 
         with section(ctx, "HALO_WAIT"):
-            waitall(reqs)
+            yield from g_waitall(reqs)
 
         with section(ctx, "CONVOLVE"):
             # Row 0 needs halo_up; its lower neighbour (row 1) is local.
@@ -242,11 +245,14 @@ class ConvolutionBenchmark:
         tools=(),
         faults=None,
         wall_timeout: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> RunResult:
         """Execute the benchmark at ``n_ranks`` on ``machine``.
 
         The input image is synthesised into modeled storage before the
         clock starts (the paper's image pre-exists on the file system).
+        ``engine`` picks the execution substrate (thread-free by
+        default); simulated results are engine-independent.
         """
         cfg = self.config
         storage = ModeledStorage()
@@ -264,6 +270,7 @@ class ConvolutionBenchmark:
             tools=tools,
             faults=faults,
             wall_timeout=wall_timeout,
+            engine=engine,
             args=(storage,),
         )
 

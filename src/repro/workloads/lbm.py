@@ -119,6 +119,7 @@ class LBMBenchmark:
     @staticmethod
     def _exchange_and_pad(comm, f_post, pad_up, pad_down, is_top, is_bottom):
         """Fill ghost rows: neighbour exchange + bounce-back walls.
+        A generator rank-body fragment: drive with ``yield from``.
 
         ``pad_up``/``pad_down`` are (9, nx) rows logically above (smaller
         y) and below (larger y) the local slab.  At interior boundaries
@@ -130,11 +131,11 @@ class LBMBenchmark:
         up = comm.rank - 1 if comm.rank > 0 else PROC_NULL
         down = comm.rank + 1 if comm.rank < comm.size - 1 else PROC_NULL
         # my last row -> lower neighbour's pad_up; receive mine from above
-        comm.Sendrecv(np.ascontiguousarray(f_post[:, -1, :]), down,
-                      pad_up, up, sendtag=41, recvtag=41)
+        yield from comm.g_Sendrecv(np.ascontiguousarray(f_post[:, -1, :]), down,
+                                   pad_up, up, sendtag=41, recvtag=41)
         # my first row -> upper neighbour's pad_down; receive from below
-        comm.Sendrecv(np.ascontiguousarray(f_post[:, 0, :]), up,
-                      pad_down, down, sendtag=42, recvtag=42)
+        yield from comm.g_Sendrecv(np.ascontiguousarray(f_post[:, 0, :]), up,
+                                   pad_down, down, sendtag=42, recvtag=42)
         if is_top:  # global y=0 wall above my first row
             for k in range(9):
                 if EY[k] == 1:  # populations that would enter moving up (+y)
@@ -163,8 +164,9 @@ class LBMBenchmark:
 
     # -- per-rank program -------------------------------------------------------------
 
-    def main(self, ctx) -> dict:
-        """The MPI program each rank executes (returns local summaries)."""
+    def main(self, ctx):
+        """The MPI program each rank executes (a generator rank body;
+        returns local summaries)."""
         cfg = self.config
         comm = ctx.comm
         counts = row_partition(cfg.ny, comm.size)
@@ -187,7 +189,7 @@ class LBMBenchmark:
                 f_post = self._collide(f, cfg.tau, cfg.force)
                 ctx.compute(work=COLLIDE_WORK.scaled(ncells))
             with section(ctx, "HALO"):
-                self._exchange_and_pad(
+                yield from self._exchange_and_pad(
                     comm, f_post, pad_up, pad_down, is_top, is_bottom
                 )
             with section(ctx, "STREAM"):
@@ -216,6 +218,7 @@ class LBMBenchmark:
         compute_jitter: float = 0.0,
         noise_floor: float = 0.0,
         tools=(),
+        engine: Optional[str] = None,
     ) -> tuple:
         """Run and assemble; returns (RunResult, summary dict)."""
         res = run_mpi(
@@ -226,6 +229,7 @@ class LBMBenchmark:
             compute_jitter=compute_jitter,
             noise_floor=noise_floor,
             tools=tools,
+            engine=engine,
         )
         parts = res.results
         mass = sum(r["mass"] for r in parts)

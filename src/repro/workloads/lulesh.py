@@ -147,10 +147,11 @@ class LuleshBenchmark:
     # -- halo exchange -------------------------------------------------------------
 
     @staticmethod
-    def _exchange_ghosts(comm, grid: CartGrid, fields) -> None:
+    def _exchange_ghosts(comm, grid: CartGrid, fields):
         """Exchange one ghost plane per face for each padded field, then
         replicate interior edges into global-boundary pads (zero-flux /
-        zero-gradient boundary)."""
+        zero-gradient boundary).  A generator rank-body fragment: drive
+        with ``yield from``."""
         rank = comm.rank
         s = fields[0].shape[0] - 2
 
@@ -175,15 +176,15 @@ class LuleshBenchmark:
             for f in fields:
                 buf = np.empty((s, s), dtype=f.dtype)
                 # send high interior plane to +, receive low pad from -
-                comm.Sendrecv(plane(f, axis, -2), plus, buf, minus,
-                              sendtag=20 + axis, recvtag=20 + axis)
+                yield from comm.g_Sendrecv(plane(f, axis, -2), plus, buf, minus,
+                                           sendtag=20 + axis, recvtag=20 + axis)
                 if minus != PROC_NULL:
                     set_plane(f, axis, 0, buf)
                 else:
                     set_plane(f, axis, 0, plane(f, axis, 1))
                 # send low interior plane to -, receive high pad from +
-                comm.Sendrecv(plane(f, axis, 1), minus, buf, plus,
-                              sendtag=30 + axis, recvtag=30 + axis)
+                yield from comm.g_Sendrecv(plane(f, axis, 1), minus, buf, plus,
+                                           sendtag=30 + axis, recvtag=30 + axis)
                 if plus != PROC_NULL:
                     set_plane(f, axis, -1, buf)
                 else:
@@ -191,8 +192,9 @@ class LuleshBenchmark:
 
     # -- per-rank program ---------------------------------------------------------------
 
-    def main(self, ctx, nthreads: int) -> dict:
-        """The MPI+OpenMP program each rank executes."""
+    def main(self, ctx, nthreads: int):
+        """The MPI+OpenMP program each rank executes (a generator rank
+        body; communication goes through the ``g_*`` API)."""
         cfg = self.config
         comm = ctx.comm
         grid = CartGrid.cube(comm.size)
@@ -215,7 +217,7 @@ class LuleshBenchmark:
                 # ---------------- LagrangeNodal ----------------
                 with section(ctx, "LagrangeNodal"):
                     with section(ctx, "CommSBN"):
-                        self._exchange_ghosts(comm, grid, [st.e])
+                        yield from self._exchange_ghosts(comm, grid, [st.e])
                     with section(ctx, "CalcForceForNodes"):
                         with section(ctx, "IntegrateStressForElems"):
                             pfor(
@@ -257,7 +259,7 @@ class LuleshBenchmark:
                     with section(ctx, "CalcLagrangeElements"):
                         with section(ctx, "CalcQForElems"):
                             with section(ctx, "CommMonoQ"):
-                                self._exchange_ghosts(
+                                yield from self._exchange_ghosts(
                                     comm, grid, [st.mx, st.my, st.mz]
                                 )
                         with section(ctx, "CalcKinematicsForElems"):
@@ -282,7 +284,7 @@ class LuleshBenchmark:
                             ),
                         )
                     with section(ctx, "CommEnergy"):
-                        self._exchange_ghosts(comm, grid, [st.kappa])
+                        yield from self._exchange_ghosts(comm, grid, [st.kappa])
                     with section(ctx, "UpdateVolumesForElems"):
                         pfor(
                             "UpdateVolumesForElems",
@@ -299,7 +301,7 @@ class LuleshBenchmark:
                         work=ph.work_for("CalcTimeConstraints", nelem, W),
                     )
                     with section(ctx, "CommDt"):
-                        gmax = comm.allreduce(local_max, op=MAX)
+                        gmax = yield from comm.g_allreduce(local_max, op=MAX)
                     dt = cfg.cfl / (6.0 * gmax + 1e-12)
 
         out = {
@@ -325,10 +327,12 @@ class LuleshBenchmark:
         tools=(),
         faults=None,
         wall_timeout: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> Tuple[RunResult, LuleshResult]:
         """Run at (n_ranks, nthreads); all ranks share one node.
 
         Returns the engine result plus the assembled physics result.
+        ``engine`` picks the execution substrate (thread-free default).
         """
         run = run_mpi(
             n_ranks,
@@ -340,6 +344,7 @@ class LuleshBenchmark:
             tools=tools,
             faults=faults,
             wall_timeout=wall_timeout,
+            engine=engine,
             args=(nthreads,),
         )
         return run, self.collect(run)

@@ -49,6 +49,18 @@ def exchange_row_halos(comm, local: np.ndarray, halo_up: np.ndarray, halo_down: 
     comm.Sendrecv(local[0], up, halo_down, down, sendtag=12, recvtag=12)
 
 
+def g_exchange_row_halos(comm, local: np.ndarray, halo_up: np.ndarray, halo_down: np.ndarray):
+    """Generator twin of :func:`exchange_row_halos` for generator mains.
+
+    Identical message pattern via ``comm.g_Sendrecv``; use with
+    ``yield from`` inside a thread-free rank body.
+    """
+    up = comm.rank - 1 if comm.rank > 0 else PROC_NULL
+    down = comm.rank + 1 if comm.rank < comm.size - 1 else PROC_NULL
+    yield from comm.g_Sendrecv(local[-1], down, halo_up, up, sendtag=11, recvtag=11)
+    yield from comm.g_Sendrecv(local[0], up, halo_down, down, sendtag=12, recvtag=12)
+
+
 def mean_filter_3x3(slab: np.ndarray, halo_up: np.ndarray, halo_down: np.ndarray) -> np.ndarray:
     """One 3×3 mean-filter step on a row slab with explicit halos.
 

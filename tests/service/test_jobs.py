@@ -43,6 +43,8 @@ def test_parse_lulesh_spec_builds_sweep():
     {"workload": {"height": 64}},        # width/steps missing
     {"client": ""},
     {"wall_timeout": -1.0},
+    {"engine": "fibers"},
+    {"engine": 7},
     {"faults": {"faults": [{"kind": "warp", "rank": 0}]}},
 ])
 def test_bad_convolution_specs_rejected(mutant):
@@ -64,9 +66,22 @@ def test_key_is_stable_and_policy_free():
     """The content key hashes the work, not the submitter or policy."""
     a = parse_job_spec(tiny_conv_spec())
     b = parse_job_spec(tiny_conv_spec(client="someone-else", retries=3,
-                                      on_error="skip", jobs=2))
+                                      on_error="skip", jobs=2,
+                                      engine="threads"))
     assert a.key == b.key
     assert len(a.key) == 64
+
+
+def test_engine_choice_reaches_the_sweep_but_not_the_key():
+    """Both engines give bit-identical results, so the engine is pure
+    execution policy: plumbed into the sweep, excluded from the key."""
+    spec = parse_job_spec(tiny_conv_spec(engine="threads"))
+    assert build_sweep(spec).engine == "threads"
+    assert spec.key == parse_job_spec(tiny_conv_spec()).key
+    lspec = parse_job_spec(tiny_lulesh_spec(engine="threadfree"))
+    lsweep, _ = build_sweep(lspec)
+    assert lsweep.engine == "threadfree"
+    assert parse_job_spec(tiny_conv_spec()).to_dict()["engine"] is None
 
 
 def test_key_changes_with_work():
