@@ -1,0 +1,187 @@
+"""Chaos soak: a 50-job campaign under seeded worker kills + a restart.
+
+The ISSUE acceptance campaign, full size: 50 unique sweep jobs pushed
+through the supervised process pool while worker processes are
+SIGKILLed at >= 5 seeded points and the server performs one full
+restart (workers killed, queue abandoned, journal replayed).  Asserted
+invariants:
+
+* zero lost jobs — every accepted job ends ``done`` in the registry;
+* zero duplicate simulations — each job completes exactly once across
+  both server generations, and a full resubmit sweep afterwards is
+  answered entirely from the registry;
+* byte-identical artifacts — every chaotic payload equals the one an
+  undisturbed (thread-mode, separate cache) server computes.
+
+Results land in ``results/service_chaos.txt`` and the
+``BENCH_service.json`` machine-readable document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+
+from repro.service.api import ServiceApp
+
+from benchmarks.conftest import merge_json_artifact, save_artifact
+
+N_JOBS = 50
+MIN_KILLS = 5
+SEED = 20260807
+
+# heavy enough that the campaign is still in flight at every kill point
+SPEC_TEMPLATE = {
+    "kind": "convolution",
+    "workload": {"height": 96, "width": 128, "steps": 30},
+    "machine": {"name": "nehalem", "nodes": 4},
+    "process_counts": [1, 2, 4],
+    "reps": 1,
+}
+
+
+def _specs():
+    return [dict(SPEC_TEMPLATE, base_seed=1000 + i,
+                 client=f"chaos-{i % 5}")
+            for i in range(N_JOBS)]
+
+
+def _submit(app, spec):
+    status, _, body = app.handle("POST", "/api/v1/jobs", {},
+                                 json.dumps(spec).encode())
+    assert status in (200, 202), body
+    return json.loads(body)
+
+
+def _done_count(app, keys):
+    return sum(
+        1 for key in keys
+        if (app.registry.get(key) or {}).get("status") == "done"
+    )
+
+
+def test_chaos_soak_50_jobs_with_kills_and_restart(tmp_path):
+    rng = random.Random(SEED)
+    cache_dir = tmp_path / "cache"
+    t_start = time.perf_counter()
+
+    # -- generation 1: half the campaign under seeded kills ------------------
+    app1 = ServiceApp(cache_dir=cache_dir, workers=2, worker_mode="process",
+                      retry_budget=4, retry_backoff=0.05, chaos_seed=1,
+                      queue_limit=2 * N_JOBS, per_client=N_JOBS)
+    app1.start()
+    keys = [_submit(app1, spec)["job_id"] for spec in _specs()]
+    assert len(set(keys)) == N_JOBS
+
+    kills = 0
+    deadline = time.time() + 300
+    while _done_count(app1, keys) < N_JOBS // 2:
+        assert time.time() < deadline, "generation 1 stalled"
+        time.sleep(rng.uniform(0.3, 0.9))
+        pids = app1.scheduler.worker_pids()
+        if pids and kills < MIN_KILLS:
+            os.kill(rng.choice(pids), signal.SIGKILL)
+            kills += 1
+    # top up to the required kill count before pulling the plug
+    while kills < MIN_KILLS:
+        pids = app1.scheduler.worker_pids()
+        if pids:
+            os.kill(rng.choice(pids), signal.SIGKILL)
+            kills += 1
+        time.sleep(0.2)
+
+    # one full server restart: workers die, the queue is abandoned,
+    # only journal + registry survive
+    app1.close(drain=False, preserve_queued=True)
+    completed_gen1 = app1.metrics.counter("jobs_completed")
+    restarts_gen1 = app1.metrics.counter("worker_restarts")
+    requeued_gen1 = app1.metrics.counter("jobs_requeued")
+
+    # -- generation 2: replay and finish -------------------------------------
+    app2 = ServiceApp(cache_dir=cache_dir, workers=2, worker_mode="process",
+                      retry_budget=4, retry_backoff=0.05, chaos_seed=2,
+                      queue_limit=2 * N_JOBS, per_client=N_JOBS)
+    app2.start()
+    try:
+        deadline = time.time() + 600
+        while _done_count(app2, keys) < N_JOBS:
+            assert time.time() < deadline, (
+                f"lost jobs: {_done_count(app2, keys)}/{N_JOBS} done")
+            time.sleep(0.1)
+        completed_gen2 = app2.metrics.counter("jobs_completed")
+
+        # zero lost, zero duplicated
+        assert _done_count(app2, keys) == N_JOBS
+        assert completed_gen1 + completed_gen2 == N_JOBS
+
+        # a full resubmit sweep is served from the registry, zero work
+        for spec in _specs():
+            assert _submit(app2, spec)["cached"] is True
+        assert app2.metrics.counter("jobs_submitted") == 0
+        assert app2.metrics.counter("registry_hits") == N_JOBS
+
+        chaotic = {
+            key: json.dumps(app2.registry.get(key)["result"], sort_keys=True)
+            for key in keys
+        }
+        replay_stats = dict(app2.replay_stats)
+    finally:
+        app2.close()
+    chaos_elapsed = time.perf_counter() - t_start
+
+    # -- control: the same campaign, undisturbed -----------------------------
+    control = ServiceApp(cache_dir=tmp_path / "control-cache", workers=2,
+                         worker_mode="thread",
+                         queue_limit=2 * N_JOBS, per_client=N_JOBS)
+    control.start()
+    try:
+        for spec in _specs():
+            _submit(control, spec)
+        deadline = time.time() + 600
+        while _done_count(control, keys) < N_JOBS:
+            assert time.time() < deadline, "control campaign stalled"
+            time.sleep(0.1)
+        drift = [
+            key for key in keys
+            if json.dumps(control.registry.get(key)["result"],
+                          sort_keys=True) != chaotic[key]
+        ]
+    finally:
+        control.close()
+    assert not drift, f"artifact drift on {len(drift)} jobs: {drift[:3]}"
+
+    lines = [
+        f"service chaos soak ({N_JOBS} jobs, 2 workers, seed {SEED})",
+        f"  worker SIGKILLs:    {kills} (+1 full server restart)",
+        f"  gen-1 completed:    {completed_gen1} "
+        f"(restarts {restarts_gen1}, requeues {requeued_gen1})",
+        f"  gen-2 completed:    {completed_gen2} "
+        f"(journal replayed {replay_stats['replayed']}, "
+        f"replay {replay_stats['seconds'] * 1e3:.1f} ms)",
+        f"  lost jobs:          0 / {N_JOBS}",
+        f"  duplicate sims:     0 (completions sum to {N_JOBS})",
+        f"  artifact drift:     0 / {N_JOBS} (byte-identical to control)",
+        f"  wall-clock:         {chaos_elapsed:8.1f} s",
+    ]
+    save_artifact("service_chaos", "\n".join(lines))
+    merge_json_artifact("BENCH_service", {
+        "chaos_soak": {
+            "jobs": N_JOBS,
+            "kills": kills,
+            "restarts": 1,
+            "seed": SEED,
+            "gen1_completed": completed_gen1,
+            "gen2_completed": completed_gen2,
+            "worker_restarts_gen1": restarts_gen1,
+            "jobs_requeued_gen1": requeued_gen1,
+            "journal_replayed": replay_stats["replayed"],
+            "journal_replay_seconds": replay_stats["seconds"],
+            "lost": 0,
+            "duplicates": 0,
+            "artifact_drift": 0,
+            "elapsed_seconds": round(chaos_elapsed, 3),
+        },
+    })

@@ -15,13 +15,14 @@ Not a paper artifact — these guard the ``repro.service`` subsystem:
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from repro.service.api import ServiceApp
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceServer
 
-from benchmarks.conftest import save_artifact
+from benchmarks.conftest import merge_json_artifact, save_artifact
 
 TINY_SPEC = {
     "kind": "convolution",
@@ -108,38 +109,84 @@ def test_warm_submit_throughput_over_http(tmp_path):
     assert rate > 10
 
 
-def test_concurrent_job_throughput(tmp_path):
-    """Eight distinct sweep jobs in flight at once, drained to done."""
-    app = ServiceApp(cache_dir=tmp_path / "cache", workers=4,
-                     queue_limit=64, per_client=8)
+#: A cold job heavy enough that execution dominates dispatch overhead.
+COLD_WORKLOAD = {"height": 128, "width": 192, "steps": 40}
+
+
+def _cold_spec(seed: int) -> dict:
+    spec = _spec(seed)
+    spec["workload"] = dict(COLD_WORKLOAD)
+    spec["process_counts"] = [1, 2, 4, 8]
+    return spec
+
+
+def _run_cold_batch(tmp_path, mode: str, n: int, workers: int):
+    """Time ``n`` cold jobs through one scheduler mode; returns stats."""
+    app = ServiceApp(cache_dir=tmp_path / f"{mode}-cache", workers=workers,
+                     worker_mode=mode, queue_limit=64, per_client=64)
     ids = []
-    for seed in range(1, 9):
+    for seed in range(1, n + 1):
         status, _, body = app.handle(
             "POST", "/api/v1/jobs", {},
-            json.dumps(_spec(seed)).encode())
+            json.dumps(_cold_spec(seed)).encode())
         assert status == 202
         ids.append(json.loads(body)["job_id"])
-    assert app.queue.in_flight() == 8
+    assert app.queue.in_flight() == n
     t0 = time.perf_counter()
     app.start()
     try:
-        deadline = time.time() + 120
+        deadline = time.time() + 600
         for job_id in ids:
             while json.loads(
                 app.handle("GET", f"/api/v1/jobs/{job_id}")[2]
             )["status"] != "done":
-                assert time.time() < deadline, "concurrent jobs never drained"
+                assert time.time() < deadline, "cold jobs never drained"
                 time.sleep(0.01)
         elapsed = time.perf_counter() - t0
-        assert app.metrics.counter("jobs_completed") == 8
+        assert app.metrics.counter("jobs_completed") == n
         lat = app.metrics.snapshot()["latency"]
     finally:
         app.close()
+    return {"elapsed": elapsed, "jobs_per_sec": n / elapsed,
+            "p50_ms": lat["p50"] * 1e3, "p95_ms": lat["p95"] * 1e3}
+
+
+def test_cold_job_throughput_process_vs_thread(tmp_path):
+    """The ISSUE acceptance bar: supervised multi-process workers beat
+    the single-process (GIL-bound) thread scheduler >= 3x on cold jobs.
+
+    The speedup needs real cores; the assertion is gated on
+    ``os.cpu_count() >= 4`` so single-core hosts still record honest
+    numbers without failing on physics.
+    """
+    n, workers = 8, 4
+    cores = os.cpu_count() or 1
+    thread = _run_cold_batch(tmp_path, "thread", n, workers)
+    process = _run_cold_batch(tmp_path, "process", n, workers)
+    ratio = thread["elapsed"] / process["elapsed"]
     lines = [
-        "service concurrent-job throughput (8 jobs, 4 workers)",
-        f"  wall-clock:   {elapsed:8.3f} s",
-        f"  jobs/sec:     {8 / elapsed:8.2f}",
-        f"  p50 latency:  {lat['p50'] * 1e3:8.1f} ms",
-        f"  p95 latency:  {lat['p95'] * 1e3:8.1f} ms",
+        f"service cold-job throughput ({n} jobs, {workers} workers, "
+        f"{cores} cores)",
+        f"  thread mode:   {thread['elapsed']:8.3f} s "
+        f"({thread['jobs_per_sec']:.2f} jobs/s, "
+        f"p95 {thread['p95_ms']:.0f} ms)",
+        f"  process mode:  {process['elapsed']:8.3f} s "
+        f"({process['jobs_per_sec']:.2f} jobs/s, "
+        f"p95 {process['p95_ms']:.0f} ms)",
+        f"  speedup:       {ratio:8.2f} x",
     ]
+    if cores < 4:
+        lines.append(f"  note: only {cores} core(s); the >=3x bar needs "
+                     ">=4 and is not asserted here")
     save_artifact("service_concurrency", "\n".join(lines))
+    merge_json_artifact("BENCH_service", {
+        "cold_throughput": {
+            "jobs": n, "workers": workers, "cores": cores,
+            "thread": thread, "process": process,
+            "speedup": round(ratio, 3),
+            "bar_asserted": cores >= 4,
+        },
+    })
+    if cores >= 4:
+        assert ratio >= 3.0, (
+            f"process workers only {ratio:.2f}x over the thread scheduler")

@@ -57,6 +57,7 @@ failed).
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from contextlib import contextmanager
@@ -273,15 +274,34 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes per sweep "
                              "(0 = all cores; default: $REPRO_JOBS or serial)")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="concurrent jobs (scheduler threads; default 2)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="concurrent jobs (worker processes or threads; "
+                             "default: $REPRO_SERVICE_WORKERS or 2)")
+    parser.add_argument("--worker-mode", choices=("thread", "process"),
+                        default="process",
+                        help="job execution grain: supervised worker "
+                             "processes (default; self-healing) or "
+                             "in-process threads")
     parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
                         help="run cache + registry root (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro/runs)")
+    parser.add_argument("--journal", type=pathlib.Path, default=None,
+                        help="durable job journal path (default: "
+                             "$REPRO_SERVICE_JOURNAL or "
+                             "<cache-dir>/journal.wal)")
     parser.add_argument("--queue-limit", type=int, default=64,
                         help="max jobs in flight before 429 (default 64)")
     parser.add_argument("--per-client", type=int, default=8,
                         help="max in-flight jobs per client (default 8)")
+    parser.add_argument("--retry-budget", type=int, default=2,
+                        help="worker deaths one job may cause before it is "
+                             "poisoned (default 2)")
+    parser.add_argument("--retry-backoff", type=float, default=0.25,
+                        help="base requeue backoff after a worker death, "
+                             "seconds (default 0.25)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                        help="kill a busy worker silent for this many "
+                             "seconds (default 30)")
     return parser
 
 
@@ -293,25 +313,49 @@ def _serve_main(argv: List[str]) -> int:
     from repro.harness.parallel import resolve_jobs
     from repro.service import ServiceApp, ServiceServer
 
+    import signal
+
     try:
         jobs = resolve_jobs(args.jobs) if args.jobs is not None else None
-        if args.workers < 1:
-            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        workers = args.workers
+        if workers is None:
+            workers = int(os.environ.get("REPRO_SERVICE_WORKERS", "2"))
+        if workers < 1:
+            raise ReproError(f"--workers must be >= 1, got {workers}")
+        journal = args.journal
+        if journal is None and os.environ.get("REPRO_SERVICE_JOURNAL"):
+            journal = pathlib.Path(os.environ["REPRO_SERVICE_JOURNAL"])
         app = ServiceApp(
             cache_dir=args.cache_dir,
             queue_limit=args.queue_limit,
             per_client=args.per_client,
-            workers=args.workers,
+            workers=workers,
             sweep_jobs=jobs,
+            worker_mode=args.worker_mode,
+            journal_path=journal,
+            retry_budget=args.retry_budget,
+            retry_backoff=args.retry_backoff,
+            heartbeat_timeout=args.heartbeat_timeout,
         )
         server = ServiceServer(app, host=args.host, port=args.port)
-    except (ReproError, OSError) as exc:
+    except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
+        # Graceful drain: stop accepting, let running jobs persist,
+        # leave queued jobs journalled for the next process, exit 0.
+        print("SIGTERM: draining; queued jobs preserved in the journal",
+              flush=True)
+        server.request_shutdown(preserve_queued=True)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     host, port = server.address
     print(f"repro service listening on http://{host}:{port} "
-          f"(cache: {app.cache.root})", flush=True)
+          f"(cache: {app.cache.root}, journal: {app.journal.path}, "
+          f"workers: {workers} {args.worker_mode})", flush=True)
     server.serve_forever()
+    print("repro service stopped", flush=True)
     return EXIT_OK
 
 
@@ -332,6 +376,9 @@ def _submit_parser() -> argparse.ArgumentParser:
                         help="run the job traced (?trace=1): its Chrome "
                              "trace becomes fetchable at "
                              "/api/v1/jobs/{id}/trace")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="transparent retries of idempotent calls on "
+                             "connection loss / 429 / 5xx (default 2)")
     return parser
 
 
@@ -349,7 +396,7 @@ def _submit_main(argv: List[str]) -> int:
     except (OSError, _json.JSONDecodeError) as exc:
         print(f"error: cannot read spec: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, retries=args.retries)
     try:
         receipt = client.submit(spec, trace=args.trace)
     except ServiceClientError as exc:

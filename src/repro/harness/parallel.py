@@ -76,6 +76,35 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def backoff_delay(
+    attempt: int,
+    base: float,
+    *,
+    cap: float = 30.0,
+    jitter: float = 0.0,
+    rng=None,
+) -> float:
+    """Exponential backoff with optional jitter for retry ``attempt``.
+
+    ``attempt`` is 1-based (the delay before the second try is
+    ``base``); the exponential curve is clamped at ``cap`` seconds so a
+    deep retry never sleeps unboundedly.  ``jitter`` spreads the delay
+    uniformly into ``[delay, delay * (1 + jitter)]`` using ``rng``
+    (a :class:`random.Random`; seeded by callers that need reproducible
+    chaos schedules) — jitter is what keeps a herd of requeued jobs
+    from thundering back in lockstep.
+    """
+    if attempt < 1 or base <= 0.0:
+        return 0.0
+    delay = min(cap, base * (2 ** (attempt - 1)))
+    if jitter > 0.0:
+        import random as _random
+
+        draw = (rng or _random).random()
+        delay *= 1.0 + jitter * draw
+    return delay
+
+
 def map_points(
     fn: Callable[[_T], _R],
     tasks: Sequence[_T],
@@ -179,7 +208,7 @@ def _failsoft_call(packed) -> PointOutcome:
                                   attempt=attempts,
                                   error=type(exc).__name__)
                         if backoff > 0.0:
-                            time.sleep(backoff * (2 ** (attempts - 1)))
+                            time.sleep(backoff_delay(attempts, backoff))
                         continue
                     sp.set(attempts=attempts, failed=type(exc).__name__)
                     try:  # ship the exception object iff it pickles

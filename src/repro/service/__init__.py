@@ -20,9 +20,16 @@ Layers (bottom up):
 * :mod:`repro.service.registry` — the experiment registry: persisted,
   schema-versioned, content-addressed job records layered next to the
   PR 1 run cache, so a resubmitted job is served without re-simulation;
-* :mod:`repro.service.scheduler` — the worker pool draining the queue
-  (graceful shutdown drains running jobs; crashes become failed-job
-  records, never hung clients);
+* :mod:`repro.service.journal` — the durable job journal: a
+  checksummed append-only WAL of job lifecycle transitions, replayed on
+  startup so a crashed server loses no accepted work (exactly-once
+  across restarts);
+* :mod:`repro.service.scheduler` — the in-process worker pool draining
+  the queue (graceful shutdown drains running jobs; crashes become
+  failed-job records, never hung clients);
+* :mod:`repro.service.supervisor` — supervised multi-process workers:
+  heartbeats, death detection, retry budgets with exponential backoff,
+  the poison-job circuit breaker, per-job deadlines;
 * :mod:`repro.service.metrics` — counters/gauges/latency quantiles in
   Prometheus text format;
 * :mod:`repro.service.api` / :mod:`repro.service.server` — the HTTP
@@ -38,15 +45,18 @@ direct library call with the same spec.
 from repro.service.api import ServiceApp
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.jobs import JobSpec, JobSpecError, execute_job, parse_job_spec
+from repro.service.journal import JobJournal
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import ClientLimitError, JobQueue, QueueFullError
 from repro.service.registry import ExperimentRegistry
 from repro.service.scheduler import Scheduler
 from repro.service.server import ServiceServer
+from repro.service.supervisor import WorkerSupervisor
 
 __all__ = [
     "ClientLimitError",
     "ExperimentRegistry",
+    "JobJournal",
     "JobQueue",
     "JobSpec",
     "JobSpecError",
@@ -57,6 +67,7 @@ __all__ = [
     "ServiceClientError",
     "ServiceMetrics",
     "ServiceServer",
+    "WorkerSupervisor",
     "execute_job",
     "parse_job_spec",
 ]

@@ -40,11 +40,14 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.harness.cache import RunCache
-from repro.service.jobs import JobSpecError, parse_job_spec
+from repro.service.jobs import JobSpec, JobSpecError, parse_job_spec
+from repro.service.journal import JobJournal
 from repro.service.metrics import ServiceMetrics
-from repro.service.queue import ClientLimitError, JobQueue, QueueFullError
+from repro.service.queue import (ClientLimitError, Job, JobQueue,
+                                 QueueFullError, TERMINAL_STATES)
 from repro.service.registry import ExperimentRegistry
 from repro.service.scheduler import Scheduler
+from repro.service.supervisor import WorkerSupervisor
 
 #: A response triple: (HTTP status, headers, body bytes).
 Response = Tuple[int, Dict[str, str], bytes]
@@ -91,7 +94,17 @@ class ServiceApp:
         per_client: int = 8,
         workers: int = 2,
         sweep_jobs: Optional[int] = None,
+        worker_mode: str = "thread",
+        journal_path: Optional[pathlib.Path] = None,
+        journal_fsync: bool = True,
+        retry_budget: int = 2,
+        retry_backoff: float = 0.25,
+        heartbeat_timeout: float = 30.0,
+        chaos_seed: Optional[int] = None,
     ):
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got {worker_mode!r}")
         root = pathlib.Path(cache_dir) if cache_dir is not None else None
         self.cache = RunCache(root=root)
         self.registry = ExperimentRegistry(
@@ -99,21 +112,88 @@ class ServiceApp:
         )
         self.metrics = ServiceMetrics()
         self.queue = JobQueue(limit=queue_limit, per_client=per_client)
-        self.scheduler = Scheduler(
-            self.queue, self.registry, self.metrics,
-            workers=workers, sweep_jobs=sweep_jobs, cache=self.cache,
+        self.journal = JobJournal(
+            pathlib.Path(journal_path) if journal_path is not None
+            else self.cache.root / "journal.wal",
+            fsync=journal_fsync,
         )
+        self.worker_mode = worker_mode
+        if worker_mode == "process":
+            self.scheduler = WorkerSupervisor(
+                self.queue, self.registry, self.metrics,
+                workers=workers, sweep_jobs=sweep_jobs, cache=self.cache,
+                journal=self.journal, retry_budget=retry_budget,
+                backoff=retry_backoff, heartbeat_timeout=heartbeat_timeout,
+                seed=chaos_seed,
+            )
+        else:
+            self.scheduler = Scheduler(
+                self.queue, self.registry, self.metrics,
+                workers=workers, sweep_jobs=sweep_jobs, cache=self.cache,
+                journal=self.journal,
+            )
         self.started_at = time.time()
+        #: Filled by the startup replay; exported on /metrics.
+        self.replay_stats: Dict[str, Any] = {
+            "seconds": 0.0, "replayed": 0, "recovered": 0, "torn": 0,
+        }
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Start the worker pool."""
+        """Replay the journal, re-enqueue orphans, start the worker pool."""
+        self._replay_journal()
         self.scheduler.start()
 
-    def close(self, drain: bool = True) -> None:
-        """Stop accepting, cancel queued jobs, drain running ones."""
-        self.scheduler.stop(drain=drain)
+    def close(self, drain: bool = True, preserve_queued: bool = False) -> None:
+        """Stop accepting, cancel queued jobs, drain running ones.
+
+        ``preserve_queued`` (the SIGTERM graceful-drain path) leaves
+        still-queued jobs journalled for the next server process instead
+        of cancelling them on the record.
+        """
+        self.scheduler.stop(drain=drain, preserve_queued=preserve_queued)
+        self.journal.close()
+
+    def _replay_journal(self) -> None:
+        """Recover outstanding work from the journal (crash recovery).
+
+        Jobs with a ``submit`` but no terminal line are re-enqueued —
+        unless the registry already holds a terminal record for them
+        (the crash fell between the registry write and the journal
+        line; the registry, written first, wins).  The journal is then
+        compacted to just the still-pending submits.
+        """
+        t0 = time.perf_counter()
+        found = self.journal.replay()
+        kept = []
+        recovered = 0
+        for pending in found.pending:
+            record = self.registry.get(pending.key)
+            if record is not None and record.get("status") in TERMINAL_STATES:
+                # Finished (or cancelled) before the crash; the journal
+                # just never heard.  Resubmits hit the registry.
+                recovered += 1
+                continue
+            try:
+                spec = JobSpec.from_dict(pending.spec)
+            except Exception:  # noqa: BLE001 - a bad spec must not kill boot
+                continue
+            job = Job(spec)
+            job.submitted_at = pending.submitted_at or job.submitted_at
+            job.attempts = pending.attempts
+            if not self.queue.restore(job):
+                continue
+            kept.append(pending)
+            self.metrics.inc("jobs_replayed")
+        if found.events or found.torn:
+            self.journal.compact(kept)
+        self.replay_stats = {
+            "seconds": time.perf_counter() - t0,
+            "replayed": len(kept),
+            "recovered": recovered,
+            "torn": found.torn,
+        }
 
     # -- routing ------------------------------------------------------------
 
@@ -147,18 +227,29 @@ class ServiceApp:
 
     def _metrics(self) -> Response:
         reg_stats = self.registry.stats()
+        by_class = self.queue.depth_by_class()
+        depth_samples = [("", float(self.queue.depth()))]
+        depth_samples.extend(
+            (f'{{class="{cls}"}}', float(n))
+            for cls, n in sorted(by_class.items())
+        )
         gauges = {
-            "queue_depth": (float(self.queue.depth()),
-                            "Jobs waiting in the queue."),
+            "queue_depth": (depth_samples,
+                            "Jobs waiting in the queue "
+                            "(total and per admission class)."),
             "jobs_running": (float(self.scheduler.running_count()),
                              "Jobs currently executing."),
             "jobs_in_flight": (float(self.queue.in_flight()),
                                "Jobs queued or running."),
             "registry_entries": (float(reg_stats["entries"]),
                                  "Job records persisted in the registry."),
+            "journal_replay_seconds": (
+                round(float(self.replay_stats["seconds"]), 6),
+                "Time the startup journal replay took."),
         }
         text = self.metrics.render_prometheus(
-            gauges=gauges, cache_stats=self.cache.stats()
+            gauges=gauges, cache_stats=self.cache.stats(),
+            registry_stats=reg_stats,
         )
         return _text_response(200, text,
                               content_type="text/plain; version=0.0.4")
@@ -190,7 +281,20 @@ class ServiceApp:
 
         try:
             job, created = self.queue.submit(spec)
-        except (QueueFullError, ClientLimitError) as exc:
+        except QueueFullError as exc:
+            # Overload: interactive submits may shed the newest queued
+            # batch job to free a slot (batch work is retryable; a human
+            # waiting on an answer is not).
+            if spec.priority == "interactive" and self._shed_one_batch():
+                try:
+                    job, created = self.queue.submit(spec)
+                except (QueueFullError, ClientLimitError) as exc2:
+                    self.metrics.inc("jobs_rejected")
+                    return _error(429, str(exc2), {"Retry-After": "1"})
+            else:
+                self.metrics.inc("jobs_rejected")
+                return _error(429, str(exc), {"Retry-After": "1"})
+        except ClientLimitError as exc:
             self.metrics.inc("jobs_rejected")
             return _error(429, str(exc), {"Retry-After": "1"})
         except Exception as exc:  # queue closed during shutdown
@@ -199,6 +303,12 @@ class ServiceApp:
         if want_trace:
             job.want_trace = True
         if created:
+            # Durable before acknowledged: the submit line hits the
+            # journal before the client sees 202, so an accepted job
+            # survives any subsequent crash.
+            self.journal.append(
+                "submit", job.key,
+                spec=spec.to_dict(), priority=spec.priority)
             self.metrics.inc("jobs_submitted")
         else:
             self.metrics.inc("jobs_deduplicated")
@@ -209,6 +319,28 @@ class ServiceApp:
             "deduplicated": not created,
             "location": f"/api/v1/jobs/{job.key}",
         })
+
+    def _shed_one_batch(self) -> bool:
+        """Cancel the newest queued batch job to admit interactive work.
+
+        Persist-first like every terminal transition: record, journal
+        line, then the in-memory cancel that wakes the victim's waiters.
+        """
+        victim = self.queue.shed_batch()
+        if victim is None:
+            return False
+        now = time.time()
+        why = "batch job shed to admit interactive work under overload"
+        self.registry.put(ExperimentRegistry.make_record(
+            victim,
+            status="cancelled",
+            error={"error_type": "Cancelled", "message": why},
+            finished_at=now,
+        ))
+        self.journal.append("cancel", victim.key, reason="shed")
+        victim.cancel(why, at=now)
+        self.metrics.inc("jobs_shed")
+        return True
 
     def _list_jobs(self) -> Response:
         live = {j.key: j.snapshot() for j in self.queue.jobs()}

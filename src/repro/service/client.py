@@ -7,41 +7,66 @@ results/artifacts/metrics.  HTTP errors become
 :class:`ServiceClientError` carrying the status code and the server's
 JSON error payload, so callers branch on ``exc.status`` instead of
 parsing exception strings.
+
+Every call in this API is *idempotent* — GETs trivially, submits
+because jobs are content-addressed (re-POSTing a spec lands on the
+same job id, deduplicated or answered from the registry), deletes
+because a second delete is a 404.  The client therefore retries them
+transparently: connection failures and ``502/503/504`` responses
+(a server restarting under its supervisor) back off exponentially with
+jitter; ``429`` backpressure honours the server's ``Retry-After``
+header.  ``retries=0`` turns the behaviour off.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Any, Dict, Iterator, Optional
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
 from repro.errors import ReproError
+from repro.harness.parallel import backoff_delay
+
+#: HTTP statuses retried as transient (the server is down or restarting).
+TRANSIENT_STATUSES = (502, 503, 504)
 
 
 class ServiceClientError(ReproError):
     """An HTTP call failed; carries ``status`` and the decoded payload."""
 
-    def __init__(self, status: int, payload: Any, url: str):
+    def __init__(self, status: int, payload: Any, url: str,
+                 retry_after: Optional[float] = None):
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
         detail = payload.get("error") if isinstance(payload, dict) else payload
         super().__init__(f"HTTP {status} from {url}: {detail}")
 
 
 class ServiceClient:
-    """Minimal blocking client bound to one server base URL."""
+    """Minimal blocking client bound to one server base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``retries`` bounds transparent re-attempts of failed calls (on top
+    of the first try); ``retry_backoff`` is the base of the exponential
+    delay curve; ``seed`` pins the jitter RNG for reproducible tests.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retries: int = 2, retry_backoff: float = 0.25,
+                 seed: Optional[int] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._rng = random.Random(seed)
 
     # -- plumbing -----------------------------------------------------------
 
-    def _call(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None) -> Any:
-        url = self.base_url + path
+    def _call_once(self, method: str, url: str,
+                   body: Optional[Dict[str, Any]] = None) -> Any:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -58,13 +83,50 @@ class ServiceClient:
                 payload = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 payload = raw.decode("utf-8", "replace")
-            raise ServiceClientError(exc.code, payload, url) from None
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServiceClientError(exc.code, payload, url,
+                                     retry_after=retry_after) from None
         except urlerror.URLError as exc:
             raise ReproError(f"cannot reach {url}: {exc.reason}") from None
         text = raw.decode("utf-8")
         if ctype.startswith("application/json"):
             return json.loads(text)
         return text
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Any:
+        url = self.base_url + path
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, url, body)
+            except ServiceClientError as exc:
+                if attempt >= self.retries:
+                    raise
+                if exc.status == 429:
+                    delay = exc.retry_after if exc.retry_after is not None \
+                        else backoff_delay(attempt + 1, self.retry_backoff,
+                                           jitter=0.25, rng=self._rng)
+                elif exc.status in TRANSIENT_STATUSES:
+                    delay = backoff_delay(attempt + 1, self.retry_backoff,
+                                          jitter=0.25, rng=self._rng)
+                else:
+                    raise
+            except ReproError:
+                # Connection-level failure: the server may be between a
+                # crash and its restart — idempotent calls reconnect.
+                if attempt >= self.retries:
+                    raise
+                delay = backoff_delay(attempt + 1, self.retry_backoff,
+                                      jitter=0.25, rng=self._rng)
+            attempt += 1
+            time.sleep(delay)
 
     # -- API calls ----------------------------------------------------------
 

@@ -91,6 +91,12 @@ class JobSpec:
     jobs: Optional[int] = None
     wall_timeout: Optional[float] = None
     engine: Optional[str] = None
+    #: Admission class: ``interactive`` jobs are scheduled before
+    #: ``batch`` jobs and survive load-shedding (see the queue).
+    priority: str = "batch"
+    #: Wall-clock budget (seconds) from submission to completion; the
+    #: supervisor kills and fails the job past it (DeadlineExceeded).
+    deadline: Optional[float] = None
 
     @property
     def key(self) -> str:
@@ -114,7 +120,34 @@ class JobSpec:
             "jobs": self.jobs,
             "wall_timeout": self.wall_timeout,
             "engine": self.engine,
+            "priority": self.priority,
+            "deadline": self.deadline,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Rebuild a spec from its :meth:`to_dict` form (journal replay).
+
+        Tolerates fields added after the record was written by falling
+        back to the dataclass defaults — a journal from an older server
+        still replays.
+        """
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def effective_wall_timeout(self) -> Optional[float]:
+        """The tighter of ``wall_timeout`` and ``deadline``.
+
+        This is what the sweep passes to the PR 2 engine watchdog, so a
+        deadlined job is bounded even when its worker process stays
+        healthy — the simulation itself is interrupted with a stall
+        diagnosis instead of burning the whole deadline.
+        """
+        bounds = [b for b in (self.wall_timeout, self.deadline)
+                  if b is not None]
+        return min(bounds) if bounds else None
 
 
 # ---------------------------------------------------------------------------
@@ -270,6 +303,15 @@ def parse_job_spec(data: Any) -> JobSpec:
     client = data.get("client", "anonymous")
     if not isinstance(client, str) or not client:
         raise JobSpecError(f"client must be a non-empty string, got {client!r}")
+    priority = data.get("priority", "batch")
+    if priority not in ("interactive", "batch"):
+        raise JobSpecError(
+            f"priority must be 'interactive' or 'batch', got {priority!r}")
+    deadline = data.get("deadline")
+    if deadline is not None:
+        deadline = _as_number(deadline, "deadline")
+        if deadline <= 0:
+            raise JobSpecError(f"deadline must be positive, got {deadline}")
 
     if kind == "convolution":
         work = _normalise_convolution(data)
@@ -285,6 +327,8 @@ def parse_job_spec(data: Any) -> JobSpec:
         jobs=jobs,
         wall_timeout=wall_timeout,
         engine=engine,
+        priority=priority,
+        deadline=deadline,
     )
     build_sweep(spec)  # eager validation: raises JobSpecError on bad params
     return spec
@@ -322,7 +366,7 @@ def build_sweep(spec: JobSpec):
                 noise_floor=work["noise_floor"],
                 weak=work["weak"],
                 faults=faults,
-                wall_timeout=spec.wall_timeout,
+                wall_timeout=spec.effective_wall_timeout(),
                 engine=spec.engine,
             )
         sweep = LuleshGridSweep(
@@ -335,7 +379,7 @@ def build_sweep(spec: JobSpec):
             base_seed=work["base_seed"],
             compute_jitter=work["compute_jitter"],
             faults=faults,
-            wall_timeout=spec.wall_timeout,
+            wall_timeout=spec.effective_wall_timeout(),
             engine=spec.engine,
         )
         sides = work.get("sides")

@@ -1,0 +1,249 @@
+"""Durable job journal: a checksummed append-only write-ahead log.
+
+The journal is what lets ``repro serve`` die — SIGKILL included — and
+come back without losing or double-counting a single job.  Every job
+lifecycle transition is appended as one self-checksummed JSON line
+*before* the in-memory state advances:
+
+* ``submit``   — the job entered the queue (the line carries the full
+  spec, so replay can reconstruct the job without the client);
+* ``claim``    — a worker started executing the job;
+* ``requeue``  — the worker died (or was killed) and the job went back
+  to the queue with a retry budget;
+* ``complete`` / ``fail`` / ``cancel`` — terminal transitions (``fail``
+  lines carry ``poisoned: true`` when the poison-job circuit breaker
+  tripped).
+
+On startup the service replays the journal: jobs with a ``submit`` but
+no terminal line are *orphans* — queued or mid-execution when the
+previous process died — and are re-enqueued.  Jobs whose registry
+record already says ``done`` are skipped (the registry, written before
+the ``complete`` line, is the source of truth for results; the journal
+only protects *pending* work), which is what makes recovery
+exactly-once: a crash after the registry write but before the journal
+line replays the job, finds the record, and does zero simulations.
+
+**Line format.**  ``<sha256-hex> <canonical-json>\\n``.  The checksum
+covers the JSON text, so a torn final record (the classic
+crash-mid-append) fails verification and is dropped with a warning
+instead of poisoning the replay; corrupt *interior* lines are skipped
+and counted the same way.
+
+After a successful replay the journal is *compacted*: rewritten (atomic
+rename) to contain only the ``submit`` lines of still-pending jobs, so
+the file stays proportional to outstanding work, not service lifetime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the journal line layout changes; old journals are ignored
+#: wholesale (a version line heads every file).
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Events that end a job's journal lifecycle.
+TERMINAL_EVENTS = ("complete", "fail", "cancel")
+
+#: Every event the journal accepts (anything else is a programming error).
+KNOWN_EVENTS = ("submit", "claim", "requeue") + TERMINAL_EVENTS
+
+
+def _checksum(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PendingJob:
+    """One job the replay found unfinished.
+
+    ``attempts`` counts the claims/requeues already burned, so a job
+    that repeatedly killed workers before the crash keeps its progress
+    toward the poison circuit breaker across restarts.
+    """
+
+    key: str
+    spec: Dict[str, Any]
+    priority: str = "batch"
+    attempts: int = 0
+    submitted_at: float = 0.0
+    orphaned: bool = False  # claimed (running) when the process died
+
+
+@dataclass
+class ReplayResult:
+    """What :meth:`JobJournal.replay` found."""
+
+    pending: List[PendingJob] = field(default_factory=list)
+    events: int = 0
+    torn: int = 0          # checksum-failed / truncated lines dropped
+    completed: int = 0     # jobs with a terminal line (informational)
+
+
+class JobJournal:
+    """Append-only, checksummed, crash-tolerant job WAL.
+
+    Thread-safe: appends are serialised by an internal lock.  ``fsync``
+    (default on) makes each append durable before it returns — journal
+    events are per *job*, not per sweep point, so the syscall cost is
+    negligible next to a simulation.
+    """
+
+    def __init__(self, path: pathlib.Path, *, fsync: bool = True):
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._fh = None
+        self.appended = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            new = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if new:
+                self._write_line({"event": "version",
+                                  "schema": JOURNAL_SCHEMA_VERSION})
+        return self._fh
+
+    def _write_line(self, body: Dict[str, Any]) -> None:
+        text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        self._fh.write(f"{_checksum(text)} {text}\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def append(self, event: str, key: str, **fields: Any) -> None:
+        """Durably record one lifecycle transition."""
+        if event not in KNOWN_EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        body = {"event": event, "key": key, "at": time.time(), **fields}
+        with self._lock:
+            self._open()
+            self._write_line(body)
+            self.appended += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (reopened on next append)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- reading -------------------------------------------------------------
+
+    def _read_events(self) -> ReplayResult:
+        """Parse every verifiable line; drop torn/corrupt ones."""
+        out = ReplayResult()
+        try:
+            raw = self.path.read_text(encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            return out
+        state: Dict[str, PendingJob] = {}
+        terminal: Dict[str, bool] = {}
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            if not line.strip():
+                continue
+            head, _, text = line.partition(" ")
+            if not text or _checksum(text) != head:
+                out.torn += 1
+                logger.warning(
+                    "journal %s line %d failed checksum "
+                    "(torn or corrupt record); dropped", self.path, lineno)
+                continue
+            try:
+                body = json.loads(text)
+            except json.JSONDecodeError:
+                out.torn += 1
+                continue
+            event = body.get("event")
+            key = body.get("key")
+            if event == "version":
+                if body.get("schema") != JOURNAL_SCHEMA_VERSION:
+                    logger.warning(
+                        "journal %s has schema %r (want %d); ignoring it",
+                        self.path, body.get("schema"), JOURNAL_SCHEMA_VERSION)
+                    return ReplayResult()
+                continue
+            if not isinstance(key, str):
+                out.torn += 1
+                continue
+            out.events += 1
+            if event == "submit":
+                spec = body.get("spec")
+                if isinstance(spec, dict):
+                    state[key] = PendingJob(
+                        key=key, spec=spec,
+                        priority=body.get("priority", "batch"),
+                        attempts=int(body.get("attempts", 0)),
+                        submitted_at=float(body.get("at", 0.0)),
+                    )
+                    terminal.pop(key, None)
+            elif event == "claim":
+                job = state.get(key)
+                if job is not None:
+                    job.orphaned = True
+                    job.attempts = max(job.attempts,
+                                       int(body.get("attempt", 1)))
+            elif event == "requeue":
+                job = state.get(key)
+                if job is not None:
+                    job.orphaned = False
+                    job.attempts = max(job.attempts,
+                                       int(body.get("attempt", 0)))
+            elif event in TERMINAL_EVENTS:
+                state.pop(key, None)
+                terminal[key] = True
+        out.pending = sorted(state.values(), key=lambda j: j.submitted_at)
+        out.completed = len(terminal)
+        return out
+
+    def replay(self) -> ReplayResult:
+        """Reconstruct outstanding work from the log (read-only)."""
+        with self._lock:
+            return self._read_events()
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, pending: List[PendingJob]) -> None:
+        """Rewrite the journal to hold only ``pending`` submit lines.
+
+        Atomic (tmp + rename): a crash mid-compaction leaves either the
+        old journal or the new one, never a half-written file — and
+        either replays to the same pending set.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                self._fh = fh
+                try:
+                    self._write_line({"event": "version",
+                                      "schema": JOURNAL_SCHEMA_VERSION})
+                    for job in pending:
+                        self._write_line({
+                            "event": "submit",
+                            "key": job.key,
+                            "at": job.submitted_at or time.time(),
+                            "spec": job.spec,
+                            "priority": job.priority,
+                            "attempts": job.attempts,
+                        })
+                finally:
+                    self._fh = None
+            os.replace(tmp, self.path)

@@ -46,6 +46,12 @@ COUNTERS = (
     "jobs_rejected",
     "jobs_deduplicated",
     "registry_hits",
+    # resilience layer (journal / supervisor / load-shedding)
+    "worker_restarts",
+    "jobs_requeued",
+    "jobs_poisoned",
+    "jobs_shed",
+    "jobs_replayed",
 )
 
 _HELP = {
@@ -56,6 +62,11 @@ _HELP = {
     "jobs_rejected": "Submissions refused by backpressure or client limits.",
     "jobs_deduplicated": "Submissions coalesced onto an identical in-flight job.",
     "registry_hits": "Submissions answered from the experiment registry with zero simulation.",
+    "worker_restarts": "Worker processes killed or crashed and respawned by the supervisor.",
+    "jobs_requeued": "Jobs returned to the queue after their worker process died.",
+    "jobs_poisoned": "Jobs quarantined by the poison-job circuit breaker.",
+    "jobs_shed": "Queued batch jobs cancelled to admit interactive work under overload.",
+    "jobs_replayed": "Jobs re-enqueued from the journal at startup.",
 }
 
 
@@ -151,15 +162,21 @@ class ServiceMetrics:
 
     def render_prometheus(
         self,
-        gauges: Optional[Mapping[str, Tuple[float, str]]] = None,
+        gauges: Optional[Mapping[str, Tuple[Any, str]]] = None,
         cache_stats: Optional[Mapping[str, Any]] = None,
+        registry_stats: Optional[Mapping[str, Any]] = None,
     ) -> str:
         """The ``/metrics`` document.
 
         ``gauges`` maps metric name → (value, help text), sampled by the
-        caller at scrape time; ``cache_stats`` is the dict from
-        :meth:`repro.harness.cache.RunCache.stats` (and, prefixed, the
-        registry's), re-exported under ``repro_cache_*``.
+        caller at scrape time.  A gauge value may also be a *list* of
+        ``(label-suffix, value)`` samples, rendering one family with
+        labelled series (e.g. queue depth per admission class next to
+        the unlabelled total).  ``cache_stats`` is the dict from
+        :meth:`repro.harness.cache.RunCache.stats`, re-exported under
+        ``repro_cache_*``; ``registry_stats`` likewise re-exports the
+        experiment registry's session counters (including corruption
+        evictions) under ``repro_registry_*``.
         """
         snap = self.snapshot()
         lines: List[str] = []
@@ -180,7 +197,15 @@ class ServiceMetrics:
                 [("", snap["counters"][cname])],
             )
         for gname, (value, help_text) in sorted((gauges or {}).items()):
-            emit(f"repro_{gname}", "gauge", help_text, [("", value)])
+            samples = value if isinstance(value, list) else [("", value)]
+            emit(f"repro_{gname}", "gauge", help_text, samples)
+        if registry_stats is not None:
+            for field in ("hits", "misses", "stores", "corrupt", "evictions"):
+                emit(
+                    f"repro_registry_{field}_total", "counter",
+                    f"Experiment registry {field} this server session.",
+                    [("", registry_stats.get(field, 0))],
+                )
         if cache_stats is not None:
             for field in ("hits", "misses", "stores", "corrupt"):
                 emit(

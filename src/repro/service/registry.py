@@ -10,14 +10,18 @@ registry with **zero** simulations — the job-level analogue of the PR 1
 run cache, and stored right next to it (``<cache-root>/registry/`` by
 default) so one ``--cache-dir`` flag provisions both layers.
 
-Records are written atomically (tmp + rename, like the run cache) and
-read defensively: unparseable or wrong-schema files are treated as
-absent and counted, never raised, so a corrupted record degrades to a
-re-run instead of a serving outage.
+Records are written atomically (tmp + rename, like the run cache)
+inside the same checksummed envelope the PR 2 run cache uses
+(``{"schema", "checksum", "stored_at", "record"}``), and read
+defensively: an unparseable, wrong-schema, truncated or bit-rotted file
+is *evicted* and counted (``corrupt`` / ``evictions``), never raised —
+so a corrupted record degrades to one re-run instead of a serving
+outage, and the next completion heals the registry in place.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
@@ -30,7 +34,14 @@ from repro.harness.cache import default_cache_dir
 logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every stored job record (envelope layout changes).
-REGISTRY_SCHEMA_VERSION = 1
+#: v2: checksummed envelope — corrupt records are detected and evicted.
+REGISTRY_SCHEMA_VERSION = 2
+
+
+def _record_checksum(record: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON rendering of a stored record."""
+    text = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def default_registry_dir() -> pathlib.Path:
@@ -56,6 +67,7 @@ class ExperimentRegistry:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.evictions = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         """File backing ``key``."""
@@ -107,6 +119,7 @@ class ExperimentRegistry:
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
             "schema": REGISTRY_SCHEMA_VERSION,
+            "checksum": _record_checksum(record),
             "stored_at": time.time(),
             "record": record,
         }
@@ -115,12 +128,27 @@ class ExperimentRegistry:
         os.replace(tmp, path)
         self.stores += 1
 
+    def _evict_corrupt(self, path: pathlib.Path, why: str) -> None:
+        """Remove a bad record so the job is recomputed, not errored."""
+        self.corrupt += 1
+        self.misses += 1
+        logger.warning(
+            "evicting corrupt registry record %s (%s); a resubmit will "
+            "recompute it", path, why)
+        try:
+            path.unlink()
+            self.evictions += 1
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored record for ``key``, or None.
 
-        Wrong-schema and unparseable files count as ``corrupt`` misses
-        (and are left in place for post-mortem inspection — unlike run
-        cache entries they are small and not self-healing by re-run).
+        A corrupt entry — unparseable JSON, a wrong-schema or missing
+        envelope, a truncated write, a checksum mismatch — is logged,
+        counted (``corrupt``/``evictions``), evicted, and reported as a
+        miss, so the next submit of the same work recomputes and heals
+        the registry instead of serving garbage or raising.
         """
         path = self.path_for(key)
         try:
@@ -129,21 +157,22 @@ class ExperimentRegistry:
             self.misses += 1
             return None
         except (OSError, json.JSONDecodeError) as exc:
-            self.corrupt += 1
-            self.misses += 1
-            logger.warning("unreadable registry record %s: %s", path, exc)
+            self._evict_corrupt(path, f"unreadable: {exc}")
             return None
         if (
             not isinstance(envelope, dict)
             or envelope.get("schema") != REGISTRY_SCHEMA_VERSION
             or "record" not in envelope
+            or "checksum" not in envelope
         ):
-            self.corrupt += 1
-            self.misses += 1
-            logger.warning("registry record %s has wrong schema", path)
+            self._evict_corrupt(path, "wrong schema or missing envelope")
+            return None
+        record = envelope["record"]
+        if _record_checksum(record) != envelope["checksum"]:
+            self._evict_corrupt(path, "checksum mismatch")
             return None
         self.hits += 1
-        return envelope["record"]
+        return record
 
     def delete(self, key: str) -> bool:
         """Remove a record; True when a file was actually deleted."""
@@ -201,4 +230,5 @@ class ExperimentRegistry:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
         }

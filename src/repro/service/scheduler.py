@@ -70,6 +70,7 @@ class Scheduler:
         workers: int = 2,
         sweep_jobs: Optional[int] = None,
         cache=None,
+        journal=None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -79,6 +80,7 @@ class Scheduler:
         self.workers = workers
         self.sweep_jobs = sweep_jobs
         self.cache = cache
+        self.journal = journal
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._running_lock = threading.Lock()
@@ -97,22 +99,32 @@ class Scheduler:
             t.start()
             self._threads.append(t)
 
-    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+    def stop(self, drain: bool = True, timeout: Optional[float] = None,
+             preserve_queued: bool = False) -> None:
         """Shut the pool down.
 
         ``drain=True`` (default) cancels *queued* jobs but lets
         *running* jobs finish and persist their records; ``drain=False``
         abandons running jobs too (their threads are daemonic).
+        ``preserve_queued`` (the SIGTERM graceful-drain path) skips the
+        cancellation records so still-queued jobs stay journalled for
+        the next server process to replay.
         """
         why = "service shut down before the job started"
         for job in self.queue.close():
             now = time.time()
+            if preserve_queued:
+                job.cancel("service restarting; job preserved in journal",
+                           at=now)
+                continue
             self.registry.put(ExperimentRegistry.make_record(
                 job,
                 status="cancelled",
                 error={"error_type": "Cancelled", "message": why},
                 finished_at=now,
             ))
+            if self.journal is not None:
+                self.journal.append("cancel", job.key)
             self.metrics.inc("jobs_cancelled")
             job.cancel(why, at=now)
         self._stop.set()
@@ -151,6 +163,8 @@ class Scheduler:
         the full Chrome trace rides along on the terminal record.
         """
         job.mark_running()
+        if self.journal is not None:
+            self.journal.append("claim", job.key, attempt=job.attempts)
         with self._running_lock:
             self._running.add(job.key)
         self.registry.put(ExperimentRegistry.make_record(job))
@@ -197,6 +211,9 @@ class Scheduler:
                     job, status="failed", error=error, finished_at=now)
                 self._attach_trace(record, job, tracer)
                 self.registry.put(record)
+                if self.journal is not None:
+                    self.journal.append("fail", job.key,
+                                        error_type=error["error_type"])
                 job.fail(error, at=now)
                 self.metrics.inc("jobs_failed")
                 logger.warning("job %s failed: %s: %s",
@@ -207,6 +224,8 @@ class Scheduler:
                     job, status="done", result=payload, finished_at=now)
                 self._attach_trace(record, job, tracer)
                 self.registry.put(record)
+                if self.journal is not None:
+                    self.journal.append("complete", job.key)
                 job.finish(payload, at=now)
                 self.metrics.inc("jobs_completed")
         finally:

@@ -91,6 +91,7 @@ class ServiceServer:
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._preserve_queued = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -124,12 +125,27 @@ class ServiceServer:
         except KeyboardInterrupt:
             pass
         finally:
-            self.stop()
+            self.stop(preserve_queued=self._preserve_queued)
 
-    def stop(self, drain: bool = True) -> None:
-        """Graceful shutdown: stop accepting, drain jobs, close sockets."""
+    def request_shutdown(self, preserve_queued: bool = True) -> None:
+        """Ask a blocked :meth:`serve_forever` to drain and return.
+
+        Safe to call from a signal handler (SIGTERM): ``shutdown()``
+        blocks until the serve loop exits, so it runs on a helper
+        thread rather than the loop's own thread.
+        """
+        self._preserve_queued = preserve_queued
+        threading.Thread(target=self._httpd.shutdown, daemon=True).start()
+
+    def stop(self, drain: bool = True, preserve_queued: bool = False) -> None:
+        """Graceful shutdown: stop accepting, drain jobs, close sockets.
+
+        ``preserve_queued`` is the SIGTERM drain: still-queued jobs stay
+        journalled for the next server process instead of being
+        cancelled on the record.
+        """
         self._httpd.shutdown()
-        self.app.close(drain=drain)
+        self.app.close(drain=drain, preserve_queued=preserve_queued)
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

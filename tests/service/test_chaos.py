@@ -1,0 +1,133 @@
+"""Chaos harness (tier-1 scale): kills + a restart lose and duplicate nothing.
+
+The full 50-job soak with five seeded kill points lives in
+``benchmarks/test_bench_service_chaos.py``; this is the same campaign
+shape scaled to the tier-1 time budget — a sweep of unique jobs served
+while worker processes are SIGKILLed at seeded points and the server
+itself "crashes" (workers killed, queue abandoned) mid-campaign, then
+restarts over the same cache/journal.
+
+Invariants asserted, per the ISSUE acceptance bar:
+
+* **zero lost jobs** — every accepted job ends ``done`` in the registry;
+* **zero duplicate simulations** — each job completes exactly once
+  across both server generations, and resubmits after recovery are
+  answered from the registry with no new work;
+* **byte-identical artifacts** — every payload equals the one an
+  undisturbed server produces for the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+
+from repro.service.api import ServiceApp
+
+from tests.service.conftest import tiny_conv_spec
+
+N_JOBS = 8
+KILLS = 2
+
+
+def _submit(app, spec):
+    status, _, body = app.handle("POST", "/api/v1/jobs", {},
+                                 json.dumps(spec).encode())
+    assert status in (200, 202)
+    return json.loads(body)
+
+
+def _specs():
+    return [tiny_conv_spec(base_seed=100 + i, client=f"chaos-{i % 3}")
+            for i in range(N_JOBS)]
+
+
+def _done_count(app, keys):
+    n = 0
+    for key in keys:
+        record = app.registry.get(key)
+        if record is not None and record.get("status") == "done":
+            n += 1
+    return n
+
+
+def test_chaos_campaign_loses_and_duplicates_nothing(tmp_path):
+    rng = random.Random(4242)
+    cache_dir = tmp_path / "cache"
+
+    # -- generation 1: serve under fire --------------------------------------
+    app1 = ServiceApp(cache_dir=cache_dir, workers=2, worker_mode="process",
+                      retry_budget=3, retry_backoff=0.05, chaos_seed=1)
+    app1.start()
+    keys = [_submit(app1, spec)["job_id"] for spec in _specs()]
+    assert len(set(keys)) == N_JOBS
+
+    # SIGKILL workers at seeded points while the campaign runs
+    for _ in range(KILLS):
+        time.sleep(rng.uniform(0.2, 0.6))
+        pids = app1.scheduler.worker_pids()
+        if pids:
+            os.kill(rng.choice(pids), signal.SIGKILL)
+
+    # let part of the campaign land, then "crash" the server: workers
+    # killed, queued jobs abandoned — only the journal survives
+    deadline = time.time() + 60
+    while _done_count(app1, keys) < N_JOBS // 2:
+        assert time.time() < deadline, "campaign stalled before the crash"
+        time.sleep(0.05)
+    app1.close(drain=False, preserve_queued=True)
+    completed_gen1 = app1.metrics.counter("jobs_completed")
+
+    # -- generation 2: replay the journal, finish the campaign ---------------
+    app2 = ServiceApp(cache_dir=cache_dir, workers=2, worker_mode="process",
+                      retry_budget=3, retry_backoff=0.05, chaos_seed=2)
+    app2.start()
+    try:
+        assert app2.replay_stats["replayed"] + completed_gen1 >= 1
+        deadline = time.time() + 120
+        while _done_count(app2, keys) < N_JOBS:
+            assert time.time() < deadline, (
+                f"lost jobs: only {_done_count(app2, keys)}/{N_JOBS} done")
+            time.sleep(0.05)
+
+        # zero lost jobs
+        assert _done_count(app2, keys) == N_JOBS
+        # zero duplicate simulations: each job completed exactly once
+        # across both generations...
+        completed_gen2 = app2.metrics.counter("jobs_completed")
+        assert completed_gen1 + completed_gen2 == N_JOBS
+        # ...and resubmits are answered from the registry, zero new work
+        before_hits = app2.metrics.counter("registry_hits")
+        for spec in _specs():
+            receipt = _submit(app2, spec)
+            assert receipt["cached"] is True
+        assert app2.metrics.counter("registry_hits") == before_hits + N_JOBS
+        assert app2.metrics.counter("jobs_submitted") == 0
+        chaotic = {
+            key: json.dumps(app2.registry.get(key)["result"], sort_keys=True)
+            for key in keys
+        }
+    finally:
+        app2.close()
+
+    # -- control: an undisturbed run produces the same bytes -----------------
+    control = ServiceApp(cache_dir=tmp_path / "control-cache", workers=2,
+                         worker_mode="thread")
+    control.start()
+    try:
+        for spec, key in zip(_specs(), keys):
+            receipt = _submit(control, spec)
+            assert receipt["job_id"] == key
+        deadline = time.time() + 120
+        while _done_count(control, keys) < N_JOBS:
+            assert time.time() < deadline
+            time.sleep(0.05)
+        for key in keys:
+            expected = json.dumps(control.registry.get(key)["result"],
+                                  sort_keys=True)
+            assert chaotic[key] == expected, f"artifact drift on {key[:12]}"
+    finally:
+        control.close()

@@ -1,0 +1,131 @@
+"""The durable job journal: WAL semantics, torn records, compaction."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.journal import (JOURNAL_SCHEMA_VERSION, JobJournal,
+                                   PendingJob)
+
+SPEC = {"kind": "convolution", "work": {"x": 1}}
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def make_journal(tmp_path) -> JobJournal:
+    return JobJournal(tmp_path / "journal.wal", fsync=False)
+
+
+def test_roundtrip_submit_claim_complete(tmp_path):
+    j = make_journal(tmp_path)
+    j.append("submit", KEY_A, spec=SPEC, priority="batch")
+    j.append("claim", KEY_A, attempt=1)
+    j.append("complete", KEY_A)
+    found = j.replay()
+    assert found.pending == []
+    assert found.events == 3
+    assert found.torn == 0
+    assert found.completed == 1
+
+
+def test_orphan_replays_with_attempts_preserved(tmp_path):
+    j = make_journal(tmp_path)
+    j.append("submit", KEY_A, spec=SPEC, priority="interactive")
+    j.append("claim", KEY_A, attempt=1)
+    j.append("requeue", KEY_A, attempt=1)
+    j.append("claim", KEY_A, attempt=2)
+    found = j.replay()
+    assert len(found.pending) == 1
+    pending = found.pending[0]
+    assert pending.key == KEY_A
+    assert pending.spec == SPEC
+    assert pending.priority == "interactive"
+    assert pending.orphaned is True  # claimed when the process died
+    assert pending.attempts == 2     # poison progress survives restarts
+
+
+def test_torn_final_record_is_dropped_not_fatal(tmp_path):
+    j = make_journal(tmp_path)
+    j.append("submit", KEY_A, spec=SPEC)
+    j.append("submit", KEY_B, spec=SPEC)
+    j.append("complete", KEY_B)
+    j.close()
+    # crash mid-append: half a line, no checksum match
+    with open(j.path, "a", encoding="utf-8") as fh:
+        fh.write('0' * 64 + ' {"event": "complete", "key": "' + KEY_A)
+    found = j.replay()
+    assert found.torn == 1
+    assert [p.key for p in found.pending] == [KEY_A]  # still pending
+    assert found.completed == 1
+
+
+def test_corrupt_interior_line_is_skipped(tmp_path):
+    j = make_journal(tmp_path)
+    j.append("submit", KEY_A, spec=SPEC)
+    j.append("submit", KEY_B, spec=SPEC)
+    j.append("submit", KEY_C, spec=SPEC)
+    j.close()
+    lines = j.path.read_text().splitlines()
+    # bit-rot the middle submit (line 0 is the version header)
+    lines[2] = lines[2][:70] + ("x" if lines[2][70] != "x" else "y") + lines[2][71:]
+    j.path.write_text("\n".join(lines) + "\n")
+    found = j.replay()
+    assert found.torn == 1
+    assert sorted(p.key for p in found.pending) == [KEY_A, KEY_C]
+
+
+def test_compaction_keeps_only_pending_submits(tmp_path):
+    j = make_journal(tmp_path)
+    j.append("submit", KEY_A, spec=SPEC)
+    j.append("submit", KEY_B, spec=SPEC)
+    j.append("claim", KEY_B, attempt=1)
+    j.append("complete", KEY_B)
+    before = j.replay()
+    assert [p.key for p in before.pending] == [KEY_A]
+    j.compact(before.pending)
+    text = j.path.read_text()
+    assert KEY_A in text and KEY_B not in text
+    after = j.replay()  # compaction is replay-idempotent
+    assert [p.key for p in after.pending] == [KEY_A]
+    assert after.events == 1
+
+
+def test_compaction_preserves_attempts_and_priority(tmp_path):
+    j = make_journal(tmp_path)
+    j.compact([PendingJob(key=KEY_A, spec=SPEC, priority="interactive",
+                          attempts=2, submitted_at=123.0)])
+    found = j.replay()
+    assert found.pending[0].attempts == 2
+    assert found.pending[0].priority == "interactive"
+    assert found.pending[0].submitted_at == 123.0
+
+
+def test_unknown_schema_journal_is_ignored_wholesale(tmp_path):
+    j = make_journal(tmp_path)
+    j.append("submit", KEY_A, spec=SPEC)
+    j.close()
+    lines = j.path.read_text().splitlines()
+    body = json.dumps({"event": "version", "schema": JOURNAL_SCHEMA_VERSION + 1},
+                      sort_keys=True, separators=(",", ":"))
+    import hashlib
+    lines[0] = hashlib.sha256(body.encode()).hexdigest() + " " + body
+    j.path.write_text("\n".join(lines) + "\n")
+    found = j.replay()
+    assert found.pending == [] and found.events == 0
+
+
+def test_missing_journal_replays_empty(tmp_path):
+    j = make_journal(tmp_path)
+    found = j.replay()
+    assert found.pending == [] and found.events == 0 and found.torn == 0
+
+
+def test_unknown_event_is_rejected(tmp_path):
+    j = make_journal(tmp_path)
+    try:
+        j.append("explode", KEY_A)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("unknown event must raise")

@@ -1,0 +1,166 @@
+"""Graceful SIGTERM drain and journal-driven restart, over a real process.
+
+These tests exercise the full ``repro serve`` path the way an init
+system would: spawn the CLI as a subprocess, deliver SIGTERM, assert it
+drains and exits 0, then restart it over the same cache directory and
+watch the journal replay finish the preserved jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.api import ServiceApp
+from repro.service.client import ServiceClient
+
+from tests.service.conftest import tiny_conv_spec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _start_server(cache_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         "--port", "0", "--cache-dir", str(cache_dir),
+         "--workers", "1", "--worker-mode", "process", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO_ROOT,
+    )
+    line = proc.stdout.readline()
+    m = re.search(r"listening on (http://[\d.]+:\d+)", line)
+    assert m, f"no listening banner, got: {line!r} "
+    return proc, m.group(1)
+
+
+def _drain_output(proc, timeout=60):
+    try:
+        out, _ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, _ = proc.communicate()
+        raise AssertionError(f"server did not exit; output so far:\n{out}")
+    return out
+
+
+@pytest.mark.slow
+def test_sigterm_drains_preserves_queued_and_exits_zero(tmp_path):
+    cache_dir = tmp_path / "cache"
+    proc, url = _start_server(cache_dir)
+    keys = []
+    try:
+        client = ServiceClient(url, retries=3, retry_backoff=0.1, seed=1)
+        # one job big enough to still be running at SIGTERM + two queued
+        keys.append(client.submit(tiny_conv_spec(
+            workload={"height": 128, "width": 192, "steps": 40},
+            process_counts=[1, 2, 4, 8], reps=2, base_seed=51,
+        ))["job_id"])
+        keys.append(client.submit(tiny_conv_spec(base_seed=52))["job_id"])
+        keys.append(client.submit(tiny_conv_spec(base_seed=53))["job_id"])
+    finally:
+        proc.send_signal(signal.SIGTERM)
+    out = _drain_output(proc)
+    assert proc.returncode == 0, f"non-zero exit; output:\n{out}"
+    assert "draining" in out
+    assert "stopped" in out
+
+    # the journal holds the preserved (not cancelled) jobs
+    journal_text = (cache_dir / "journal.wal").read_text()
+    assert any(key in journal_text for key in keys)
+
+    # -- restart over the same cache: replay finishes every job --------------
+    proc2, url2 = _start_server(cache_dir)
+    try:
+        client2 = ServiceClient(url2, retries=3, retry_backoff=0.1, seed=2)
+        for key in keys:
+            record = client2.wait(key, timeout=120)
+            assert record["status"] == "done", record
+        # the drained job was NOT re-simulated: its registry record
+        # predates the restart, so a resubmit is a warm hit
+        receipt = client2.submit(tiny_conv_spec(base_seed=52))
+        assert receipt["cached"] is True
+        metrics = client2.metrics_text()
+        assert "repro_journal_replay_seconds" in metrics
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        out2 = _drain_output(proc2)
+        assert proc2.returncode == 0, out2
+
+
+def test_restart_replays_despite_torn_final_record(tmp_path):
+    cache_dir = tmp_path / "cache"
+    app = ServiceApp(cache_dir=cache_dir, workers=1)
+    status, _, body = app.handle(
+        "POST", "/api/v1/jobs", {},
+        json.dumps(tiny_conv_spec(base_seed=61)).encode())
+    assert status == 202
+    key = json.loads(body)["job_id"]
+    app.close(preserve_queued=True)  # queued job stays journalled
+
+    # crash-mid-append: a torn, checksum-failing final line
+    with open(app.journal.path, "a", encoding="utf-8") as fh:
+        fh.write("deadbeef" * 8 + ' {"event": "complete", "key": "' + key)
+
+    app2 = ServiceApp(cache_dir=cache_dir, workers=1)
+    app2.start()
+    try:
+        assert app2.replay_stats["torn"] == 1
+        assert app2.replay_stats["replayed"] == 1
+        assert app2.metrics.counter("jobs_replayed") == 1
+        deadline = time.time() + 60
+        while True:
+            record = app2.registry.get(key)
+            if record is not None and record.get("status") == "done":
+                break
+            assert time.time() < deadline, "replayed job never completed"
+            time.sleep(0.05)
+    finally:
+        app2.close()
+
+
+def test_registry_win_makes_replay_skip_completed_job(tmp_path):
+    """Crash between the registry write and the journal terminal line:
+    the registry (written first) wins and the job is not re-run."""
+    cache_dir = tmp_path / "cache"
+    app = ServiceApp(cache_dir=cache_dir, workers=1)
+    app.start()
+    status, _, body = app.handle(
+        "POST", "/api/v1/jobs", {},
+        json.dumps(tiny_conv_spec(base_seed=62)).encode())
+    key = json.loads(body)["job_id"]
+    deadline = time.time() + 60
+    while (app.registry.get(key) or {}).get("status") != "done":
+        assert time.time() < deadline
+        time.sleep(0.05)
+    app.close()
+
+    # rewrite the journal as if the 'complete' line never landed
+    journal = app.journal
+    found = journal.replay()
+    assert found.pending == []
+    from repro.service.journal import PendingJob
+    from repro.service.jobs import parse_job_spec
+    spec = parse_job_spec(tiny_conv_spec(base_seed=62))
+    journal.compact([PendingJob(key=key, spec=spec.to_dict(),
+                                submitted_at=time.time())])
+
+    app2 = ServiceApp(cache_dir=cache_dir, workers=1)
+    app2.start()
+    try:
+        # replay consulted the registry and skipped the finished job
+        assert app2.replay_stats["recovered"] == 1
+        assert app2.replay_stats["replayed"] == 0
+        assert app2.queue.in_flight() == 0
+        assert app2.metrics.counter("jobs_replayed") == 0
+    finally:
+        app2.close()
