@@ -11,6 +11,10 @@ Usage (module form, no console-script assumptions)::
     python -m repro.cli fig5a --trace trace.json
     python -m repro.cli cache stats
     python -m repro.cli cache clear
+    python -m repro.cli run --scenario spec.json
+    python -m repro.cli sweep --scenario spec.json --jobs 4 --cache
+    python -m repro.cli workloads list
+    python -m repro.cli scenarios validate spec.json
     python -m repro.cli serve --port 8765 --jobs 4 --cache-dir /var/cache/repro
     python -m repro.cli submit job.json --wait
     python -m repro.cli status <job-id>
@@ -36,6 +40,14 @@ SECONDS`` arms the engine's per-point wall-clock watchdog.
 ``--engine threads`` swaps the default single-thread event loop for the
 thread-per-rank oracle (``REPRO_ENGINE`` sets the default); simulated
 results are bit-identical either way.
+
+The ``run`` and ``sweep`` subcommands (aliases) execute a declarative
+:class:`~repro.scenarios.ScenarioSpec` JSON file end to end — any
+workload discovered through :mod:`repro.workloads.registry`, including
+the zoo — and optionally write the canonical result payload with
+``--out``.  ``workloads list`` prints every registered plugin;
+``scenarios validate`` checks spec files without running anything
+(exit 1 on the first invalid spec).
 
 The ``serve`` subcommand runs the :mod:`repro.service` analysis server
 (job queue + experiment registry + ``/metrics``); ``submit`` and
@@ -262,6 +274,171 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _scenario_run_parser(prog: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.cli {prog}",
+        description="Execute a declarative scenario spec (any registered "
+                    "workload) across its process-count sweep.",
+    )
+    parser.add_argument("--scenario", type=pathlib.Path, required=True,
+                        metavar="SPEC.json",
+                        help="scenario spec file (see docs/workloads.md)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for sweep points "
+                             "(0 = all cores; default: $REPRO_JOBS or serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse the persistent run cache "
+                             "($REPRO_CACHE_DIR or ~/.cache/repro/runs)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        metavar="RESULT.json",
+                        help="write the canonical scenario result payload "
+                             "(byte-identical to the served payload)")
+    parser.add_argument("--on-error", choices=("raise", "skip"),
+                        default="raise", dest="on_error",
+                        help="sweep-point failure policy")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per failing sweep point")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    return parser
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    return _scenario_run_parser("run")
+
+
+def _sweep_parser() -> argparse.ArgumentParser:
+    return _scenario_run_parser("sweep")
+
+
+def _run_main(argv: List[str], prog: str = "run") -> int:
+    """The ``run``/``sweep`` subcommands: execute a scenario spec."""
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.harness.parallel import resolve_jobs
+    from repro.harness.scenario import run_scenario, scenario_payload
+    from repro.scenarios import ScenarioSpec, ScenarioSpecError
+
+    args = _scenario_run_parser(prog).parse_args(argv)
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        spec = ScenarioSpec.load(args.scenario)
+    except ScenarioSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    run_cache = None
+    if args.cache:
+        from repro.harness.cache import RunCache
+
+        run_cache = RunCache()
+    progress = None if args.quiet else print
+    try:
+        profile, metrics = run_scenario(
+            spec, progress=progress, jobs=jobs, cache=run_cache,
+            on_error=args.on_error, retries=args.retries,
+        )
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_RUN_FAILURE
+    payload = scenario_payload(spec, profile, metrics)
+    ok = _report_sweep_failures(profile.failures, spec.workload)
+    summary = payload["summary"]
+    print(f"scenario {spec.workload} [{spec.content_key[:12]}]: "
+          f"scales {summary['scales']}")
+    if summary["speedup"] is not None:
+        for p in profile.scales():
+            line = f"  p={p}: speedup {summary['speedup'][str(p)]:.3f}"
+            extra = metrics.get(p)
+            if extra:
+                line += "  " + "  ".join(
+                    f"{k}={v:.4g}" for k, v in sorted(extra.items()))
+            print(line)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(_json.dumps(payload, sort_keys=True, indent=2)
+                            + "\n")
+        print(f"result written: {args.out}")
+    return EXIT_OK if ok else EXIT_RUN_FAILURE
+
+
+def _workloads_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli workloads",
+        description="Inspect the workload plugin registry.",
+    )
+    parser.add_argument("action", choices=("list",),
+                        help="list every discovered workload plugin")
+    parser.add_argument("--domain", default=None,
+                        help="only show plugins of this domain "
+                             "(paper | zoo | ...)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit full declarative descriptions as JSON")
+    return parser
+
+
+def _workloads_main(argv: List[str]) -> int:
+    """The ``workloads`` subcommand: list registered plugins."""
+    import json as _json
+
+    from repro.workloads import registry
+
+    args = _workloads_parser().parse_args(argv)
+    plugins = [registry.get(name) for name in registry.discover()]
+    if args.domain is not None:
+        plugins = [c for c in plugins if c.DOMAIN == args.domain]
+    if args.as_json:
+        print(_json.dumps([c.describe() for c in plugins], indent=2))
+        return EXIT_OK
+    if not plugins:
+        print("no workloads registered")
+        return EXIT_OK
+    width = max(len(c.NAME) for c in plugins)
+    for c in plugins:
+        print(f"{c.NAME:<{width}}  {c.DOMAIN:<6} {c.COMM_PATTERN:<14} "
+              f"sections={len(c.SECTIONS)} params={len(c.PARAMS)}")
+    return EXIT_OK
+
+
+def _scenarios_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli scenarios",
+        description="Validate declarative scenario spec files.",
+    )
+    parser.add_argument("action", choices=("validate",),
+                        help="parse + validate specs without running them")
+    parser.add_argument("spec", type=pathlib.Path, nargs="+",
+                        help="scenario spec JSON file(s)")
+    return parser
+
+
+def _scenarios_main(argv: List[str]) -> int:
+    """The ``scenarios`` subcommand: validate spec files (exit 1 on bad)."""
+    from repro.scenarios import ScenarioSpec, ScenarioSpecError
+
+    args = _scenarios_parser().parse_args(argv)
+    code = EXIT_OK
+    for path in args.spec:
+        try:
+            spec = ScenarioSpec.load(path)
+        except ScenarioSpecError as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            code = EXIT_USAGE
+            continue
+        print(f"{path}: ok  workload={spec.workload} "
+              f"p={list(spec.process_counts)} "
+              f"content_key={spec.content_key[:12]}")
+    return code
+
+
 def _serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli serve",
@@ -470,6 +647,10 @@ def _status_main(argv: List[str]) -> int:
 #: flag rename that orphans an example fails CI.
 SUBCOMMAND_PARSERS = {
     "cache": _cache_parser,
+    "run": _run_parser,
+    "sweep": _sweep_parser,
+    "workloads": _workloads_parser,
+    "scenarios": _scenarios_parser,
     "serve": _serve_parser,
     "submit": _submit_parser,
     "status": _status_parser,
@@ -482,6 +663,12 @@ def main(argv: List[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] in ("run", "sweep"):
+        return _run_main(argv[1:], prog=argv[0])
+    if argv and argv[0] == "workloads":
+        return _workloads_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        return _scenarios_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "submit":

@@ -205,3 +205,15 @@ class MachineError(ReproError):
 
 class OversubscriptionError(MachineError):
     """More ranks/threads requested than the machine model exposes."""
+
+
+# ---------------------------------------------------------------------------
+# Workload-plugin / scenario errors
+# ---------------------------------------------------------------------------
+
+class WorkloadError(ReproError):
+    """Invalid workload plugin definition, parameters, or lookup."""
+
+
+class WorkloadValidityError(WorkloadError):
+    """A workload's post-run validity check failed (corrupt results)."""

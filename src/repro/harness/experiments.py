@@ -17,14 +17,26 @@ from repro.core.analysis import HybridAnalysis, ScalingAnalysis
 from repro.core.profile import ScalingProfile
 from repro.core.report import format_dict_rows
 from repro.errors import AnalysisError
-from repro.workloads.convolution import SECTIONS as CONV_SECTIONS
+from repro.workloads import registry
 from repro.workloads.lulesh import (
     PAPER_TOTAL_ELEMENTS,
     lulesh_strong_scaling_configs,
 )
 
-#: Convolution section labels in the order the paper lists them.
-_CONV_LABELS = list(CONV_SECTIONS)
+
+def _conv_labels() -> List[str]:
+    """Convolution section labels, from the registered plugin."""
+    return list(registry.get("convolution").SECTIONS)
+
+
+def _conv_bound_label() -> str:
+    """The section the paper's bound analyses single out (HALO)."""
+    return registry.get("convolution").KEY_SECTIONS[0]
+
+
+def _lulesh_key_sections() -> Sequence[str]:
+    """The dominant Lulesh phases (LagrangeNodal, LagrangeElements)."""
+    return registry.get("lulesh").KEY_SECTIONS
 
 
 @dataclass
@@ -58,7 +70,7 @@ class ExperimentResult:
 def fig5a(profile: ScalingProfile) -> ExperimentResult:
     """Figure 5(a): percentage of execution time per MPI Section vs p."""
     analysis = ScalingAnalysis(profile)
-    rows = analysis.breakdown_rows(labels=_CONV_LABELS)
+    rows = analysis.breakdown_rows(labels=_conv_labels())
     first, last = rows[0], rows[-1]
     mid = rows[len(rows) // 2]
     checks = {
@@ -78,7 +90,7 @@ def fig5a(profile: ScalingProfile) -> ExperimentResult:
 def fig5b(profile: ScalingProfile) -> ExperimentResult:
     """Figure 5(b): total (cross-process) time per MPI Section vs p."""
     analysis = ScalingAnalysis(profile)
-    rows = analysis.totals_rows(labels=_CONV_LABELS)
+    rows = analysis.totals_rows(labels=_conv_labels())
     ps = [r["p"] for r in rows]
     halo = [r["HALO"] for r in rows]
     big = [h for p, h in zip(ps, halo) if p >= 16]
@@ -99,7 +111,7 @@ def fig5b(profile: ScalingProfile) -> ExperimentResult:
 def fig5c(profile: ScalingProfile) -> ExperimentResult:
     """Figure 5(c): average per-process time per MPI Section vs p."""
     analysis = ScalingAnalysis(profile)
-    rows = analysis.averages_rows(labels=_CONV_LABELS)
+    rows = analysis.averages_rows(labels=_conv_labels())
     conv = [r["CONVOLVE"] for r in rows]
     checks = {
         # The compute phase accelerates steadily with p ...
@@ -117,7 +129,7 @@ def fig5c(profile: ScalingProfile) -> ExperimentResult:
 def fig5d(profile: ScalingProfile) -> ExperimentResult:
     """Figure 5(d): measured speedup + partial bounds from HALO."""
     analysis = ScalingAnalysis(profile)
-    rows = analysis.speedup_rows(bound_label="HALO")
+    rows = analysis.speedup_rows(bound_label=_conv_bound_label())
     ps = [r["p"] for r in rows]
     sp = [r["speedup"] for r in rows]
     pmax = max(ps)
@@ -155,7 +167,7 @@ def fig6(
         process_counts = [p for p in process_counts if p in profile.scales()]
         if not process_counts:
             raise AnalysisError("none of the requested process counts were run")
-    entries = analysis.bound_table("HALO", process_counts)
+    entries = analysis.bound_table(_conv_bound_label(), process_counts)
     rows = []
     for e in entries:
         rows.append(
@@ -212,20 +224,15 @@ def table7(total_elements: int = PAPER_TOTAL_ELEMENTS) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def _hybrid_rows(analysis: HybridAnalysis) -> List[dict]:
+    key_sections = _lulesh_key_sections()
     rows = []
     for p in analysis.process_counts():
         for t in analysis.thread_counts(p):
-            rows.append(
-                {
-                    "p": p,
-                    "threads": t,
-                    "LagrangeNodal": analysis.mean_avg_section("LagrangeNodal", p, t),
-                    "LagrangeElements": analysis.mean_avg_section(
-                        "LagrangeElements", p, t
-                    ),
-                    "walltime": analysis.mean_walltime(p, t),
-                }
-            )
+            row = {"p": p, "threads": t}
+            for label in key_sections:
+                row[label] = analysis.mean_avg_section(label, p, t)
+            row["walltime"] = analysis.mean_walltime(p, t)
+            rows.append(row)
     return rows
 
 
@@ -305,6 +312,7 @@ def fig10(analysis: HybridAnalysis, rel_tol: float = 0.05) -> ExperimentResult:
     exists, the two-phase bound is a tight upper estimate of the measured
     speedup there, and each individual section bound caps it.
     """
+    nodal, elements = _lulesh_key_sections()
     ts, walls = analysis.walltime_series(1)
     _, sp = analysis.speedup_series(1)
     rows = []
@@ -313,17 +321,15 @@ def fig10(analysis: HybridAnalysis, rel_tol: float = 0.05) -> ExperimentResult:
             {
                 "threads": t,
                 "walltime": walls[i],
-                "LagrangeNodal": analysis.mean_avg_section("LagrangeNodal", 1, t),
-                "LagrangeElements": analysis.mean_avg_section(
-                    "LagrangeElements", 1, t
-                ),
+                nodal: analysis.mean_avg_section(nodal, 1, t),
+                elements: analysis.mean_avg_section(elements, 1, t),
                 "speedup": sp[i],
             }
         )
     notes = []
     checks: Dict[str, bool] = {}
 
-    infl = analysis.inflexion("LagrangeElements", 1, rel_tol)
+    infl = analysis.inflexion(elements, 1, rel_tol)
     checks["elements_has_inflexion"] = infl is not None
     if infl is not None:
         notes.append(
@@ -333,10 +339,10 @@ def fig10(analysis: HybridAnalysis, rel_tol: float = 0.05) -> ExperimentResult:
         t_star = infl.p
         measured = analysis.speedup(1, t_star)
         two_phase_bound = analysis.bound_from_sections(
-            ["LagrangeNodal", "LagrangeElements"], 1, t_star
+            [nodal, elements], 1, t_star
         )
         elements_bound = analysis.sequential_time() / analysis.mean_avg_section(
-            "LagrangeElements", 1, t_star
+            elements, 1, t_star
         )
         notes.append(
             f"at inflexion: measured S={measured:.3f}, two-phase bound "

@@ -50,8 +50,8 @@ from repro.harness.parallel import (
     resolve_jobs,
 )
 from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
-from repro.workloads.convolution import ConvolutionBenchmark
-from repro.workloads.lulesh import LuleshBenchmark, LuleshConfig
+from repro.workloads import registry
+from repro.workloads.lulesh import LuleshConfig
 
 
 def _check_on_error(on_error: str) -> None:
@@ -113,8 +113,8 @@ def _run_conv_point(task) -> Tuple[SectionProfile, str]:
     sweep, p, r, seed = task
     with obs.span("point.simulate", layer="harness",
                   workload="convolution", p=p, rep=r):
-        bench = ConvolutionBenchmark(sweep.config_for(p))
-        res = bench.run(
+        plugin = registry.get("convolution").from_config(sweep.config_for(p))
+        res = plugin.run(
             p,
             machine=sweep.machine,
             ranks_per_node=sweep.ranks_per_node,
@@ -253,10 +253,10 @@ def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
     sweep, cfg, p, t, r, seed = task
     with obs.span("point.simulate", layer="harness",
                   workload="lulesh", p=p, threads=t, rep=r):
-        bench = LuleshBenchmark(cfg)
-        run, phys = bench.run(
+        plugin = registry.get("lulesh").from_config(cfg)
+        run = plugin.run(
             p,
-            nthreads=t,
+            threads=t,
             machine=sweep.machine,
             seed=seed,
             compute_jitter=sweep.compute_jitter,
@@ -264,13 +264,14 @@ def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
             wall_timeout=sweep.wall_timeout,
             engine=sweep.engine,
         )
+        drift = plugin.metrics(run)["energy_drift"]
     msg = (
         f"lulesh p={p} t={t} rep={r}: wall={run.walltime:.3f}s "
-        f"E-drift={phys.energy_drift:.2e}"
+        f"E-drift={drift:.2e}"
     )
     return (
         SectionProfile.from_run(run, p=p, threads=t),
-        phys.energy_drift,
+        drift,
         msg,
     )
 

@@ -1,0 +1,226 @@
+"""Scenario execution: a :class:`~repro.scenarios.ScenarioSpec` → profiles.
+
+The scenario twin of :func:`~repro.harness.runner.run_convolution_sweep`,
+generic over every registered workload plugin: points follow the same
+seeding contract (``base_seed + 1000 * p + rep``), run through the same
+fail-soft parallel map, and hit the same content-addressed run cache —
+with the plugin's validity check executed after **every** fresh point,
+so a corrupted simulation fails loudly instead of polluting a profile
+(and is never cached).
+
+:func:`scenario_payload` is the single canonical JSON rendering of a
+scenario result, shared by the CLI (``repro sweep --scenario``) and the
+service (``kind: "scenario"`` jobs) so both paths are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.export import (
+    profile_from_dict,
+    profile_to_dict,
+    scaling_to_json,
+)
+from repro.core.profile import ScalingProfile, SectionProfile
+from repro.harness.cache import RunCache, maybe_default_cache, run_key
+from repro.harness.failures import SweepFailureReport
+from repro.harness.parallel import map_points_failsoft, resolve_jobs
+from repro.harness.runner import (
+    _check_on_error,
+    _check_seed_collisions,
+    _raise_point,
+    _to_failure,
+)
+from repro.scenarios import ScenarioSpec
+
+
+def scenario_point_key(spec: ScenarioSpec, p: int, rep: int, seed: int) -> str:
+    """Run-cache key of one scenario point.
+
+    Mirrors the hand-wired sweeps' keys: everything result-shaping is
+    included; the engine is **not** (both engines are bit-identical, so
+    either may serve the other's cached points — the scenario
+    ``content_key`` is where engine choice matters).
+    """
+    return run_key(
+        workload=spec.workload,
+        config=spec.params,
+        p=p,
+        threads=spec.threads,
+        rep=rep,
+        seed=seed,
+        machine=spec.machine_spec(),
+        ranks_per_node=spec.ranks_per_node,
+        compute_jitter=spec.compute_jitter,
+        noise_floor=spec.noise_floor,
+        faults=spec.faults,
+    )
+
+
+def _run_scenario_point(task) -> Tuple[SectionProfile, Dict[str, float], str]:
+    """Execute one (p, rep) scenario point; the unit of parallelism."""
+    spec, p, rep, seed = task
+    plugin = spec.plugin()
+    with obs.span("point.simulate", layer="harness",
+                  workload=spec.workload, p=p, rep=rep):
+        res = plugin.run(
+            p,
+            threads=spec.threads,
+            machine=spec.machine_spec(),
+            ranks_per_node=spec.ranks_per_node,
+            seed=seed,
+            compute_jitter=spec.compute_jitter,
+            noise_floor=spec.noise_floor,
+            faults=spec.faults,
+            wall_timeout=spec.wall_timeout,
+            engine=spec.engine,
+        )
+    plugin.check(res)  # loud validity gate: corrupt points never cache
+    metrics = plugin.metrics(res)
+    msg = (
+        f"{spec.workload} p={p} rep={rep}: wall={res.walltime:.3f}s "
+        f"msgs={res.network['messages']}"
+    )
+    return SectionProfile.from_run(res, p=p, threads=spec.threads), metrics, msg
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    progress: Optional[Callable[[str], None]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    on_error: str = "raise",
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+) -> Tuple[ScalingProfile, Dict[int, Dict[str, float]]]:
+    """Execute a scenario sweep; returns (profile, per-scale metrics).
+
+    The profile is a :class:`~repro.core.profile.ScalingProfile` keyed
+    by process count — the container every paper analysis (breakdowns,
+    bounds, inflexion, imbalance) consumes — and the metrics dict maps
+    each scale to the rep-averaged plugin metrics (energy drift, mass
+    drift, task imbalance, ...).
+
+    ``jobs``/``cache``/``on_error``/``retries`` behave exactly as in
+    :func:`~repro.harness.runner.run_convolution_sweep`: parallel and
+    cached execution are bit-identical to serial uncached runs, failed
+    points are retried then skipped (``on_error="skip"``) into the
+    profile's ``failures`` report, and never cached.
+    """
+    _check_on_error(on_error)
+    with obs.env_trace("sweep.scenario", layer="harness"), \
+            obs.span("sweep.run", layer="harness", workload=spec.workload,
+                     reps=spec.reps) as sweep_span:
+        points = [
+            (p, r, spec.base_seed + 1000 * p + r)
+            for p in spec.process_counts
+            for r in range(spec.reps)
+        ]
+        _check_seed_collisions(
+            (f"{spec.workload} point (p={p}, rep={r})", seed)
+            for p, r, seed in points
+        )
+        if cache is None:
+            cache = maybe_default_cache()
+        hits: Dict[int, dict] = {}
+        keys: List[Optional[str]] = [None] * len(points)
+        with obs.span("cache.resolve", layer="cache",
+                      enabled=cache is not None, points=len(points)) as csp:
+            if cache is not None:
+                for i, (p, r, seed) in enumerate(points):
+                    keys[i] = scenario_point_key(spec, p, r, seed)
+                    payload = cache.get(keys[i])
+                    if payload is not None:
+                        hits[i] = payload
+            csp.set(hits=len(hits))
+        sweep_span.set(points=len(points), cache_hits=len(hits))
+        fresh = map_points_failsoft(
+            _run_scenario_point,
+            [(spec, p, r, seed)
+             for i, (p, r, seed) in enumerate(points) if i not in hits],
+            resolve_jobs(jobs),
+            retries=retries,
+            retry_backoff=retry_backoff,
+        )
+        profile = ScalingProfile(scale_name="p")
+        report = SweepFailureReport()
+        metric_acc: Dict[int, Dict[str, float]] = {}
+        metric_n: Dict[int, int] = {}
+        for i, (p, r, seed) in enumerate(points):
+            if i in hits:
+                prof = profile_from_dict(hits[i]["profile"])
+                metrics = hits[i]["metrics"]
+                msg = hits[i]["msg"]
+            else:
+                out = next(fresh)
+                if not out.ok:
+                    failure = _to_failure(
+                        f"{spec.workload} p={p} rep={r}", out)
+                    if on_error == "raise":
+                        _raise_point(failure, out)
+                    report.add(failure)
+                    if progress is not None:
+                        progress(
+                            f"{spec.workload} p={p} rep={r}: FAILED "
+                            f"({failure.error_type}: {failure.message})"
+                        )
+                    continue
+                prof, metrics, msg = out.value
+                if cache is not None:
+                    cache.put(keys[i], {
+                        "profile": profile_to_dict(prof),
+                        "metrics": metrics,
+                        "msg": msg,
+                    })
+            profile.add(p, prof)
+            acc = metric_acc.setdefault(p, {})
+            for name, value in metrics.items():
+                acc[name] = acc.get(name, 0.0) + float(value)
+            metric_n[p] = metric_n.get(p, 0) + 1
+            if progress is not None:
+                progress(msg)
+        profile.failures = report
+        metric_means = {
+            p: {name: total / metric_n[p] for name, total in acc.items()}
+            for p, acc in metric_acc.items()
+        }
+        return profile, metric_means
+
+
+def scenario_payload(
+    spec: ScenarioSpec,
+    profile: ScalingProfile,
+    metrics: Dict[int, Dict[str, float]],
+) -> Dict[str, Any]:
+    """The canonical JSON result of one scenario run.
+
+    Shared verbatim by the CLI and the service result path, so a
+    ``repro sweep --scenario`` artifact and a served ``kind: "scenario"``
+    payload for the same spec are byte-identical.
+    """
+    from repro.errors import ReproError
+    from repro.service.jobs import JOB_SCHEMA_VERSION, _failures_payload
+
+    summary: Dict[str, Any] = {"scales": profile.scales()}
+    try:  # fail-soft sweeps may have lost the p=1 reference runs
+        summary["speedup"] = {
+            str(p): profile.speedup(p) for p in profile.scales()
+        }
+        summary["sequential_time"] = profile.sequential_time()
+    except ReproError:
+        summary["speedup"] = None
+        summary["sequential_time"] = None
+    return {
+        "kind": "scenario",
+        "schema": JOB_SCHEMA_VERSION,
+        "scenario": spec.to_dict(),
+        "content_key": spec.content_key,
+        "profile_json": scaling_to_json(profile),
+        "metrics": {str(p): dict(sorted(m.items()))
+                    for p, m in sorted(metrics.items())},
+        "failures": _failures_payload(profile.failures),
+        "summary": summary,
+    }

@@ -143,3 +143,42 @@ def by_name(name: str) -> MachineSpec:
             f"unknown machine '{name}'; known: {sorted(MACHINE_CATALOG)}"
         ) from None
     return factory()
+
+
+def machine_from_dict(block: dict) -> MachineSpec:
+    """Resolve a declarative machine block to a catalog model.
+
+    ``block`` is the JSON form shared by service job specs and scenario
+    specs: ``{"name": <catalog name>, ...options}``.  Supported options
+    per machine: ``nodes`` and ``jitter`` (nehalem), ``jitter`` (knl,
+    broadwell), ``cores`` (laptop).  Unknown names or options raise
+    :class:`~repro.errors.MachineError`.
+    """
+    if not isinstance(block, dict) or "name" not in block:
+        raise MachineError('machine block must be {"name": ..., ...}')
+    name = block["name"]
+    opts = {k: v for k, v in block.items() if k != "name"}
+    allowed = {
+        "nehalem": {"nodes", "jitter"},
+        "knl": {"jitter"},
+        "broadwell": {"jitter"},
+        "laptop": {"cores"},
+    }
+    if name not in MACHINE_CATALOG:
+        raise MachineError(
+            f"unknown machine '{name}'; known: {sorted(MACHINE_CATALOG)}"
+        )
+    unknown = set(opts) - allowed[name]
+    if unknown:
+        raise MachineError(
+            f"machine '{name}' does not accept options {sorted(unknown)} "
+            f"(allowed: {sorted(allowed[name])})"
+        )
+    for key in ("nodes", "cores"):
+        if key in opts and (isinstance(opts[key], bool)
+                            or not isinstance(opts[key], int)):
+            raise MachineError(f"machine.{key} must be an integer")
+    if "jitter" in opts and (isinstance(opts["jitter"], bool)
+                             or not isinstance(opts["jitter"], (int, float))):
+        raise MachineError("machine.jitter must be a number")
+    return MACHINE_CATALOG[name](**opts)

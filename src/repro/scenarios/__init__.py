@@ -1,0 +1,28 @@
+"""Declarative scenario specs binding workload × machine × faults ×
+engine × sweep.
+
+A scenario is the JSON answer to "run *this* registered workload, on
+*this* catalog machine, under *this* fault plan and engine, across
+*these* scales" — accepted everywhere a hand-wired sweep is:
+``repro run/sweep --scenario spec.json``, service ``{"kind":
+"scenario", "scenario": {...}}`` job payloads, and the harness runner
+(:func:`repro.harness.scenario.run_scenario`).
+
+Specs are schema-versioned and content-hashable
+(:attr:`ScenarioSpec.content_key`) exactly like
+:class:`~repro.faults.FaultPlan`, so the run cache and the service
+experiment registry key on them; see :mod:`repro.scenarios.spec` for
+the hashing rules.
+"""
+
+from repro.scenarios.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioSpec,
+    ScenarioSpecError,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+]

@@ -1,0 +1,352 @@
+"""Declarative scenario specs: workload × machine × faults × engine × sweep.
+
+A :class:`ScenarioSpec` is the JSON contract that replaces hand-wired
+sweep construction: it names a registered workload plugin, binds its
+parameters, a catalog machine, an optional :class:`~repro.faults.FaultPlan`,
+an engine choice and the sweep dimensions — and is **content-hashable
+exactly like a fault plan**:
+
+* parsing canonicalises everything (plugin defaults applied, process
+  counts sorted, machine resolved through the catalog), so two specs
+  that differ only in JSON key order or spelled-out defaults produce the
+  same :attr:`ScenarioSpec.content_key`;
+* the key covers every field that could change the simulated numbers —
+  including ``engine``, which the scenario level treats as part of the
+  question being asked (the run cache below it still shares points
+  across engines, because engines are bit-identical);
+* ``wall_timeout`` is execution policy (abort behaviour only) and stays
+  out of the key.
+
+Validation is eager and loud: unknown fields, unknown workloads,
+parameters violating the plugin schema, process counts the workload
+cannot run at (:meth:`~repro.workloads.base.WorkloadPlugin.check_scale`),
+malformed fault plans and unknown engines all raise
+:class:`ScenarioSpecError` at parse time — the ``repro scenarios
+validate`` exit-1 path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import EngineStateError, MachineError, ReproError, WorkloadError
+from repro.faults.plan import FaultPlan, FaultPlanError
+from repro.machine.catalog import machine_from_dict
+from repro.machine.spec import MachineSpec
+from repro.simmpi.engine import engine_mode
+from repro.workloads import registry
+
+#: Bump when the spec layout or its hashing semantics change; old
+#: scenario JSON files stay readable only within one schema version.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Top-level spec fields (anything else is a loud error, not a silent
+#: ignore — typos in "proces_counts" must not validate).
+_FIELDS = (
+    "schema",
+    "workload",
+    "params",
+    "machine",
+    "process_counts",
+    "reps",
+    "base_seed",
+    "threads",
+    "ranks_per_node",
+    "compute_jitter",
+    "noise_floor",
+    "faults",
+    "engine",
+    "wall_timeout",
+)
+
+
+class ScenarioSpecError(ReproError):
+    """A scenario spec is malformed (unknown field, workload, machine,
+    parameter, scale, fault plan or engine)."""
+
+
+def _canonical(obj: Any) -> Any:
+    """Stable JSON-serialisable form (mirrors the run cache's rules)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__} for scenario hashing"
+    )
+
+
+def _as_int(value: Any, field: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioSpecError(f"{field} must be an integer, got {value!r}")
+    return value
+
+
+def _as_number(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioSpecError(f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True, eq=False)
+class ScenarioSpec:
+    """A parsed, validated, canonical scenario.
+
+    Construct through :meth:`from_dict` / :meth:`load` (the validating
+    paths); the constructor itself trusts its inputs to be canonical.
+    """
+
+    workload: str
+    params: Dict[str, Any]
+    machine: Dict[str, Any]
+    process_counts: Tuple[int, ...]
+    reps: int = 1
+    base_seed: int = 100
+    threads: int = 1
+    ranks_per_node: Optional[int] = None
+    compute_jitter: float = 0.0
+    noise_floor: float = 0.0
+    faults: Optional[FaultPlan] = None
+    engine: Optional[str] = None
+    #: Per-point watchdog (real seconds) — execution policy, not hashed.
+    wall_timeout: Optional[float] = None
+
+    # -- resolution ----------------------------------------------------------
+
+    def plugin_class(self):
+        """The registered :class:`~repro.workloads.base.WorkloadPlugin`."""
+        return registry.get(self.workload)
+
+    def plugin(self):
+        """A plugin instance bound to this spec's parameters."""
+        return self.plugin_class()(dict(self.params))
+
+    def machine_spec(self) -> MachineSpec:
+        """The resolved catalog machine model."""
+        return machine_from_dict(self.machine)
+
+    # -- hashing -------------------------------------------------------------
+
+    @property
+    def content_key(self) -> str:
+        """SHA-256 content address of everything result-shaping.
+
+        Two logically equal specs (key order, defaulted fields) share a
+        key; changing the workload, any parameter, the machine, the
+        sweep dimensions, the fault plan **or the engine** changes it.
+        ``wall_timeout`` does not participate.
+        """
+        payload = _canonical({
+            "_schema": SCENARIO_SCHEMA_VERSION,
+            "workload": self.workload,
+            "params": self.params,
+            "machine": self.machine_spec(),
+            "process_counts": self.process_counts,
+            "reps": self.reps,
+            "base_seed": self.base_seed,
+            "threads": self.threads,
+            "ranks_per_node": self.ranks_per_node,
+            "compute_jitter": self.compute_jitter,
+            "noise_floor": self.noise_floor,
+            "faults": self.faults.to_dict() if self.faults else None,
+            "engine": self.engine,
+        })
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable canonical form (round-trips exactly)."""
+        return {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "workload": self.workload,
+            "params": dict(self.params),
+            "machine": dict(self.machine),
+            "process_counts": list(self.process_counts),
+            "reps": self.reps,
+            "base_seed": self.base_seed,
+            "threads": self.threads,
+            "ranks_per_node": self.ranks_per_node,
+            "compute_jitter": self.compute_jitter,
+            "noise_floor": self.noise_floor,
+            "faults": self.faults.to_dict() if self.faults else None,
+            "engine": self.engine,
+            "wall_timeout": self.wall_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ScenarioSpec":
+        """Parse, validate and canonicalise a spec object."""
+        if not isinstance(data, dict):
+            raise ScenarioSpecError(
+                f"scenario spec must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_FIELDS)
+        if unknown:
+            raise ScenarioSpecError(
+                f"unknown scenario fields {sorted(unknown)} "
+                f"(known: {sorted(_FIELDS)})"
+            )
+        schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
+        if schema != SCENARIO_SCHEMA_VERSION:
+            raise ScenarioSpecError(
+                f"unsupported scenario schema {schema!r} "
+                f"(this build reads version {SCENARIO_SCHEMA_VERSION})"
+            )
+
+        name = data.get("workload")
+        if not isinstance(name, str) or not name:
+            raise ScenarioSpecError(
+                "scenario needs workload: \"<registered name>\""
+            )
+        try:
+            plugin_cls = registry.get(name)
+        except WorkloadError as exc:
+            raise ScenarioSpecError(str(exc)) from exc
+
+        raw_params = data.get("params", {})
+        try:
+            params = plugin_cls.validate_params(
+                raw_params if raw_params is not None else {}
+            )
+        except WorkloadError as exc:
+            raise ScenarioSpecError(f"invalid params: {exc}") from exc
+
+        machine = data.get("machine")
+        if machine is None:
+            raise ScenarioSpecError(
+                "scenario needs machine: {\"name\": ...}"
+            )
+        try:
+            machine_from_dict(machine)  # eager validation
+        except MachineError as exc:
+            raise ScenarioSpecError(f"invalid machine block: {exc}") from exc
+
+        counts = data.get("process_counts")
+        if not isinstance(counts, list) or not counts:
+            raise ScenarioSpecError(
+                "process_counts must be a non-empty list of integers"
+            )
+        process_counts = tuple(sorted(
+            _as_int(p, "process_counts[]") for p in counts
+        ))
+        if len(set(process_counts)) != len(process_counts):
+            raise ScenarioSpecError(
+                f"process_counts repeat a scale: {list(process_counts)}"
+            )
+
+        reps = _as_int(data.get("reps", 1), "reps")
+        if reps < 1:
+            raise ScenarioSpecError(f"reps must be >= 1, got {reps}")
+        base_seed = _as_int(data.get("base_seed", 100), "base_seed")
+        threads = _as_int(data.get("threads", 1), "threads")
+        if threads < 1:
+            raise ScenarioSpecError(f"threads must be >= 1, got {threads}")
+
+        ranks_per_node = data.get("ranks_per_node")
+        if ranks_per_node is not None:
+            ranks_per_node = _as_int(ranks_per_node, "ranks_per_node")
+            if ranks_per_node < 1:
+                raise ScenarioSpecError(
+                    f"ranks_per_node must be >= 1, got {ranks_per_node}"
+                )
+
+        compute_jitter = _as_number(
+            data.get("compute_jitter", 0.0), "compute_jitter")
+        noise_floor = _as_number(data.get("noise_floor", 0.0), "noise_floor")
+        if compute_jitter < 0 or noise_floor < 0:
+            raise ScenarioSpecError(
+                "compute_jitter and noise_floor must be >= 0"
+            )
+
+        raw_faults = data.get("faults")
+        faults = None
+        if raw_faults is not None:
+            try:
+                faults = FaultPlan.from_dict(raw_faults)
+            except FaultPlanError as exc:
+                raise ScenarioSpecError(f"invalid fault plan: {exc}") from exc
+
+        engine = data.get("engine")
+        if engine is not None:
+            if not isinstance(engine, str):
+                raise ScenarioSpecError(
+                    f"engine must be a string, got {engine!r}"
+                )
+            try:
+                engine_mode(engine)
+            except EngineStateError as exc:
+                raise ScenarioSpecError(str(exc)) from exc
+
+        wall_timeout = data.get("wall_timeout")
+        if wall_timeout is not None:
+            wall_timeout = _as_number(wall_timeout, "wall_timeout")
+            if wall_timeout <= 0:
+                raise ScenarioSpecError(
+                    f"wall_timeout must be positive, got {wall_timeout}"
+                )
+
+        for p in process_counts:
+            try:
+                plugin_cls.check_scale(p, params)
+            except WorkloadError as exc:
+                raise ScenarioSpecError(str(exc)) from exc
+
+        return cls(
+            workload=name,
+            params=params,
+            machine=dict(machine),
+            process_counts=process_counts,
+            reps=reps,
+            base_seed=base_seed,
+            threads=threads,
+            ranks_per_node=ranks_per_node,
+            compute_jitter=compute_jitter,
+            noise_floor=noise_floor,
+            faults=faults,
+            engine=engine,
+            wall_timeout=wall_timeout,
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON text of the spec."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse :meth:`to_json` output (or any valid spec JSON)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioSpecError(
+                f"scenario spec is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "ScenarioSpec":
+        """Read a spec from a JSON file (the ``--scenario`` entry point)."""
+        p = pathlib.Path(path)
+        try:
+            text = p.read_text()
+        except OSError as exc:
+            raise ScenarioSpecError(
+                f"cannot read scenario spec {p}: {exc}"
+            ) from None
+        return cls.from_json(text)

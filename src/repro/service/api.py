@@ -466,6 +466,8 @@ class ServiceApp:
                 return self._convolution_artifact(result, name, query)
             if kind == "lulesh":
                 return self._lulesh_artifact(result, name, query)
+            if kind == "scenario":
+                return self._scenario_artifact(result, name, query)
         except Exception as exc:  # noqa: BLE001 - analysis errors are 422s
             return _error(422, f"artifact {name!r} failed: "
                                f"{type(exc).__name__}: {exc}")
@@ -503,6 +505,46 @@ class ServiceApp:
             })
         return _error(404, f"unknown convolution artifact {name!r} "
                            "(profile | report | speedup | bounds)")
+
+    @staticmethod
+    def _scenario_artifact(result: Dict[str, Any], name: str,
+                           query: Dict[str, str]) -> Response:
+        from repro.core.analysis import ScalingAnalysis
+        from repro.core.export import scaling_from_json
+        from repro.tools.reportgen import scaling_report
+
+        if name == "profile":
+            return _text_response(200, result["profile_json"],
+                                  content_type="application/json")
+        if name == "metrics":
+            return _json_response(200, {"metrics": result["metrics"]})
+        profile = scaling_from_json(result["profile_json"])
+        if name == "report":
+            label = query.get("label")
+            return _text_response(
+                200, scaling_report(profile, bound_labels=[label] if label else None)
+            )
+        analysis = ScalingAnalysis(profile)
+        if name == "speedup":
+            return _json_response(200, {"rows": analysis.speedup_rows()})
+        if name == "bounds":
+            label = query.get("label")
+            if label is None:
+                from repro.workloads import registry
+                key_sections = registry.get(
+                    result["scenario"]["workload"]).KEY_SECTIONS
+                label = key_sections[0] if key_sections else "HALO"
+            entries = analysis.bound_table(label)
+            return _json_response(200, {
+                "label": label,
+                "rows": [
+                    {"p": e.p, "total_time": e.total_time,
+                     "avg_time": e.avg_time, "bound": e.bound}
+                    for e in entries
+                ],
+            })
+        return _error(404, f"unknown scenario artifact {name!r} "
+                           "(profile | metrics | report | speedup | bounds)")
 
     @staticmethod
     def _lulesh_artifact(result: Dict[str, Any], name: str,

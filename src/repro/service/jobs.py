@@ -39,6 +39,7 @@ from repro.faults.plan import FaultPlan, FaultPlanError
 from repro.harness.sweeps import ConvolutionSweep, LuleshGridSweep
 from repro.machine.catalog import broadwell_duo, knl_node, laptop, nehalem_cluster
 from repro.machine.spec import MachineSpec
+from repro.scenarios import ScenarioSpec, ScenarioSpecError
 from repro.simmpi.engine import engine_mode
 from repro.workloads.convolution import ConvolutionConfig
 from repro.workloads.lulesh import LuleshConfig
@@ -47,8 +48,9 @@ from repro.workloads.lulesh import LuleshConfig
 #: result payload layout changes; old registry records become invisible.
 JOB_SCHEMA_VERSION = 1
 
-#: Job kinds the service can execute.
-JOB_KINDS = ("convolution", "lulesh")
+#: Job kinds the service can execute.  ``scenario`` runs any registered
+#: workload plugin through a declarative :class:`~repro.scenarios.ScenarioSpec`.
+JOB_KINDS = ("convolution", "lulesh", "scenario")
 
 
 class JobSpecError(ReproError):
@@ -263,6 +265,27 @@ def _normalise_lulesh(data: Dict[str, Any]) -> Dict[str, Any]:
     return work
 
 
+def _normalise_scenario(data: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional[float]]:
+    """Canonicalise a scenario job's work dict.
+
+    The embedded scenario spec is parsed (and therefore validated and
+    canonicalised) by :meth:`~repro.scenarios.ScenarioSpec.from_dict`;
+    its ``wall_timeout`` is execution policy, so it moves onto the
+    :class:`JobSpec` and out of the content-addressed work.  The
+    scenario's ``engine`` stays *in* the work — at this level the engine
+    is part of the question being asked, so resubmitting the same
+    scenario on the other engine misses the experiment registry.
+    """
+    raw = _require(data, "scenario", "scenario")
+    try:
+        sspec = ScenarioSpec.from_dict(raw)
+    except ScenarioSpecError as exc:
+        raise JobSpecError(f"invalid scenario: {exc}") from exc
+    work = sspec.to_dict()
+    work.pop("wall_timeout")
+    return work, sspec.wall_timeout
+
+
 def parse_job_spec(data: Any) -> JobSpec:
     """Parse and validate client JSON into a :class:`JobSpec`.
 
@@ -315,8 +338,16 @@ def parse_job_spec(data: Any) -> JobSpec:
 
     if kind == "convolution":
         work = _normalise_convolution(data)
-    else:
+    elif kind == "lulesh":
         work = _normalise_lulesh(data)
+    else:
+        work, scenario_wall = _normalise_scenario(data)
+        if engine is not None:
+            raise JobSpecError(
+                "scenario jobs declare the engine inside the scenario spec"
+            )
+        if wall_timeout is None:
+            wall_timeout = scenario_wall
 
     spec = JobSpec(
         kind=kind,
@@ -342,11 +373,19 @@ def build_sweep(spec: JobSpec):
     """The harness sweep object(s) for a spec.
 
     Returns a :class:`~repro.harness.sweeps.ConvolutionSweep` for
-    convolution jobs, or a ``(LuleshGridSweep, sides)`` pair for Lulesh
-    jobs.  Tests use this to run the *same* sweep directly and compare
+    convolution jobs, a ``(LuleshGridSweep, sides)`` pair for Lulesh
+    jobs, or a :class:`~repro.scenarios.ScenarioSpec` for scenario jobs.
+    Tests use this to run the *same* sweep directly and compare
     byte-identical results with the served payload.
     """
     work = spec.work
+    if spec.kind == "scenario":
+        try:
+            return ScenarioSpec.from_dict({
+                **work, "wall_timeout": spec.effective_wall_timeout(),
+            })
+        except ScenarioSpecError as exc:
+            raise JobSpecError(f"invalid scenario: {exc}") from exc
     machine = _machine_from(work)
     faults = _faults_from(work)
     try:
@@ -441,8 +480,20 @@ def execute_job(
     the scheduler turns them into failed-job records.
     """
     from repro.harness.runner import run_convolution_sweep, run_lulesh_grid
+    from repro.harness.scenario import run_scenario, scenario_payload
 
     sweep_jobs = spec.jobs if spec.jobs is not None else jobs
+    if spec.kind == "scenario":
+        sspec = build_sweep(spec)
+        profile, metrics = run_scenario(
+            sspec,
+            progress=progress,
+            jobs=sweep_jobs,
+            cache=cache,
+            on_error=spec.on_error,
+            retries=spec.retries,
+        )
+        return scenario_payload(sspec, profile, metrics)
     if spec.kind == "convolution":
         sweep = build_sweep(spec)
         profile = run_convolution_sweep(

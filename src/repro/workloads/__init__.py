@@ -7,7 +7,13 @@
   hydro proxy with the paper's 21-section instrumentation and the two
   dominant phases LagrangeNodal / LagrangeElements (Section 5.2);
 * :mod:`~repro.workloads.images` — deterministic synthetic test images;
-* :mod:`~repro.workloads.stencil` — the shared halo-exchange machinery.
+* :mod:`~repro.workloads.stencil` — the shared halo-exchange machinery;
+* :mod:`~repro.workloads.base` / :mod:`~repro.workloads.registry` — the
+  workload plugin API (declarative schema + discovery);
+* :mod:`~repro.workloads.reference` — the three workloads above as
+  registry plugins;
+* :mod:`~repro.workloads.zoo` — five communication-shape zoo workloads
+  (halo2d / taskfarm / ringpipe / bucketsort / sparsegraph).
 """
 
 from repro.workloads.images import make_image, image_checksum
@@ -29,8 +35,14 @@ from repro.workloads.lulesh import (
     lulesh_strong_scaling_configs,
 )
 from repro.workloads.lbm import LBMConfig, LBMBenchmark
+from repro.workloads.base import Param, WorkloadPlugin, params_from_config
+from repro.workloads import registry
 
 __all__ = [
+    "Param",
+    "WorkloadPlugin",
+    "params_from_config",
+    "registry",
     "make_image",
     "image_checksum",
     "row_partition",

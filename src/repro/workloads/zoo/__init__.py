@@ -1,0 +1,45 @@
+"""The communication-shape zoo: five genuinely different MPI patterns.
+
+El-Nashar (arXiv:1103.5616) argues that speedup behaviour is primarily a
+function of a program's communication *class*, not its arithmetic; this
+package seeds the plugin registry with one workload per class so every
+paper analysis (section breakdowns, partial speedup bounds, inflexion
+points, imbalance) can be swept across the taxonomy:
+
+========== ================= ==========================================
+plugin      COMM_PATTERN      shape
+========== ================= ==========================================
+halo2d      halo-2d           2-D periodic Jacobi stencil, 4-neighbour
+                              ghost exchange on a process grid
+taskfarm    master-worker     rank 0 deals tasks on demand; skewed task
+                              costs make imbalance visible
+ringpipe    ring              block token circulating the rank ring, a
+                              transform per hop
+bucketsort  alltoall          sample-free bucket sort: personalized
+                              all-to-all key exchange, local sort
+sparsegraph sparse-graph      mass-conserving diffusion over a sparse
+                              deterministic rank digraph
+========== ================= ==========================================
+
+Every workload is a generator (``g_*``) program — bit-identical on the
+thread-free and threaded engines — and carries an exactly (or
+roundoff-exactly) recomputable validity invariant so corrupt results
+fail loudly (:class:`~repro.errors.WorkloadValidityError`).
+
+Importing this package registers all five (the registry's built-in
+discovery does so automatically).
+"""
+
+from repro.workloads.zoo.halo2d import Halo2DWorkload
+from repro.workloads.zoo.taskfarm import TaskFarmWorkload
+from repro.workloads.zoo.ringpipe import RingPipelineWorkload
+from repro.workloads.zoo.bucketsort import BucketSortWorkload
+from repro.workloads.zoo.sparsegraph import SparseGraphWorkload
+
+__all__ = [
+    "Halo2DWorkload",
+    "TaskFarmWorkload",
+    "RingPipelineWorkload",
+    "BucketSortWorkload",
+    "SparseGraphWorkload",
+]

@@ -1,0 +1,144 @@
+"""2-D periodic Jacobi stencil on a process grid (halo-2d class).
+
+The 2-D generalisation of the paper's convolution pattern: the global
+``ny x nx`` field is block-decomposed over a ``py x px`` process grid,
+every step exchanges four ghost lines (north/south rows, west/east
+columns) with the periodic neighbours and applies the 4-point Jacobi
+average.  Averaging a periodic field preserves its total exactly, so
+the validity check compares the global sum before and after.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadValidityError
+from repro.machine.roofline import WorkEstimate
+from repro.simmpi.engine import RunResult
+from repro.simmpi.sections_rt import section
+from repro.workloads.base import Param, WorkloadPlugin
+from repro.workloads.registry import register
+from repro.workloads.stencil import row_partition
+
+
+def balanced_dims(p: int) -> Tuple[int, int]:
+    """Most-square ``(py, px)`` factorisation of ``p`` (py <= px)."""
+    py = 1
+    for d in range(1, int(math.isqrt(p)) + 1):
+        if p % d == 0:
+            py = d
+    return py, p // py
+
+
+@register
+class Halo2DWorkload(WorkloadPlugin):
+    """Periodic 2-D Jacobi relaxation with 4-neighbour halo exchange."""
+
+    NAME = "halo2d"
+    DOMAIN = "zoo"
+    SECTIONS = ("INIT", "HALO", "COMPUTE", "REDUCE")
+    KEY_SECTIONS = ("HALO",)
+    COMM_PATTERN = "halo-2d"
+    PARAMS = {
+        "ny": Param(64, int, "global field rows", minimum=4),
+        "nx": Param(64, int, "global field columns", minimum=4),
+        "steps": Param(12, int, "Jacobi sweeps", minimum=1),
+        "flops_per_cell": Param(8.0, float, "modeled flops per cell-update",
+                                minimum=0.0),
+    }
+
+    def main(self, ctx):
+        """Jacobi-style 5-point diffusion with 2-D halo exchange."""
+        cfg = self.params
+        comm = ctx.comm
+        p, rank = comm.size, comm.rank
+        py, px = balanced_dims(p)
+        ry, rx = divmod(rank, px)
+        rows = row_partition(cfg["ny"], py)
+        cols = row_partition(cfg["nx"], px)
+        y0, x0 = sum(rows[:ry]), sum(cols[:rx])
+        h, w = rows[ry], cols[rx]
+        cells = h * w
+        step_work = WorkEstimate(flops=cfg["flops_per_cell"] * cells,
+                                 bytes_moved=40.0 * cells)
+
+        with section(ctx, "INIT"):
+            yy, xx = np.meshgrid(
+                np.arange(y0, y0 + h), np.arange(x0, x0 + w), indexing="ij"
+            )
+            field = ((yy * 31 + xx * 17) % 97).astype(np.float64) / 96.0
+            ctx.compute(work=step_work)
+        initial_sum = float(field.sum())
+
+        north = ((ry - 1) % py) * px + rx
+        south = ((ry + 1) % py) * px + rx
+        west = ry * px + (rx - 1) % px
+        east = ry * px + (rx + 1) % px
+        halo_n = np.empty(w, dtype=np.float64)
+        halo_s = np.empty(w, dtype=np.float64)
+        halo_w = np.empty(h, dtype=np.float64)
+        halo_e = np.empty(h, dtype=np.float64)
+
+        for _ in range(cfg["steps"]):
+            with section(ctx, "HALO"):
+                if py > 1:
+                    # my top row -> north; fill halo_s from south's top row
+                    yield from comm.g_Sendrecv(
+                        np.ascontiguousarray(field[0]), north,
+                        halo_s, south, sendtag=1, recvtag=1)
+                    yield from comm.g_Sendrecv(
+                        np.ascontiguousarray(field[-1]), south,
+                        halo_n, north, sendtag=2, recvtag=2)
+                else:
+                    halo_n[:] = field[-1]
+                    halo_s[:] = field[0]
+                if px > 1:
+                    yield from comm.g_Sendrecv(
+                        np.ascontiguousarray(field[:, 0]), west,
+                        halo_e, east, sendtag=3, recvtag=3)
+                    yield from comm.g_Sendrecv(
+                        np.ascontiguousarray(field[:, -1]), east,
+                        halo_w, west, sendtag=4, recvtag=4)
+                else:
+                    halo_w[:] = field[:, -1]
+                    halo_e[:] = field[:, 0]
+            with section(ctx, "COMPUTE"):
+                up = np.concatenate([halo_n[None, :], field[:-1]], axis=0)
+                down = np.concatenate([field[1:], halo_s[None, :]], axis=0)
+                left = np.concatenate([halo_w[:, None], field[:, :-1]], axis=1)
+                right = np.concatenate([field[:, 1:], halo_e[:, None]], axis=1)
+                field = (up + down + left + right) * 0.25
+                ctx.compute(work=step_work)
+
+        with section(ctx, "REDUCE"):
+            total = yield from comm.g_allreduce(float(field.sum()))
+        return {
+            "initial_sum": initial_sum,
+            "final_sum": float(field.sum()),
+            "total": total,
+            "field": field,
+        }
+
+    def check(self, result: RunResult) -> None:
+        """The stencil update conserves the field sum exactly."""
+        parts = result.results
+        initial = sum(r["initial_sum"] for r in parts)
+        final = sum(r["final_sum"] for r in parts)
+        if not (math.isfinite(initial) and math.isfinite(final)):
+            raise WorkloadValidityError(f"{self.NAME}: non-finite field sums")
+        drift = abs(final - initial) / abs(initial)
+        if drift > 1e-9:
+            raise WorkloadValidityError(
+                f"{self.NAME}: Jacobi average must preserve the periodic "
+                f"field total; relative drift {drift:.3e}"
+            )
+
+    def metrics(self, result: RunResult) -> Dict[str, float]:
+        """Relative drift of the conserved field sum."""
+        parts = result.results
+        initial = sum(r["initial_sum"] for r in parts)
+        final = sum(r["final_sum"] for r in parts)
+        return {"sum_drift": abs(final - initial) / abs(initial)}

@@ -1,0 +1,110 @@
+"""Ring pipeline (ring class).
+
+Every rank holds a block token; each hop applies a rank-dependent affine
+transform (exact modular int64 arithmetic) and shifts the token to the
+right neighbour.  ``rounds`` full ring traversals make the nearest-
+neighbour dependency chain the binding resource — the textbook pipeline
+communication shape.
+
+The validity check replays the whole pipeline sequentially (cheap
+integer math) and demands bitwise equality with every rank's final
+token.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import WorkloadValidityError
+from repro.machine.roofline import WorkEstimate
+from repro.simmpi.engine import RunResult
+from repro.simmpi.sections_rt import section
+from repro.workloads.base import Param, WorkloadPlugin
+from repro.workloads.registry import register
+
+#: Transform modulus: keeps token values exact in int64 at any depth.
+_MOD = np.int64(1000003)
+
+
+def _initial_token(rank: int, blocklen: int) -> np.ndarray:
+    """The block rank ``rank`` holds before the first hop."""
+    return (np.arange(blocklen, dtype=np.int64) * np.int64(rank + 1)) % _MOD
+
+
+def _transform(token: np.ndarray, rank: int) -> np.ndarray:
+    """One pipeline stage: exact affine map in Z/_MOD."""
+    return (token * np.int64(3) + np.int64(rank + 1)) % _MOD
+
+
+@register
+class RingPipelineWorkload(WorkloadPlugin):
+    """Token blocks circulating a rank ring, one transform per hop."""
+
+    NAME = "ringpipe"
+    DOMAIN = "zoo"
+    SECTIONS = ("INIT", "TRANSFORM", "SHIFT", "REDUCE")
+    KEY_SECTIONS = ("SHIFT",)
+    COMM_PATTERN = "ring"
+    PARAMS = {
+        "rounds": Param(2, int, "full traversals of the ring", minimum=1),
+        "blocklen": Param(256, int, "token block length", minimum=1),
+        "stage_flops": Param(5e5, float, "modeled flops per stage",
+                             minimum=0.0),
+    }
+
+    def main(self, ctx):
+        """Token blocks hop the ring, one affine transform per stage."""
+        cfg = self.params
+        comm = ctx.comm
+        p, rank = comm.size, comm.rank
+        right, left = (rank + 1) % p, (rank - 1) % p
+        stage_work = WorkEstimate(flops=cfg["stage_flops"],
+                                  bytes_moved=16.0 * cfg["blocklen"])
+
+        with section(ctx, "INIT"):
+            token = _initial_token(rank, cfg["blocklen"])
+            ctx.compute(work=stage_work)
+
+        for _ in range(cfg["rounds"] * p):
+            with section(ctx, "TRANSFORM"):
+                token = _transform(token, rank)
+                ctx.compute(work=stage_work)
+            with section(ctx, "SHIFT"):
+                if p > 1:
+                    token = yield from comm.g_sendrecv(
+                        token, right, sendtag=21, source=left, recvtag=21)
+
+        with section(ctx, "REDUCE"):
+            checksum = yield from comm.g_allreduce(int(token.sum()))
+        return {"token": token, "checksum": checksum}
+
+    def _expected_tokens(self, p: int) -> List[np.ndarray]:
+        """Sequential replay of the pipeline: final token per rank."""
+        cfg = self.params
+        tokens = [_initial_token(r, cfg["blocklen"]) for r in range(p)]
+        for _ in range(cfg["rounds"] * p):
+            tokens = [_transform(tokens[r], r) for r in range(p)]
+            tokens = [tokens[(r - 1) % p] for r in range(p)]
+        return tokens
+
+    def check(self, result: RunResult) -> None:
+        """Final tokens must bitwise-equal a sequential replay."""
+        expected = self._expected_tokens(result.n_ranks)
+        want_checksum = sum(int(t.sum()) for t in expected)
+        for rank, r in enumerate(result.results):
+            if not np.array_equal(r["token"], expected[rank]):
+                raise WorkloadValidityError(
+                    f"{self.NAME}: rank {rank} final token differs from "
+                    "the sequential replay"
+                )
+            if r["checksum"] != want_checksum:
+                raise WorkloadValidityError(
+                    f"{self.NAME}: rank {rank} checksum {r['checksum']} "
+                    f"!= expected {want_checksum}"
+                )
+
+    def metrics(self, result: RunResult) -> Dict[str, float]:
+        """The allreduced final checksum (already validated exactly)."""
+        return {"checksum": float(result.results[0]["checksum"])}

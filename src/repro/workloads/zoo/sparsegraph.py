@@ -1,0 +1,131 @@
+"""Sparse graph exchange (sparse-graph class).
+
+Ranks form a deterministic sparse digraph (every rank derives the same
+edge set from ``graph_seed``, no communication needed to agree on it);
+each step every rank ships an ``alpha``-fraction of its value vector to
+its out-neighbours (non-blocking sends/receives over the irregular edge
+set) and relaxes with what arrived.  The update is a mass-conserving
+diffusion, so the validity check compares the final global total with
+the closed-form initial total.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import WorkloadValidityError
+from repro.machine.roofline import WorkEstimate
+from repro.simmpi.engine import RunResult
+from repro.simmpi.sched import g_waitall
+from repro.simmpi.sections_rt import section
+from repro.workloads.base import Param, WorkloadPlugin
+from repro.workloads.registry import register
+
+
+def graph_strides(p: int, degree: int, seed: int) -> List[int]:
+    """The shared stride set defining the digraph ``r -> (r+s) % p``.
+
+    Deterministic in (p, degree, seed); every rank computes it
+    identically, and in- and out-neighbourhoods follow by symmetry.
+    """
+    if p < 2:
+        return []
+    strides = []
+    for k in range(degree):
+        s = (seed * (k + 1) + k * k + 1) % (p - 1) + 1
+        if s not in strides:
+            strides.append(s)
+    return strides
+
+
+def initial_vector(rank: int, m: int) -> np.ndarray:
+    """Rank ``rank``'s starting value vector."""
+    return (np.arange(1, m + 1, dtype=np.float64)) * float(rank + 1)
+
+
+@register
+class SparseGraphWorkload(WorkloadPlugin):
+    """Mass-conserving diffusion over a sparse deterministic digraph."""
+
+    NAME = "sparsegraph"
+    DOMAIN = "zoo"
+    SECTIONS = ("INIT", "EXCHANGE", "UPDATE", "REDUCE")
+    KEY_SECTIONS = ("EXCHANGE",)
+    COMM_PATTERN = "sparse-graph"
+    PARAMS = {
+        "m": Param(8, int, "values per rank", minimum=1),
+        "steps": Param(10, int, "diffusion steps", minimum=1),
+        "degree": Param(3, int, "out-degree upper bound", minimum=1),
+        "alpha": Param(0.25, float, "diffused fraction per step",
+                       minimum=0.0),
+        "graph_seed": Param(5, int, "edge-set seed"),
+        "update_flops": Param(1e5, float, "modeled flops per UPDATE",
+                              minimum=0.0),
+    }
+
+    def main(self, ctx):
+        """Mass-conserving diffusion over the deterministic digraph."""
+        cfg = self.params
+        comm = ctx.comm
+        p, rank = comm.size, comm.rank
+        strides = graph_strides(p, cfg["degree"], cfg["graph_seed"])
+        out_nbrs = [(rank + s) % p for s in strides]
+        in_nbrs = [(rank - s) % p for s in strides]
+        deg = len(strides)
+        step_work = WorkEstimate(flops=cfg["update_flops"],
+                                 bytes_moved=48.0 * cfg["m"])
+
+        with section(ctx, "INIT"):
+            x = initial_vector(rank, cfg["m"])
+            ctx.compute(work=step_work)
+
+        inbox = [np.empty(cfg["m"], dtype=np.float64) for _ in in_nbrs]
+        for _ in range(cfg["steps"]):
+            with section(ctx, "EXCHANGE"):
+                if deg:
+                    share = x * (cfg["alpha"] / deg)
+                    reqs = [
+                        comm.Irecv(buf, source=src, tag=31)
+                        for buf, src in zip(inbox, in_nbrs)
+                    ]
+                    reqs += [
+                        comm.Isend(share, dest=dst, tag=31)
+                        for dst in out_nbrs
+                    ]
+                    yield from g_waitall(reqs)
+            with section(ctx, "UPDATE"):
+                if deg:
+                    x = x * (1.0 - cfg["alpha"])
+                    for buf in inbox:
+                        x = x + buf
+                ctx.compute(work=step_work)
+
+        with section(ctx, "REDUCE"):
+            total = yield from comm.g_allreduce(float(x.sum()))
+        return {"x": x, "local_sum": float(x.sum()), "total": total}
+
+    def _initial_total(self, p: int) -> float:
+        return sum(float(initial_vector(r, self.params["m"]).sum())
+                   for r in range(p))
+
+    def check(self, result: RunResult) -> None:
+        """The global value total must match the closed-form initial."""
+        want = self._initial_total(result.n_ranks)
+        got = sum(r["local_sum"] for r in result.results)
+        if not math.isfinite(got):
+            raise WorkloadValidityError(f"{self.NAME}: non-finite totals")
+        drift = abs(got - want) / want
+        if drift > 1e-9:
+            raise WorkloadValidityError(
+                f"{self.NAME}: diffusion must conserve the global total; "
+                f"relative drift {drift:.3e}"
+            )
+
+    def metrics(self, result: RunResult) -> Dict[str, float]:
+        """Relative drift of the conserved global total."""
+        want = self._initial_total(result.n_ranks)
+        got = sum(r["local_sum"] for r in result.results)
+        return {"mass_drift": abs(got - want) / want}

@@ -1,0 +1,131 @@
+"""Master–worker task farm (master-worker class).
+
+Rank 0 deals task indices to workers on demand (first request served
+first); each task ``t`` carries a deterministic integer value and a
+skewed compute cost, so the farm self-balances dynamically while the
+per-rank section times stay visibly uneven — the imbalance analysis's
+favourite workload.
+
+Sections are collective, so the farm runs inside one monolithic ``FARM``
+section on every rank; per-rank imbalance remains observable through
+``SectionProfile.rank_times``.  The validity invariant is exact integer
+arithmetic: the summed task values and task count must equal the
+closed-form totals over ``range(ntasks)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import WorkloadValidityError
+from repro.machine.roofline import WorkEstimate
+from repro.simmpi.api import ANY_SOURCE, ANY_TAG
+from repro.simmpi.engine import RunResult
+from repro.simmpi.request import Status
+from repro.simmpi.sections_rt import section
+from repro.workloads.base import Param, WorkloadPlugin
+from repro.workloads.registry import register
+
+_TAG_REQ, _TAG_TASK, _TAG_STOP = 11, 12, 13
+
+
+def task_value(t: int) -> int:
+    """Deterministic integer payload of task ``t`` (Knuth hash)."""
+    return ((t * t + t + 41) * 2654435761) % (1 << 31)
+
+
+@register
+class TaskFarmWorkload(WorkloadPlugin):
+    """Self-scheduling master–worker farm with skewed task costs."""
+
+    NAME = "taskfarm"
+    DOMAIN = "zoo"
+    SECTIONS = ("SETUP", "FARM", "REDUCE")
+    KEY_SECTIONS = ("FARM",)
+    COMM_PATTERN = "master-worker"
+    PARAMS = {
+        "ntasks": Param(64, int, "number of tasks dealt by the master",
+                        minimum=1),
+        "task_flops": Param(2e6, float, "base modeled flops per task",
+                            minimum=0.0),
+        "skew": Param(5, int, "cost multiplier range (1..skew)", minimum=1),
+    }
+
+    def _task_work(self, t: int) -> WorkEstimate:
+        factor = 1 + task_value(t) % self.params["skew"]
+        flops = self.params["task_flops"] * factor
+        return WorkEstimate(flops=flops, bytes_moved=flops / 4.0)
+
+    def main(self, ctx):
+        """Rank 0 deals tasks; workers pull, compute, and report back."""
+        cfg = self.params
+        comm = ctx.comm
+        p, rank = comm.size, comm.rank
+        ntasks = cfg["ntasks"]
+        acc, count = 0, 0
+
+        with section(ctx, "SETUP"):
+            yield from comm.g_barrier()
+
+        with section(ctx, "FARM"):
+            if p == 1:
+                for t in range(ntasks):
+                    ctx.compute(work=self._task_work(t))
+                    acc += task_value(t)
+                    count += 1
+            elif rank == 0:
+                next_task, stopped = 0, 0
+                while stopped < p - 1:
+                    st = Status()
+                    yield from comm.g_recv(
+                        source=ANY_SOURCE, tag=_TAG_REQ, status=st)
+                    if next_task < ntasks:
+                        yield from comm.g_send(
+                            next_task, st.source, _TAG_TASK)
+                        next_task += 1
+                    else:
+                        yield from comm.g_send(None, st.source, _TAG_STOP)
+                        stopped += 1
+            else:
+                while True:
+                    yield from comm.g_send(rank, 0, _TAG_REQ)
+                    st = Status()
+                    task = yield from comm.g_recv(
+                        source=0, tag=ANY_TAG, status=st)
+                    if st.tag == _TAG_STOP:
+                        break
+                    ctx.compute(work=self._task_work(task))
+                    acc += task_value(task)
+                    count += 1
+
+        with section(ctx, "REDUCE"):
+            total = yield from comm.g_allreduce(acc)
+            total_count = yield from comm.g_allreduce(count)
+        return {"sum": acc, "count": count,
+                "total": total, "total_count": total_count}
+
+    def check(self, result: RunResult) -> None:
+        """Every task accounted exactly once; totals match closed form."""
+        ntasks = self.params["ntasks"]
+        want_sum = sum(task_value(t) for t in range(ntasks))
+        parts = result.results
+        got_sum = sum(r["sum"] for r in parts)
+        got_count = sum(r["count"] for r in parts)
+        if got_count != ntasks or got_sum != want_sum:
+            raise WorkloadValidityError(
+                f"{self.NAME}: farm lost or corrupted tasks "
+                f"(count {got_count}/{ntasks}, sum {got_sum} != {want_sum})"
+            )
+        for r in parts:
+            if r["total"] != want_sum or r["total_count"] != ntasks:
+                raise WorkloadValidityError(
+                    f"{self.NAME}: allreduced totals disagree with the "
+                    "closed-form task totals"
+                )
+
+    def metrics(self, result: RunResult) -> Dict[str, float]:
+        """Max/mean worker load ratio (1.0 = perfectly balanced)."""
+        counts = [r["count"] for r in result.results]
+        peak = max(counts)
+        mean = sum(counts) / len(counts)
+        return {"task_imbalance": peak / mean if mean else 0.0}

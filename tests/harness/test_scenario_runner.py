@@ -1,0 +1,86 @@
+"""run_scenario semantics: seeding, bit-identity, fail-soft, metrics.
+
+The scenario runner must be an exact generalisation of the hand-wired
+sweeps: the same per-point seeding contract, profiles bit-identical to
+driving the plugin by hand, crashes either raised loudly or skipped
+into the failure report (and never cached), metrics averaged over reps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import SectionProfile
+from repro.errors import RankFailedError
+from repro.harness.cache import RunCache
+from repro.harness.scenario import run_scenario
+from repro.scenarios import ScenarioSpec
+
+BASE = {
+    "workload": "taskfarm",
+    "params": {"ntasks": 24, "task_flops": 1e5},
+    "machine": {"name": "laptop", "cores": 4},
+    "process_counts": [2, 4],
+    "reps": 2,
+    "base_seed": 7,
+}
+
+CRASH = {"seed": 1, "faults": [{"kind": "crash", "rank": 1, "at_time": 0.0}]}
+
+
+def _spec(**overrides):
+    return ScenarioSpec.from_dict({**BASE, **overrides})
+
+
+def test_profile_bit_identical_to_manual_plugin_loop():
+    spec = _spec()
+    profile, metrics = run_scenario(spec, cache=None)
+    plugin = spec.plugin()
+    for p in spec.process_counts:
+        runs = profile.runs(p)
+        assert len(runs) == spec.reps
+        want_metrics = {}
+        for rep in range(spec.reps):
+            seed = spec.base_seed + 1000 * p + rep
+            res = plugin.run(p, machine=spec.machine_spec(), seed=seed)
+            manual = SectionProfile.from_run(res, p=p, threads=spec.threads)
+            assert runs[rep].breakdown(include_main=True) == \
+                manual.breakdown(include_main=True)
+            for name, value in plugin.metrics(res).items():
+                want_metrics[name] = (
+                    want_metrics.get(name, 0.0) + value / spec.reps)
+            assert metrics[p] == pytest.approx(want_metrics) or rep == 0
+        assert metrics[p] == pytest.approx(want_metrics)
+
+
+def test_crash_fault_raises_by_default():
+    with pytest.raises(RankFailedError):
+        run_scenario(_spec(faults=CRASH), cache=None)
+
+
+def test_crash_fault_skips_into_failure_report(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    seen = []
+    profile, metrics = run_scenario(
+        _spec(faults=CRASH), progress=seen.append,
+        cache=cache, on_error="skip")
+    n_points = len(BASE["process_counts"]) * BASE["reps"]
+    assert len(profile.failures) == n_points
+    assert all(f.error_type == "RankFailedError" for f in profile.failures)
+    assert cache.stores == 0               # failed points never cache
+    assert profile.scales() == []
+    assert metrics == {}
+    assert sum("FAILED" in line for line in seen) == n_points
+
+
+def test_unknown_on_error_mode_is_rejected():
+    with pytest.raises(Exception, match="on_error"):
+        run_scenario(_spec(), cache=None, on_error="shrug")
+
+
+def test_progress_lines_name_workload_and_point():
+    seen = []
+    run_scenario(_spec(reps=1, process_counts=[2]),
+                 progress=seen.append, cache=None)
+    assert len(seen) == 1
+    assert seen[0].startswith("taskfarm p=2 rep=0:")

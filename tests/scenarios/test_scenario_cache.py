@@ -1,0 +1,106 @@
+"""Scenario runs through the content-addressed run cache.
+
+Warm reruns must be pure cache replays (zero fresh simulations) and
+bit-identical to the cold run; point keys must be shared across engines
+(they are bit-identical by contract) while the scenario-level
+``content_key`` still distinguishes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.export import scaling_to_json
+from repro.harness.cache import RunCache
+from repro.harness.scenario import (
+    run_scenario,
+    scenario_payload,
+    scenario_point_key,
+)
+from repro.scenarios import ScenarioSpec
+
+BASE = {
+    "workload": "ringpipe",
+    "params": {"rounds": 1, "blocklen": 16},
+    "machine": {"name": "laptop", "cores": 4},
+    "process_counts": [1, 2, 4],
+    "reps": 2,
+    "base_seed": 11,
+}
+
+
+def _spec(**overrides):
+    return ScenarioSpec.from_dict({**BASE, **overrides})
+
+
+def test_point_keys_are_stable_and_engine_blind():
+    spec = _spec()
+    assert (scenario_point_key(spec, 2, 0, 11)
+            == scenario_point_key(_spec(), 2, 0, 11))
+    # Engine choice must NOT move run-cache points: both engines are
+    # bit-identical, so either may serve the other's cached results.
+    assert (scenario_point_key(spec, 2, 0, 11)
+            == scenario_point_key(_spec(engine="threads"), 2, 0, 11))
+    # ... but anything result-shaping must.
+    assert (scenario_point_key(spec, 2, 0, 11)
+            != scenario_point_key(_spec(noise_floor=1e-7), 2, 0, 11))
+    assert (scenario_point_key(spec, 2, 0, 11)
+            != scenario_point_key(spec, 2, 1, 12))
+
+
+def test_warm_rerun_is_zero_simulation_and_bit_identical(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    spec = _spec()
+    cold_profile, cold_metrics = run_scenario(spec, cache=cache)
+    n_points = len(spec.process_counts) * spec.reps
+    assert cache.stores == n_points and cache.hits == 0
+
+    warm_cache = RunCache(tmp_path / "cache")
+    warm_profile, warm_metrics = run_scenario(spec, cache=warm_cache)
+    assert warm_cache.hits == n_points
+    assert warm_cache.stores == 0          # zero fresh simulations
+    assert scaling_to_json(warm_profile) == scaling_to_json(cold_profile)
+    assert warm_metrics == cold_metrics
+    assert (scenario_payload(spec, warm_profile, warm_metrics)
+            == scenario_payload(spec, cold_profile, cold_metrics))
+
+
+def test_other_engine_reuses_cached_points(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    tf_profile, tf_metrics = run_scenario(_spec(engine="threadfree"),
+                                          cache=cache)
+    threads = _spec(engine="threads")
+    th_profile, th_metrics = run_scenario(
+        threads, cache=RunCache(tmp_path / "cache"))
+    assert cache.stores == len(BASE["process_counts"]) * BASE["reps"]
+    assert scaling_to_json(th_profile) == scaling_to_json(tf_profile)
+    assert th_metrics == tf_metrics
+    # The scenario identity still distinguishes the engines.
+    assert (_spec(engine="threads").content_key
+            != _spec(engine="threadfree").content_key)
+
+
+def test_result_shaping_change_misses_the_cache(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    run_scenario(_spec(), cache=cache)
+    shifted = RunCache(tmp_path / "cache")
+    run_scenario(_spec(base_seed=12), cache=shifted)
+    assert shifted.hits == 0
+    assert shifted.stores == len(BASE["process_counts"]) * BASE["reps"]
+
+
+def test_cached_and_uncached_runs_agree(tmp_path):
+    spec = _spec(compute_jitter=0.03, noise_floor=1e-7)
+    cached_profile, cached_metrics = run_scenario(
+        spec, cache=RunCache(tmp_path / "cache"))
+    bare_profile, bare_metrics = run_scenario(spec, cache=None)
+    assert scaling_to_json(bare_profile) == scaling_to_json(cached_profile)
+    assert bare_metrics == cached_metrics
+
+
+def test_parallel_run_matches_serial(tmp_path):
+    spec = _spec()
+    serial = run_scenario(spec, cache=None, jobs=1)
+    para = run_scenario(spec, cache=None, jobs=2)
+    assert scaling_to_json(para[0]) == scaling_to_json(serial[0])
+    assert para[1] == serial[1]

@@ -1,0 +1,165 @@
+"""ScenarioSpec parsing, canonicalisation and content addressing.
+
+The content key is the contract the whole caching story hangs on: two
+specs that mean the same thing must hash the same regardless of JSON
+key order or spelled-out defaults, and every result-shaping difference
+(params, machine, sweep dims, faults, engine) must change the hash.
+``wall_timeout`` is execution policy and must not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import SCENARIO_SCHEMA_VERSION, ScenarioSpec, ScenarioSpecError
+
+BASE = {
+    "workload": "halo2d",
+    "params": {"ny": 16, "nx": 16, "steps": 3},
+    "machine": {"name": "laptop", "cores": 4},
+    "process_counts": [1, 2, 4],
+    "base_seed": 11,
+}
+
+
+def _spec(**overrides):
+    data = {**BASE, **overrides}
+    return ScenarioSpec.from_dict(data)
+
+
+# -- hashing stability ------------------------------------------------------
+
+
+def test_key_order_does_not_change_content_key():
+    a = _spec()
+    shuffled = json.loads(json.dumps(
+        {k: BASE[k] for k in reversed(list(BASE))}))
+    b = ScenarioSpec.from_dict(shuffled)
+    assert a.content_key == b.content_key
+
+
+def test_spelled_out_defaults_share_the_key():
+    a = _spec()
+    b = _spec(
+        schema=SCENARIO_SCHEMA_VERSION,
+        reps=1,
+        threads=1,
+        ranks_per_node=None,
+        compute_jitter=0.0,
+        noise_floor=0.0,
+        faults=None,
+        engine=None,
+        wall_timeout=None,
+    )
+    assert a.content_key == b.content_key
+
+
+def test_defaulted_params_share_the_key():
+    defaults = ScenarioSpec.from_dict(
+        {**BASE, "workload": "ringpipe", "params": {}})
+    spelled = ScenarioSpec.from_dict({
+        **BASE,
+        "workload": "ringpipe",
+        "params": {"rounds": 2, "blocklen": 256, "stage_flops": 5e5},
+    })
+    assert defaults.content_key == spelled.content_key
+
+
+def test_process_count_order_is_canonicalised():
+    a = _spec(process_counts=[4, 1, 2])
+    assert a.process_counts == (1, 2, 4)
+    assert a.content_key == _spec().content_key
+
+
+@pytest.mark.parametrize("field,value", [
+    ("params", {"ny": 16, "nx": 16, "steps": 4}),
+    ("machine", {"name": "laptop", "cores": 8}),
+    ("process_counts", [1, 2]),
+    ("reps", 2),
+    ("base_seed", 12),
+    ("compute_jitter", 0.05),
+    ("noise_floor", 1e-7),
+    ("faults", {"seed": 3, "faults": [
+        {"kind": "straggler", "rank": 0, "factor": 2.0}]}),
+    ("engine", "threads"),
+])
+def test_result_shaping_fields_change_the_key(field, value):
+    assert _spec().content_key != _spec(**{field: value}).content_key
+
+
+def test_wall_timeout_is_execution_policy_not_identity():
+    assert _spec().content_key == _spec(wall_timeout=30.0).content_key
+
+
+# -- round trips ------------------------------------------------------------
+
+
+def test_to_dict_round_trips_exactly():
+    spec = _spec(engine="threadfree", reps=2, wall_timeout=10.0,
+                 faults={"seed": 3, "faults": [
+                     {"kind": "straggler", "rank": 0, "factor": 2.0}]})
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again.to_dict() == spec.to_dict()
+    assert again.content_key == spec.content_key
+
+
+def test_json_round_trip_and_load(tmp_path):
+    spec = _spec()
+    assert ScenarioSpec.from_json(spec.to_json()).content_key == spec.content_key
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json(indent=2))
+    assert ScenarioSpec.load(path).content_key == spec.content_key
+
+
+# -- eager, loud validation -------------------------------------------------
+
+
+@pytest.mark.parametrize("mutation,match", [
+    ({"proces_counts": [1]}, "unknown scenario fields"),
+    ({"schema": 999}, "unsupported scenario schema"),
+    ({"workload": "nope"}, "unknown workload"),
+    ({"workload": None}, "needs workload"),
+    ({"params": {"ny": -1}}, "invalid params"),
+    ({"params": {"bogus": 1}}, "invalid params"),
+    ({"machine": None}, "needs machine"),
+    ({"machine": {"name": "warp-drive"}}, "invalid machine block"),
+    ({"machine": {"name": "laptop", "nodes": 2}}, "invalid machine block"),
+    ({"process_counts": []}, "non-empty list"),
+    ({"process_counts": [1, 1, 2]}, "repeat a scale"),
+    ({"process_counts": [1, 2.5]}, "must be an integer"),
+    ({"reps": 0}, "reps must be >= 1"),
+    ({"threads": 0}, "threads must be >= 1"),
+    ({"ranks_per_node": 0}, "ranks_per_node must be >= 1"),
+    ({"compute_jitter": -0.1}, "must be >= 0"),
+    ({"faults": {"seed": 1, "faults": [{"kind": "gremlin"}]}},
+     "invalid fault plan"),
+    ({"engine": "steam"}, "steam"),
+    ({"wall_timeout": 0.0}, "wall_timeout must be positive"),
+])
+def test_bad_specs_fail_eagerly(mutation, match):
+    with pytest.raises(ScenarioSpecError, match=match):
+        ScenarioSpec.from_dict({**BASE, **mutation})
+
+
+def test_non_object_specs_are_rejected():
+    with pytest.raises(ScenarioSpecError, match="must be an object"):
+        ScenarioSpec.from_dict([1, 2, 3])
+    with pytest.raises(ScenarioSpecError, match="not valid JSON"):
+        ScenarioSpec.from_json("{nope")
+
+
+def test_scale_the_workload_cannot_run_at_is_rejected():
+    with pytest.raises(ScenarioSpecError):
+        ScenarioSpec.from_dict({
+            **BASE,
+            "workload": "lulesh",
+            "params": {},
+            "process_counts": [1, 3],  # lulesh wants cube counts
+        })
+
+
+def test_missing_spec_file_is_a_spec_error(tmp_path):
+    with pytest.raises(ScenarioSpecError, match="cannot read"):
+        ScenarioSpec.load(tmp_path / "absent.json")

@@ -1,0 +1,179 @@
+"""Scenario jobs through the service: keys, execution, warm registry.
+
+``kind: "scenario"`` must compose with every existing service promise:
+content-addressed dedup (spelled-out defaults and key order share a
+key; a different engine does **not** — the scenario level treats engine
+as part of the question), byte-identical results versus the library
+path, and warm resubmits answered from the registry with zero
+simulations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import scaling_to_json
+from repro.harness.scenario import run_scenario, scenario_payload
+from repro.scenarios import ScenarioSpec
+from repro.service.api import ServiceApp
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    JobSpecError,
+    build_sweep,
+    execute_job,
+    parse_job_spec,
+)
+from repro.service.server import ServiceServer
+
+SCENARIO = {
+    "workload": "halo2d",
+    "params": {"ny": 16, "nx": 16, "steps": 3},
+    "machine": {"name": "laptop", "cores": 4},
+    "process_counts": [1, 2, 4],
+    "base_seed": 11,
+}
+
+
+def tiny_scenario_spec(**scenario_overrides) -> dict:
+    """A scenario job spec that simulates in ~20 ms."""
+    return {
+        "kind": "scenario",
+        "client": "tester",
+        "scenario": {**SCENARIO, **scenario_overrides},
+    }
+
+
+# -- parsing and keying -----------------------------------------------------
+
+
+def test_job_key_stable_across_key_order_and_defaults():
+    a = parse_job_spec(tiny_scenario_spec())
+    shuffled = {k: SCENARIO[k] for k in reversed(list(SCENARIO))}
+    b = parse_job_spec({"kind": "scenario", "scenario": shuffled})
+    c = parse_job_spec(tiny_scenario_spec(
+        reps=1, threads=1, compute_jitter=0.0, faults=None, engine=None))
+    assert a.key == b.key == c.key
+
+
+def test_engine_choice_misses_the_job_registry():
+    default = parse_job_spec(tiny_scenario_spec())
+    threadfree = parse_job_spec(tiny_scenario_spec(engine="threadfree"))
+    threads = parse_job_spec(tiny_scenario_spec(engine="threads"))
+    assert len({default.key, threadfree.key, threads.key}) == 3
+
+
+def test_result_shaping_scenario_fields_change_the_key():
+    base = parse_job_spec(tiny_scenario_spec()).key
+    assert parse_job_spec(tiny_scenario_spec(base_seed=12)).key != base
+    assert parse_job_spec(tiny_scenario_spec(
+        faults={"seed": 1, "faults": [
+            {"kind": "straggler", "rank": 0, "factor": 2.0}]})).key != base
+
+
+def test_wall_timeout_stays_out_of_the_key_but_reaches_policy():
+    spec = parse_job_spec(tiny_scenario_spec(wall_timeout=45.0))
+    assert spec.key == parse_job_spec(tiny_scenario_spec()).key
+    assert spec.wall_timeout == 45.0
+
+
+def test_bad_scenarios_are_rejected_at_submission():
+    with pytest.raises(JobSpecError, match="missing 'scenario'"):
+        parse_job_spec({"kind": "scenario"})
+    with pytest.raises(JobSpecError, match="invalid scenario"):
+        parse_job_spec(tiny_scenario_spec(workload="nope"))
+    with pytest.raises(JobSpecError, match="invalid scenario"):
+        parse_job_spec(tiny_scenario_spec(params={"ny": -4}))
+    with pytest.raises(JobSpecError, match="inside the scenario spec"):
+        parse_job_spec({**tiny_scenario_spec(), "engine": "threads"})
+
+
+def test_build_sweep_returns_the_canonical_scenario():
+    spec = parse_job_spec(tiny_scenario_spec())
+    sspec = build_sweep(spec)
+    assert isinstance(sspec, ScenarioSpec)
+    assert sspec.workload == "halo2d"
+    assert sspec.process_counts == (1, 2, 4)
+
+
+# -- execution --------------------------------------------------------------
+
+
+def test_execute_job_is_byte_identical_to_the_library_path(tmp_path):
+    spec = parse_job_spec(tiny_scenario_spec())
+    served = execute_job(spec)
+    sspec = ScenarioSpec.from_dict(tiny_scenario_spec()["scenario"])
+    profile, metrics = run_scenario(sspec)
+    direct = scenario_payload(sspec, profile, metrics)
+    assert json.dumps(served, sort_keys=True) == \
+        json.dumps(direct, sort_keys=True)
+    assert served["profile_json"] == scaling_to_json(profile)
+
+
+def test_http_scenario_job_end_to_end(server):
+    client = ServiceClient(server.url)
+    spec = tiny_scenario_spec()
+    receipt = client.submit(spec)
+    record = client.wait(receipt["job_id"], timeout=60)
+    assert record["status"] == "done"
+
+    result = client.result(receipt["job_id"])["result"]
+    sspec = ScenarioSpec.from_dict(spec["scenario"])
+    profile, metrics = run_scenario(sspec)
+    assert result == scenario_payload(sspec, profile, metrics)
+
+    served_profile = client.artifact(receipt["job_id"], "profile")
+    assert served_profile == json.loads(result["profile_json"])
+    metrics_doc = client.artifact(receipt["job_id"], "metrics")
+    assert metrics_doc == {"metrics": result["metrics"]}
+    report = client.artifact(receipt["job_id"], "report")
+    assert "p=" in report or "speedup" in report.lower()
+    speedup = client.artifact(receipt["job_id"], "speedup")
+    assert speedup["rows"]
+    bounds = client.artifact(receipt["job_id"], "bounds")
+    assert bounds["rows"]
+
+
+def test_warm_scenario_resubmit_is_zero_simulation(tmp_path):
+    cache_dir = tmp_path / "cache"
+    spec = tiny_scenario_spec()
+
+    first = ServiceServer(ServiceApp(cache_dir=cache_dir, workers=1))
+    first.start()
+    try:
+        client = ServiceClient(first.url)
+        job_id = client.submit(spec)["job_id"]
+        client.wait(job_id, timeout=60)
+        original = client.result(job_id)["result"]
+    finally:
+        first.stop()
+
+    second_app = ServiceApp(cache_dir=cache_dir, workers=1)
+    second = ServiceServer(second_app)
+    second.start()
+    try:
+        client = ServiceClient(second.url)
+        # Spelled-out defaults must land on the same registry record.
+        receipt = client.submit(tiny_scenario_spec(reps=1, threads=1))
+        assert receipt["cached"] is True
+        assert receipt["job_id"] == job_id
+        assert client.result(job_id)["result"] == original
+        assert second_app.metrics.counter("jobs_submitted") == 0
+        assert second_app.metrics.counter("registry_hits") == 1
+    finally:
+        second.stop()
+
+
+def test_engine_flip_is_not_served_from_the_warm_registry(server):
+    client = ServiceClient(server.url)
+    a = client.submit(tiny_scenario_spec(engine="threadfree"))
+    b = client.submit(tiny_scenario_spec(engine="threads"))
+    assert a["job_id"] != b["job_id"]
+    ra = client.wait(a["job_id"], timeout=60)
+    rb = client.wait(b["job_id"], timeout=60)
+    assert ra["status"] == rb["status"] == "done"
+    # Same physics on both engines: identical profiles, distinct jobs.
+    pa = client.result(a["job_id"])["result"]["profile_json"]
+    pb = client.result(b["job_id"])["result"]["profile_json"]
+    assert pa == pb

@@ -241,6 +241,103 @@ def test_submit_and_status_against_live_server(tmp_path, capsys):
         server.stop()
 
 
+# -- workload / scenario subcommands -----------------------------------------
+
+
+def test_workloads_list_names_the_whole_zoo(capsys):
+    assert main(["workloads", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("convolution", "lulesh", "lbm", "halo2d", "taskfarm",
+                 "ringpipe", "bucketsort", "sparsegraph"):
+        assert name in out
+
+
+def test_workloads_list_domain_filter_and_json(capsys):
+    import json
+
+    assert main(["workloads", "list", "--domain", "zoo", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {r["name"] for r in rows} == {
+        "halo2d", "taskfarm", "ringpipe", "bucketsort", "sparsegraph"}
+    assert all(r["domain"] == "zoo" for r in rows)
+
+
+def _scenario_doc(**overrides):
+    doc = {
+        "workload": "ringpipe",
+        "params": {"rounds": 1, "blocklen": 16},
+        "machine": {"name": "laptop", "cores": 4},
+        "process_counts": [1, 2],
+        "base_seed": 11,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_scenarios_validate_good_spec_exits_zero(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_scenario_doc()))
+    assert main(["scenarios", "validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out and "ringpipe" in out and "content_key" in out
+
+
+def test_scenarios_validate_bad_spec_exits_one(tmp_path, capsys):
+    import json
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_scenario_doc()))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_scenario_doc(proces_counts=[1])))
+    assert main(["scenarios", "validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+    # one bad spec poisons the whole batch
+    assert main(["scenarios", "validate", str(good), str(bad)]) == 1
+
+
+def test_scenarios_validate_missing_file_exits_one(tmp_path, capsys):
+    assert main(["scenarios", "validate", str(tmp_path / "nope.json")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_run_scenario_end_to_end(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_scenario_doc()))
+    out_file = tmp_path / "result.json"
+    rc = main(["run", "--scenario", str(path), "--out", str(out_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scenario ringpipe" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["kind"] == "scenario"
+    assert payload["summary"]["scales"] == [1, 2]
+
+
+def test_run_scenario_bad_spec_is_usage_error(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_scenario_doc(workload="nope")))
+    assert main(["run", "--scenario", str(path)]) == 1
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_run_scenario_crash_fault_exits_run_failure(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_scenario_doc(
+        process_counts=[2],
+        faults={"seed": 1, "faults": [
+            {"kind": "crash", "rank": 0, "at_time": 0.0}]})))
+    assert main(["run", "--scenario", str(path)]) == 2
+    assert "RankFailedError" in capsys.readouterr().err
+
+
 def test_submit_failed_job_exits_run_failure(tmp_path, capsys, monkeypatch):
     import json
 

@@ -19,9 +19,11 @@ PACKAGES = [
     "repro.harness",
     "repro.machine",
     "repro.omp",
+    "repro.scenarios",
     "repro.simmpi",
     "repro.tools",
     "repro.workloads",
+    "repro.workloads.zoo",
 ]
 
 

@@ -1,0 +1,171 @@
+"""The workload plugin registry: registration rules and discovery routes.
+
+Covers the decorator's eager validation, idempotent re-registration,
+duplicate-name rejection, unknown-name diagnostics, and the
+``REPRO_WORKLOAD_PATH`` zero-packaging discovery route with both lenient
+and strict failure modes.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import registry
+from repro.workloads.base import Param, WorkloadPlugin
+
+BUILTINS = {
+    "bucketsort", "convolution", "halo2d", "lbm", "lulesh",
+    "ringpipe", "sparsegraph", "taskfarm",
+}
+
+
+def test_discover_lists_builtin_plugins_sorted():
+    names = registry.discover()
+    assert BUILTINS <= set(names)
+    assert names == sorted(names)
+    assert registry.names() == names
+
+
+def test_zoo_and_paper_domains_cover_the_builtins():
+    plugins = registry.all_plugins()
+    domains = {name: plugins[name].DOMAIN for name in BUILTINS}
+    assert domains["convolution"] == "paper"
+    assert domains["lulesh"] == "paper"
+    assert sum(1 for d in domains.values() if d == "zoo") == 5
+
+
+def test_get_unknown_name_lists_known_names():
+    with pytest.raises(WorkloadError, match="unknown workload") as err:
+        registry.get("nope")
+    assert "convolution" in str(err.value)
+    assert "halo2d" in str(err.value)
+
+
+def test_register_is_idempotent_per_class():
+    cls = registry.get("halo2d")
+    assert registry.register(cls) is cls
+    assert registry.get("halo2d") is cls
+
+
+def test_register_rejects_duplicate_name_from_different_class():
+    existing = registry.get("ringpipe")
+
+    class Imposter(existing):
+        pass
+
+    with pytest.raises(WorkloadError, match="already registered"):
+        registry.register(Imposter)
+    assert registry.get("ringpipe") is existing
+
+
+def test_register_validates_declarative_surface():
+    class NoName(WorkloadPlugin):
+        NAME = ""
+        SECTIONS = ("A",)
+        COMM_PATTERN = "x"
+
+    with pytest.raises(WorkloadError, match="NAME"):
+        registry.register(NoName)
+
+    class NoSections(WorkloadPlugin):
+        NAME = "nosections"
+        COMM_PATTERN = "x"
+
+    with pytest.raises(WorkloadError, match="SECTIONS"):
+        registry.register(NoSections)
+
+    class BadKey(WorkloadPlugin):
+        NAME = "badkey"
+        SECTIONS = ("A",)
+        KEY_SECTIONS = ("B",)
+        COMM_PATTERN = "x"
+
+    with pytest.raises(WorkloadError, match="KEY_SECTIONS"):
+        registry.register(BadKey)
+
+    class BadSchema(WorkloadPlugin):
+        NAME = "badschema"
+        SECTIONS = ("A",)
+        COMM_PATTERN = "x"
+        PARAMS = {"n": Param(default=-1, kind=int, minimum=0)}
+
+    with pytest.raises(WorkloadError, match="must be >="):
+        registry.register(BadSchema)
+
+    with pytest.raises(WorkloadError, match="subclass"):
+        registry.register(object)  # type: ignore[arg-type]
+
+
+PLUGIN_FILE = textwrap.dedent('''
+    """Test plugin discovered via REPRO_WORKLOAD_PATH."""
+    from repro.workloads.base import Param, WorkloadPlugin
+    from repro.workloads.registry import register
+
+
+    @register
+    class PathPlugin(WorkloadPlugin):
+        """A do-nothing plugin for discovery tests."""
+        NAME = "pathplugin"
+        DOMAIN = "test"
+        SECTIONS = ("ONLY",)
+        KEY_SECTIONS = ("ONLY",)
+        COMM_PATTERN = "none"
+        PARAMS = {"n": Param(default=1, kind=int)}
+''')
+
+
+@pytest.fixture
+def clean_registry_env(monkeypatch):
+    """Restore discovery memoisation and drop test plugins afterwards."""
+    yield monkeypatch
+    registry.unregister("pathplugin")
+    monkeypatch.delenv(registry.WORKLOAD_PATH_ENV, raising=False)
+    registry.discover(refresh=True)
+
+
+def test_workload_path_file_discovery(tmp_path, clean_registry_env):
+    plugin = tmp_path / "pathplugin.py"
+    plugin.write_text(PLUGIN_FILE)
+    clean_registry_env.setenv(registry.WORKLOAD_PATH_ENV, str(plugin))
+    names = registry.discover(refresh=True)
+    assert "pathplugin" in names
+    assert registry.get("pathplugin").DOMAIN == "test"
+
+
+def test_workload_path_directory_discovery(tmp_path, clean_registry_env):
+    (tmp_path / "pathplugin.py").write_text(PLUGIN_FILE)
+    clean_registry_env.setenv(registry.WORKLOAD_PATH_ENV, str(tmp_path))
+    assert "pathplugin" in registry.discover(refresh=True)
+
+
+def test_workload_path_broken_plugin_is_skipped_unless_strict(
+        tmp_path, clean_registry_env):
+    bad = tmp_path / "broken.py"
+    bad.write_text("raise RuntimeError('boom')\n")
+    clean_registry_env.setenv(registry.WORKLOAD_PATH_ENV, str(bad))
+    names = registry.discover(refresh=True)  # lenient: logged skip
+    assert "broken" not in names
+    with pytest.raises(WorkloadError, match="broken.py failed"):
+        registry.discover(refresh=True, strict=True)
+
+
+def test_workload_path_missing_entry_strictness(tmp_path, clean_registry_env):
+    clean_registry_env.setenv(
+        registry.WORKLOAD_PATH_ENV, str(tmp_path / "absent.py"))
+    registry.discover(refresh=True)  # lenient: skipped
+    with pytest.raises(WorkloadError, match="neither"):
+        registry.discover(refresh=True, strict=True)
+
+
+def test_describe_is_declarative_and_json_ready():
+    import json
+
+    for name in registry.discover():
+        desc = registry.get(name).describe()
+        assert desc["name"] == name
+        assert desc["sections"], name
+        assert set(desc["key_sections"]) <= set(desc["sections"])
+        json.dumps(desc)  # must be JSON-serialisable as-is

@@ -1,0 +1,141 @@
+"""The communication-shape zoo: every plugin runs, checks, and fails loudly.
+
+Each zoo workload is executed at a couple of scales, its validity
+invariant is evaluated on the honest result, and then the result is
+tampered with to prove the invariant actually bites
+(:class:`~repro.errors.WorkloadValidityError`).  Section traversal is
+also pinned against the declared ``SECTIONS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profile import SectionProfile
+from repro.errors import WorkloadValidityError
+from repro.machine.catalog import laptop
+from repro.workloads import registry
+from repro.workloads.zoo.halo2d import balanced_dims
+from repro.workloads.zoo.sparsegraph import graph_strides
+from repro.workloads.zoo.taskfarm import task_value
+
+ZOO = ("halo2d", "taskfarm", "ringpipe", "bucketsort", "sparsegraph")
+
+#: Small parameterisations so the whole module stays fast.
+SMALL = {
+    "halo2d": {"ny": 16, "nx": 16, "steps": 3},
+    "taskfarm": {"ntasks": 24, "task_flops": 1e5},
+    "ringpipe": {"rounds": 1, "blocklen": 32},
+    "bucketsort": {"n_local": 64},
+    "sparsegraph": {"m": 4, "steps": 4},
+}
+
+
+def _run(name, p, **kwargs):
+    cls = registry.get(name)
+    plugin = cls(dict(SMALL[name]))
+    res = plugin.run(p, machine=laptop(max(p, 4)), seed=11, **kwargs)
+    return plugin, res
+
+
+@pytest.mark.parametrize("name", ZOO)
+@pytest.mark.parametrize("p", [1, 4])
+def test_zoo_runs_and_validates(name, p):
+    plugin, res = _run(name, p)
+    plugin.check(res)  # must not raise on an honest run
+    metrics = plugin.metrics(res)
+    assert metrics, f"{name} reports no metrics"
+    for key, value in metrics.items():
+        assert np.isfinite(value), (name, key)
+
+
+@pytest.mark.parametrize("name", ZOO)
+def test_zoo_section_traversal_matches_declaration(name):
+    plugin, res = _run(name, 4)
+    prof = SectionProfile.from_run(res, p=4)
+    declared = list(registry.get(name).SECTIONS)
+    seen = [lbl for lbl in prof.labels() if lbl not in ("MAIN", "MPI_MAIN")]
+    assert set(seen) <= set(declared), (seen, declared)
+    key = registry.get(name).KEY_SECTIONS
+    assert set(key) <= set(seen), f"{name} never entered its key sections"
+
+
+@pytest.mark.parametrize("name,tamper", [
+    ("halo2d", lambda r: r.results[0].__setitem__(
+        "final_sum", r.results[0]["final_sum"] + 1.0)),
+    ("taskfarm", lambda r: r.results[0].__setitem__(
+        "sum", r.results[0]["sum"] + 1)),
+    ("bucketsort", lambda r: r.results[0].__setitem__(
+        "sum", r.results[0]["sum"] + 1)),
+    ("sparsegraph", lambda r: r.results[0].__setitem__(
+        "local_sum", r.results[0]["local_sum"] * 1.5)),
+])
+def test_zoo_checks_fail_loudly_on_tampered_results(name, tamper):
+    plugin, res = _run(name, 4)
+    tamper(res)
+    with pytest.raises(WorkloadValidityError):
+        plugin.check(res)
+
+
+def test_ringpipe_check_fails_on_tampered_token():
+    plugin, res = _run("ringpipe", 4)
+    res.results[0]["token"] = res.results[0]["token"] + 1
+    with pytest.raises(WorkloadValidityError):
+        plugin.check(res)
+
+
+def test_taskfarm_imbalance_metric_and_exact_totals():
+    plugin, res = _run("taskfarm", 4)
+    counts = [r["count"] for r in res.results]
+    assert counts[0] == 0  # the master only deals tasks
+    assert sum(counts) == SMALL["taskfarm"]["ntasks"]
+    assert plugin.metrics(res)["task_imbalance"] >= 1.0
+    want = sum(task_value(t) for t in range(SMALL["taskfarm"]["ntasks"]))
+    assert res.results[1]["total"] == want
+
+
+def test_bucketsort_outputs_are_sorted_and_partitioned():
+    plugin, res = _run("bucketsort", 4)
+    lows = [r["lo"] for r in res.results]
+    his = [r["hi"] for r in res.results]
+    assert lows == sorted(lows)
+    for r in res.results:
+        keys = r["keys"]
+        assert np.all(keys[:-1] <= keys[1:])
+        if len(keys):
+            assert r["lo"] <= int(keys[0]) and int(keys[-1]) < r["hi"]
+    assert his[-1] >= max(int(r["keys"][-1]) for r in res.results
+                          if len(r["keys"]))
+
+
+def test_balanced_dims_is_most_square():
+    assert balanced_dims(1) == (1, 1)
+    assert balanced_dims(4) == (2, 2)
+    assert balanced_dims(6) == (2, 3)
+    assert balanced_dims(12) == (3, 4)
+    assert balanced_dims(17) == (1, 17)  # prime: degenerate row layout
+    for p in range(1, 30):
+        py, px = balanced_dims(p)
+        assert py * px == p and py <= px
+
+
+def test_graph_strides_are_valid_neighbours():
+    assert graph_strides(1, 3, 5) == []
+    for p in (2, 8, 17):
+        strides = graph_strides(p, 3, 5)
+        assert strides, p
+        assert len(set(strides)) == len(strides)
+        assert all(1 <= s < p for s in strides)
+
+
+@pytest.mark.parametrize("name", ZOO)
+def test_zoo_param_schema_rejects_unknown_and_bad_types(name):
+    from repro.errors import WorkloadError
+
+    cls = registry.get(name)
+    with pytest.raises(WorkloadError, match="unknown parameters"):
+        cls.validate_params({"definitely_not_a_param": 1})
+    first = sorted(cls.PARAMS)[0]
+    with pytest.raises(WorkloadError):
+        cls.validate_params({first: object()})

@@ -1,0 +1,92 @@
+"""Differential gate for the zoo: both engines, bit for bit.
+
+Every zoo workload must produce byte-identical results, clocks and
+network counters on the thread-free generator engine and on the
+thread-per-rank oracle, at an awkward mix of rank counts (including a
+prime).  Fault injection must fail loudly — a crashed rank can never
+leak a silently-corrupt profile past the workload's validity check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RankFailedError, WorkloadValidityError
+from repro.faults.plan import FaultPlan
+from repro.machine.catalog import laptop
+from repro.workloads import registry
+
+ZOO = ("halo2d", "taskfarm", "ringpipe", "bucketsort", "sparsegraph")
+
+#: Small but non-degenerate parameterisations (p=17 must stay legal).
+SMALL = {
+    "halo2d": {"ny": 34, "nx": 17, "steps": 3},
+    "taskfarm": {"ntasks": 40, "task_flops": 1e5},
+    "ringpipe": {"rounds": 2, "blocklen": 16},
+    "bucketsort": {"n_local": 48},
+    "sparsegraph": {"m": 4, "steps": 5},
+}
+
+
+def _eq(a, b):
+    """Recursive exact equality that tolerates numpy payloads."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype and np.array_equal(a, b)
+        )
+    if isinstance(a, (list, tuple)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(_eq(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict):
+        return (isinstance(b, dict) and a.keys() == b.keys()
+                and all(_eq(a[k], b[k]) for k in a))
+    return a == b
+
+
+def _both(name, p, **kwargs):
+    """Run ``name`` at ``p`` on both engines; (plugin, threadfree, threads)."""
+    plugin = registry.get(name)(dict(SMALL[name]))
+    kwargs.setdefault("machine", laptop(cores=max(2, p)))
+    kwargs.setdefault("seed", 5)
+    kwargs.setdefault("compute_jitter", 0.04)
+    kwargs.setdefault("noise_floor", 1e-7)
+    tf = plugin.run(p, engine="threadfree", **kwargs)
+    th = plugin.run(p, engine="threads", **kwargs)
+    return plugin, tf, th
+
+
+@pytest.mark.parametrize("name", ZOO)
+@pytest.mark.parametrize("p", [2, 8, 17])
+def test_zoo_bit_identical_across_engines(name, p):
+    plugin, tf, th = _both(name, p)
+    assert _eq(tf.results, th.results)
+    assert tf.clocks == th.clocks          # exact float equality, per rank
+    assert tf.walltime == th.walltime
+    assert tf.network == th.network
+    assert tf.section_events == th.section_events
+    assert tf.engine == "threadfree" and th.engine == "threads"
+    plugin.check(tf)
+    plugin.check(th)
+    assert plugin.metrics(tf) == plugin.metrics(th)
+
+
+@pytest.mark.parametrize("name", ZOO)
+def test_zoo_crash_fault_fails_loudly_on_both_engines(name):
+    crash = FaultPlan.from_dict({"seed": 1, "faults": [
+        {"kind": "crash", "rank": 0, "at_time": 0.0}]})
+    plugin = registry.get(name)(dict(SMALL[name]))
+    for engine in ("threadfree", "threads"):
+        with pytest.raises(RankFailedError):
+            plugin.run(4, machine=laptop(cores=4), seed=5,
+                       faults=crash, engine=engine)
+
+
+def test_fault_corrupted_results_never_pass_validity():
+    plugin, tf, _ = _both("ringpipe", 4)
+    # Simulate a fault that silently corrupts rank 2's payload: the
+    # validity check must reject the run rather than average it away.
+    tf.results[2]["token"] = tf.results[2]["token"][::-1].copy()
+    with pytest.raises(WorkloadValidityError):
+        plugin.check(tf)
