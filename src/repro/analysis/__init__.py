@@ -1,0 +1,42 @@
+"""Time-resolved analyses over the section-event spine.
+
+The paper's run-level speedup (and even its per-section partial bounds)
+collapse a whole execution into scalars; this package keeps the *time
+axis*: windowed POP-style efficiencies computed from the virtual-time
+:class:`~repro.simmpi.sections_rt.SectionEvent` stream, and an inflexion
+localizer that reports not just *that* a section stopped scaling but
+*when within the run* it did.
+
+Everything here is derived purely from virtual timestamps, so every
+number is bit-identical across the two engines and with tracing on or
+off — the same determinism contract as the rest of the simulator.
+"""
+
+from repro.analysis.timeresolved import (
+    DEFAULT_WINDOWS,
+    INTERVALS_SCHEMA,
+    TIMELINE_SCHEMA,
+    WindowConfig,
+    intervals_from_events,
+    intervals_from_run,
+    merge_timelines,
+    scenario_timeline,
+    scenario_timeline_from_payload,
+    timeline_from_intervals,
+)
+from repro.analysis.render import render_timeline, sparkline
+
+__all__ = [
+    "DEFAULT_WINDOWS",
+    "INTERVALS_SCHEMA",
+    "TIMELINE_SCHEMA",
+    "WindowConfig",
+    "intervals_from_events",
+    "intervals_from_run",
+    "merge_timelines",
+    "scenario_timeline",
+    "scenario_timeline_from_payload",
+    "timeline_from_intervals",
+    "render_timeline",
+    "sparkline",
+]

@@ -1,0 +1,131 @@
+"""Plain-text rendering of efficiency timelines.
+
+One sparkline row per metric per scale — terminal-friendly, no plotting
+dependency, stable output (the CLI and docs examples rely on it).  This
+complements :mod:`repro.tools.timeline` (per-rank section *lanes* of a
+single run): here the time axis is windowed and the rows are derived
+efficiencies across ranks and scales.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Eight-level bar glyphs; ``None`` (zero-width window) renders as "·".
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[Optional[float]],
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render a series as unicode block characters.
+
+    Values are clamped into ``[lo, hi]``; ``None`` entries become "·".
+    """
+    if hi <= lo:
+        raise ValueError(f"sparkline needs hi > lo, got [{lo}, {hi}]")
+    out = []
+    for v in values:
+        if v is None:
+            out.append("·")
+            continue
+        frac = (v - lo) / (hi - lo)
+        frac = 0.0 if frac < 0 else (1.0 if frac > 1 else frac)
+        out.append(BLOCKS[min(int(frac * len(BLOCKS)), len(BLOCKS) - 1)])
+    return "".join(out)
+
+
+_METRIC_ROWS = (
+    ("PE  ", "parallel_efficiency"),
+    ("LB  ", "load_balance"),
+    ("CommE", "communication_efficiency"),
+    ("TE  ", "transfer_efficiency"),
+    ("SerE", "serialization_efficiency"),
+)
+
+
+def _fmt(v: Optional[float]) -> str:
+    return "--" if v is None else f"{v:.2f}"
+
+
+def _pick_sections(timeline: Dict[str, Any], limit: int = 4) -> List[str]:
+    """Default section rows: largest mean share of the run, first."""
+    totals = {
+        label: sum(row["mean"] for row in rows)
+        for label, rows in timeline["sections"].items()
+    }
+    ranked = sorted(totals, key=lambda s: (-totals[s], s))
+    return ranked[:limit]
+
+
+def render_timeline(
+    payload: Dict[str, Any],
+    sections: Optional[Sequence[str]] = None,
+) -> str:
+    """Text report of a :func:`~repro.analysis.scenario_timeline` block.
+
+    ``sections`` restricts the per-section share rows (default: the four
+    largest contributors at the largest scale).
+    """
+    cfg = payload["config"]
+    lines = [
+        f"efficiency timeline  strategy={cfg['strategy']} "
+        f"windows={cfg['windows']} rel_tol={payload['rel_tol']}"
+    ]
+    scales = payload["scales"]
+    if not scales:
+        lines.append("  (no surviving scales)")
+        return "\n".join(lines)
+    ps = sorted(scales, key=int)
+    chosen = list(sections) if sections else _pick_sections(scales[ps[-1]])
+    for p in ps:
+        t = scales[p]
+        lines.append(
+            f"p={p}  windows={len(t['rows'])}  walltime={t['walltime']:.4f}s"
+        )
+        for name, key in _METRIC_ROWS:
+            series = [row[key] for row in t["rows"]]
+            lines.append(
+                f"  {name:<5} |{sparkline(series)}| "
+                f"{_fmt(series[0] if series else None)}"
+                f" → {_fmt(series[-1] if series else None)}"
+            )
+        for label in chosen:
+            rows = t["sections"].get(label)
+            if rows is None:
+                continue
+            shares = [row["share"] for row in rows]
+            mean_share = [s for s in shares if s is not None]
+            avg = sum(mean_share) / len(mean_share) if mean_share else 0.0
+            lines.append(
+                f"  {label:<12} |{sparkline(shares)}| share≈{avg:.2f}"
+            )
+    infl = payload["inflexion"]
+    lines.append(f"inflexion localization (rel_tol={payload['rel_tol']}):")
+    if infl.get("note"):
+        lines.append(f"  {infl['note']}")
+    shown = [s for s in chosen if s in infl["sections"]] or sorted(
+        infl["sections"]
+    )
+    for label in shown:
+        entry = infl["sections"][label]
+        run = entry["run"]
+        if run["status"] == "inflexion":
+            kind = "exhausted" if run["exhausted"] else "plateau"
+            head = f"run-level inflexion at p={run['p']} ({kind})"
+        elif run["status"] == "scaling":
+            head = "still scaling over the sampled range"
+        else:
+            head = "no run-level verdict (zero-time section at some scale)"
+        lines.append(f"  {label}: {head}")
+        first = entry["first_window"]
+        if first is not None:
+            frac = entry["first_fraction"]
+            n = len(entry["windows"])
+            where = f" (t/T≈{frac:.2f})" if frac is not None else ""
+            lines.append(
+                f"    first inflected window: {first + 1}/{n}{where}"
+            )
+    return "\n".join(lines)

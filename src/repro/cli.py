@@ -342,14 +342,14 @@ def _run_main(argv: List[str], prog: str = "run") -> int:
         run_cache = RunCache()
     progress = None if args.quiet else print
     try:
-        profile, metrics = run_scenario(
+        profile, metrics, intervals = run_scenario(
             spec, progress=progress, jobs=jobs, cache=run_cache,
             on_error=args.on_error, retries=args.retries,
         )
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return EXIT_RUN_FAILURE
-    payload = scenario_payload(spec, profile, metrics)
+    payload = scenario_payload(spec, profile, metrics, intervals)
     ok = _report_sweep_failures(profile.failures, spec.workload)
     summary = payload["summary"]
     print(f"scenario {spec.workload} [{spec.content_key[:12]}]: "
@@ -368,6 +368,179 @@ def _run_main(argv: List[str], prog: str = "run") -> int:
                             + "\n")
         print(f"result written: {args.out}")
     return EXIT_OK if ok else EXIT_RUN_FAILURE
+
+
+def _report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli report",
+        description="Render analysis views of a scenario: the scaling "
+                    "report, and with --timeline the windowed efficiency "
+                    "timeline (sparklines + inflexion localization).",
+    )
+    parser.add_argument("--scenario", type=pathlib.Path, default=None,
+                        metavar="SPEC.json",
+                        help="scenario spec to execute (cache-friendly: "
+                             "warm points are never re-simulated)")
+    parser.add_argument("--from", dest="from_result", type=pathlib.Path,
+                        default=None, metavar="RESULT.json",
+                        help="render from a saved result payload "
+                             "(repro run --scenario ... --out) instead of "
+                             "executing; mutually exclusive with --scenario")
+    parser.add_argument("--timeline", action="store_true",
+                        help="append the time-resolved efficiency timeline "
+                             "(docs/analysis.md)")
+    parser.add_argument("--windows", type=int, default=None,
+                        help="fixed-window count override (default: the "
+                             "spec's timeline block, $REPRO_TIMELINE_WINDOWS "
+                             "or 16); forces recomputation from the stored "
+                             "interval records")
+    parser.add_argument("--window-strategy", choices=("fixed", "adaptive"),
+                        default=None, dest="window_strategy",
+                        help="window strategy override (fixed slices vs "
+                             "phase-aligned adaptive edges)")
+    parser.add_argument("--rel-tol", type=float, default=None, dest="rel_tol",
+                        help="inflexion localizer noise tolerance "
+                             "(default 0.05)")
+    parser.add_argument("--section", action="append", default=None,
+                        metavar="LABEL",
+                        help="section(s) to highlight in the timeline "
+                             "(repeatable; default: largest contributors)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for sweep points "
+                             "(0 = all cores; default: $REPRO_JOBS or serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse the persistent run cache "
+                             "($REPRO_CACHE_DIR or ~/.cache/repro/runs)")
+    parser.add_argument("--on-error", choices=("raise", "skip"),
+                        default="raise", dest="on_error",
+                        help="sweep-point failure policy")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per failing sweep point")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        metavar="REPORT.txt",
+                        help="also write the rendered report to a file")
+    return parser
+
+
+def _report_main(argv: List[str]) -> int:
+    """The ``report`` subcommand: scaling + timeline views of a scenario."""
+    import json as _json
+
+    from repro.analysis.timeresolved import (
+        DEFAULT_REL_TOL,
+        WindowConfig,
+        scenario_timeline_from_payload,
+    )
+    from repro.analysis.render import render_timeline
+    from repro.core.export import scaling_from_json
+    from repro.errors import ReproError
+    from repro.harness.parallel import resolve_jobs
+    from repro.harness.scenario import run_scenario, scenario_payload
+    from repro.scenarios import ScenarioSpec, ScenarioSpecError
+    from repro.tools.reportgen import scaling_report
+
+    args = _report_parser().parse_args(argv)
+    if (args.scenario is None) == (args.from_result is None):
+        print("error: report needs exactly one of --scenario or --from",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    env_windows = os.environ.get("REPRO_TIMELINE_WINDOWS")
+    windows = args.windows
+    if windows is None and env_windows is not None:
+        try:
+            windows = int(env_windows)
+        except ValueError:
+            print(f"error: REPRO_TIMELINE_WINDOWS must be an integer, "
+                  f"got {env_windows!r}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if args.from_result is not None:
+        try:
+            payload = _json.loads(args.from_result.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read result payload "
+                  f"{args.from_result}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if not isinstance(payload, dict) or payload.get("kind") != "scenario":
+            print(f"error: {args.from_result} is not a scenario result "
+                  "payload (expected repro run --scenario ... --out output)",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        try:
+            jobs = resolve_jobs(args.jobs)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if args.retries < 0:
+            print(f"error: --retries must be >= 0, got {args.retries}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            spec = ScenarioSpec.load(args.scenario)
+        except ScenarioSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        run_cache = None
+        if args.cache:
+            from repro.harness.cache import RunCache
+
+            run_cache = RunCache()
+        progress = None if args.quiet else print
+        try:
+            profile, metrics, intervals = run_scenario(
+                spec, progress=progress, jobs=jobs, cache=run_cache,
+                on_error=args.on_error, retries=args.retries,
+            )
+        except ReproError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return EXIT_RUN_FAILURE
+        payload = scenario_payload(spec, profile, metrics, intervals)
+        if not _report_sweep_failures(profile.failures, spec.workload):
+            return EXIT_RUN_FAILURE
+
+    lines: List[str] = [
+        f"scenario {payload['scenario']['workload']} "
+        f"[{payload['content_key'][:12]}]"
+    ]
+    try:
+        lines.append(scaling_report(scaling_from_json(payload["profile_json"])))
+    except ReproError as exc:
+        lines.append(f"(no scaling report: {exc})")
+
+    if args.timeline:
+        overrides = (windows is not None or args.window_strategy is not None
+                     or args.rel_tol is not None)
+        timeline = payload.get("timeline")
+        if overrides or timeline is None:
+            base = (timeline or {}).get(
+                "config", WindowConfig().to_dict())
+            try:
+                cfg = WindowConfig(
+                    strategy=args.window_strategy or base["strategy"],
+                    windows=windows if windows is not None
+                    else base["windows"],
+                )
+                timeline = scenario_timeline_from_payload(
+                    payload, cfg,
+                    args.rel_tol if args.rel_tol is not None
+                    else DEFAULT_REL_TOL,
+                )
+            except ReproError as exc:
+                print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+        lines.append(render_timeline(timeline, sections=args.section))
+
+    text = "\n".join(lines)
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+        print(f"report written: {args.out}", file=sys.stderr)
+    return EXIT_OK
 
 
 def _workloads_parser() -> argparse.ArgumentParser:
@@ -649,6 +822,7 @@ SUBCOMMAND_PARSERS = {
     "cache": _cache_parser,
     "run": _run_parser,
     "sweep": _sweep_parser,
+    "report": _report_parser,
     "workloads": _workloads_parser,
     "scenarios": _scenarios_parser,
     "serve": _serve_parser,
@@ -665,6 +839,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] in ("run", "sweep"):
         return _run_main(argv[1:], prog=argv[0])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     if argv and argv[0] == "workloads":
         return _workloads_main(argv[1:])
     if argv and argv[0] == "scenarios":

@@ -31,6 +31,7 @@ import json
 import logging
 import os
 import pathlib
+import threading
 from typing import Any, Dict, Optional
 
 from repro import obs
@@ -44,7 +45,11 @@ logger = logging.getLogger(__name__)
 #: relative to v2 runs.  The ``REPRO_COLL_ANALYTIC`` switch itself is
 #: deliberately NOT part of the key: fast- and message-path results are
 #: bit-identical, so either mode may serve the other's cached entries.
-CACHE_SCHEMA_VERSION = 3
+#: v4: scenario point payloads additionally carry the compact interval
+#: record (:data:`repro.analysis.INTERVALS_SCHEMA`) behind the
+#: time-resolved efficiency timelines, so warm sweeps can answer any
+#: window configuration with zero simulations.
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the cache directory (and opting the
 #: runners into caching by default).
@@ -184,7 +189,11 @@ class RunCache:
             envelope = {
                 "checksum": _payload_checksum(payload), "payload": payload,
             }
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            # pid AND thread id: service worker threads sharing one cache
+            # may store the same engine-blind point concurrently, and the
+            # loser's os.replace must not find its tmp file stolen.
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}")
             tmp.write_text(json.dumps(envelope, separators=(",", ":")))
             os.replace(tmp, path)
             self.stores += 1

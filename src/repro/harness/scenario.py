@@ -18,6 +18,11 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.analysis.timeresolved import (
+    WindowConfig,
+    intervals_from_run,
+    scenario_timeline,
+)
 from repro.core.export import (
     profile_from_dict,
     profile_to_dict,
@@ -59,7 +64,9 @@ def scenario_point_key(spec: ScenarioSpec, p: int, rep: int, seed: int) -> str:
     )
 
 
-def _run_scenario_point(task) -> Tuple[SectionProfile, Dict[str, float], str]:
+def _run_scenario_point(
+    task,
+) -> Tuple[SectionProfile, Dict[str, float], str, Dict[str, Any]]:
     """Execute one (p, rep) scenario point; the unit of parallelism."""
     spec, p, rep, seed = task
     plugin = spec.plugin()
@@ -79,11 +86,17 @@ def _run_scenario_point(task) -> Tuple[SectionProfile, Dict[str, float], str]:
         )
     plugin.check(res)  # loud validity gate: corrupt points never cache
     metrics = plugin.metrics(res)
+    intervals = intervals_from_run(res, type(plugin).COMM_SECTIONS)
     msg = (
         f"{spec.workload} p={p} rep={rep}: wall={res.walltime:.3f}s "
         f"msgs={res.network['messages']}"
     )
-    return SectionProfile.from_run(res, p=p, threads=spec.threads), metrics, msg
+    return (
+        SectionProfile.from_run(res, p=p, threads=spec.threads),
+        metrics,
+        msg,
+        intervals,
+    )
 
 
 def run_scenario(
@@ -95,14 +108,18 @@ def run_scenario(
     on_error: str = "raise",
     retries: int = 0,
     retry_backoff: float = 0.0,
-) -> Tuple[ScalingProfile, Dict[int, Dict[str, float]]]:
-    """Execute a scenario sweep; returns (profile, per-scale metrics).
+) -> Tuple[ScalingProfile, Dict[int, Dict[str, float]],
+           Dict[int, List[Dict[str, Any]]]]:
+    """Execute a scenario sweep; returns (profile, metrics, intervals).
 
     The profile is a :class:`~repro.core.profile.ScalingProfile` keyed
     by process count — the container every paper analysis (breakdowns,
-    bounds, inflexion, imbalance) consumes — and the metrics dict maps
+    bounds, inflexion, imbalance) consumes — the metrics dict maps
     each scale to the rep-averaged plugin metrics (energy drift, mass
-    drift, task imbalance, ...).
+    drift, task imbalance, ...), and the intervals dict maps each scale
+    to its per-rep :func:`~repro.analysis.intervals_from_run` records —
+    the raw material of the time-resolved efficiency timelines
+    (:mod:`repro.analysis`).
 
     ``jobs``/``cache``/``on_error``/``retries`` behave exactly as in
     :func:`~repro.harness.runner.run_convolution_sweep`: parallel and
@@ -149,11 +166,13 @@ def run_scenario(
         report = SweepFailureReport()
         metric_acc: Dict[int, Dict[str, float]] = {}
         metric_n: Dict[int, int] = {}
+        intervals: Dict[int, List[Dict[str, Any]]] = {}
         for i, (p, r, seed) in enumerate(points):
             if i in hits:
                 prof = profile_from_dict(hits[i]["profile"])
                 metrics = hits[i]["metrics"]
                 msg = hits[i]["msg"]
+                ivals = hits[i]["intervals"]
             else:
                 out = next(fresh)
                 if not out.ok:
@@ -168,14 +187,16 @@ def run_scenario(
                             f"({failure.error_type}: {failure.message})"
                         )
                     continue
-                prof, metrics, msg = out.value
+                prof, metrics, msg, ivals = out.value
                 if cache is not None:
                     cache.put(keys[i], {
                         "profile": profile_to_dict(prof),
                         "metrics": metrics,
                         "msg": msg,
+                        "intervals": ivals,
                     })
             profile.add(p, prof)
+            intervals.setdefault(p, []).append(ivals)
             acc = metric_acc.setdefault(p, {})
             for name, value in metrics.items():
                 acc[name] = acc.get(name, 0.0) + float(value)
@@ -187,19 +208,26 @@ def run_scenario(
             p: {name: total / metric_n[p] for name, total in acc.items()}
             for p, acc in metric_acc.items()
         }
-        return profile, metric_means
+        return profile, metric_means, intervals
 
 
 def scenario_payload(
     spec: ScenarioSpec,
     profile: ScalingProfile,
     metrics: Dict[int, Dict[str, float]],
+    intervals: Optional[Dict[int, List[Dict[str, Any]]]] = None,
 ) -> Dict[str, Any]:
     """The canonical JSON result of one scenario run.
 
     Shared verbatim by the CLI and the service result path, so a
     ``repro sweep --scenario`` artifact and a served ``kind: "scenario"``
     payload for the same spec are byte-identical.
+
+    ``intervals`` (the third :func:`run_scenario` return) embeds the
+    per-point interval records and the derived ``timeline`` block —
+    windowed POP-style efficiencies plus the inflexion localizer, under
+    the spec's ``timeline`` window configuration.  Virtual-time inputs
+    make both blocks bit-identical across engines and tracing modes.
     """
     from repro.errors import ReproError
     from repro.service.jobs import JOB_SCHEMA_VERSION, _failures_payload
@@ -213,6 +241,10 @@ def scenario_payload(
     except ReproError:
         summary["speedup"] = None
         summary["sequential_time"] = None
+    intervals = intervals or {}
+    timeline = scenario_timeline(
+        intervals, WindowConfig.from_dict(spec.timeline)
+    ) if intervals else None
     return {
         "kind": "scenario",
         "schema": JOB_SCHEMA_VERSION,
@@ -223,4 +255,7 @@ def scenario_payload(
                     for p, m in sorted(metrics.items())},
         "failures": _failures_payload(profile.failures),
         "summary": summary,
+        "intervals": {str(p): recs
+                      for p, recs in sorted(intervals.items())},
+        "timeline": timeline,
     }

@@ -14,6 +14,9 @@ exactly like a fault plan**:
   including ``engine``, which the scenario level treats as part of the
   question being asked (the run cache below it still shares points
   across engines, because engines are bit-identical);
+* the optional ``timeline`` window block shapes the payload's derived
+  efficiency-timeline view, so it participates too (canonicalised: an
+  omitted block hashes like the spelled-out default);
 * ``wall_timeout`` is execution policy (abort behaviour only) and stays
   out of the key.
 
@@ -61,6 +64,7 @@ _FIELDS = (
     "noise_floor",
     "faults",
     "engine",
+    "timeline",
     "wall_timeout",
 )
 
@@ -123,6 +127,14 @@ class ScenarioSpec:
     noise_floor: float = 0.0
     faults: Optional[FaultPlan] = None
     engine: Optional[str] = None
+    #: Window configuration of the derived efficiency timeline
+    #: (:class:`repro.analysis.WindowConfig` dict).  Canonicalised so an
+    #: omitted block and a spelled-out default hash identically; it IS
+    #: part of the content key because it shapes the result payload's
+    #: ``timeline`` block (other window views of the same runs are free
+    #: through the ``efficiency_timeline`` artifact's query parameters —
+    #: the run cache shares every simulated point).
+    timeline: Optional[Dict[str, Any]] = None
     #: Per-point watchdog (real seconds) — execution policy, not hashed.
     wall_timeout: Optional[float] = None
 
@@ -139,6 +151,13 @@ class ScenarioSpec:
     def machine_spec(self) -> MachineSpec:
         """The resolved catalog machine model."""
         return machine_from_dict(self.machine)
+
+    def timeline_config(self):
+        """The resolved :class:`repro.analysis.WindowConfig` (defaults
+        applied when the ``timeline`` block is omitted)."""
+        from repro.analysis.timeresolved import WindowConfig
+
+        return WindowConfig.from_dict(self.timeline)
 
     # -- hashing -------------------------------------------------------------
 
@@ -165,6 +184,7 @@ class ScenarioSpec:
             "noise_floor": self.noise_floor,
             "faults": self.faults.to_dict() if self.faults else None,
             "engine": self.engine,
+            "timeline": self.timeline_config().to_dict(),
         })
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -187,6 +207,7 @@ class ScenarioSpec:
             "noise_floor": self.noise_floor,
             "faults": self.faults.to_dict() if self.faults else None,
             "engine": self.engine,
+            "timeline": self.timeline_config().to_dict(),
             "wall_timeout": self.wall_timeout,
         }
 
@@ -294,6 +315,18 @@ class ScenarioSpec:
             except EngineStateError as exc:
                 raise ScenarioSpecError(str(exc)) from exc
 
+        raw_timeline = data.get("timeline")
+        timeline = None
+        if raw_timeline is not None:
+            from repro.analysis.timeresolved import WindowConfig
+
+            try:
+                timeline = WindowConfig.from_dict(raw_timeline).to_dict()
+            except ReproError as exc:
+                raise ScenarioSpecError(
+                    f"invalid timeline block: {exc}"
+                ) from exc
+
         wall_timeout = data.get("wall_timeout")
         if wall_timeout is not None:
             wall_timeout = _as_number(wall_timeout, "wall_timeout")
@@ -321,6 +354,7 @@ class ScenarioSpec:
             noise_floor=noise_floor,
             faults=faults,
             engine=engine,
+            timeline=timeline,
             wall_timeout=wall_timeout,
         )
 

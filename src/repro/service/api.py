@@ -543,8 +543,46 @@ class ServiceApp:
                     for e in entries
                 ],
             })
+        if name == "efficiency_timeline":
+            timeline = result.get("timeline")
+            if not query:
+                # The precomputed block under the spec's own window
+                # config — straight from the registry, zero recompute.
+                return _json_response(200, {"timeline": timeline})
+            from repro.analysis.timeresolved import (
+                DEFAULT_WINDOWS,
+                WindowConfig,
+                scenario_timeline_from_payload,
+            )
+            from repro.errors import AnalysisError, InsufficientDataError
+            unknown = set(query) - {"windows", "strategy", "rel_tol"}
+            if unknown:
+                return _error(
+                    400, f"unknown timeline parameters {sorted(unknown)} "
+                         "(windows | strategy | rel_tol)")
+            base = (timeline or {}).get(
+                "config", {"strategy": "fixed", "windows": None})
+            try:
+                windows = int(query.get(
+                    "windows", base["windows"] or DEFAULT_WINDOWS))
+                rel_tol = float(query.get("rel_tol", "0.05"))
+            except ValueError as exc:
+                return _error(400, f"bad timeline parameter: {exc}")
+            try:
+                cfg = WindowConfig(
+                    strategy=query.get("strategy", base["strategy"]),
+                    windows=windows,
+                )
+                recomputed = scenario_timeline_from_payload(
+                    result, cfg, rel_tol)
+            except InsufficientDataError as exc:
+                return _error(422, str(exc))
+            except AnalysisError as exc:
+                return _error(400, str(exc))
+            return _json_response(200, {"timeline": recomputed})
         return _error(404, f"unknown scenario artifact {name!r} "
-                           "(profile | metrics | report | speedup | bounds)")
+                           "(profile | metrics | report | speedup | bounds | "
+                           "efficiency_timeline)")
 
     @staticmethod
     def _lulesh_artifact(result: Dict[str, Any], name: str,

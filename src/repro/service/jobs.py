@@ -46,7 +46,10 @@ from repro.workloads.lulesh import LuleshConfig
 
 #: Bump when the normalised work layout (and therefore job keys) or the
 #: result payload layout changes; old registry records become invisible.
-JOB_SCHEMA_VERSION = 1
+#: v2: scenario work dicts carry the canonical ``timeline`` window block
+#: and scenario payloads gain ``intervals`` + ``timeline`` (the
+#: time-resolved efficiency analytics of :mod:`repro.analysis`).
+JOB_SCHEMA_VERSION = 2
 
 #: Job kinds the service can execute.  ``scenario`` runs any registered
 #: workload plugin through a declarative :class:`~repro.scenarios.ScenarioSpec`.
@@ -485,7 +488,7 @@ def execute_job(
     sweep_jobs = spec.jobs if spec.jobs is not None else jobs
     if spec.kind == "scenario":
         sspec = build_sweep(spec)
-        profile, metrics = run_scenario(
+        profile, metrics, intervals = run_scenario(
             sspec,
             progress=progress,
             jobs=sweep_jobs,
@@ -493,7 +496,7 @@ def execute_job(
             on_error=spec.on_error,
             retries=spec.retries,
         )
-        return scenario_payload(sspec, profile, metrics)
+        return scenario_payload(sspec, profile, metrics, intervals)
     if spec.kind == "convolution":
         sweep = build_sweep(spec)
         profile = run_convolution_sweep(

@@ -141,6 +141,12 @@ class WorkloadPlugin:
     SECTIONS: Tuple[str, ...] = ()
     #: Sections the bound/inflexion reports single out.
     KEY_SECTIONS: Tuple[str, ...] = ()
+    #: Sections whose interior is communication/synchronisation time —
+    #: the classifier behind the time-resolved transfer/serialization
+    #: efficiencies (:mod:`repro.analysis`).  Classification is by the
+    #: *innermost* open section, so a nested comm label inside a compute
+    #: phase counts as communication.
+    COMM_SECTIONS: Tuple[str, ...] = ()
     #: Communication class (El-Nashar's program taxonomy).
     COMM_PATTERN: str = ""
     #: Typed parameter schema; defaults define the canonical params.
@@ -199,6 +205,7 @@ class WorkloadPlugin:
             "comm_pattern": cls.COMM_PATTERN,
             "sections": list(cls.SECTIONS),
             "key_sections": list(cls.KEY_SECTIONS),
+            "comm_sections": list(cls.COMM_SECTIONS),
             "params": {
                 name: {
                     "default": cls.PARAMS[name].default,

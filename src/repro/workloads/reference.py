@@ -62,6 +62,7 @@ class ConvolutionWorkload(WorkloadPlugin):
     DOMAIN = "paper"
     SECTIONS = CONV_SECTIONS
     KEY_SECTIONS = ("HALO",)
+    COMM_SECTIONS = ("SCATTER", "HALO", "GATHER")
     COMM_PATTERN = "halo-1d"
     PARAMS = params_from_config(ConvolutionConfig, docs={
         "height": "image height in pixels",
@@ -145,6 +146,7 @@ class LuleshWorkload(WorkloadPlugin):
     DOMAIN = "paper"
     SECTIONS = LULESH_SECTIONS
     KEY_SECTIONS = ("LagrangeNodal", "LagrangeElements")
+    COMM_SECTIONS = ("CommSBN", "CommMonoQ", "CommEnergy", "CommDt")
     COMM_PATTERN = "halo-3d"
     PARAMS = params_from_config(LuleshConfig, exclude=("omp_params",), docs={
         "s": "per-rank cube side length (LULESH -s)",
@@ -243,6 +245,7 @@ class LBMWorkload(WorkloadPlugin):
     DOMAIN = "paper"
     SECTIONS = ("INIT", "COLLIDE", "HALO", "STREAM", "MACRO")
     KEY_SECTIONS = ("HALO",)
+    COMM_SECTIONS = ("HALO",)
     COMM_PATTERN = "halo-1d"
     PARAMS = params_from_config(LBMConfig, docs={
         "ny": "lattice rows",

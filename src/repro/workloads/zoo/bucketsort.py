@@ -42,6 +42,7 @@ class BucketSortWorkload(WorkloadPlugin):
     DOMAIN = "zoo"
     SECTIONS = ("GEN", "PARTITION", "EXCHANGE", "SORT", "REDUCE")
     KEY_SECTIONS = ("EXCHANGE",)
+    COMM_SECTIONS = ("EXCHANGE", "REDUCE")
     COMM_PATTERN = "alltoall"
     PARAMS = {
         "n_local": Param(512, int, "keys drawn per rank", minimum=1),

@@ -41,6 +41,7 @@ class Halo2DWorkload(WorkloadPlugin):
     DOMAIN = "zoo"
     SECTIONS = ("INIT", "HALO", "COMPUTE", "REDUCE")
     KEY_SECTIONS = ("HALO",)
+    COMM_SECTIONS = ("HALO", "REDUCE")
     COMM_PATTERN = "halo-2d"
     PARAMS = {
         "ny": Param(64, int, "global field rows", minimum=4),

@@ -46,6 +46,7 @@ class RingPipelineWorkload(WorkloadPlugin):
     DOMAIN = "zoo"
     SECTIONS = ("INIT", "TRANSFORM", "SHIFT", "REDUCE")
     KEY_SECTIONS = ("SHIFT",)
+    COMM_SECTIONS = ("SHIFT", "REDUCE")
     COMM_PATTERN = "ring"
     PARAMS = {
         "rounds": Param(2, int, "full traversals of the ring", minimum=1),

@@ -54,6 +54,7 @@ class SparseGraphWorkload(WorkloadPlugin):
     DOMAIN = "zoo"
     SECTIONS = ("INIT", "EXCHANGE", "UPDATE", "REDUCE")
     KEY_SECTIONS = ("EXCHANGE",)
+    COMM_SECTIONS = ("EXCHANGE", "REDUCE")
     COMM_PATTERN = "sparse-graph"
     PARAMS = {
         "m": Param(8, int, "values per rank", minimum=1),

@@ -42,6 +42,9 @@ class TaskFarmWorkload(WorkloadPlugin):
     DOMAIN = "zoo"
     SECTIONS = ("SETUP", "FARM", "REDUCE")
     KEY_SECTIONS = ("FARM",)
+    # FARM mixes task compute with master round-trips and is left
+    # unclassified; only the closing allreduce is pure communication.
+    COMM_SECTIONS = ("REDUCE",)
     COMM_PATTERN = "master-worker"
     PARAMS = {
         "ntasks": Param(64, int, "number of tasks dealt by the master",

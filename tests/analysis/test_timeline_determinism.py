@@ -1,0 +1,87 @@
+"""Timeline bit-identity: engines, tracing, scenario payloads.
+
+The acceptance bar of the time-resolved pass: every timeline byte is a
+pure function of virtual time, so the ``threadfree`` and ``threads``
+engines — and tracing on vs off — must produce *identical JSON*, not
+merely close numbers, at awkward scales (p=17 exercises non-power-of-two
+collectives) over multiple communication shapes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.analysis import WindowConfig, intervals_from_run, timeline_from_intervals
+from repro.harness.scenario import run_scenario, scenario_payload
+from repro.machine.catalog import nehalem_cluster
+from repro.scenarios import ScenarioSpec
+from repro.workloads.registry import get
+
+WORKLOADS = ("halo2d", "bucketsort")
+SCALES = (2, 8, 17)
+
+
+def _timeline_json(workload: str, p: int, *, engine: str,
+                   traced: bool) -> str:
+    cls = get(workload)
+    plugin = cls(cls.default_params())
+    machine = nehalem_cluster(nodes=-(-p // 8), jitter=0.1)
+    if traced:
+        obs.start_trace("timeline-determinism", layer="test")
+    try:
+        res = plugin.run(p, machine=machine, seed=23, engine=engine)
+    finally:
+        if traced:
+            obs.finish_trace()
+    plugin.check(res)
+    assert res.engine == engine
+    rec = intervals_from_run(res, cls.COMM_SECTIONS)
+    out = {
+        "fixed": timeline_from_intervals(rec, WindowConfig(windows=12)),
+        "adaptive": timeline_from_intervals(
+            rec, WindowConfig(strategy="adaptive")),
+    }
+    return json.dumps(out, sort_keys=True)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("p", SCALES)
+def test_timeline_bit_identical_across_engines(workload, p):
+    tf = _timeline_json(workload, p, engine="threadfree", traced=False)
+    th = _timeline_json(workload, p, engine="threads", traced=False)
+    assert tf == th
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("p", SCALES)
+def test_timeline_bit_identical_with_tracing(workload, p):
+    off = _timeline_json(workload, p, engine="threadfree", traced=False)
+    on = _timeline_json(workload, p, engine="threadfree", traced=True)
+    assert off == on
+
+
+def _scenario_payload_json(workload: str, engine: str) -> str:
+    spec = ScenarioSpec.from_dict({
+        "workload": workload,
+        "machine": {"name": "nehalem", "nodes": 3},
+        "process_counts": [2, 8, 17],
+        "base_seed": 5,
+        "engine": engine,
+        "timeline": {"strategy": "adaptive"},
+    })
+    profile, metrics, intervals = run_scenario(spec, cache=None)
+    payload = scenario_payload(spec, profile, metrics, intervals)
+    # The scenario identity (content_key, spec echo) intentionally names
+    # the engine; the *measured* blocks must not.
+    return json.dumps(
+        {"timeline": payload["timeline"], "intervals": payload["intervals"]},
+        sort_keys=True)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_scenario_timeline_blocks_engine_blind(workload):
+    assert (_scenario_payload_json(workload, "threadfree")
+            == _scenario_payload_json(workload, "threads"))

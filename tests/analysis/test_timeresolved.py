@@ -1,0 +1,234 @@
+"""Unit semantics of the time-resolved efficiency pass.
+
+Checks window construction, the POP identities (PE = LB * CommE and
+PE = TE + SerE - 1, exactly, on real simulated runs), adaptive window
+alignment across scales, rep merging, and the inflexion localizer on
+hand-built interval records with a known answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    WindowConfig,
+    intervals_from_run,
+    merge_timelines,
+    scenario_timeline,
+    scenario_timeline_from_payload,
+    timeline_from_intervals,
+)
+from repro.analysis.render import render_timeline, sparkline
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.machine.catalog import knl_node
+from repro.workloads.registry import get
+
+
+def _run_record(workload: str, p: int, seed: int = 11):
+    cls = get(workload)
+    plugin = cls(cls.default_params())
+    res = plugin.run(p, machine=knl_node(), seed=seed)
+    plugin.check(res)
+    return intervals_from_run(res, cls.COMM_SECTIONS)
+
+
+# -- WindowConfig -------------------------------------------------------------
+
+
+def test_window_config_rejects_bad_values():
+    with pytest.raises(AnalysisError, match="strategy"):
+        WindowConfig(strategy="hourly")
+    with pytest.raises(AnalysisError, match="windows"):
+        WindowConfig(windows=0)
+    with pytest.raises(AnalysisError, match="integer"):
+        WindowConfig(windows=2.5)
+    with pytest.raises(AnalysisError, match="unknown"):
+        WindowConfig.from_dict({"strategy": "fixed", "bins": 4})
+
+
+def test_window_config_canonicalises_omitted_fields():
+    assert WindowConfig.from_dict(None).to_dict() == \
+        {"strategy": "fixed", "windows": 16}
+    assert WindowConfig.from_dict({"windows": 4}).to_dict() == \
+        {"strategy": "fixed", "windows": 4}
+
+
+# -- windowing + metrics ------------------------------------------------------
+
+
+def test_fixed_edges_tile_the_run_exactly():
+    rec = _run_record("halo2d", 4)
+    tl = timeline_from_intervals(rec, WindowConfig(windows=10))
+    assert len(tl["rows"]) == 10
+    assert tl["edges"][0] == 0.0
+    assert tl["edges"][-1] == rec["walltime"]
+    widths = [b - a for a, b in zip(tl["edges"], tl["edges"][1:])]
+    assert max(widths) - min(widths) < 1e-12 * rec["walltime"]
+
+
+def test_pop_identities_hold_exactly():
+    for workload in ("halo2d", "bucketsort"):
+        rec = _run_record(workload, 4)
+        for cfg in (WindowConfig(windows=8), WindowConfig(strategy="adaptive")):
+            tl = timeline_from_intervals(rec, cfg)
+            for row in tl["rows"]:
+                pe = row["parallel_efficiency"]
+                if pe is None:
+                    continue
+                w = row["t1"] - row["t0"]
+                # useful/comm/idle partition the window per rank.
+                assert row["useful"] + row["comm"] + row["idle"] == \
+                    pytest.approx(w, rel=1e-12)
+                if row["load_balance"] is None:
+                    # No rank did useful work: PE collapses to zero.
+                    assert pe == 0.0
+                else:
+                    assert pe == pytest.approx(
+                        row["load_balance"]
+                        * row["communication_efficiency"], rel=1e-12)
+                assert pe == pytest.approx(
+                    row["transfer_efficiency"]
+                    + row["serialization_efficiency"] - 1.0, rel=1e-9)
+
+
+def test_adaptive_window_count_is_scale_invariant():
+    counts = set()
+    for p in (1, 2, 4, 8):
+        rec = _run_record("halo2d", p)
+        tl = timeline_from_intervals(rec, WindowConfig(strategy="adaptive"))
+        counts.add(len(tl["rows"]))
+        assert len(tl["rows"]) == len(rec["top_sequence"]) + 1
+    assert len(counts) == 1
+
+
+def test_zero_width_windows_report_none_efficiencies():
+    # At p=1 the halo exchange is instantaneous, so adaptive edges
+    # produce zero-width HALO windows that must stay in place (index
+    # alignment across scales) with None metrics.
+    rec = _run_record("halo2d", 1)
+    tl = timeline_from_intervals(rec, WindowConfig(strategy="adaptive"))
+    zero = [r for r in tl["rows"] if r["t1"] == r["t0"]]
+    assert zero
+    assert all(r["parallel_efficiency"] is None for r in zero)
+    assert all(r["useful"] == 0.0 for r in zero)
+
+
+def test_interval_record_is_json_round_trippable():
+    rec = _run_record("sparsegraph", 4)
+    assert json.loads(json.dumps(rec)) == rec
+    # busy/comm partitions never exceed the run.
+    for r in map(str, range(rec["n_ranks"])):
+        for t0, t1 in rec["busy"][r] + rec["comm"][r]:
+            assert 0.0 <= t0 <= t1 <= rec["walltime"]
+
+
+def test_timeline_rejects_foreign_payloads():
+    with pytest.raises(AnalysisError, match="interval record"):
+        timeline_from_intervals({"schema": 999})
+
+
+# -- rep merging --------------------------------------------------------------
+
+
+def test_merge_timelines_averages_and_validates():
+    recs = [_run_record("ringpipe", 4, seed=s) for s in (1, 2)]
+    tls = [timeline_from_intervals(r, WindowConfig(windows=6)) for r in recs]
+    merged = merge_timelines(tls)
+    assert len(merged["rows"]) == 6
+    k = 2
+    want = (tls[0]["rows"][k]["useful"] + tls[1]["rows"][k]["useful"]) / 2
+    assert merged["rows"][k]["useful"] == pytest.approx(want, rel=1e-12)
+    with pytest.raises(AnalysisError, match="window structures"):
+        merge_timelines([
+            tls[0], timeline_from_intervals(recs[1], WindowConfig(windows=7)),
+        ])
+    with pytest.raises(InsufficientDataError):
+        merge_timelines([])
+
+
+# -- inflexion localizer ------------------------------------------------------
+
+
+def _synthetic_record(section_times, walltime=10.0, n_ranks=2):
+    """A record with one top-level section per window-aligned phase.
+
+    ``section_times`` maps label -> per-phase duration; phases run
+    back-to-back on every rank, so adaptive windows isolate them.
+    """
+    labels, busy = {}, {}
+    t = 0.0
+    seq = []
+    per_label = {lab: [] for lab in section_times}
+    for lab, dt in section_times.items():
+        seq.append(lab)
+        per_label[lab].append([t, t + dt])
+        t += dt
+    for lab, ivs in per_label.items():
+        labels[lab] = {str(r): [list(iv) for iv in ivs]
+                       for r in range(n_ranks)}
+    busy_ivs = [[0.0, t]]
+    return {
+        "schema": 1,
+        "n_ranks": n_ranks,
+        "walltime": walltime,
+        "comm_sections": [],
+        "top_sequence": seq,
+        "labels": labels,
+        "busy": {str(r): [list(iv) for iv in busy_ivs]
+                 for r in range(n_ranks)},
+        "comm": {str(r): [] for r in range(n_ranks)},
+    }
+
+
+def test_localizer_reports_first_inflected_window():
+    # COMPUTE keeps improving with p; LATE improves to p=4 then gets
+    # *worse* at p=8 — a textbook inflexion, visible only in its window.
+    by_scale = {
+        2: [_synthetic_record({"COMPUTE": 4.0, "LATE": 2.0})],
+        4: [_synthetic_record({"COMPUTE": 2.0, "LATE": 1.0})],
+        8: [_synthetic_record({"COMPUTE": 1.0, "LATE": 3.0})],
+    }
+    out = scenario_timeline(
+        by_scale, WindowConfig(strategy="adaptive"), rel_tol=0.02)
+    sections = out["inflexion"]["sections"]
+    late = sections["LATE"]
+    assert late["run"]["status"] == "inflexion"
+    assert late["run"]["p"] == 4 and late["run"]["exhausted"] is True
+    assert late["first_window"] == 1          # the LATE window, not COMPUTE's
+    assert sections["COMPUTE"]["run"]["status"] == "scaling"
+    assert sections["COMPUTE"]["first_window"] is None
+    assert 0.0 < late["first_fraction"] < 1.0
+
+
+def test_localizer_needs_two_scales():
+    out = scenario_timeline({4: [_synthetic_record({"A": 1.0})]})
+    assert out["inflexion"]["note"] is not None
+    assert out["inflexion"]["sections"] == {}
+
+
+def test_payload_recompute_requires_interval_records():
+    with pytest.raises(InsufficientDataError, match="interval"):
+        scenario_timeline_from_payload({"kind": "scenario"})
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def test_sparkline_clamps_and_marks_gaps():
+    assert sparkline([0.0, 0.5, 1.0, None, 2.0]) == "▁▅█·█"
+    with pytest.raises(ValueError):
+        sparkline([0.5], lo=1.0, hi=0.0)
+
+
+def test_render_timeline_names_sections_and_inflexion():
+    by_scale = {
+        2: [_synthetic_record({"COMPUTE": 4.0, "LATE": 2.0})],
+        8: [_synthetic_record({"COMPUTE": 1.0, "LATE": 3.0})],
+    }
+    text = render_timeline(scenario_timeline(
+        by_scale, WindowConfig(strategy="adaptive"), rel_tol=0.02))
+    assert "LATE" in text and "COMPUTE" in text
+    assert "inflexion localization" in text
+    assert "p=2" in text and "p=8" in text

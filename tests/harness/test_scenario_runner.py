@@ -34,8 +34,10 @@ def _spec(**overrides):
 
 def test_profile_bit_identical_to_manual_plugin_loop():
     spec = _spec()
-    profile, metrics = run_scenario(spec, cache=None)
+    profile, metrics, intervals = run_scenario(spec, cache=None)
     plugin = spec.plugin()
+    assert set(intervals) == set(spec.process_counts)
+    assert all(len(recs) == spec.reps for recs in intervals.values())
     for p in spec.process_counts:
         runs = profile.runs(p)
         assert len(runs) == spec.reps
@@ -61,7 +63,7 @@ def test_crash_fault_raises_by_default():
 def test_crash_fault_skips_into_failure_report(tmp_path):
     cache = RunCache(tmp_path / "cache")
     seen = []
-    profile, metrics = run_scenario(
+    profile, metrics, intervals = run_scenario(
         _spec(faults=CRASH), progress=seen.append,
         cache=cache, on_error="skip")
     n_points = len(BASE["process_counts"]) * BASE["reps"]
@@ -70,6 +72,7 @@ def test_crash_fault_skips_into_failure_report(tmp_path):
     assert cache.stores == 0               # failed points never cache
     assert profile.scales() == []
     assert metrics == {}
+    assert intervals == {}
     assert sum("FAILED" in line for line in seen) == n_points
 
 

@@ -51,30 +51,32 @@ def test_point_keys_are_stable_and_engine_blind():
 def test_warm_rerun_is_zero_simulation_and_bit_identical(tmp_path):
     cache = RunCache(tmp_path / "cache")
     spec = _spec()
-    cold_profile, cold_metrics = run_scenario(spec, cache=cache)
+    cold_profile, cold_metrics, cold_iv = run_scenario(spec, cache=cache)
     n_points = len(spec.process_counts) * spec.reps
     assert cache.stores == n_points and cache.hits == 0
 
     warm_cache = RunCache(tmp_path / "cache")
-    warm_profile, warm_metrics = run_scenario(spec, cache=warm_cache)
+    warm_profile, warm_metrics, warm_iv = run_scenario(spec, cache=warm_cache)
     assert warm_cache.hits == n_points
     assert warm_cache.stores == 0          # zero fresh simulations
     assert scaling_to_json(warm_profile) == scaling_to_json(cold_profile)
     assert warm_metrics == cold_metrics
-    assert (scenario_payload(spec, warm_profile, warm_metrics)
-            == scenario_payload(spec, cold_profile, cold_metrics))
+    assert warm_iv == cold_iv                # interval records round-trip
+    assert (scenario_payload(spec, warm_profile, warm_metrics, warm_iv)
+            == scenario_payload(spec, cold_profile, cold_metrics, cold_iv))
 
 
 def test_other_engine_reuses_cached_points(tmp_path):
     cache = RunCache(tmp_path / "cache")
-    tf_profile, tf_metrics = run_scenario(_spec(engine="threadfree"),
-                                          cache=cache)
+    tf_profile, tf_metrics, tf_iv = run_scenario(
+        _spec(engine="threadfree"), cache=cache)
     threads = _spec(engine="threads")
-    th_profile, th_metrics = run_scenario(
+    th_profile, th_metrics, th_iv = run_scenario(
         threads, cache=RunCache(tmp_path / "cache"))
     assert cache.stores == len(BASE["process_counts"]) * BASE["reps"]
     assert scaling_to_json(th_profile) == scaling_to_json(tf_profile)
     assert th_metrics == tf_metrics
+    assert th_iv == tf_iv
     # The scenario identity still distinguishes the engines.
     assert (_spec(engine="threads").content_key
             != _spec(engine="threadfree").content_key)
@@ -91,11 +93,12 @@ def test_result_shaping_change_misses_the_cache(tmp_path):
 
 def test_cached_and_uncached_runs_agree(tmp_path):
     spec = _spec(compute_jitter=0.03, noise_floor=1e-7)
-    cached_profile, cached_metrics = run_scenario(
+    cached_profile, cached_metrics, cached_iv = run_scenario(
         spec, cache=RunCache(tmp_path / "cache"))
-    bare_profile, bare_metrics = run_scenario(spec, cache=None)
+    bare_profile, bare_metrics, bare_iv = run_scenario(spec, cache=None)
     assert scaling_to_json(bare_profile) == scaling_to_json(cached_profile)
     assert bare_metrics == cached_metrics
+    assert bare_iv == cached_iv
 
 
 def test_parallel_run_matches_serial(tmp_path):
@@ -104,3 +107,4 @@ def test_parallel_run_matches_serial(tmp_path):
     para = run_scenario(spec, cache=None, jobs=2)
     assert scaling_to_json(para[0]) == scaling_to_json(serial[0])
     assert para[1] == serial[1]
+    assert para[2] == serial[2]

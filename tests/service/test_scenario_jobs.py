@@ -104,8 +104,8 @@ def test_execute_job_is_byte_identical_to_the_library_path(tmp_path):
     spec = parse_job_spec(tiny_scenario_spec())
     served = execute_job(spec)
     sspec = ScenarioSpec.from_dict(tiny_scenario_spec()["scenario"])
-    profile, metrics = run_scenario(sspec)
-    direct = scenario_payload(sspec, profile, metrics)
+    profile, metrics, intervals = run_scenario(sspec)
+    direct = scenario_payload(sspec, profile, metrics, intervals)
     assert json.dumps(served, sort_keys=True) == \
         json.dumps(direct, sort_keys=True)
     assert served["profile_json"] == scaling_to_json(profile)
@@ -120,8 +120,8 @@ def test_http_scenario_job_end_to_end(server):
 
     result = client.result(receipt["job_id"])["result"]
     sspec = ScenarioSpec.from_dict(spec["scenario"])
-    profile, metrics = run_scenario(sspec)
-    assert result == scenario_payload(sspec, profile, metrics)
+    profile, metrics, intervals = run_scenario(sspec)
+    assert result == scenario_payload(sspec, profile, metrics, intervals)
 
     served_profile = client.artifact(receipt["job_id"], "profile")
     assert served_profile == json.loads(result["profile_json"])

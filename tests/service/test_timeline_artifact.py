@@ -1,0 +1,111 @@
+"""The ``efficiency_timeline`` artifact: golden payload, warm registry,
+query-parameter recomputes.
+
+The artifact must be a pure registry read (no simulations) serving
+exactly the payload's precomputed ``timeline`` block, byte-identical to
+the library path; ``?windows=/strategy=/rel_tol=`` re-derive a different
+view from the persisted interval records — still zero simulations.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.timeresolved import (
+    WindowConfig,
+    scenario_timeline_from_payload,
+)
+from repro.harness.scenario import run_scenario, scenario_payload
+from repro.scenarios import ScenarioSpec
+from repro.service.api import ServiceApp
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+
+from tests.service.test_scenario_jobs import SCENARIO, tiny_scenario_spec
+
+
+def test_artifact_matches_the_library_path_byte_for_byte(server):
+    client = ServiceClient(server.url)
+    job_id = client.submit(tiny_scenario_spec())["job_id"]
+    client.wait(job_id, timeout=60)
+
+    served = client.artifact(job_id, "efficiency_timeline")
+    sspec = ScenarioSpec.from_dict(dict(SCENARIO))
+    profile, metrics, intervals = run_scenario(sspec)
+    direct = scenario_payload(sspec, profile, metrics, intervals)["timeline"]
+    assert json.dumps(served, sort_keys=True) == \
+        json.dumps({"timeline": direct}, sort_keys=True)
+
+    # Golden shape of the block (the documented contract).
+    tl = served["timeline"]
+    assert tl["config"] == {"strategy": "fixed", "windows": 16}
+    assert sorted(tl["scales"]) == ["1", "2", "4"]
+    for t in tl["scales"].values():
+        assert len(t["rows"]) == 16
+        assert set(t["sections"]) == {"INIT", "HALO", "COMPUTE", "REDUCE"}
+    assert set(tl["inflexion"]["sections"]) == \
+        {"INIT", "HALO", "COMPUTE", "REDUCE"}
+
+
+def test_warm_resubmit_serves_the_timeline_with_zero_simulations(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = ServiceServer(ServiceApp(cache_dir=cache_dir, workers=1))
+    first.start()
+    try:
+        client = ServiceClient(first.url)
+        job_id = client.submit(tiny_scenario_spec())["job_id"]
+        client.wait(job_id, timeout=60)
+        original = client.artifact(job_id, "efficiency_timeline")
+    finally:
+        first.stop()
+
+    second_app = ServiceApp(cache_dir=cache_dir, workers=1)
+    second = ServiceServer(second_app)
+    second.start()
+    try:
+        client = ServiceClient(second.url)
+        receipt = client.submit(tiny_scenario_spec())
+        assert receipt["cached"] is True
+        warm = client.artifact(receipt["job_id"], "efficiency_timeline")
+        assert warm == original
+        assert second_app.metrics.counter("jobs_submitted") == 0
+    finally:
+        second.stop()
+
+
+def test_query_parameters_recompute_other_views(server):
+    client = ServiceClient(server.url)
+    job_id = client.submit(tiny_scenario_spec())["job_id"]
+    client.wait(job_id, timeout=60)
+    result = client.result(job_id)["result"]
+
+    eight = client.artifact(job_id, "efficiency_timeline", windows=8)
+    want = scenario_timeline_from_payload(result, WindowConfig(windows=8))
+    assert eight == {"timeline": want}
+    assert all(len(t["rows"]) == 8
+               for t in eight["timeline"]["scales"].values())
+
+    adaptive = client.artifact(job_id, "efficiency_timeline",
+                               strategy="adaptive")
+    counts = {len(t["rows"])
+              for t in adaptive["timeline"]["scales"].values()}
+    assert len(counts) == 1                 # phase-aligned at every scale
+
+    loose = client.artifact(job_id, "efficiency_timeline", rel_tol=0.5)
+    assert loose["timeline"]["rel_tol"] == 0.5
+
+
+def test_bad_query_parameters_are_loud(server):
+    client = ServiceClient(server.url)
+    job_id = client.submit(tiny_scenario_spec())["job_id"]
+    client.wait(job_id, timeout=60)
+    try:
+        client.artifact(job_id, "efficiency_timeline", bins=4)
+        raise AssertionError("unknown parameter accepted")
+    except Exception as exc:
+        assert "400" in str(exc) or "unknown" in str(exc)
+    try:
+        client.artifact(job_id, "efficiency_timeline", strategy="hourly")
+        raise AssertionError("unknown strategy accepted")
+    except Exception as exc:
+        assert "400" in str(exc) or "strategy" in str(exc)
