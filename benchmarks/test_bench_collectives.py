@@ -57,17 +57,30 @@ def _machine(p):
     return nehalem_cluster(nodes=-(-p // 8), jitter=0.1)
 
 
-def _time_mode(p, body, iters, fast):
-    """Wall-clock + counters of ``iters`` invocations of one collective."""
+def _time_mode(p, body, iters, fast, reps=None):
+    """Best-of-N wall-clock + counters of ``iters`` invocations.
+
+    Single-shot timing of a few-millisecond run is dominated by host
+    noise — it is what recorded the spurious ``reduce`` ratio of 0.44
+    in schema 2.  The minimum over ``reps`` repetitions is the stable
+    estimator of the true cost; results are seed-deterministic, so any
+    repetition's RunResult stands for all of them.
+    """
+    if reps is None:
+        reps = 2 if FAST_MODE else 3
 
     def main(ctx):
         for _ in range(iters):
             body(ctx)
 
-    t0 = time.perf_counter()
-    res = run_mpi(p, main, machine=_machine(p), seed=1, coll_analytic=fast)
-    elapsed = time.perf_counter() - t0
-    return elapsed, res
+    best_t, best_r = None, None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = run_mpi(p, main, machine=_machine(p), seed=1, coll_analytic=fast)
+        dt = time.perf_counter() - t0
+        if best_t is None or dt < best_t:
+            best_t, best_r = dt, res
+    return best_t, best_r
 
 
 def test_collective_handoffs_and_fastpath_ratio():
@@ -108,7 +121,7 @@ def test_collective_handoffs_and_fastpath_ratio():
         "sched_steps_per_sec_message_path": steps_per_sec,
         "collectives": per_coll,
     }
-    merge_json_artifact("BENCH_engine", {"schema": 2, "coll_fastpath": doc})
+    merge_json_artifact("BENCH_engine", {"schema": 3, "coll_fastpath": doc})
 
 
 def test_allreduce_heavy_speedup_p128():

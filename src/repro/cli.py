@@ -160,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "thread-per-rank oracle (threads); results "
                              "are identical ($REPRO_ENGINE sets the "
                              "default)")
+    parser.add_argument("--macrostep", choices=("on", "off"), default=None,
+                        help="steady-state round capture & replay on the "
+                             "thread-free engine (default on; replay is "
+                             "bit-identical, $REPRO_MACROSTEP sets the "
+                             "default)")
     parser.add_argument("--trace", type=pathlib.Path, default=None,
                         metavar="OUT.json",
                         help="self-profile this invocation: write a Chrome "
@@ -300,6 +305,11 @@ def _scenario_run_parser(prog: str) -> argparse.ArgumentParser:
                         help="re-attempts per failing sweep point")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress lines")
+    parser.add_argument("--macrostep", choices=("on", "off"), default=None,
+                        help="override the spec's macro-step capture/replay "
+                             "policy (execution policy: replay is "
+                             "bit-identical, so cached points are shared "
+                             "across modes)")
     return parser
 
 
@@ -335,6 +345,8 @@ def _run_main(argv: List[str], prog: str = "run") -> int:
     except ScenarioSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if args.macrostep is not None:
+        object.__setattr__(spec, "macrostep", args.macrostep == "on")
     run_cache = None
     if args.cache:
         from repro.harness.cache import RunCache
@@ -421,7 +433,33 @@ def _report_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         metavar="REPORT.txt",
                         help="also write the rendered report to a file")
+    parser.add_argument("--macrostep", choices=("on", "off"), default=None,
+                        help="override the spec's macro-step capture/replay "
+                             "policy when executing (--scenario only)")
     return parser
+
+
+def _engine_counter_lines(metrics_by_scale) -> List[str]:
+    """Render the engine's macro-step diagnostics next to sched_steps.
+
+    ``metrics_by_scale`` is the payload's ``metrics`` block (scale →
+    rep-averaged metrics).  Counters are absent from payloads produced
+    before they existed; such scales are skipped silently.
+    """
+    rows = []
+    for p in sorted(metrics_by_scale, key=int):
+        m = metrics_by_scale[p]
+        if "sched_steps" not in m:
+            continue
+        rows.append(
+            f"  p={p}: sched_steps={m['sched_steps']:.0f}  "
+            f"rounds_captured={m.get('rounds_captured', 0.0):.0f}  "
+            f"rounds_replayed={m.get('rounds_replayed', 0.0):.0f}  "
+            f"deopts={m.get('deopts', 0.0):.0f}"
+        )
+    if not rows:
+        return []
+    return ["engine counters (rep-averaged):"] + rows
 
 
 def _report_main(argv: List[str]) -> int:
@@ -484,6 +522,8 @@ def _report_main(argv: List[str]) -> int:
         except ScenarioSpecError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_USAGE
+        if args.macrostep is not None:
+            object.__setattr__(spec, "macrostep", args.macrostep == "on")
         run_cache = None
         if args.cache:
             from repro.harness.cache import RunCache
@@ -510,6 +550,7 @@ def _report_main(argv: List[str]) -> int:
         lines.append(scaling_report(scaling_from_json(payload["profile_json"])))
     except ReproError as exc:
         lines.append(f"(no scaling report: {exc})")
+    lines.extend(_engine_counter_lines(payload.get("metrics", {})))
 
     if args.timeline:
         overrides = (windows is not None or args.window_strategy is not None
@@ -907,6 +948,8 @@ def main(argv: List[str] | None = None) -> int:
             object.__setattr__(sweep, "wall_timeout", args.timeout)
         if args.engine is not None:
             object.__setattr__(sweep, "engine", args.engine)
+        if args.macrostep is not None:
+            object.__setattr__(sweep, "macrostep", args.macrostep == "on")
         return sweep
 
     with _trace_scope(args, wanted):

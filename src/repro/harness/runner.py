@@ -124,6 +124,7 @@ def _run_conv_point(task) -> Tuple[SectionProfile, str]:
             faults=sweep.faults,
             wall_timeout=sweep.wall_timeout,
             engine=sweep.engine,
+            macrostep=sweep.macrostep,
         )
     msg = (
         f"convolution p={p} rep={r}: wall={res.walltime:.3f}s "
@@ -263,6 +264,7 @@ def _run_lulesh_point(task) -> Tuple[SectionProfile, float, str]:
             faults=sweep.faults,
             wall_timeout=sweep.wall_timeout,
             engine=sweep.engine,
+            macrostep=sweep.macrostep,
         )
         drift = plugin.metrics(run)["energy_drift"]
     msg = (

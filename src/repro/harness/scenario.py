@@ -83,13 +83,25 @@ def _run_scenario_point(
             faults=spec.faults,
             wall_timeout=spec.wall_timeout,
             engine=spec.engine,
+            macrostep=spec.macrostep,
         )
     plugin.check(res)  # loud validity gate: corrupt points never cache
     metrics = plugin.metrics(res)
+    # Engine diagnostics ride along with the workload metrics so
+    # ``repro report --scenario`` can show them next to the physics.
+    # The point cache is macrostep-blind (replay is bit-identical), so
+    # a cached point reports the counters of whichever mode actually
+    # simulated it — they describe the execution, not the result.
+    metrics = dict(metrics)
+    metrics["sched_steps"] = float(res.sched_steps)
+    metrics["rounds_captured"] = float(res.rounds_captured)
+    metrics["rounds_replayed"] = float(res.rounds_replayed)
+    metrics["deopts"] = float(res.deopts)
     intervals = intervals_from_run(res, type(plugin).COMM_SECTIONS)
     msg = (
         f"{spec.workload} p={p} rep={rep}: wall={res.walltime:.3f}s "
-        f"msgs={res.network['messages']}"
+        f"msgs={res.network['messages']} steps={res.sched_steps} "
+        f"replayed={res.rounds_replayed}"
     )
     return (
         SectionProfile.from_run(res, p=p, threads=spec.threads),

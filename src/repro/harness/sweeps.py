@@ -52,6 +52,9 @@ class ConvolutionSweep:
     #: follows the environment).  Both engines produce bit-identical
     #: results, so it is *not* cache-keyed.
     engine: Optional[str] = None
+    #: Macro-step capture/replay override (None follows the
+    #: environment).  Replay is bit-identical, so it is *not* cache-keyed.
+    macrostep: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.reps < 1:
@@ -120,6 +123,9 @@ class LuleshGridSweep:
     #: follows the environment; not cache-keyed — results are engine-
     #: independent).
     engine: Optional[str] = None
+    #: Macro-step capture/replay override (None follows the
+    #: environment; not cache-keyed — replay is bit-identical).
+    macrostep: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not self.grid:

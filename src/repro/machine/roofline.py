@@ -90,6 +90,12 @@ class RooflineModel:
             raise MachineError("bw_saturation_threads must be >= 1")
         self.node = node
         self.bw_saturation_threads = bw_saturation_threads
+        # (WorkEstimate, nthreads) -> seconds.  The model is a pure
+        # function of its inputs and iterative workloads charge the same
+        # WorkEstimate every step, so the roofline arithmetic (two
+        # scaled() allocations plus two rate evaluations) runs once per
+        # distinct kernel rather than once per call.
+        self._time_cache: dict = {}
 
     # -- aggregate rates ----------------------------------------------------
 
@@ -133,12 +139,18 @@ class RooflineModel:
         The serial fraction runs at single-thread rates; the parallel
         remainder takes the max of its compute and memory terms.
         """
+        key = (work, nthreads)
+        t = self._time_cache.get(key)
+        if t is not None:
+            return t
         serial_work = work.scaled(work.serial_fraction)
         par_work = work.scaled(1.0 - work.serial_fraction)
 
         t_serial = self._roofline_time(serial_work, 1)
         t_par = self._roofline_time(par_work, nthreads)
-        return t_serial + t_par
+        t = t_serial + t_par
+        self._time_cache[key] = t
+        return t
 
     def _roofline_time(self, work: WorkEstimate, nthreads: int) -> float:
         if work.flops == 0 and work.bytes_moved == 0:

@@ -17,8 +17,9 @@ exactly like a fault plan**:
 * the optional ``timeline`` window block shapes the payload's derived
   efficiency-timeline view, so it participates too (canonicalised: an
   omitted block hashes like the spelled-out default);
-* ``wall_timeout`` is execution policy (abort behaviour only) and stays
-  out of the key.
+* ``wall_timeout`` and ``macrostep`` are execution policy (abort
+  behaviour, capture/replay speed) and stay out of the key — macro-step
+  replay is bit-identical, so both modes answer the same question.
 
 Validation is eager and loud: unknown fields, unknown workloads,
 parameters violating the plugin schema, process counts the workload
@@ -66,6 +67,7 @@ _FIELDS = (
     "engine",
     "timeline",
     "wall_timeout",
+    "macrostep",
 )
 
 
@@ -137,6 +139,11 @@ class ScenarioSpec:
     timeline: Optional[Dict[str, Any]] = None
     #: Per-point watchdog (real seconds) — execution policy, not hashed.
     wall_timeout: Optional[float] = None
+    #: Macro-step capture/replay toggle — execution policy like
+    #: ``wall_timeout``: replay is bit-identical to the interpreted path,
+    #: so it must NOT change the content key (and the run cache below
+    #: stays macrostep-blind, sharing points across modes).
+    macrostep: Optional[bool] = None
 
     # -- resolution ----------------------------------------------------------
 
@@ -209,6 +216,7 @@ class ScenarioSpec:
             "engine": self.engine,
             "timeline": self.timeline_config().to_dict(),
             "wall_timeout": self.wall_timeout,
+            "macrostep": self.macrostep,
         }
 
     @classmethod
@@ -335,6 +343,12 @@ class ScenarioSpec:
                     f"wall_timeout must be positive, got {wall_timeout}"
                 )
 
+        macrostep = data.get("macrostep")
+        if macrostep is not None and not isinstance(macrostep, bool):
+            raise ScenarioSpecError(
+                f"macrostep must be a boolean, got {macrostep!r}"
+            )
+
         for p in process_counts:
             try:
                 plugin_cls.check_scale(p, params)
@@ -356,6 +370,7 @@ class ScenarioSpec:
             engine=engine,
             timeline=timeline,
             wall_timeout=wall_timeout,
+            macrostep=macrostep,
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

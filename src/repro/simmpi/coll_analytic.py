@@ -110,13 +110,38 @@ def analytic_enabled(value: Optional[str] = None) -> bool:
     """Whether the analytic fast path is on.
 
     Reads ``REPRO_COLL_ANALYTIC`` when ``value`` is None; unset or empty
-    means **enabled**.  Matching is case-insensitive.
+    means **enabled**.  Matching is case-insensitive.  A value made of
+    per-collective opt-outs (``-reduce,-gather``) leaves the path on
+    overall — see :func:`analytic_off_kinds`.
     """
     if value is None:
         value = os.environ.get(ANALYTIC_ENV)
     if value is None:
         return True
     return value.strip().lower() not in _FALSY
+
+
+def analytic_off_kinds(value: Optional[str] = None) -> frozenset:
+    """Collective kinds opted out of the analytic path per-collective.
+
+    ``REPRO_COLL_ANALYTIC`` accepts, besides the on/off words, a
+    comma-separated list of ``-<kind>`` entries (``-reduce``,
+    ``-reduce,-gather``) that keep the fast path on overall but route
+    the named collectives through the message path — the per-collective
+    gate for a fast path that would lose on a given pattern.  Kinds are
+    matched case-insensitively, so ``-reduce`` covers both the buffer
+    (``Reduce``) and object (``reduce``) spellings.
+    """
+    if value is None:
+        value = os.environ.get(ANALYTIC_ENV)
+    if value is None:
+        return frozenset()
+    out = set()
+    for part in value.split(","):
+        part = part.strip().lower()
+        if part.startswith("-") and len(part) > 1:
+            out.add(part[1:])
+    return frozenset(out)
 
 
 def drive_threaded(ctx, gen: Generator[Request, None, Any]) -> Any:
@@ -273,7 +298,7 @@ class CollectiveGate:
         # active FaultPlan forces the message path — hang/crash delivery
         # points inside the pattern must fire on the owning rank's own
         # scheduling slot, which a batched replay cannot honour.
-        if self.engine.coll_analytic and self.engine._faults is None:
+        if self.engine.analytic_for(kind) and self.engine._faults is None:
             entry.mode = "fast"
             _Replay(entry).run()
             self.fast += 1

@@ -55,7 +55,9 @@ def clone_payload(obj: Any) -> Any:
     if obj is None:
         return None
     if isinstance(obj, np.ndarray):
-        return np.ascontiguousarray(obj).copy()
+        # One C-ordered copy (ascontiguousarray-then-copy would copy a
+        # non-contiguous source twice).
+        return np.array(obj, order="C")
     if isinstance(obj, (int, float, complex, str, bytes, bool, frozenset)):
         return obj
     if isinstance(obj, tuple) and all(
@@ -82,6 +84,11 @@ def deliver_into(recvbuf: np.ndarray, data: np.ndarray) -> int:
             "buffer receive matched an object message; use recv() without "
             "a buffer for object-mode traffic"
         )
+    if data.shape == recvbuf.shape and data.dtype == recvbuf.dtype:
+        # Exact-fit fast path (the overwhelmingly common case): one
+        # C-level copy, no reshape views.
+        np.copyto(recvbuf, data)
+        return int(data.size)
     flat_dst = recvbuf.reshape(-1)
     src = data.reshape(-1)
     if src.size > flat_dst.size:

@@ -74,7 +74,11 @@ from repro.faults.runtime import FaultRuntime
 from repro.machine.catalog import laptop
 from repro.machine.spec import MachineSpec
 from repro.simmpi.api import ENGINE_ENV, ENGINE_THREADFREE, ENGINE_THREADS
-from repro.simmpi.coll_analytic import CollectiveGate, analytic_enabled
+from repro.simmpi.coll_analytic import (
+    CollectiveGate,
+    analytic_enabled,
+    analytic_off_kinds,
+)
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.p2p import MessageFabric
 from repro.simmpi.pmpi import ToolRegistry
@@ -189,6 +193,19 @@ class RunResult:
         Which engine executed the run (``"threadfree"`` or
         ``"threads"``).  Purely informational: simulated quantities are
         bit-identical across engines.
+    rounds_captured:
+        Steady-state round templates captured by the macro-step layer
+        (rank-rounds, summed over ranks; see
+        :mod:`repro.simmpi.macrostep`).  Always 0 off the thread-free
+        engine or with ``REPRO_MACROSTEP=0``.
+    rounds_replayed:
+        Captured round templates replayed as straight-line arithmetic
+        (rank-rounds, summed over ranks).
+    deopts:
+        Times a rank fell back from replay to the interpreter (guard
+        mismatch, fault fired, tail of the run).  Purely informational:
+        simulated quantities are bit-identical with macro-stepping on
+        or off.
     """
 
     n_ranks: int
@@ -204,6 +221,9 @@ class RunResult:
     collectives_gated: int = 0
     collectives_fast: int = 0
     engine: str = ENGINE_THREADS
+    rounds_captured: int = 0
+    rounds_replayed: int = 0
+    deopts: int = 0
 
     def rank_result(self, rank: int) -> Any:
         """Return value of ``main`` on ``rank``."""
@@ -364,6 +384,14 @@ class _EngineBase:
         unless set to ``0``; ``True``/``False`` force it for this
         engine.  Either way simulated results are bit-identical — the
         switch only changes how much *real* time a collective costs.
+    macrostep:
+        Steady-state round capture & replay (see
+        :mod:`repro.simmpi.macrostep`).  ``None`` (default) follows the
+        ``REPRO_MACROSTEP`` environment variable, which is on unless
+        set to ``0``; ``True``/``False`` force it.  Only the
+        thread-free engine macro-steps, and simulated results are
+        bit-identical either way — the switch only changes how much
+        *real* time a steady-state round costs.
     """
 
     #: RunResult.engine value; overridden per engine.
@@ -384,6 +412,7 @@ class _EngineBase:
         wall_timeout: Optional[float] = None,
         progress_steps: Optional[int] = None,
         coll_analytic: Optional[bool] = None,
+        macrostep: Optional[bool] = None,
     ):
         if n_ranks < 1:
             raise EngineStateError("need at least one rank")
@@ -420,6 +449,23 @@ class _EngineBase:
         self.coll_analytic = (
             analytic_enabled() if coll_analytic is None else bool(coll_analytic)
         )
+        #: Collective kinds opted out of the analytic path (lowercased);
+        #: env-driven unless coll_analytic was forced by argument.
+        self.coll_analytic_off = (
+            analytic_off_kinds() if coll_analytic is None else frozenset()
+        )
+        #: Steady-state round capture & replay (thread-free engine only;
+        #: see repro.simmpi.macrostep).  None follows REPRO_MACROSTEP.
+        from repro.simmpi.macrostep import macrostep_enabled
+
+        self.macrostep = (
+            macrostep_enabled() if macrostep is None else bool(macrostep)
+        )
+        #: Macro-step counters (stay 0 off the thread-free engine).
+        self.rounds_captured = 0
+        self.rounds_replayed = 0
+        self.deopts = 0
+        self._macro = None
         self.coll_gate = CollectiveGate(self)
         self.network = NetworkModel(machine, seed=seed, ranks_per_node=ranks_per_node,
                                     faults=self._faults)
@@ -489,6 +535,8 @@ class _EngineBase:
             with obs.span("engine.finalize", layer="engine"):
                 self.fabric.assert_drained()
                 self._sections.finalize()
+            if self._macro is not None:
+                self._macro.collect()
             clocks = [t.ctx.now for t in self._ranks]
             walltime = max(clocks)
             run_span.set(
@@ -512,6 +560,9 @@ class _EngineBase:
                 collectives_gated=self.coll_gate.gated,
                 collectives_fast=self.coll_gate.fast,
                 engine=self.engine_name,
+                rounds_captured=self.rounds_captured,
+                rounds_replayed=self.rounds_replayed,
+                deopts=self.deopts,
             )
 
     def _setup(self, main: Callable, args: tuple, kwargs: dict) -> None:
@@ -606,6 +657,15 @@ class _EngineBase:
         if self._faults is not None:
             self._faults.poll(ctx)
 
+    def analytic_for(self, kind: str) -> bool:
+        """Whether the analytic fast path applies to collective ``kind``.
+
+        The global switch (:attr:`coll_analytic`) composed with the
+        per-collective opt-out list (``REPRO_COLL_ANALYTIC=-reduce``);
+        kind matching is case-insensitive.
+        """
+        return self.coll_analytic and kind.lower() not in self.coll_analytic_off
+
     def wake_if_waiting(self, req: Request) -> None:
         """Mark the rank blocked on ``req`` (if any) runnable again.
 
@@ -680,9 +740,7 @@ class Engine(_EngineBase):
         progress_steps = self.progress_steps
         back_wait = self._back.wait
         back_clear = self._back.clear
-        pop_ready = self._ready.pop_ready
-        is_ready = lambda r: ranks[r].state == READY  # noqa: E731 - hot closure
-        clock_of = lambda r: ranks[r].ctx._clock  # noqa: E731 - hot closure
+        pop_ready = self._ready.pop_ready_progs
         steps = 0
         handoffs = 0
         try:
@@ -691,7 +749,7 @@ class Engine(_EngineBase):
                 if failed:
                     t = failed[0]
                     raise RankFailedError(t.rank, t.exc) from t.exc
-                entry = pop_ready(is_ready, clock_of)
+                entry = pop_ready(ranks, READY)
                 if entry is None:
                     if self._done_count == n_ranks:
                         return
@@ -702,16 +760,16 @@ class Engine(_EngineBase):
                 nxt = ranks[entry[1]]
                 if (
                     max_virtual_time is not None
-                    and nxt.ctx.now > max_virtual_time
+                    and nxt.ctx._clock > max_virtual_time
                 ):
                     raise EngineStateError(
-                        f"virtual time {nxt.ctx.now:.6g}s exceeded the "
+                        f"virtual time {nxt.ctx._clock:.6g}s exceeded the "
                         f"max_virtual_time guard ({max_virtual_time:.6g}s) "
                         f"on rank {nxt.rank}"
                     )
                 if progress_steps is not None:
-                    if nxt.ctx.now > self._progress_clock:
-                        self._progress_clock = nxt.ctx.now
+                    if nxt.ctx._clock > self._progress_clock:
+                        self._progress_clock = nxt.ctx._clock
                         self._stalled_steps = 0
                     else:
                         self._stalled_steps += 1
@@ -843,6 +901,12 @@ class ThreadFreeEngine(_EngineBase):
             p.gen = _rank_body(self, p, main, args, kwargs)
             p.state = READY
             self._ready.push((p.ctx.now, p.rank))
+        if self.macrostep:
+            from repro.simmpi.macrostep import MacrostepController, eligible
+
+            if eligible(self):
+                self._macro = MacrostepController(self)
+                self._macro.attach()
 
     def _loop(self) -> None:
         ranks = self._ranks
@@ -851,11 +915,9 @@ class ThreadFreeEngine(_EngineBase):
         wall_timeout = self.wall_timeout
         max_virtual_time = self.max_virtual_time
         progress_steps = self.progress_steps
-        pop_ready = self._ready.pop_ready
+        pop_ready = self._ready.pop_ready_progs
         segment = self._segment
         perf = time.perf_counter
-        is_ready = lambda r: ranks[r].state == READY  # noqa: E731 - hot closure
-        clock_of = lambda r: ranks[r].ctx._clock  # noqa: E731 - hot closure
         steps = 0
         try:
             while True:
@@ -863,7 +925,7 @@ class ThreadFreeEngine(_EngineBase):
                 if failed:
                     p = failed[0]
                     raise RankFailedError(p.rank, p.exc) from p.exc
-                entry = pop_ready(is_ready, clock_of)
+                entry = pop_ready(ranks, READY)
                 if entry is None:
                     if self._done_count == n_ranks:
                         return
@@ -874,16 +936,16 @@ class ThreadFreeEngine(_EngineBase):
                 nxt = ranks[entry[1]]
                 if (
                     max_virtual_time is not None
-                    and nxt.ctx.now > max_virtual_time
+                    and nxt.ctx._clock > max_virtual_time
                 ):
                     raise EngineStateError(
-                        f"virtual time {nxt.ctx.now:.6g}s exceeded the "
+                        f"virtual time {nxt.ctx._clock:.6g}s exceeded the "
                         f"max_virtual_time guard ({max_virtual_time:.6g}s) "
                         f"on rank {nxt.rank}"
                     )
                 if progress_steps is not None:
-                    if nxt.ctx.now > self._progress_clock:
-                        self._progress_clock = nxt.ctx.now
+                    if nxt.ctx._clock > self._progress_clock:
+                        self._progress_clock = nxt.ctx._clock
                         self._stalled_steps = 0
                     else:
                         self._stalled_steps += 1
@@ -1101,6 +1163,7 @@ def run_mpi(
     wall_timeout: Optional[float] = None,
     progress_steps: Optional[int] = None,
     coll_analytic: Optional[bool] = None,
+    macrostep: Optional[bool] = None,
     engine: Optional[str] = None,
     args: tuple = (),
     kwargs: Optional[dict] = None,
@@ -1143,5 +1206,6 @@ def run_mpi(
             wall_timeout=wall_timeout,
             progress_steps=progress_steps,
             coll_analytic=coll_analytic,
+            macrostep=macrostep,
         )
         return eng.run(main, args=args, kwargs=kwargs)

@@ -25,9 +25,7 @@ communicator, calling tool callbacks upon enter and exit events".
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.errors import SectionMismatchError, SectionNestingError, SectionStateError
 from repro.simmpi.api import MAX_SECTION_DATA
@@ -36,9 +34,13 @@ from repro.simmpi.api import MAX_SECTION_DATA
 MAIN_LABEL = "MPI_MAIN"
 
 
-@dataclass(frozen=True)
-class SectionEvent:
+class SectionEvent(NamedTuple):
     """One section enter or exit, as delivered to tools.
+
+    A NamedTuple rather than a dataclass: O(ranks x steps) events are
+    created per run, and tuple construction is several times cheaper
+    than a frozen dataclass ``__init__`` while keeping immutability,
+    field access and value equality.
 
     Attributes
     ----------
@@ -66,13 +68,19 @@ class SectionEvent:
 
 
 class _Frame:
-    """One open section on a rank's stack: label + preserved data blob."""
+    """One open section on a rank's stack: label + preserved data blob.
 
-    __slots__ = ("label", "data")
+    ``path`` is the full label path down to (and including) this frame,
+    precomputed at enter time so the hot enter/exit path never rebuilds
+    it from the stack.
+    """
 
-    def __init__(self, label: str):
+    __slots__ = ("label", "data", "path")
+
+    def __init__(self, label: str, path: Tuple[str, ...] = ()):
         self.label = label
         self.data = bytearray(MAX_SECTION_DATA)
+        self.path = path
 
 
 class SectionRuntime:
@@ -87,12 +95,22 @@ class SectionRuntime:
         self._stacks: Dict[Tuple[tuple, int], List[_Frame]] = {}
         # (comm_id, rank) -> flat (kind, label) log for finalize validation
         self._logs: Dict[Tuple[tuple, int], List[Tuple[str, str]]] = {}
+        # (comm_id, rank) -> (stack, log): one probe on the hot path
+        # instead of two (the per-key lists are created once and mutated
+        # in place, so the pair stays live).
+        self._hot: Dict[Tuple[tuple, int], tuple] = {}
         # comm_id -> world-rank group (captured on first use for validation)
         self._groups: Dict[tuple, tuple] = {}
         # Ranks whose event recording is suppressed (injected hangs on
         # the thread-free engine); see mute_rank.
         self._muted: set = set()
         self._finalized = False
+        # Live per-hook tool lists (registration appends in place), so
+        # the hot enter/exit path skips the dispatch machinery entirely
+        # when no tool implements the callback.
+        by_hook = engine.tools._by_hook
+        self._enter_cbs = by_hook["section_enter_cb"]
+        self._leave_cbs = by_hook["section_leave_cb"]
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -144,19 +162,27 @@ class SectionRuntime:
             raise SectionStateError("section entered after finalize")
         if not label or not isinstance(label, str):
             raise SectionStateError(f"section label must be a non-empty str, got {label!r}")
-        key = (comm.cid, ctx.rank)
-        stack = self._stacks.setdefault(key, [])
-        frame = _Frame(label)
+        cid = comm.cid
+        rank = ctx.rank
+        key = (cid, rank)
+        hot = self._hot.get(key)
+        if hot is None:
+            stack = self._stacks[key] = []
+            log = self._logs[key] = []
+            hot = self._hot[key] = (stack, log)
+            if cid not in self._groups:
+                self._groups[cid] = comm.group
+        stack, log = hot
+        path = (stack[-1].path + (label,)) if stack else (label,)
+        frame = _Frame(label, path)
         stack.append(frame)
-        self._logs.setdefault(key, []).append(("enter", label))
-        self._groups.setdefault(comm.cid, comm.group)
-        path = tuple(f.label for f in stack)
-        self.events.append(
-            SectionEvent(ctx.rank, comm.cid, label, "enter", ctx.now, path)
-        )
-        self.engine.tools.dispatch(
-            "section_enter_cb", comm.cid, label, frame.data, ctx.rank, ctx.now
-        )
+        log.append(("enter", label))
+        now = ctx._clock
+        self.events.append(SectionEvent(rank, cid, label, "enter", now, path))
+        cbs = self._enter_cbs
+        if cbs:
+            for tool in cbs:
+                tool.section_enter_cb(cid, label, frame.data, rank, now)
 
     def exit(self, ctx, comm, label: str) -> None:
         """``MPIX_Section_exit``: non-blocking collective exit."""
@@ -164,27 +190,31 @@ class SectionRuntime:
             return
         if self._finalized:
             raise SectionStateError("section exited after finalize")
-        key = (comm.cid, ctx.rank)
-        stack = self._stacks.get(key)
+        cid = comm.cid
+        rank = ctx.rank
+        hot = self._hot.get((cid, rank))
+        stack = hot[0] if hot is not None else None
         if not stack:
             raise SectionNestingError(
-                f"rank {ctx.rank} exited section {label!r} with an empty stack"
+                f"rank {rank} exited section {label!r} with an empty stack"
             )
         top = stack[-1]
         if top.label != label:
             raise SectionNestingError(
-                f"rank {ctx.rank} exited section {label!r} but the innermost "
+                f"rank {rank} exited section {label!r} but the innermost "
                 f"open section is {top.label!r} — sections must be perfectly nested"
             )
-        path = tuple(f.label for f in stack)
+        path = top.path
         stack.pop()
-        self._logs[key].append(("exit", label))
+        hot[1].append(("exit", label))
+        now = ctx._clock
         self.events.append(
-            SectionEvent(ctx.rank, comm.cid, label, "exit", ctx.now, path)
+            SectionEvent(rank, cid, label, "exit", now, path)
         )
-        self.engine.tools.dispatch(
-            "section_leave_cb", comm.cid, label, top.data, ctx.rank, ctx.now
-        )
+        cbs = self._leave_cbs
+        if cbs:
+            for tool in cbs:
+                tool.section_leave_cb(cid, label, top.data, rank, now)
 
     # -- finalize-time collective verification --------------------------------------
 
@@ -244,11 +274,26 @@ def section_exit(ctx, label: str, comm=None) -> None:
     ctx.engine._sections.exit(ctx, comm, label)
 
 
-@contextmanager
-def section(ctx, label: str, comm=None):
-    """Scope-based helper pairing enter/exit even on exceptions."""
-    section_enter(ctx, label, comm)
-    try:
-        yield
-    finally:
-        section_exit(ctx, label, comm)
+class section:
+    """Scope-based helper pairing enter/exit even on exceptions.
+
+    A plain-class context manager rather than ``@contextmanager``: the
+    generator machinery costs about a microsecond per use, which at
+    O(ranks x steps) scopes per run is measurable against the engine's
+    scheduling step.
+    """
+
+    __slots__ = ("_ctx", "_label", "_comm")
+
+    def __init__(self, ctx, label: str, comm=None):
+        self._ctx = ctx
+        self._label = label
+        self._comm = comm
+
+    def __enter__(self):
+        section_enter(self._ctx, self._label, self._comm)
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        section_exit(self._ctx, self._label, self._comm)
+        return False

@@ -251,6 +251,7 @@ class WorkloadPlugin:
         faults=None,
         wall_timeout: Optional[float] = None,
         engine: Optional[str] = None,
+        macrostep: Optional[bool] = None,
         tools=(),
     ) -> RunResult:
         """Execute the workload at ``p`` ranks; returns the raw
@@ -273,6 +274,7 @@ class WorkloadPlugin:
             faults=faults,
             wall_timeout=wall_timeout,
             engine=engine,
+            macrostep=macrostep,
         )
 
     # -- post-run -------------------------------------------------------------

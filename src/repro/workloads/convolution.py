@@ -246,6 +246,7 @@ class ConvolutionBenchmark:
         faults=None,
         wall_timeout: Optional[float] = None,
         engine: Optional[str] = None,
+        macrostep: Optional[bool] = None,
     ) -> RunResult:
         """Execute the benchmark at ``n_ranks`` on ``machine``.
 
@@ -271,6 +272,7 @@ class ConvolutionBenchmark:
             faults=faults,
             wall_timeout=wall_timeout,
             engine=engine,
+            macrostep=macrostep,
             args=(storage,),
         )
 

@@ -99,6 +99,7 @@ class ConvolutionWorkload(WorkloadPlugin):
         faults=None,
         wall_timeout: Optional[float] = None,
         engine: Optional[str] = None,
+        macrostep: Optional[bool] = None,
         tools=(),
     ) -> RunResult:
         """Delegate to :class:`ConvolutionBenchmark` — bit-identical to
@@ -115,6 +116,7 @@ class ConvolutionWorkload(WorkloadPlugin):
             faults=faults,
             wall_timeout=wall_timeout,
             engine=engine,
+            macrostep=macrostep,
         )
 
     def check(self, result: RunResult) -> None:
@@ -190,6 +192,7 @@ class LuleshWorkload(WorkloadPlugin):
         faults=None,
         wall_timeout: Optional[float] = None,
         engine: Optional[str] = None,
+        macrostep: Optional[bool] = None,
         tools=(),
     ) -> RunResult:
         """Drive :class:`LuleshBenchmark` with hybrid ``threads`` and the
@@ -207,6 +210,7 @@ class LuleshWorkload(WorkloadPlugin):
             faults=faults,
             wall_timeout=wall_timeout,
             engine=engine,
+            macrostep=macrostep,
             args=(threads,),
         )
 

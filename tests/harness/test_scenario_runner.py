@@ -48,7 +48,15 @@ def test_profile_bit_identical_to_manual_plugin_loop():
             manual = SectionProfile.from_run(res, p=p, threads=spec.threads)
             assert runs[rep].breakdown(include_main=True) == \
                 manual.breakdown(include_main=True)
-            for name, value in plugin.metrics(res).items():
+            # Engine diagnostics ride along with the plugin metrics.
+            expected = {
+                **plugin.metrics(res),
+                "sched_steps": float(res.sched_steps),
+                "rounds_captured": float(res.rounds_captured),
+                "rounds_replayed": float(res.rounds_replayed),
+                "deopts": float(res.deopts),
+            }
+            for name, value in expected.items():
                 want_metrics[name] = (
                     want_metrics.get(name, 0.0) + value / spec.reps)
             assert metrics[p] == pytest.approx(want_metrics) or rep == 0
